@@ -1,0 +1,45 @@
+//! Assembled program images.
+
+use dtsvliw_mem::Memory;
+use std::collections::HashMap;
+
+/// The output of the assembler: byte sections at fixed addresses plus
+/// the symbol table.
+#[derive(Debug, Clone, Default)]
+pub struct Image {
+    /// Program entry point (`_start` if defined, else the first
+    /// instruction assembled).
+    pub entry: u32,
+    /// `(base address, bytes)` pairs, in assembly order.
+    pub sections: Vec<(u32, Vec<u8>)>,
+    /// Label addresses.
+    pub symbols: HashMap<String, u32>,
+}
+
+impl Image {
+    /// Copy every section into `mem`.
+    pub fn load_into(&self, mem: &mut Memory) {
+        for (base, bytes) in &self.sections {
+            mem.load(*base, bytes);
+        }
+    }
+
+    /// Look up a label.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Total bytes across sections.
+    pub fn size(&self) -> usize {
+        self.sections.iter().map(|(_, b)| b.len()).sum()
+    }
+
+    /// Iterate over the assembled words of all sections (diagnostics).
+    pub fn words(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.sections.iter().flat_map(|(base, bytes)| {
+            bytes.chunks_exact(4).enumerate().map(move |(i, c)| {
+                (base + 4 * i as u32, u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+            })
+        })
+    }
+}

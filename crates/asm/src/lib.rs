@@ -1,0 +1,29 @@
+//! A two-pass assembler for the SPARC V7 subset.
+//!
+//! The paper's benchmarks were SPARC binaries produced by `gcc`; this
+//! assembler (together with the `dtsvliw-minicc` compiler that emits its
+//! syntax) is the reproduction's toolchain. Supported syntax follows the
+//! SPARC assembler conventions — destination-last operands, `[reg +
+//! off]` memory addressing, `%hi()`/`%lo()` relocations — plus the usual
+//! synthetic instructions (`set`, `mov`, `cmp`, `ret`, ...).
+//!
+//! ```
+//! let src = "
+//! _start:
+//!     set 10, %o0
+//!     call double      ! delayed: the nop below executes first
+//!     nop
+//!     ta 0             ! halt
+//! double:
+//!     retl
+//!     nop
+//! ";
+//! let image = dtsvliw_asm::assemble(src).unwrap();
+//! assert_eq!(image.entry, image.symbol("_start").unwrap());
+//! ```
+
+mod image;
+mod parse;
+
+pub use image::Image;
+pub use parse::{assemble, assemble_at, AsmError};

@@ -1,0 +1,970 @@
+//! Two-pass assembly: pass 1 sizes statements and collects labels,
+//! pass 2 encodes.
+
+use crate::image::Image;
+use dtsvliw_isa::encode::encode;
+use dtsvliw_isa::insn::{AluOp, FpOp, Instr, MemOp, Src2};
+use dtsvliw_isa::regs::parse_reg;
+use dtsvliw_isa::{Cond, FCond};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Default base address of the first section.
+pub const DEFAULT_ORG: u32 = 0x1000;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source.
+    pub line: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+type Result<T> = std::result::Result<T, AsmError>;
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T> {
+    Err(AsmError { line, msg: msg.into() })
+}
+
+/// Assemble `src` with the first section at the default origin
+/// (`0x1000`).
+pub fn assemble(src: &str) -> Result<Image> {
+    assemble_at(src, DEFAULT_ORG)
+}
+
+/// Assemble `src` with the first section at `org`.
+pub fn assemble_at(src: &str, org: u32) -> Result<Image> {
+    let stmts = parse_lines(src)?;
+    let symbols = pass1(&stmts, org)?;
+    pass2(&stmts, org, symbols)
+}
+
+#[derive(Debug)]
+enum Stmt<'a> {
+    Label(&'a str),
+    Directive(&'a str, Vec<&'a str>),
+    Insn(&'a str, Vec<&'a str>),
+}
+
+struct Line<'a> {
+    no: usize,
+    stmt: Stmt<'a>,
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '!' | ';' | '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Split an operand field on top-level commas (commas inside quotes or
+/// brackets stay).
+fn split_operands(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let (mut depth, mut in_str, mut start) = (0i32, false, 0usize);
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' | '(' if !in_str => depth += 1,
+            ']' | ')' if !in_str => depth -= 1,
+            ',' if depth == 0 && !in_str => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = s[start..].trim();
+    if !last.is_empty() || !out.is_empty() {
+        out.push(last);
+    }
+    out
+}
+
+fn parse_lines(src: &str) -> Result<Vec<Line<'_>>> {
+    let mut lines = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let no = idx + 1;
+        let mut rest = strip_comment(raw).trim();
+        // Leading labels.
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let head = head.trim();
+            if head.is_empty()
+                || !head.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
+                break;
+            }
+            lines.push(Line { no, stmt: Stmt::Label(head) });
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let (mnemonic, args) = match rest.find(char::is_whitespace) {
+            Some(sp) => (&rest[..sp], rest[sp..].trim()),
+            None => (rest, ""),
+        };
+        let operands = split_operands(args);
+        let stmt = if let Some(d) = mnemonic.strip_prefix('.') {
+            Stmt::Directive(d, operands)
+        } else {
+            Stmt::Insn(mnemonic, operands)
+        };
+        lines.push(Line { no, stmt });
+    }
+    Ok(lines)
+}
+
+// ---------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------
+
+fn parse_number(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (neg, s) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest.trim()),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if let Some(c) = s.strip_prefix('\'').and_then(|t| t.strip_suffix('\'')) {
+        let c = match c {
+            "\\n" => '\n',
+            "\\t" => '\t',
+            "\\0" => '\0',
+            "\\\\" => '\\',
+            _ => c.chars().next()?,
+        };
+        c as i64
+    } else {
+        s.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+/// Evaluate `num`, `sym`, `sym+num`, `sym-num`, `num+num`.
+fn eval_expr(s: &str, symbols: &HashMap<String, u32>, line: usize) -> Result<i64> {
+    let s = s.trim();
+    if let Some(v) = parse_number(s) {
+        return Ok(v);
+    }
+    // split at the last top-level + or - that is not a leading sign
+    for (i, c) in s.char_indices().rev() {
+        if (c == '+' || c == '-') && i > 0 {
+            let left = s[..i].trim();
+            let right = s[i + 1..].trim();
+            if left.is_empty() || right.is_empty() {
+                continue;
+            }
+            // Only treat as binary op when left isn't itself an operator end.
+            let l = eval_expr(left, symbols, line)?;
+            let r = eval_expr(right, symbols, line)?;
+            return Ok(if c == '+' { l + r } else { l - r });
+        }
+    }
+    match symbols.get(s) {
+        Some(&v) => Ok(v as i64),
+        None => err(line, format!("undefined symbol `{s}`")),
+    }
+}
+
+/// A `set`-style value: either a syntactic literal that fits simm13 (one
+/// instruction) or anything else (sethi/or pair).
+fn set_is_short(arg: &str) -> bool {
+    parse_number(arg).is_some_and(|v| (-4096..=4095).contains(&v))
+}
+
+// ---------------------------------------------------------------------
+// Operand helpers
+// ---------------------------------------------------------------------
+
+fn reg(s: &str, line: usize) -> Result<u8> {
+    parse_reg(s.trim()).map_or_else(|| err(line, format!("bad register `{s}`")), Ok)
+}
+
+fn fp_reg(s: &str, line: usize) -> Result<u8> {
+    let s = s.trim();
+    if let Some(n) = s.strip_prefix("%f").and_then(|n| n.parse::<u8>().ok()) {
+        if n < 32 {
+            return Ok(n);
+        }
+    }
+    err(line, format!("bad fp register `{s}`"))
+}
+
+fn simm13(v: i64, line: usize) -> Result<i32> {
+    if (-4096..=4095).contains(&v) {
+        Ok(v as i32)
+    } else {
+        err(line, format!("immediate {v} does not fit simm13"))
+    }
+}
+
+fn src2(s: &str, symbols: &HashMap<String, u32>, line: usize) -> Result<Src2> {
+    let s = s.trim();
+    if s.starts_with('%') && !s.starts_with("%lo") && !s.starts_with("%hi") {
+        return Ok(Src2::Reg(reg(s, line)?));
+    }
+    if let Some(inner) = s.strip_prefix("%lo(").and_then(|t| t.strip_suffix(')')) {
+        let v = eval_expr(inner, symbols, line)?;
+        return Ok(Src2::Imm((v & 0x3ff) as i32));
+    }
+    Ok(Src2::Imm(simm13(eval_expr(s, symbols, line)?, line)?))
+}
+
+/// Parse an address operand `reg`, `reg + reg`, `reg +/- expr`,
+/// `reg + %lo(sym)`, or a bare expression (uses `%g0` as base).
+fn address(s: &str, symbols: &HashMap<String, u32>, line: usize) -> Result<(u8, Src2)> {
+    let s = s.trim();
+    if !s.starts_with('%') {
+        return Ok((0, src2(s, symbols, line)?));
+    }
+    // find top-level + or - after the register
+    let mut depth = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth -= 1,
+            '+' | '-' if depth == 0 && i > 0 => {
+                let base = reg(&s[..i], line)?;
+                let rest = s[i..].trim();
+                let rest = if let Some(r) = rest.strip_prefix('+') { r.trim() } else { rest };
+                return Ok((base, src2(rest, symbols, line)?));
+            }
+            _ => {}
+        }
+    }
+    Ok((reg(s, line)?, Src2::Imm(0)))
+}
+
+fn mem_operand(s: &str, symbols: &HashMap<String, u32>, line: usize) -> Result<(u8, Src2)> {
+    let inner = s
+        .trim()
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| AsmError { line, msg: format!("expected [address], got `{s}`") })?;
+    address(inner, symbols, line)
+}
+
+// ---------------------------------------------------------------------
+// Mnemonic tables
+// ---------------------------------------------------------------------
+
+fn alu_op(m: &str) -> Option<(AluOp, bool)> {
+    Some(match m {
+        "add" => (AluOp::Add, false),
+        "addcc" => (AluOp::Add, true),
+        "sub" => (AluOp::Sub, false),
+        "subcc" => (AluOp::Sub, true),
+        "and" => (AluOp::And, false),
+        "andcc" => (AluOp::And, true),
+        "andn" => (AluOp::Andn, false),
+        "andncc" => (AluOp::Andn, true),
+        "or" => (AluOp::Or, false),
+        "orcc" => (AluOp::Or, true),
+        "orn" => (AluOp::Orn, false),
+        "orncc" => (AluOp::Orn, true),
+        "xor" => (AluOp::Xor, false),
+        "xorcc" => (AluOp::Xor, true),
+        "xnor" => (AluOp::Xnor, false),
+        "xnorcc" => (AluOp::Xnor, true),
+        "sll" => (AluOp::Sll, false),
+        "srl" => (AluOp::Srl, false),
+        "sra" => (AluOp::Sra, false),
+        "mulscc" => (AluOp::MulScc, true),
+        _ => return None,
+    })
+}
+
+fn mem_op(m: &str) -> Option<MemOp> {
+    Some(match m {
+        "ld" => MemOp::Ld,
+        "ldub" => MemOp::Ldub,
+        "ldsb" => MemOp::Ldsb,
+        "lduh" => MemOp::Lduh,
+        "ldsh" => MemOp::Ldsh,
+        "st" => MemOp::St,
+        "stb" => MemOp::Stb,
+        "sth" => MemOp::Sth,
+        "ldf" => MemOp::Ldf,
+        "stf" => MemOp::Stf,
+        _ => return None,
+    })
+}
+
+fn branch_cond(m: &str) -> Option<Cond> {
+    Some(match m {
+        "ba" | "b" => Cond::A,
+        "bn" => Cond::N,
+        "be" | "bz" => Cond::E,
+        "bne" | "bnz" => Cond::Ne,
+        "ble" => Cond::Le,
+        "bl" => Cond::L,
+        "bleu" => Cond::Leu,
+        "bcs" | "blu" => Cond::Cs,
+        "bneg" => Cond::Neg,
+        "bvs" => Cond::Vs,
+        "bg" => Cond::G,
+        "bge" => Cond::Ge,
+        "bgu" => Cond::Gu,
+        "bcc" | "bgeu" => Cond::Cc,
+        "bpos" => Cond::Pos,
+        "bvc" => Cond::Vc,
+        _ => return None,
+    })
+}
+
+fn fbranch_cond(m: &str) -> Option<FCond> {
+    Some(match m {
+        "fba" => FCond::A,
+        "fbn" => FCond::N,
+        "fbe" => FCond::E,
+        "fbne" => FCond::Ne,
+        "fbl" => FCond::L,
+        "fbg" => FCond::G,
+        "fbge" => FCond::Ge,
+        "fble" => FCond::Le,
+        _ => return None,
+    })
+}
+
+fn fp_op(m: &str) -> Option<FpOp> {
+    Some(match m {
+        "fadds" => FpOp::FAdds,
+        "fsubs" => FpOp::FSubs,
+        "fmuls" => FpOp::FMuls,
+        "fdivs" => FpOp::FDivs,
+        "fmovs" => FpOp::FMovs,
+        "fnegs" => FpOp::FNegs,
+        "fabss" => FpOp::FAbss,
+        "fcmps" => FpOp::FCmps,
+        "fitos" => FpOp::FItos,
+        "fstoi" => FpOp::FStoi,
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Pass 1: sizes and labels
+// ---------------------------------------------------------------------
+
+fn stmt_size(stmt: &Stmt<'_>, lc: u32, line: usize) -> Result<u32> {
+    Ok(match stmt {
+        Stmt::Label(_) => 0,
+        Stmt::Directive(d, args) => match *d {
+            "org" | "global" | "globl" | "text" | "data" | "section" => 0,
+            "align" => {
+                let a = parse_number(args.first().copied().unwrap_or("4"))
+                    .filter(|a| *a > 0 && (*a as u64).is_power_of_two())
+                    .ok_or_else(|| AsmError { line, msg: ".align needs a power of two".into() })?
+                    as u32;
+                (a - (lc % a)) % a
+            }
+            "word" => 4 * args.len() as u32,
+            "half" => 2 * args.len() as u32,
+            "byte" => args.len() as u32,
+            "space" | "skip" => parse_number(args.first().copied().unwrap_or("0"))
+                .filter(|v| *v >= 0)
+                .ok_or_else(|| AsmError { line, msg: ".space needs a size".into() })?
+                as u32,
+            "ascii" | "asciz" => {
+                let s = string_literal(args.first().copied().unwrap_or(""), line)?;
+                (s.len() + usize::from(*d == "asciz")) as u32
+            }
+            other => return err(line, format!("unknown directive .{other}")),
+        },
+        Stmt::Insn(m, args) => match *m {
+            "set" => {
+                if args.len() == 2 && set_is_short(args[0]) {
+                    4
+                } else {
+                    8
+                }
+            }
+            _ => 4,
+        },
+    })
+}
+
+fn string_literal(s: &str, line: usize) -> Result<Vec<u8>> {
+    let inner = s
+        .trim()
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| AsmError { line, msg: format!("expected string literal, got `{s}`") })?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push(b'\n'),
+                Some('t') => out.push(b'\t'),
+                Some('0') => out.push(0),
+                Some('\\') => out.push(b'\\'),
+                Some('"') => out.push(b'"'),
+                other => return err(line, format!("bad escape `\\{other:?}`")),
+            }
+        } else {
+            out.push(c as u8);
+        }
+    }
+    Ok(out)
+}
+
+fn pass1(stmts: &[Line<'_>], org: u32) -> Result<HashMap<String, u32>> {
+    let mut symbols = HashMap::new();
+    let mut lc = org;
+    for l in stmts {
+        match &l.stmt {
+            Stmt::Label(name) => {
+                if symbols.insert((*name).to_string(), lc).is_some() {
+                    return err(l.no, format!("duplicate label `{name}`"));
+                }
+            }
+            Stmt::Directive("org", args) => {
+                lc = parse_number(args.first().copied().unwrap_or(""))
+                    .ok_or_else(|| AsmError { line: l.no, msg: ".org needs a literal".into() })?
+                    as u32;
+            }
+            s => lc = lc.wrapping_add(stmt_size(s, lc, l.no)?),
+        }
+    }
+    Ok(symbols)
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: emission
+// ---------------------------------------------------------------------
+
+struct Emitter {
+    sections: Vec<(u32, Vec<u8>)>,
+    base: u32,
+    bytes: Vec<u8>,
+}
+
+impl Emitter {
+    fn lc(&self) -> u32 {
+        self.base + self.bytes.len() as u32
+    }
+
+    fn flush(&mut self, new_base: u32) {
+        if !self.bytes.is_empty() {
+            self.sections.push((self.base, std::mem::take(&mut self.bytes)));
+        }
+        self.base = new_base;
+    }
+
+    fn word(&mut self, w: u32) {
+        self.bytes.extend_from_slice(&w.to_be_bytes());
+    }
+
+    fn instr(&mut self, i: &Instr) {
+        self.word(encode(i));
+    }
+}
+
+fn branch_disp22(target: i64, pc: u32, line: usize) -> Result<i32> {
+    let delta = target - pc as i64;
+    if delta % 4 != 0 {
+        return err(line, "branch target not word aligned");
+    }
+    let disp = delta / 4;
+    if !(-(1 << 21)..1 << 21).contains(&disp) {
+        return err(line, format!("branch displacement {disp} out of range"));
+    }
+    Ok(disp as i32)
+}
+
+fn pass2(stmts: &[Line<'_>], org: u32, symbols: HashMap<String, u32>) -> Result<Image> {
+    let mut e = Emitter { sections: Vec::new(), base: org, bytes: Vec::new() };
+    let mut first_insn: Option<u32> = None;
+
+    for l in stmts {
+        let line = l.no;
+        match &l.stmt {
+            Stmt::Label(_) => {}
+            Stmt::Directive(d, args) => match *d {
+                "org" => {
+                    let v = parse_number(args[0]).unwrap() as u32;
+                    e.flush(v);
+                }
+                "global" | "globl" | "text" | "data" | "section" => {}
+                "align" => {
+                    let n = stmt_size(&l.stmt, e.lc(), line)?;
+                    e.bytes.extend(std::iter::repeat(0).take(n as usize));
+                }
+                "word" => {
+                    for a in args {
+                        let v = eval_expr(a, &symbols, line)?;
+                        e.word(v as u32);
+                    }
+                }
+                "half" => {
+                    for a in args {
+                        let v = eval_expr(a, &symbols, line)? as u16;
+                        e.bytes.extend_from_slice(&v.to_be_bytes());
+                    }
+                }
+                "byte" => {
+                    for a in args {
+                        e.bytes.push(eval_expr(a, &symbols, line)? as u8);
+                    }
+                }
+                "space" | "skip" => {
+                    let n = stmt_size(&l.stmt, e.lc(), line)?;
+                    e.bytes.extend(std::iter::repeat(0).take(n as usize));
+                }
+                "ascii" | "asciz" => {
+                    let mut s = string_literal(args.first().copied().unwrap_or(""), line)?;
+                    if *d == "asciz" {
+                        s.push(0);
+                    }
+                    e.bytes.extend_from_slice(&s);
+                }
+                _ => unreachable!("pass1 validated directives"),
+            },
+            Stmt::Insn(m, args) => {
+                let pc = e.lc();
+                first_insn.get_or_insert(pc);
+                for i in encode_insn(m, args, pc, &symbols, line)? {
+                    e.instr(&i);
+                }
+            }
+        }
+    }
+    e.flush(0);
+    let entry = symbols.get("_start").copied().or(first_insn).unwrap_or(org);
+    Ok(Image { entry, sections: e.sections, symbols })
+}
+
+fn encode_insn(
+    m: &str,
+    args: &[&str],
+    pc: u32,
+    symbols: &HashMap<String, u32>,
+    line: usize,
+) -> Result<Vec<Instr>> {
+    let need = |n: usize| -> Result<()> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            err(line, format!("`{m}` expects {n} operands, got {}", args.len()))
+        }
+    };
+
+    if let Some((op, cc)) = alu_op(m) {
+        need(3)?;
+        return Ok(vec![Instr::Alu {
+            op,
+            cc,
+            rd: reg(args[2], line)?,
+            rs1: reg(args[0], line)?,
+            src2: src2(args[1], symbols, line)?,
+        }]);
+    }
+    if let Some(op) = mem_op(m) {
+        need(2)?;
+        let (data_idx, addr_idx) = if op.is_store() { (0, 1) } else { (1, 0) };
+        let (rs1, s2) = mem_operand(args[addr_idx], symbols, line)?;
+        let rd = if op.is_fp() { fp_reg(args[data_idx], line)? } else { reg(args[data_idx], line)? };
+        return Ok(vec![Instr::Mem { op, rd, rs1, src2: s2 }]);
+    }
+    if let Some(cond) = branch_cond(m) {
+        need(1)?;
+        let target = eval_expr(args[0], symbols, line)?;
+        return Ok(vec![Instr::Bicc { cond, disp22: branch_disp22(target, pc, line)? }]);
+    }
+    if let Some(cond) = fbranch_cond(m) {
+        need(1)?;
+        let target = eval_expr(args[0], symbols, line)?;
+        return Ok(vec![Instr::FBfcc { cond, disp22: branch_disp22(target, pc, line)? }]);
+    }
+    if let Some(op) = fp_op(m) {
+        return Ok(vec![match op {
+            _ if op.is_unary() => {
+                need(2)?;
+                Instr::Fpop { op, rd: fp_reg(args[1], line)?, rs1: 0, rs2: fp_reg(args[0], line)? }
+            }
+            FpOp::FCmps => {
+                need(2)?;
+                Instr::Fpop { op, rd: 0, rs1: fp_reg(args[0], line)?, rs2: fp_reg(args[1], line)? }
+            }
+            _ => {
+                need(3)?;
+                Instr::Fpop {
+                    op,
+                    rd: fp_reg(args[2], line)?,
+                    rs1: fp_reg(args[0], line)?,
+                    rs2: fp_reg(args[1], line)?,
+                }
+            }
+        }]);
+    }
+
+    Ok(match m {
+        "sethi" => {
+            need(2)?;
+            let imm22 = if let Some(inner) =
+                args[0].strip_prefix("%hi(").and_then(|t| t.strip_suffix(')'))
+            {
+                ((eval_expr(inner, symbols, line)? as u32) >> 10) & 0x3f_ffff
+            } else {
+                let v = eval_expr(args[0], symbols, line)?;
+                if !(0..1 << 22).contains(&v) {
+                    return err(line, format!("sethi immediate {v} out of range"));
+                }
+                v as u32
+            };
+            vec![Instr::Sethi { rd: reg(args[1], line)?, imm22 }]
+        }
+        "call" => {
+            need(1)?;
+            let target = eval_expr(args[0], symbols, line)?;
+            let disp = (target - pc as i64) / 4;
+            vec![Instr::Call { disp30: disp as i32 }]
+        }
+        "jmp" => {
+            need(1)?;
+            let (rs1, s2) = address(args[0], symbols, line)?;
+            vec![Instr::Jmpl { rd: 0, rs1, src2: s2 }]
+        }
+        "jmpl" => {
+            need(2)?;
+            let (rs1, s2) = address(args[0], symbols, line)?;
+            vec![Instr::Jmpl { rd: reg(args[1], line)?, rs1, src2: s2 }]
+        }
+        "ret" => vec![Instr::Jmpl { rd: 0, rs1: 31, src2: Src2::Imm(8) }],
+        "retl" => vec![Instr::Jmpl { rd: 0, rs1: 15, src2: Src2::Imm(8) }],
+        "save" => {
+            if args.is_empty() {
+                vec![Instr::Save { rd: 0, rs1: 0, src2: Src2::Reg(0) }]
+            } else {
+                need(3)?;
+                vec![Instr::Save {
+                    rd: reg(args[2], line)?,
+                    rs1: reg(args[0], line)?,
+                    src2: src2(args[1], symbols, line)?,
+                }]
+            }
+        }
+        "restore" => {
+            if args.is_empty() {
+                vec![Instr::Restore { rd: 0, rs1: 0, src2: Src2::Reg(0) }]
+            } else {
+                need(3)?;
+                vec![Instr::Restore {
+                    rd: reg(args[2], line)?,
+                    rs1: reg(args[0], line)?,
+                    src2: src2(args[1], symbols, line)?,
+                }]
+            }
+        }
+        "rd" => {
+            need(2)?;
+            if args[0].trim() != "%y" {
+                return err(line, "only `rd %y, rd` is supported");
+            }
+            vec![Instr::RdY { rd: reg(args[1], line)? }]
+        }
+        "wr" => match args.len() {
+            2 => {
+                if args[1].trim() != "%y" {
+                    return err(line, "wr destination must be %y");
+                }
+                vec![Instr::WrY { rs1: reg(args[0], line)?, src2: Src2::Imm(0) }]
+            }
+            3 => {
+                if args[2].trim() != "%y" {
+                    return err(line, "wr destination must be %y");
+                }
+                vec![Instr::WrY { rs1: reg(args[0], line)?, src2: src2(args[1], symbols, line)? }]
+            }
+            n => return err(line, format!("`wr` expects 2 or 3 operands, got {n}")),
+        },
+        "ta" => {
+            need(1)?;
+            let code = eval_expr(args[0], symbols, line)?;
+            if !(0..128).contains(&code) {
+                return err(line, "trap code must be 0..128");
+            }
+            vec![Instr::Trap { code: code as u8 }]
+        }
+        // ------------------------------------------------ synthetics
+        "nop" => vec![Instr::NOP],
+        "mov" => {
+            need(2)?;
+            vec![Instr::Alu {
+                op: AluOp::Or,
+                cc: false,
+                rd: reg(args[1], line)?,
+                rs1: 0,
+                src2: src2(args[0], symbols, line)?,
+            }]
+        }
+        "set" => {
+            need(2)?;
+            let rd = reg(args[1], line)?;
+            if set_is_short(args[0]) {
+                let v = parse_number(args[0]).unwrap();
+                vec![Instr::Alu { op: AluOp::Or, cc: false, rd, rs1: 0, src2: Src2::Imm(v as i32) }]
+            } else {
+                let v = eval_expr(args[0], symbols, line)? as u32;
+                vec![
+                    Instr::Sethi { rd, imm22: v >> 10 },
+                    Instr::Alu {
+                        op: AluOp::Or,
+                        cc: false,
+                        rd,
+                        rs1: rd,
+                        src2: Src2::Imm((v & 0x3ff) as i32),
+                    },
+                ]
+            }
+        }
+        "cmp" => {
+            need(2)?;
+            vec![Instr::Alu {
+                op: AluOp::Sub,
+                cc: true,
+                rd: 0,
+                rs1: reg(args[0], line)?,
+                src2: src2(args[1], symbols, line)?,
+            }]
+        }
+        "tst" => {
+            need(1)?;
+            vec![Instr::Alu {
+                op: AluOp::Or,
+                cc: true,
+                rd: 0,
+                rs1: 0,
+                src2: Src2::Reg(reg(args[0], line)?),
+            }]
+        }
+        "clr" => {
+            need(1)?;
+            vec![Instr::Alu {
+                op: AluOp::Or,
+                cc: false,
+                rd: reg(args[0], line)?,
+                rs1: 0,
+                src2: Src2::Reg(0),
+            }]
+        }
+        "inc" | "dec" => {
+            let (r, amount) = match args.len() {
+                1 => (reg(args[0], line)?, 1),
+                2 => (reg(args[0], line)?, simm13(eval_expr(args[1], symbols, line)?, line)?),
+                n => return err(line, format!("`{m}` expects 1 or 2 operands, got {n}")),
+            };
+            let op = if m == "inc" { AluOp::Add } else { AluOp::Sub };
+            vec![Instr::Alu { op, cc: false, rd: r, rs1: r, src2: Src2::Imm(amount) }]
+        }
+        "neg" => {
+            let (rs, rd) = match args.len() {
+                1 => (reg(args[0], line)?, reg(args[0], line)?),
+                2 => (reg(args[0], line)?, reg(args[1], line)?),
+                n => return err(line, format!("`neg` expects 1 or 2 operands, got {n}")),
+            };
+            vec![Instr::Alu { op: AluOp::Sub, cc: false, rd, rs1: 0, src2: Src2::Reg(rs) }]
+        }
+        "not" => {
+            let (rs, rd) = match args.len() {
+                1 => (reg(args[0], line)?, reg(args[0], line)?),
+                2 => (reg(args[0], line)?, reg(args[1], line)?),
+                n => return err(line, format!("`not` expects 1 or 2 operands, got {n}")),
+            };
+            vec![Instr::Alu { op: AluOp::Xnor, cc: false, rd, rs1: rs, src2: Src2::Reg(0) }]
+        }
+        other => return err(line, format!("unknown mnemonic `{other}`")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtsvliw_isa::encode::decode;
+    use dtsvliw_isa::insn::Instr;
+
+    fn words(src: &str) -> Vec<Instr> {
+        let img = assemble(src).expect("assembles");
+        img.words().map(|(_, w)| decode(w)).collect()
+    }
+
+    #[test]
+    fn basic_alu_and_labels() {
+        let is = words(
+            "_start:\n add %o0, 4, %o1\n sub %o1, %o2, %o3\n",
+        );
+        assert_eq!(is.len(), 2);
+        assert_eq!(
+            is[0],
+            Instr::Alu { op: AluOp::Add, cc: false, rd: 9, rs1: 8, src2: Src2::Imm(4) }
+        );
+    }
+
+    #[test]
+    fn figure2_code_assembles() {
+        // The paper's Figure 2(b) code, verbatim modulo register syntax.
+        let src = "
+            or %g0, 0, %o1
+            sethi 56, %o0
+            or %o0, 8, %o3
+            or %g0, 0, %o2
+        loop:
+            ld [%o2 + %o3], %o0
+            add %o1, %o0, %o1
+            add %o2, 4, %o2
+            subcc %o2, 39, %g0
+            ble loop
+            nop
+        ";
+        let is = words(src);
+        assert_eq!(is.len(), 10);
+        assert!(matches!(is[4], Instr::Mem { op: MemOp::Ld, .. }));
+        assert!(is[9].is_nop());
+        // ble points back 5 instructions
+        assert_eq!(is[8], Instr::Bicc { cond: Cond::Le, disp22: -4 });
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let is = words(
+            " ld [%o0], %o1\n ld [%o0 + 8], %o1\n ld [%o0 + %o2], %o1\n ld [%o0 - 4], %o1\n st %o1, [%sp + 64]\n",
+        );
+        assert_eq!(is[0], Instr::Mem { op: MemOp::Ld, rd: 9, rs1: 8, src2: Src2::Imm(0) });
+        assert_eq!(is[1], Instr::Mem { op: MemOp::Ld, rd: 9, rs1: 8, src2: Src2::Imm(8) });
+        assert_eq!(is[2], Instr::Mem { op: MemOp::Ld, rd: 9, rs1: 8, src2: Src2::Reg(10) });
+        assert_eq!(is[3], Instr::Mem { op: MemOp::Ld, rd: 9, rs1: 8, src2: Src2::Imm(-4) });
+        assert_eq!(is[4], Instr::Mem { op: MemOp::St, rd: 9, rs1: 14, src2: Src2::Imm(64) });
+    }
+
+    #[test]
+    fn set_expands_by_size() {
+        let short = words(" set 100, %o0\n");
+        assert_eq!(short.len(), 1);
+        let long = words(" set 0x12345678, %o0\n");
+        assert_eq!(long.len(), 2);
+        assert!(matches!(long[0], Instr::Sethi { .. }));
+        // label set is always long
+        let lbl = words("x: set x, %o0\n");
+        assert_eq!(lbl.len(), 2);
+    }
+
+    #[test]
+    fn hi_lo_relocations() {
+        let img = assemble(
+            ".org 0x1000\n_start: sethi %hi(data), %o0\n or %o0, %lo(data), %o0\n .org 0x8000\ndata: .word 7\n",
+        )
+        .unwrap();
+        let data = img.symbol("data").unwrap();
+        assert_eq!(data, 0x8000);
+        let is: Vec<Instr> = img.words().take(2).map(|(_, w)| decode(w)).collect();
+        match (is[0], is[1]) {
+            (
+                Instr::Sethi { imm22, .. },
+                Instr::Alu { src2: Src2::Imm(lo), .. },
+            ) => assert_eq!(imm22 << 10 | lo as u32, data),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let is = words("_start: call f\n nop\n ta 0\nf: retl\n nop\n");
+        assert_eq!(is[0], Instr::Call { disp30: 3 });
+        assert_eq!(is[3], Instr::Jmpl { rd: 0, rs1: 15, src2: Src2::Imm(8) });
+    }
+
+    #[test]
+    fn synthetics_expand() {
+        let is = words(" cmp %o0, 3\n tst %o1\n clr %o2\n inc %o3\n dec %o4, 2\n mov 5, %o5\n neg %o0, %o1\n not %o2\n");
+        assert_eq!(
+            is[0],
+            Instr::Alu { op: AluOp::Sub, cc: true, rd: 0, rs1: 8, src2: Src2::Imm(3) }
+        );
+        assert_eq!(
+            is[3],
+            Instr::Alu { op: AluOp::Add, cc: false, rd: 11, rs1: 11, src2: Src2::Imm(1) }
+        );
+        assert_eq!(
+            is[6],
+            Instr::Alu { op: AluOp::Sub, cc: false, rd: 9, rs1: 0, src2: Src2::Reg(8) }
+        );
+    }
+
+    #[test]
+    fn data_directives() {
+        let img = assemble(
+            ".org 0x2000\nv: .word 1, 2, 3\nh: .half 0xbeef\nb: .byte 1, 2\ns: .space 6\nz: .asciz \"hi\"\n .align 4\nw: .word 9\n",
+        )
+        .unwrap();
+        assert_eq!(img.symbol("v"), Some(0x2000));
+        assert_eq!(img.symbol("h"), Some(0x200c));
+        assert_eq!(img.symbol("b"), Some(0x200e));
+        assert_eq!(img.symbol("s"), Some(0x2010));
+        assert_eq!(img.symbol("z"), Some(0x2016));
+        assert_eq!(img.symbol("w"), Some(0x201c), "aligned after 3-byte string");
+        let mut mem = dtsvliw_mem::Memory::new();
+        img.load_into(&mut mem);
+        assert_eq!(mem.read_u32(0x2004), 2);
+        assert_eq!(mem.read_u16(0x200c), 0xbeef);
+        assert_eq!(mem.read_u8(0x2016), b'h');
+        assert_eq!(mem.read_u8(0x2018), 0, "asciz NUL");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble(" nop\n bogus %o0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = assemble(" add %o0, 99999, %o1\n").unwrap_err();
+        assert!(e.msg.contains("simm13"));
+        let e = assemble("x: nop\nx: nop\n").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+        let e = assemble(" be nowhere\n").unwrap_err();
+        assert!(e.msg.contains("undefined"));
+    }
+
+    #[test]
+    fn entry_points() {
+        let img = assemble(" nop\n_start: nop\n").unwrap();
+        assert_eq!(img.entry, DEFAULT_ORG + 4);
+        let img = assemble(" nop\n nop\n").unwrap();
+        assert_eq!(img.entry, DEFAULT_ORG);
+    }
+
+    #[test]
+    fn comments_all_styles() {
+        let is = words(" nop ! one\n nop ; two\n nop # three\n");
+        assert_eq!(is.len(), 3);
+    }
+
+    #[test]
+    fn symbol_arithmetic() {
+        let img = assemble(".org 0x3000\ntab: .space 16\n_start: set tab+8, %o0\n").unwrap();
+        let is: Vec<Instr> =
+            img.words().filter(|(a, _)| *a >= 0x3010).map(|(_, w)| decode(w)).collect();
+        match (is[0], is[1]) {
+            (Instr::Sethi { imm22, .. }, Instr::Alu { src2: Src2::Imm(lo), .. }) => {
+                assert_eq!(imm22 << 10 | lo as u32, 0x3008)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests over the assembler: disassemble → reassemble fixed
+//! points and image-loading invariants.
+
+use dtsvliw_asm::assemble;
+use dtsvliw_isa::encode::decode;
+use dtsvliw_isa::insn::{AluOp, Instr, MemOp, Src2};
+use proptest::prelude::*;
+
+fn arb_alu() -> impl Strategy<Value = Instr> {
+    (
+        prop_oneof![
+            Just(AluOp::Add),
+            Just(AluOp::Sub),
+            Just(AluOp::And),
+            Just(AluOp::Or),
+            Just(AluOp::Xor),
+            Just(AluOp::Xnor),
+        ],
+        any::<bool>(),
+        1u8..32,
+        0u8..32,
+        prop_oneof![(0u8..32).prop_map(Src2::Reg), (-4096i32..4096).prop_map(Src2::Imm)],
+    )
+        .prop_map(|(op, cc, rd, rs1, src2)| Instr::Alu { op, cc, rd, rs1, src2 })
+}
+
+fn arb_mem() -> impl Strategy<Value = Instr> {
+    (
+        prop_oneof![
+            Just(MemOp::Ld),
+            Just(MemOp::Ldub),
+            Just(MemOp::Ldsb),
+            Just(MemOp::Lduh),
+            Just(MemOp::Ldsh),
+            Just(MemOp::St),
+            Just(MemOp::Stb),
+            Just(MemOp::Sth),
+        ],
+        0u8..32,
+        0u8..32,
+        prop_oneof![(0u8..32).prop_map(Src2::Reg), (-4096i32..4096).prop_map(Src2::Imm)],
+    )
+        .prop_map(|(op, rd, rs1, src2)| Instr::Mem { op, rd, rs1, src2 })
+}
+
+proptest! {
+    /// Disassembling an instruction and assembling the text reproduces
+    /// the instruction (fixed point of the round trip).
+    #[test]
+    fn disassembly_reassembles(i in prop_oneof![arb_alu(), arb_mem()]) {
+        prop_assume!(!i.is_nop()); // `nop` prints as a synthetic
+        let text = format!("_start: {i}\n");
+        let img = assemble(&text).unwrap_or_else(|e| panic!("`{i}` rejected: {e}"));
+        let (_, word) = img.words().next().expect("one instruction");
+        prop_assert_eq!(decode(word), i, "text was `{}`", i);
+    }
+
+    /// Labels resolve to their instruction's address regardless of
+    /// preceding padding.
+    #[test]
+    fn label_addresses_track_layout(pad in 0u32..64) {
+        let src = format!(
+            ".org 0x1000\n_start: nop\n .space {}\n .align 4\nhere: nop\n",
+            pad * 3
+        );
+        let img = assemble(&src).unwrap();
+        let here = img.symbol("here").unwrap();
+        prop_assert_eq!(here % 4, 0);
+        prop_assert!(here >= 0x1004 + pad * 3);
+        // The word at `here` is the nop.
+        let mut mem = dtsvliw_mem::Memory::new();
+        img.load_into(&mut mem);
+        prop_assert!(decode(mem.read_u32(here)).is_nop());
+    }
+
+    /// Branch displacement encoding survives for any target in range.
+    #[test]
+    fn branch_targets_resolve(gap in 1u32..1000) {
+        let nops = "    nop\n".repeat(gap as usize);
+        let src = format!("_start: ba target\n nop\n{nops}target: nop\n");
+        let img = assemble(&src).unwrap();
+        let (pc0, w) = img.words().next().unwrap();
+        match decode(w) {
+            Instr::Bicc { disp22, .. } => {
+                let target = pc0.wrapping_add((disp22 as u32).wrapping_mul(4));
+                prop_assert_eq!(target, img.symbol("target").unwrap());
+            }
+            other => prop_assert!(false, "expected ba, got {:?}", other),
+        }
+    }
+}
+
+#[test]
+fn set_synthesises_any_u32() {
+    for v in [0u32, 1, 4095, 4096, 0xffff_ffff, 0x8000_0000, 0x0010_0000, 0x1234_5678] {
+        let src = format!("_start: set {v:#x}, %o0\n ta 0\n");
+        let img = assemble(&src).unwrap();
+        let mut m = dtsvliw_primary::RefMachine::new(&img);
+        m.run(10).unwrap();
+        assert_eq!(m.state.get(dtsvliw_isa::regs::r::O0), v, "set {v:#x}");
+    }
+}

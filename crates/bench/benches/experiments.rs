@@ -1,0 +1,76 @@
+//! Criterion entry points, one group per paper table/figure: each
+//! benchmark runs a down-scaled representative configuration of that
+//! experiment, so `cargo bench` exercises every experiment path and
+//! tracks simulator throughput regressions. Full-size data comes from
+//! the `fig*`/`table*` binaries (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtsvliw_core::{Machine, MachineConfig};
+use dtsvliw_workloads::{by_name, Scale};
+
+const BUDGET: u64 = 60_000;
+
+fn run(cfg: MachineConfig, workload: &str) -> u64 {
+    let w = by_name(workload, Scale::Test).unwrap();
+    let img = w.image();
+    let mut m = Machine::new(cfg, &img);
+    m.run(BUDGET).unwrap();
+    m.stats().cycles
+}
+
+fn fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_geometry");
+    g.sample_size(10);
+    for (w, h) in [(4usize, 4usize), (8, 8), (16, 16)] {
+        g.bench_function(format!("{w}x{h}_xlisp"), |b| {
+            b.iter(|| run(MachineConfig::ideal(w, h), "xlisp"))
+        });
+    }
+    g.finish();
+}
+
+fn fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_cache_size");
+    g.sample_size(10);
+    for kb in [48u32, 3072] {
+        g.bench_function(format!("{kb}KB_go"), |b| {
+            b.iter(|| run(MachineConfig::ideal_with_vliw_cache(8, 8, kb, 4), "go"))
+        });
+    }
+    g.finish();
+}
+
+fn fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_associativity");
+    g.sample_size(10);
+    for ways in [1u32, 8] {
+        g.bench_function(format!("96KB_{ways}w_perl"), |b| {
+            b.iter(|| run(MachineConfig::ideal_with_vliw_cache(8, 8, 96, ways), "perl"))
+        });
+    }
+    g.finish();
+}
+
+fn fig8_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_table3_feasible");
+    g.sample_size(10);
+    for w in ["compress", "m88ksim"] {
+        g.bench_function(format!("feasible_{w}"), |b| {
+            b.iter(|| run(MachineConfig::feasible_paper(), w))
+        });
+    }
+    g.finish();
+}
+
+fn fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_dif");
+    g.sample_size(10);
+    g.bench_function("dtsvliw_vortex", |b| {
+        b.iter(|| run(MachineConfig::dif_comparison(), "vortex"))
+    });
+    g.bench_function("dif_vortex", |b| b.iter(|| run(MachineConfig::dif_machine(), "vortex")));
+    g.finish();
+}
+
+criterion_group!(benches, fig5, fig6, fig7, fig8_table3, fig9);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Component throughput microbenchmarks: the sequential interpreter,
+//! the Scheduler Unit, the VLIW Engine, and the complete machine —
+//! ablations for the per-component costs DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dtsvliw_core::{Machine, MachineConfig};
+use dtsvliw_primary::RefMachine;
+use dtsvliw_sched::scheduler::{SchedConfig, Scheduler};
+use dtsvliw_workloads::{by_name, Scale};
+
+fn interpreter(c: &mut Criterion) {
+    let w = by_name("ijpeg", Scale::Test).unwrap();
+    let img = w.image();
+    let mut g = c.benchmark_group("interpreter");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("ref_machine_100k_instrs", |b| {
+        b.iter(|| {
+            let mut m = RefMachine::new(&img);
+            m.run(100_000).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn scheduler(c: &mut Criterion) {
+    // Pre-capture a trace, then measure pure scheduling throughput.
+    let w = by_name("compress", Scale::Test).unwrap();
+    let mut m = RefMachine::new(&w.image());
+    let mut trace = Vec::new();
+    for _ in 0..50_000 {
+        let s = m.step().unwrap();
+        if s.halt.is_some() {
+            break;
+        }
+        if !s.dyn_instr.instr.is_non_schedulable() {
+            trace.push(s.dyn_instr);
+        }
+    }
+    let mut g = c.benchmark_group("scheduler");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for (w_, h) in [(4usize, 4usize), (8, 8), (16, 16)] {
+        g.bench_function(format!("fcfs_{w_}x{h}"), |b| {
+            b.iter(|| {
+                let mut s = Scheduler::new(SchedConfig::homogeneous(w_, h));
+                let mut sealed = 0usize;
+                for d in &trace {
+                    s.tick();
+                    if let dtsvliw_sched::InsertOutcome::Inserted(Some(_)) = s.insert(d, 1) {
+                        sealed += 1;
+                    }
+                }
+                sealed
+            })
+        });
+    }
+    g.finish();
+}
+
+fn full_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_machine");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(100_000));
+    for name in ["compress", "go"] {
+        let w = by_name(name, Scale::Test).unwrap();
+        let img = w.image();
+        g.bench_function(format!("ideal8x8_{name}_100k"), |b| {
+            b.iter(|| {
+                let mut m = Machine::new(MachineConfig::ideal(8, 8), &img);
+                m.run(100_000).unwrap()
+            })
+        });
+    }
+    // Ablation: verification (test-mode state comparison) cost.
+    let w = by_name("compress", Scale::Test).unwrap();
+    let img = w.image();
+    g.bench_function("ideal8x8_compress_no_verify", |b| {
+        b.iter(|| {
+            let mut cfg = MachineConfig::ideal(8, 8);
+            cfg.verify = false;
+            let mut m = Machine::new(cfg, &img);
+            m.run(100_000).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, interpreter, scheduler, full_machine);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation study over the DTSVLIW's design choices (DESIGN.md §4):
+//!
+//! * **splitting off** — candidates install instead of renaming:
+//!   measures what the split/COPY hardware buys;
+//! * **redirect off** — consumers wait for COPYs instead of reading the
+//!   renaming register (Figure 2's `subcc r32`);
+//! * **store buffer** — the §3.11 alternative store scheme;
+//! * **next-block prediction** — the §5 future-work item;
+//! * **greedy scheduling** — DIF-style instant placement on the same
+//!   machine, isolating the pipelined-FCFS cost;
+//! * **2-cycle loads** — the companion paper's (reference \[14\]) multicycle
+//!   configuration: consumers spaced two long instructions below loads.
+
+use dtsvliw_bench::{report, run_matrix, Options};
+use dtsvliw_core::{MachineConfig, ScheduleMode};
+use dtsvliw_vliw::engine::StoreScheme;
+
+fn main() {
+    let opts = Options::from_args();
+    let base = MachineConfig::feasible_paper();
+
+    let mut nosplit = base.clone();
+    nosplit.sched.enable_splitting = false;
+
+    let mut noredir = base.clone();
+    noredir.sched.enable_redirect = false;
+
+    let mut storebuf = base.clone();
+    storebuf.store_scheme = StoreScheme::StoreBuffer;
+
+    let mut nbp = base.clone();
+    nbp.next_block_prediction = true;
+
+    let mut greedy = base.clone();
+    greedy.schedule = ScheduleMode::GreedyDif;
+
+    let mut ld2 = base.clone();
+    ld2.sched.latencies = dtsvliw_sched::scheduler::Latencies { load: 2, fp: 2 };
+
+    let configs = vec![
+        ("feasible".to_string(), base),
+        ("-split".to_string(), nosplit),
+        ("-redirect".to_string(), noredir),
+        ("storebuf".to_string(), storebuf),
+        ("+nbp".to_string(), nbp),
+        ("greedy".to_string(), greedy),
+        ("ld=2".to_string(), ld2),
+    ];
+    let results = run_matrix(&configs, opts);
+    report::finish("Ablations (feasible machine)", &results, opts);
+}

@@ -1,0 +1,20 @@
+//! Run every figure and table in sequence (the full evaluation).
+//!
+//! `cargo run --release -p dtsvliw-bench --bin all_experiments -- --quick`
+//! smoke-runs everything in under a minute; without `--quick` the
+//! default budget reproduces the shapes reported in EXPERIMENTS.md.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for bin in
+        ["fig5_geometry", "fig6_cache_size", "fig7_associativity", "fig8_feasible", "table3_feasible", "fig9_dif"]
+    {
+        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("running {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

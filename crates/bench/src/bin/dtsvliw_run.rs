@@ -1,0 +1,138 @@
+//! `dtsvliw_run` — run a program on the simulated DTSVLIW machine.
+//!
+//! ```sh
+//! dtsvliw_run prog.mc                  # minicc source (by extension)
+//! dtsvliw_run prog.s                   # SPARC assembly
+//! dtsvliw_run --workload compress      # a built-in benchmark
+//! dtsvliw_run prog.mc --config ideal --geometry 16x8 --max 5000000
+//! dtsvliw_run prog.s --config dif --no-verify
+//! ```
+//!
+//! Configs: `feasible` (default, the paper's §4.4 machine), `ideal`
+//! (perfect caches; `--geometry WxH` selects the block shape), `dif`
+//! (the Figure 9 baseline machine).
+
+use dtsvliw_core::{Machine, MachineConfig};
+use dtsvliw_workloads::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dtsvliw_run <file.mc|file.s> [--config feasible|ideal|dif] \
+         [--geometry WxH] [--max N] [--no-verify] [--store-buffer] [--predict]\n\
+         \u{20}      dtsvliw_run --workload <name> [same options]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut workload = None;
+    let mut config = "feasible".to_string();
+    let mut geometry = (8usize, 8usize);
+    let mut max = 50_000_000u64;
+    let mut verify = true;
+    let mut store_buffer = false;
+    let mut predict = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                i += 1;
+                workload = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--config" => {
+                i += 1;
+                config = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--geometry" => {
+                i += 1;
+                let g = args.get(i).unwrap_or_else(|| usage());
+                let (w, h) = g.split_once('x').unwrap_or_else(|| usage());
+                geometry = (w.parse().unwrap_or_else(|_| usage()), h.parse().unwrap_or_else(|_| usage()));
+            }
+            "--max" => {
+                i += 1;
+                max = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--no-verify" => verify = false,
+            "--store-buffer" => store_buffer = true,
+            "--predict" => predict = true,
+            a if !a.starts_with('-') && file.is_none() => file = Some(a.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let image = match (&file, &workload) {
+        (Some(path), None) => {
+            let src = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            if path.ends_with(".s") || path.ends_with(".asm") {
+                dtsvliw_asm::assemble(&src).unwrap_or_else(|e| panic!("assembly error: {e}"))
+            } else {
+                dtsvliw_minicc::compile_to_image(&src)
+                    .unwrap_or_else(|e| panic!("compile error: {e}"))
+            }
+        }
+        (None, Some(name)) => dtsvliw_workloads::by_name(name, Scale::Small)
+            .unwrap_or_else(|| panic!("unknown workload `{name}`"))
+            .image(),
+        _ => usage(),
+    };
+
+    let mut cfg = match config.as_str() {
+        "feasible" => MachineConfig::feasible_paper(),
+        "ideal" => MachineConfig::ideal(geometry.0, geometry.1),
+        "dif" => MachineConfig::dif_machine(),
+        other => panic!("unknown config `{other}`"),
+    };
+    cfg.verify = verify;
+    if store_buffer {
+        cfg.store_scheme = dtsvliw_vliw::engine::StoreScheme::StoreBuffer;
+    }
+    cfg.next_block_prediction = predict;
+
+    let mut machine = Machine::new(cfg, &image);
+    let started = std::time::Instant::now();
+    let out = machine.run(max).unwrap_or_else(|e| panic!("machine error: {e}"));
+    let wall = started.elapsed();
+
+    let output = machine.output_string();
+    if !output.is_empty() {
+        println!("--- program output ---\n{output}\n----------------------");
+    }
+    let s = machine.stats();
+    println!("exit code      : {:?}", out.exit_code);
+    println!("instructions   : {}", s.instructions);
+    println!("cycles         : {}", s.cycles);
+    println!("IPC            : {:.3}", s.ipc());
+    println!(
+        "cycle mix      : {:.1}% vliw / {:.1}% primary / {:.1}% overhead",
+        100.0 * s.vliw_cycles as f64 / s.cycles.max(1) as f64,
+        100.0 * s.primary_cycles as f64 / s.cycles.max(1) as f64,
+        100.0 * s.overhead_cycles as f64 / s.cycles.max(1) as f64,
+    );
+    println!(
+        "scheduler      : {} blocks, {} splits, util {:.1}%, renames {:?}",
+        s.sched.blocks,
+        s.sched.splits,
+        100.0 * s.sched.slot_utilisation(),
+        s.sched.rename_hw,
+    );
+    println!(
+        "vliw engine    : {} LIs, {} committed, {} annulled, {} mispredicts, {} aliasing",
+        s.engine.lis, s.engine.committed, s.engine.annulled, s.engine.mispredicts,
+        s.engine.alias_exceptions,
+    );
+    println!(
+        "vliw cache     : {} hits / {} misses / {} evictions",
+        s.vliw_cache.hits, s.vliw_cache.misses, s.vliw_cache.evictions
+    );
+    println!(
+        "simulated at   : {:.1}M instructions/s ({:.2?} wall)",
+        s.instructions as f64 / 1e6 / wall.as_secs_f64(),
+        wall
+    );
+}

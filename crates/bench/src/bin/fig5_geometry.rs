@@ -1,0 +1,25 @@
+//! Figure 5: variation of parallelism with block size and geometry.
+//!
+//! Ideal machine (perfect I/D caches, 3072-Kbyte 4-way VLIW Cache, no
+//! next-long-instruction penalty); geometry = instructions per long
+//! instruction (width) × long instructions per block (height), swept
+//! over {4,8,16}², plus the paper's extreme thin geometries.
+
+use dtsvliw_bench::{report, run_matrix, Options};
+use dtsvliw_core::MachineConfig;
+
+fn main() {
+    let opts = Options::from_args();
+    let geometries: [(usize, usize); 9] =
+        [(4, 4), (4, 8), (8, 4), (4, 16), (8, 8), (16, 4), (8, 16), (16, 8), (16, 16)];
+    let configs: Vec<(String, MachineConfig)> = geometries
+        .iter()
+        .map(|&(w, h)| (format!("{w}x{h}"), MachineConfig::ideal(w, h)))
+        .collect();
+    let results = run_matrix(&configs, opts);
+    report::finish(
+        "Figure 5: IPC vs block geometry (width x height), ideal machine",
+        &results,
+        opts,
+    );
+}

@@ -1,0 +1,18 @@
+//! Figure 6: variation of parallelism with the VLIW Cache size.
+//!
+//! 8×8 geometry, 4-way associativity, sizes 48..3072 Kbytes, otherwise
+//! ideal.
+
+use dtsvliw_bench::{report, run_matrix, Options};
+use dtsvliw_core::MachineConfig;
+
+fn main() {
+    let opts = Options::from_args();
+    let sizes = [48u32, 96, 192, 384, 768, 1536, 3072];
+    let configs: Vec<(String, MachineConfig)> = sizes
+        .iter()
+        .map(|&kb| (format!("{kb}KB"), MachineConfig::ideal_with_vliw_cache(8, 8, kb, 4)))
+        .collect();
+    let results = run_matrix(&configs, opts);
+    report::finish("Figure 6: IPC vs VLIW Cache size (8x8, 4-way)", &results, opts);
+}

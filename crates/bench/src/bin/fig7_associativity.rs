@@ -1,0 +1,22 @@
+//! Figure 7: variation of parallelism with VLIW Cache associativity.
+//!
+//! 8×8 geometry; 96-Kbyte and 384-Kbyte caches with associativity 1, 2,
+//! 4 and 8, otherwise ideal.
+
+use dtsvliw_bench::{report, run_matrix, Options};
+use dtsvliw_core::MachineConfig;
+
+fn main() {
+    let opts = Options::from_args();
+    let mut configs = Vec::new();
+    for kb in [96u32, 384] {
+        for ways in [1u32, 2, 4, 8] {
+            configs.push((
+                format!("{kb}KB/{ways}w"),
+                MachineConfig::ideal_with_vliw_cache(8, 8, kb, ways),
+            ));
+        }
+    }
+    let results = run_matrix(&configs, opts);
+    report::finish("Figure 7: IPC vs VLIW Cache associativity (8x8)", &results, opts);
+}

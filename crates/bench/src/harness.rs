@@ -1,0 +1,127 @@
+//! Parallel experiment execution.
+
+use dtsvliw_core::{Machine, MachineConfig, RunStats};
+use dtsvliw_workloads::{by_name, Scale};
+use serde::Serialize;
+use std::sync::Mutex;
+
+/// Harness options parsed from the command line.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Sequential-instruction budget per run.
+    pub instructions: u64,
+    /// Workload input scale.
+    pub scale: Scale,
+    /// Where to write raw JSON results.
+    pub json: Option<&'static str>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { instructions: 1_000_000, scale: Scale::Small, json: None }
+    }
+}
+
+impl Options {
+    /// Parse `--instructions`, `--scale`, `--quick`, `--json` from the
+    /// process arguments.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut o = Options::default();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--instructions" => {
+                    i += 1;
+                    o.instructions = args[i].parse().expect("--instructions N");
+                }
+                "--scale" => {
+                    i += 1;
+                    o.scale = match args[i].as_str() {
+                        "test" => Scale::Test,
+                        "small" => Scale::Small,
+                        "large" => Scale::Large,
+                        other => panic!("unknown scale `{other}`"),
+                    };
+                }
+                "--quick" => {
+                    o.scale = Scale::Test;
+                    o.instructions = 200_000;
+                }
+                "--json" => {
+                    i += 1;
+                    o.json = Some(Box::leak(args[i].clone().into_boxed_str()));
+                }
+                other => panic!("unknown argument `{other}`"),
+            }
+            i += 1;
+        }
+        o
+    }
+}
+
+/// One completed run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExpResult {
+    /// Configuration label (e.g. `"8x8"`, `"384KB"`, `"dif"`).
+    pub config: String,
+    /// Workload name.
+    pub workload: String,
+    /// Exit code if the program finished inside the budget.
+    pub exit_code: Option<u32>,
+    /// Full statistics.
+    pub stats: RunStats,
+}
+
+impl ExpResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+/// Run one workload under one configuration.
+pub fn run_one(config_label: &str, cfg: MachineConfig, workload: &str, opts: Options) -> ExpResult {
+    let w = by_name(workload, opts.scale).unwrap_or_else(|| panic!("no workload {workload}"));
+    let img = w.image();
+    let mut m = Machine::new(cfg, &img);
+    let out = m
+        .run(opts.instructions)
+        .unwrap_or_else(|e| panic!("{workload} under {config_label}: {e}"));
+    ExpResult {
+        config: config_label.to_string(),
+        workload: workload.to_string(),
+        exit_code: out.exit_code,
+        stats: m.stats(),
+    }
+}
+
+/// Run every `(config, workload)` pair of the matrix in parallel across
+/// the machine's cores (crossbeam scoped threads over a shared queue).
+pub fn run_matrix(configs: &[(String, MachineConfig)], opts: Options) -> Vec<ExpResult> {
+    let jobs: Vec<(usize, &(String, MachineConfig), &str)> = configs
+        .iter()
+        .flat_map(|c| crate::WORKLOADS.iter().map(move |w| (c, *w)))
+        .enumerate()
+        .map(|(i, (c, w))| (i, c, w))
+        .collect();
+    let queue = Mutex::new(jobs.into_iter().collect::<Vec<_>>());
+    let results = Mutex::new(Vec::new());
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let job = queue.lock().unwrap().pop();
+                let Some((idx, (label, cfg), workload)) = job else { break };
+                let r = run_one(label, cfg.clone(), workload, opts);
+                results.lock().unwrap().push((idx, r));
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    let mut out = results.into_inner().unwrap();
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}

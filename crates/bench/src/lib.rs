@@ -1,0 +1,22 @@
+//! Experiment harness: runs the benchmark suite across machine
+//! configurations in parallel and renders the paper's figures and tables
+//! as text plus machine-readable JSON.
+//!
+//! Every binary accepts:
+//!
+//! * `--instructions N` — sequential-instruction budget per run
+//!   (default 1,000,000; the paper ran ≥50M — see EXPERIMENTS.md for
+//!   why the curves stabilise far earlier);
+//! * `--scale test|small|large` — workload input scale (default small);
+//! * `--quick` — test scale with a 200k budget (CI smoke runs);
+//! * `--json PATH` — dump raw results as JSON.
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{run_matrix, run_one, ExpResult, Options};
+pub use report::{geom_mean, print_ipc_table, write_json};
+
+/// The eight workload names in the paper's Table 2 order.
+pub const WORKLOADS: [&str; 8] =
+    ["compress", "gcc", "go", "ijpeg", "m88ksim", "perl", "vortex", "xlisp"];

@@ -1,0 +1,66 @@
+//! Table rendering and result serialisation.
+
+use crate::harness::ExpResult;
+use std::fs;
+
+/// Geometric mean of a slice (0 if empty).
+pub fn geom_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Print an IPC table: one row per configuration, one column per
+/// workload, plus arithmetic and geometric means — the shape of the
+/// paper's Figures 5–7 and 9.
+pub fn print_ipc_table(title: &str, results: &[ExpResult]) {
+    println!("\n=== {title} ===");
+    let configs: Vec<String> = {
+        let mut seen = Vec::new();
+        for r in results {
+            if !seen.contains(&r.config) {
+                seen.push(r.config.clone());
+            }
+        }
+        seen
+    };
+    print!("{:<12}", "config");
+    for w in crate::WORKLOADS {
+        print!("{w:>9}");
+    }
+    println!("{:>9}{:>9}", "avg", "gmean");
+    for c in &configs {
+        let row: Vec<f64> = crate::WORKLOADS
+            .iter()
+            .map(|w| {
+                results
+                    .iter()
+                    .find(|r| &r.config == c && r.workload == *w)
+                    .map(|r| r.ipc())
+                    .unwrap_or(f64::NAN)
+            })
+            .collect();
+        print!("{c:<12}");
+        for v in &row {
+            print!("{v:>9.2}");
+        }
+        let avg = row.iter().sum::<f64>() / row.len() as f64;
+        println!("{avg:>9.2}{:>9.2}", geom_mean(&row));
+    }
+}
+
+/// Write raw results as JSON.
+pub fn write_json(path: &str, results: &[ExpResult]) {
+    let s = serde_json::to_string_pretty(results).expect("serialisable results");
+    fs::write(path, s).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("(raw results written to {path})");
+}
+
+/// Finish a binary: print the table and optionally dump JSON.
+pub fn finish(title: &str, results: &[ExpResult], opts: crate::Options) {
+    print_ipc_table(title, results);
+    if let Some(path) = opts.json {
+        write_json(path, results);
+    }
+}

@@ -1,0 +1,200 @@
+//! Machine configuration, with constructors for every configuration the
+//! paper evaluates.
+
+use dtsvliw_mem::CacheConfig;
+use dtsvliw_primary::PrimaryTiming;
+use dtsvliw_sched::scheduler::SchedConfig;
+use dtsvliw_vliw::engine::StoreScheme;
+use dtsvliw_vliw::VliwCacheConfig;
+
+/// Which trace-scheduling algorithm builds blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleMode {
+    /// The DTSVLIW's pipelined FCFS: candidates move one element per
+    /// machine cycle (paper §3.2).
+    PipelinedFcfs,
+    /// The DIF machine's greedy placement (paper §3.12): a
+    /// resource-ready table places each instruction at its earliest
+    /// feasible long instruction instantly — modelled as running the
+    /// FCFS list to its fixpoint after every insertion.
+    GreedyDif,
+}
+
+/// Full DTSVLIW machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Block geometry and slot classes (Scheduler Unit).
+    pub sched: SchedConfig,
+    /// VLIW Cache geometry.
+    pub vliw_cache: VliwCacheConfig,
+    /// Instruction cache timing (Primary Processor fetch).
+    pub icache: CacheConfig,
+    /// Data cache timing (shared by both engines, §3.6).
+    pub dcache: CacheConfig,
+    /// Primary Processor pipeline costs (paper Table 1).
+    pub primary: PrimaryTiming,
+    /// Cycles to swap Primary → VLIW: the annulled Primary stages plus
+    /// the VLIW Engine refill ("the pipeline stages discarded in one
+    /// processor plus the pipeline stages refilled in the other", §3.6).
+    pub swap_to_vliw: u32,
+    /// Cycles to swap VLIW → Primary.
+    pub swap_to_primary: u32,
+    /// Bubble on a VLIW branch leaving the recorded direction (§3.5:
+    /// "a one cycle deep bubble").
+    pub mispredict_bubble: u32,
+    /// Next-long-instruction miss penalty: charged on every VLIW-mode
+    /// transition from one block to another (0 for the ideal machines of
+    /// Figures 5–7, 1 for the feasible machine of §4.4).
+    pub next_li_penalty: u32,
+    /// Cycles to recover from an exception (checkpoint restore).
+    pub exception_penalty: u32,
+    /// Compare architectural state against the test machine at every
+    /// synchronisation point (paper §4 test mode). Sequential
+    /// instructions are always counted either way.
+    pub verify: bool,
+    /// Scheduling algorithm (DTSVLIW pipelined FCFS vs DIF greedy).
+    pub schedule: ScheduleMode,
+    /// How VLIW-mode stores reach memory (§3.11's two schemes).
+    pub store_scheme: StoreScheme,
+    /// Next-block prediction (paper §5 future work): a direct-mapped
+    /// table of (block tag → last observed next tag); a correct
+    /// prediction hides the next-long-instruction miss penalty.
+    pub next_block_prediction: bool,
+}
+
+impl MachineConfig {
+    /// The ideal machine of Figures 5–7: homogeneous `width`×`height`
+    /// blocks, perfect instruction/data caches, a large (3072-Kbyte)
+    /// 4-way VLIW Cache and no next-long-instruction penalty.
+    pub fn ideal(width: usize, height: usize) -> Self {
+        MachineConfig {
+            sched: SchedConfig::homogeneous(width, height),
+            vliw_cache: VliwCacheConfig::kb(3072, 4, width as u32, height as u32),
+            icache: CacheConfig::perfect(),
+            dcache: CacheConfig::perfect(),
+            primary: PrimaryTiming::default(),
+            swap_to_vliw: 5,
+            swap_to_primary: 5,
+            mispredict_bubble: 1,
+            next_li_penalty: 0,
+            exception_penalty: 16,
+            verify: true,
+            schedule: ScheduleMode::PipelinedFcfs,
+            store_scheme: StoreScheme::Checkpoint,
+            next_block_prediction: false,
+        }
+    }
+
+    /// The ideal machine with an explicit VLIW Cache size and
+    /// associativity (Figures 6 and 7).
+    pub fn ideal_with_vliw_cache(width: usize, height: usize, kb: u32, ways: u32) -> Self {
+        let mut c = Self::ideal(width, height);
+        c.vliw_cache = VliwCacheConfig::kb(kb, ways, width as u32, height as u32);
+        c
+    }
+
+    /// The feasible machine of §4.4 / Figure 8 / Table 3: 32-Kbyte 4-way
+    /// instruction cache and 32-Kbyte direct-mapped data cache (1-cycle
+    /// access, 8-cycle miss), a 192-Kbyte 4-way VLIW Cache, 1-cycle
+    /// next-long-instruction miss penalty, and ten non-homogeneous
+    /// 1-cycle functional units (4 integer, 2 load/store, 2 FP,
+    /// 2 branch).
+    pub fn feasible_paper() -> Self {
+        MachineConfig {
+            sched: SchedConfig::feasible_paper(),
+            vliw_cache: VliwCacheConfig::kb(192, 4, 10, 8),
+            icache: CacheConfig::paper_icache(),
+            dcache: CacheConfig::paper_dcache(),
+            primary: PrimaryTiming::default(),
+            swap_to_vliw: 5,
+            swap_to_primary: 5,
+            mispredict_bubble: 1,
+            next_li_penalty: 1,
+            exception_penalty: 16,
+            verify: true,
+            schedule: ScheduleMode::PipelinedFcfs,
+            store_scheme: StoreScheme::Checkpoint,
+            next_block_prediction: false,
+        }
+    }
+
+    /// The DTSVLIW side of the §4.5 DIF comparison: blocks of 6 long
+    /// instructions of 6 instructions (4 homogeneous units + 2 branch),
+    /// 4-Kbyte 2-way instruction cache with 2-cycle miss, 4-Kbyte
+    /// direct-mapped data cache with 2-cycle miss, and a 2-way VLIW
+    /// Cache of 512×2 blocks (216 Kbytes at 6 bytes per instruction).
+    pub fn dif_comparison() -> Self {
+        MachineConfig {
+            sched: SchedConfig::dif_comparison(),
+            vliw_cache: VliwCacheConfig {
+                // 1024 blocks of 6x6 slots x 6 bytes = 216 KB.
+                size_bytes: 1024 * 6 * 6 * 6,
+                ways: 2,
+                width: 6,
+                height: 6,
+            },
+            icache: CacheConfig::dif_icache(),
+            dcache: CacheConfig::dif_dcache(),
+            primary: PrimaryTiming::default(),
+            swap_to_vliw: 5,
+            swap_to_primary: 5,
+            mispredict_bubble: 1,
+            next_li_penalty: 1,
+            exception_penalty: 16,
+            verify: true,
+            schedule: ScheduleMode::PipelinedFcfs,
+            store_scheme: StoreScheme::Checkpoint,
+            next_block_prediction: false,
+        }
+    }
+
+    /// The DIF machine itself (paper §4.5, its reference \[9\]): the same substrate
+    /// with greedy scheduling and block-granularity DIF-cache transfers
+    /// (2-cycle block fetch instead of the DTSVLIW's 1-cycle nba
+    /// chaining). Register instances are not capped: the paper reports
+    /// DIF needed at most 4 instances (96 + 96 registers) while our
+    /// blocks stay well below that, so the cap never binds.
+    pub fn dif_machine() -> Self {
+        let mut c = Self::dif_comparison();
+        c.schedule = ScheduleMode::GreedyDif;
+        c.next_li_penalty = 2;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fixed_parameters() {
+        // Table 1: four-stage pipeline, 3-cycle not-taken bubble,
+        // 1-cycle load-use bubble, 1-cycle instruction latency.
+        let c = MachineConfig::ideal(8, 8);
+        assert_eq!(c.primary.stages, 4);
+        assert_eq!(c.primary.not_taken_bubble, 3);
+        assert_eq!(c.primary.load_use_bubble, 1);
+        assert_eq!(c.vliw_cache.size_bytes, 3072 * 1024);
+        assert_eq!(c.next_li_penalty, 0);
+    }
+
+    #[test]
+    fn feasible_matches_section_4_4() {
+        let c = MachineConfig::feasible_paper();
+        assert_eq!(c.icache.size_bytes, 32 * 1024);
+        assert_eq!(c.icache.ways, 4);
+        assert_eq!(c.icache.miss_penalty, 8);
+        assert_eq!(c.dcache.ways, 1);
+        assert_eq!(c.vliw_cache.size_bytes, 192 * 1024);
+        assert_eq!(c.sched.width, 10);
+        assert_eq!(c.sched.height, 8);
+        assert_eq!(c.next_li_penalty, 1);
+    }
+
+    #[test]
+    fn dif_cache_is_216_kb() {
+        let c = MachineConfig::dif_comparison();
+        assert_eq!(c.vliw_cache.size_bytes, 216 * 1024);
+        assert_eq!(c.vliw_cache.lines(), 1024);
+    }
+}

@@ -1,0 +1,56 @@
+//! The complete DTSVLIW machine (paper §3).
+//!
+//! ```text
+//!              From Memory
+//!        ┌────────────┴──────────────┐
+//!  Instruction Cache            VLIW Cache
+//!        │        Fetch Unit         │
+//!  ┌─────┴─────────────┐   ┌─────────┴───┐
+//!  │ Scheduler Engine  │   │ VLIW Engine │   To/From Memory
+//!  │  Primary Processor│   │             │──── Data Cache
+//!  │  Scheduler Unit   │──▶│ (VLIW Cache)│
+//!  └───────────────────┘   └─────────────┘
+//! ```
+//!
+//! The [`Machine`] executes a SPARC program the DTSVLIW way: the Primary
+//! Processor runs code the first time while the Scheduler Unit packs the
+//! retired trace into blocks of long instructions; when the Fetch Unit
+//! finds the next address in the VLIW Cache, the VLIW Engine takes over
+//! and re-executes the cached trace one long instruction per cycle. The
+//! two engines never run simultaneously and share all machine state
+//! (§3.6).
+//!
+//! Every run co-simulates the paper's *test machine* (§4): a sequential
+//! reference processor that supplies the precise sequential instruction
+//! count (the IPC numerator) and, when [`MachineConfig::verify`] is on,
+//! the architectural state that the DTSVLIW must match at every
+//! synchronisation point.
+//!
+//! ```
+//! use dtsvliw_core::{Machine, MachineConfig};
+//!
+//! let image = dtsvliw_asm::assemble("
+//! _start:
+//!     mov 10, %o1
+//!     mov 0, %o0
+//! loop:
+//!     add %o0, %o1, %o0
+//!     subcc %o1, 1, %o1
+//!     bne loop
+//!     nop
+//!     ta 0
+//! ").unwrap();
+//! let mut machine = Machine::new(MachineConfig::ideal(8, 8), &image);
+//! let outcome = machine.run(100_000).unwrap();
+//! let stats = machine.stats();
+//! assert_eq!(outcome.exit_code, Some(55));
+//! assert!(stats.ipc() > 0.0);
+//! ```
+
+mod config;
+mod machine;
+mod stats;
+
+pub use config::{MachineConfig, ScheduleMode};
+pub use machine::{Machine, MachineError, RunOutcome};
+pub use stats::RunStats;

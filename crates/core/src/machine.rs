@@ -1,0 +1,441 @@
+//! The machine loop: Fetch Unit arbitration between the two engines.
+
+use crate::config::{MachineConfig, ScheduleMode};
+use crate::stats::RunStats;
+use dtsvliw_asm::Image;
+use dtsvliw_isa::ArchState;
+use dtsvliw_mem::{Cache, Memory};
+use dtsvliw_primary::interp::{step as primary_step, Halt, StepError};
+use dtsvliw_primary::{PipelineModel, RefMachine};
+use dtsvliw_sched::{Block, InsertOutcome, Scheduler};
+use dtsvliw_vliw::{LiResult, VliwCache, VliwEngine};
+use std::sync::Arc;
+
+/// Simulation errors. All of them indicate a broken program or a
+/// simulator defect; they never occur in a correct run.
+#[derive(Debug, Clone)]
+pub enum MachineError {
+    /// The interpreter faulted (illegal instruction, misaligned access,
+    /// failed workload self-check, unknown trap).
+    Step(StepError),
+    /// Test mode found the DTSVLIW and the test machine disagreeing
+    /// (paper §4: "an error is signalled and the simulation
+    /// interrupted").
+    Divergence {
+        /// Machine cycle of the comparison.
+        cycle: u64,
+        /// Where the machines were synchronised.
+        pc: u32,
+        /// First mismatching piece of state.
+        detail: String,
+    },
+    /// The test machine could not reach the DTSVLIW's PC (indicates a
+    /// trace-replay defect).
+    TestSyncTimeout {
+        /// The PC the test machine was chasing.
+        pc: u32,
+    },
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::Step(e) => write!(f, "{e}"),
+            MachineError::Divergence { cycle, pc, detail } => {
+                write!(f, "test-mode divergence at cycle {cycle}, pc {pc:#x}: {detail}")
+            }
+            MachineError::TestSyncTimeout { pc } => {
+                write!(f, "test machine never reached pc {pc:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<StepError> for MachineError {
+    fn from(e: StepError) -> Self {
+        MachineError::Step(e)
+    }
+}
+
+/// Why [`Machine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// `Some(code)` when the program executed `ta 0`.
+    pub exit_code: Option<u32>,
+    /// Sequential instructions retired (the test machine's count).
+    pub instructions: u64,
+}
+
+enum Mode {
+    Primary,
+    Vliw {
+        block: Arc<Block>,
+        li: usize,
+        /// Test-machine trace position at block entry: the block's
+        /// commit advances the sequential machine from here.
+        base: u64,
+    },
+}
+
+/// The DTSVLIW machine.
+pub struct Machine {
+    cfg: MachineConfig,
+    state: ArchState,
+    mem: Memory,
+    sched: Scheduler,
+    vcache: VliwCache,
+    engine: VliwEngine,
+    icache: Cache,
+    dcache: Cache,
+    pipeline: PipelineModel,
+    test: RefMachine,
+    mode: Mode,
+    cycles: u64,
+    vliw_cycles: u64,
+    primary_cycles: u64,
+    overhead_cycles: u64,
+    mode_swaps: u64,
+    output: Vec<u8>,
+    halted: Option<u32>,
+    /// §3.11 exception mode: after a non-aliasing exception only the
+    /// Primary Processor runs, until the exception repeats there.
+    exception_mode: bool,
+    /// The previous instruction was a rejected control transfer: its
+    /// delay-slot instruction must not start a block, because the block
+    /// would span the (unguarded) control transfer.
+    reject_delay_slot: bool,
+    /// Next-block predictor (paper §5): direct-mapped (from-tag →
+    /// predicted next tag). Entry 0 means empty.
+    nbp: Vec<(u32, u32)>,
+    /// Correct next-block predictions (diagnostics).
+    nbp_hits: u64,
+}
+
+impl Machine {
+    /// Build a machine and load `image` into its memory (and into the
+    /// test machine's private memory).
+    pub fn new(cfg: MachineConfig, image: &Image) -> Self {
+        let mut mem = Memory::new();
+        image.load_into(&mut mem);
+        Machine {
+            state: ArchState::new(image.entry),
+            mem,
+            sched: Scheduler::new(cfg.sched.clone()),
+            vcache: VliwCache::new(cfg.vliw_cache),
+            engine: VliwEngine::with_scheme(cfg.store_scheme),
+            icache: Cache::new(cfg.icache),
+            dcache: Cache::new(cfg.dcache),
+            pipeline: PipelineModel::new(cfg.primary),
+            test: RefMachine::new(image),
+            mode: Mode::Primary,
+            cycles: 0,
+            vliw_cycles: 0,
+            primary_cycles: 0,
+            overhead_cycles: 0,
+            mode_swaps: 0,
+            output: Vec::new(),
+            halted: None,
+            exception_mode: false,
+            reject_delay_slot: false,
+            nbp: if cfg.next_block_prediction { vec![(0, 0); 1024] } else { Vec::new() },
+            nbp_hits: 0,
+            cfg,
+        }
+    }
+
+    /// Run until the program exits or `max_instructions` sequential
+    /// instructions have retired.
+    pub fn run(&mut self, max_instructions: u64) -> Result<RunOutcome, MachineError> {
+        while self.halted.is_none() && self.test.retired < max_instructions {
+            match &self.mode {
+                Mode::Primary => self.step_primary()?,
+                Mode::Vliw { .. } => self.step_vliw()?,
+            }
+        }
+        Ok(RunOutcome { exit_code: self.halted, instructions: self.test.retired })
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            cycles: self.cycles,
+            vliw_cycles: self.vliw_cycles,
+            primary_cycles: self.primary_cycles,
+            overhead_cycles: self.overhead_cycles,
+            instructions: self.test.retired,
+            mode_swaps: self.mode_swaps,
+            sched: self.sched.stats(),
+            engine: self.engine.stats(),
+            vliw_cache: self.vcache.stats(),
+            icache: self.icache.stats(),
+            dcache: self.dcache.stats(),
+        }
+    }
+
+    /// Console output produced so far (PUTC/PUTU traps).
+    pub fn output_string(&self) -> String {
+        String::from_utf8_lossy(&self.output).into_owned()
+    }
+
+    /// The shared architectural state (read-only).
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// The shared memory (read-only).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    // -------------------------------------------------------------
+    // Primary Processor mode
+    // -------------------------------------------------------------
+
+    fn step_primary(&mut self) -> Result<(), MachineError> {
+        let pc = self.state.pc;
+        let resident_before = self.state.resident;
+        let step = primary_step(&mut self.state, &mut self.mem, self.test.retired)?;
+        let d = step.dyn_instr;
+
+        // Timing: pipeline bubbles plus cache misses.
+        let mut c = self.pipeline.cycles_for(&d, step.window_trap);
+        c += self.icache.access_cost(pc) as u64;
+        if let Some(addr) = d.eff_addr {
+            c += self.dcache.access_cost(addr) as u64;
+        }
+        self.cycles += c;
+        self.primary_cycles += c;
+
+        // Scheduler Unit runs concurrently: one list cycle per machine
+        // cycle, then the retired instruction is inserted.
+        let live_delay_cti = d.instr.is_cti() && !d.delay_is_nop;
+        let reject = d.instr.is_non_schedulable()
+            || step.window_trap
+            || live_delay_cti
+            || self.reject_delay_slot;
+        if reject {
+            // Non-schedulable events flush the scheduling list (§3.9);
+            // the trace resumes after the event. The delay-slot
+            // instruction of a rejected control transfer is rejected
+            // too: a block starting there would run straight into the
+            // transfer's target with no recorded-direction guard.
+            if let Some(b) = self.sched.seal(d.pc, d.seq) {
+                self.vcache.insert(b);
+            }
+        } else {
+            for _ in 0..c {
+                self.sched.tick();
+            }
+            if let InsertOutcome::Inserted(Some(b)) = self.sched.insert(&d, resident_before) {
+                self.vcache.insert(b);
+            }
+            if self.cfg.schedule == ScheduleMode::GreedyDif {
+                self.sched.settle();
+            }
+        }
+
+        self.reject_delay_slot = live_delay_cti;
+
+        if let Some(bytes) = &step.output {
+            self.output.extend_from_slice(bytes);
+        }
+
+        // Test machine lockstep (§4).
+        let tstep = self.test.step()?;
+        debug_assert_eq!(tstep.dyn_instr.pc, d.pc);
+        self.verify_states()?;
+
+        if let Some(Halt::Exit(code)) = step.halt {
+            self.halted = Some(code);
+            // End-of-run deep check: the whole memory must agree with
+            // the test machine's (register comparison alone could hide
+            // a silently-diverged store that nothing reloaded).
+            if self.cfg.verify {
+                if let Some(addr) = self.mem.first_difference(&self.test.mem) {
+                    return Err(MachineError::Divergence {
+                        cycle: self.cycles,
+                        pc: self.state.pc,
+                        detail: format!("memory differs at {addr:#x} at halt"),
+                    });
+                }
+            }
+            return Ok(());
+        }
+
+        // Fetch Unit: probe the VLIW Cache with the next address; on a
+        // hit the block under construction is flushed, made to point at
+        // the hit block, and the VLIW Engine takes over (§3.6).
+        if !self.exception_mode
+            && self.vcache.peek(self.state.pc, self.state.cwp, self.state.resident)
+        {
+            // Grab the hit block before flushing the one under
+            // construction: the flush's insert may evict the hit line.
+            let block = self
+                .vcache
+                .lookup(self.state.pc, self.state.cwp, self.state.resident)
+                .expect("peek said hit");
+            if let Some(b) = self.sched.seal(self.state.pc, self.test.retired) {
+                self.vcache.insert(b);
+            }
+            self.charge_overhead(self.cfg.swap_to_vliw);
+            self.mode_swaps += 1;
+            self.pipeline.reset();
+            self.engine.begin_block(&block, &self.state);
+            self.mode = Mode::Vliw { block, li: 0, base: self.test.retired };
+        }
+        Ok(())
+    }
+
+    // -------------------------------------------------------------
+    // VLIW Engine mode
+    // -------------------------------------------------------------
+
+    fn step_vliw(&mut self) -> Result<(), MachineError> {
+        let (block, li, base) = match &self.mode {
+            Mode::Vliw { block, li, base } => (Arc::clone(block), *li, *base),
+            Mode::Primary => unreachable!(),
+        };
+        let out = self.engine.exec_li(&block, li, &mut self.state, &mut self.mem);
+
+        // One cycle per long instruction; a data-cache miss stalls the
+        // whole engine for the worst port's penalty.
+        let mut c = 1u64;
+        let stall =
+            out.dcache_accesses.iter().map(|&a| self.dcache.access_cost(a)).max().unwrap_or(0);
+        c += stall as u64;
+        self.cycles += c;
+        self.vliw_cycles += c;
+
+        match out.result {
+            LiResult::Next => {
+                self.mode = Mode::Vliw { block, li: li + 1, base };
+            }
+            LiResult::BlockEnd => {
+                self.engine.commit_block(&mut self.mem);
+                let next = block.nba_addr;
+                self.state.pc = next;
+                self.state.npc = next.wrapping_add(4);
+                self.sync_test(base + block.trace_len as u64)?;
+                self.enter_block_or_primary(next, Some(block.tag_addr))?;
+            }
+            LiResult::Redirect { target, branch_seq } => {
+                self.engine.commit_block(&mut self.mem);
+                self.charge_overhead(self.cfg.mispredict_bubble);
+                self.state.pc = target;
+                self.state.npc = target.wrapping_add(4);
+                // The sequential machine executed the trace prefix up to
+                // and including the mispredicting branch plus its delay
+                // slot (our scheduled CTIs always carry a nop there).
+                let rel = branch_seq - block.first_seq;
+                self.sync_test(base + rel + 2)?;
+                self.enter_block_or_primary(target, Some(block.tag_addr))?;
+            }
+            LiResult::Exception { aliasing } => {
+                // The engine rolled registers and memory back to the
+                // block entry; the shadow PC points at the block tag.
+                self.charge_overhead(self.cfg.exception_penalty);
+                if aliasing {
+                    self.vcache.invalidate(block.tag_addr, block.entry_cwp);
+                } else {
+                    self.exception_mode = true;
+                }
+                self.charge_overhead(self.cfg.swap_to_primary);
+                self.mode_swaps += 1;
+                self.pipeline.reset();
+                self.mode = Mode::Primary;
+                self.verify_states()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Follow the trace to `addr`: enter the cached block there or fall
+    /// back to the Primary Processor ("On a VLIW Cache miss, the Primary
+    /// Processor takes over execution, fetching from the last PC value
+    /// computed by the VLIW Engine", §3.6).
+    fn enter_block_or_primary(&mut self, addr: u32, from: Option<u32>) -> Result<(), MachineError> {
+        if self.halted.is_some() || self.exception_mode {
+            self.to_primary();
+            return Ok(());
+        }
+        if self.vcache.peek(addr, self.state.cwp, self.state.resident) {
+            let block = self
+                .vcache
+                .lookup(addr, self.state.cwp, self.state.resident)
+                .expect("peek said hit");
+            // Next-block prediction (§5 future work): a correct
+            // prediction overlaps the next block's cache access with the
+            // tail of the current one, hiding the transition penalty.
+            let mut penalty = self.cfg.next_li_penalty;
+            if let Some(from) = from {
+                if !self.nbp.is_empty() {
+                    let slot = ((from >> 2) as usize) & (self.nbp.len() - 1);
+                    if self.nbp[slot] == (from, addr) {
+                        penalty = 0;
+                        self.nbp_hits += 1;
+                    } else {
+                        self.nbp[slot] = (from, addr);
+                    }
+                }
+            }
+            self.charge_overhead(penalty);
+            self.engine.begin_block(&block, &self.state);
+            self.mode = Mode::Vliw { block, li: 0, base: self.test.retired };
+        } else {
+            self.to_primary();
+        }
+        Ok(())
+    }
+
+    fn to_primary(&mut self) {
+        self.charge_overhead(self.cfg.swap_to_primary);
+        self.mode_swaps += 1;
+        self.pipeline.reset();
+        self.mode = Mode::Primary;
+    }
+
+    fn charge_overhead(&mut self, c: u32) {
+        self.cycles += c as u64;
+        self.overhead_cycles += c as u64;
+    }
+
+    /// Advance the test machine to trace position `target_retired` (the
+    /// paper phrases this as running "until its PC becomes equal to the
+    /// DTSVLIW PC"; counting trace instructions is the loop-proof form
+    /// of the same synchronisation) and compare states.
+    fn sync_test(&mut self, target_retired: u64) -> Result<(), MachineError> {
+        while self.test.retired < target_retired {
+            let s = self.test.step()?;
+            if let Some(o) = &s.output {
+                // The committed trace is authoritative for console
+                // output ordering.
+                self.output.extend_from_slice(o);
+            }
+            if s.halt.is_some() && self.test.retired < target_retired {
+                // The DTSVLIW cannot commit past a halt: ta is
+                // non-schedulable and never enters a block.
+                return Err(MachineError::TestSyncTimeout { pc: self.state.pc });
+            }
+        }
+        self.verify_states()
+    }
+
+    fn verify_states(&self) -> Result<(), MachineError> {
+        if !self.cfg.verify {
+            return Ok(());
+        }
+        if self.test.state.pc != self.state.pc {
+            return Err(MachineError::Divergence {
+                cycle: self.cycles,
+                pc: self.state.pc,
+                detail: format!("pc {:#x} != test pc {:#x}", self.state.pc, self.test.state.pc),
+            });
+        }
+        if let Some(detail) = self.state.diff_visible(&self.test.state) {
+            return Err(MachineError::Divergence { cycle: self.cycles, pc: self.state.pc, detail });
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,59 @@
+//! Aggregate run statistics: everything the paper's tables and figures
+//! report.
+
+use dtsvliw_mem::CacheStats;
+use dtsvliw_sched::SchedStats;
+use dtsvliw_vliw::{EngineStats, VliwCacheStats};
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one DTSVLIW run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total machine cycles.
+    pub cycles: u64,
+    /// Cycles spent executing long instructions ("VLIW Engine Execution
+    /// Cycles" of Table 3, as a share of `cycles`).
+    pub vliw_cycles: u64,
+    /// Cycles spent in the Primary Processor.
+    pub primary_cycles: u64,
+    /// Cycles spent swapping engines, on mispredict bubbles, on
+    /// next-long-instruction penalties and on exception recovery.
+    pub overhead_cycles: u64,
+    /// Sequential instructions, as counted by the test machine — the
+    /// IPC numerator (paper §4).
+    pub instructions: u64,
+    /// Engine swaps (either direction).
+    pub mode_swaps: u64,
+    /// Scheduler Unit statistics.
+    pub sched: SchedStats,
+    /// VLIW Engine statistics.
+    pub engine: EngineStats,
+    /// VLIW Cache statistics.
+    pub vliw_cache: VliwCacheStats,
+    /// Instruction-cache statistics.
+    pub icache: CacheStats,
+    /// Data-cache statistics.
+    pub dcache: CacheStats,
+}
+
+impl RunStats {
+    /// Instructions per cycle: the paper's performance index —
+    /// sequential instruction count divided by DTSVLIW cycles.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of cycles executing in VLIW mode (Table 3's "VLIW
+    /// Engine Execution Cycles").
+    pub fn vliw_cycle_share(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.vliw_cycles as f64 / self.cycles as f64
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Both machines of the Figure 9 comparison run the same workload
+//! correctly (each in its own test mode) and land in the same
+//! performance band — the paper found them within ~9% on average.
+
+use dtsvliw_dif::{dtsvliw_comparison_machine, DifMachine};
+use dtsvliw_workloads::{by_name, Scale};
+
+#[test]
+fn dif_and_dtsvliw_agree_architecturally_and_land_close() {
+    let w = by_name("xlisp", Scale::Test).unwrap();
+    let img = w.image();
+
+    let mut dtsvliw = dtsvliw_comparison_machine(&img);
+    let out1 = dtsvliw.run(50_000_000).unwrap_or_else(|e| panic!("dtsvliw: {e}"));
+    let mut dif = DifMachine::new(&img);
+    let out2 = dif.run(50_000_000).unwrap_or_else(|e| panic!("dif: {e}"));
+
+    assert_eq!(out1.exit_code, Some(0));
+    assert_eq!(out2.exit_code, Some(0));
+    assert_eq!(out1.instructions, out2.instructions, "same sequential work");
+
+    let (a, b) = (dtsvliw.stats().ipc(), dif.stats().ipc());
+    println!("dtsvliw ipc {a:.3}  dif ipc {b:.3}");
+    let ratio = a / b;
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "the two machines implement the same concept and must land close: {ratio:.2}"
+    );
+}
+
+#[test]
+fn greedy_schedules_verify_on_all_workloads() {
+    // The greedy (settle-to-fixpoint) scheduler must preserve
+    // architectural behaviour on the whole suite, under test mode.
+    for w in dtsvliw_workloads::all(Scale::Test) {
+        let mut m = DifMachine::new(&w.image());
+        let out = m.run(50_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(out.exit_code, w.expected_exit, "{}", w.name);
+    }
+}

@@ -1,0 +1,115 @@
+//! Textual disassembly (SPARC assembler syntax, destination last).
+
+use crate::insn::{AluOp, FpOp, Instr, MemOp, Src2};
+use crate::regs::reg_name;
+use std::fmt;
+
+fn src2(s: Src2) -> String {
+    match s {
+        Src2::Reg(r) => reg_name(r).to_string(),
+        Src2::Imm(i) => i.to_string(),
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            _ if self.is_nop() => write!(f, "nop"),
+            Instr::Alu { op, cc, rd, rs1, src2: s2 } => {
+                let name = match op {
+                    AluOp::Add => "add",
+                    AluOp::Sub => "sub",
+                    AluOp::And => "and",
+                    AluOp::Andn => "andn",
+                    AluOp::Or => "or",
+                    AluOp::Orn => "orn",
+                    AluOp::Xor => "xor",
+                    AluOp::Xnor => "xnor",
+                    AluOp::Sll => "sll",
+                    AluOp::Srl => "srl",
+                    AluOp::Sra => "sra",
+                    AluOp::MulScc => "mulscc",
+                };
+                let cc = if cc && op != AluOp::MulScc { "cc" } else { "" };
+                write!(f, "{name}{cc} {}, {}, {}", reg_name(rs1), src2(s2), reg_name(rd))
+            }
+            Instr::Sethi { rd, imm22 } => write!(f, "sethi {:#x}, {}", imm22, reg_name(rd)),
+            Instr::Mem { op, rd, rs1, src2: s2 } => {
+                let name = match op {
+                    MemOp::Ld => "ld",
+                    MemOp::Ldub => "ldub",
+                    MemOp::Ldsb => "ldsb",
+                    MemOp::Lduh => "lduh",
+                    MemOp::Ldsh => "ldsh",
+                    MemOp::St => "st",
+                    MemOp::Stb => "stb",
+                    MemOp::Sth => "sth",
+                    MemOp::Ldf => "ldf",
+                    MemOp::Stf => "stf",
+                };
+                let rd_s = if op.is_fp() { format!("%f{rd}") } else { reg_name(rd).to_string() };
+                if op.is_store() {
+                    write!(f, "{name} {rd_s}, [{} + {}]", reg_name(rs1), src2(s2))
+                } else {
+                    write!(f, "{name} [{} + {}], {rd_s}", reg_name(rs1), src2(s2))
+                }
+            }
+            Instr::Bicc { cond, disp22 } => write!(f, "{} {:+}", cond.mnemonic(), disp22 * 4),
+            Instr::FBfcc { cond, disp22 } => write!(f, "{} {:+}", cond.mnemonic(), disp22 * 4),
+            Instr::Call { disp30 } => write!(f, "call {:+}", disp30 * 4),
+            Instr::Jmpl { rd, rs1, src2: s2 } => {
+                write!(f, "jmpl {} + {}, {}", reg_name(rs1), src2(s2), reg_name(rd))
+            }
+            Instr::Save { rd, rs1, src2: s2 } => {
+                write!(f, "save {}, {}, {}", reg_name(rs1), src2(s2), reg_name(rd))
+            }
+            Instr::Restore { rd, rs1, src2: s2 } => {
+                write!(f, "restore {}, {}, {}", reg_name(rs1), src2(s2), reg_name(rd))
+            }
+            Instr::Fpop { op, rd, rs1, rs2 } => {
+                let name = match op {
+                    FpOp::FAdds => "fadds",
+                    FpOp::FSubs => "fsubs",
+                    FpOp::FMuls => "fmuls",
+                    FpOp::FDivs => "fdivs",
+                    FpOp::FMovs => "fmovs",
+                    FpOp::FNegs => "fnegs",
+                    FpOp::FAbss => "fabss",
+                    FpOp::FCmps => "fcmps",
+                    FpOp::FItos => "fitos",
+                    FpOp::FStoi => "fstoi",
+                };
+                if op.is_unary() {
+                    write!(f, "{name} %f{rs2}, %f{rd}")
+                } else if op == FpOp::FCmps {
+                    write!(f, "{name} %f{rs1}, %f{rs2}")
+                } else {
+                    write!(f, "{name} %f{rs1}, %f{rs2}, %f{rd}")
+                }
+            }
+            Instr::RdY { rd } => write!(f, "rd %y, {}", reg_name(rd)),
+            Instr::WrY { rs1, src2: s2 } => write!(f, "wr {}, {}, %y", reg_name(rs1), src2(s2)),
+            Instr::Trap { code } => write!(f, "ta {code:#x}"),
+            Instr::Illegal(w) => write!(f, ".word {w:#010x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+
+    #[test]
+    fn formats() {
+        let i = Instr::Alu { op: AluOp::Add, cc: true, rd: 9, rs1: 10, src2: Src2::Imm(4) };
+        assert_eq!(i.to_string(), "addcc %o2, 4, %o1");
+        let i = Instr::Mem { op: MemOp::Ld, rd: 8, rs1: 10, src2: Src2::Reg(11) };
+        assert_eq!(i.to_string(), "ld [%o2 + %o3], %o0");
+        let i = Instr::Mem { op: MemOp::St, rd: 8, rs1: 14, src2: Src2::Imm(64) };
+        assert_eq!(i.to_string(), "st %o0, [%sp + 64]");
+        let i = Instr::Bicc { cond: Cond::Le, disp22: -6 };
+        assert_eq!(i.to_string(), "ble -24");
+        assert_eq!(Instr::NOP.to_string(), "nop");
+    }
+}

@@ -1,0 +1,311 @@
+//! 32-bit binary encoding, following the SPARC instruction formats:
+//!
+//! * Format 1 (`op=01`): `call` with a 30-bit word displacement.
+//! * Format 2 (`op=00`): `sethi` and the branch families.
+//! * Format 3 (`op=10`/`op=11`): arithmetic and memory, with the `i` bit
+//!   selecting a register or sign-extended 13-bit immediate second
+//!   operand.
+//!
+//! Instruction memory holds these words big-endian (see `dtsvliw-mem`);
+//! this module works on already-assembled `u32` values.
+
+use crate::cond::{Cond, FCond};
+use crate::insn::{AluOp, FpOp, Instr, MemOp, Src2};
+
+// Format-3 op3 field values (op = 10), from the SPARC V7/V8 manuals.
+const OP3_ADD: u32 = 0x00;
+const OP3_AND: u32 = 0x01;
+const OP3_OR: u32 = 0x02;
+const OP3_XOR: u32 = 0x03;
+const OP3_SUB: u32 = 0x04;
+const OP3_ANDN: u32 = 0x05;
+const OP3_ORN: u32 = 0x06;
+const OP3_XNOR: u32 = 0x07;
+const OP3_MULSCC: u32 = 0x24;
+const OP3_SLL: u32 = 0x25;
+const OP3_SRL: u32 = 0x26;
+const OP3_SRA: u32 = 0x27;
+const OP3_RDY: u32 = 0x28;
+const OP3_WRY: u32 = 0x30;
+const OP3_FPOP1: u32 = 0x34;
+const OP3_FPOP2: u32 = 0x35;
+const OP3_JMPL: u32 = 0x38;
+const OP3_TICC: u32 = 0x3a;
+const OP3_SAVE: u32 = 0x3c;
+const OP3_RESTORE: u32 = 0x3d;
+const CC_BIT: u32 = 0x10;
+
+// Format-3 op3 values for memory (op = 11).
+const OP3_LD: u32 = 0x00;
+const OP3_LDUB: u32 = 0x01;
+const OP3_LDUH: u32 = 0x02;
+const OP3_STB: u32 = 0x05;
+const OP3_ST: u32 = 0x04;
+const OP3_STH: u32 = 0x06;
+const OP3_LDSB: u32 = 0x09;
+const OP3_LDSH: u32 = 0x0a;
+const OP3_LDF: u32 = 0x20;
+const OP3_STF: u32 = 0x24;
+
+// FPop1 opf field values.
+const OPF_FMOVS: u32 = 0x001;
+const OPF_FNEGS: u32 = 0x005;
+const OPF_FABSS: u32 = 0x009;
+const OPF_FADDS: u32 = 0x041;
+const OPF_FSUBS: u32 = 0x045;
+const OPF_FMULS: u32 = 0x049;
+const OPF_FDIVS: u32 = 0x04d;
+const OPF_FITOS: u32 = 0x0c4;
+const OPF_FSTOI: u32 = 0x0d1;
+const OPF_FCMPS: u32 = 0x051; // FPop2
+
+fn f3(op: u32, rd: u32, op3: u32, rs1: u32, src2: Src2) -> u32 {
+    let base = op << 30 | rd << 25 | op3 << 19 | rs1 << 14;
+    match src2 {
+        Src2::Reg(rs2) => base | rs2 as u32,
+        Src2::Imm(imm) => base | 1 << 13 | (imm as u32 & 0x1fff),
+    }
+}
+
+fn src2_of(word: u32) -> Src2 {
+    if word & (1 << 13) != 0 {
+        // sign-extend simm13
+        Src2::Imm(((word as i32) << 19) >> 19)
+    } else {
+        Src2::Reg((word & 31) as u8)
+    }
+}
+
+/// Encode an instruction to its 32-bit word.
+pub fn encode(instr: &Instr) -> u32 {
+    match *instr {
+        Instr::Call { disp30 } => 1 << 30 | (disp30 as u32 & 0x3fff_ffff),
+        Instr::Sethi { rd, imm22 } => (rd as u32) << 25 | 0b100 << 22 | (imm22 & 0x3f_ffff),
+        Instr::Bicc { cond, disp22 } => {
+            (cond as u32) << 25 | 0b010 << 22 | (disp22 as u32 & 0x3f_ffff)
+        }
+        Instr::FBfcc { cond, disp22 } => {
+            (cond as u32) << 25 | 0b110 << 22 | (disp22 as u32 & 0x3f_ffff)
+        }
+        Instr::Alu { op, cc, rd, rs1, src2 } => {
+            let op3 = match op {
+                AluOp::Add => OP3_ADD,
+                AluOp::Sub => OP3_SUB,
+                AluOp::And => OP3_AND,
+                AluOp::Andn => OP3_ANDN,
+                AluOp::Or => OP3_OR,
+                AluOp::Orn => OP3_ORN,
+                AluOp::Xor => OP3_XOR,
+                AluOp::Xnor => OP3_XNOR,
+                AluOp::Sll => OP3_SLL,
+                AluOp::Srl => OP3_SRL,
+                AluOp::Sra => OP3_SRA,
+                AluOp::MulScc => OP3_MULSCC,
+            };
+            let op3 = if cc && op != AluOp::MulScc { op3 | CC_BIT } else { op3 };
+            f3(2, rd as u32, op3, rs1 as u32, src2)
+        }
+        Instr::Jmpl { rd, rs1, src2 } => f3(2, rd as u32, OP3_JMPL, rs1 as u32, src2),
+        Instr::Save { rd, rs1, src2 } => f3(2, rd as u32, OP3_SAVE, rs1 as u32, src2),
+        Instr::Restore { rd, rs1, src2 } => f3(2, rd as u32, OP3_RESTORE, rs1 as u32, src2),
+        Instr::RdY { rd } => f3(2, rd as u32, OP3_RDY, 0, Src2::Reg(0)),
+        Instr::WrY { rs1, src2 } => f3(2, 0, OP3_WRY, rs1 as u32, src2),
+        Instr::Trap { code } => {
+            // `ta code`: cond field = always (8), immediate form.
+            f3(2, 8, OP3_TICC, 0, Src2::Imm(code as i32))
+        }
+        Instr::Fpop { op, rd, rs1, rs2 } => {
+            let (op3, opf) = match op {
+                FpOp::FMovs => (OP3_FPOP1, OPF_FMOVS),
+                FpOp::FNegs => (OP3_FPOP1, OPF_FNEGS),
+                FpOp::FAbss => (OP3_FPOP1, OPF_FABSS),
+                FpOp::FAdds => (OP3_FPOP1, OPF_FADDS),
+                FpOp::FSubs => (OP3_FPOP1, OPF_FSUBS),
+                FpOp::FMuls => (OP3_FPOP1, OPF_FMULS),
+                FpOp::FDivs => (OP3_FPOP1, OPF_FDIVS),
+                FpOp::FItos => (OP3_FPOP1, OPF_FITOS),
+                FpOp::FStoi => (OP3_FPOP1, OPF_FSTOI),
+                FpOp::FCmps => (OP3_FPOP2, OPF_FCMPS),
+            };
+            2 << 30 | (rd as u32) << 25 | op3 << 19 | (rs1 as u32) << 14 | opf << 5 | rs2 as u32
+        }
+        Instr::Mem { op, rd, rs1, src2 } => {
+            let op3 = match op {
+                MemOp::Ld => OP3_LD,
+                MemOp::Ldub => OP3_LDUB,
+                MemOp::Ldsb => OP3_LDSB,
+                MemOp::Lduh => OP3_LDUH,
+                MemOp::Ldsh => OP3_LDSH,
+                MemOp::St => OP3_ST,
+                MemOp::Stb => OP3_STB,
+                MemOp::Sth => OP3_STH,
+                MemOp::Ldf => OP3_LDF,
+                MemOp::Stf => OP3_STF,
+            };
+            f3(3, rd as u32, op3, rs1 as u32, src2)
+        }
+        Instr::Illegal(word) => word,
+    }
+}
+
+/// Decode a 32-bit word. Unknown encodings become [`Instr::Illegal`],
+/// which the Primary Processor traps on.
+pub fn decode(word: u32) -> Instr {
+    let op = word >> 30;
+    match op {
+        1 => Instr::Call { disp30: ((word as i32) << 2) >> 2 },
+        0 => {
+            let op2 = (word >> 22) & 7;
+            let rd_or_cond = ((word >> 25) & 31) as u8;
+            let disp22 = ((word as i32) << 10) >> 10;
+            match op2 {
+                0b100 => Instr::Sethi { rd: rd_or_cond, imm22: word & 0x3f_ffff },
+                0b010 => Instr::Bicc { cond: Cond::from_bits(rd_or_cond), disp22 },
+                0b110 => Instr::FBfcc { cond: FCond::from_bits(rd_or_cond), disp22 },
+                _ => Instr::Illegal(word),
+            }
+        }
+        2 => {
+            let rd = ((word >> 25) & 31) as u8;
+            let op3 = (word >> 19) & 0x3f;
+            let rs1 = ((word >> 14) & 31) as u8;
+            let src2 = src2_of(word);
+            let alu = |op: AluOp, cc: bool| Instr::Alu { op, cc, rd, rs1, src2 };
+            match op3 {
+                OP3_MULSCC => alu(AluOp::MulScc, true),
+                OP3_SLL => alu(AluOp::Sll, false),
+                OP3_SRL => alu(AluOp::Srl, false),
+                OP3_SRA => alu(AluOp::Sra, false),
+                OP3_RDY => Instr::RdY { rd },
+                OP3_WRY => Instr::WrY { rs1, src2 },
+                OP3_JMPL => Instr::Jmpl { rd, rs1, src2 },
+                OP3_SAVE => Instr::Save { rd, rs1, src2 },
+                OP3_RESTORE => Instr::Restore { rd, rs1, src2 },
+                OP3_TICC if rd == 8 => match src2 {
+                    Src2::Imm(code) => Instr::Trap { code: (code & 0x7f) as u8 },
+                    Src2::Reg(_) => Instr::Illegal(word),
+                },
+                OP3_FPOP1 | OP3_FPOP2 => {
+                    let opf = (word >> 5) & 0x1ff;
+                    let rs2 = (word & 31) as u8;
+                    let fp = |op: FpOp| Instr::Fpop { op, rd, rs1, rs2 };
+                    match (op3, opf) {
+                        (OP3_FPOP1, OPF_FMOVS) => fp(FpOp::FMovs),
+                        (OP3_FPOP1, OPF_FNEGS) => fp(FpOp::FNegs),
+                        (OP3_FPOP1, OPF_FABSS) => fp(FpOp::FAbss),
+                        (OP3_FPOP1, OPF_FADDS) => fp(FpOp::FAdds),
+                        (OP3_FPOP1, OPF_FSUBS) => fp(FpOp::FSubs),
+                        (OP3_FPOP1, OPF_FMULS) => fp(FpOp::FMuls),
+                        (OP3_FPOP1, OPF_FDIVS) => fp(FpOp::FDivs),
+                        (OP3_FPOP1, OPF_FITOS) => fp(FpOp::FItos),
+                        (OP3_FPOP1, OPF_FSTOI) => fp(FpOp::FStoi),
+                        (OP3_FPOP2, OPF_FCMPS) => fp(FpOp::FCmps),
+                        _ => Instr::Illegal(word),
+                    }
+                }
+                _ => {
+                    let base = op3 & !CC_BIT;
+                    let cc = op3 & CC_BIT != 0;
+                    let aop = match base {
+                        OP3_ADD => AluOp::Add,
+                        OP3_AND => AluOp::And,
+                        OP3_OR => AluOp::Or,
+                        OP3_XOR => AluOp::Xor,
+                        OP3_SUB => AluOp::Sub,
+                        OP3_ANDN => AluOp::Andn,
+                        OP3_ORN => AluOp::Orn,
+                        OP3_XNOR => AluOp::Xnor,
+                        _ => return Instr::Illegal(word),
+                    };
+                    alu(aop, cc)
+                }
+            }
+        }
+        _ => {
+            let rd = ((word >> 25) & 31) as u8;
+            let op3 = (word >> 19) & 0x3f;
+            let rs1 = ((word >> 14) & 31) as u8;
+            let src2 = src2_of(word);
+            let mem = |op: MemOp| Instr::Mem { op, rd, rs1, src2 };
+            match op3 {
+                OP3_LD => mem(MemOp::Ld),
+                OP3_LDUB => mem(MemOp::Ldub),
+                OP3_LDSB => mem(MemOp::Ldsb),
+                OP3_LDUH => mem(MemOp::Lduh),
+                OP3_LDSH => mem(MemOp::Ldsh),
+                OP3_ST => mem(MemOp::St),
+                OP3_STB => mem(MemOp::Stb),
+                OP3_STH => mem(MemOp::Sth),
+                OP3_LDF => mem(MemOp::Ldf),
+                OP3_STF => mem(MemOp::Stf),
+                _ => Instr::Illegal(word),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+
+    #[test]
+    fn round_trip_representatives() {
+        let cases = [
+            Instr::NOP,
+            Instr::Sethi { rd: 8, imm22: 0x3f_ffff },
+            Instr::Alu { op: AluOp::Add, cc: true, rd: 9, rs1: 10, src2: Src2::Imm(-1) },
+            Instr::Alu { op: AluOp::Sll, cc: false, rd: 1, rs1: 2, src2: Src2::Reg(3) },
+            Instr::Alu { op: AluOp::MulScc, cc: true, rd: 4, rs1: 4, src2: Src2::Reg(5) },
+            Instr::Mem { op: MemOp::Ld, rd: 8, rs1: 10, src2: Src2::Reg(11) },
+            Instr::Mem { op: MemOp::Stb, rd: 8, rs1: 14, src2: Src2::Imm(-4096) },
+            Instr::Mem { op: MemOp::Ldf, rd: 31, rs1: 1, src2: Src2::Imm(64) },
+            Instr::Bicc { cond: Cond::Le, disp22: -6 },
+            Instr::Bicc { cond: Cond::A, disp22: 0x1f_ffff },
+            Instr::FBfcc { cond: FCond::Ge, disp22: 12 },
+            Instr::Call { disp30: -1000 },
+            Instr::Jmpl { rd: 15, rs1: 31, src2: Src2::Imm(8) },
+            Instr::Save { rd: 14, rs1: 14, src2: Src2::Imm(-96) },
+            Instr::Restore { rd: 0, rs1: 0, src2: Src2::Reg(0) },
+            Instr::Fpop { op: FpOp::FAdds, rd: 1, rs1: 2, rs2: 3 },
+            Instr::Fpop { op: FpOp::FCmps, rd: 0, rs1: 30, rs2: 31 },
+            Instr::RdY { rd: 7 },
+            Instr::WrY { rs1: 9, src2: Src2::Imm(0) },
+            Instr::Trap { code: 0x42 },
+        ];
+        for instr in cases {
+            let word = encode(&instr);
+            assert_eq!(decode(word), instr, "word {word:08x}");
+        }
+    }
+
+    #[test]
+    fn simm13_bounds() {
+        for imm in [-4096i32, -1, 0, 1, 4095] {
+            let i = Instr::Alu { op: AluOp::Or, cc: false, rd: 1, rs1: 0, src2: Src2::Imm(imm) };
+            assert_eq!(decode(encode(&i)), i);
+        }
+    }
+
+    #[test]
+    fn disp22_sign_extension() {
+        let i = Instr::Bicc { cond: Cond::Ne, disp22: -(1 << 21) };
+        assert_eq!(decode(encode(&i)), i);
+    }
+
+    #[test]
+    fn nop_encodes_as_sethi_zero() {
+        assert_eq!(encode(&Instr::NOP), 0x0100_0000);
+        assert!(decode(0x0100_0000).is_nop());
+    }
+
+    #[test]
+    fn garbage_is_illegal_and_stable() {
+        // op=00 with op2=000 (UNIMP) must not panic and must re-encode.
+        let w = 0x0000_1234;
+        match decode(w) {
+            Instr::Illegal(x) => assert_eq!(encode(&Instr::Illegal(x)), w),
+            other => panic!("expected illegal, got {other:?}"),
+        }
+    }
+}

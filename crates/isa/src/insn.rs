@@ -1,0 +1,332 @@
+//! The architectural instruction type.
+
+use crate::cond::{Cond, FCond};
+use serde::{Deserialize, Serialize};
+
+/// Second ALU/memory operand: a register or a 13-bit signed immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Src2 {
+    /// Register operand `rs2`.
+    Reg(u8),
+    /// Sign-extended 13-bit immediate.
+    Imm(i32),
+}
+
+impl Src2 {
+    /// The register read, if any (`%g0` counts as no read).
+    pub fn reg(self) -> Option<u8> {
+        match self {
+            Src2::Reg(0) | Src2::Imm(_) => None,
+            Src2::Reg(r) => Some(r),
+        }
+    }
+}
+
+/// Integer ALU operations (format-3 arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    /// `add`
+    Add,
+    /// `sub`
+    Sub,
+    /// `and`
+    And,
+    /// `andn` (and with complement)
+    Andn,
+    /// `or`
+    Or,
+    /// `orn`
+    Orn,
+    /// `xor`
+    Xor,
+    /// `xnor`
+    Xnor,
+    /// `sll` (shift count = low 5 bits of src2)
+    Sll,
+    /// `srl`
+    Srl,
+    /// `sra`
+    Sra,
+    /// `mulscc`: one multiply step using `%y` and the condition codes.
+    MulScc,
+}
+
+impl AluOp {
+    /// Whether a `cc`-setting variant exists in the subset we emit.
+    pub fn has_cc(self) -> bool {
+        !matches!(self, AluOp::Sll | AluOp::Srl | AluOp::Sra)
+    }
+}
+
+/// Integer and floating-point memory operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemOp {
+    /// `ld`: load word
+    Ld,
+    /// `ldub`: load unsigned byte
+    Ldub,
+    /// `ldsb`: load signed byte
+    Ldsb,
+    /// `lduh`: load unsigned halfword
+    Lduh,
+    /// `ldsh`: load signed halfword
+    Ldsh,
+    /// `st`: store word
+    St,
+    /// `stb`: store byte
+    Stb,
+    /// `sth`: store halfword
+    Sth,
+    /// `ldf`: load word into an FP register
+    Ldf,
+    /// `stf`: store an FP register
+    Stf,
+}
+
+impl MemOp {
+    /// True for the store flavours.
+    pub fn is_store(self) -> bool {
+        matches!(self, MemOp::St | MemOp::Stb | MemOp::Sth | MemOp::Stf)
+    }
+
+    /// True when `rd` names an FP register.
+    pub fn is_fp(self) -> bool {
+        matches!(self, MemOp::Ldf | MemOp::Stf)
+    }
+
+    /// Access size in bytes.
+    pub fn size(self) -> u8 {
+        match self {
+            MemOp::Ldub | MemOp::Ldsb | MemOp::Stb => 1,
+            MemOp::Lduh | MemOp::Ldsh | MemOp::Sth => 2,
+            _ => 4,
+        }
+    }
+}
+
+/// Single-precision floating-point operate instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FpOp {
+    /// `fadds`
+    FAdds,
+    /// `fsubs`
+    FSubs,
+    /// `fmuls`
+    FMuls,
+    /// `fdivs`
+    FDivs,
+    /// `fmovs` (unary, reads rs2 only)
+    FMovs,
+    /// `fnegs`
+    FNegs,
+    /// `fabss`
+    FAbss,
+    /// `fcmps`: writes `fcc` instead of a register
+    FCmps,
+    /// `fitos`: int bits -> float
+    FItos,
+    /// `fstoi`: float -> int bits (truncating)
+    FStoi,
+}
+
+impl FpOp {
+    /// Unary operations read only `rs2`.
+    pub fn is_unary(self) -> bool {
+        matches!(self, FpOp::FMovs | FpOp::FNegs | FpOp::FAbss | FpOp::FItos | FpOp::FStoi)
+    }
+}
+
+/// A decoded SPARC V7 subset instruction.
+///
+/// `Instr` is the *static* form: registers are visible numbers (0..32)
+/// and branch displacements are in instructions (words) relative to the
+/// branch's own address, exactly as encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instr {
+    /// Integer ALU operation; `cc` selects the condition-code-setting form.
+    Alu { op: AluOp, cc: bool, rd: u8, rs1: u8, src2: Src2 },
+    /// `sethi imm22, rd` — set bits 31..10. `sethi 0, %g0` is the
+    /// canonical `nop`.
+    Sethi { rd: u8, imm22: u32 },
+    /// Integer or FP load/store; for stores `rd` is the data source.
+    Mem { op: MemOp, rd: u8, rs1: u8, src2: Src2 },
+    /// Conditional branch on integer condition codes (delayed).
+    Bicc { cond: Cond, disp22: i32 },
+    /// Conditional branch on the FP condition code (delayed).
+    FBfcc { cond: FCond, disp22: i32 },
+    /// `call disp30`: PC-relative, writes `%o7` (delayed).
+    Call { disp30: i32 },
+    /// `jmpl rs1 + src2, rd`: indirect jump and link (delayed).
+    Jmpl { rd: u8, rs1: u8, src2: Src2 },
+    /// `save rs1, src2, rd`: window push plus add across windows.
+    Save { rd: u8, rs1: u8, src2: Src2 },
+    /// `restore rs1, src2, rd`: window pop plus add across windows.
+    Restore { rd: u8, rs1: u8, src2: Src2 },
+    /// Floating-point operate instruction.
+    Fpop { op: FpOp, rd: u8, rs1: u8, rs2: u8 },
+    /// `rd %y, rd`.
+    RdY { rd: u8 },
+    /// `wr rs1, src2, %y` (rs1 xor src2 in real SPARC; we emit rs1|imm 0).
+    WrY { rs1: u8, src2: Src2 },
+    /// `ta code`: trap always. Used for program exit, self-check failure
+    /// and simulated OS services; always non-schedulable.
+    Trap { code: u8 },
+    /// An undecodable word (kept for faithful re-encoding).
+    Illegal(u32),
+}
+
+impl Instr {
+    /// The canonical `nop` (`sethi 0, %g0`).
+    pub const NOP: Instr = Instr::Sethi { rd: 0, imm22: 0 };
+
+    /// True for `sethi 0, %g0` and for or/add of `%g0` into `%g0`.
+    pub fn is_nop(&self) -> bool {
+        match *self {
+            Instr::Sethi { rd: 0, .. } => true,
+            Instr::Alu { op: AluOp::Or | AluOp::Add, cc: false, rd: 0, rs1: 0, src2 } => {
+                matches!(src2, Src2::Imm(0) | Src2::Reg(0))
+            }
+            _ => false,
+        }
+    }
+
+    /// True for every delayed control-transfer instruction.
+    pub fn is_cti(&self) -> bool {
+        matches!(
+            self,
+            Instr::Bicc { .. }
+                | Instr::FBfcc { .. }
+                | Instr::Call { .. }
+                | Instr::Jmpl { .. }
+        )
+    }
+
+    /// Conditional or indirect control transfer: the only instructions
+    /// that create *control dependencies* in the Scheduler Unit (paper
+    /// §3.8). `ba`/`bn`/`call` have statically-known behaviour.
+    pub fn is_conditional_or_indirect(&self) -> bool {
+        match *self {
+            Instr::Bicc { cond, .. } => !matches!(cond, Cond::A | Cond::N),
+            Instr::FBfcc { cond, .. } => !matches!(cond, FCond::A | FCond::N),
+            Instr::Jmpl { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// Unconditional direct branch (`ba`): ignored by the Scheduler Unit.
+    pub fn is_unconditional_branch(&self) -> bool {
+        matches!(self, Instr::Bicc { cond: Cond::A | Cond::N, .. })
+            || matches!(self, Instr::FBfcc { cond: FCond::A | FCond::N, .. })
+    }
+
+    /// True for loads and stores (integer or FP).
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Instr::Mem { .. })
+    }
+
+    /// True for stores.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Instr::Mem { op, .. } if op.is_store())
+    }
+
+    /// True for loads.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Instr::Mem { op, .. } if !op.is_store())
+    }
+
+    /// Instructions the VLIW Engine cannot execute (paper §3.9): they are
+    /// always executed by the Primary Processor and flush the scheduling
+    /// list.
+    pub fn is_non_schedulable(&self) -> bool {
+        matches!(self, Instr::Trap { .. } | Instr::Illegal(_))
+    }
+
+    /// Functional-unit class needed to execute this instruction.
+    pub fn fu_class(&self) -> FuClass {
+        match self {
+            Instr::Mem { .. } => FuClass::LoadStore,
+            Instr::Fpop { .. } => FuClass::Float,
+            Instr::Bicc { .. } | Instr::FBfcc { .. } | Instr::Call { .. } | Instr::Jmpl { .. } => {
+                FuClass::Branch
+            }
+            _ => FuClass::Integer,
+        }
+    }
+}
+
+/// Functional-unit classes for heterogeneous long-instruction slots
+/// (the paper's feasible machine has 4 integer, 2 load/store, 2 FP and
+/// 2 branch units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuClass {
+    /// Integer ALU (also executes save/restore, rd/wr %y and COPYs).
+    Integer,
+    /// Load/store unit (a data-cache port).
+    LoadStore,
+    /// Floating-point unit.
+    Float,
+    /// Branch unit.
+    Branch,
+    /// A universal slot that accepts any operation (used by the ideal
+    /// geometry experiments of Figure 5-7).
+    Universal,
+}
+
+impl FuClass {
+    /// Whether an instruction of class `need` can issue to a slot of this
+    /// class. COPY instructions issue to the unit class of the resource
+    /// they copy, handled by the scheduler.
+    pub fn accepts(self, need: FuClass) -> bool {
+        self == FuClass::Universal || self == need
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_detection() {
+        assert!(Instr::NOP.is_nop());
+        assert!(Instr::Alu {
+            op: AluOp::Or,
+            cc: false,
+            rd: 0,
+            rs1: 0,
+            src2: Src2::Imm(0)
+        }
+        .is_nop());
+        assert!(!Instr::Alu {
+            op: AluOp::Or,
+            cc: false,
+            rd: 9,
+            rs1: 0,
+            src2: Src2::Imm(0)
+        }
+        .is_nop());
+        assert!(!Instr::Sethi { rd: 1, imm22: 0 }.is_nop());
+    }
+
+    #[test]
+    fn cti_classification() {
+        let ba = Instr::Bicc { cond: Cond::A, disp22: 4 };
+        let ble = Instr::Bicc { cond: Cond::Le, disp22: -2 };
+        let call = Instr::Call { disp30: 100 };
+        let jmpl = Instr::Jmpl { rd: 0, rs1: 31, src2: Src2::Imm(8) };
+        assert!(ba.is_cti() && ble.is_cti() && call.is_cti() && jmpl.is_cti());
+        assert!(!ba.is_conditional_or_indirect());
+        assert!(ble.is_conditional_or_indirect());
+        assert!(!call.is_conditional_or_indirect());
+        assert!(jmpl.is_conditional_or_indirect());
+        assert!(ba.is_unconditional_branch());
+        assert!(!call.is_unconditional_branch());
+    }
+
+    #[test]
+    fn fu_classes() {
+        assert_eq!(Instr::Call { disp30: 0 }.fu_class(), FuClass::Branch);
+        assert!(FuClass::Universal.accepts(FuClass::Branch));
+        assert!(!FuClass::Integer.accepts(FuClass::Branch));
+        assert!(FuClass::Integer.accepts(FuClass::Integer));
+    }
+}

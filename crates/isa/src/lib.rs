@@ -1,0 +1,38 @@
+//! SPARC V7 instruction-set subset used by the DTSVLIW reproduction.
+//!
+//! This crate defines everything both execution engines (the Primary
+//! Processor and the VLIW Engine) agree on:
+//!
+//! * the architectural register model, including SPARC register windows
+//!   ([`regs`]),
+//! * integer condition codes and branch conditions ([`cond`]),
+//! * the instruction type itself ([`insn`]) plus its 32-bit binary
+//!   encoding ([`encode`]) and a disassembler ([`disasm`]),
+//! * pure ALU/condition-code semantics shared by both engines ([`alu`]),
+//! * the architectural machine state ([`state`]),
+//! * the *dynamic* instruction record produced when the Primary Processor
+//!   retires an instruction ([`dyninstr`]) and the dependence-resource
+//!   model the Scheduler Unit tests against ([`resource`]).
+//!
+//! The subset follows the SPARC Architecture Manual Version 7: there is no
+//! integer multiply or divide (only `mulscc` and the `%y` register);
+//! control transfers are delayed (the instruction after a branch executes
+//! before the target); `%g0` reads as zero and ignores writes; `save` and
+//! `restore` rotate the register-window file.
+
+pub mod alu;
+pub mod cond;
+pub mod disasm;
+pub mod dyninstr;
+pub mod encode;
+pub mod insn;
+pub mod regs;
+pub mod resource;
+pub mod state;
+
+pub use cond::{Cond, FCond, Icc};
+pub use dyninstr::DynInstr;
+pub use insn::{AluOp, FpOp, Instr, MemOp, Src2};
+pub use regs::{phys_reg, NGLOBALS, NUM_PHYS_INT, NWINDOWS};
+pub use resource::{ResList, Resource};
+pub use state::ArchState;

@@ -1,0 +1,203 @@
+//! SPARC register-window model.
+//!
+//! The visible integer registers are `%g0-%g7` (globals), `%o0-%o7`
+//! (outs), `%l0-%l7` (locals) and `%i0-%i7` (ins). The outs/locals/ins
+//! map onto a circular file of [`NWINDOWS`] × 16 physical registers such
+//! that the ins of window *w* are the outs of window *w*+1; `save`
+//! decrements the current window pointer (CWP), making the caller's outs
+//! the callee's ins.
+
+/// Number of register windows in the simulated implementation.
+///
+/// The SPARC V7 manual permits 2..=32; classic implementations (and the
+/// DTSVLIW paper's SPARC substrate) use 8.
+pub const NWINDOWS: usize = 8;
+
+/// Number of global registers (`%g0-%g7`).
+pub const NGLOBALS: usize = 8;
+
+/// Total physical integer registers: globals plus the windowed file.
+pub const NUM_PHYS_INT: usize = NGLOBALS + NWINDOWS * 16;
+
+/// Well-known visible register numbers.
+pub mod r {
+    /// `%g0`: hard-wired zero.
+    pub const G0: u8 = 0;
+    /// `%g1`: scratch global.
+    pub const G1: u8 = 1;
+    /// `%o0`: first outgoing argument / return value.
+    pub const O0: u8 = 8;
+    /// `%o1`
+    pub const O1: u8 = 9;
+    /// `%o2`
+    pub const O2: u8 = 10;
+    /// `%o3`
+    pub const O3: u8 = 11;
+    /// `%o4`
+    pub const O4: u8 = 12;
+    /// `%o5`
+    pub const O5: u8 = 13;
+    /// `%sp` = `%o6`: stack pointer.
+    pub const SP: u8 = 14;
+    /// `%o7`: address of the `call` instruction (return address - 8).
+    pub const O7: u8 = 15;
+    /// `%l0`: first local.
+    pub const L0: u8 = 16;
+    /// `%l1`
+    pub const L1: u8 = 17;
+    /// `%l2`
+    pub const L2: u8 = 18;
+    /// `%l3`
+    pub const L3: u8 = 19;
+    /// `%l4`
+    pub const L4: u8 = 20;
+    /// `%l5`
+    pub const L5: u8 = 21;
+    /// `%l6`
+    pub const L6: u8 = 22;
+    /// `%l7`
+    pub const L7: u8 = 23;
+    /// `%i0`: first incoming argument.
+    pub const I0: u8 = 24;
+    /// `%i1`
+    pub const I1: u8 = 25;
+    /// `%i2`
+    pub const I2: u8 = 26;
+    /// `%i3`
+    pub const I3: u8 = 27;
+    /// `%i4`
+    pub const I4: u8 = 28;
+    /// `%i5`
+    pub const I5: u8 = 29;
+    /// `%fp` = `%i6`: frame pointer (caller's `%sp`).
+    pub const FP: u8 = 30;
+    /// `%i7`: return address register as seen by the callee.
+    pub const I7: u8 = 31;
+}
+
+/// Map a visible register number (0..32) at window `cwp` to a physical
+/// register index (0..[`NUM_PHYS_INT`]).
+///
+/// Globals map to themselves. For windowed registers the standard SPARC
+/// overlap holds: `phys(cwp, %i_k) == phys(cwp + 1, %o_k)`.
+#[inline]
+pub fn phys_reg(cwp: u8, reg: u8) -> u16 {
+    debug_assert!(reg < 32);
+    if reg < NGLOBALS as u8 {
+        reg as u16
+    } else {
+        let windowed = (cwp as usize * 16 + reg as usize - NGLOBALS) % (NWINDOWS * 16);
+        (NGLOBALS + windowed) as u16
+    }
+}
+
+/// The window entered by a `save` executed at window `cwp`.
+#[inline]
+pub fn save_cwp(cwp: u8) -> u8 {
+    ((cwp as usize + NWINDOWS - 1) % NWINDOWS) as u8
+}
+
+/// The window entered by a `restore` executed at window `cwp`.
+#[inline]
+pub fn restore_cwp(cwp: u8) -> u8 {
+    ((cwp as usize + 1) % NWINDOWS) as u8
+}
+
+/// Visible-register name, e.g. `"%o3"`.
+pub fn reg_name(reg: u8) -> &'static str {
+    const NAMES: [&str; 32] = [
+        "%g0", "%g1", "%g2", "%g3", "%g4", "%g5", "%g6", "%g7", "%o0", "%o1", "%o2", "%o3",
+        "%o4", "%o5", "%sp", "%o7", "%l0", "%l1", "%l2", "%l3", "%l4", "%l5", "%l6", "%l7",
+        "%i0", "%i1", "%i2", "%i3", "%i4", "%i5", "%fp", "%i7",
+    ];
+    NAMES[(reg & 31) as usize]
+}
+
+/// Parse a visible-register name (`%g0`, `%o3`, `%sp`, `%fp`, `%r17`, ...).
+pub fn parse_reg(name: &str) -> Option<u8> {
+    let s = name.strip_prefix('%')?;
+    match s {
+        "sp" => return Some(r::SP),
+        "fp" => return Some(r::FP),
+        _ => {}
+    }
+    let (class, num) = s.split_at(1);
+    let n: u8 = num.parse().ok()?;
+    let base = match class {
+        "g" => 0,
+        "o" => 8,
+        "l" => 16,
+        "i" => 24,
+        "r" => {
+            return if n < 32 { Some(n) } else { None };
+        }
+        "f" => return None,
+        _ => return None,
+    };
+    if n < 8 {
+        Some(base + n)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globals_map_identically_in_all_windows() {
+        for cwp in 0..NWINDOWS as u8 {
+            for g in 0..8 {
+                assert_eq!(phys_reg(cwp, g), g as u16);
+            }
+        }
+    }
+
+    #[test]
+    fn ins_overlap_callers_outs() {
+        // After `save` at window w we are in window w-1 and our ins must be
+        // the physical registers that were the caller's outs.
+        for cwp in 0..NWINDOWS as u8 {
+            let callee = save_cwp(cwp);
+            for k in 0..8 {
+                assert_eq!(
+                    phys_reg(callee, r::I0 + k),
+                    phys_reg(cwp, r::O0 + k),
+                    "window {cwp}->{callee}, k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn save_restore_round_trip() {
+        for cwp in 0..NWINDOWS as u8 {
+            assert_eq!(restore_cwp(save_cwp(cwp)), cwp);
+        }
+    }
+
+    #[test]
+    fn distinct_within_window() {
+        // Within one window, all 32 visible registers (bar %g0 aliasing
+        // nothing) map to distinct physical registers.
+        for cwp in 0..NWINDOWS as u8 {
+            let mut seen = std::collections::HashSet::new();
+            for v in 0..32 {
+                assert!(seen.insert(phys_reg(cwp, v)), "cwp={cwp} reg={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for v in 0..32u8 {
+            assert_eq!(parse_reg(reg_name(v)), Some(v));
+        }
+        assert_eq!(parse_reg("%sp"), Some(14));
+        assert_eq!(parse_reg("%fp"), Some(30));
+        assert_eq!(parse_reg("%r19"), Some(19));
+        assert_eq!(parse_reg("%q1"), None);
+        assert_eq!(parse_reg("%o9"), None);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests over the ISA layer: encode/decode stability, ALU
+//! semantics against wide-integer references, window-mapping algebra.
+
+use dtsvliw_isa::alu::{exec_alu, umul_via_mulscc};
+use dtsvliw_isa::cond::{Cond, Icc};
+use dtsvliw_isa::encode::{decode, encode};
+use dtsvliw_isa::insn::{AluOp, Instr};
+use dtsvliw_isa::regs::{phys_reg, restore_cwp, save_cwp, NWINDOWS};
+use proptest::prelude::*;
+
+proptest! {
+    /// decode∘encode is the identity on everything decode accepts —
+    /// including `Illegal` words, which must re-encode bit-exactly.
+    #[test]
+    fn decode_encode_round_trips_any_word(word in any::<u32>()) {
+        let i = decode(word);
+        let again = decode(encode(&i));
+        prop_assert_eq!(i, again);
+        if let Instr::Illegal(w) = i {
+            prop_assert_eq!(w, word);
+        }
+    }
+
+    /// add/sub condition codes agree with 64-bit arithmetic.
+    #[test]
+    fn addcc_flags_match_wide_arithmetic(a in any::<u32>(), b in any::<u32>()) {
+        let r = exec_alu(AluOp::Add, a, b, Icc::default(), 0);
+        let wide = a as u64 + b as u64;
+        prop_assert_eq!(r.value, wide as u32);
+        prop_assert_eq!(r.icc.c, wide > u32::MAX as u64, "carry");
+        let swide = a as i32 as i64 + b as i32 as i64;
+        prop_assert_eq!(r.icc.v, swide != r.value as i32 as i64, "overflow");
+        prop_assert_eq!(r.icc.z, r.value == 0);
+        prop_assert_eq!(r.icc.n, (r.value as i32) < 0);
+    }
+
+    #[test]
+    fn subcc_flags_match_wide_arithmetic(a in any::<u32>(), b in any::<u32>()) {
+        let r = exec_alu(AluOp::Sub, a, b, Icc::default(), 0);
+        prop_assert_eq!(r.value, a.wrapping_sub(b));
+        prop_assert_eq!(r.icc.c, a < b, "borrow");
+        let swide = a as i32 as i64 - b as i32 as i64;
+        prop_assert_eq!(r.icc.v, swide != r.value as i32 as i64);
+    }
+
+    /// After subcc, the signed/unsigned branch predicates agree with the
+    /// Rust comparison operators.
+    #[test]
+    fn branch_predicates_match_comparisons(a in any::<u32>(), b in any::<u32>()) {
+        let cc = exec_alu(AluOp::Sub, a, b, Icc::default(), 0).icc;
+        prop_assert_eq!(Cond::E.eval(cc), a == b);
+        prop_assert_eq!(Cond::Ne.eval(cc), a != b);
+        prop_assert_eq!(Cond::L.eval(cc), (a as i32) < (b as i32));
+        prop_assert_eq!(Cond::Ge.eval(cc), (a as i32) >= (b as i32));
+        prop_assert_eq!(Cond::G.eval(cc), (a as i32) > (b as i32));
+        prop_assert_eq!(Cond::Le.eval(cc), (a as i32) <= (b as i32));
+        prop_assert_eq!(Cond::Cs.eval(cc), a < b);
+        prop_assert_eq!(Cond::Gu.eval(cc), a > b);
+        prop_assert_eq!(Cond::Leu.eval(cc), a <= b);
+        prop_assert_eq!(Cond::Cc.eval(cc), a >= b);
+    }
+
+    /// The 33-step mulscc chain is a correct 32x32→64 unsigned multiply.
+    #[test]
+    fn mulscc_chain_multiplies(a in any::<u32>(), b in any::<u32>()) {
+        let (lo, hi) = umul_via_mulscc(a, b);
+        let wide = a as u64 * b as u64;
+        prop_assert_eq!(lo, wide as u32);
+        prop_assert_eq!(hi, (wide >> 32) as u32);
+    }
+
+    /// Window mapping: save/restore are inverses; the callee's ins are
+    /// the caller's outs; distinct registers stay distinct.
+    #[test]
+    fn window_mapping_algebra(cwp in 0u8..NWINDOWS as u8, r1 in 0u8..32, r2 in 0u8..32) {
+        prop_assert_eq!(restore_cwp(save_cwp(cwp)), cwp);
+        if r1 >= 8 && r1 < 16 {
+            prop_assert_eq!(phys_reg(save_cwp(cwp), r1 + 16), phys_reg(cwp, r1));
+        }
+        if r1 != r2 {
+            prop_assert_ne!(phys_reg(cwp, r1), phys_reg(cwp, r2));
+        }
+    }
+
+    /// Logic ops clear V and C and set N/Z from the result.
+    #[test]
+    fn logic_flags(a in any::<u32>(), b in any::<u32>()) {
+        for op in [AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Xnor, AluOp::Andn, AluOp::Orn] {
+            let r = exec_alu(op, a, b, Icc::default(), 0);
+            prop_assert!(!r.icc.v && !r.icc.c);
+            prop_assert_eq!(r.icc.z, r.value == 0);
+            prop_assert_eq!(r.icc.n, r.value >> 31 != 0);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Memory substrate for the DTSVLIW simulator.
+//!
+//! * [`Memory`]: a sparse, paged, big-endian byte-addressable store (the
+//!   SPARC is big-endian). This holds the *contents*; it has no timing.
+//! * [`Cache`]: a set-associative LRU cache *timing* model used for the
+//!   Instruction Cache and Data Cache of the paper's feasible machine
+//!   (§4.4) — it tracks hit/miss per access but holds no data, because
+//!   the simulator's single source of truth for contents is [`Memory`].
+
+pub mod cache;
+pub mod memory;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use memory::Memory;

@@ -1,0 +1,188 @@
+//! Sparse paged big-endian memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// A sparse 32-bit byte-addressable memory. Unwritten bytes read as 0.
+/// Multi-byte accesses are big-endian, as on SPARC.
+#[derive(Debug, Default, Clone)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// First byte address at which two memories differ, if any. An
+    /// all-zero page is equivalent to an absent one.
+    pub fn first_difference(&self, other: &Memory) -> Option<u32> {
+        let mut pages: Vec<u32> =
+            self.pages.keys().chain(other.pages.keys()).copied().collect();
+        pages.sort_unstable();
+        pages.dedup();
+        const ZERO: [u8; PAGE_SIZE] = [0; PAGE_SIZE];
+        for p in pages {
+            let a = self.pages.get(&p).map(|b| &**b).unwrap_or(&ZERO);
+            let b = other.pages.get(&p).map(|b| &**b).unwrap_or(&ZERO);
+            if a != b {
+                let off = a.iter().zip(b).position(|(x, y)| x != y).unwrap();
+                return Some((p << PAGE_SHIFT) + off as u32);
+            }
+        }
+        None
+    }
+}
+
+impl Memory {
+    /// Empty memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    #[inline]
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|p| &**p)
+    }
+
+    #[inline]
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    /// Read one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        self.page(addr).map_or(0, |p| p[(addr & PAGE_MASK) as usize])
+    }
+
+    /// Write one byte.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        self.page_mut(addr)[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Read a big-endian halfword. `addr` must be 2-aligned (the caller
+    /// enforces alignment traps).
+    #[inline]
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        (self.read_u8(addr) as u16) << 8 | self.read_u8(addr.wrapping_add(1)) as u16
+    }
+
+    /// Write a big-endian halfword.
+    #[inline]
+    pub fn write_u16(&mut self, addr: u32, value: u16) {
+        self.write_u8(addr, (value >> 8) as u8);
+        self.write_u8(addr.wrapping_add(1), value as u8);
+    }
+
+    /// Read a big-endian word.
+    #[inline]
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        if addr & PAGE_MASK <= PAGE_MASK - 3 {
+            if let Some(p) = self.page(addr) {
+                let o = (addr & PAGE_MASK) as usize;
+                return u32::from_be_bytes([p[o], p[o + 1], p[o + 2], p[o + 3]]);
+            }
+            return 0;
+        }
+        (self.read_u16(addr) as u32) << 16 | self.read_u16(addr.wrapping_add(2)) as u32
+    }
+
+    /// Write a big-endian word.
+    #[inline]
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        if addr & PAGE_MASK <= PAGE_MASK - 3 {
+            let p = self.page_mut(addr);
+            let o = (addr & PAGE_MASK) as usize;
+            p[o..o + 4].copy_from_slice(&value.to_be_bytes());
+        } else {
+            self.write_u16(addr, (value >> 16) as u16);
+            self.write_u16(addr.wrapping_add(2), value as u16);
+        }
+    }
+
+    /// Read `size` bytes (1, 2 or 4) zero-extended.
+    #[inline]
+    pub fn read(&self, addr: u32, size: u8) -> u32 {
+        match size {
+            1 => self.read_u8(addr) as u32,
+            2 => self.read_u16(addr) as u32,
+            _ => self.read_u32(addr),
+        }
+    }
+
+    /// Write the low `size` bytes (1, 2 or 4) of `value`.
+    #[inline]
+    pub fn write(&mut self, addr: u32, size: u8, value: u32) {
+        match size {
+            1 => self.write_u8(addr, value as u8),
+            2 => self.write_u16(addr, value as u16),
+            _ => self.write_u32(addr, value),
+        }
+    }
+
+    /// Copy a byte slice into memory at `base`.
+    pub fn load(&mut self, base: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(base.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Number of resident pages (diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = Memory::new();
+        assert_eq!(m.read_u32(0x1234), 0);
+        assert_eq!(m.read_u8(u32::MAX), 0);
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut m = Memory::new();
+        m.write_u32(0x100, 0x1122_3344);
+        assert_eq!(m.read_u8(0x100), 0x11);
+        assert_eq!(m.read_u8(0x103), 0x44);
+        assert_eq!(m.read_u16(0x100), 0x1122);
+        assert_eq!(m.read_u16(0x102), 0x3344);
+    }
+
+    #[test]
+    fn cross_page_word() {
+        let mut m = Memory::new();
+        let addr = PAGE_SIZE as u32 - 2;
+        m.write_u32(addr, 0xdead_beef);
+        assert_eq!(m.read_u32(addr), 0xdead_beef);
+        assert_eq!(m.read_u16(addr), 0xdead);
+        assert_eq!(m.read_u16(addr + 2), 0xbeef);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn sized_access_round_trip() {
+        let mut m = Memory::new();
+        m.write(0x40, 1, 0xabcd_12ef);
+        assert_eq!(m.read(0x40, 1), 0xef);
+        m.write(0x50, 2, 0x12_3456);
+        assert_eq!(m.read(0x50, 2), 0x3456);
+        m.write(0x60, 4, 0x789a_bcde);
+        assert_eq!(m.read(0x60, 4), 0x789a_bcde);
+    }
+
+    #[test]
+    fn load_slice() {
+        let mut m = Memory::new();
+        m.load(0x2000, &[1, 2, 3, 4, 5]);
+        assert_eq!(m.read_u32(0x2000), 0x0102_0304);
+        assert_eq!(m.read_u8(0x2004), 5);
+    }
+}

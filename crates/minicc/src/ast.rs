@@ -1,0 +1,131 @@
+//! Abstract syntax.
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LAnd,
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UnOp {
+    Neg,
+    Not,
+    LNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone)]
+pub(crate) enum Expr {
+    Num(i64),
+    Var(String),
+    /// `name[index]`: word element of a global array.
+    Index(String, Box<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    Un(UnOp, Box<Expr>),
+    Call(String, Vec<Expr>),
+    /// `lw(addr)` / `lb(addr)`.
+    Load {
+        byte: bool,
+        addr: Box<Expr>,
+    },
+    /// `addr(global)`.
+    AddrOf(String),
+}
+
+/// Statements.
+#[derive(Debug, Clone)]
+pub(crate) enum Stmt {
+    /// `var name = e;` (frame slot) or `reg name = e;` (register).
+    Decl {
+        name: String,
+        in_reg: bool,
+        init: Expr,
+        line: usize,
+    },
+    Assign {
+        name: String,
+        value: Expr,
+        line: usize,
+    },
+    AssignIndex {
+        name: String,
+        index: Expr,
+        value: Expr,
+        line: usize,
+    },
+    /// `sw(addr, v);` / `sb(addr, v);`
+    Store {
+        byte: bool,
+        addr: Expr,
+        value: Expr,
+        line: usize,
+    },
+    If {
+        cond: Expr,
+        then: Vec<Stmt>,
+        els: Vec<Stmt>,
+        line: usize,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        line: usize,
+    },
+    Break(usize),
+    Continue(usize),
+    Return(Option<Expr>, usize),
+    ExprStmt(Expr, usize),
+    Putc(Expr, usize),
+    Putu(Expr, usize),
+    Assert {
+        cond: Expr,
+        site: i64,
+        line: usize,
+    },
+    Halt(Expr, usize),
+}
+
+/// A global scalar or array.
+#[derive(Debug, Clone)]
+pub(crate) struct Global {
+    pub name: String,
+    /// Number of words (1 for a scalar).
+    pub words: u32,
+    /// Initial value (scalars only).
+    pub init: i64,
+    pub is_array: bool,
+}
+
+/// A function.
+#[derive(Debug, Clone)]
+pub(crate) struct Func {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Vec<Stmt>,
+    pub line: usize,
+}
+
+/// A whole program.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Program {
+    pub globals: Vec<Global>,
+    pub funcs: Vec<Func>,
+}

@@ -1,0 +1,236 @@
+//! Tokenizer.
+
+use std::fmt;
+
+/// A compile error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+pub(crate) fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError { line, msg: msg.into() })
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Num(i64),
+    // punctuation / operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Spanned {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+pub(crate) fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= bytes.len() {
+                    return err(line, "unterminated block comment");
+                }
+                i += 2;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(bytes[start..i].iter().collect()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let hex = c == '0' && matches!(bytes.get(i + 1), Some('x') | Some('X'));
+                if hex {
+                    i += 2;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let s: String = bytes[start + 2..i].iter().collect();
+                    let v = i64::from_str_radix(&s, 16)
+                        .map_err(|_| CompileError { line, msg: format!("bad hex literal {s}") })?;
+                    out.push(Spanned { tok: Tok::Num(v), line });
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let s: String = bytes[start..i].iter().collect();
+                    let v = s
+                        .parse::<i64>()
+                        .map_err(|_| CompileError { line, msg: format!("bad literal {s}") })?;
+                    out.push(Spanned { tok: Tok::Num(v), line });
+                }
+            }
+            '\'' => {
+                // character literal
+                let (v, consumed) = match (bytes.get(i + 1), bytes.get(i + 2), bytes.get(i + 3)) {
+                    (Some('\\'), Some(e), Some('\'')) => {
+                        let v = match e {
+                            'n' => b'\n',
+                            't' => b'\t',
+                            '0' => 0,
+                            '\\' => b'\\',
+                            '\'' => b'\'',
+                            other => return err(line, format!("bad escape \\{other}")),
+                        };
+                        (v as i64, 4)
+                    }
+                    (Some(ch), Some('\''), _) => (*ch as i64, 3),
+                    _ => return err(line, "bad character literal"),
+                };
+                out.push(Spanned { tok: Tok::Num(v), line });
+                i += consumed;
+            }
+            _ => {
+                let two: String = bytes[i..(i + 2).min(bytes.len())].iter().collect();
+                let (tok, n) = match two.as_str() {
+                    "<<" => (Tok::Shl, 2),
+                    ">>" => (Tok::Shr, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "==" => (Tok::Eq, 2),
+                    "!=" => (Tok::Ne, 2),
+                    "&&" => (Tok::AndAnd, 2),
+                    "||" => (Tok::OrOr, 2),
+                    _ => {
+                        let t = match c {
+                            '(' => Tok::LParen,
+                            ')' => Tok::RParen,
+                            '{' => Tok::LBrace,
+                            '}' => Tok::RBrace,
+                            '[' => Tok::LBracket,
+                            ']' => Tok::RBracket,
+                            ',' => Tok::Comma,
+                            ';' => Tok::Semi,
+                            '=' => Tok::Assign,
+                            '+' => Tok::Plus,
+                            '-' => Tok::Minus,
+                            '*' => Tok::Star,
+                            '/' => Tok::Slash,
+                            '%' => Tok::Percent,
+                            '&' => Tok::Amp,
+                            '|' => Tok::Pipe,
+                            '^' => Tok::Caret,
+                            '~' => Tok::Tilde,
+                            '!' => Tok::Bang,
+                            '<' => Tok::Lt,
+                            '>' => Tok::Gt,
+                            other => return err(line, format!("unexpected character `{other}`")),
+                        };
+                        (t, 1)
+                    }
+                };
+                out.push(Spanned { tok, line });
+                i += n;
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_operators_and_literals() {
+        let ts = lex("x = 0x1f + 'A' - 10; // comment\n y = x << 2 && !z;").unwrap();
+        let kinds: Vec<&Tok> = ts.iter().map(|s| &s.tok).collect();
+        assert!(kinds.contains(&&Tok::Num(31)));
+        assert!(kinds.contains(&&Tok::Num(65)));
+        assert!(kinds.contains(&&Tok::Shl));
+        assert!(kinds.contains(&&Tok::AndAnd));
+        assert!(kinds.contains(&&Tok::Bang));
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let ts = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<usize> = ts.iter().map(|s| s.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn block_comments() {
+        let ts = lex("a /* multi\nline */ b").unwrap();
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[1].line, 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a @ b").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! minicc: a small C-like language compiled to the SPARC V7 subset.
+//!
+//! The paper's benchmarks were SPECint95 programs compiled by `gcc`; the
+//! reproduction's workloads are written in this language so their
+//! dynamic traces have compiler-shaped structure: register-window
+//! calling convention (`save`/`restore`, args in `%o0-%o5`),
+//! condition-code branches with `nop` delay slots, software multiply and
+//! divide routines (SPARC V7 has no integer multiply/divide), and a mix
+//! of register and memory operand traffic.
+//!
+//! # Language
+//!
+//! * One type: 32-bit `int`.
+//! * Globals: `int x;`, `int x = 5;`, `int buf[256];`.
+//! * Functions: `fn name(a, b) { ... }`, up to 6 parameters (passed in
+//!   registers), recursive calls allowed.
+//! * Locals: `var x = e;` (frame memory) and `reg x = e;` (a window
+//!   local register — use for hot loop counters).
+//! * Statements: assignment, `if`/`else`, `while`, `for`, `break`,
+//!   `continue`, `return`, expression calls.
+//! * Expressions: `+ - * / % & | ^ << >> == != < <= > >= && || ! ~ -`
+//!   with C precedence; `&&`/`||` short-circuit. `*`, `/`, `%` call the
+//!   software runtime (`mc_umul`-style routines built from `mulscc`).
+//! * Arrays: `buf[i]` reads/writes words of a global array.
+//! * Intrinsics: `lw(addr)`, `lb(addr)` (unsigned byte), `sw(addr, v)`,
+//!   `sb(addr, v)`, `addr(global)` (address-of), `putc(c)`, `putu(n)`,
+//!   `assert(cond, site)`, `halt(code)`.
+//!
+//! ```
+//! let image = dtsvliw_minicc::compile_to_image("
+//!     fn main() {
+//!         reg i = 0;
+//!         reg sum = 0;
+//!         while (i < 10) { sum = sum + i * i; i = i + 1; }
+//!         return sum;
+//!     }
+//! ").unwrap();
+//! # let _ = image;
+//! ```
+
+mod ast;
+mod codegen;
+mod lexer;
+mod parser;
+mod runtime;
+
+pub use codegen::compile_to_asm;
+pub use lexer::CompileError;
+
+use dtsvliw_asm::Image;
+
+/// Compile a minicc program to a loadable image: code at the default
+/// origin, data after it, runtime library appended, `_start` calling
+/// `main` and halting with its return value.
+pub fn compile_to_image(src: &str) -> Result<Image, CompileError> {
+    let asm = compile_to_asm(src)?;
+    dtsvliw_asm::assemble(&asm).map_err(|e| CompileError {
+        line: e.line,
+        msg: format!("internal: generated assembly rejected: {}", e.msg),
+    })
+}

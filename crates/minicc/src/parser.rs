@@ -1,0 +1,562 @@
+//! Recursive-descent parser with C operator precedence.
+
+use crate::ast::*;
+use crate::lexer::{err, lex, CompileError, Spanned, Tok};
+
+pub(crate) fn parse(src: &str) -> Result<Program, CompileError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: Tok) -> Result<(), CompileError> {
+        if *self.peek() == t {
+            self.next();
+            Ok(())
+        } else {
+            err(self.line(), format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.next() {
+            Tok::Ident(s) => Ok(s),
+            other => err(self.line(), format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    // ------------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut prog = Program::default();
+        loop {
+            if *self.peek() == Tok::Eof {
+                break;
+            }
+            if self.is_kw("int") {
+                self.next();
+                let name = self.ident()?;
+                let mut g = Global { name, words: 1, init: 0, is_array: false };
+                if *self.peek() == Tok::LBracket {
+                    self.next();
+                    match self.next() {
+                        Tok::Num(n) if n > 0 => g.words = n as u32,
+                        other => {
+                            return err(self.line(), format!("array size must be positive: {other:?}"))
+                        }
+                    }
+                    g.is_array = true;
+                    self.eat(Tok::RBracket)?;
+                } else if *self.peek() == Tok::Assign {
+                    self.next();
+                    let neg = if *self.peek() == Tok::Minus {
+                        self.next();
+                        true
+                    } else {
+                        false
+                    };
+                    match self.next() {
+                        Tok::Num(n) => g.init = if neg { -n } else { n },
+                        other => {
+                            return err(self.line(), format!("global init must be a literal: {other:?}"))
+                        }
+                    }
+                }
+                self.eat(Tok::Semi)?;
+                prog.globals.push(g);
+            } else if self.is_kw("fn") {
+                let line = self.line();
+                self.next();
+                let name = self.ident()?;
+                self.eat(Tok::LParen)?;
+                let mut params = Vec::new();
+                if *self.peek() != Tok::RParen {
+                    loop {
+                        params.push(self.ident()?);
+                        if *self.peek() == Tok::Comma {
+                            self.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat(Tok::RParen)?;
+                if params.len() > 6 {
+                    return err(line, "functions take at most 6 parameters");
+                }
+                let body = self.block()?;
+                prog.funcs.push(Func { name, params, body, line });
+            } else {
+                return err(self.line(), format!("expected `int` or `fn`, found {:?}", self.peek()));
+            }
+        }
+        Ok(prog)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.eat(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.eat(Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        if self.is_kw("var") || self.is_kw("reg") {
+            let in_reg = self.is_kw("reg");
+            self.next();
+            let name = self.ident()?;
+            let init = if *self.peek() == Tok::Assign {
+                self.next();
+                self.expr()?
+            } else {
+                Expr::Num(0)
+            };
+            self.eat(Tok::Semi)?;
+            return Ok(Stmt::Decl { name, in_reg, init, line });
+        }
+        if self.is_kw("if") {
+            self.next();
+            self.eat(Tok::LParen)?;
+            let cond = self.expr()?;
+            self.eat(Tok::RParen)?;
+            let then = self.block()?;
+            let els = if self.is_kw("else") {
+                self.next();
+                if self.is_kw("if") {
+                    vec![self.stmt()?]
+                } else {
+                    self.block()?
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If { cond, then, els, line });
+        }
+        if self.is_kw("while") {
+            self.next();
+            self.eat(Tok::LParen)?;
+            let cond = self.expr()?;
+            self.eat(Tok::RParen)?;
+            let body = self.block()?;
+            return Ok(Stmt::While { cond, body, line });
+        }
+        if self.is_kw("for") {
+            // for (init; cond; step) body  ==>  init; while (cond) { body; step; }
+            self.next();
+            self.eat(Tok::LParen)?;
+            let init = if self.is_kw("var") || self.is_kw("reg") {
+                let in_reg = self.is_kw("reg");
+                self.next();
+                let name = self.ident()?;
+                self.eat(Tok::Assign)?;
+                let init = self.expr()?;
+                Stmt::Decl { name, in_reg, init, line }
+            } else {
+                self.simple_stmt(line)?
+            };
+            self.eat(Tok::Semi)?;
+            let cond = self.expr()?;
+            self.eat(Tok::Semi)?;
+            let step = self.simple_stmt(line)?;
+            self.eat(Tok::RParen)?;
+            let mut body = self.block()?;
+            body.push(step);
+            return Ok(Stmt::If {
+                cond: Expr::Num(1),
+                then: vec![init, Stmt::While { cond, body, line }],
+                els: Vec::new(),
+                line,
+            });
+        }
+        if self.is_kw("break") {
+            self.next();
+            self.eat(Tok::Semi)?;
+            return Ok(Stmt::Break(line));
+        }
+        if self.is_kw("continue") {
+            self.next();
+            self.eat(Tok::Semi)?;
+            return Ok(Stmt::Continue(line));
+        }
+        if self.is_kw("return") {
+            self.next();
+            let e = if *self.peek() != Tok::Semi { Some(self.expr()?) } else { None };
+            self.eat(Tok::Semi)?;
+            return Ok(Stmt::Return(e, line));
+        }
+        let s = self.simple_stmt(line)?;
+        self.eat(Tok::Semi)?;
+        Ok(s)
+    }
+
+    /// Assignment, store/print/assert intrinsics, or expression call —
+    /// the statement forms legal in `for` headers.
+    fn simple_stmt(&mut self, line: usize) -> Result<Stmt, CompileError> {
+        // Intrinsic statements.
+        for (kw, byte) in [("sw", false), ("sb", true)] {
+            if self.is_kw(kw) {
+                self.next();
+                self.eat(Tok::LParen)?;
+                let addr = self.expr()?;
+                self.eat(Tok::Comma)?;
+                let value = self.expr()?;
+                self.eat(Tok::RParen)?;
+                return Ok(Stmt::Store { byte, addr, value, line });
+            }
+        }
+        if self.is_kw("putc") || self.is_kw("putu") {
+            let is_c = self.is_kw("putc");
+            self.next();
+            self.eat(Tok::LParen)?;
+            let e = self.expr()?;
+            self.eat(Tok::RParen)?;
+            return Ok(if is_c { Stmt::Putc(e, line) } else { Stmt::Putu(e, line) });
+        }
+        if self.is_kw("assert") {
+            self.next();
+            self.eat(Tok::LParen)?;
+            let cond = self.expr()?;
+            self.eat(Tok::Comma)?;
+            let site = match self.next() {
+                Tok::Num(n) => n,
+                other => return err(line, format!("assert site must be a literal: {other:?}")),
+            };
+            self.eat(Tok::RParen)?;
+            return Ok(Stmt::Assert { cond, site, line });
+        }
+        if self.is_kw("halt") {
+            self.next();
+            self.eat(Tok::LParen)?;
+            let e = self.expr()?;
+            self.eat(Tok::RParen)?;
+            return Ok(Stmt::Halt(e, line));
+        }
+        // Assignment or expression statement: need lookahead.
+        if let Tok::Ident(name) = self.peek().clone() {
+            let save = self.pos;
+            self.next();
+            match self.peek().clone() {
+                Tok::Assign => {
+                    self.next();
+                    let value = self.expr()?;
+                    return Ok(Stmt::Assign { name, value, line });
+                }
+                Tok::LBracket => {
+                    self.next();
+                    let index = self.expr()?;
+                    self.eat(Tok::RBracket)?;
+                    if *self.peek() == Tok::Assign {
+                        self.next();
+                        let value = self.expr()?;
+                        return Ok(Stmt::AssignIndex { name, index, value, line });
+                    }
+                    self.pos = save;
+                }
+                _ => self.pos = save,
+            }
+        }
+        let e = self.expr()?;
+        Ok(Stmt::ExprStmt(e, line))
+    }
+
+    // ---------------------------------------------------- expressions
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.lor()
+    }
+
+    fn lor(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.land()?;
+        while *self.peek() == Tok::OrOr {
+            self.next();
+            let r = self.land()?;
+            e = Expr::Bin(BinOp::LOr, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn land(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.bitor()?;
+        while *self.peek() == Tok::AndAnd {
+            self.next();
+            let r = self.bitor()?;
+            e = Expr::Bin(BinOp::LAnd, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bitor(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.bitxor()?;
+        while *self.peek() == Tok::Pipe {
+            self.next();
+            let r = self.bitxor()?;
+            e = Expr::Bin(BinOp::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bitxor(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.bitand()?;
+        while *self.peek() == Tok::Caret {
+            self.next();
+            let r = self.bitand()?;
+            e = Expr::Bin(BinOp::Xor, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bitand(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.equality()?;
+        while *self.peek() == Tok::Amp {
+            self.next();
+            let r = self.equality()?;
+            e = Expr::Bin(BinOp::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn equality(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Eq => BinOp::Eq,
+                Tok::Ne => BinOp::Ne,
+                _ => break,
+            };
+            self.next();
+            let r = self.relational()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn relational(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Lt => BinOp::Lt,
+                Tok::Le => BinOp::Le,
+                Tok::Gt => BinOp::Gt,
+                Tok::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.next();
+            let r = self.shift()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn shift(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Shl => BinOp::Shl,
+                Tok::Shr => BinOp::Shr,
+                _ => break,
+            };
+            self.next();
+            let r = self.additive()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn additive(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let r = self.multiplicative()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.next();
+            let r = self.unary()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        match self.peek() {
+            Tok::Minus => {
+                self.next();
+                Ok(Expr::Un(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            Tok::Tilde => {
+                self.next();
+                Ok(Expr::Un(UnOp::Not, Box::new(self.unary()?)))
+            }
+            Tok::Bang => {
+                self.next();
+                Ok(Expr::Un(UnOp::LNot, Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.next() {
+            Tok::Num(n) => Ok(Expr::Num(n)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.eat(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => match self.peek().clone() {
+                Tok::LParen => {
+                    self.next();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.next();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat(Tok::RParen)?;
+                    match name.as_str() {
+                        "lw" | "lb" => {
+                            if args.len() != 1 {
+                                return err(line, format!("{name} takes one argument"));
+                            }
+                            Ok(Expr::Load { byte: name == "lb", addr: Box::new(args.remove_first()) })
+                        }
+                        "addr" => {
+                            if args.len() != 1 {
+                                return err(line, "addr takes one argument");
+                            }
+                            match args.remove_first() {
+                                Expr::Var(g) => Ok(Expr::AddrOf(g)),
+                                _ => err(line, "addr argument must be a global name"),
+                            }
+                        }
+                        _ => {
+                            if args.len() > 6 {
+                                return err(line, "calls take at most 6 arguments");
+                            }
+                            Ok(Expr::Call(name, args))
+                        }
+                    }
+                }
+                Tok::LBracket => {
+                    self.next();
+                    let idx = self.expr()?;
+                    self.eat(Tok::RBracket)?;
+                    Ok(Expr::Index(name, Box::new(idx)))
+                }
+                _ => Ok(Expr::Var(name)),
+            },
+            other => err(line, format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+trait RemoveFirst<T> {
+    fn remove_first(&mut self) -> T;
+}
+
+impl<T> RemoveFirst<T> for Vec<T> {
+    fn remove_first(&mut self) -> T {
+        self.remove(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_control_flow() {
+        let p = parse(
+            "int g; int buf[8];
+             fn main(a, b) {
+                 var x = a + b * 2;
+                 reg i = 0;
+                 while (i < 8) { buf[i] = x; i = i + 1; }
+                 if (x > 3 && g != 0) { return x; } else { return 0; }
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[1].words, 8);
+        assert_eq!(p.funcs[0].params, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn for_desugars() {
+        let p = parse("fn f() { for (reg i = 0; i < 4; i = i + 1) { putc(i); } return 0; }")
+            .unwrap();
+        assert!(matches!(p.funcs[0].body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn precedence() {
+        // a + b * c parses as a + (b * c)
+        let p = parse("fn f(a, b, c) { return a + b * c; }").unwrap();
+        match &p.funcs[0].body[0] {
+            Stmt::Return(Some(Expr::Bin(BinOp::Add, _, rhs)), _) => {
+                assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_have_lines() {
+        let e = parse("fn f() {\n  var = 3;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse("fn f(a,b,c,d,e,f2,g) { return 0; }").unwrap_err();
+        assert!(e.msg.contains("6 parameters"));
+    }
+}

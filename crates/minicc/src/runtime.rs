@@ -1,0 +1,141 @@
+//! The software arithmetic runtime, mirroring the SPARC library
+//! routines: V7 has only `mulscc`, so multiply and divide are loops.
+//!
+//! All routines are leaves running in the caller's register window; they
+//! clobber only `%o0-%o5`, `%g5-%g7` and `%y`, and keep every delay slot
+//! a `nop` (the Scheduler Unit rejects control transfers with live delay
+//! slots).
+
+/// Assembly text appended to every compiled program.
+pub(crate) const RUNTIME_ASM: &str = "
+! ---------------------------------------------------------------
+! mc_mul: %o0 * %o1 -> %o0 (low 32 bits; identical for signed).
+! 32 multiply steps plus the final adjustment shift, like .umul.
+! ---------------------------------------------------------------
+mc_mul:
+    wr %o1, 0, %y
+    andcc %g0, %g0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %o0, %o4
+    mulscc %o4, %g0, %o4
+    rd %y, %o0
+    retl
+    nop
+
+! ---------------------------------------------------------------
+! mc_udivmod: unsigned %o0 / %o1 -> quotient %o0, remainder %o1.
+! Classic 32-step restoring division. Traps (site 120) on /0.
+! ---------------------------------------------------------------
+mc_udivmod:
+    cmp %o1, 0
+    bne mc_udm_ok
+    nop
+    mov 120, %o0
+    ta 1
+mc_udm_ok:
+    mov 0, %o2
+    mov 0, %o3
+    mov 32, %g5
+mc_udm_loop:
+    sll %o3, 1, %o3
+    srl %o0, 31, %g6
+    or %o3, %g6, %o3
+    sll %o0, 1, %o0
+    sll %o2, 1, %o2
+    cmp %o3, %o1
+    blu mc_udm_skip
+    nop
+    sub %o3, %o1, %o3
+    or %o2, 1, %o2
+mc_udm_skip:
+    subcc %g5, 1, %g5
+    bne mc_udm_loop
+    nop
+    mov %o2, %o0
+    mov %o3, %o1
+    retl
+    nop
+
+! ---------------------------------------------------------------
+! mc_div: signed %o0 / %o1 -> %o0 (C truncating division).
+! ---------------------------------------------------------------
+mc_div:
+    mov %o7, %g7
+    xor %o0, %o1, %o5
+    cmp %o0, 0
+    bge mc_div_a
+    nop
+    neg %o0
+mc_div_a:
+    cmp %o1, 0
+    bge mc_div_b
+    nop
+    neg %o1
+mc_div_b:
+    call mc_udivmod
+    nop
+    cmp %o5, 0
+    bge mc_div_done
+    nop
+    neg %o0
+mc_div_done:
+    jmp %g7 + 8
+    nop
+
+! ---------------------------------------------------------------
+! mc_rem: signed %o0 % %o1 -> %o0 (sign of the dividend, like C).
+! ---------------------------------------------------------------
+mc_rem:
+    mov %o7, %g7
+    mov %o0, %o5
+    cmp %o0, 0
+    bge mc_rem_a
+    nop
+    neg %o0
+mc_rem_a:
+    cmp %o1, 0
+    bge mc_rem_b
+    nop
+    neg %o1
+mc_rem_b:
+    call mc_udivmod
+    nop
+    mov %o1, %o0
+    cmp %o5, 0
+    bge mc_rem_done
+    nop
+    neg %o0
+mc_rem_done:
+    jmp %g7 + 8
+    nop
+";

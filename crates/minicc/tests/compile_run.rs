@@ -1,0 +1,250 @@
+//! Compile minicc programs and execute them on the sequential reference
+//! machine, checking results end to end.
+
+use dtsvliw_minicc::compile_to_image;
+use dtsvliw_primary::{RefMachine, RunOutcome};
+
+fn run(src: &str) -> (u32, String) {
+    let img = compile_to_image(src).unwrap_or_else(|e| panic!("compile error: {e}"));
+    let mut m = RefMachine::new(&img);
+    match m.run(50_000_000).unwrap_or_else(|e| panic!("runtime error: {e}\n")) {
+        RunOutcome::Halted { code, .. } => (code, m.output_string()),
+        RunOutcome::OutOfFuel => panic!("program did not halt"),
+    }
+}
+
+fn result_of(src: &str) -> u32 {
+    run(src).0
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(result_of("fn main() { return 2 + 3 * 4; }"), 14);
+    assert_eq!(result_of("fn main() { return (2 + 3) * 4; }"), 20);
+    assert_eq!(result_of("fn main() { return 100 - 7 * 9; }"), 37);
+    assert_eq!(result_of("fn main() { return 1 << 10; }"), 1024);
+    assert_eq!(result_of("fn main() { return 0xff00 >> 8; }"), 0xff);
+    assert_eq!(result_of("fn main() { return (0xf0 | 0x0f) ^ 0x3c; }"), 0xc3);
+    assert_eq!(result_of("fn main() { return 255 & 0x18; }"), 0x18);
+    assert_eq!(result_of("fn main() { return -(5 - 12); }"), 7);
+    assert_eq!(result_of("fn main() { return ~0 - 0xfffffff0; }") as i32, 15 - 16 + 16);
+}
+
+#[test]
+fn multiply_divide_remainder() {
+    assert_eq!(result_of("fn main() { return 123 * 456; }"), 56088);
+    assert_eq!(result_of("fn main() { return 56088 / 456; }"), 123);
+    assert_eq!(result_of("fn main() { return 56089 % 456; }"), 1);
+    assert_eq!(result_of("fn main() { return 7 * 8; }"), 56, "power-of-two path");
+    assert_eq!(result_of("fn main() { return 12345678 / 1; }"), 12345678);
+    // Signed semantics (C truncation).
+    assert_eq!(result_of("fn main() { return -7 / 2; }") as i32, -3);
+    assert_eq!(result_of("fn main() { return -7 % 2; }") as i32, -1);
+    assert_eq!(result_of("fn main() { return 7 / -2; }") as i32, -3);
+    // Big unsigned-ish values through the signed-correct low word.
+    assert_eq!(
+        result_of("fn main() { return 40503 * 30103; }"),
+        40503u32.wrapping_mul(30103)
+    );
+}
+
+#[test]
+fn comparisons_and_logic() {
+    assert_eq!(result_of("fn main() { return 3 < 5; }"), 1);
+    assert_eq!(result_of("fn main() { return 5 <= 4; }"), 0);
+    assert_eq!(result_of("fn main() { return -1 < 1; }"), 1, "signed compare");
+    assert_eq!(result_of("fn main() { return (1 < 2) && (3 > 2); }"), 1);
+    assert_eq!(result_of("fn main() { return 0 || (2 == 2); }"), 1);
+    assert_eq!(result_of("fn main() { return !(1 == 1); }"), 0);
+    // Short-circuit: the second operand must not execute.
+    let src = "
+        int hits;
+        fn bump() { hits = hits + 1; return 1; }
+        fn main() {
+            var a = 0 && bump();
+            var b = 1 || bump();
+            return hits * 10 + a + b;
+        }";
+    assert_eq!(result_of(src), 1);
+}
+
+#[test]
+fn control_flow() {
+    let src = "
+        fn main() {
+            reg sum = 0;
+            reg i = 0;
+            while (i < 100) {
+                i = i + 1;
+                if (i % 2 == 0) { continue; }
+                if (i > 50) { break; }
+                sum = sum + i;
+            }
+            return sum;
+        }";
+    // odd numbers 1..=49
+    assert_eq!(result_of(src), (1..=49).step_by(2).sum::<u32>());
+}
+
+#[test]
+fn for_loops() {
+    let src = "
+        fn main() {
+            reg total = 0;
+            for (reg i = 1; i <= 10; i = i + 1) {
+                for (reg j = 1; j <= 10; j = j + 1) {
+                    total = total + i * j;
+                }
+            }
+            return total;
+        }";
+    assert_eq!(result_of(src), 55 * 55);
+}
+
+#[test]
+fn functions_and_recursion() {
+    let src = "
+        fn fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn main() { return fib(15); }";
+    assert_eq!(result_of(src), 610);
+
+    let src = "
+        fn ack(m, n) {
+            if (m == 0) { return n + 1; }
+            if (n == 0) { return ack(m - 1, 1); }
+            return ack(m - 1, ack(m, n - 1));
+        }
+        fn main() { return ack(2, 3); }";
+    assert_eq!(result_of(src), 9);
+}
+
+#[test]
+fn six_arguments() {
+    let src = "
+        fn weigh(a, b, c, d, e, f) { return a + 2*b + 3*c + 4*d + 5*e + 6*f; }
+        fn main() { return weigh(1, 2, 3, 4, 5, 6); }";
+    assert_eq!(result_of(src), 1 + 4 + 9 + 16 + 25 + 36);
+}
+
+#[test]
+fn globals_and_arrays() {
+    let src = "
+        int counter = 41;
+        int grid[64];
+        fn main() {
+            counter = counter + 1;
+            reg i = 0;
+            while (i < 64) { grid[i] = i * i; i = i + 1; }
+            return counter * 1000000 + grid[7] + grid[63];
+        }";
+    assert_eq!(result_of(src), 42 * 1000000 + 49 + 63 * 63);
+}
+
+#[test]
+fn frame_locals_spill_to_memory() {
+    // More locals than registers: `var` slots must work.
+    let src = "
+        fn main() {
+            var a = 1; var b = 2; var c = 3; var d = 4; var e = 5;
+            var f = 6; var g = 7; var h = 8; var i = 9; var j = 10;
+            return a + b + c + d + e + f + g + h + i + j;
+        }";
+    assert_eq!(result_of(src), 55);
+}
+
+#[test]
+fn byte_and_word_intrinsics() {
+    let src = "
+        int scratch[4];
+        fn main() {
+            var p = addr(scratch);
+            sw(p, 0x11223344);
+            sb(p + 5, 0xAB);
+            return lw(p) + lb(p + 5) * 2 + lb(p + 3);
+        }";
+    assert_eq!(result_of(src), 0x1122_3344 + 0xAB * 2 + 0x44);
+}
+
+#[test]
+fn console_and_halt() {
+    let (code, out) = run(
+        "fn main() {
+            putc('h'); putc('i'); putc(' ');
+            putu(2026);
+            halt(7);
+            return 0;
+        }",
+    );
+    assert_eq!(code, 7);
+    assert_eq!(out, "hi 2026");
+}
+
+#[test]
+fn assert_failure_aborts() {
+    let img = compile_to_image("fn main() { assert(1 == 2, 33); return 0; }").unwrap();
+    let mut m = RefMachine::new(&img);
+    let e = m.run(10_000).unwrap_err();
+    let msg = e.to_string();
+    assert!(msg.contains("site 33"), "{msg}");
+}
+
+#[test]
+fn shadowing_and_scopes() {
+    let src = "
+        fn main() {
+            reg x = 1;
+            if (x) { reg x = 10; putu(x); }
+            putu(x);
+            return x;
+        }";
+    let (code, out) = run(src);
+    assert_eq!(code, 1);
+    assert_eq!(out, "101");
+}
+
+#[test]
+fn compile_errors_are_reported() {
+    let cases = [
+        ("fn main() { return y; }", "undefined variable"),
+        ("fn main() { return f(); }", "undefined function"),
+        ("fn f(a) { return a; } fn main() { return f(1, 2); }", "takes 1 arguments"),
+        ("fn main() { break; }", "break outside"),
+        ("int g; int g; fn main() { return 0; }", "duplicate global"),
+        ("fn f() { return 0; }", "no `main`"),
+    ];
+    for (src, want) in cases {
+        let e = dtsvliw_minicc::compile_to_asm(src).unwrap_err();
+        assert!(e.msg.contains(want), "source {src:?}: got {e}");
+    }
+}
+
+#[test]
+fn division_by_zero_traps() {
+    let img = compile_to_image("int z; fn main() { return 5 / z; }").unwrap();
+    let mut m = RefMachine::new(&img);
+    let e = m.run(10_000).unwrap_err();
+    assert!(e.to_string().contains("site 120"), "{e}");
+}
+
+#[test]
+fn sieve_of_eratosthenes() {
+    let src = "
+        int flags[1000];
+        fn main() {
+            reg n = 1000;
+            reg count = 0;
+            for (reg i = 2; i < n; i = i + 1) { flags[i] = 1; }
+            for (reg i = 2; i < n; i = i + 1) {
+                if (flags[i]) {
+                    count = count + 1;
+                    reg j = i * i;
+                    while (j < n) { flags[j] = 0; j = j + i; }
+                }
+            }
+            return count;
+        }";
+    assert_eq!(result_of(src), 168, "primes below 1000");
+}

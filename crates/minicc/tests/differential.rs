@@ -1,0 +1,128 @@
+//! Differential fuzzing of the compiler: random expression trees are
+//! compiled and executed on the simulated machine, and the result is
+//! compared against a Rust-side evaluator with C semantics.
+
+use dtsvliw_minicc::compile_to_image;
+use dtsvliw_primary::{RefMachine, RunOutcome};
+use proptest::prelude::*;
+
+/// A random expression over the variables a, b, c with guarded
+/// divisions (non-zero constant divisors).
+#[derive(Debug, Clone)]
+enum E {
+    Num(i32),
+    Var(u8),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    DivC(Box<E>, i32),
+    RemC(Box<E>, i32),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    ShlC(Box<E>, u8),
+    ShrC(Box<E>, u8),
+    Lt(Box<E>, Box<E>),
+    Eq(Box<E>, Box<E>),
+    Neg(Box<E>),
+    Not(Box<E>),
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![(-1000i32..1000).prop_map(E::Num), (0u8..3).prop_map(E::Var),];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), 1i32..100).prop_map(|(a, d)| E::DivC(Box::new(a), d)),
+            (inner.clone(), 1i32..100).prop_map(|(a, d)| E::RemC(Box::new(a), d)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), 0u8..31).prop_map(|(a, s)| E::ShlC(Box::new(a), s)),
+            (inner.clone(), 0u8..31).prop_map(|(a, s)| E::ShrC(Box::new(a), s)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Eq(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
+            inner.prop_map(|a| E::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn to_src(e: &E) -> String {
+    match e {
+        E::Num(n) => format!("({n})"),
+        E::Var(v) => ["a", "b", "c"][*v as usize].to_string(),
+        E::Add(a, b) => format!("({} + {})", to_src(a), to_src(b)),
+        E::Sub(a, b) => format!("({} - {})", to_src(a), to_src(b)),
+        E::Mul(a, b) => format!("({} * {})", to_src(a), to_src(b)),
+        E::DivC(a, d) => format!("({} / {d})", to_src(a)),
+        E::RemC(a, d) => format!("({} % {d})", to_src(a)),
+        E::And(a, b) => format!("({} & {})", to_src(a), to_src(b)),
+        E::Or(a, b) => format!("({} | {})", to_src(a), to_src(b)),
+        E::Xor(a, b) => format!("({} ^ {})", to_src(a), to_src(b)),
+        E::ShlC(a, s) => format!("({} << {s})", to_src(a)),
+        E::ShrC(a, s) => format!("({} >> {s})", to_src(a)),
+        E::Lt(a, b) => format!("({} < {})", to_src(a), to_src(b)),
+        E::Eq(a, b) => format!("({} == {})", to_src(a), to_src(b)),
+        E::Neg(a) => format!("(-{})", to_src(a)),
+        E::Not(a) => format!("(~{})", to_src(a)),
+    }
+}
+
+/// The language reference semantics: 32-bit wrapping, C truncating
+/// division, logical right shift, 0/1 comparisons.
+fn eval(e: &E, vars: [i32; 3]) -> i32 {
+    match e {
+        E::Num(n) => *n,
+        E::Var(v) => vars[*v as usize],
+        E::Add(a, b) => eval(a, vars).wrapping_add(eval(b, vars)),
+        E::Sub(a, b) => eval(a, vars).wrapping_sub(eval(b, vars)),
+        E::Mul(a, b) => eval(a, vars).wrapping_mul(eval(b, vars)),
+        E::DivC(a, d) => eval(a, vars).wrapping_div(*d),
+        E::RemC(a, d) => eval(a, vars).wrapping_rem(*d),
+        E::And(a, b) => eval(a, vars) & eval(b, vars),
+        E::Or(a, b) => eval(a, vars) | eval(b, vars),
+        E::Xor(a, b) => eval(a, vars) ^ eval(b, vars),
+        E::ShlC(a, s) => ((eval(a, vars) as u32) << s) as i32,
+        E::ShrC(a, s) => ((eval(a, vars) as u32) >> s) as i32,
+        E::Lt(a, b) => (eval(a, vars) < eval(b, vars)) as i32,
+        E::Eq(a, b) => (eval(a, vars) == eval(b, vars)) as i32,
+        E::Neg(a) => eval(a, vars).wrapping_neg(),
+        E::Not(a) => !eval(a, vars),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compiled_expressions_match_reference_semantics(
+        e in arb_expr(),
+        a in -10_000i32..10_000,
+        b in -10_000i32..10_000,
+        c in -10_000i32..10_000,
+    ) {
+        let src = format!(
+            "fn work(a, b, c) {{ return {}; }}\n\
+             fn main() {{ return work({a}, {b}, {c}); }}",
+            to_src(&e)
+        );
+        let img = match compile_to_image(&src) {
+            Ok(img) => img,
+            // Deep trees can exceed the expression stack: a *rejection*
+            // is fine, miscompilation is not.
+            Err(err) if err.msg.contains("too deep") => return Ok(()),
+            Err(err) => panic!("compile error: {err}\n{src}"),
+        };
+        let mut m = RefMachine::new(&img);
+        match m.run(5_000_000).unwrap() {
+            RunOutcome::Halted { code, .. } => {
+                let want = eval(&e, [a, b, c]);
+                prop_assert_eq!(code as i32, want, "program:\n{}", src);
+            }
+            RunOutcome::OutOfFuel => prop_assert!(false, "did not halt"),
+        }
+    }
+}

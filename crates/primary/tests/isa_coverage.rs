@@ -1,0 +1,175 @@
+//! Additional ISA coverage on the sequential machine: indirect calls
+//! through register targets, `%y` semantics, window wrap-around over
+//! long call chains, and the PUTU decimal formatter.
+
+use dtsvliw_asm::assemble;
+use dtsvliw_isa::regs::{r, NWINDOWS};
+use dtsvliw_primary::{RefMachine, RunOutcome};
+
+fn run(src: &str) -> (u32, RefMachine) {
+    let img = assemble(src).unwrap();
+    let mut m = RefMachine::new(&img);
+    match m.run(1_000_000).unwrap() {
+        RunOutcome::Halted { code, .. } => (code, m),
+        RunOutcome::OutOfFuel => panic!("did not halt"),
+    }
+}
+
+#[test]
+fn indirect_call_through_function_pointer_table() {
+    // A jump table: call the k-th function through jmpl, linking %o7.
+    let src = "
+_start:
+    set table, %l0
+    mov 0, %l1          ! accumulated
+    mov 0, %l2          ! index
+loop:
+    sll %l2, 2, %o5
+    ld [%l0 + %o5], %g1
+    jmpl %g1, %o7       ! indirect call: callee returns via retl
+    nop
+    add %l1, %o0, %l1
+    add %l2, 1, %l2
+    cmp %l2, 3
+    bl loop
+    nop
+    mov %l1, %o0
+    ta 0
+f1: retl
+    mov 10, %o0
+f2: retl
+    mov 200, %o0
+f3: retl
+    mov 3000, %o0
+    .align 4
+table:
+    .word f1, f2, f3
+";
+    let (code, _) = run(src);
+    assert_eq!(code, 3210);
+}
+
+#[test]
+fn wry_is_xor_semantics() {
+    // SPARC defines `wr rs1, src2, %y` as rs1 XOR src2.
+    let src = "
+_start:
+    set 0xff00, %o1
+    wr %o1, 0xff, %y
+    rd %y, %o0
+    ta 0
+";
+    let (code, _) = run(src);
+    assert_eq!(code, 0xffff);
+}
+
+#[test]
+fn deep_call_chain_wraps_every_window() {
+    // Chain deeper than 3x the window count: every physical window is
+    // reused and refilled; each frame's local must survive.
+    let depth = 3 * NWINDOWS as u32 + 2;
+    let src = format!(
+        "
+_start:
+    set 0x80000, %sp
+    mov {depth}, %o0
+    call chain
+    nop
+    ta 0
+chain:
+    save %sp, -96, %sp
+    mov %i0, %l3          ! this frame's value
+    cmp %i0, 0
+    be bottom
+    nop
+    sub %i0, 1, %o0
+    call chain
+    nop
+    ! child result + my local (spilled/refilled across the wrap)
+    add %o0, %l3, %i0
+    ret
+    restore %i0, 0, %o0
+bottom:
+    mov 0, %i0
+    ret
+    restore %i0, 0, %o0
+"
+    );
+    let (code, m) = run(&src);
+    assert_eq!(code, (1..=depth).sum::<u32>());
+    assert_eq!(m.state.cwp, 0, "returned to the entry window");
+    assert_eq!(m.state.resident, 1);
+}
+
+#[test]
+fn putu_formats_decimals() {
+    let src = "
+_start:
+    mov 0, %o0
+    ta 3
+    set 1000000, %o0
+    ta 3
+    set 4294967295, %o0
+    ta 3
+    ta 0
+";
+    let (_, m) = run(src);
+    assert_eq!(m.output_string(), "010000004294967295");
+}
+
+#[test]
+fn g0_targets_discard_in_every_class() {
+    let src = "
+_start:
+    set 0x2000, %o1
+    add %o1, 5, %g0       ! alu write to g0
+    ld [%o1], %g0         ! load to g0
+    sethi 0x3f, %g0       ! sethi to g0 (a long nop)
+    mov 77, %o0
+    ta 0
+";
+    let (code, m) = run(src);
+    assert_eq!(code, 77);
+    assert_eq!(m.state.get(r::G0), 0);
+}
+
+#[test]
+fn not_taken_conditional_costs_show_in_machine_cycles() {
+    // Same instruction counts, opposite branch bias: the not-taken-heavy
+    // variant must burn more cycles on the full machine (Table 1's
+    // 3-cycle bubble).
+    use dtsvliw_core::{Machine, MachineConfig};
+    let biased = |cond: &str| {
+        format!(
+            "
+_start:
+    mov 400, %o1
+loop:
+    subcc %o1, 1, %o1
+    {cond} skip           ! direction depends on the predicate
+    nop
+    nop
+skip:
+    cmp %o1, 0
+    bne loop
+    nop
+    ta 0
+"
+        )
+    };
+    // `bne skip` is taken until the last iteration; `be skip` never is.
+    let mut cfg = MachineConfig::ideal(1, 1);
+    cfg.vliw_cache = dtsvliw_vliw::VliwCacheConfig { size_bytes: 6, ways: 1, width: 1, height: 1 };
+    let run_cycles = |src: &str| {
+        let img = assemble(src).unwrap();
+        let mut m = Machine::new(cfg.clone(), &img);
+        m.run(100_000).unwrap();
+        m.stats().cycles
+    };
+    let taken_heavy = run_cycles(&biased("bne"));
+    let nottaken_heavy = run_cycles(&biased("be"));
+    assert!(
+        nottaken_heavy > taken_heavy,
+        "not-taken bubbles must show: {nottaken_heavy} vs {taken_heavy}"
+    );
+}

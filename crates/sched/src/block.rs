@@ -1,0 +1,302 @@
+//! Scheduled-code data types: slot operations, long instructions and
+//! blocks — the unit stored in the VLIW Cache.
+
+use dtsvliw_isa::insn::FuClass;
+use dtsvliw_isa::resource::RenameKind;
+use dtsvliw_isa::{DynInstr, ResList, Resource};
+use serde::{Deserialize, Serialize};
+
+/// A trace instruction placed in a long-instruction slot.
+///
+/// `writes` may differ from `d.writes()` when the instruction was split:
+/// renamed outputs point at renaming registers and the original
+/// locations are written by a separate [`CopyInstr`] placed lower in the
+/// block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledInstr {
+    /// The dynamic instruction as observed by the Primary Processor.
+    pub d: DynInstr,
+    /// Source locations (never renamed — consumers depend on the COPY).
+    pub reads: ResList,
+    /// Destination locations, after any renaming.
+    pub writes: ResList,
+    /// Branch tag: valid only while every conditional/indirect branch of
+    /// the same long instruction with a smaller tag follows its recorded
+    /// direction (paper §3.8).
+    pub tag: u8,
+    /// Load/store insertion order within the block (paper §3.10).
+    pub ls_order: Option<u16>,
+    /// Cross bit: this load/store shared a long instruction with a store
+    /// or memory COPY at some placement, so the VLIW Engine must enter
+    /// it in the load/store lists (paper §3.10).
+    pub cross: bool,
+    /// Source redirections applied when the producer immediately above
+    /// split: `(original location, renaming register)` pairs. The VLIW
+    /// Engine reads the renaming register wherever the instruction's
+    /// encoding names the original location.
+    pub src_renames: Vec<(Resource, Resource)>,
+}
+
+impl ScheduledInstr {
+    /// Was any output renamed (i.e. was the instruction split)?
+    pub fn is_split(&self) -> bool {
+        self.writes.iter().any(|w| {
+            matches!(
+                w,
+                Resource::IntRen(_)
+                    | Resource::FpRen(_)
+                    | Resource::IccRen(_)
+                    | Resource::FccRen(_)
+                    | Resource::MemRen(_)
+            )
+        })
+    }
+
+    /// Does this operation write memory (a real, un-renamed store)?
+    pub fn writes_memory(&self) -> bool {
+        self.writes.iter().any(|w| matches!(w, Resource::Mem { .. }))
+    }
+}
+
+/// A COPY instruction produced by splitting: commits renaming registers
+/// to the original locations. One COPY can carry several pairs when a
+/// control-dependency split renamed all outputs at once (paper §3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CopyInstr {
+    /// `(renaming register, original location)` pairs.
+    pub pairs: Vec<(Resource, Resource)>,
+    /// Branch tag (see [`ScheduledInstr::tag`]).
+    pub tag: u8,
+    /// Order field inherited from a split store (memory COPYs take part
+    /// in aliasing detection at their own position).
+    pub ls_order: Option<u16>,
+    /// Cross bit (see [`ScheduledInstr::cross`]).
+    pub cross: bool,
+    /// Sequence number of the split instruction (diagnostics).
+    pub orig_seq: u64,
+}
+
+impl CopyInstr {
+    /// Locations read: the renaming registers.
+    pub fn reads(&self) -> ResList {
+        self.pairs.iter().map(|(from, _)| *from).collect()
+    }
+
+    /// Locations written: the original destinations.
+    pub fn writes(&self) -> ResList {
+        self.pairs.iter().map(|(_, to)| *to).collect()
+    }
+
+    /// True when one of the pairs commits a renamed store to memory.
+    pub fn writes_memory(&self) -> bool {
+        self.pairs.iter().any(|(_, to)| matches!(to, Resource::Mem { .. }))
+    }
+
+    /// Functional-unit class: memory COPYs need a load/store unit, FP
+    /// copies an FP unit, everything else an integer unit.
+    pub fn fu_class(&self) -> FuClass {
+        if self.writes_memory() {
+            FuClass::LoadStore
+        } else if self.pairs.iter().any(|(_, to)| matches!(to, Resource::Fp(_) | Resource::FpRen(_)))
+        {
+            FuClass::Float
+        } else {
+            FuClass::Integer
+        }
+    }
+}
+
+/// One operation in one slot of a long instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlotOp {
+    /// A scheduled trace instruction.
+    Instr(ScheduledInstr),
+    /// A COPY left behind by a split.
+    Copy(CopyInstr),
+}
+
+impl SlotOp {
+    /// Source locations.
+    pub fn reads(&self) -> ResList {
+        match self {
+            SlotOp::Instr(s) => s.reads,
+            SlotOp::Copy(c) => c.reads(),
+        }
+    }
+
+    /// Destination locations.
+    pub fn writes(&self) -> ResList {
+        match self {
+            SlotOp::Instr(s) => s.writes,
+            SlotOp::Copy(c) => c.writes(),
+        }
+    }
+
+    /// Branch tag.
+    pub fn tag(&self) -> u8 {
+        match self {
+            SlotOp::Instr(s) => s.tag,
+            SlotOp::Copy(c) => c.tag,
+        }
+    }
+
+    /// Functional-unit class this operation issues to.
+    pub fn fu_class(&self) -> FuClass {
+        match self {
+            SlotOp::Instr(s) => s.d.instr.fu_class(),
+            SlotOp::Copy(c) => c.fu_class(),
+        }
+    }
+
+    /// Is this a store or a memory COPY (sets cross bits, §3.10)?
+    pub fn is_memory_writer(&self) -> bool {
+        match self {
+            SlotOp::Instr(s) => s.writes_memory(),
+            SlotOp::Copy(c) => c.writes_memory(),
+        }
+    }
+
+    /// Is this a conditional or indirect branch?
+    pub fn is_branch(&self) -> bool {
+        matches!(self, SlotOp::Instr(s) if s.d.instr.is_conditional_or_indirect())
+    }
+
+    /// Load/store order field, when the op takes part in memory-aliasing
+    /// detection.
+    pub fn ls_order(&self) -> Option<u16> {
+        match self {
+            SlotOp::Instr(s) => s.ls_order,
+            SlotOp::Copy(c) => c.ls_order,
+        }
+    }
+}
+
+/// One long (VLIW) instruction: a row of optional slot operations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LongInstr {
+    /// `width` slots; `None` is an empty slot.
+    pub slots: Vec<Option<SlotOp>>,
+}
+
+impl LongInstr {
+    /// An empty long instruction of `width` slots.
+    pub fn empty(width: usize) -> Self {
+        LongInstr { slots: vec![None; width] }
+    }
+
+    /// Occupied slots.
+    pub fn ops(&self) -> impl Iterator<Item = &SlotOp> + '_ {
+        self.slots.iter().flatten()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// All slots free?
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Does the long instruction contain a conditional/indirect branch?
+    pub fn has_branch(&self) -> bool {
+        self.ops().any(|o| o.is_branch())
+    }
+}
+
+/// Rename-register high-water marks for one block, by pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RenameCounts {
+    /// Integer renaming registers used.
+    pub int: u32,
+    /// FP renaming registers used.
+    pub fp: u32,
+    /// Flag (icc + fcc) renaming registers used.
+    pub flag: u32,
+    /// Memory renaming registers used.
+    pub mem: u32,
+}
+
+impl RenameCounts {
+    /// Bump the counter for `kind` and return the allocated id.
+    pub fn alloc(&mut self, kind: RenameKind) -> u32 {
+        let c = match kind {
+            RenameKind::Int => &mut self.int,
+            RenameKind::Fp => &mut self.fp,
+            RenameKind::Icc | RenameKind::Fcc => &mut self.flag,
+            RenameKind::Mem => &mut self.mem,
+        };
+        let id = *c;
+        *c += 1;
+        id
+    }
+
+    /// Pointwise maximum (for high-water tracking across blocks).
+    pub fn max(self, other: RenameCounts) -> RenameCounts {
+        RenameCounts {
+            int: self.int.max(other.int),
+            fp: self.fp.max(other.fp),
+            flag: self.flag.max(other.flag),
+            mem: self.mem.max(other.mem),
+        }
+    }
+}
+
+/// A sealed block of long instructions — one VLIW Cache line (§3.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Cache tag: the SPARC address of the first instruction placed in
+    /// the block.
+    pub tag_addr: u32,
+    /// Window pointer at block entry; a VLIW Cache hit additionally
+    /// requires the current cwp to match, because scheduled operations
+    /// reference physical (window-resolved) registers. The paper tags by
+    /// address alone and does not discuss recursion re-entering a block
+    /// at a different window; the cwp check is the minimal correctness
+    /// completion and is recorded in DESIGN.md.
+    pub entry_cwp: u8,
+    /// Resident-window count at entry; checked on hit only when the
+    /// block contains `save`/`restore` (whose spill/fill behaviour
+    /// depends on it).
+    pub entry_resident: u8,
+    /// Does the block contain `save`/`restore`?
+    pub window_sensitive: bool,
+    /// The long instructions, executed top to bottom.
+    pub lis: Vec<LongInstr>,
+    /// Next-block address (nba) store: where the trace continues after
+    /// the last long instruction.
+    pub nba_addr: u32,
+    /// Rename registers consumed by this block.
+    pub renames: RenameCounts,
+    /// Dynamic sequence number of the first trace instruction of the
+    /// block (test-mode synchronisation).
+    pub first_seq: u64,
+    /// Length of the trace segment this block encodes, in sequential
+    /// instructions *including* the `nop`s and unconditional branches
+    /// the Scheduler Unit ignores: re-executing the block advances the
+    /// sequential machine by exactly this many instructions.
+    pub trace_len: u32,
+}
+
+impl Block {
+    /// nba line-index field: the position of the last long instruction
+    /// (the VLIW Engine switches blocks when PC's line index equals it).
+    pub fn nba_line(&self) -> u8 {
+        (self.lis.len().saturating_sub(1)) as u8
+    }
+
+    /// Occupied slots (for the paper's §4.4 utilisation statistic).
+    pub fn filled_slots(&self) -> usize {
+        self.lis.iter().map(LongInstr::len).sum()
+    }
+
+    /// Scheduled trace instructions (excluding COPYs).
+    pub fn trace_instrs(&self) -> usize {
+        self.lis
+            .iter()
+            .flat_map(LongInstr::ops)
+            .filter(|o| matches!(o, SlotOp::Instr(_)))
+            .count()
+    }
+}

@@ -1,0 +1,710 @@
+//! The scheduling list and the FCFS install/split/move-up algorithm.
+
+use crate::block::{Block, CopyInstr, LongInstr, RenameCounts, ScheduledInstr, SlotOp};
+use dtsvliw_isa::insn::FuClass;
+use dtsvliw_isa::resource::RenameKind;
+use dtsvliw_isa::{DynInstr, ResList, Resource};
+use serde::{Deserialize, Serialize};
+
+/// Scheduler Unit configuration: the block geometry of the paper's
+/// Figure 5 ("instructions per long instruction (width) versus long
+/// instructions per block (height)") plus the slot classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Instructions per long instruction.
+    pub width: usize,
+    /// Long instructions per block (the "block size" hardware constant).
+    pub height: usize,
+    /// Functional-unit class of each slot (`width` entries).
+    pub slot_classes: Vec<FuClass>,
+    /// Instruction splitting (§3.2): when disabled, a candidate whose
+    /// move would need renaming installs instead. Ablation knob — the
+    /// DTSVLIW always splits; disabling it measures what the renaming
+    /// hardware buys.
+    pub enable_splitting: bool,
+    /// Source redirection on split (Figure 2's `subcc r32, ...`): when
+    /// disabled, consumers wait for the COPY. Ablation knob.
+    pub enable_redirect: bool,
+    /// Functional-unit latencies. The paper's experiments use 1-cycle
+    /// units throughout (Table 1, §4.4); its companion paper (reference 14)
+    /// studies multicycle instructions, which this field enables: a
+    /// consumer is placed at least `latency(producer)` long
+    /// instructions below its producer.
+    pub latencies: Latencies,
+}
+
+/// Per-class operation latencies, in long instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latencies {
+    /// Loads (integer and FP).
+    pub load: u8,
+    /// FP operate instructions.
+    pub fp: u8,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Latencies { load: 1, fp: 1 }
+    }
+}
+
+impl Latencies {
+    /// The largest configured latency.
+    pub fn max(self) -> u8 {
+        self.load.max(self.fp).max(1)
+    }
+
+    /// Latency of one instruction.
+    pub fn of(self, instr: &dtsvliw_isa::Instr) -> u8 {
+        if instr.is_load() {
+            self.load
+        } else if matches!(instr, dtsvliw_isa::Instr::Fpop { .. }) {
+            self.fp
+        } else {
+            1
+        }
+    }
+}
+
+impl SchedConfig {
+    /// Homogeneous geometry: every slot accepts every operation (the
+    /// ideal machines of Figures 5–7).
+    pub fn homogeneous(width: usize, height: usize) -> Self {
+        assert!(width >= 1 && height >= 1);
+        SchedConfig {
+            width,
+            height,
+            slot_classes: vec![FuClass::Universal; width],
+            enable_splitting: true,
+            enable_redirect: true,
+            latencies: Latencies::default(),
+        }
+    }
+
+    /// The paper's feasible machine (§4.4): 4 integer + 2 load/store +
+    /// 2 FP + 2 branch units, 8 long instructions per block.
+    pub fn feasible_paper() -> Self {
+        use FuClass::*;
+        SchedConfig {
+            width: 10,
+            height: 8,
+            slot_classes: vec![
+                Integer, Integer, Integer, Integer, LoadStore, LoadStore, Float, Float, Branch,
+                Branch,
+            ],
+            enable_splitting: true,
+            enable_redirect: true,
+            latencies: Latencies::default(),
+        }
+    }
+
+    /// The DIF-comparison machine (§4.5): 4 homogeneous units + 2 branch
+    /// units, blocks of 6 long instructions of 6 instructions.
+    pub fn dif_comparison() -> Self {
+        use FuClass::*;
+        SchedConfig {
+            width: 6,
+            height: 6,
+            slot_classes: vec![Universal, Universal, Universal, Universal, Branch, Branch],
+            enable_splitting: true,
+            enable_redirect: true,
+            latencies: Latencies::default(),
+        }
+    }
+}
+
+/// One scheduling-list element: a long instruction under construction
+/// plus at most one candidate instruction (paper §3.2).
+#[derive(Debug, Clone)]
+pub(crate) struct Element {
+    pub(crate) li: LongInstr,
+    /// Next branch tag to hand out in this long instruction.
+    pub(crate) cur_tag: u8,
+    pub(crate) candidate: Option<Candidate>,
+}
+
+impl Element {
+    fn new(width: usize) -> Self {
+        Element { li: LongInstr::empty(width), cur_tag: 0, candidate: None }
+    }
+}
+
+/// A candidate instruction: the moving form of an instruction whose
+/// companion occupies `slot` of the same element's long instruction.
+#[derive(Debug, Clone)]
+pub(crate) struct Candidate {
+    pub(crate) op: ScheduledInstr,
+    pub(crate) slot: usize,
+}
+
+/// Aggregate Scheduler Unit statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedStats {
+    /// Blocks sealed into the VLIW Cache.
+    pub blocks: u64,
+    /// Long instructions across sealed blocks.
+    pub lis: u64,
+    /// Occupied slots across sealed blocks (COPYs included).
+    pub slots_filled: u64,
+    /// Total slots across sealed blocks (the §4.4 utilisation statistic
+    /// is `slots_filled / slots_total`).
+    pub slots_total: u64,
+    /// Trace instructions scheduled.
+    pub instrs: u64,
+    /// Instructions ignored (`nop`, unconditional direct branches).
+    pub ignored: u64,
+    /// Install decisions.
+    pub installs: u64,
+    /// Plain move-up decisions.
+    pub moves: u64,
+    /// Splits (each leaves one COPY behind).
+    pub splits: u64,
+    /// Rename-register high-water marks across blocks (paper Table 3).
+    pub rename_hw: RenameCounts,
+}
+
+impl SchedStats {
+    /// Fraction of block slots holding an operation (§4.4 reports ~33%).
+    pub fn slot_utilisation(&self) -> f64 {
+        if self.slots_total == 0 {
+            0.0
+        } else {
+            self.slots_filled as f64 / self.slots_total as f64
+        }
+    }
+}
+
+/// Result of [`Scheduler::insert`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertOutcome {
+    /// The instruction is not scheduled (`nop`, `ba`): the paper's
+    /// scheduling algorithm ignores them (§3.2, §3.9).
+    Ignored,
+    /// Inserted; if the list was full a block was sealed first and the
+    /// instruction opened a new block.
+    Inserted(Option<Block>),
+}
+
+/// What [`Scheduler::tick`] decided for one candidate (paper §3.2): the
+/// three possible resolutions of the install/split signal pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Candidate invalidated; companion stays installed.
+    Install,
+    /// Candidate and companion moved one element up.
+    MoveUp,
+    /// Outputs renamed; companion left behind as a COPY; renamed form
+    /// moved one element up.
+    Split,
+}
+
+/// A per-candidate record of one `tick`, for the §3.7 signal-equation
+/// cross-check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolveEvent {
+    /// Element index (from the head) the candidate occupied at the start
+    /// of the cycle.
+    pub elem: usize,
+    /// Sequence number of the candidate's instruction.
+    pub seq: u64,
+    /// The decision taken.
+    pub resolution: Resolution,
+}
+
+/// The Scheduler Unit.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    cfg: SchedConfig,
+    pub(crate) elems: Vec<Element>,
+    block_tag: u32,
+    entry_cwp: u8,
+    entry_resident: u8,
+    window_sensitive: bool,
+    ls_counter: u16,
+    renames: RenameCounts,
+    first_seq: u64,
+    stats: SchedStats,
+    /// When `Some`, every candidate resolution is recorded here (tests).
+    pub trace_events: Option<Vec<ResolveEvent>>,
+}
+
+impl Scheduler {
+    /// A scheduler with an empty list.
+    pub fn new(cfg: SchedConfig) -> Self {
+        assert_eq!(cfg.slot_classes.len(), cfg.width);
+        Scheduler {
+            cfg,
+            elems: Vec::new(),
+            block_tag: 0,
+            entry_cwp: 0,
+            entry_resident: 1,
+            window_sensitive: false,
+            ls_counter: 0,
+            renames: RenameCounts::default(),
+            first_seq: 0,
+            stats: SchedStats::default(),
+            trace_events: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SchedConfig {
+        &self.cfg
+    }
+
+    /// Is the scheduling list empty?
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Number of active elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    // -------------------------------------------------------------
+    // Dependence tests
+    // -------------------------------------------------------------
+
+    /// First free slot of `li` that accepts `class`.
+    fn find_slot(&self, li: &LongInstr, class: FuClass) -> Option<usize> {
+        (0..self.cfg.width)
+            .find(|&s| li.slots[s].is_none() && self.cfg.slot_classes[s].accepts(class))
+    }
+
+    /// True dependency: `reads` hits a location written in `li`
+    /// (skipping `skip` — a companion slot).
+    fn true_dep(li: &LongInstr, reads: &ResList, skip: Option<usize>) -> bool {
+        li.slots.iter().enumerate().any(|(i, s)| {
+            Some(i) != skip && s.as_ref().is_some_and(|op| op.writes().intersects(reads))
+        })
+    }
+
+    /// Output dependency: `writes` hits a location written in `li`.
+    fn out_dep(li: &LongInstr, writes: &ResList, skip: Option<usize>) -> bool {
+        li.slots.iter().enumerate().any(|(i, s)| {
+            Some(i) != skip && s.as_ref().is_some_and(|op| op.writes().intersects(writes))
+        })
+    }
+
+    /// Anti dependency: `writes` hits a location read in `li`.
+    fn anti_dep(li: &LongInstr, writes: &ResList, skip: Option<usize>) -> bool {
+        li.slots.iter().enumerate().any(|(i, s)| {
+            Some(i) != skip && s.as_ref().is_some_and(|op| op.reads().intersects(writes))
+        })
+    }
+
+    // -------------------------------------------------------------
+    // Placement
+    // -------------------------------------------------------------
+
+    /// Place `op` into element `e` at `slot`, resolving its branch tag
+    /// and cross bit at this placement (paper §3.8, §3.10).
+    fn place(&mut self, e: usize, slot: usize, mut op: ScheduledInstr) -> ScheduledInstr {
+        let elem = &mut self.elems[e];
+        op.tag = elem.cur_tag;
+        if op.d.instr.is_conditional_or_indirect() {
+            elem.cur_tag += 1;
+        }
+        if op.ls_order.is_some() {
+            let li_has_writer = elem.li.ops().any(SlotOp::is_memory_writer);
+            let li_has_memop = elem.li.ops().any(|o| o.ls_order().is_some());
+            // A load must be listed when it shares (or shared) a long
+            // instruction with a store; a store additionally when it
+            // crossed any other memory operation. The paper states only
+            // the store-in-LI condition; the store-over-load extension
+            // is required for sound aliasing detection (DESIGN.md).
+            if op.writes_memory() {
+                op.cross |= li_has_memop;
+            } else {
+                op.cross |= li_has_writer;
+            }
+        }
+        elem.li.slots[slot] = Some(SlotOp::Instr(op.clone()));
+        op
+    }
+
+    // -------------------------------------------------------------
+    // Candidate resolution (one per cycle per candidate)
+    // -------------------------------------------------------------
+
+    /// Run one Scheduler Unit cycle: every candidate installs, splits or
+    /// moves up one element, resolved head-first (the sequential
+    /// equivalent of the §3.7 signal equations).
+    pub fn tick(&mut self) {
+        for i in 0..self.elems.len() {
+            if self.elems[i].candidate.is_some() {
+                self.resolve(i);
+            }
+        }
+        // Trim tail elements emptied by move-ups.
+        while let Some(last) = self.elems.last() {
+            if last.li.is_empty() && last.candidate.is_none() {
+                self.elems.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn resolve(&mut self, i: usize) {
+        let cand = self.elems[i].candidate.as_ref().expect("resolve without candidate");
+        let op = cand.op.clone();
+        let slot_here = cand.slot;
+        let seq = op.d.seq;
+        if i == 0 {
+            // Reached the head of the list: install.
+            self.elems[0].candidate = None;
+            self.stats.installs += 1;
+            self.log_event(0, seq, Resolution::Install);
+            return;
+        }
+
+        // Install on a true or resource dependency on the element above,
+        // or when a multicycle producer higher up would be too close.
+        let above = &self.elems[i - 1].li;
+        let dest_slot = self.find_slot(above, op.d.instr.fu_class());
+        if Self::true_dep(above, &op.reads, None)
+            || dest_slot.is_none()
+            || (self.cfg.latencies.max() > 1 && self.latency_violation(i - 1, &op.reads))
+        {
+            self.elems[i].candidate = None;
+            self.stats.installs += 1;
+            self.log_event(i, seq, Resolution::Install);
+            return;
+        }
+        let dest_slot = dest_slot.unwrap();
+
+        // Split triggers: output dependency on the element above, anti
+        // dependency on this element, control dependency (a branch in
+        // this element).
+        let control = self.elems[i].li.slots.iter().enumerate().any(|(s, o)| {
+            s != slot_here && o.as_ref().is_some_and(SlotOp::is_branch)
+        });
+        let mut conflicting: Vec<Resource> = Vec::new();
+        if control {
+            conflicting.extend(op.writes.iter().copied());
+        } else {
+            for w in op.writes.iter() {
+                let out = Self::out_dep(above, &std::iter::once(*w).collect(), None);
+                let anti = Self::anti_dep(
+                    &self.elems[i].li,
+                    &std::iter::once(*w).collect(),
+                    Some(slot_here),
+                );
+                if out || anti {
+                    conflicting.push(*w);
+                }
+            }
+        }
+
+        if conflicting.is_empty() {
+            // Plain move up.
+            self.elems[i].li.slots[slot_here] = None;
+            self.elems[i].candidate = None;
+            let placed = self.place(i - 1, dest_slot, op);
+            self.elems[i - 1].candidate = Some(Candidate { op: placed, slot: dest_slot });
+            self.stats.moves += 1;
+            self.log_event(i, seq, Resolution::MoveUp);
+            return;
+        }
+
+        if !self.cfg.enable_splitting
+            || conflicting.iter().any(|w| !w.renameable())
+            || self.cfg.latencies.of(&op.d.instr) > 1
+        {
+            // %y or the window pointer cannot be renamed, splitting is
+            // ablated, or the op is multicycle (its COPY could not sit
+            // one long instruction below it): install.
+            self.elems[i].candidate = None;
+            self.stats.installs += 1;
+            self.log_event(i, seq, Resolution::Install);
+            return;
+        }
+
+        // Split: rename the conflicting outputs, leave the companion
+        // behind as a COPY, keep climbing with the renamed form.
+        let mut op = op;
+        let mut pairs = Vec::with_capacity(conflicting.len());
+        for w in &conflicting {
+            let kind = w.rename_kind().expect("renameable resource has a kind");
+            let id = self.renames.alloc(kind);
+            let ren = match kind {
+                RenameKind::Int => Resource::IntRen(id),
+                RenameKind::Fp => Resource::FpRen(id),
+                RenameKind::Icc => Resource::IccRen(id),
+                RenameKind::Fcc => Resource::FccRen(id),
+                RenameKind::Mem => Resource::MemRen(id),
+            };
+            op.writes.replace(w, ren);
+            pairs.push((ren, *w));
+        }
+        let mem_copy = pairs.iter().any(|(_, to)| matches!(to, Resource::Mem { .. }));
+        let copy = CopyInstr {
+            pairs,
+            tag: op.tag,
+            ls_order: if mem_copy { op.ls_order } else { None },
+            cross: op.cross && mem_copy,
+            orig_seq: op.d.seq,
+        };
+        // Cross-bit for the COPY at its (final) placement.
+        let copy = {
+            let mut c = copy;
+            if c.ls_order.is_some() {
+                let li = &self.elems[i].li;
+                let has_memop = li
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .any(|(s, o)| s != slot_here && o.as_ref().is_some_and(|o| o.ls_order().is_some()));
+                c.cross |= has_memop;
+            }
+            c
+        };
+        self.elems[i].li.slots[slot_here] = Some(SlotOp::Copy(copy.clone()));
+        self.elems[i].candidate = None;
+        let placed = self.place(i - 1, dest_slot, op);
+        self.elems[i - 1].candidate = Some(Candidate { op: placed, slot: dest_slot });
+        self.stats.splits += 1;
+        self.log_event(i, seq, Resolution::Split);
+
+        // Source redirection (the paper's Figure 2: `subcc r32, 4*x-1`):
+        // the candidate immediately below the split reads the renaming
+        // register instead of waiting for the COPY. Only the adjacent
+        // candidate can be redirected soundly — any farther candidate
+        // may have a closer writer of the original location.
+        if !self.cfg.enable_redirect {
+            return;
+        }
+        if let Some(next) = self.elems.get_mut(i + 1) {
+            if let Some(cand) = &mut next.candidate {
+                let mut changed = false;
+                for (ren, orig) in &copy.pairs {
+                    // Never forward renamed memory: the load's runtime
+                    // address may differ from the store's.
+                    if matches!(orig, Resource::Mem { .. }) {
+                        continue;
+                    }
+                    if cand.op.reads.replace(orig, *ren) > 0 {
+                        cand.op.src_renames.push((*orig, *ren));
+                        changed = true;
+                    }
+                }
+                if changed {
+                    next.li.slots[cand.slot] = Some(SlotOp::Instr(cand.op.clone()));
+                }
+            }
+        }
+    }
+
+    /// Run the list to fixpoint: tick until no candidate remains
+    /// unresolved. This is the DIF machine's *greedy* scheduling (Nair &
+    /// Hopkins): a resource-ready table places each instruction at its
+    /// earliest feasible long instruction immediately, which equals the
+    /// FCFS candidate's final resting place.
+    pub fn settle(&mut self) {
+        // A candidate resolves (installs or stops moving) within
+        // `height` ticks; one extra pass covers redirections.
+        for _ in 0..=self.cfg.height {
+            if self.elems.iter().all(|e| e.candidate.is_none()) {
+                break;
+            }
+            self.tick();
+        }
+    }
+
+    /// Would placing an op reading `reads` at element `pos` violate a
+    /// multicycle producer's latency? (Distance-1 producers are covered
+    /// by the ordinary true-dependency check; this looks further up.)
+    fn latency_violation(&self, pos: usize, reads: &ResList) -> bool {
+        let lmax = self.cfg.latencies.max();
+        for dist in 1..lmax as usize {
+            let Some(j) = pos.checked_sub(dist) else { break };
+            let violated = self.elems[j].li.ops().any(|o| {
+                let lat = match o {
+                    SlotOp::Instr(i) => self.cfg.latencies.of(&i.d.instr),
+                    SlotOp::Copy(_) => 1,
+                };
+                lat as usize > dist && o.writes().intersects(reads)
+            });
+            if violated {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn log_event(&mut self, elem: usize, seq: u64, resolution: Resolution) {
+        if let Some(ev) = &mut self.trace_events {
+            ev.push(ResolveEvent { elem, seq, resolution });
+        }
+    }
+
+    // -------------------------------------------------------------
+    // Insertion
+    // -------------------------------------------------------------
+
+    /// Insert the instruction the Primary Processor just retired.
+    ///
+    /// `resident` is the resident-window count *before* the instruction
+    /// executed (recorded when a new block starts).
+    pub fn insert(&mut self, d: &DynInstr, resident: u8) -> InsertOutcome {
+        if d.instr.is_nop() || d.instr.is_unconditional_branch() {
+            self.stats.ignored += 1;
+            return InsertOutcome::Ignored;
+        }
+        debug_assert!(!d.instr.is_non_schedulable(), "machine must reject traps");
+
+        let mut op = ScheduledInstr {
+            d: *d,
+            reads: d.reads(),
+            writes: d.writes(),
+            tag: 0,
+            ls_order: None,
+            cross: false,
+            src_renames: Vec::new(),
+        };
+        let is_branch = d.instr.is_conditional_or_indirect();
+
+        let mut sealed = None;
+        // Does the incoming instruction fit in the tail element? Flow,
+        // output and resource dependencies open a new element. Anti
+        // dependencies do not: a long instruction reads before it
+        // writes, so an older reader and a younger writer of the same
+        // location coexist correctly (the paper's Figure 2 places the
+        // second iteration's `ld ..., r8` beside `add r9, r8, r9`).
+        // Joining a long instruction that already holds branches is
+        // also allowed — the incoming instruction receives the current
+        // branch tag (§3.8: the same snapshot shows that `ld` after
+        // `ble`).
+        let join_tail = if let Some(tail) = self.elems.last() {
+            let li = &tail.li;
+            let free = self.find_slot(li, d.instr.fu_class());
+            let data = Self::true_dep(li, &op.reads, None)
+                || Self::out_dep(li, &op.writes, None)
+                || (self.cfg.latencies.max() > 1
+                    && self.latency_violation(self.elems.len() - 1, &op.reads));
+            free.is_some() && !data
+        } else {
+            false
+        };
+
+        if self.elems.is_empty() || (!join_tail && self.elems.len() == self.cfg.height) {
+            if !self.elems.is_empty() {
+                // List full: seal and start a new block at this
+                // instruction (paper §3.2).
+                sealed = self.seal(d.pc, d.seq);
+            }
+            self.start_block(d, resident);
+        }
+
+        if d.instr.is_mem() {
+            op.ls_order = Some(self.ls_counter);
+            self.ls_counter += 1;
+        }
+        if matches!(d.instr, dtsvliw_isa::Instr::Save { .. } | dtsvliw_isa::Instr::Restore { .. })
+        {
+            self.window_sensitive = true;
+        }
+
+        if !join_tail && !self.elems.is_empty() && self.elems.len() < self.cfg.height {
+            // Need a fresh tail element unless the block just started
+            // with an empty list.
+            if !self.elems.last().map_or(true, |t| t.li.is_empty() && t.candidate.is_none()) {
+                self.elems.push(Element::new(self.cfg.width));
+            }
+            // Multicycle producers may require latency bubbles: empty
+            // long instructions until the new position is far enough
+            // below ([14]'s spacing rule).
+            while self.cfg.latencies.max() > 1
+                && self.elems.len() < self.cfg.height
+                && self.latency_violation(self.elems.len() - 1, &op.reads)
+            {
+                self.elems.push(Element::new(self.cfg.width));
+            }
+        }
+        if self.elems.is_empty() {
+            self.elems.push(Element::new(self.cfg.width));
+        }
+
+        let e = self.elems.len() - 1;
+        let slot = self
+            .find_slot(&self.elems[e].li, d.instr.fu_class())
+            .expect("an empty or joinable long instruction must have a free slot");
+        let placed = self.place(e, slot, op);
+        if !is_branch {
+            // Branches never move (their order is preserved, §3.8);
+            // everything else becomes a candidate.
+            self.elems[e].candidate = Some(Candidate { op: placed, slot });
+        }
+        self.stats.instrs += 1;
+        InsertOutcome::Inserted(sealed)
+    }
+
+    fn start_block(&mut self, d: &DynInstr, resident: u8) {
+        debug_assert!(self.elems.is_empty());
+        self.block_tag = d.pc;
+        self.entry_cwp = d.cwp_before;
+        self.entry_resident = resident;
+        self.window_sensitive = false;
+        self.ls_counter = 0;
+        self.renames = RenameCounts::default();
+        self.first_seq = d.seq;
+    }
+
+    /// Seal the block under construction: every candidate is finalised
+    /// in place and the long instructions become one VLIW Cache line.
+    /// `next_addr` is the address where the trace continues (the nba
+    /// store) and `next_seq` the dynamic sequence number of the
+    /// instruction there. Returns `None` when the list is empty.
+    pub fn seal(&mut self, next_addr: u32, next_seq: u64) -> Option<Block> {
+        if self.elems.is_empty() {
+            return None;
+        }
+        for e in &mut self.elems {
+            e.candidate = None;
+        }
+        let lis: Vec<LongInstr> = self.elems.drain(..).map(|e| e.li).collect();
+        let block = Block {
+            tag_addr: self.block_tag,
+            entry_cwp: self.entry_cwp,
+            entry_resident: self.entry_resident,
+            window_sensitive: self.window_sensitive,
+            nba_addr: next_addr,
+            renames: self.renames,
+            first_seq: self.first_seq,
+            trace_len: next_seq.saturating_sub(self.first_seq) as u32,
+            lis,
+        };
+        self.stats.blocks += 1;
+        self.stats.lis += block.lis.len() as u64;
+        self.stats.slots_filled += block.filled_slots() as u64;
+        self.stats.slots_total += (self.cfg.width * self.cfg.height) as u64;
+        self.stats.rename_hw = self.stats.rename_hw.max(block.renames);
+        self.renames = RenameCounts::default();
+        Some(block)
+    }
+
+    /// Test/diagnostic view of the list: `(slot strings per element,
+    /// candidate slot)` from head to tail.
+    pub fn dump(&self) -> Vec<Vec<String>> {
+        self.elems
+            .iter()
+            .map(|e| {
+                e.li.slots
+                    .iter()
+                    .map(|s| match s {
+                        None => String::new(),
+                        Some(SlotOp::Instr(i)) => format!("{}", i.d.instr),
+                        Some(SlotOp::Copy(c)) => format!("COPY x{}", c.pairs.len()),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}

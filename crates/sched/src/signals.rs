@@ -1,0 +1,212 @@
+//! The paper's §3.7 install/split signal equations, as an independent
+//! oracle over the start-of-cycle scheduling-list state.
+//!
+//! The hardware evaluates, for every candidate instruction *i* (counted
+//! from the head of the list), comparator outputs
+//!
+//! * `Td(i)`/`Rd(i)`/`Od(i)`: true/resource/output dependency on the
+//!   *installed* instructions of element *i−1*,
+//! * `CTd(i)`/`CRd(i)`/`COd(i)`: the same dependencies caused *only* by
+//!   the candidate of element *i−1* (whose fate is not yet known),
+//! * `Ad(i)`: anti dependency on instructions of element *i* itself,
+//! * `Cd(i)`: control dependency (a branch in element *i*),
+//!
+//! and combines them with a carry-lookahead-style chain:
+//!
+//! ```text
+//! install(i) = (i==0) + Td(i) + Rd(i) + (CTd(i)+CRd(i))·resolved(i-1)
+//! split(i)   = Od(i) + Ad(i) + Cd(i) + COd(i)·resolved(i-1)   [install wins]
+//! ```
+//!
+//! Two clarifications the paper leaves implicit are encoded here and
+//! validated against the executable scheduler by property tests:
+//!
+//! 1. `resolved(i-1)` must be true when candidate *i−1* **splits** as
+//!    well as when it installs — a split leaves a COPY writing the
+//!    original locations in (and keeping the slot of) element *i−1*, so
+//!    the dependency and the resource pressure both persist. The paper's
+//!    equations chain only the install signal.
+//! 2. When candidate *i−1* splits, candidate *i*'s matching register
+//!    sources are redirected to the renaming registers (the paper's
+//!    Figure 2 shows `subcc r32, 4*x-1, r0`), which removes the
+//!    corresponding `CTd(i)` term.
+
+use crate::scheduler::{Resolution, ResolveEvent, Scheduler};
+use dtsvliw_isa::{ResList, Resource};
+
+/// Signals for one candidate, straight from the comparators.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct Signals {
+    pub td: bool,
+    pub rd: bool,
+    pub od: bool,
+    pub ad: bool,
+    pub cd: bool,
+    pub ctd: bool,
+    pub crd: bool,
+    pub cod: bool,
+    /// A split would need to rename a non-renameable output (`%y`,
+    /// window pointer): forces install.
+    pub unsplittable: bool,
+}
+
+/// Predict this cycle's resolutions from the current list state, without
+/// mutating it. Returns one event per candidate, head to tail — the same
+/// order [`Scheduler::tick`] resolves them in.
+pub fn predict(s: &Scheduler) -> Vec<ResolveEvent> {
+    let mut out = Vec::new();
+    // resolved(i-1) and, when i-1 split, the rename substitutions that
+    // redirection applies to candidate i's sources.
+    let mut prev_resolved = true;
+    let mut prev_split_writes: Option<ResList> = None;
+
+    for (i, elem) in s.elems.iter().enumerate() {
+        let Some(cand) = &elem.candidate else {
+            prev_resolved = true;
+            prev_split_writes = None;
+            continue;
+        };
+        let op = &cand.op;
+
+        let resolution = if i == 0 {
+            Resolution::Install
+        } else {
+            // Effective reads: apply the redirection a split of the
+            // candidate above would perform (register-like only).
+            let mut reads = op.reads;
+            if let Some(wr) = &prev_split_writes {
+                for w in wr.iter() {
+                    if !matches!(w, Resource::Mem { .. }) {
+                        // The redirected source conflicts with nothing in
+                        // element i-1 (the renamed producer moved to i-2),
+                        // so dropping it from the read set is equivalent.
+                        while reads.replace(w, Resource::IntRen(u32::MAX)) > 0 {}
+                    }
+                }
+            }
+
+            let sig = signals_for(s, i, &reads);
+            let install =
+                sig.td || sig.rd || ((sig.ctd || sig.crd) && prev_resolved) || sig.unsplittable;
+            let split = sig.od || sig.ad || sig.cd || (sig.cod && prev_resolved);
+            if install {
+                Resolution::Install
+            } else if split {
+                Resolution::Split
+            } else {
+                Resolution::MoveUp
+            }
+        };
+
+        prev_resolved = !matches!(resolution, Resolution::MoveUp);
+        prev_split_writes = if resolution == Resolution::Split {
+            // After a split the candidate's original outputs are what
+            // redirection keys on.
+            Some(original_outputs(op))
+        } else {
+            None
+        };
+        out.push(ResolveEvent { elem: i, seq: op.d.seq, resolution });
+    }
+    out
+}
+
+/// The outputs a split would rename: the candidate's current writes
+/// (renames are re-renamed by control splits, so "current" is right).
+fn original_outputs(op: &crate::block::ScheduledInstr) -> ResList {
+    op.writes
+}
+
+fn signals_for(s: &Scheduler, i: usize, reads: &ResList) -> Signals {
+    let op = &s.elems[i].candidate.as_ref().unwrap().op;
+    let my_slot = s.elems[i].candidate.as_ref().unwrap().slot;
+    let above = &s.elems[i - 1];
+    let above_cand = above.candidate.as_ref();
+    let skip = above_cand.map(|c| c.slot);
+
+    let mut sig = Signals::default();
+    let class = op.d.instr.fu_class();
+
+    // Installed-instruction comparisons in element i-1 (companion slot
+    // of the candidate above disabled, §3.7).
+    for (slot, o) in above.li.slots.iter().enumerate() {
+        if Some(slot) == skip {
+            continue;
+        }
+        if let Some(o) = o {
+            sig.td |= o.writes().intersects(reads);
+            sig.od |= o.writes().intersects(&op.writes);
+        }
+    }
+    // Candidate-above comparisons.
+    if let Some(c) = above_cand {
+        sig.ctd |= c.op.writes.intersects(reads);
+        sig.cod |= c.op.writes.intersects(&op.writes);
+    }
+
+    // Resource signals: free slots in i-1 accepting this class.
+    let free = above
+        .li
+        .slots
+        .iter()
+        .enumerate()
+        .filter(|(slot, o)| {
+            o.is_none() && Some(*slot) != skip && s.config().slot_classes[*slot].accepts(class)
+        })
+        .count();
+    let companion_accepting =
+        skip.is_some_and(|slot| s.config().slot_classes[slot].accepts(class));
+    if free == 0 {
+        if companion_accepting {
+            sig.crd = true;
+        } else {
+            sig.rd = true;
+        }
+    }
+
+    // Own-element comparisons.
+    for (slot, o) in s.elems[i].li.slots.iter().enumerate() {
+        if slot == my_slot {
+            continue;
+        }
+        if let Some(o) = o {
+            sig.ad |= o.reads().intersects(&op.writes);
+            sig.cd |= o.is_branch();
+        }
+    }
+
+    // A forced split of a non-renameable output installs instead.
+    if (sig.od || sig.ad) && !sig.cd {
+        for w in op.writes.iter() {
+            let conflicts_out = above.li.slots.iter().enumerate().any(|(slot, o)| {
+                Some(slot) != skip
+                    && o.as_ref()
+                        .is_some_and(|o| o.writes().contains_conflict(w))
+            });
+            let conflicts_anti = s.elems[i].li.slots.iter().enumerate().any(|(slot, o)| {
+                slot != my_slot
+                    && o.as_ref().is_some_and(|o| o.reads().contains_conflict(w))
+            });
+            if (conflicts_out || conflicts_anti) && !w.renameable() {
+                sig.unsplittable = true;
+            }
+        }
+    } else if sig.cd {
+        sig.unsplittable = op.writes.iter().any(|w| !w.renameable());
+    }
+
+    // COd splits also rename; check those too.
+    if sig.cod && !sig.cd {
+        for w in op.writes.iter() {
+            if let Some(c) = above_cand {
+                if c.op.writes.contains_conflict(w) && !w.renameable() {
+                    sig.unsplittable = true;
+                }
+            }
+        }
+    }
+
+    sig
+}
+

@@ -1,0 +1,237 @@
+//! Reproduction of the paper's Figure 2: the FCFS scheduling algorithm
+//! running on the vector-sum loop, with a 3-instruction-wide,
+//! 4-long-instruction-deep scheduling list.
+//!
+//! The paper's snapshots are taken after 3, 8, 9 and 11 cycles of the
+//! completion of the first instruction, with an instruction inserted in
+//! the same cycle it completes. The key events stated in the text:
+//! instruction 3 is installed in the fourth cycle, instruction 7 is
+//! split in the ninth cycle (leaving `COPY r32, r10` behind and
+//! redirecting `subcc` to read `r32`), and instruction 8 moves up in the
+//! ninth cycle.
+
+use dtsvliw_asm::assemble;
+use dtsvliw_isa::DynInstr;
+use dtsvliw_primary::RefMachine;
+use dtsvliw_sched::scheduler::{Resolution, SchedConfig, Scheduler};
+use dtsvliw_sched::InsertOutcome;
+
+/// The Figure 2(b) program. Paper registers r8..r11 are %o0..%o3; the
+/// vector has x = 10 elements so `4*x - 1 = 39`.
+const FIGURE2: &str = "
+    .org 0x1000
+_start:
+    or %g0, 0, %o1        ! 1: r9 = sum = 0
+    sethi 56, %o0         ! 2: r8 = temp
+    or %o0, 8, %o3        ! 3: r11 = *a
+    or %g0, 0, %o2        ! 4: r10 = 4*i
+loop:
+    ld [%o2 + %o3], %o0   ! 5
+    add %o1, %o0, %o1     ! 6
+    add %o2, 4, %o2       ! 7
+    subcc %o2, 39, %g0    ! 8
+    ble loop              ! 9
+    nop                   ! 10
+    ta 0
+";
+
+/// Run the program on the reference machine, collecting the retired
+/// trace.
+fn trace(n: usize) -> Vec<DynInstr> {
+    let img = assemble(FIGURE2).unwrap();
+    let mut m = RefMachine::new(&img);
+    let mut out = Vec::new();
+    while out.len() < n {
+        let s = m.step().expect("trace executes");
+        if s.halt.is_some() {
+            break;
+        }
+        out.push(s.dyn_instr);
+    }
+    out
+}
+
+/// Feed `n` trace instructions with the paper's timing (tick, then
+/// insert, once per completed instruction).
+fn schedule(n: usize) -> Scheduler {
+    let mut s = Scheduler::new(SchedConfig::homogeneous(3, 4));
+    for d in trace(n) {
+        s.tick();
+        s.insert(&d, 1);
+    }
+    s
+}
+
+/// Render the list as rows of disassembly strings (empty slots dropped).
+fn rows(s: &Scheduler) -> Vec<Vec<String>> {
+    s.dump()
+        .into_iter()
+        .map(|row| row.into_iter().filter(|c| !c.is_empty()).collect())
+        .collect()
+}
+
+#[test]
+fn snapshot_after_3_cycles() {
+    let s = schedule(3);
+    assert_eq!(
+        rows(&s),
+        vec![
+            vec!["or %g0, 0, %o1".to_string(), "sethi 0x38, %o0".into()],
+            vec!["or %o0, 8, %o3".into()],
+        ]
+    );
+}
+
+#[test]
+fn snapshot_after_8_cycles() {
+    let s = schedule(8);
+    assert_eq!(
+        rows(&s),
+        vec![
+            // Instruction 4 moved up beside 1 and 2.
+            vec![
+                "or %g0, 0, %o1".to_string(),
+                "sethi 0x38, %o0".into(),
+                "or %g0, 0, %o2".into()
+            ],
+            vec!["or %o0, 8, %o3".into()],
+            // Instruction 7 moved up beside the load in cycle 8.
+            vec!["ld [%o2 + %o3], %o0".into(), "add %o2, 4, %o2".into()],
+            vec!["add %o1, %o0, %o1".into(), "subcc %o2, 39, %g0".into()],
+        ]
+    );
+}
+
+#[test]
+fn snapshot_after_9_cycles_instruction_7_splits() {
+    let s = schedule(9);
+    // Instruction 7 split: renamed add moved beside instruction 3, the
+    // COPY stayed beside the load, and the subcc was redirected to the
+    // renaming register and moved up (paper: "subcc r32, 4*x-1, r0").
+    let r = rows(&s);
+    assert_eq!(r.len(), 4);
+    assert_eq!(r[1][0], "or %o0, 8, %o3");
+    assert_eq!(r[1][1], "add %o2, 4, %o2", "renamed add climbs to row 2");
+    assert!(r[2].iter().any(|c| c.starts_with("COPY")), "COPY left beside the ld: {r:?}");
+    assert!(
+        r[2].iter().any(|c| c.starts_with("subcc")),
+        "redirected subcc moved beside the ld: {r:?}"
+    );
+    assert_eq!(r[3], vec!["add %o1, %o0, %o1".to_string(), "ble -16".into()]);
+}
+
+#[test]
+fn snapshot_after_11_cycles() {
+    let s = schedule(11);
+    let r = rows(&s);
+    assert_eq!(r.len(), 4);
+    // Second iteration's ld joins the long instruction holding the ble,
+    // tagged by the branch.
+    assert!(
+        r[3].iter().any(|c| c.starts_with("ld")),
+        "iteration-2 ld enters the branch's long instruction: {r:?}"
+    );
+}
+
+#[test]
+fn paper_text_events() {
+    let mut s = Scheduler::new(SchedConfig::homogeneous(3, 4));
+    s.trace_events = Some(Vec::new());
+    let tr = trace(11);
+    let mut events = Vec::new();
+    for (cycle, d) in tr.iter().enumerate() {
+        s.tick();
+        for e in s.trace_events.take().unwrap() {
+            events.push((cycle + 1, e));
+        }
+        s.trace_events = Some(Vec::new());
+        s.insert(d, 1);
+    }
+    // "instruction 3 is installed in the fourth cycle"
+    assert!(events
+        .iter()
+        .any(|(c, e)| *c == 4 && e.seq == 2 && e.resolution == Resolution::Install));
+    // "instruction 7 is split in the ninth cycle" (seq is 0-based)
+    assert!(events
+        .iter()
+        .any(|(c, e)| *c == 9 && e.seq == 6 && e.resolution == Resolution::Split));
+    // "instruction 8 is moved up in the ninth cycle"
+    assert!(events
+        .iter()
+        .any(|(c, e)| *c == 9 && e.seq == 7 && e.resolution == Resolution::MoveUp));
+}
+
+#[test]
+fn loop_eventually_seals_blocks_with_chaining_nba() {
+    let mut s = Scheduler::new(SchedConfig::homogeneous(3, 4));
+    let mut blocks = Vec::new();
+    for d in trace(100) {
+        s.tick();
+        if let InsertOutcome::Inserted(Some(b)) = s.insert(&d, 1) {
+            blocks.push(b);
+        }
+    }
+    assert!(blocks.len() >= 2, "100 instructions over 3x4 blocks must seal several");
+    for w in blocks.windows(2) {
+        assert_eq!(
+            w[0].nba_addr, w[1].tag_addr,
+            "a block sealed by overflow points at the next block"
+        );
+    }
+    for b in &blocks {
+        assert!(b.lis.len() <= 4);
+        assert!(b.filled_slots() > 0);
+        assert_eq!(b.entry_cwp, 0);
+    }
+    // The whole-run utilisation statistic is well-formed.
+    let st = s.stats();
+    assert!(st.slot_utilisation() > 0.0 && st.slot_utilisation() <= 1.0);
+    assert_eq!(st.ignored as usize, trace(100).iter().filter(|d| d.instr.is_nop()).count());
+}
+
+#[test]
+fn load_store_order_and_cross_bits() {
+    // Two stores then a load to a different address: the load can climb
+    // past the stores, picking up order fields and a cross bit.
+    let src = "
+_start:
+    set 0x2000, %o0
+    set 0x3000, %o1
+    mov 1, %o2
+    st %o2, [%o0]      ! order 0 (of its block)
+    st %o2, [%o0 + 4]  ! order 1
+    ld [%o1], %o3      ! order 2, moves past the stores
+    ta 0
+";
+    let img = assemble(src).unwrap();
+    let mut m = RefMachine::new(&img);
+    let mut s = Scheduler::new(SchedConfig::homogeneous(4, 8));
+    loop {
+        let st = m.step().unwrap();
+        if st.halt.is_some() || st.dyn_instr.instr.is_non_schedulable() {
+            break;
+        }
+        s.tick();
+        s.insert(&st.dyn_instr, 1);
+    }
+    for _ in 0..10 {
+        s.tick();
+    }
+    let b = s.seal(0, u64::MAX / 2).expect("block sealed");
+    let mut seen = Vec::new();
+    for li in &b.lis {
+        for op in li.ops() {
+            if let dtsvliw_sched::SlotOp::Instr(i) = op {
+                if let Some(o) = i.ls_order {
+                    seen.push((i.d.seq, o, i.cross));
+                }
+            }
+        }
+    }
+    seen.sort();
+    assert_eq!(seen.len(), 3);
+    assert_eq!(seen[0].1, 0);
+    assert_eq!(seen[1].1, 1);
+    assert_eq!(seen[2].1, 2);
+    assert!(seen[2].2, "the load shared a long instruction with a store: cross set");
+}

@@ -1,0 +1,227 @@
+//! Property tests: (a) the §3.7 signal-equation oracle predicts exactly
+//! what the executable scheduler does, cycle by cycle; (b) every sealed
+//! block is a valid parallel schedule of its trace — no long instruction
+//! violates flow/output/anti ordering and branch tags are monotone.
+
+use dtsvliw_isa::insn::{AluOp, Instr, MemOp, Src2};
+use dtsvliw_isa::{Cond, DynInstr, Resource};
+use dtsvliw_sched::scheduler::{SchedConfig, Scheduler};
+use dtsvliw_sched::signals::predict;
+use dtsvliw_sched::{Block, InsertOutcome, SlotOp};
+use proptest::prelude::*;
+
+/// Generate one synthetic dynamic instruction over a small register and
+/// address universe so dependencies are frequent.
+fn arb_dyn(seq: u64) -> impl Strategy<Value = DynInstr> {
+    let alu = (0..4u8, any::<bool>(), 8..14u8, 8..14u8, -8i32..8).prop_map(
+        move |(op, cc, rd, rs1, imm)| {
+            let op = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And][op as usize];
+            dyn_of(seq, Instr::Alu { op, cc, rd, rs1, src2: Src2::Imm(imm) }, None, None)
+        },
+    );
+    let mem = (any::<bool>(), 8..14u8, 8..14u8, 0..6u32).prop_map(move |(st, rd, rs1, word)| {
+        let op = if st { MemOp::St } else { MemOp::Ld };
+        dyn_of(
+            seq,
+            Instr::Mem { op, rd, rs1, src2: Src2::Imm(0) },
+            Some(0x2000 + 4 * word),
+            None,
+        )
+    });
+    let br = (any::<bool>(),).prop_map(move |(taken,)| {
+        dyn_of(seq, Instr::Bicc { cond: Cond::E, disp22: 4 }, None, Some(taken))
+    });
+    prop_oneof![4 => alu, 2 => mem, 1 => br]
+}
+
+fn dyn_of(seq: u64, instr: Instr, eff_addr: Option<u32>, taken: Option<bool>) -> DynInstr {
+    DynInstr {
+        seq,
+        pc: 0x1000 + 4 * seq as u32,
+        instr,
+        cwp_before: 0,
+        cwp_after: 0,
+        eff_addr,
+        taken,
+        target: taken.map(|t| if t { 0x1000 } else { 0x1008 }),
+        delay_is_nop: true,
+    }
+}
+
+fn arb_trace(n: usize) -> impl Strategy<Value = Vec<DynInstr>> {
+    (0..n as u64).map(arb_dyn).collect::<Vec<_>>()
+}
+
+/// One op of a sealed block flattened for invariant checking.
+struct FlatOp {
+    li: usize,
+    eff_seq: u64,
+    reads: Vec<Resource>,
+    writes: Vec<Resource>,
+    tag: u8,
+    branch_seq: Option<u64>,
+}
+
+fn flatten(b: &Block) -> Vec<FlatOp> {
+    let mut out = Vec::new();
+    for (li, row) in b.lis.iter().enumerate() {
+        for op in row.ops() {
+            let (eff_seq, branch_seq) = match op {
+                SlotOp::Instr(i) => {
+                    (i.d.seq, i.d.instr.is_conditional_or_indirect().then_some(i.d.seq))
+                }
+                SlotOp::Copy(c) => (c.orig_seq, None),
+            };
+            out.push(FlatOp {
+                li,
+                eff_seq,
+                reads: op.reads().iter().copied().collect(),
+                writes: op.writes().iter().copied().collect(),
+                tag: op.tag(),
+                branch_seq,
+            });
+        }
+    }
+    out
+}
+
+/// Assert the block is a valid parallel schedule.
+fn check_block(b: &Block) {
+    let ops = flatten(b);
+    for r in &ops {
+        for x in &r.reads {
+            // The latest earlier writer of x must commit strictly above.
+            let w = ops
+                .iter()
+                .filter(|w| w.eff_seq < r.eff_seq && w.writes.iter().any(|y| y.conflicts(x)))
+                .max_by_key(|w| w.eff_seq);
+            if let Some(w) = w {
+                assert!(
+                    w.li < r.li,
+                    "flow violation: writer seq {} (li {}) not above reader seq {} (li {})",
+                    w.eff_seq,
+                    w.li,
+                    r.eff_seq,
+                    r.li
+                );
+            }
+        }
+    }
+    for a in &ops {
+        for b2 in &ops {
+            if a.eff_seq >= b2.eff_seq {
+                continue;
+            }
+            // Output: no two writers of one location in one LI.
+            let out_conflict =
+                a.writes.iter().any(|x| b2.writes.iter().any(|y| y.conflicts(x)));
+            assert!(
+                !(out_conflict && a.li == b2.li),
+                "output violation in li {}: seq {} and {}",
+                a.li,
+                a.eff_seq,
+                b2.eff_seq
+            );
+            // Anti: a younger writer never commits above an older reader.
+            let anti = a.reads.iter().any(|x| b2.writes.iter().any(|y| y.conflicts(x)));
+            assert!(
+                !(anti && b2.li < a.li),
+                "anti violation: younger writer seq {} (li {}) above older reader seq {} (li {})",
+                b2.eff_seq,
+                b2.li,
+                a.eff_seq,
+                a.li
+            );
+        }
+    }
+    // Branch tags: within one LI, ops after a branch carry a larger tag.
+    for (li_idx, _) in b.lis.iter().enumerate() {
+        let here: Vec<&FlatOp> = ops.iter().filter(|o| o.li == li_idx).collect();
+        for br in here.iter().filter(|o| o.branch_seq.is_some()) {
+            for o in &here {
+                if o.eff_seq > br.eff_seq {
+                    assert!(
+                        o.tag > br.tag,
+                        "tag violation in li {li_idx}: op seq {} (tag {}) after branch seq {} (tag {})",
+                        o.eff_seq,
+                        o.tag,
+                        br.eff_seq,
+                        br.tag
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn oracle_matches_scheduler(trace in arb_trace(120), w in 2usize..6, h in 2usize..6) {
+        let mut s = Scheduler::new(SchedConfig::homogeneous(w, h));
+        s.trace_events = Some(Vec::new());
+        for d in &trace {
+            let predicted = predict(&s);
+            s.trace_events.as_mut().unwrap().clear();
+            s.tick();
+            let actual = s.trace_events.as_ref().unwrap().clone();
+            prop_assert_eq!(
+                &predicted, &actual,
+                "signal equations disagree with the scheduler"
+            );
+            s.insert(d, 1);
+        }
+    }
+
+    #[test]
+    fn sealed_blocks_are_valid_schedules(trace in arb_trace(200), w in 2usize..6, h in 2usize..8) {
+        let mut s = Scheduler::new(SchedConfig::homogeneous(w, h));
+        let mut blocks = Vec::new();
+        for d in &trace {
+            s.tick();
+            if let InsertOutcome::Inserted(Some(b)) = s.insert(d, 1) {
+                blocks.push(b);
+            }
+        }
+        blocks.extend(s.seal(0, u64::MAX / 2));
+        prop_assert!(!blocks.is_empty());
+        for b in &blocks {
+            check_block(b);
+        }
+    }
+
+    #[test]
+    fn every_trace_instruction_lands_exactly_once(trace in arb_trace(150)) {
+        // Each scheduled (non-ignored) instruction appears exactly once
+        // across blocks, as an Instr op; splits add COPYs but never
+        // duplicate or drop trace instructions.
+        let mut s = Scheduler::new(SchedConfig::homogeneous(4, 4));
+        let mut blocks = Vec::new();
+        for d in &trace {
+            s.tick();
+            if let InsertOutcome::Inserted(Some(b)) = s.insert(d, 1) {
+                blocks.push(b);
+            }
+        }
+        blocks.extend(s.seal(0, u64::MAX / 2));
+        let mut seen = std::collections::HashMap::new();
+        for b in &blocks {
+            for li in &b.lis {
+                for op in li.ops() {
+                    if let SlotOp::Instr(i) = op {
+                        *seen.entry(i.d.seq).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        for d in &trace {
+            let expect = if d.instr.is_nop() || d.instr.is_unconditional_branch() { 0 } else { 1 };
+            prop_assert_eq!(
+                seen.get(&d.seq).copied().unwrap_or(0),
+                expect,
+                "instruction seq {} ({})", d.seq, d.instr
+            );
+        }
+    }
+}

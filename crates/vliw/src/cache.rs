@@ -1,0 +1,297 @@
+//! The VLIW Cache: one block of long instructions per line (paper §3.4).
+
+use dtsvliw_sched::Block;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// VLIW Cache geometry. Sizing follows the paper: a line stores `width ×
+/// height` decoded slots of 6 bytes each (Table 1's decoded instruction
+/// size), so a 192-Kbyte cache for an 8×8 block has 512 lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VliwCacheConfig {
+    /// Total capacity in bytes; `u32::MAX` is the "unlimited" cache used
+    /// by unit tests.
+    pub size_bytes: u32,
+    /// Associativity; lines/ways sets.
+    pub ways: u32,
+    /// Block geometry (must match the Scheduler Unit's).
+    pub width: u32,
+    /// Block geometry (must match the Scheduler Unit's).
+    pub height: u32,
+}
+
+/// Bytes per decoded instruction slot (paper Table 1).
+pub const DECODED_INSTR_BYTES: u32 = 6;
+
+impl VliwCacheConfig {
+    /// A cache of `size_kb` Kbytes for `width`×`height` blocks.
+    pub fn kb(size_kb: u32, ways: u32, width: u32, height: u32) -> Self {
+        VliwCacheConfig { size_bytes: size_kb * 1024, ways, width, height }
+    }
+
+    /// Bytes one line occupies.
+    pub fn line_bytes(&self) -> u32 {
+        self.width * self.height * DECODED_INSTR_BYTES
+    }
+
+    /// Total lines (blocks) the cache can hold.
+    pub fn lines(&self) -> u32 {
+        (self.size_bytes / self.line_bytes()).max(self.ways)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        (self.lines() / self.ways).max(1)
+    }
+}
+
+/// Hit/miss/insert counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VliwCacheStats {
+    /// Probes that found a matching valid block.
+    pub hits: u64,
+    /// Probes that missed.
+    pub misses: u64,
+    /// Blocks written by the Scheduler Unit.
+    pub inserts: u64,
+    /// Valid blocks evicted by replacement (the premature-flushing cost
+    /// Figure 6 studies).
+    pub evictions: u64,
+    /// Blocks invalidated after aliasing exceptions.
+    pub invalidations: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Line {
+    block: Option<Arc<Block>>,
+    lru: u64,
+}
+
+/// The VLIW Cache.
+#[derive(Debug, Clone)]
+pub struct VliwCache {
+    config: VliwCacheConfig,
+    lines: Vec<Line>,
+    tick: u64,
+    stats: VliwCacheStats,
+}
+
+impl VliwCache {
+    /// An empty cache.
+    pub fn new(config: VliwCacheConfig) -> Self {
+        let n = (config.sets() * config.ways) as usize;
+        VliwCache { config, lines: vec![Line::default(); n], tick: 0, stats: VliwCacheStats::default() }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> VliwCacheConfig {
+        self.config
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> VliwCacheStats {
+        self.stats
+    }
+
+    fn set_of(&self, addr: u32) -> usize {
+        ((addr >> 2) % self.config.sets()) as usize
+    }
+
+    fn set_range(&self, addr: u32) -> std::ops::Range<usize> {
+        let ways = self.config.ways as usize;
+        let set = self.set_of(addr);
+        set * ways..(set + 1) * ways
+    }
+
+    /// Probe for a block starting at `addr`. A hit additionally requires
+    /// the current window pointer to match the block's entry window, and
+    /// — for blocks containing `save`/`restore` — the resident-window
+    /// count (see `Block::entry_cwp`).
+    pub fn lookup(&mut self, addr: u32, cwp: u8, resident: u8) -> Option<Arc<Block>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(addr);
+        let mut found = None;
+        for line in &mut self.lines[range] {
+            if let Some(b) = &line.block {
+                if b.tag_addr == addr
+                    && b.entry_cwp == cwp
+                    && (!b.window_sensitive || b.entry_resident == resident)
+                {
+                    line.lru = tick;
+                    found = Some(Arc::clone(b));
+                    break;
+                }
+            }
+        }
+        if found.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        found
+    }
+
+    /// Probe without updating statistics or LRU (the Fetch Unit's
+    /// speculative probe of the execute-stage address would pollute the
+    /// counters otherwise).
+    pub fn peek(&self, addr: u32, cwp: u8, resident: u8) -> bool {
+        let ways = self.config.ways as usize;
+        let set = self.set_of(addr);
+        self.lines[set * ways..(set + 1) * ways].iter().any(|line| {
+            line.block.as_ref().is_some_and(|b| {
+                b.tag_addr == addr
+                    && b.entry_cwp == cwp
+                    && (!b.window_sensitive || b.entry_resident == resident)
+            })
+        })
+    }
+
+    /// Insert a block sealed by the Scheduler Unit, evicting LRU.
+    pub fn insert(&mut self, block: Block) {
+        self.tick += 1;
+        let tick = self.tick;
+        let addr = block.tag_addr;
+        let cwp = block.entry_cwp;
+        // Replace an existing block with the same tag/window first so a
+        // rescheduled trace supersedes the stale one.
+        let range = self.set_range(addr);
+        let lines = &mut self.lines[range];
+        let victim_idx = lines
+            .iter()
+            .position(|l| l.block.as_ref().is_some_and(|b| b.tag_addr == addr && b.entry_cwp == cwp));
+        let mut evicted = false;
+        let victim = match victim_idx {
+            Some(i) => &mut lines[i],
+            None => {
+                let i = (0..lines.len())
+                    .min_by_key(|&i| if lines[i].block.is_some() { lines[i].lru } else { 0 })
+                    .unwrap();
+                evicted = lines[i].block.is_some();
+                &mut lines[i]
+            }
+        };
+        victim.block = Some(Arc::new(block));
+        victim.lru = tick;
+        self.stats.evictions += evicted as u64;
+        self.stats.inserts += 1;
+    }
+
+    /// Invalidate the block tagged `addr` at window `cwp` (aliasing
+    /// exception recovery, §3.11).
+    pub fn invalidate(&mut self, addr: u32, cwp: u8) {
+        let range = self.set_range(addr);
+        let mut n = 0;
+        for line in &mut self.lines[range] {
+            if line.block.as_ref().is_some_and(|b| b.tag_addr == addr && b.entry_cwp == cwp) {
+                line.block = None;
+                n += 1;
+            }
+        }
+        self.stats.invalidations += n;
+    }
+
+    /// Number of valid blocks resident.
+    pub fn resident_blocks(&self) -> usize {
+        self.lines.iter().filter(|l| l.block.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtsvliw_sched::block::RenameCounts;
+    use dtsvliw_sched::LongInstr;
+
+    fn block(tag: u32, cwp: u8) -> Block {
+        Block {
+            tag_addr: tag,
+            entry_cwp: cwp,
+            entry_resident: 1,
+            window_sensitive: false,
+            lis: vec![LongInstr::empty(4)],
+            nba_addr: tag + 16,
+            renames: RenameCounts::default(),
+            first_seq: 0,
+            trace_len: 4,
+        }
+    }
+
+    fn cache(kb: u32, ways: u32) -> VliwCache {
+        VliwCache::new(VliwCacheConfig::kb(kb, ways, 4, 4))
+    }
+
+    #[test]
+    fn sizing_matches_paper() {
+        // 192 KB, 8x8 blocks, 6-byte slots: 512 lines.
+        let c = VliwCacheConfig::kb(192, 4, 8, 8);
+        assert_eq!(c.line_bytes(), 384);
+        assert_eq!(c.lines(), 512);
+        assert_eq!(c.sets(), 128);
+    }
+
+    #[test]
+    fn hit_requires_tag_and_window() {
+        let mut c = cache(3072, 4);
+        c.insert(block(0x1000, 2));
+        assert!(c.lookup(0x1000, 2, 1).is_some());
+        assert!(c.lookup(0x1000, 3, 1).is_none(), "wrong window");
+        assert!(c.lookup(0x1004, 2, 1).is_none(), "wrong tag");
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn window_sensitive_blocks_check_resident() {
+        let mut c = cache(3072, 4);
+        let mut b = block(0x2000, 0);
+        b.window_sensitive = true;
+        b.entry_resident = 3;
+        c.insert(b);
+        assert!(c.lookup(0x2000, 0, 3).is_some());
+        assert!(c.lookup(0x2000, 0, 4).is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_same_tag() {
+        let mut c = cache(3072, 4);
+        c.insert(block(0x1000, 0));
+        let mut b2 = block(0x1000, 0);
+        b2.nba_addr = 0x9999;
+        c.insert(b2);
+        assert_eq!(c.resident_blocks(), 1, "same tag replaced, not duplicated");
+        assert_eq!(c.lookup(0x1000, 0, 1).unwrap().nba_addr, 0x9999);
+    }
+
+    #[test]
+    fn lru_eviction_in_set() {
+        // Tiny direct-ish cache: force conflict evictions.
+        let mut c = VliwCache::new(VliwCacheConfig { size_bytes: 2 * 96, ways: 2, width: 4, height: 4 });
+        assert_eq!(c.config().sets(), 1);
+        c.insert(block(0x1000, 0));
+        c.insert(block(0x2000, 0));
+        c.lookup(0x1000, 0, 1).unwrap(); // touch 0x1000
+        c.insert(block(0x3000, 0)); // evicts 0x2000
+        assert!(c.lookup(0x2000, 0, 1).is_none());
+        assert!(c.lookup(0x1000, 0, 1).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut c = cache(3072, 4);
+        c.insert(block(0x1000, 0));
+        c.invalidate(0x1000, 0);
+        assert!(c.lookup(0x1000, 0, 1).is_none());
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut c = cache(3072, 4);
+        c.insert(block(0x1000, 0));
+        assert!(c.peek(0x1000, 0, 1));
+        assert!(!c.peek(0x1000, 1, 1));
+        assert_eq!(c.stats().hits + c.stats().misses, 0);
+    }
+}

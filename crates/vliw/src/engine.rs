@@ -1,0 +1,705 @@
+//! The VLIW Engine: executes one long instruction per cycle (§3.5).
+//!
+//! Execution of a long instruction is two-phase — every operation reads
+//! the machine state as it was at the start of the cycle, then valid
+//! operations commit — which is exactly what a bank of lock-stepped
+//! fetch/execute/write-back pipelines does. Validity is decided by the
+//! branch-tag system (§3.8): an operation commits only while every
+//! conditional/indirect branch of the same long instruction with a
+//! smaller tag followed the direction recorded at schedule time.
+//!
+//! Memory aliasing (§3.10) is detected with the order/cross-bit fields
+//! and two associative lists; exceptions recover through the
+//! checkpointing mechanism of Hwu and Patt (§3.11): shadow registers
+//! taken at block entry plus a checkpoint-recovery store list of
+//! overwritten data.
+
+use dtsvliw_isa::alu::{exec_alu, exec_fp};
+use dtsvliw_isa::cond::{Fcc, Icc};
+use dtsvliw_isa::insn::{FpOp, Instr, MemOp, Src2};
+use dtsvliw_isa::regs::phys_reg;
+use dtsvliw_isa::{ArchState, Resource};
+use dtsvliw_mem::Memory;
+use dtsvliw_sched::{Block, CopyInstr, ScheduledInstr, SlotOp};
+use serde::{Deserialize, Serialize};
+
+/// How VLIW-mode stores reach memory (§3.11 presents both schemes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StoreScheme {
+    /// Stores write the Data Cache immediately; overwritten data is
+    /// logged in the checkpoint-recovery store list and unwound on
+    /// rollback. The scheme the paper's simulator used.
+    #[default]
+    Checkpoint,
+    /// The paper's alternative: stores stage in a *data store list* and
+    /// transfer to the Data Cache **in program order** when the block
+    /// finishes without exceptions; loads snoop the list ("read from
+    /// the Data Cache and from the data store list at the same time,
+    /// and use the last data stored in the list on a list hit").
+    /// Rollback just discards the list. The paper left this scheme to
+    /// "further research" — implemented here for the ablation bench.
+    StoreBuffer,
+}
+
+/// Control outcome of one long-instruction cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiResult {
+    /// Proceed to the next long instruction of the block.
+    Next,
+    /// The nba line index was reached: the block is complete. The
+    /// machine commits the checkpoint and follows the nba address.
+    BlockEnd,
+    /// A branch left the recorded direction: the executed prefix is
+    /// committed and fetch redirects to the actual target (one-cycle
+    /// bubble, §3.5).
+    Redirect {
+        /// The branch's actual target.
+        target: u32,
+        /// Dynamic sequence number (at schedule time) of the
+        /// mispredicting branch, for test-machine synchronisation.
+        branch_seq: u64,
+    },
+    /// An exception rolled the block back to its checkpoint. For
+    /// aliasing exceptions the machine invalidates the VLIW Cache entry
+    /// and resumes the Primary Processor at the block's entry address.
+    Exception {
+        /// True for memory-aliasing exceptions (§3.10), false for other
+        /// faults (e.g. a misaligned address materialising at runtime).
+        aliasing: bool,
+    },
+}
+
+/// Everything the machine needs to account one long-instruction cycle.
+#[derive(Debug, Clone)]
+pub struct LiOutcome {
+    /// Control outcome.
+    pub result: LiResult,
+    /// Data-memory addresses touched this cycle (data-cache timing).
+    pub dcache_accesses: Vec<u32>,
+    /// Operations that committed.
+    pub committed: u32,
+    /// Operations annulled by branch tags.
+    pub annulled: u32,
+}
+
+/// Aggregate VLIW Engine statistics (Table 3 columns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Long instructions executed.
+    pub lis: u64,
+    /// Operations committed (COPYs included).
+    pub committed: u64,
+    /// Operations annulled by branch tags.
+    pub annulled: u64,
+    /// Branches that left the recorded trace.
+    pub mispredicts: u64,
+    /// Memory-aliasing exceptions.
+    pub alias_exceptions: u64,
+    /// Non-aliasing runtime exceptions.
+    pub other_exceptions: u64,
+    /// High-water mark of the load list.
+    pub max_load_list: u32,
+    /// High-water mark of the store list.
+    pub max_store_list: u32,
+    /// High-water mark of the checkpoint-recovery store list.
+    pub max_recovery_list: u32,
+    /// High-water mark of the data store list (StoreBuffer scheme).
+    pub max_data_store_list: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LsEntry {
+    addr: u32,
+    size: u8,
+    order: u16,
+}
+
+fn overlaps(a: &LsEntry, b: &LsEntry) -> bool {
+    (a.addr as u64) < b.addr as u64 + b.size as u64
+        && (b.addr as u64) < a.addr as u64 + a.size as u64
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct MemBufEntry {
+    addr: u32,
+    size: u8,
+    value: u32,
+}
+
+/// Per-op computed effects, applied only if the op's tag is valid.
+#[derive(Debug, Clone, Default)]
+struct Effect {
+    tag: u8,
+    int_res: Option<u32>,
+    fp_res: Option<u32>,
+    icc_res: Option<Icc>,
+    fcc_res: Option<Fcc>,
+    y_res: Option<u32>,
+    cwp_res: Option<(u8, i8)>,
+    /// Real store: (runtime address, size, value).
+    mem_write: Option<(u32, u8, u32)>,
+    /// Renamed store: (buffer id, runtime address, size, value).
+    membuf_write: Option<(u32, u32, u8, u32)>,
+    /// Aliasing-detection record: (is-writer, entry, cross bit).
+    ls_check: Option<(bool, LsEntry, bool)>,
+    /// Address for data-cache timing (loads always; stores on commit).
+    dcache: Option<u32>,
+    /// Branch evaluation: (matched recorded direction, actual target).
+    branch: Option<(bool, u32)>,
+    /// Copy pairs to apply verbatim (COPY ops).
+    copy_regs: Vec<(Resource, u32)>,
+    copy_icc: Option<(Resource, Icc)>,
+    copy_fcc: Option<(Resource, Fcc)>,
+    /// Runtime fault discovered during compute (misaligned access).
+    fault: bool,
+    is_load: bool,
+    writes: dtsvliw_isa::ResList,
+}
+
+/// The VLIW Engine.
+#[derive(Debug, Clone, Default)]
+pub struct VliwEngine {
+    scheme: StoreScheme,
+    ren_int: Vec<u32>,
+    ren_fp: Vec<u32>,
+    ren_icc: Vec<Icc>,
+    ren_fcc: Vec<Fcc>,
+    membuf: Vec<MemBufEntry>,
+    shadow: Option<ArchState>,
+    recovery: Vec<(u32, u8, u32)>,
+    /// StoreBuffer scheme: (order, addr, size, value) staged stores.
+    data_stores: Vec<(u16, u32, u8, u32)>,
+    load_list: Vec<LsEntry>,
+    store_list: Vec<LsEntry>,
+    stats: EngineStats,
+}
+
+impl VliwEngine {
+    /// A fresh engine using the checkpoint store scheme.
+    pub fn new() -> Self {
+        VliwEngine::default()
+    }
+
+    /// A fresh engine with an explicit store scheme.
+    pub fn with_scheme(scheme: StoreScheme) -> Self {
+        VliwEngine { scheme, ..VliwEngine::default() }
+    }
+
+    /// Read `size` bytes at `addr`, merging any staged store bytes in
+    /// staging order over the Data Cache contents (StoreBuffer loads
+    /// "use the last data stored in the list on a list hit").
+    fn load_merged(&self, mem: &Memory, addr: u32, size: u8) -> u32 {
+        let mut bytes = [0u8; 4];
+        for (i, b) in bytes.iter_mut().enumerate().take(size as usize) {
+            *b = mem.read_u8(addr.wrapping_add(i as u32));
+        }
+        for &(_, sa, ss, sv) in &self.data_stores {
+            let sb = sv.to_be_bytes();
+            for k in 0..ss as u32 {
+                let byte_addr = sa.wrapping_add(k);
+                let off = byte_addr.wrapping_sub(addr);
+                if off < size as u32 {
+                    bytes[off as usize] = sb[(4 - ss as usize) + k as usize];
+                }
+            }
+        }
+        let mut v = 0u32;
+        for b in bytes.iter().take(size as usize) {
+            v = v << 8 | *b as u32;
+        }
+        v
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Is a checkpoint active (mid-block)?
+    pub fn in_block(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// Take the checkpoint for `block` (§3.11) and size the renaming
+    /// files it needs.
+    pub fn begin_block(&mut self, block: &Block, state: &ArchState) {
+        debug_assert!(self.shadow.is_none(), "commit or roll back first");
+        self.shadow = Some(state.clone());
+        self.recovery.clear();
+        self.data_stores.clear();
+        self.load_list.clear();
+        self.store_list.clear();
+        let r = block.renames;
+        if self.ren_int.len() < r.int as usize {
+            self.ren_int.resize(r.int as usize, 0);
+        }
+        if self.ren_fp.len() < r.fp as usize {
+            self.ren_fp.resize(r.fp as usize, 0);
+        }
+        if self.ren_icc.len() < r.flag as usize {
+            self.ren_icc.resize(r.flag as usize, Icc::default());
+        }
+        if self.ren_fcc.len() < r.flag as usize {
+            self.ren_fcc.resize(r.flag as usize, Fcc::default());
+        }
+        if self.membuf.len() < r.mem as usize {
+            self.membuf.resize(r.mem as usize, MemBufEntry::default());
+        }
+    }
+
+    /// Commit the active checkpoint: the block (or its executed prefix,
+    /// on a redirect) becomes architectural. Under the StoreBuffer
+    /// scheme the staged stores transfer to memory **in program order**
+    /// (the order field exists for exactly this, §3.11).
+    pub fn commit_block(&mut self, mem: &mut Memory) {
+        self.shadow = None;
+        self.recovery.clear();
+        if !self.data_stores.is_empty() {
+            self.data_stores.sort_by_key(|&(order, ..)| order);
+            for &(_, addr, size, value) in &self.data_stores {
+                mem.write(addr, size, value);
+            }
+            self.data_stores.clear();
+        }
+        self.load_list.clear();
+        self.store_list.clear();
+    }
+
+    /// Restore the checkpoint: registers from the shadow copy, memory by
+    /// unwinding the recovery store list in reverse (§3.11).
+    pub fn rollback(&mut self, state: &mut ArchState, mem: &mut Memory) {
+        let shadow = self.shadow.take().expect("rollback without checkpoint");
+        for &(addr, size, old) in self.recovery.iter().rev() {
+            mem.write(addr, size, old);
+        }
+        *state = shadow;
+        self.recovery.clear();
+        // StoreBuffer scheme: annulling a block is just dropping the
+        // staged stores — nothing touched memory.
+        self.data_stores.clear();
+        self.load_list.clear();
+        self.store_list.clear();
+    }
+
+    // -------------------------------------------------------------
+    // Operand access with source redirection
+    // -------------------------------------------------------------
+
+    fn redirected(&self, s: &ScheduledInstr, orig: Resource) -> Option<Resource> {
+        s.src_renames.iter().find(|(o, _)| *o == orig).map(|(_, r)| *r)
+    }
+
+    fn read_int(&self, s: &ScheduledInstr, state: &ArchState, reg: u8) -> u32 {
+        if reg == 0 {
+            return 0;
+        }
+        let p = phys_reg(s.d.cwp_before, reg);
+        match self.redirected(s, Resource::Int(p)) {
+            Some(Resource::IntRen(k)) => self.ren_int[k as usize],
+            _ => state.int[p as usize],
+        }
+    }
+
+    fn read_src2(&self, s: &ScheduledInstr, state: &ArchState, src2: Src2) -> u32 {
+        match src2 {
+            Src2::Reg(r) => self.read_int(s, state, r),
+            Src2::Imm(i) => i as u32,
+        }
+    }
+
+    fn read_icc(&self, s: &ScheduledInstr, state: &ArchState) -> Icc {
+        match self.redirected(s, Resource::Icc) {
+            Some(Resource::IccRen(k)) => self.ren_icc[k as usize],
+            _ => state.icc,
+        }
+    }
+
+    fn read_fcc(&self, s: &ScheduledInstr, state: &ArchState) -> Fcc {
+        match self.redirected(s, Resource::Fcc) {
+            Some(Resource::FccRen(k)) => self.ren_fcc[k as usize],
+            _ => state.fcc,
+        }
+    }
+
+    fn read_fp(&self, s: &ScheduledInstr, state: &ArchState, f: u8) -> u32 {
+        match self.redirected(s, Resource::Fp(f)) {
+            Some(Resource::FpRen(k)) => self.ren_fp[k as usize],
+            _ => state.fp[f as usize],
+        }
+    }
+
+    // -------------------------------------------------------------
+    // Compute phase
+    // -------------------------------------------------------------
+
+    fn compute_instr(&self, s: &ScheduledInstr, state: &ArchState, mem: &Memory) -> Effect {
+        let mut e = Effect { tag: s.tag, writes: s.writes, ..Effect::default() };
+        match s.d.instr {
+            Instr::Alu { op, cc, rs1, src2, .. } => {
+                let a = self.read_int(s, state, rs1);
+                let b = self.read_src2(s, state, src2);
+                let r = exec_alu(op, a, b, self.read_icc(s, state), state.y);
+                e.int_res = Some(r.value);
+                if cc {
+                    e.icc_res = Some(r.icc);
+                }
+                if op == dtsvliw_isa::insn::AluOp::MulScc {
+                    e.y_res = Some(r.y);
+                }
+            }
+            Instr::Sethi { imm22, .. } => e.int_res = Some(imm22 << 10),
+            Instr::Mem { op, rd, rs1, src2 } => {
+                let addr =
+                    self.read_int(s, state, rs1).wrapping_add(self.read_src2(s, state, src2));
+                let size = op.size();
+                if addr % size as u32 != 0 {
+                    e.fault = true;
+                    return e;
+                }
+                if op.is_store() {
+                    let data = if op.is_fp() {
+                        self.read_fp(s, state, rd)
+                    } else {
+                        self.read_int(s, state, rd)
+                    };
+                    if let Some(Resource::MemRen(k)) =
+                        s.writes.iter().find(|w| matches!(w, Resource::MemRen(_)))
+                    {
+                        // Split store: stage in the memory renaming
+                        // buffer; the COPY commits it (§3.9).
+                        e.membuf_write = Some((*k, addr, size, data));
+                    } else {
+                        e.mem_write = Some((addr, size, data));
+                        e.dcache = Some(addr);
+                        e.ls_check = Some((
+                            true,
+                            LsEntry { addr, size, order: s.ls_order.unwrap() },
+                            s.cross,
+                        ));
+                    }
+                } else {
+                    e.is_load = true;
+                    e.dcache = Some(addr);
+                    let raw = match self.scheme {
+                        StoreScheme::Checkpoint => mem.read(addr, size),
+                        StoreScheme::StoreBuffer => self.load_merged(mem, addr, size),
+                    };
+                    let value = match op {
+                        MemOp::Ldsb => raw as u8 as i8 as i32 as u32,
+                        MemOp::Ldsh => raw as u16 as i16 as i32 as u32,
+                        _ => raw,
+                    };
+                    if op.is_fp() {
+                        e.fp_res = Some(value);
+                    } else {
+                        e.int_res = Some(value);
+                    }
+                    e.ls_check = Some((
+                        false,
+                        LsEntry { addr, size, order: s.ls_order.unwrap() },
+                        s.cross,
+                    ));
+                }
+            }
+            Instr::Bicc { cond, .. } => {
+                let taken = cond.eval(self.read_icc(s, state));
+                let matched = Some(taken) == s.d.taken;
+                let actual = if taken {
+                    s.d.static_target().expect("bicc has a static target")
+                } else {
+                    s.d.fall_through()
+                };
+                e.branch = Some((matched, actual));
+            }
+            Instr::FBfcc { cond, .. } => {
+                let taken = cond.eval(self.read_fcc(s, state));
+                let matched = Some(taken) == s.d.taken;
+                let actual = if taken {
+                    s.d.static_target().expect("fbfcc has a static target")
+                } else {
+                    s.d.fall_through()
+                };
+                e.branch = Some((matched, actual));
+            }
+            Instr::Call { .. } => e.int_res = Some(s.d.pc),
+            Instr::Jmpl { rs1, src2, .. } => {
+                let target =
+                    self.read_int(s, state, rs1).wrapping_add(self.read_src2(s, state, src2));
+                e.int_res = Some(s.d.pc);
+                e.branch = Some((s.d.target == Some(target), target));
+            }
+            Instr::Save { rs1, src2, .. } => {
+                let v = self.read_int(s, state, rs1).wrapping_add(self.read_src2(s, state, src2));
+                e.int_res = Some(v);
+                e.cwp_res = Some((s.d.cwp_after, 1));
+            }
+            Instr::Restore { rs1, src2, .. } => {
+                let v = self.read_int(s, state, rs1).wrapping_add(self.read_src2(s, state, src2));
+                e.int_res = Some(v);
+                e.cwp_res = Some((s.d.cwp_after, -1));
+            }
+            Instr::Fpop { op, rs1, rs2, .. } => {
+                let a = self.read_fp(s, state, rs1);
+                let b = self.read_fp(s, state, rs2);
+                let r = exec_fp(op, a, b, self.read_fcc(s, state));
+                if op == FpOp::FCmps {
+                    e.fcc_res = Some(r.fcc);
+                } else {
+                    e.fp_res = Some(r.value);
+                }
+            }
+            Instr::RdY { .. } => e.int_res = Some(state.y),
+            Instr::WrY { rs1, src2 } => {
+                e.y_res =
+                    Some(self.read_int(s, state, rs1) ^ self.read_src2(s, state, src2));
+            }
+            Instr::Trap { .. } | Instr::Illegal(_) => {
+                unreachable!("non-schedulable instructions never reach the VLIW Engine")
+            }
+        }
+        e
+    }
+
+    fn compute_copy(&self, c: &CopyInstr) -> Effect {
+        let mut e = Effect { tag: c.tag, ..Effect::default() };
+        for (from, to) in &c.pairs {
+            match from {
+                Resource::IntRen(k) => e.copy_regs.push((*to, self.ren_int[*k as usize])),
+                Resource::FpRen(k) => e.copy_regs.push((*to, self.ren_fp[*k as usize])),
+                Resource::IccRen(k) => e.copy_icc = Some((*to, self.ren_icc[*k as usize])),
+                Resource::FccRen(k) => e.copy_fcc = Some((*to, self.ren_fcc[*k as usize])),
+                Resource::MemRen(k) => {
+                    let b = self.membuf[*k as usize];
+                    e.mem_write = Some((b.addr, b.size, b.value));
+                    e.dcache = Some(b.addr);
+                    e.ls_check = Some((
+                        true,
+                        LsEntry { addr: b.addr, size: b.size, order: c.ls_order.unwrap() },
+                        c.cross,
+                    ));
+                }
+                other => unreachable!("copy source is always a renaming register: {other:?}"),
+            }
+        }
+        e
+    }
+
+    // -------------------------------------------------------------
+    // One long instruction
+    // -------------------------------------------------------------
+
+    /// Execute long instruction `li` of `block` against the shared
+    /// machine state.
+    pub fn exec_li(
+        &mut self,
+        block: &Block,
+        li: usize,
+        state: &mut ArchState,
+        mem: &mut Memory,
+    ) -> LiOutcome {
+        debug_assert!(self.shadow.is_some(), "begin_block first");
+        let row = &block.lis[li];
+        self.stats.lis += 1;
+
+        // Phase 1: compute every op against start-of-cycle state.
+        let effects: Vec<Effect> = row
+            .ops()
+            .map(|op| match op {
+                SlotOp::Instr(s) => self.compute_instr(s, state, mem),
+                SlotOp::Copy(c) => self.compute_copy(c),
+            })
+            .collect();
+        let branch_seqs: Vec<(u8, u64)> = row
+            .ops()
+            .filter_map(|op| match op {
+                SlotOp::Instr(s) if s.d.instr.is_conditional_or_indirect() => {
+                    Some((s.tag, s.d.seq))
+                }
+                _ => None,
+            })
+            .collect();
+
+        // Resolve branch tags: the first branch (in tag order) that left
+        // the recorded direction annuls every op with a greater tag.
+        let mut branches: Vec<(u8, bool, u32)> = effects
+            .iter()
+            .filter_map(|e| e.branch.map(|(m, t)| (e.tag, m, t)))
+            .collect();
+        branches.sort_by_key(|b| b.0);
+        let cutoff = branches.iter().find(|(_, matched, _)| !matched).map(|&(t, _, tgt)| (t, tgt));
+        let valid = |e: &Effect| cutoff.map_or(true, |(t, _)| e.tag <= t);
+
+        let mut dcache_accesses = Vec::new();
+        let mut committed = 0u32;
+        let mut annulled = 0u32;
+
+        // Loads access the data cache whether or not they commit (the
+        // hardware issues them before tags resolve).
+        for e in &effects {
+            if e.is_load {
+                if let Some(a) = e.dcache {
+                    dcache_accesses.push(a);
+                }
+            }
+        }
+
+        // Runtime faults on valid ops roll the whole block back.
+        if effects.iter().any(|e| e.fault && valid(e)) {
+            self.stats.other_exceptions += 1;
+            self.rollback(state, mem);
+            return LiOutcome {
+                result: LiResult::Exception { aliasing: false },
+                dcache_accesses,
+                committed: 0,
+                annulled: 0,
+            };
+        }
+
+        // Phase 2a: aliasing checks for the valid memory ops (§3.10),
+        // before anything commits.
+        let live: Vec<(bool, LsEntry, bool)> =
+            effects.iter().filter(|e| valid(e)).filter_map(|e| e.ls_check).collect();
+        let mut alias = false;
+        for &(is_writer, entry, _) in &live {
+            if is_writer {
+                // vs the other memory ops of this long instruction
+                for &(w2, e2, _) in &live {
+                    if w2 && (e2.addr, e2.order) != (entry.addr, entry.order) && overlaps(&entry, &e2)
+                    {
+                        alias = true; // two stores to one location in one LI
+                    }
+                }
+                // vs both lists: an older store executing after a
+                // younger access is an inversion.
+                alias |= self
+                    .load_list
+                    .iter()
+                    .chain(self.store_list.iter())
+                    .any(|e2| overlaps(&entry, e2) && entry.order < e2.order);
+            } else {
+                // load vs same-LI stores: an older store in the same
+                // long instruction means the load missed its value.
+                for &(w2, e2, _) in &live {
+                    if w2 && overlaps(&entry, &e2) && entry.order > e2.order {
+                        alias = true;
+                    }
+                }
+                // load vs store list: a younger store already executed.
+                alias |= self.store_list.iter().any(|e2| overlaps(&entry, e2) && entry.order < e2.order);
+            }
+        }
+        if alias {
+            self.stats.alias_exceptions += 1;
+            self.rollback(state, mem);
+            return LiOutcome {
+                result: LiResult::Exception { aliasing: true },
+                dcache_accesses,
+                committed: 0,
+                annulled: 0,
+            };
+        }
+
+        // Phase 2b: commit.
+        for e in &effects {
+            if !valid(e) {
+                annulled += 1;
+                continue;
+            }
+            committed += 1;
+            for w in e.writes.iter() {
+                match w {
+                    Resource::Int(p) => state.int[*p as usize] = e.int_res.unwrap(),
+                    Resource::IntRen(k) => self.ren_int[*k as usize] = e.int_res.unwrap(),
+                    Resource::Fp(f) => state.fp[*f as usize] = e.fp_res.unwrap(),
+                    Resource::FpRen(k) => self.ren_fp[*k as usize] = e.fp_res.unwrap(),
+                    Resource::Icc => state.icc = e.icc_res.unwrap(),
+                    Resource::IccRen(k) => self.ren_icc[*k as usize] = e.icc_res.unwrap(),
+                    Resource::Fcc => state.fcc = e.fcc_res.unwrap(),
+                    Resource::FccRen(k) => self.ren_fcc[*k as usize] = e.fcc_res.unwrap(),
+                    Resource::Y => state.y = e.y_res.unwrap(),
+                    Resource::Cwp | Resource::Mem { .. } | Resource::MemRen(_) => {}
+                }
+            }
+            for (to, v) in &e.copy_regs {
+                match to {
+                    Resource::Int(p) => state.int[*p as usize] = *v,
+                    Resource::Fp(f) => state.fp[*f as usize] = *v,
+                    Resource::IntRen(k) => self.ren_int[*k as usize] = *v,
+                    Resource::FpRen(k) => self.ren_fp[*k as usize] = *v,
+                    other => unreachable!("copy target {other:?}"),
+                }
+            }
+            if let Some((to, v)) = e.copy_icc {
+                match to {
+                    Resource::Icc => state.icc = v,
+                    Resource::IccRen(k) => self.ren_icc[k as usize] = v,
+                    other => unreachable!("icc copy target {other:?}"),
+                }
+            }
+            if let Some((to, v)) = e.copy_fcc {
+                match to {
+                    Resource::Fcc => state.fcc = v,
+                    Resource::FccRen(k) => self.ren_fcc[k as usize] = v,
+                    other => unreachable!("fcc copy target {other:?}"),
+                }
+            }
+            if let Some((cwp, delta)) = e.cwp_res {
+                state.cwp = cwp;
+                state.resident = (state.resident as i16 + delta as i16) as u8;
+            }
+            if let Some((k, addr, size, value)) = e.membuf_write {
+                self.membuf[k as usize] = MemBufEntry { addr, size, value };
+            }
+            if let Some((addr, size, value)) = e.mem_write {
+                match self.scheme {
+                    StoreScheme::Checkpoint => {
+                        // Log overwritten data for checkpoint recovery
+                        // (§3.11).
+                        self.recovery.push((addr, size, mem.read(addr, size)));
+                        self.stats.max_recovery_list =
+                            self.stats.max_recovery_list.max(self.recovery.len() as u32);
+                        mem.write(addr, size, value);
+                    }
+                    StoreScheme::StoreBuffer => {
+                        // Stage; memory is written in program order at
+                        // block commit.
+                        let order = e.ls_check.map(|(_, l, _)| l.order).unwrap_or(0);
+                        self.data_stores.push((order, addr, size, value));
+                        self.stats.max_data_store_list = self
+                            .stats
+                            .max_data_store_list
+                            .max(self.data_stores.len() as u32);
+                    }
+                }
+                dcache_accesses.push(addr);
+            }
+            if let Some((is_writer, entry, cross)) = e.ls_check {
+                if cross {
+                    let list = if is_writer { &mut self.store_list } else { &mut self.load_list };
+                    list.push(entry);
+                    self.stats.max_load_list =
+                        self.stats.max_load_list.max(self.load_list.len() as u32);
+                    self.stats.max_store_list =
+                        self.stats.max_store_list.max(self.store_list.len() as u32);
+                }
+            }
+        }
+        self.stats.committed += committed as u64;
+        self.stats.annulled += annulled as u64;
+
+        let result = if let Some((tag, target)) = cutoff {
+            self.stats.mispredicts += 1;
+            let branch_seq = branch_seqs
+                .iter()
+                .find(|(t, _)| *t == tag)
+                .map(|(_, s)| *s)
+                .expect("mismatching branch has a seq");
+            LiResult::Redirect { target, branch_seq }
+        } else if li as u8 >= block.nba_line() {
+            LiResult::BlockEnd
+        } else {
+            LiResult::Next
+        };
+        LiOutcome { result, dcache_accesses, committed, annulled }
+    }
+}

@@ -1,0 +1,18 @@
+//! The VLIW half of the DTSVLIW machine.
+//!
+//! * [`cache`]: the VLIW Cache (paper §3.4) — a set-associative cache
+//!   whose line is one block of long instructions, tagged with the SPARC
+//!   address of the block's first instruction and carrying a
+//!   next-block-address (nba) store.
+//! * [`engine`]: the VLIW Engine (paper §3.5, §3.8, §3.10, §3.11) — a
+//!   lock-stepped bank of fetch/execute/write-back pipelines that
+//!   executes one long instruction per cycle, validates branch tags
+//!   against recorded directions, detects memory aliasing with
+//!   order/cross-bit fields plus associative load/store lists, and
+//!   recovers from exceptions by checkpoint rollback.
+
+pub mod cache;
+pub mod engine;
+
+pub use cache::{VliwCache, VliwCacheConfig, VliwCacheStats};
+pub use engine::{EngineStats, LiOutcome, LiResult, VliwEngine};

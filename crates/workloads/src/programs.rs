@@ -1,0 +1,838 @@
+//! The eight benchmark sources. Each takes the scale factor `f` and
+//! returns minicc source text. All use the same LCG so inputs are
+//! deterministic and reproducible from the seed.
+
+fn lcg() -> &'static str {
+    "
+int seed = 20260706;
+fn rnd() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+"
+}
+
+/// compress: LZW round trip (compress95).
+pub fn compress(f: u32) -> String {
+    format!(
+        "{lcg}
+int input[1024];
+int codes[2048];
+int decoded[1200];
+int dict_prefix[4096];
+int dict_char[4096];
+int dict_next[4096];
+int hash_head[1024];
+int stackbuf[4096];
+int outp;
+
+fn gen_input(n) {{
+    reg i = 0;
+    while (i < n) {{
+        var r = rnd();
+        if (r % 4 == 0) {{
+            input[i] = r & 255;         // occasional noise byte
+        }} else {{
+            input[i] = (r & 7) + 97;    // mostly 'a'..'h': compressible
+        }}
+        i = i + 1;
+    }}
+    return 0;
+}}
+
+// LZW encode: literals 0..255, dictionary codes 256..4095.
+fn encode(n) {{
+    for (reg h = 0; h < 1024; h = h + 1) {{ hash_head[h] = 0 - 1; }}
+    reg ncodes = 0;
+    reg next_code = 256;
+    var w = input[0];
+    reg i = 1;
+    while (i < n) {{
+        var c = input[i];
+        var hsh = ((w << 5) - w + c) & 1023;
+        var e = hash_head[hsh];
+        var found = 0 - 1;
+        while (e >= 0) {{
+            if (dict_prefix[e] == w && dict_char[e] == c) {{ found = e; break; }}
+            e = dict_next[e];
+        }}
+        if (found >= 0) {{
+            w = found + 256;
+        }} else {{
+            codes[ncodes] = w;
+            ncodes = ncodes + 1;
+            if (next_code < 4096) {{
+                var idx = next_code - 256;
+                dict_prefix[idx] = w;
+                dict_char[idx] = c;
+                dict_next[idx] = hash_head[hsh];
+                hash_head[hsh] = idx;
+                next_code = next_code + 1;
+            }}
+            w = c;
+        }}
+        i = i + 1;
+    }}
+    codes[ncodes] = w;
+    return ncodes + 1;
+}}
+
+fn first_char(code) {{
+    while (code >= 256) {{ code = dict_prefix[code - 256]; }}
+    return code;
+}}
+
+fn emit(code) {{
+    reg sp = 0;
+    while (code >= 256) {{
+        stackbuf[sp] = dict_char[code - 256];
+        sp = sp + 1;
+        code = dict_prefix[code - 256];
+    }}
+    var fc = code;
+    decoded[outp] = code;
+    outp = outp + 1;
+    while (sp > 0) {{
+        sp = sp - 1;
+        decoded[outp] = stackbuf[sp];
+        outp = outp + 1;
+    }}
+    return fc;
+}}
+
+// LZW decode, rebuilding the dictionary the way the encoder built it.
+fn decode(ncodes) {{
+    outp = 0;
+    reg next_code = 256;
+    var prev = codes[0];
+    emit(prev);
+    reg k = 1;
+    while (k < ncodes) {{
+        var code = codes[k];
+        var fc = 0;
+        if (code < next_code) {{
+            fc = first_char(code);
+        }} else {{
+            assert(code == next_code, 11);
+            fc = first_char(prev);
+        }}
+        if (next_code < 4096) {{
+            dict_prefix[next_code - 256] = prev;
+            dict_char[next_code - 256] = fc;
+            next_code = next_code + 1;
+        }}
+        emit(code);
+        prev = code;
+        k = k + 1;
+    }}
+    return outp;
+}}
+
+fn main() {{
+    reg iters = {f};
+    reg check = 0;
+    while (iters > 0) {{
+        gen_input(1024);
+        var nc = encode(1024);
+        assert(nc < 1024, 12);          // compressible input must shrink
+        var n = decode(nc);
+        assert(n == 1024, 13);
+        for (reg i = 0; i < 1024; i = i + 1) {{
+            assert(decoded[i] == input[i], 14);
+        }}
+        check = check + nc;
+        iters = iters - 1;
+    }}
+    halt(0);
+    return 0;
+}}
+",
+        lcg = lcg()
+    )
+}
+
+/// gcc: expression trees built, evaluated recursively, constant-folded.
+pub fn gcc(f: u32) -> String {
+    format!(
+        "{lcg}
+int op[1024];
+int lhs[1024];
+int rhs[1024];
+int val[1024];
+int nnodes;
+
+fn build(depth) {{
+    var n = nnodes;
+    nnodes = nnodes + 1;
+    assert(n < 1024, 21);
+    var r = rnd();
+    if (depth == 0 || (r & 3) == 0) {{
+        op[n] = 0;
+        val[n] = rnd() & 1023;
+        return n;
+    }}
+    op[n] = (r % 5) + 1;
+    lhs[n] = build(depth - 1);
+    rhs[n] = build(depth - 1);
+    return n;
+}}
+
+fn apply(o, a, b) {{
+    if (o == 1) {{ return a + b; }}
+    if (o == 2) {{ return a - b; }}
+    if (o == 3) {{ return a * b; }}
+    if (o == 4) {{ return a & b; }}
+    return a ^ b;
+}}
+
+fn eval(n) {{
+    var o = op[n];
+    if (o == 0) {{ return val[n]; }}
+    var a = eval(lhs[n]);
+    var b = eval(rhs[n]);
+    return apply(o, a, b);
+}}
+
+// Bottom-up constant folding: after folding every node is a literal.
+fn fold(n) {{
+    if (op[n] != 0) {{
+        var a = fold(lhs[n]);
+        var b = fold(rhs[n]);
+        val[n] = apply(op[n], a, b);
+        op[n] = 0;
+    }}
+    return val[n];
+}}
+
+fn main() {{
+    reg trees = {count};
+    while (trees > 0) {{
+        nnodes = 0;
+        var root = build(7);
+        var direct = eval(root);
+        var folded = fold(root);
+        assert(direct == folded, 22);
+        assert(op[root] == 0, 23);
+        trees = trees - 1;
+    }}
+    halt(0);
+    return 0;
+}}
+",
+        lcg = lcg(),
+        count = 12 * f
+    )
+}
+
+/// go: influence propagation on a 19x19 board with a mirror self-check.
+pub fn go(f: u32) -> String {
+    format!(
+        "{lcg}
+int board[361];
+int mirror_board[361];
+int infl[361];
+int infl2[361];
+
+fn clear_boards() {{
+    for (reg p = 0; p < 361; p = p + 1) {{ board[p] = 0; mirror_board[p] = 0; }}
+    return 0;
+}}
+
+fn place_stones(count) {{
+    reg placed = 0;
+    while (placed < count) {{
+        var p = rnd() % 361;
+        if (board[p] == 0) {{
+            var color = 1 + (rnd() & 1);
+            board[p] = color;
+            // mirrored position: x -> 18 - x
+            var y = p / 19;
+            var x = p - y * 19;
+            mirror_board[y * 19 + (18 - x)] = color;
+            placed = placed + 1;
+        }}
+    }}
+    return 0;
+}}
+
+// Influence contribution of the stone (if any) at board[q], weighted by
+// 8 >> dist. Returns signed weight.
+fn stone_weight(from_mirror, q, dist) {{
+    var s = 0;
+    if (from_mirror) {{ s = mirror_board[q]; }} else {{ s = board[q]; }}
+    if (s == 1) {{ return 8 >> dist; }}
+    if (s == 2) {{ return 0 - (8 >> dist); }}
+    return 0;
+}}
+
+// One row of the neighbourhood, width 1: the points (x-1..x+1, yrow),
+// unrolled like a -O3 build would.
+fn scan_row1(from_mirror, rowbase, x, dbase) {{
+    reg acc = stone_weight(from_mirror, rowbase + x, dbase);
+    if (x - 1 >= 0) {{ acc = acc + stone_weight(from_mirror, rowbase + x - 1, dbase + 1); }}
+    if (x + 1 <= 18) {{ acc = acc + stone_weight(from_mirror, rowbase + x + 1, dbase + 1); }}
+    return acc;
+}}
+
+// Width-2 row: x-2..x+2.
+fn scan_row2(from_mirror, rowbase, x, dbase) {{
+    reg acc = scan_row1(from_mirror, rowbase, x, dbase);
+    if (x - 2 >= 0) {{ acc = acc + stone_weight(from_mirror, rowbase + x - 2, dbase + 2); }}
+    if (x + 2 <= 18) {{ acc = acc + stone_weight(from_mirror, rowbase + x + 2, dbase + 2); }}
+    return acc;
+}}
+
+fn influence(from_mirror) {{
+    reg p = 0;
+    for (reg y = 0; y < 19; y = y + 1) {{
+        for (reg x = 0; x < 19; x = x + 1) {{
+            var acc = scan_row2(from_mirror, y * 19, x, 0);
+            if (y >= 1) {{ acc = acc + scan_row1(from_mirror, (y - 1) * 19, x, 1); }}
+            if (y <= 17) {{ acc = acc + scan_row1(from_mirror, (y + 1) * 19, x, 1); }}
+            if (y >= 2) {{ acc = acc + stone_weight(from_mirror, (y - 2) * 19 + x, 2); }}
+            if (y <= 16) {{ acc = acc + stone_weight(from_mirror, (y + 2) * 19 + x, 2); }}
+            if (from_mirror) {{ infl2[p] = acc; }} else {{ infl[p] = acc; }}
+            p = p + 1;
+        }}
+    }}
+    return 0;
+}}
+
+fn liberties() {{
+    reg total = 0;
+    reg p = 0;
+    for (reg y = 0; y < 19; y = y + 1) {{
+        for (reg x = 0; x < 19; x = x + 1) {{
+            if (board[p] != 0) {{
+                if (y > 0 && board[p - 19] == 0) {{ total = total + 1; }}
+                if (y < 18 && board[p + 19] == 0) {{ total = total + 1; }}
+                if (x > 0 && board[p - 1] == 0) {{ total = total + 1; }}
+                if (x < 18 && board[p + 1] == 0) {{ total = total + 1; }}
+            }}
+            p = p + 1;
+        }}
+    }}
+    return total;
+}}
+
+fn main() {{
+    reg games = {f};
+    reg check = 0;
+    while (games > 0) {{
+        clear_boards();
+        place_stones(60);
+        influence(0);
+        influence(1);
+        // Mirror symmetry: influence commutes with the reflection.
+        reg p = 0;
+        for (reg y = 0; y < 19; y = y + 1) {{
+            for (reg x = 0; x < 19; x = x + 1) {{
+                assert(infl[p] == infl2[y * 19 + (18 - x)], 31);
+                p = p + 1;
+            }}
+        }}
+        check = check + liberties();
+        games = games - 1;
+    }}
+    assert(check > 0, 32);
+    halt(0);
+    return 0;
+}}
+",
+        lcg = lcg()
+    )
+}
+
+/// ijpeg: reversible 8-point butterfly (Hadamard) transform over an
+/// image — fully unrolled straight-line kernel like real JPEG DCT code —
+/// forward on rows+columns, again to invert, exact compare.
+pub fn ijpeg(f: u32) -> String {
+    format!(
+        "{lcg}
+int img[1024];
+int orig[1024];
+int energy;
+
+// 8-point Hadamard, fully unrolled (jfdctint.c-style straight-line
+// code). Loads the lane, runs 3 butterfly stages in registers, stores.
+fn hadamard8(base, shift) {{
+    var s1 = 1 << shift;
+    var v0 = lw(base);
+    var v1 = lw(base + s1);
+    var v2 = lw(base + s1 * 2);
+    var v3 = lw(base + s1 * 2 + s1);
+    var v4 = lw(base + s1 * 4);
+    var v5 = lw(base + s1 * 4 + s1);
+    var v6 = lw(base + s1 * 4 + s1 * 2);
+    var v7 = lw(base + s1 * 4 + s1 * 2 + s1);
+    // stage 1: distance 1
+    v0 = v0 + v1; v1 = v0 - v1 - v1;
+    v2 = v2 + v3; v3 = v2 - v3 - v3;
+    v4 = v4 + v5; v5 = v4 - v5 - v5;
+    v6 = v6 + v7; v7 = v6 - v7 - v7;
+    // stage 2: distance 2
+    v0 = v0 + v2; v2 = v0 - v2 - v2;
+    v1 = v1 + v3; v3 = v1 - v3 - v3;
+    v4 = v4 + v6; v6 = v4 - v6 - v6;
+    v5 = v5 + v7; v7 = v5 - v7 - v7;
+    // stage 3: distance 4
+    v0 = v0 + v4; v4 = v0 - v4 - v4;
+    v1 = v1 + v5; v5 = v1 - v5 - v5;
+    v2 = v2 + v6; v6 = v2 - v6 - v6;
+    v3 = v3 + v7; v7 = v3 - v7 - v7;
+    sw(base, v0);
+    sw(base + s1, v1);
+    sw(base + s1 * 2, v2);
+    sw(base + s1 * 2 + s1, v3);
+    sw(base + s1 * 4, v4);
+    sw(base + s1 * 4 + s1, v5);
+    sw(base + s1 * 4 + s1 * 2, v6);
+    sw(base + s1 * 4 + s1 * 2 + s1, v7);
+    return 0;
+}}
+
+// Transform every 8x8 block of the 32x32 image: all rows then all
+// columns. Applying it twice scales every pixel by 64.
+fn transform() {{
+    var base = addr(img);
+    for (reg by = 0; by < 32; by = by + 8) {{
+        for (reg bx = 0; bx < 32; bx = bx + 8) {{
+            for (reg r = 0; r < 8; r = r + 1) {{
+                hadamard8(base + ((by + r) * 32 + bx) * 4, 2);
+            }}
+            for (reg c = 0; c < 8; c = c + 1) {{
+                hadamard8(base + (by * 32 + bx + c) * 4, 7);
+            }}
+        }}
+    }}
+    return 0;
+}}
+
+fn main() {{
+    reg frames = {frames};
+    // One random base image; later frames derive from it cheaply so the
+    // kernel, not the generator, dominates (the generator's software
+    // multiply is a serial mulscc chain).
+    for (reg i = 0; i < 1024; i = i + 1) {{ orig[i] = rnd() & 255; }}
+    reg frame = 0;
+    while (frames > 0) {{
+        for (reg i = 0; i < 1024; i = i + 1) {{
+            var v = (orig[i] + frame) & 255;
+            img[i] = v;
+            orig[i] = v;
+        }}
+        transform();
+        // Spectral statistic on the coefficients.
+        reg e = 0;
+        for (reg i = 0; i < 1024; i = i + 1) {{
+            var c = img[i];
+            if (c < 0) {{ c = 0 - c; }}
+            e = e + (c >> 4);
+        }}
+        energy = energy + e;
+        transform();   // Hadamard is its own inverse up to the 64x scale
+        for (reg i = 0; i < 1024; i = i + 1) {{
+            var w = img[i] >> 6;
+            assert(w * 64 == img[i], 41);
+            assert(w == orig[i], 42);
+            img[i] = w;
+        }}
+        frame = frame + 13;
+        frames = frames - 1;
+    }}
+    assert(energy > 0, 43);
+    halt(0);
+    return 0;
+}}
+",
+        lcg = lcg(),
+        frames = 2 * f
+    )
+}
+
+/// m88ksim: an interpreter for a tiny 16-bit-encoded register machine,
+/// cross-checked against direct computation.
+pub fn m88ksim(f: u32) -> String {
+    format!(
+        "{lcg}
+int regs[8];
+int prog[64];
+int nprog;
+
+// Encoding: op in bits 12.., rd bits 9..11, rs bits 6..8, imm bits 0..5.
+// ops: 0 halt, 1 li, 2 add, 3 sub, 4 jnz (target = imm), 5 mov, 6 addi.
+fn emit1(o, rd, rs, imm) {{
+    prog[nprog] = (o << 12) + (rd << 9) + (rs << 6) + imm;
+    nprog = nprog + 1;
+    return 0;
+}}
+
+fn interp(maxsteps) {{
+    reg pc = 0;
+    reg steps = 0;
+    while (steps < maxsteps) {{
+        var ins = prog[pc];
+        var o = ins >> 12;
+        var rd = (ins >> 9) & 7;
+        var rs = (ins >> 6) & 7;
+        var imm = ins & 63;
+        pc = pc + 1;
+        if (o == 0) {{ return steps; }}
+        if (o == 1) {{ regs[rd] = imm; }}
+        if (o == 2) {{ regs[rd] = regs[rd] + regs[rs]; }}
+        if (o == 3) {{ regs[rd] = regs[rd] - regs[rs]; }}
+        if (o == 4) {{ if (regs[rs] != 0) {{ pc = imm; }} }}
+        if (o == 5) {{ regs[rd] = regs[rs]; }}
+        if (o == 6) {{ regs[rd] = regs[rd] + imm; }}
+        steps = steps + 1;
+    }}
+    assert(0, 51);      // guest ran away
+    return 0;
+}}
+
+// Guest program: iterative fibonacci of n (n in r2), result in r0.
+fn load_fib(n) {{
+    nprog = 0;
+    emit1(1, 0, 0, 0);      // 0: li r0, 0
+    emit1(1, 1, 0, 1);      // 1: li r1, 1
+    emit1(1, 2, 0, n);      // 2: li r2, n
+    emit1(5, 3, 1, 0);      // 3: mov r3, r1       <- loop
+    emit1(2, 1, 0, 0);      // 4: add r1, r0
+    emit1(5, 0, 3, 0);      // 5: mov r0, r3
+    emit1(1, 4, 0, 1);      // 6: li r4, 1
+    emit1(3, 2, 4, 0);      // 7: sub r2, r4
+    emit1(4, 0, 2, 3);      // 8: jnz r2, 3
+    emit1(0, 0, 0, 0);      // 9: halt
+    return 0;
+}}
+
+fn fib_direct(n) {{
+    reg a = 0;
+    reg b = 1;
+    while (n > 0) {{
+        var t = b;
+        b = b + a;
+        a = t;
+        n = n - 1;
+    }}
+    return a;
+}}
+
+fn main() {{
+    reg runs = {runs};
+    while (runs > 0) {{
+        var n = 5 + (rnd() % 20);
+        load_fib(n);
+        interp(100000);
+        assert(regs[0] == fib_direct(n), 52);
+        runs = runs - 1;
+    }}
+    halt(0);
+    return 0;
+}}
+",
+        lcg = lcg(),
+        runs = 30 * f
+    )
+}
+
+/// perl: string hash table over a byte arena.
+pub fn perl(f: u32) -> String {
+    format!(
+        "{lcg}
+int arena[1024];
+int key_off[256];
+int key_len[256];
+int htab_key[512];
+int htab_val[512];
+
+fn make_keys(count) {{
+    var base = addr(arena);
+    reg off = 0;
+    reg i = 0;
+    while (i < count) {{
+        key_off[i] = off;
+        // unique prefix from the index, then random letters
+        sb(base + off, 107);                  // 'k'
+        sb(base + off + 1, 48 + (i & 15));
+        sb(base + off + 2, 48 + ((i >> 4) & 15));
+        var len = 3 + (rnd() & 7);
+        for (reg j = 3; j < len; j = j + 1) {{
+            sb(base + off + j, 97 + (rnd() % 26));
+        }}
+        key_len[i] = len;
+        off = off + len;
+        assert(off < 4096, 61);
+        i = i + 1;
+    }}
+    return 0;
+}}
+
+fn hash_key(k) {{
+    var base = addr(arena) + key_off[k];
+    var len = key_len[k];
+    reg h = 5381;
+    for (reg j = 0; j < len; j = j + 1) {{
+        h = ((h << 5) + h) ^ lb(base + j);
+    }}
+    return h & 511;
+}}
+
+fn keys_equal(a, b) {{
+    if (key_len[a] != key_len[b]) {{ return 0; }}
+    var pa = addr(arena) + key_off[a];
+    var pb = addr(arena) + key_off[b];
+    var len = key_len[a];
+    for (reg j = 0; j < len; j = j + 1) {{
+        if (lb(pa + j) != lb(pb + j)) {{ return 0; }}
+    }}
+    return 1;
+}}
+
+// open addressing with linear probing; htab_key holds key-id + 1,
+// 0 = empty, -1 = tombstone.
+fn insert(k, v) {{
+    reg h = hash_key(k);
+    while (1) {{
+        var e = htab_key[h];
+        if (e <= 0) {{
+            htab_key[h] = k + 1;
+            htab_val[h] = v;
+            return h;
+        }}
+        if (keys_equal(e - 1, k)) {{
+            htab_val[h] = v;
+            return h;
+        }}
+        h = (h + 1) & 511;
+    }}
+    return 0;
+}}
+
+fn lookup(k) {{
+    reg h = hash_key(k);
+    reg probes = 0;
+    while (probes < 512) {{
+        var e = htab_key[h];
+        if (e == 0) {{ return 0 - 1; }}
+        if (e > 0 && keys_equal(e - 1, k)) {{ return htab_val[h]; }}
+        h = (h + 1) & 511;
+        probes = probes + 1;
+    }}
+    return 0 - 1;
+}}
+
+fn remove(k) {{
+    reg h = hash_key(k);
+    reg probes = 0;
+    while (probes < 512) {{
+        var e = htab_key[h];
+        if (e == 0) {{ return 0; }}
+        if (e > 0 && keys_equal(e - 1, k)) {{
+            htab_key[h] = 0 - 1;
+            return 1;
+        }}
+        h = (h + 1) & 511;
+        probes = probes + 1;
+    }}
+    return 0;
+}}
+
+fn main() {{
+    reg rounds = {rounds};
+    while (rounds > 0) {{
+        for (reg i = 0; i < 512; i = i + 1) {{ htab_key[i] = 0; }}
+        make_keys(200);
+        for (reg i = 0; i < 200; i = i + 1) {{ insert(i, i * 3 + 7); }}
+        for (reg i = 0; i < 200; i = i + 1) {{ assert(lookup(i) == i * 3 + 7, 62); }}
+        for (reg i = 0; i < 200; i = i + 3) {{ assert(remove(i) == 1, 63); }}
+        for (reg i = 0; i < 200; i = i + 1) {{
+            if (i % 3 == 0) {{ assert(lookup(i) == 0 - 1, 64); }}
+            else {{ assert(lookup(i) == i * 3 + 7, 65); }}
+        }}
+        for (reg i = 0; i < 200; i = i + 3) {{ insert(i, i + 1000); }}
+        for (reg i = 0; i < 200; i = i + 3) {{ assert(lookup(i) == i + 1000, 66); }}
+        rounds = rounds - 1;
+    }}
+    halt(0);
+    return 0;
+}}
+",
+        lcg = lcg(),
+        rounds = f
+    )
+}
+
+/// vortex: object store with per-type index lists and a transaction mix.
+pub fn vortex(f: u32) -> String {
+    format!(
+        "{lcg}
+int obj_id[512];
+int obj_typ[512];
+int obj_val[512];
+int obj_nxt[512];
+int head[4];
+int cnt[4];
+int sums[4];
+int free_head;
+int next_id;
+
+fn reset_store() {{
+    for (reg i = 0; i < 511; i = i + 1) {{ obj_nxt[i] = i + 1; }}
+    obj_nxt[511] = 0 - 1;
+    free_head = 0;
+    for (reg t = 0; t < 4; t = t + 1) {{ head[t] = 0 - 1; cnt[t] = 0; sums[t] = 0; }}
+    next_id = 1;
+    return 0;
+}}
+
+fn insert_obj(t, v) {{
+    var n = free_head;
+    if (n < 0) {{ return 0 - 1; }}
+    free_head = obj_nxt[n];
+    obj_id[n] = next_id;
+    next_id = next_id + 1;
+    obj_typ[n] = t;
+    obj_val[n] = v;
+    obj_nxt[n] = head[t];
+    head[t] = n;
+    cnt[t] = cnt[t] + 1;
+    sums[t] = sums[t] + v;
+    return n;
+}}
+
+fn delete_head(t) {{
+    var n = head[t];
+    if (n < 0) {{ return 0; }}
+    head[t] = obj_nxt[n];
+    cnt[t] = cnt[t] - 1;
+    sums[t] = sums[t] - obj_val[n];
+    obj_nxt[n] = free_head;
+    free_head = n;
+    return 1;
+}}
+
+fn update_kth(t, k, delta) {{
+    var n = head[t];
+    while (k > 0 && n >= 0) {{
+        n = obj_nxt[n];
+        k = k - 1;
+    }}
+    if (n >= 0) {{
+        obj_val[n] = obj_val[n] + delta;
+        sums[t] = sums[t] + delta;
+        return 1;
+    }}
+    return 0;
+}}
+
+fn scan_check(t) {{
+    reg total = 0;
+    reg n2 = 0;
+    var n = head[t];
+    while (n >= 0) {{
+        total = total + obj_val[n];
+        n2 = n2 + 1;
+        n = obj_nxt[n];
+    }}
+    assert(total == sums[t], 71);
+    assert(n2 == cnt[t], 72);
+    return total;
+}}
+
+fn main() {{
+    reg txns = {txns};
+    reset_store();
+    while (txns > 0) {{
+        var r = rnd();
+        var t = r & 3;
+        var kind = (r >> 2) % 10;
+        if (kind < 5) {{
+            insert_obj(t, (r >> 5) & 1023);
+        }} else {{
+            if (kind < 7) {{ delete_head(t); }}
+            else {{
+                if (kind < 9) {{ update_kth(t, (r >> 5) & 15, (r >> 9) & 63); }}
+                else {{ scan_check(t); }}
+            }}
+        }}
+        txns = txns - 1;
+    }}
+    scan_check(0);
+    scan_check(1);
+    scan_check(2);
+    scan_check(3);
+    halt(0);
+    return 0;
+}}
+",
+        lcg = lcg(),
+        txns = 700 * f
+    )
+}
+
+/// xlisp: N-queens over cons cells (xlisp ran `queens 7`).
+pub fn xlisp(f: u32) -> String {
+    format!(
+        "{lcg}
+int car_[4096];
+int cdr_[4096];
+int freep;
+
+fn cons(a, d) {{
+    var c = freep;
+    freep = freep + 1;
+    assert(freep < 4096, 81);
+    car_[c] = a;
+    cdr_[c] = d;
+    return c;
+}}
+
+// Is placing `row` in the next column safe against `placed` (a list of
+// rows, nearest column first)?
+fn safe(row, placed) {{
+    reg d = 1;
+    while (placed != 0) {{
+        var r = car_[placed];
+        if (r == row) {{ return 0; }}
+        if (r + d == row) {{ return 0; }}
+        if (r - d == row) {{ return 0; }}
+        d = d + 1;
+        placed = cdr_[placed];
+    }}
+    return 1;
+}}
+
+fn solve(col, n, placed) {{
+    if (col == n) {{ return 1; }}
+    reg count = 0;
+    reg row = 0;
+    while (row < n) {{
+        if (safe(row, placed)) {{
+            count = count + solve(col + 1, n, cons(row, placed));
+        }}
+        row = row + 1;
+    }}
+    return count;
+}}
+
+fn main() {{
+    reg games = {f};
+    while (games > 0) {{
+        freep = 1;       // cell 0 is nil
+        var c = solve(0, 7, 0);
+        assert(c == 40, 82);       // queens(7) has 40 solutions
+        // sweep: every allocated cell must hold a valid row and link
+        for (reg i = 1; i < freep; i = i + 1) {{
+            assert(car_[i] >= 0 && car_[i] < 7, 83);
+            assert(cdr_[i] >= 0 && cdr_[i] < i, 84);
+        }}
+        games = games - 1;
+    }}
+    halt(0);
+    return 0;
+}}
+",
+        lcg = lcg()
+    )
+}

@@ -1,0 +1,41 @@
+//! Every workload runs on the full DTSVLIW machine in test mode: each
+//! instruction commit is co-simulated against the sequential reference,
+//! each workload's own self-checks must also pass, and the machine must
+//! spend a meaningful share of cycles in VLIW mode.
+
+use dtsvliw_core::{Machine, MachineConfig};
+use dtsvliw_workloads::{all, Scale};
+
+#[test]
+fn all_workloads_verify_on_the_dtsvliw_machine() {
+    for w in all(Scale::Test) {
+        let img = w.image();
+        let mut m = Machine::new(MachineConfig::ideal(8, 8), &img);
+        let out = m.run(50_000_000).unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+        assert_eq!(out.exit_code, w.expected_exit, "{} exit", w.name);
+        let st = m.stats();
+        assert!(
+            st.vliw_cycle_share() > 0.3,
+            "{}: only {:.1}% of cycles in VLIW mode",
+            w.name,
+            100.0 * st.vliw_cycle_share()
+        );
+        assert!(st.ipc() > 0.5, "{}: ipc {:.2}", w.name, st.ipc());
+        println!(
+            "{:10} ipc {:.2}  vliw {:>5.1}%  instrs {:>9}  cycles {:>9}",
+            w.name,
+            st.ipc(),
+            100.0 * st.vliw_cycle_share(),
+            st.instructions,
+            st.cycles
+        );
+    }
+}
+
+#[test]
+fn feasible_machine_runs_a_workload() {
+    let w = dtsvliw_workloads::by_name("xlisp", Scale::Test).unwrap();
+    let mut m = Machine::new(MachineConfig::feasible_paper(), &w.image());
+    let out = m.run(10_000_000).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(out.exit_code, Some(0));
+}

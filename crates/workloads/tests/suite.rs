@@ -1,0 +1,56 @@
+//! Every workload compiles, runs to completion on the reference machine
+//! with its self-checks green, and produces a non-trivial dynamic
+//! instruction count.
+
+use dtsvliw_primary::{RefMachine, RunOutcome};
+use dtsvliw_workloads::{all, by_name, Scale};
+
+#[test]
+fn all_eight_workloads_self_check_on_the_reference_machine() {
+    let suite = all(Scale::Test);
+    assert_eq!(suite.len(), 8);
+    let names: Vec<&str> = suite.iter().map(|w| w.name).collect();
+    assert_eq!(
+        names,
+        ["compress", "gcc", "go", "ijpeg", "m88ksim", "perl", "vortex", "xlisp"],
+        "paper Table 2 order"
+    );
+    for w in &suite {
+        let img = w.image();
+        let mut m = RefMachine::new(&img);
+        match m.run(200_000_000) {
+            Ok(RunOutcome::Halted { code, retired }) => {
+                assert_eq!(Some(code), w.expected_exit, "{} exit code", w.name);
+                assert!(
+                    retired > 20_000,
+                    "{} too small at Scale::Test: {retired} instructions",
+                    w.name
+                );
+                println!("{:10} {:>10} instructions", w.name, retired);
+            }
+            Ok(RunOutcome::OutOfFuel) => panic!("{} did not halt", w.name),
+            Err(e) => panic!("{} failed: {e}", w.name),
+        }
+    }
+}
+
+#[test]
+fn scales_grow_instruction_counts() {
+    let small = by_name("xlisp", Scale::Small).unwrap();
+    let test = by_name("xlisp", Scale::Test).unwrap();
+    let count = |w: &dtsvliw_workloads::Workload| {
+        let mut m = RefMachine::new(&w.image());
+        match m.run(500_000_000).unwrap() {
+            RunOutcome::Halted { retired, .. } => retired,
+            RunOutcome::OutOfFuel => panic!("no halt"),
+        }
+    };
+    assert!(count(&small) > 4 * count(&test));
+}
+
+#[test]
+fn deterministic_sources() {
+    let a = by_name("perl", Scale::Small).unwrap().source;
+    let b = by_name("perl", Scale::Small).unwrap().source;
+    assert_eq!(a, b);
+}

@@ -1,0 +1,46 @@
+//! Explore how block geometry changes DTSVLIW performance on one
+//! workload — a miniature interactive version of the paper's Figure 5.
+//!
+//! ```sh
+//! cargo run --release --example geometry_explorer [workload] [budget]
+//! cargo run --release --example geometry_explorer ijpeg 500000
+//! ```
+
+use dtsvliw_core::{Machine, MachineConfig};
+use dtsvliw_workloads::{by_name, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workload = args.get(1).map(String::as_str).unwrap_or("compress");
+    let budget: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(300_000);
+
+    let w = by_name(workload, Scale::Small).unwrap_or_else(|| {
+        panic!(
+            "unknown workload `{workload}` (try compress, gcc, go, ijpeg, m88ksim, perl, vortex, xlisp)"
+        )
+    });
+    let img = w.image();
+    println!("workload: {} — {}", w.name, w.description);
+    println!("budget  : {budget} sequential instructions\n");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "geom", "IPC", "vliw%", "blocks", "splits", "util%"
+    );
+
+    for (width, height) in
+        [(1, 4), (2, 4), (4, 4), (4, 8), (8, 4), (8, 8), (8, 16), (16, 8), (16, 16)]
+    {
+        let mut m = Machine::new(MachineConfig::ideal(width, height), &img);
+        m.run(budget).expect("verified run");
+        let s = m.stats();
+        println!(
+            "{:>6} {:>8.2} {:>7.1}% {:>8} {:>8} {:>7.1}%",
+            format!("{width}x{height}"),
+            s.ipc(),
+            100.0 * s.vliw_cycle_share(),
+            s.sched.blocks,
+            s.sched.splits,
+            100.0 * s.sched.slot_utilisation(),
+        );
+    }
+}

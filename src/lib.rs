@@ -1,0 +1,39 @@
+//! Umbrella crate for the DTSVLIW reproduction: re-exports the pieces a
+//! downstream user needs to compile, assemble and simulate programs.
+//! See the workspace README for the architecture tour, DESIGN.md for the
+//! system inventory and EXPERIMENTS.md for the paper-vs-measured
+//! results. The `examples/` directory holds runnable entry points
+//! (`quickstart`, `vector_sum`, `geometry_explorer`, `custom_workload`).
+
+pub use dtsvliw_asm as asm;
+pub use dtsvliw_core as core_machine;
+pub use dtsvliw_dif as dif;
+pub use dtsvliw_isa as isa;
+pub use dtsvliw_mem as mem;
+pub use dtsvliw_minicc as minicc;
+pub use dtsvliw_primary as primary;
+pub use dtsvliw_sched as sched;
+pub use dtsvliw_vliw as vliw;
+pub use dtsvliw_workloads as workloads;
+
+/// Everything needed for the common flow: compile → machine → stats.
+pub mod prelude {
+    pub use dtsvliw_asm::assemble;
+    pub use dtsvliw_core::{Machine, MachineConfig, RunStats, ScheduleMode};
+    pub use dtsvliw_dif::DifMachine;
+    pub use dtsvliw_minicc::compile_to_image;
+    pub use dtsvliw_workloads::{all as all_workloads, by_name as workload, Scale};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_covers_the_common_flow() {
+        let image = compile_to_image("fn main() { return 6 * 7; }").unwrap();
+        let mut m = Machine::new(MachineConfig::ideal(4, 4), &image);
+        let out = m.run(100_000).unwrap();
+        assert_eq!(out.exit_code, Some(42));
+    }
+}

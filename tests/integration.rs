@@ -1,0 +1,141 @@
+//! Cross-crate integration tests: the whole toolchain-to-machine path —
+//! minicc → assembler → image → DTSVLIW machine (with its internal
+//! test-mode co-simulation) → statistics, plus the DIF baseline and the
+//! headline qualitative claims of the paper.
+
+use dtsvliw_core::{Machine, MachineConfig};
+use dtsvliw_dif::DifMachine;
+use dtsvliw_minicc::compile_to_image;
+use dtsvliw_primary::{RefMachine, RunOutcome};
+use dtsvliw_workloads::{all, Scale};
+
+/// Compile-and-run helper over the full machine.
+fn run_dtsvliw(src: &str, cfg: MachineConfig) -> (u32, dtsvliw_core::RunStats) {
+    let img = compile_to_image(src).expect("compiles");
+    let mut m = Machine::new(cfg, &img);
+    let out = m.run(50_000_000).expect("verified run");
+    (out.exit_code.expect("halts"), m.stats())
+}
+
+#[test]
+fn toolchain_end_to_end() {
+    let src = "
+        fn gcd(a, b) {
+            while (b != 0) {
+                var t = a % b;
+                a = b;
+                b = t;
+            }
+            return a;
+        }
+        fn main() { return gcd(3528, 3780) * 1000 + gcd(17, 5); }
+    ";
+    let (code, stats) = run_dtsvliw(src, MachineConfig::ideal(8, 8));
+    assert_eq!(code, 252 * 1000 + 1);
+    assert!(stats.vliw_cycles > 0);
+}
+
+#[test]
+fn dtsvliw_beats_the_sequential_primary_processor() {
+    // The paper's premise: re-executing cached traces in VLIW fashion
+    // beats single-issue execution. Compare cycles against a
+    // primary-only machine (VLIW cache too small to ever hit).
+    let w = dtsvliw_workloads::by_name("compress", Scale::Test).unwrap();
+    let img = w.image();
+
+    let mut vliw = Machine::new(MachineConfig::ideal(8, 8), &img);
+    vliw.run(300_000).unwrap();
+
+    let mut scalar_cfg = MachineConfig::ideal(1, 1);
+    scalar_cfg.vliw_cache = dtsvliw_vliw::VliwCacheConfig { size_bytes: 6, ways: 1, width: 1, height: 1 };
+    let mut scalar = Machine::new(scalar_cfg, &img);
+    scalar.run(300_000).unwrap();
+
+    let speedup = scalar.stats().cycles as f64 / vliw.stats().cycles as f64;
+    assert!(speedup > 1.5, "DTSVLIW speedup over sequential: {speedup:.2}x");
+}
+
+#[test]
+fn vliw_cycle_share_is_high_in_steady_state() {
+    // "the DTSVLIW executes VLIW instructions on almost 90% of the
+    // cycles on average" (paper §1) — loop-heavy members reach >90%.
+    let mut shares = Vec::new();
+    for w in all(Scale::Test) {
+        let mut m = Machine::new(MachineConfig::ideal(8, 8), &w.image());
+        m.run(2_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        shares.push(m.stats().vliw_cycle_share());
+    }
+    let avg = shares.iter().sum::<f64>() / shares.len() as f64;
+    assert!(avg > 0.7, "average VLIW-cycle share {avg:.2}");
+    assert!(shares.iter().any(|s| *s > 0.9), "some workload above 90%");
+}
+
+#[test]
+fn dif_comparison_is_within_band() {
+    // Figure 9's qualitative claim: the two machines implement the same
+    // concept and land close (the paper: ~9% apart on average).
+    let w = dtsvliw_workloads::by_name("vortex", Scale::Test).unwrap();
+    let img = w.image();
+    let mut a = Machine::new(MachineConfig::dif_comparison(), &img);
+    a.run(400_000).unwrap();
+    let mut b = DifMachine::new(&img);
+    b.run(400_000).unwrap();
+    let ratio = a.stats().ipc() / b.stats().ipc();
+    assert!((0.6..=1.8).contains(&ratio), "DTSVLIW/DIF IPC ratio {ratio:.2}");
+}
+
+#[test]
+fn assembler_and_reference_machine_agree_with_compiled_code() {
+    // The same algorithm hand-written in assembly and compiled from
+    // minicc must produce the same answer.
+    let asm = dtsvliw_asm::assemble(
+        "
+_start:
+    mov 0, %o0
+    mov 1, %o1          ! fib iteration
+    mov 20, %o2
+loop:
+    add %o0, %o1, %o3
+    mov %o1, %o0
+    mov %o3, %o1
+    subcc %o2, 1, %o2
+    bne loop
+    nop
+    ta 0
+",
+    )
+    .unwrap();
+    let mut m1 = RefMachine::new(&asm);
+    let RunOutcome::Halted { code: c1, .. } = m1.run(1000).unwrap() else { panic!() };
+
+    let cc = compile_to_image(
+        "
+        fn main() {
+            reg a = 0;
+            reg b = 1;
+            for (reg i = 0; i < 20; i = i + 1) {
+                var t = a + b;
+                a = b;
+                b = t;
+            }
+            return a;
+        }",
+    )
+    .unwrap();
+    let mut m2 = RefMachine::new(&cc);
+    let RunOutcome::Halted { code: c2, .. } = m2.run(10_000).unwrap() else { panic!() };
+    assert_eq!(c1, c2, "fib(20) both ways");
+    assert_eq!(c2, 6765);
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let w = dtsvliw_workloads::by_name("perl", Scale::Test).unwrap();
+    let mut m = Machine::new(MachineConfig::feasible_paper(), &w.image());
+    m.run(500_000).unwrap();
+    let s = m.stats();
+    assert_eq!(s.cycles, s.vliw_cycles + s.primary_cycles + s.overhead_cycles);
+    assert!(s.sched.slots_filled <= s.sched.slots_total);
+    assert!(s.engine.committed + s.engine.annulled > 0);
+    assert!(s.vliw_cache.inserts >= s.sched.blocks, "every sealed block is inserted");
+}
