@@ -38,7 +38,10 @@ impl Image {
     pub fn words(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         self.sections.iter().flat_map(|(base, bytes)| {
             bytes.chunks_exact(4).enumerate().map(move |(i, c)| {
-                (base + 4 * i as u32, u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+                (
+                    base + 4 * i as u32,
+                    u32::from_be_bytes([c[0], c[1], c[2], c[3]]),
+                )
             })
         })
     }

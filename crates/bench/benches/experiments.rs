@@ -1,76 +1,71 @@
-//! Criterion entry points, one group per paper table/figure: each
-//! benchmark runs a down-scaled representative configuration of that
-//! experiment, so `cargo bench` exercises every experiment path and
-//! tracks simulator throughput regressions. Full-size data comes from
-//! the `fig*`/`table*` binaries (see EXPERIMENTS.md).
+//! Experiment-path throughput benchmarks, one group per paper
+//! table/figure: each benchmark runs a down-scaled representative
+//! configuration of that experiment, so `cargo bench` exercises every
+//! experiment path and tracks simulator throughput regressions.
+//! Full-size data comes from the `fig*`/`table*` binaries (see
+//! EXPERIMENTS.md).
+//!
+//! Dependency-free manual harness (`harness = false`): each case runs
+//! once to warm up, then `SAMPLES` timed iterations; the report prints
+//! the best wall time and the instructions/s it implies — the number
+//! the "< 2% tracing overhead" acceptance check compares.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dtsvliw_core::{Machine, MachineConfig};
 use dtsvliw_workloads::{by_name, Scale};
+use std::time::Instant;
 
 const BUDGET: u64 = 60_000;
+const SAMPLES: usize = 5;
 
 fn run(cfg: MachineConfig, workload: &str) -> u64 {
     let w = by_name(workload, Scale::Test).unwrap();
     let img = w.image();
     let mut m = Machine::new(cfg, &img);
     m.run(BUDGET).unwrap();
-    m.stats().cycles
+    m.stats().instructions
 }
 
-fn fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_geometry");
-    g.sample_size(10);
+fn bench(name: &str, mut f: impl FnMut() -> u64) {
+    let instructions = f(); // warm-up, also yields the work metric
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        let got = f();
+        let dt = t.elapsed().as_secs_f64();
+        assert_eq!(got, instructions, "nondeterministic benchmark body");
+        best = best.min(dt);
+    }
+    let rate = instructions as f64 / best / 1e6;
+    println!("{name:<28}{:>10.3} ms{:>10.2} M instr/s", best * 1e3, rate);
+}
+
+fn main() {
+    println!("{:<28}{:>13}{:>18}", "benchmark", "best", "throughput");
+
     for (w, h) in [(4usize, 4usize), (8, 8), (16, 16)] {
-        g.bench_function(format!("{w}x{h}_xlisp"), |b| {
-            b.iter(|| run(MachineConfig::ideal(w, h), "xlisp"))
+        bench(&format!("fig5/{w}x{h}_xlisp"), || {
+            run(MachineConfig::ideal(w, h), "xlisp")
         });
     }
-    g.finish();
-}
-
-fn fig6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_cache_size");
-    g.sample_size(10);
     for kb in [48u32, 3072] {
-        g.bench_function(format!("{kb}KB_go"), |b| {
-            b.iter(|| run(MachineConfig::ideal_with_vliw_cache(8, 8, kb, 4), "go"))
+        bench(&format!("fig6/{kb}KB_go"), || {
+            run(MachineConfig::ideal_with_vliw_cache(8, 8, kb, 4), "go")
         });
     }
-    g.finish();
-}
-
-fn fig7(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_associativity");
-    g.sample_size(10);
     for ways in [1u32, 8] {
-        g.bench_function(format!("96KB_{ways}w_perl"), |b| {
-            b.iter(|| run(MachineConfig::ideal_with_vliw_cache(8, 8, 96, ways), "perl"))
+        bench(&format!("fig7/96KB_{ways}w_perl"), || {
+            run(MachineConfig::ideal_with_vliw_cache(8, 8, 96, ways), "perl")
         });
     }
-    g.finish();
-}
-
-fn fig8_table3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_table3_feasible");
-    g.sample_size(10);
     for w in ["compress", "m88ksim"] {
-        g.bench_function(format!("feasible_{w}"), |b| {
-            b.iter(|| run(MachineConfig::feasible_paper(), w))
+        bench(&format!("fig8_table3/feasible_{w}"), || {
+            run(MachineConfig::feasible_paper(), w)
         });
     }
-    g.finish();
-}
-
-fn fig9(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_dif");
-    g.sample_size(10);
-    g.bench_function("dtsvliw_vortex", |b| {
-        b.iter(|| run(MachineConfig::dif_comparison(), "vortex"))
+    bench("fig9/dtsvliw_vortex", || {
+        run(MachineConfig::dif_comparison(), "vortex")
     });
-    g.bench_function("dif_vortex", |b| b.iter(|| run(MachineConfig::dif_machine(), "vortex")));
-    g.finish();
+    bench("fig9/dif_vortex", || {
+        run(MachineConfig::dif_machine(), "vortex")
+    });
 }
-
-criterion_group!(benches, fig5, fig6, fig7, fig8_table3, fig9);
-criterion_main!(benches);

@@ -8,9 +8,14 @@ use std::process::Command;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    for bin in
-        ["fig5_geometry", "fig6_cache_size", "fig7_associativity", "fig8_feasible", "table3_feasible", "fig9_dif"]
-    {
+    for bin in [
+        "fig5_geometry",
+        "fig6_cache_size",
+        "fig7_associativity",
+        "fig8_feasible",
+        "table3_feasible",
+        "fig9_dif",
+    ] {
         let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
             .args(&args)
             .status()

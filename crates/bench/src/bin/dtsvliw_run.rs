@@ -6,22 +6,62 @@
 //! dtsvliw_run --workload compress      # a built-in benchmark
 //! dtsvliw_run prog.mc --config ideal --geometry 16x8 --max 5000000
 //! dtsvliw_run prog.s --config dif --no-verify
+//! dtsvliw_run --workload go --trace-out t.json --trace-format perfetto
 //! ```
 //!
 //! Configs: `feasible` (default, the paper's §4.4 machine), `ideal`
 //! (perfect caches; `--geometry WxH` selects the block shape), `dif`
 //! (the Figure 9 baseline machine).
+//!
+//! Observability (DESIGN.md §Observability): `--trace` arms the
+//! flight recorder alone (last `--trace-last` events, dumped on a
+//! test-mode divergence); `--trace-out PATH` additionally streams every
+//! event to PATH as `--trace-format` (`jsonl` default, `perfetto` for
+//! <https://ui.perfetto.dev>, `text` for eyeballs); `--metrics-json
+//! PATH` dumps the full `RunStats` (counters + histograms) as JSON.
 
-use dtsvliw_core::{Machine, MachineConfig};
+use dtsvliw_core::{Machine, MachineConfig, RunStats};
+use dtsvliw_json::ToJson;
+use dtsvliw_trace::{sink_to_writer, TraceFormat, Tracer};
 use dtsvliw_workloads::Scale;
+use std::path::Path;
 
 fn usage() -> ! {
     eprintln!(
         "usage: dtsvliw_run <file.mc|file.s> [--config feasible|ideal|dif] \
          [--geometry WxH] [--max N] [--no-verify] [--store-buffer] [--predict]\n\
-         \u{20}      dtsvliw_run --workload <name> [same options]"
+         \u{20}      dtsvliw_run --workload <name> [same options]\n\
+         \u{20}      tracing: [--trace] [--trace-out PATH] [--trace-format jsonl|perfetto|text]\n\
+         \u{20}               [--trace-last N] [--metrics-json PATH] [--inject-divergence]"
     );
     std::process::exit(2);
+}
+
+fn die(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+/// Create `path`'s parent directories, then the file itself.
+fn create_file(path: &str) -> std::fs::File {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                die(format!("creating {}: {e}", parent.display()));
+            }
+        }
+    }
+    std::fs::File::create(path).unwrap_or_else(|e| die(format!("creating {path}: {e}")))
+}
+
+fn write_metrics(path: &str, s: &RunStats) {
+    use std::io::Write;
+    let mut f = create_file(path);
+    let doc = s.to_json().to_string_pretty();
+    if let Err(e) = writeln!(f, "{doc}") {
+        die(format!("writing {path}: {e}"));
+    }
+    println!("(metrics written to {path}, {} bytes)", doc.len() + 1);
 }
 
 fn main() {
@@ -34,6 +74,12 @@ fn main() {
     let mut verify = true;
     let mut store_buffer = false;
     let mut predict = false;
+    let mut trace = false;
+    let mut trace_out: Option<String> = None;
+    let mut trace_format = TraceFormat::Jsonl;
+    let mut trace_last = 256usize;
+    let mut metrics_json: Option<String> = None;
+    let mut inject_divergence = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -50,15 +96,43 @@ fn main() {
                 i += 1;
                 let g = args.get(i).unwrap_or_else(|| usage());
                 let (w, h) = g.split_once('x').unwrap_or_else(|| usage());
-                geometry = (w.parse().unwrap_or_else(|_| usage()), h.parse().unwrap_or_else(|_| usage()));
+                geometry = (
+                    w.parse().unwrap_or_else(|_| usage()),
+                    h.parse().unwrap_or_else(|_| usage()),
+                );
             }
             "--max" => {
                 i += 1;
-                max = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                max = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--no-verify" => verify = false,
             "--store-buffer" => store_buffer = true,
             "--predict" => predict = true,
+            "--trace" => trace = true,
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--trace-format" => {
+                i += 1;
+                let f = args.get(i).unwrap_or_else(|| usage());
+                trace_format = f.parse().unwrap_or_else(|e| die(e));
+            }
+            "--trace-last" => {
+                i += 1;
+                trace_last = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--metrics-json" => {
+                i += 1;
+                metrics_json = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--inject-divergence" => inject_divergence = true,
             a if !a.starts_with('-') && file.is_none() => file = Some(a.to_string()),
             _ => usage(),
         }
@@ -68,16 +142,16 @@ fn main() {
     let image = match (&file, &workload) {
         (Some(path), None) => {
             let src = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+                .unwrap_or_else(|e| die(format!("cannot read {path}: {e}")));
             if path.ends_with(".s") || path.ends_with(".asm") {
-                dtsvliw_asm::assemble(&src).unwrap_or_else(|e| panic!("assembly error: {e}"))
+                dtsvliw_asm::assemble(&src).unwrap_or_else(|e| die(format!("assembly error: {e}")))
             } else {
                 dtsvliw_minicc::compile_to_image(&src)
-                    .unwrap_or_else(|e| panic!("compile error: {e}"))
+                    .unwrap_or_else(|e| die(format!("compile error: {e}")))
             }
         }
         (None, Some(name)) => dtsvliw_workloads::by_name(name, Scale::Small)
-            .unwrap_or_else(|| panic!("unknown workload `{name}`"))
+            .unwrap_or_else(|| die(format!("unknown workload `{name}`")))
             .image(),
         _ => usage(),
     };
@@ -86,7 +160,7 @@ fn main() {
         "feasible" => MachineConfig::feasible_paper(),
         "ideal" => MachineConfig::ideal(geometry.0, geometry.1),
         "dif" => MachineConfig::dif_machine(),
-        other => panic!("unknown config `{other}`"),
+        other => die(format!("unknown config `{other}`")),
     };
     cfg.verify = verify;
     if store_buffer {
@@ -95,15 +169,54 @@ fn main() {
     cfg.next_block_prediction = predict;
 
     let mut machine = Machine::new(cfg, &image);
+    if trace || trace_out.is_some() {
+        let tracer = match &trace_out {
+            Some(path) => {
+                let f = create_file(path);
+                Tracer::with_sink(trace_last, sink_to_writer(trace_format, Box::new(f)))
+            }
+            None => Tracer::new(trace_last),
+        };
+        machine.attach_tracer(Box::new(tracer));
+    }
+    if inject_divergence {
+        machine.inject_divergence();
+    }
+
     let started = std::time::Instant::now();
-    let out = machine.run(max).unwrap_or_else(|e| panic!("machine error: {e}"));
+    let result = machine.run(max);
     let wall = started.elapsed();
+
+    let s = machine.stats();
+    if let Some(mut t) = machine.take_tracer() {
+        let recorded = t.recorded();
+        let dropped = t.dropped();
+        if let Err(e) = t.finish(s.cycles) {
+            eprintln!("warning: trace sink error: {e}");
+        }
+        match &trace_out {
+            Some(path) => println!(
+                "trace          : {recorded} events ({dropped} beyond the flight recorder) -> {path} [{}]",
+                trace_format.label()
+            ),
+            None => println!("trace          : {recorded} events in the flight recorder"),
+        }
+    }
+    if let Some(path) = &metrics_json {
+        write_metrics(path, &s);
+    }
+
+    let out = match result {
+        Ok(out) => out,
+        // On divergence the machine already dumped the flight-recorder
+        // tail to stderr.
+        Err(e) => die(format!("machine error: {e}")),
+    };
 
     let output = machine.output_string();
     if !output.is_empty() {
         println!("--- program output ---\n{output}\n----------------------");
     }
-    let s = machine.stats();
     println!("exit code      : {:?}", out.exit_code);
     println!("instructions   : {}", s.instructions);
     println!("cycles         : {}", s.cycles);
@@ -115,6 +228,10 @@ fn main() {
         100.0 * s.overhead_cycles as f64 / s.cycles.max(1) as f64,
     );
     println!(
+        "mode swaps     : {} ({} next-block-prediction hits)",
+        s.mode_swaps, s.nbp_hits
+    );
+    println!(
         "scheduler      : {} blocks, {} splits, util {:.1}%, renames {:?}",
         s.sched.blocks,
         s.sched.splits,
@@ -123,7 +240,10 @@ fn main() {
     );
     println!(
         "vliw engine    : {} LIs, {} committed, {} annulled, {} mispredicts, {} aliasing",
-        s.engine.lis, s.engine.committed, s.engine.annulled, s.engine.mispredicts,
+        s.engine.lis,
+        s.engine.committed,
+        s.engine.annulled,
+        s.engine.mispredicts,
         s.engine.alias_exceptions,
     );
     println!(

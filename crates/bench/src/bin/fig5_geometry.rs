@@ -10,8 +10,17 @@ use dtsvliw_core::MachineConfig;
 
 fn main() {
     let opts = Options::from_args();
-    let geometries: [(usize, usize); 9] =
-        [(4, 4), (4, 8), (8, 4), (4, 16), (8, 8), (16, 4), (8, 16), (16, 8), (16, 16)];
+    let geometries: [(usize, usize); 9] = [
+        (4, 4),
+        (4, 8),
+        (8, 4),
+        (4, 16),
+        (8, 8),
+        (16, 4),
+        (8, 16),
+        (16, 8),
+        (16, 16),
+    ];
     let configs: Vec<(String, MachineConfig)> = geometries
         .iter()
         .map(|&(w, h)| (format!("{w}x{h}"), MachineConfig::ideal(w, h)))

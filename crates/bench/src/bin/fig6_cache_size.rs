@@ -11,8 +11,17 @@ fn main() {
     let sizes = [48u32, 96, 192, 384, 768, 1536, 3072];
     let configs: Vec<(String, MachineConfig)> = sizes
         .iter()
-        .map(|&kb| (format!("{kb}KB"), MachineConfig::ideal_with_vliw_cache(8, 8, kb, 4)))
+        .map(|&kb| {
+            (
+                format!("{kb}KB"),
+                MachineConfig::ideal_with_vliw_cache(8, 8, kb, 4),
+            )
+        })
         .collect();
     let results = run_matrix(&configs, opts);
-    report::finish("Figure 6: IPC vs VLIW Cache size (8x8, 4-way)", &results, opts);
+    report::finish(
+        "Figure 6: IPC vs VLIW Cache size (8x8, 4-way)",
+        &results,
+        opts,
+    );
 }

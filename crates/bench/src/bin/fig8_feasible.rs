@@ -55,11 +55,20 @@ fn main() {
         "workload", "ILP", "nextLI", "dcache", "icache", "FU"
     );
     let ipc = |cfg: &str, w: &str| {
-        results.iter().find(|r| r.config.starts_with(cfg) && r.workload == w).unwrap().ipc()
+        results
+            .iter()
+            .find(|r| r.config.starts_with(cfg) && r.workload == w)
+            .unwrap()
+            .ipc()
     };
     for w in WORKLOADS {
-        let (ia, ib, ic, id, ie) =
-            (ipc("A", w), ipc("B", w), ipc("C", w), ipc("D", w), ipc("E", w));
+        let (ia, ib, ic, id, ie) = (
+            ipc("A", w),
+            ipc("B", w),
+            ipc("C", w),
+            ipc("D", w),
+            ipc("E", w),
+        );
         println!(
             "{w:<10}{ie:>8.2}{:>8.2}{:>8.2}{:>8.2}{:>8.2}",
             (id - ie).max(0.0),
@@ -68,9 +77,7 @@ fn main() {
             (ia - ib).max(0.0),
         );
     }
-    let avg = |c: &str| {
-        WORKLOADS.iter().map(|w| ipc(c, w)).sum::<f64>() / WORKLOADS.len() as f64
-    };
+    let avg = |c: &str| WORKLOADS.iter().map(|w| ipc(c, w)).sum::<f64>() / WORKLOADS.len() as f64;
     println!(
         "{:<10}{:>8.2}{:>8.2}{:>8.2}{:>8.2}{:>8.2}",
         "average",
@@ -81,6 +88,6 @@ fn main() {
         (avg("A") - avg("B")).max(0.0),
     );
     if let Some(path) = opts.json {
-        dtsvliw_bench::write_json(path, &results);
+        dtsvliw_bench::write_json_or_die(path, &results);
     }
 }

@@ -20,7 +20,11 @@ fn main() {
         WORKLOADS
             .iter()
             .map(|w| {
-                results.iter().find(|r| r.config == c && r.workload == *w).unwrap().ipc()
+                results
+                    .iter()
+                    .find(|r| r.config == c && r.workload == *w)
+                    .unwrap()
+                    .ipc()
             })
             .collect()
     };
@@ -32,6 +36,6 @@ fn main() {
         if am >= bm { "DTSVLIW" } else { "DIF" }
     );
     if let Some(path) = opts.json {
-        dtsvliw_bench::write_json(path, &results);
+        dtsvliw_bench::write_json_or_die(path, &results);
     }
 }

@@ -10,16 +10,15 @@ use std::sync::Mutex;
 fn main() {
     let opts = Options::from_args();
     let results = Mutex::new(Vec::new());
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for w in WORKLOADS {
             let results = &results;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let r = run_one("feasible", MachineConfig::feasible_paper(), w, opts);
                 results.lock().unwrap().push(r);
             });
         }
-    })
-    .unwrap();
+    });
     let mut results = results.into_inner().unwrap();
     results.sort_by_key(|r| WORKLOADS.iter().position(|w| *w == r.workload));
 
@@ -91,6 +90,6 @@ fn main() {
         sums[10] / n,
     );
     if let Some(path) = opts.json {
-        dtsvliw_bench::write_json(path, &results);
+        dtsvliw_bench::write_json_or_die(path, &results);
     }
 }

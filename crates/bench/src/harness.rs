@@ -2,7 +2,6 @@
 
 use dtsvliw_core::{Machine, MachineConfig, RunStats};
 use dtsvliw_workloads::{by_name, Scale};
-use serde::Serialize;
 use std::sync::Mutex;
 
 /// Harness options parsed from the command line.
@@ -18,7 +17,11 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Self {
-        Options { instructions: 1_000_000, scale: Scale::Small, json: None }
+        Options {
+            instructions: 1_000_000,
+            scale: Scale::Small,
+            json: None,
+        }
     }
 }
 
@@ -61,7 +64,7 @@ impl Options {
 }
 
 /// One completed run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExpResult {
     /// Configuration label (e.g. `"8x8"`, `"384KB"`, `"dif"`).
     pub config: String,
@@ -77,6 +80,24 @@ impl ExpResult {
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
         self.stats.ipc()
+    }
+}
+
+impl dtsvliw_json::ToJson for ExpResult {
+    fn to_json(&self) -> dtsvliw_json::Json {
+        use dtsvliw_json::Json;
+        Json::obj([
+            ("config", Json::Str(self.config.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            (
+                "exit_code",
+                match self.exit_code {
+                    Some(c) => Json::U64(c as u64),
+                    None => Json::Null,
+                },
+            ),
+            ("stats", self.stats.to_json()),
+        ])
     }
 }
 
@@ -97,7 +118,7 @@ pub fn run_one(config_label: &str, cfg: MachineConfig, workload: &str, opts: Opt
 }
 
 /// Run every `(config, workload)` pair of the matrix in parallel across
-/// the machine's cores (crossbeam scoped threads over a shared queue).
+/// the machine's cores (scoped threads over a shared queue).
 pub fn run_matrix(configs: &[(String, MachineConfig)], opts: Options) -> Vec<ExpResult> {
     let jobs: Vec<(usize, &(String, MachineConfig), &str)> = configs
         .iter()
@@ -107,19 +128,23 @@ pub fn run_matrix(configs: &[(String, MachineConfig)], opts: Options) -> Vec<Exp
         .collect();
     let queue = Mutex::new(jobs.into_iter().collect::<Vec<_>>());
     let results = Mutex::new(Vec::new());
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let job = queue.lock().unwrap().pop();
-                let Some((idx, (label, cfg), workload)) = job else { break };
+                let Some((idx, (label, cfg), workload)) = job else {
+                    break;
+                };
                 let r = run_one(label, cfg.clone(), workload, opts);
                 results.lock().unwrap().push((idx, r));
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     let mut out = results.into_inner().unwrap();
     out.sort_by_key(|(i, _)| *i);

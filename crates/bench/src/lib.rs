@@ -15,8 +15,9 @@ pub mod harness;
 pub mod report;
 
 pub use harness::{run_matrix, run_one, ExpResult, Options};
-pub use report::{geom_mean, print_ipc_table, write_json};
+pub use report::{geom_mean, print_ipc_table, write_json, write_json_or_die};
 
 /// The eight workload names in the paper's Table 2 order.
-pub const WORKLOADS: [&str; 8] =
-    ["compress", "gcc", "go", "ijpeg", "m88ksim", "perl", "vortex", "xlisp"];
+pub const WORKLOADS: [&str; 8] = [
+    "compress", "gcc", "go", "ijpeg", "m88ksim", "perl", "vortex", "xlisp",
+];

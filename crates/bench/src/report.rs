@@ -1,7 +1,10 @@
 //! Table rendering and result serialisation.
 
 use crate::harness::ExpResult;
+use dtsvliw_json::ToJson;
 use std::fs;
+use std::io;
+use std::path::Path;
 
 /// Geometric mean of a slice (0 if empty).
 pub fn geom_mean(xs: &[f64]) -> f64 {
@@ -50,17 +53,36 @@ pub fn print_ipc_table(title: &str, results: &[ExpResult]) {
     }
 }
 
-/// Write raw results as JSON.
-pub fn write_json(path: &str, results: &[ExpResult]) {
-    let s = serde_json::to_string_pretty(results).expect("serialisable results");
-    fs::write(path, s).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-    println!("(raw results written to {path})");
+/// Write raw results as pretty-printed JSON, creating missing parent
+/// directories. Returns the number of bytes written.
+pub fn write_json(path: &str, results: &[ExpResult]) -> io::Result<u64> {
+    let p = Path::new(path);
+    if let Some(parent) = p.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut s = results.to_json().to_string_pretty();
+    s.push('\n');
+    fs::write(p, &s)?;
+    println!("(raw results written to {path}, {} bytes)", s.len());
+    Ok(s.len() as u64)
+}
+
+/// [`write_json`], exiting with an error message on failure — for
+/// binaries where a requested `--json` dump that cannot be written
+/// should fail the run rather than silently vanish.
+pub fn write_json_or_die(path: &str, results: &[ExpResult]) {
+    if let Err(e) = write_json(path, results) {
+        eprintln!("error: writing {path}: {e}");
+        std::process::exit(1);
+    }
 }
 
 /// Finish a binary: print the table and optionally dump JSON.
 pub fn finish(title: &str, results: &[ExpResult], opts: crate::Options) {
     print_ipc_table(title, results);
     if let Some(path) = opts.json {
-        write_json(path, results);
+        write_json_or_die(path, results);
     }
 }

@@ -7,7 +7,8 @@ use dtsvliw_isa::ArchState;
 use dtsvliw_mem::{Cache, Memory};
 use dtsvliw_primary::interp::{step as primary_step, Halt, StepError};
 use dtsvliw_primary::{PipelineModel, RefMachine};
-use dtsvliw_sched::{Block, InsertOutcome, Scheduler};
+use dtsvliw_sched::{Block, InsertOutcome, Resolution, Scheduler};
+use dtsvliw_trace::{CacheKind, EngineKind, EvictReason, Metrics, TraceEvent, Tracer};
 use dtsvliw_vliw::{LiResult, VliwCache, VliwEngine};
 use std::sync::Arc;
 
@@ -42,7 +43,10 @@ impl std::fmt::Display for MachineError {
         match self {
             MachineError::Step(e) => write!(f, "{e}"),
             MachineError::Divergence { cycle, pc, detail } => {
-                write!(f, "test-mode divergence at cycle {cycle}, pc {pc:#x}: {detail}")
+                write!(
+                    f,
+                    "test-mode divergence at cycle {cycle}, pc {pc:#x}: {detail}"
+                )
             }
             MachineError::TestSyncTimeout { pc } => {
                 write!(f, "test machine never reached pc {pc:#x}")
@@ -111,6 +115,16 @@ pub struct Machine {
     nbp: Vec<(u32, u32)>,
     /// Correct next-block predictions (diagnostics).
     nbp_hits: u64,
+    /// Always-on metric registry (histograms folded into `RunStats`).
+    metrics: Metrics,
+    /// Cycle of the previous engine swap (swap-gap histogram).
+    last_swap_cycle: u64,
+    /// Optional flight recorder + sink. When `None`, every emission
+    /// site costs a single branch.
+    tracer: Option<Box<Tracer>>,
+    /// Debug hook: force a test-mode divergence at the next
+    /// verification point (exercises the postmortem dump).
+    inject_divergence: bool,
 }
 
 impl Machine {
@@ -139,8 +153,16 @@ impl Machine {
             halted: None,
             exception_mode: false,
             reject_delay_slot: false,
-            nbp: if cfg.next_block_prediction { vec![(0, 0); 1024] } else { Vec::new() },
+            nbp: if cfg.next_block_prediction {
+                vec![(0, 0); 1024]
+            } else {
+                Vec::new()
+            },
             nbp_hits: 0,
+            metrics: Metrics::new(),
+            last_swap_cycle: 0,
+            tracer: None,
+            inject_divergence: false,
             cfg,
         }
     }
@@ -154,11 +176,19 @@ impl Machine {
                 Mode::Vliw { .. } => self.step_vliw()?,
             }
         }
-        Ok(RunOutcome { exit_code: self.halted, instructions: self.test.retired })
+        Ok(RunOutcome {
+            exit_code: self.halted,
+            instructions: self.test.retired,
+        })
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> RunStats {
+        let mut metrics = self.metrics;
+        if let Some(t) = &self.tracer {
+            metrics.trace_events = t.recorded();
+            metrics.trace_dropped = t.dropped();
+        }
         RunStats {
             cycles: self.cycles,
             vliw_cycles: self.vliw_cycles,
@@ -166,11 +196,13 @@ impl Machine {
             overhead_cycles: self.overhead_cycles,
             instructions: self.test.retired,
             mode_swaps: self.mode_swaps,
+            nbp_hits: self.nbp_hits,
             sched: self.sched.stats(),
             engine: self.engine.stats(),
             vliw_cache: self.vcache.stats(),
             icache: self.icache.stats(),
             dcache: self.dcache.stats(),
+            metrics,
         }
     }
 
@@ -190,6 +222,124 @@ impl Machine {
     }
 
     // -------------------------------------------------------------
+    // Observability
+    // -------------------------------------------------------------
+
+    /// Attach a tracer (flight recorder + optional sink). The machine
+    /// emits an initial mode-swap event so sinks know which engine
+    /// holds control from the current cycle on.
+    pub fn attach_tracer(&mut self, mut tracer: Box<Tracer>) {
+        let to = match self.mode {
+            Mode::Primary => EngineKind::Primary,
+            Mode::Vliw { .. } => EngineKind::Vliw,
+        };
+        tracer.emit(
+            self.cycles,
+            TraceEvent::ModeSwap {
+                to,
+                pc: self.state.pc,
+            },
+        );
+        self.tracer = Some(tracer);
+        // Record scheduler resolutions so splits can be reported.
+        if self.sched.trace_events.is_none() {
+            self.sched.trace_events = Some(Vec::new());
+        }
+    }
+
+    /// Detach and return the tracer. Call [`Tracer::finish`] with
+    /// `stats().cycles` to close the sink so mode-span durations sum to
+    /// the run's total cycles.
+    pub fn take_tracer(&mut self) -> Option<Box<Tracer>> {
+        self.tracer.take()
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Force a test-mode divergence at the next verification point — a
+    /// debug hook for exercising the flight-recorder postmortem without
+    /// breaking the simulator.
+    pub fn inject_divergence(&mut self) {
+        self.inject_divergence = true;
+    }
+
+    #[inline]
+    fn emit(&mut self, ev: TraceEvent) {
+        if let Some(t) = &mut self.tracer {
+            t.emit(self.cycles, ev);
+        }
+    }
+
+    /// Count an engine swap: histogram the gap, reset the pipeline and
+    /// trace the transition.
+    fn note_swap(&mut self, to: EngineKind) {
+        self.mode_swaps += 1;
+        self.metrics
+            .swap_gap_cycles
+            .record(self.cycles - self.last_swap_cycle);
+        self.last_swap_cycle = self.cycles;
+        self.pipeline.reset();
+        self.emit(TraceEvent::ModeSwap {
+            to,
+            pc: self.state.pc,
+        });
+    }
+
+    /// Install a sealed block: histogram its shape, trace the install,
+    /// and report any resident block the replacement displaced.
+    fn install_block(&mut self, b: Block) {
+        let tag = b.tag_addr;
+        let lis = b.lis.len() as u32;
+        let filled = b.filled_slots() as u32;
+        self.metrics.block_height.record(lis as u64);
+        self.metrics.block_filled.record(filled as u64);
+        let evicted = self.vcache.insert_at(b, self.cycles);
+        self.emit(TraceEvent::BlockInstall { tag, lis, filled });
+        if let Some(gone) = evicted {
+            let lifetime = self.cycles - gone.installed_cycle;
+            self.metrics.evicted_block_lifetime.record(lifetime);
+            self.emit(TraceEvent::BlockEvict {
+                tag: gone.tag_addr,
+                reason: EvictReason::Replaced,
+                lifetime,
+            });
+        }
+    }
+
+    /// Report the Scheduler Unit's split decisions since the last
+    /// drain. The recording hook is enabled by [`Machine::attach_tracer`];
+    /// draining keeps it bounded either way.
+    fn drain_sched_events(&mut self) {
+        let Some(evs) = self.sched.trace_events.as_mut().map(std::mem::take) else {
+            return;
+        };
+        for e in evs {
+            if e.resolution == Resolution::Split {
+                self.emit(TraceEvent::SchedulerSplit {
+                    seq: e.seq,
+                    elem: e.elem as u32,
+                });
+            }
+        }
+    }
+
+    /// Build a divergence error, first dumping the flight recorder's
+    /// tail to stderr — the automatic postmortem.
+    fn divergence(&self, detail: String) -> MachineError {
+        if let Some(t) = &self.tracer {
+            eprint!("{}", t.dump_tail(t.capacity()));
+        }
+        MachineError::Divergence {
+            cycle: self.cycles,
+            pc: self.state.pc,
+            detail,
+        }
+    }
+
+    // -------------------------------------------------------------
     // Primary Processor mode
     // -------------------------------------------------------------
 
@@ -201,9 +351,25 @@ impl Machine {
 
         // Timing: pipeline bubbles plus cache misses.
         let mut c = self.pipeline.cycles_for(&d, step.window_trap);
-        c += self.icache.access_cost(pc) as u64;
+        let ic = self.icache.access_cost(pc);
+        if ic > 0 {
+            self.emit(TraceEvent::CacheMiss {
+                cache: CacheKind::Instruction,
+                addr: pc,
+                penalty: ic,
+            });
+        }
+        c += ic as u64;
         if let Some(addr) = d.eff_addr {
-            c += self.dcache.access_cost(addr) as u64;
+            let dc = self.dcache.access_cost(addr);
+            if dc > 0 {
+                self.emit(TraceEvent::CacheMiss {
+                    cache: CacheKind::Data,
+                    addr,
+                    penalty: dc,
+                });
+            }
+            c += dc as u64;
         }
         self.cycles += c;
         self.primary_cycles += c;
@@ -222,19 +388,20 @@ impl Machine {
             // too: a block starting there would run straight into the
             // transfer's target with no recorded-direction guard.
             if let Some(b) = self.sched.seal(d.pc, d.seq) {
-                self.vcache.insert(b);
+                self.install_block(b);
             }
         } else {
             for _ in 0..c {
                 self.sched.tick();
             }
             if let InsertOutcome::Inserted(Some(b)) = self.sched.insert(&d, resident_before) {
-                self.vcache.insert(b);
+                self.install_block(b);
             }
             if self.cfg.schedule == ScheduleMode::GreedyDif {
                 self.sched.settle();
             }
         }
+        self.drain_sched_events();
 
         self.reject_delay_slot = live_delay_cti;
 
@@ -254,11 +421,7 @@ impl Machine {
             // a silently-diverged store that nothing reloaded).
             if self.cfg.verify {
                 if let Some(addr) = self.mem.first_difference(&self.test.mem) {
-                    return Err(MachineError::Divergence {
-                        cycle: self.cycles,
-                        pc: self.state.pc,
-                        detail: format!("memory differs at {addr:#x} at halt"),
-                    });
+                    return Err(self.divergence(format!("memory differs at {addr:#x} at halt")));
                 }
             }
             return Ok(());
@@ -268,7 +431,9 @@ impl Machine {
         // hit the block under construction is flushed, made to point at
         // the hit block, and the VLIW Engine takes over (§3.6).
         if !self.exception_mode
-            && self.vcache.peek(self.state.pc, self.state.cwp, self.state.resident)
+            && self
+                .vcache
+                .peek(self.state.pc, self.state.cwp, self.state.resident)
         {
             // Grab the hit block before flushing the one under
             // construction: the flush's insert may evict the hit line.
@@ -277,13 +442,17 @@ impl Machine {
                 .lookup(self.state.pc, self.state.cwp, self.state.resident)
                 .expect("peek said hit");
             if let Some(b) = self.sched.seal(self.state.pc, self.test.retired) {
-                self.vcache.insert(b);
+                self.install_block(b);
             }
+            self.drain_sched_events();
             self.charge_overhead(self.cfg.swap_to_vliw);
-            self.mode_swaps += 1;
-            self.pipeline.reset();
+            self.note_swap(EngineKind::Vliw);
             self.engine.begin_block(&block, &self.state);
-            self.mode = Mode::Vliw { block, li: 0, base: self.test.retired };
+            self.mode = Mode::Vliw {
+                block,
+                li: 0,
+                base: self.test.retired,
+            };
         }
         Ok(())
     }
@@ -297,20 +466,56 @@ impl Machine {
             Mode::Vliw { block, li, base } => (Arc::clone(block), *li, *base),
             Mode::Primary => unreachable!(),
         };
-        let out = self.engine.exec_li(&block, li, &mut self.state, &mut self.mem);
+        let out = self
+            .engine
+            .exec_li(&block, li, &mut self.state, &mut self.mem);
 
         // One cycle per long instruction; a data-cache miss stalls the
         // whole engine for the worst port's penalty.
         let mut c = 1u64;
-        let stall =
-            out.dcache_accesses.iter().map(|&a| self.dcache.access_cost(a)).max().unwrap_or(0);
+        let mut stall = 0u32;
+        for i in 0..out.dcache_accesses.len() {
+            let addr = out.dcache_accesses[i];
+            let cost = self.dcache.access_cost(addr);
+            if cost > 0 {
+                self.emit(TraceEvent::CacheMiss {
+                    cache: CacheKind::Data,
+                    addr,
+                    penalty: cost,
+                });
+            }
+            stall = stall.max(cost);
+        }
         c += stall as u64;
         self.cycles += c;
         self.vliw_cycles += c;
 
+        self.metrics
+            .li_slot_occupancy
+            .record(block.lis[li].len() as u64);
+        if self.tracer.is_some() {
+            let (tag, li) = (block.tag_addr, li as u32);
+            self.emit(TraceEvent::LiCommit {
+                tag,
+                li,
+                committed: out.committed,
+            });
+            if out.annulled > 0 {
+                self.emit(TraceEvent::LiAnnul {
+                    tag,
+                    li,
+                    annulled: out.annulled,
+                });
+            }
+        }
+
         match out.result {
             LiResult::Next => {
-                self.mode = Mode::Vliw { block, li: li + 1, base };
+                self.mode = Mode::Vliw {
+                    block,
+                    li: li + 1,
+                    base,
+                };
             }
             LiResult::BlockEnd => {
                 self.engine.commit_block(&mut self.mem);
@@ -323,6 +528,10 @@ impl Machine {
             LiResult::Redirect { target, branch_seq } => {
                 self.engine.commit_block(&mut self.mem);
                 self.charge_overhead(self.cfg.mispredict_bubble);
+                self.emit(TraceEvent::Mispredict {
+                    pc: self.state.pc,
+                    target,
+                });
                 self.state.pc = target;
                 self.state.npc = target.wrapping_add(4);
                 // The sequential machine executed the trace prefix up to
@@ -336,14 +545,28 @@ impl Machine {
                 // The engine rolled registers and memory back to the
                 // block entry; the shadow PC points at the block tag.
                 self.charge_overhead(self.cfg.exception_penalty);
+                self.emit(TraceEvent::CheckpointRecovery {
+                    tag: block.tag_addr,
+                    unwound: self.engine.last_rollback_unwound(),
+                });
                 if aliasing {
-                    self.vcache.invalidate(block.tag_addr, block.entry_cwp);
+                    self.emit(TraceEvent::AliasException {
+                        tag: block.tag_addr,
+                    });
+                    if let Some(gone) = self.vcache.invalidate_at(block.tag_addr, block.entry_cwp) {
+                        let lifetime = self.cycles - gone.installed_cycle;
+                        self.metrics.evicted_block_lifetime.record(lifetime);
+                        self.emit(TraceEvent::BlockEvict {
+                            tag: gone.tag_addr,
+                            reason: EvictReason::Invalidated,
+                            lifetime,
+                        });
+                    }
                 } else {
                     self.exception_mode = true;
                 }
                 self.charge_overhead(self.cfg.swap_to_primary);
-                self.mode_swaps += 1;
-                self.pipeline.reset();
+                self.note_swap(EngineKind::Primary);
                 self.mode = Mode::Primary;
                 self.verify_states()?;
             }
@@ -357,7 +580,7 @@ impl Machine {
     /// computed by the VLIW Engine", §3.6).
     fn enter_block_or_primary(&mut self, addr: u32, from: Option<u32>) -> Result<(), MachineError> {
         if self.halted.is_some() || self.exception_mode {
-            self.to_primary();
+            self.swap_to_primary_mode();
             return Ok(());
         }
         if self.vcache.peek(addr, self.state.cwp, self.state.resident) {
@@ -382,17 +605,20 @@ impl Machine {
             }
             self.charge_overhead(penalty);
             self.engine.begin_block(&block, &self.state);
-            self.mode = Mode::Vliw { block, li: 0, base: self.test.retired };
+            self.mode = Mode::Vliw {
+                block,
+                li: 0,
+                base: self.test.retired,
+            };
         } else {
-            self.to_primary();
+            self.swap_to_primary_mode();
         }
         Ok(())
     }
 
-    fn to_primary(&mut self) {
+    fn swap_to_primary_mode(&mut self) {
         self.charge_overhead(self.cfg.swap_to_primary);
-        self.mode_swaps += 1;
-        self.pipeline.reset();
+        self.note_swap(EngineKind::Primary);
         self.mode = Mode::Primary;
     }
 
@@ -423,18 +649,20 @@ impl Machine {
     }
 
     fn verify_states(&self) -> Result<(), MachineError> {
+        if self.inject_divergence {
+            return Err(self.divergence("injected divergence (debug)".to_string()));
+        }
         if !self.cfg.verify {
             return Ok(());
         }
         if self.test.state.pc != self.state.pc {
-            return Err(MachineError::Divergence {
-                cycle: self.cycles,
-                pc: self.state.pc,
-                detail: format!("pc {:#x} != test pc {:#x}", self.state.pc, self.test.state.pc),
-            });
+            return Err(self.divergence(format!(
+                "pc {:#x} != test pc {:#x}",
+                self.state.pc, self.test.state.pc
+            )));
         }
         if let Some(detail) = self.state.diff_visible(&self.test.state) {
-            return Err(MachineError::Divergence { cycle: self.cycles, pc: self.state.pc, detail });
+            return Err(self.divergence(detail));
         }
         Ok(())
     }

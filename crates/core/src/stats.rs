@@ -1,13 +1,14 @@
 //! Aggregate run statistics: everything the paper's tables and figures
 //! report.
 
+use dtsvliw_json::{Json, ToJson};
 use dtsvliw_mem::CacheStats;
 use dtsvliw_sched::SchedStats;
+use dtsvliw_trace::Metrics;
 use dtsvliw_vliw::{EngineStats, VliwCacheStats};
-use serde::{Deserialize, Serialize};
 
 /// Statistics of one DTSVLIW run.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RunStats {
     /// Total machine cycles.
     pub cycles: u64,
@@ -24,6 +25,9 @@ pub struct RunStats {
     pub instructions: u64,
     /// Engine swaps (either direction).
     pub mode_swaps: u64,
+    /// Block entries that chained through the next-block-address store
+    /// without leaving VLIW mode (§3.4's nba hit path).
+    pub nbp_hits: u64,
     /// Scheduler Unit statistics.
     pub sched: SchedStats,
     /// VLIW Engine statistics.
@@ -34,6 +38,9 @@ pub struct RunStats {
     pub icache: CacheStats,
     /// Data-cache statistics.
     pub dcache: CacheStats,
+    /// Metrics registry: distribution histograms and trace counters
+    /// (see `dtsvliw_trace::Metrics`).
+    pub metrics: Metrics,
 }
 
 impl RunStats {
@@ -55,5 +62,84 @@ impl RunStats {
         } else {
             self.vliw_cycles as f64 / self.cycles as f64
         }
+    }
+}
+
+impl ToJson for RunStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycles", Json::U64(self.cycles)),
+            ("vliw_cycles", Json::U64(self.vliw_cycles)),
+            ("primary_cycles", Json::U64(self.primary_cycles)),
+            ("overhead_cycles", Json::U64(self.overhead_cycles)),
+            ("instructions", Json::U64(self.instructions)),
+            ("ipc", Json::F64(self.ipc())),
+            ("vliw_cycle_share", Json::F64(self.vliw_cycle_share())),
+            ("mode_swaps", Json::U64(self.mode_swaps)),
+            ("nbp_hits", Json::U64(self.nbp_hits)),
+            ("sched", self.sched.to_json()),
+            ("engine", self.engine.to_json()),
+            ("vliw_cache", self.vliw_cache.to_json()),
+            ("icache", self.icache.to_json()),
+            ("dcache", self.dcache.to_json()),
+            ("metrics", self.metrics.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_cycle_ratios_are_zero_not_nan() {
+        let s = RunStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.vliw_cycle_share(), 0.0);
+        // Even with a nonzero numerator the guards must hold.
+        let s = RunStats {
+            instructions: 100,
+            vliw_cycles: 50,
+            ..RunStats::default()
+        };
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.vliw_cycle_share(), 0.0);
+    }
+
+    #[test]
+    fn nonzero_ratios() {
+        let s = RunStats {
+            cycles: 200,
+            vliw_cycles: 50,
+            instructions: 400,
+            ..RunStats::default()
+        };
+        assert_eq!(s.ipc(), 2.0);
+        assert_eq!(s.vliw_cycle_share(), 0.25);
+    }
+
+    #[test]
+    fn json_exposes_every_top_level_counter() {
+        let s = RunStats {
+            cycles: 7,
+            nbp_hits: 3,
+            ..RunStats::default()
+        };
+        let j = s.to_json();
+        assert_eq!(j.get("cycles").and_then(Json::as_u64), Some(7));
+        assert_eq!(j.get("nbp_hits").and_then(Json::as_u64), Some(3));
+        for key in [
+            "sched",
+            "engine",
+            "vliw_cache",
+            "icache",
+            "dcache",
+            "metrics",
+            "ipc",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+        // The rendered document must parse back.
+        assert!(Json::parse(&j.to_string_pretty()).is_ok());
     }
 }

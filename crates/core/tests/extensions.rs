@@ -57,9 +57,18 @@ loop:
     let (c2, s2) = run(src, sb);
     assert_eq!(c1, c2, "both §3.11 schemes implement the same architecture");
     assert_eq!(c1, 2 * (1..=16).sum::<u32>());
-    assert!(s2.engine.max_data_store_list > 0, "the data store list was exercised: {s2:?}");
-    assert_eq!(s2.engine.max_recovery_list, 0, "StoreBuffer never logs recovery data");
-    assert!(s1.engine.max_recovery_list > 0, "Checkpoint logs overwritten data");
+    assert!(
+        s2.engine.max_data_store_list > 0,
+        "the data store list was exercised: {s2:?}"
+    );
+    assert_eq!(
+        s2.engine.max_recovery_list, 0,
+        "StoreBuffer never logs recovery data"
+    );
+    assert!(
+        s1.engine.max_recovery_list > 0,
+        "Checkpoint logs overwritten data"
+    );
 }
 
 #[test]
@@ -90,7 +99,10 @@ loop:
     cfg.store_scheme = StoreScheme::StoreBuffer;
     let (code, stats) = run(src, cfg);
     assert_eq!(code, 99 * 12 + 12 * 4);
-    assert!(stats.engine.alias_exceptions > 0, "aliasing fired under StoreBuffer: {stats:?}");
+    assert!(
+        stats.engine.alias_exceptions > 0,
+        "aliasing fired under StoreBuffer: {stats:?}"
+    );
 }
 
 #[test]
@@ -146,7 +158,10 @@ loop:
     // assert a band rather than a strict direction; the ablation bench
     // reports the exact numbers per workload.
     let ratio = s1.cycles as f64 / s2.cycles as f64;
-    assert!((0.7..=1.2).contains(&ratio), "cycles ratio with/without splitting: {ratio:.3}");
+    assert!(
+        (0.7..=1.2).contains(&ratio),
+        "cycles ratio with/without splitting: {ratio:.3}"
+    );
 }
 
 #[test]
@@ -166,7 +181,9 @@ fn workloads_verify_under_store_buffer() {
         let mut cfg = MachineConfig::ideal(8, 8);
         cfg.store_scheme = StoreScheme::StoreBuffer;
         let mut m = Machine::new(cfg, &w.image());
-        let out = m.run(400_000).unwrap_or_else(|e| panic!("{} under StoreBuffer: {e}", w.name));
+        let out = m
+            .run(400_000)
+            .unwrap_or_else(|e| panic!("{} under StoreBuffer: {e}", w.name));
         if out.instructions < 400_000 {
             assert_eq!(out.exit_code, w.expected_exit, "{}", w.name);
         }

@@ -30,8 +30,15 @@ fn loop_program_executes_mostly_in_vliw_mode() {
     let (m, code) = run(SUM_LOOP, MachineConfig::ideal(8, 8), 100_000);
     assert_eq!(code, 20100);
     let st = m.stats();
-    assert!(st.vliw_cycle_share() > 0.5, "tight loop must run in VLIW mode: {st:?}");
-    assert!(st.ipc() > 1.0, "the loop has exploitable ILP: ipc = {}", st.ipc());
+    assert!(
+        st.vliw_cycle_share() > 0.5,
+        "tight loop must run in VLIW mode: {st:?}"
+    );
+    assert!(
+        st.ipc() > 1.0,
+        "the loop has exploitable ILP: ipc = {}",
+        st.ipc()
+    );
     assert!(st.vliw_cache.hits > 0);
     assert!(st.sched.blocks > 0);
 }
@@ -126,7 +133,7 @@ loop:
         st.engine.alias_exceptions > 0,
         "expected at least one aliasing exception: {st:?}"
     );
-    assert!(st.vliw_cache.invalidations >= st.engine.alias_exceptions as u64);
+    assert!(st.vliw_cache.invalidations >= st.engine.alias_exceptions);
 }
 
 #[test]
@@ -138,7 +145,10 @@ fn feasible_machine_runs_and_is_slower_than_ideal() {
         feasible.stats().cycles >= ideal.stats().cycles,
         "real caches and typed slots cannot be faster than ideal"
     );
-    assert!(feasible.stats().icache.misses > 0, "cold instruction cache misses");
+    assert!(
+        feasible.stats().icache.misses > 0,
+        "cold instruction cache misses"
+    );
 }
 
 #[test]
@@ -184,8 +194,16 @@ inner:
     nop
     ta 0
 ";
-    let big = run(src, MachineConfig::ideal_with_vliw_cache(4, 4, 3072, 4), 1_000_000);
-    let tiny = run(src, MachineConfig::ideal_with_vliw_cache(4, 4, 3, 1), 1_000_000);
+    let big = run(
+        src,
+        MachineConfig::ideal_with_vliw_cache(4, 4, 3072, 4),
+        1_000_000,
+    );
+    let tiny = run(
+        src,
+        MachineConfig::ideal_with_vliw_cache(4, 4, 3, 1),
+        1_000_000,
+    );
     assert_eq!(big.1, tiny.1, "cache size must never change results");
     assert!(
         tiny.0.stats().cycles >= big.0.stats().cycles,

@@ -1,0 +1,195 @@
+//! End-to-end observability tests: a real workload run with a tracer
+//! attached, checked against the acceptance criteria — the Perfetto
+//! document is valid Chrome trace JSON whose engine-mode span durations
+//! sum to `RunStats.cycles`, the JSONL stream parses line by line, a
+//! forced divergence surfaces the flight recorder, and tracing does not
+//! perturb simulated timing.
+
+use dtsvliw_core::{Machine, MachineConfig, MachineError, RunStats};
+use dtsvliw_json::{Json, ToJson};
+use dtsvliw_trace::{sink_to_writer, TraceFormat, Tracer};
+use dtsvliw_workloads::{by_name, Scale};
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+const BUDGET: u64 = 60_000;
+
+/// Shared in-memory writer: hand one clone to the sink, keep one to
+/// read the output back after the run.
+#[derive(Clone, Default)]
+struct Shared(Arc<Mutex<Vec<u8>>>);
+
+impl Write for Shared {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Shared {
+    fn text(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+/// Run `compress` with a sink of the given format; returns (output,
+/// stats).
+fn traced_run(format: TraceFormat) -> (String, RunStats) {
+    let w = by_name("compress", Scale::Test).unwrap();
+    let img = w.image();
+    let mut m = Machine::new(MachineConfig::ideal(8, 8), &img);
+    let buf = Shared::default();
+    let sink = sink_to_writer(format, Box::new(buf.clone()));
+    m.attach_tracer(Box::new(Tracer::with_sink(4096, sink)));
+    m.run(BUDGET).unwrap();
+    let stats = m.stats();
+    let mut t = m.take_tracer().unwrap();
+    t.finish(stats.cycles).unwrap();
+    (buf.text(), stats)
+}
+
+#[test]
+fn perfetto_mode_spans_sum_to_total_cycles() {
+    let (out, stats) = traced_run(TraceFormat::Perfetto);
+    let doc = Json::parse(&out).expect("valid Chrome trace JSON");
+    let arr = doc.as_arr().expect("trace-event array");
+
+    let spans: Vec<&Json> = arr
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .collect();
+    assert!(!spans.is_empty(), "no engine-mode spans");
+    let total: u64 = spans
+        .iter()
+        .map(|s| s.get("dur").and_then(Json::as_u64).expect("span dur"))
+        .sum();
+    assert_eq!(
+        total, stats.cycles,
+        "mode-span durations must tile the whole run"
+    );
+    // Spans alternate primary/vliw and live on track 0.
+    for s in &spans {
+        let name = s.get("name").and_then(Json::as_str).unwrap();
+        assert!(
+            name == "primary" || name == "vliw",
+            "unexpected span {name}"
+        );
+        assert_eq!(s.get("tid").and_then(Json::as_u64), Some(0));
+    }
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.get("name").and_then(Json::as_str) == Some("vliw")),
+        "the run never reached VLIW mode"
+    );
+    // Per-component instants exist (block installs at minimum).
+    assert!(
+        arr.iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("block_install")),
+        "no block_install instants"
+    );
+}
+
+#[test]
+fn jsonl_stream_parses_line_by_line() {
+    let (out, stats) = traced_run(TraceFormat::Jsonl);
+    let mut last_cycle = 0u64;
+    let mut kinds = std::collections::BTreeSet::new();
+    let mut n = 0u64;
+    for line in out.lines() {
+        let j = Json::parse(line).expect("each JSONL line parses");
+        let cycle = j.get("cycle").and_then(Json::as_u64).expect("cycle field");
+        assert!(cycle >= last_cycle, "cycles must be nondecreasing");
+        assert!(cycle <= stats.cycles);
+        last_cycle = cycle;
+        kinds.insert(
+            j.get("kind")
+                .and_then(Json::as_str)
+                .expect("kind field")
+                .to_string(),
+        );
+        n += 1;
+    }
+    assert_eq!(
+        n, stats.metrics.trace_events,
+        "sink saw every emitted event"
+    );
+    for expected in ["mode_swap", "block_install", "li_commit"] {
+        assert!(kinds.contains(expected), "no {expected} events in stream");
+    }
+}
+
+#[test]
+fn forced_divergence_keeps_flight_recorder_tail() {
+    let w = by_name("compress", Scale::Test).unwrap();
+    let img = w.image();
+    let mut m = Machine::new(MachineConfig::ideal(8, 8), &img);
+    m.attach_tracer(Box::new(Tracer::new(64)));
+    m.inject_divergence();
+    let err = m.run(BUDGET).unwrap_err();
+    assert!(
+        matches!(err, MachineError::Divergence { .. }),
+        "expected an injected divergence, got {err}"
+    );
+    let t = m.tracer().expect("tracer still attached");
+    assert!(t.recorded() > 0, "flight recorder empty at divergence");
+    let dump = t.dump_tail(64);
+    assert!(
+        dump.contains("flight recorder"),
+        "postmortem header missing:\n{dump}"
+    );
+    assert!(
+        dump.contains("mode_swap"),
+        "postmortem lost the initial mode event:\n{dump}"
+    );
+}
+
+#[test]
+fn tracing_does_not_change_simulated_timing() {
+    let w = by_name("compress", Scale::Test).unwrap();
+    let img = w.image();
+
+    let mut plain = Machine::new(MachineConfig::ideal(8, 8), &img);
+    plain.run(BUDGET).unwrap();
+    let base = plain.stats();
+
+    let mut traced = Machine::new(MachineConfig::ideal(8, 8), &img);
+    traced.attach_tracer(Box::new(Tracer::new(128)));
+    traced.run(BUDGET).unwrap();
+    let t = traced.stats();
+
+    assert_eq!(base.cycles, t.cycles);
+    assert_eq!(base.instructions, t.instructions);
+    assert_eq!(base.mode_swaps, t.mode_swaps);
+    assert_eq!(base.sched.blocks, t.sched.blocks);
+    assert_eq!(t.metrics.trace_events, t.metrics.trace_dropped + 128);
+}
+
+#[test]
+fn metric_histograms_match_machine_counters() {
+    let w = by_name("compress", Scale::Test).unwrap();
+    let img = w.image();
+    let mut m = Machine::new(MachineConfig::ideal(8, 8), &img);
+    m.run(BUDGET).unwrap();
+    let s = m.stats();
+
+    assert_eq!(s.metrics.block_height.count(), s.sched.blocks);
+    assert_eq!(s.metrics.block_height.sum(), s.sched.lis);
+    assert_eq!(s.metrics.block_filled.count(), s.sched.blocks);
+    assert_eq!(s.metrics.li_slot_occupancy.count(), s.engine.lis);
+    assert_eq!(s.metrics.swap_gap_cycles.count(), s.mode_swaps);
+    assert_eq!(s.nbp_hits, 0, "prediction off by default");
+    // Metrics ride through RunStats serialisation.
+    let j = s.to_json();
+    let height = j
+        .get("metrics")
+        .and_then(|m| m.get("block_height"))
+        .expect("metrics.block_height");
+    assert_eq!(
+        height.get("count").and_then(Json::as_u64),
+        Some(s.sched.blocks)
+    );
+}

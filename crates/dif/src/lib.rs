@@ -52,13 +52,17 @@ pub struct DifMachine {
 impl DifMachine {
     /// Build a DIF machine for `image` with the Figure 9 parameters.
     pub fn new(image: &Image) -> Self {
-        DifMachine { inner: Machine::new(MachineConfig::dif_machine(), image) }
+        DifMachine {
+            inner: Machine::new(MachineConfig::dif_machine(), image),
+        }
     }
 
     /// Build with a custom configuration (forces greedy scheduling).
     pub fn with_config(mut cfg: MachineConfig, image: &Image) -> Self {
         cfg.schedule = dtsvliw_core::ScheduleMode::GreedyDif;
-        DifMachine { inner: Machine::new(cfg, image) }
+        DifMachine {
+            inner: Machine::new(cfg, image),
+        }
     }
 
     /// Run up to `max_instructions` sequential instructions.

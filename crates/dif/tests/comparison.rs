@@ -11,7 +11,9 @@ fn dif_and_dtsvliw_agree_architecturally_and_land_close() {
     let img = w.image();
 
     let mut dtsvliw = dtsvliw_comparison_machine(&img);
-    let out1 = dtsvliw.run(50_000_000).unwrap_or_else(|e| panic!("dtsvliw: {e}"));
+    let out1 = dtsvliw
+        .run(50_000_000)
+        .unwrap_or_else(|e| panic!("dtsvliw: {e}"));
     let mut dif = DifMachine::new(&img);
     let out2 = dif.run(50_000_000).unwrap_or_else(|e| panic!("dif: {e}"));
 
@@ -34,7 +36,9 @@ fn greedy_schedules_verify_on_all_workloads() {
     // architectural behaviour on the whole suite, under test mode.
     for w in dtsvliw_workloads::all(Scale::Test) {
         let mut m = DifMachine::new(&w.image());
-        let out = m.run(50_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let out = m
+            .run(50_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert_eq!(out.exit_code, w.expected_exit, "{}", w.name);
     }
 }

@@ -34,7 +34,12 @@ fn sub_icc(a: u32, b: u32, r: u32) -> Icc {
 }
 
 fn logic_icc(r: u32) -> Icc {
-    Icc { n: r >> 31 != 0, z: r == 0, v: false, c: false }
+    Icc {
+        n: r >> 31 != 0,
+        z: r == 0,
+        v: false,
+        c: false,
+    }
 }
 
 /// Execute an integer ALU operation.
@@ -49,47 +54,91 @@ pub fn exec_alu(op: AluOp, a: u32, b: u32, icc: Icc, y: u32) -> AluResult {
     match op {
         AluOp::Add => {
             let r = a.wrapping_add(b);
-            AluResult { value: r, icc: add_icc(a, b, r), y }
+            AluResult {
+                value: r,
+                icc: add_icc(a, b, r),
+                y,
+            }
         }
         AluOp::Sub => {
             let r = a.wrapping_sub(b);
-            AluResult { value: r, icc: sub_icc(a, b, r), y }
+            AluResult {
+                value: r,
+                icc: sub_icc(a, b, r),
+                y,
+            }
         }
         AluOp::And => {
             let r = a & b;
-            AluResult { value: r, icc: logic_icc(r), y }
+            AluResult {
+                value: r,
+                icc: logic_icc(r),
+                y,
+            }
         }
         AluOp::Andn => {
             let r = a & !b;
-            AluResult { value: r, icc: logic_icc(r), y }
+            AluResult {
+                value: r,
+                icc: logic_icc(r),
+                y,
+            }
         }
         AluOp::Or => {
             let r = a | b;
-            AluResult { value: r, icc: logic_icc(r), y }
+            AluResult {
+                value: r,
+                icc: logic_icc(r),
+                y,
+            }
         }
         AluOp::Orn => {
             let r = a | !b;
-            AluResult { value: r, icc: logic_icc(r), y }
+            AluResult {
+                value: r,
+                icc: logic_icc(r),
+                y,
+            }
         }
         AluOp::Xor => {
             let r = a ^ b;
-            AluResult { value: r, icc: logic_icc(r), y }
+            AluResult {
+                value: r,
+                icc: logic_icc(r),
+                y,
+            }
         }
         AluOp::Xnor => {
             let r = !(a ^ b);
-            AluResult { value: r, icc: logic_icc(r), y }
+            AluResult {
+                value: r,
+                icc: logic_icc(r),
+                y,
+            }
         }
         AluOp::Sll => {
             let r = a << (b & 31);
-            AluResult { value: r, icc: logic_icc(r), y }
+            AluResult {
+                value: r,
+                icc: logic_icc(r),
+                y,
+            }
         }
         AluOp::Srl => {
             let r = a >> (b & 31);
-            AluResult { value: r, icc: logic_icc(r), y }
+            AluResult {
+                value: r,
+                icc: logic_icc(r),
+                y,
+            }
         }
         AluOp::Sra => {
             let r = ((a as i32) >> (b & 31)) as u32;
-            AluResult { value: r, icc: logic_icc(r), y }
+            AluResult {
+                value: r,
+                icc: logic_icc(r),
+                y,
+            }
         }
         AluOp::MulScc => {
             let shifted = (a >> 1) | (((icc.n ^ icc.v) as u32) << 31);
@@ -118,18 +167,42 @@ pub fn exec_fp(op: FpOp, s1: u32, s2: u32, fcc: Fcc) -> FpResult {
     let a = f32::from_bits(s1);
     let b = f32::from_bits(s2);
     match op {
-        FpOp::FAdds => FpResult { value: (a + b).to_bits(), fcc },
-        FpOp::FSubs => FpResult { value: (a - b).to_bits(), fcc },
-        FpOp::FMuls => FpResult { value: (a * b).to_bits(), fcc },
-        FpOp::FDivs => FpResult { value: (a / b).to_bits(), fcc },
+        FpOp::FAdds => FpResult {
+            value: (a + b).to_bits(),
+            fcc,
+        },
+        FpOp::FSubs => FpResult {
+            value: (a - b).to_bits(),
+            fcc,
+        },
+        FpOp::FMuls => FpResult {
+            value: (a * b).to_bits(),
+            fcc,
+        },
+        FpOp::FDivs => FpResult {
+            value: (a / b).to_bits(),
+            fcc,
+        },
         FpOp::FMovs => FpResult { value: s2, fcc },
-        FpOp::FNegs => FpResult { value: s2 ^ 0x8000_0000, fcc },
-        FpOp::FAbss => FpResult { value: s2 & 0x7fff_ffff, fcc },
-        FpOp::FItos => FpResult { value: (s2 as i32 as f32).to_bits(), fcc },
+        FpOp::FNegs => FpResult {
+            value: s2 ^ 0x8000_0000,
+            fcc,
+        },
+        FpOp::FAbss => FpResult {
+            value: s2 & 0x7fff_ffff,
+            fcc,
+        },
+        FpOp::FItos => FpResult {
+            value: (s2 as i32 as f32).to_bits(),
+            fcc,
+        },
         FpOp::FStoi => {
             let v = f32::from_bits(s2);
             let i = if v.is_nan() { 0 } else { v as i32 };
-            FpResult { value: i as u32, fcc }
+            FpResult {
+                value: i as u32,
+                fcc,
+            }
         }
         FpOp::FCmps => {
             let fcc = if a.is_nan() || b.is_nan() {
@@ -168,7 +241,11 @@ pub fn umul_via_mulscc(multiplicand: u32, multiplier: u32) -> (u32, u32) {
     // product. The library .umul routine corrects the high word by adding
     // the multiplier back when the multiplicand's sign bit was set; the
     // low word needs no correction.
-    let high = if multiplicand >> 31 != 0 { r.value.wrapping_add(multiplier) } else { r.value };
+    let high = if multiplicand >> 31 != 0 {
+        r.value.wrapping_add(multiplier)
+    } else {
+        r.value
+    };
     (r.y, high)
 }
 
@@ -204,8 +281,14 @@ mod tests {
     #[test]
     fn shifts_mask_count() {
         assert_eq!(exec_alu(AluOp::Sll, 1, 33, Icc::default(), 0).value, 2);
-        assert_eq!(exec_alu(AluOp::Sra, 0x8000_0000, 31, Icc::default(), 0).value, 0xffff_ffff);
-        assert_eq!(exec_alu(AluOp::Srl, 0x8000_0000, 31, Icc::default(), 0).value, 1);
+        assert_eq!(
+            exec_alu(AluOp::Sra, 0x8000_0000, 31, Icc::default(), 0).value,
+            0xffff_ffff
+        );
+        assert_eq!(
+            exec_alu(AluOp::Srl, 0x8000_0000, 31, Icc::default(), 0).value,
+            1
+        );
     }
 
     #[test]
@@ -229,12 +312,24 @@ mod tests {
     fn fp_ops() {
         let one = 1.0f32.to_bits();
         let two = 2.0f32.to_bits();
-        assert_eq!(f32::from_bits(exec_fp(FpOp::FAdds, one, two, Fcc::Eq).value), 3.0);
-        assert_eq!(f32::from_bits(exec_fp(FpOp::FMuls, two, two, Fcc::Eq).value), 4.0);
+        assert_eq!(
+            f32::from_bits(exec_fp(FpOp::FAdds, one, two, Fcc::Eq).value),
+            3.0
+        );
+        assert_eq!(
+            f32::from_bits(exec_fp(FpOp::FMuls, two, two, Fcc::Eq).value),
+            4.0
+        );
         assert_eq!(exec_fp(FpOp::FCmps, one, two, Fcc::Eq).fcc, Fcc::Lt);
         assert_eq!(exec_fp(FpOp::FCmps, two, two, Fcc::Uo).fcc, Fcc::Eq);
-        assert_eq!(exec_fp(FpOp::FItos, 0, 7i32 as u32, Fcc::Eq).value, 7.0f32.to_bits());
-        assert_eq!(exec_fp(FpOp::FStoi, 0, (-3.7f32).to_bits(), Fcc::Eq).value, -3i32 as u32);
+        assert_eq!(
+            exec_fp(FpOp::FItos, 0, 7i32 as u32, Fcc::Eq).value,
+            7.0f32.to_bits()
+        );
+        assert_eq!(
+            exec_fp(FpOp::FStoi, 0, (-3.7f32).to_bits(), Fcc::Eq).value,
+            -3i32 as u32
+        );
         let nan = f32::NAN.to_bits();
         assert_eq!(exec_fp(FpOp::FCmps, nan, one, Fcc::Eq).fcc, Fcc::Uo);
     }

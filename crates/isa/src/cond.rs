@@ -1,10 +1,8 @@
 //! Integer condition codes (`icc`), floating-point condition code (`fcc`)
 //! and the branch condition predicates that read them.
 
-use serde::{Deserialize, Serialize};
-
 /// The four SPARC integer condition code bits.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct Icc {
     /// Negative: bit 31 of the result.
     pub n: bool,
@@ -24,12 +22,17 @@ impl Icc {
 
     /// Inverse of [`Icc::to_bits`].
     pub fn from_bits(bits: u8) -> Self {
-        Icc { n: bits & 8 != 0, z: bits & 4 != 0, v: bits & 2 != 0, c: bits & 1 != 0 }
+        Icc {
+            n: bits & 8 != 0,
+            z: bits & 4 != 0,
+            v: bits & 2 != 0,
+            c: bits & 1 != 0,
+        }
     }
 }
 
 /// Bicc branch conditions, with their SPARC `cond` field encodings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Cond {
     /// Branch never.
@@ -139,7 +142,7 @@ impl Cond {
 }
 
 /// Floating-point condition code values produced by `fcmps`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Fcc {
     /// Operands compared equal.
@@ -166,7 +169,7 @@ impl Fcc {
 }
 
 /// FBfcc branch conditions (the subset this reproduction emits).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum FCond {
     /// Never.
@@ -239,7 +242,12 @@ mod tests {
     use super::*;
 
     fn icc(n: u8, z: u8, v: u8, c: u8) -> Icc {
-        Icc { n: n != 0, z: z != 0, v: v != 0, c: c != 0 }
+        Icc {
+            n: n != 0,
+            z: z != 0,
+            v: v != 0,
+            c: c != 0,
+        }
     }
 
     #[test]

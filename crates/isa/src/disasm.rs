@@ -15,7 +15,13 @@ impl fmt::Display for Instr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             _ if self.is_nop() => write!(f, "nop"),
-            Instr::Alu { op, cc, rd, rs1, src2: s2 } => {
+            Instr::Alu {
+                op,
+                cc,
+                rd,
+                rs1,
+                src2: s2,
+            } => {
                 let name = match op {
                     AluOp::Add => "add",
                     AluOp::Sub => "sub",
@@ -31,10 +37,21 @@ impl fmt::Display for Instr {
                     AluOp::MulScc => "mulscc",
                 };
                 let cc = if cc && op != AluOp::MulScc { "cc" } else { "" };
-                write!(f, "{name}{cc} {}, {}, {}", reg_name(rs1), src2(s2), reg_name(rd))
+                write!(
+                    f,
+                    "{name}{cc} {}, {}, {}",
+                    reg_name(rs1),
+                    src2(s2),
+                    reg_name(rd)
+                )
             }
             Instr::Sethi { rd, imm22 } => write!(f, "sethi {:#x}, {}", imm22, reg_name(rd)),
-            Instr::Mem { op, rd, rs1, src2: s2 } => {
+            Instr::Mem {
+                op,
+                rd,
+                rs1,
+                src2: s2,
+            } => {
                 let name = match op {
                     MemOp::Ld => "ld",
                     MemOp::Ldub => "ldub",
@@ -47,7 +64,11 @@ impl fmt::Display for Instr {
                     MemOp::Ldf => "ldf",
                     MemOp::Stf => "stf",
                 };
-                let rd_s = if op.is_fp() { format!("%f{rd}") } else { reg_name(rd).to_string() };
+                let rd_s = if op.is_fp() {
+                    format!("%f{rd}")
+                } else {
+                    reg_name(rd).to_string()
+                };
                 if op.is_store() {
                     write!(f, "{name} {rd_s}, [{} + {}]", reg_name(rs1), src2(s2))
                 } else {
@@ -64,7 +85,13 @@ impl fmt::Display for Instr {
                 write!(f, "save {}, {}, {}", reg_name(rs1), src2(s2), reg_name(rd))
             }
             Instr::Restore { rd, rs1, src2: s2 } => {
-                write!(f, "restore {}, {}, {}", reg_name(rs1), src2(s2), reg_name(rd))
+                write!(
+                    f,
+                    "restore {}, {}, {}",
+                    reg_name(rs1),
+                    src2(s2),
+                    reg_name(rd)
+                )
             }
             Instr::Fpop { op, rd, rs1, rs2 } => {
                 let name = match op {
@@ -102,13 +129,32 @@ mod tests {
 
     #[test]
     fn formats() {
-        let i = Instr::Alu { op: AluOp::Add, cc: true, rd: 9, rs1: 10, src2: Src2::Imm(4) };
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            cc: true,
+            rd: 9,
+            rs1: 10,
+            src2: Src2::Imm(4),
+        };
         assert_eq!(i.to_string(), "addcc %o2, 4, %o1");
-        let i = Instr::Mem { op: MemOp::Ld, rd: 8, rs1: 10, src2: Src2::Reg(11) };
+        let i = Instr::Mem {
+            op: MemOp::Ld,
+            rd: 8,
+            rs1: 10,
+            src2: Src2::Reg(11),
+        };
         assert_eq!(i.to_string(), "ld [%o2 + %o3], %o0");
-        let i = Instr::Mem { op: MemOp::St, rd: 8, rs1: 14, src2: Src2::Imm(64) };
+        let i = Instr::Mem {
+            op: MemOp::St,
+            rd: 8,
+            rs1: 14,
+            src2: Src2::Imm(64),
+        };
         assert_eq!(i.to_string(), "st %o0, [%sp + 64]");
-        let i = Instr::Bicc { cond: Cond::Le, disp22: -6 };
+        let i = Instr::Bicc {
+            cond: Cond::Le,
+            disp22: -6,
+        };
         assert_eq!(i.to_string(), "ble -24");
         assert_eq!(Instr::NOP.to_string(), "nop");
     }

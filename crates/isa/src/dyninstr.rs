@@ -12,11 +12,10 @@
 use crate::insn::{Instr, Src2};
 use crate::regs::phys_reg;
 use crate::resource::{ResList, Resource};
-use serde::{Deserialize, Serialize};
 
 /// A retired instruction plus the execution facts the Scheduler Unit and
 /// VLIW Engine need.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DynInstr {
     /// Dynamic sequence number (for diagnostics and test mode).
     pub seq: u64,
@@ -68,15 +67,17 @@ impl DynInstr {
     }
 
     fn src2_res(&self, src2: Src2) -> Option<Resource> {
-        src2.reg().map(|r| Resource::Int(phys_reg(self.cwp_before, r)))
+        src2.reg()
+            .map(|r| Resource::Int(phys_reg(self.cwp_before, r)))
     }
 
     /// The memory resource of a load/store, using the observed address.
     pub fn mem_resource(&self) -> Option<Resource> {
         match self.instr {
-            Instr::Mem { op, .. } => {
-                Some(Resource::Mem { addr: self.eff_addr.expect("mem op without address"), size: op.size() })
-            }
+            Instr::Mem { op, .. } => Some(Resource::Mem {
+                addr: self.eff_addr.expect("mem op without address"),
+                size: op.size(),
+            }),
             _ => None,
         }
     }
@@ -85,7 +86,13 @@ impl DynInstr {
     pub fn reads(&self) -> ResList {
         let mut l = ResList::new();
         match self.instr {
-            Instr::Alu { op, rd: _, rs1, src2, .. } => {
+            Instr::Alu {
+                op,
+                rd: _,
+                rs1,
+                src2,
+                ..
+            } => {
                 l.push_opt(self.int_res(self.cwp_before, rs1));
                 l.push_opt(self.src2_res(src2));
                 if op == crate::insn::AluOp::MulScc {
@@ -225,7 +232,13 @@ mod tests {
 
     #[test]
     fn g0_is_never_a_resource() {
-        let d = dyn_of(Instr::Alu { op: AluOp::Or, cc: false, rd: 0, rs1: 0, src2: Src2::Imm(0) });
+        let d = dyn_of(Instr::Alu {
+            op: AluOp::Or,
+            cc: false,
+            rd: 0,
+            rs1: 0,
+            src2: Src2::Imm(0),
+        });
         assert!(d.reads().is_empty());
         assert!(d.writes().is_empty());
     }
@@ -239,9 +252,17 @@ mod tests {
             src2: Src2::Imm(4),
         });
         d.eff_addr = Some(0x2000);
-        assert!(d.reads().contains_conflict(&Resource::Int(phys_reg(0, r::O0))));
-        assert!(d.writes().contains_conflict(&Resource::Mem { addr: 0x2000, size: 4 }));
-        assert!(!d.writes().contains_conflict(&Resource::Mem { addr: 0x2004, size: 4 }));
+        assert!(d
+            .reads()
+            .contains_conflict(&Resource::Int(phys_reg(0, r::O0))));
+        assert!(d.writes().contains_conflict(&Resource::Mem {
+            addr: 0x2000,
+            size: 4
+        }));
+        assert!(!d.writes().contains_conflict(&Resource::Mem {
+            addr: 0x2004,
+            size: 4
+        }));
     }
 
     #[test]
@@ -253,23 +274,40 @@ mod tests {
             src2: Src2::Imm(0),
         });
         d.eff_addr = Some(0x2001);
-        assert!(d.reads().contains_conflict(&Resource::Mem { addr: 0x2000, size: 4 }));
-        assert!(!d.reads().contains_conflict(&Resource::Mem { addr: 0x2002, size: 1 }));
+        assert!(d.reads().contains_conflict(&Resource::Mem {
+            addr: 0x2000,
+            size: 4
+        }));
+        assert!(!d.reads().contains_conflict(&Resource::Mem {
+            addr: 0x2002,
+            size: 1
+        }));
     }
 
     #[test]
     fn save_crosses_windows() {
-        let mut d = dyn_of(Instr::Save { rd: r::SP, rs1: r::SP, src2: Src2::Imm(-96) });
+        let mut d = dyn_of(Instr::Save {
+            rd: r::SP,
+            rs1: r::SP,
+            src2: Src2::Imm(-96),
+        });
         d.cwp_after = crate::regs::save_cwp(0);
         // reads caller's %sp, writes callee's %sp: different physical regs
-        assert!(d.reads().contains_conflict(&Resource::Int(phys_reg(0, r::SP))));
-        assert!(d.writes().contains_conflict(&Resource::Int(phys_reg(d.cwp_after, r::SP))));
+        assert!(d
+            .reads()
+            .contains_conflict(&Resource::Int(phys_reg(0, r::SP))));
+        assert!(d
+            .writes()
+            .contains_conflict(&Resource::Int(phys_reg(d.cwp_after, r::SP))));
         assert!(d.writes().contains_conflict(&Resource::Cwp));
     }
 
     #[test]
     fn branch_reads_flags() {
-        let d = dyn_of(Instr::Bicc { cond: Cond::Le, disp22: -4 });
+        let d = dyn_of(Instr::Bicc {
+            cond: Cond::Le,
+            disp22: -4,
+        });
         assert!(d.reads().contains_conflict(&Resource::Icc));
         assert_eq!(d.static_target(), Some(0x1000 - 16));
         assert_eq!(d.fall_through(), 0x1008);

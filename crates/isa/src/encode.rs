@@ -87,7 +87,13 @@ pub fn encode(instr: &Instr) -> u32 {
         Instr::FBfcc { cond, disp22 } => {
             (cond as u32) << 25 | 0b110 << 22 | (disp22 as u32 & 0x3f_ffff)
         }
-        Instr::Alu { op, cc, rd, rs1, src2 } => {
+        Instr::Alu {
+            op,
+            cc,
+            rd,
+            rs1,
+            src2,
+        } => {
             let op3 = match op {
                 AluOp::Add => OP3_ADD,
                 AluOp::Sub => OP3_SUB,
@@ -102,7 +108,11 @@ pub fn encode(instr: &Instr) -> u32 {
                 AluOp::Sra => OP3_SRA,
                 AluOp::MulScc => OP3_MULSCC,
             };
-            let op3 = if cc && op != AluOp::MulScc { op3 | CC_BIT } else { op3 };
+            let op3 = if cc && op != AluOp::MulScc {
+                op3 | CC_BIT
+            } else {
+                op3
+            };
             f3(2, rd as u32, op3, rs1 as u32, src2)
         }
         Instr::Jmpl { rd, rs1, src2 } => f3(2, rd as u32, OP3_JMPL, rs1 as u32, src2),
@@ -153,15 +163,26 @@ pub fn encode(instr: &Instr) -> u32 {
 pub fn decode(word: u32) -> Instr {
     let op = word >> 30;
     match op {
-        1 => Instr::Call { disp30: ((word as i32) << 2) >> 2 },
+        1 => Instr::Call {
+            disp30: ((word as i32) << 2) >> 2,
+        },
         0 => {
             let op2 = (word >> 22) & 7;
             let rd_or_cond = ((word >> 25) & 31) as u8;
             let disp22 = ((word as i32) << 10) >> 10;
             match op2 {
-                0b100 => Instr::Sethi { rd: rd_or_cond, imm22: word & 0x3f_ffff },
-                0b010 => Instr::Bicc { cond: Cond::from_bits(rd_or_cond), disp22 },
-                0b110 => Instr::FBfcc { cond: FCond::from_bits(rd_or_cond), disp22 },
+                0b100 => Instr::Sethi {
+                    rd: rd_or_cond,
+                    imm22: word & 0x3f_ffff,
+                },
+                0b010 => Instr::Bicc {
+                    cond: Cond::from_bits(rd_or_cond),
+                    disp22,
+                },
+                0b110 => Instr::FBfcc {
+                    cond: FCond::from_bits(rd_or_cond),
+                    disp22,
+                },
                 _ => Instr::Illegal(word),
             }
         }
@@ -170,7 +191,13 @@ pub fn decode(word: u32) -> Instr {
             let op3 = (word >> 19) & 0x3f;
             let rs1 = ((word >> 14) & 31) as u8;
             let src2 = src2_of(word);
-            let alu = |op: AluOp, cc: bool| Instr::Alu { op, cc, rd, rs1, src2 };
+            let alu = |op: AluOp, cc: bool| Instr::Alu {
+                op,
+                cc,
+                rd,
+                rs1,
+                src2,
+            };
             match op3 {
                 OP3_MULSCC => alu(AluOp::MulScc, true),
                 OP3_SLL => alu(AluOp::Sll, false),
@@ -182,7 +209,9 @@ pub fn decode(word: u32) -> Instr {
                 OP3_SAVE => Instr::Save { rd, rs1, src2 },
                 OP3_RESTORE => Instr::Restore { rd, rs1, src2 },
                 OP3_TICC if rd == 8 => match src2 {
-                    Src2::Imm(code) => Instr::Trap { code: (code & 0x7f) as u8 },
+                    Src2::Imm(code) => Instr::Trap {
+                        code: (code & 0x7f) as u8,
+                    },
                     Src2::Reg(_) => Instr::Illegal(word),
                 },
                 OP3_FPOP1 | OP3_FPOP2 => {
@@ -253,24 +282,94 @@ mod tests {
     fn round_trip_representatives() {
         let cases = [
             Instr::NOP,
-            Instr::Sethi { rd: 8, imm22: 0x3f_ffff },
-            Instr::Alu { op: AluOp::Add, cc: true, rd: 9, rs1: 10, src2: Src2::Imm(-1) },
-            Instr::Alu { op: AluOp::Sll, cc: false, rd: 1, rs1: 2, src2: Src2::Reg(3) },
-            Instr::Alu { op: AluOp::MulScc, cc: true, rd: 4, rs1: 4, src2: Src2::Reg(5) },
-            Instr::Mem { op: MemOp::Ld, rd: 8, rs1: 10, src2: Src2::Reg(11) },
-            Instr::Mem { op: MemOp::Stb, rd: 8, rs1: 14, src2: Src2::Imm(-4096) },
-            Instr::Mem { op: MemOp::Ldf, rd: 31, rs1: 1, src2: Src2::Imm(64) },
-            Instr::Bicc { cond: Cond::Le, disp22: -6 },
-            Instr::Bicc { cond: Cond::A, disp22: 0x1f_ffff },
-            Instr::FBfcc { cond: FCond::Ge, disp22: 12 },
+            Instr::Sethi {
+                rd: 8,
+                imm22: 0x3f_ffff,
+            },
+            Instr::Alu {
+                op: AluOp::Add,
+                cc: true,
+                rd: 9,
+                rs1: 10,
+                src2: Src2::Imm(-1),
+            },
+            Instr::Alu {
+                op: AluOp::Sll,
+                cc: false,
+                rd: 1,
+                rs1: 2,
+                src2: Src2::Reg(3),
+            },
+            Instr::Alu {
+                op: AluOp::MulScc,
+                cc: true,
+                rd: 4,
+                rs1: 4,
+                src2: Src2::Reg(5),
+            },
+            Instr::Mem {
+                op: MemOp::Ld,
+                rd: 8,
+                rs1: 10,
+                src2: Src2::Reg(11),
+            },
+            Instr::Mem {
+                op: MemOp::Stb,
+                rd: 8,
+                rs1: 14,
+                src2: Src2::Imm(-4096),
+            },
+            Instr::Mem {
+                op: MemOp::Ldf,
+                rd: 31,
+                rs1: 1,
+                src2: Src2::Imm(64),
+            },
+            Instr::Bicc {
+                cond: Cond::Le,
+                disp22: -6,
+            },
+            Instr::Bicc {
+                cond: Cond::A,
+                disp22: 0x1f_ffff,
+            },
+            Instr::FBfcc {
+                cond: FCond::Ge,
+                disp22: 12,
+            },
             Instr::Call { disp30: -1000 },
-            Instr::Jmpl { rd: 15, rs1: 31, src2: Src2::Imm(8) },
-            Instr::Save { rd: 14, rs1: 14, src2: Src2::Imm(-96) },
-            Instr::Restore { rd: 0, rs1: 0, src2: Src2::Reg(0) },
-            Instr::Fpop { op: FpOp::FAdds, rd: 1, rs1: 2, rs2: 3 },
-            Instr::Fpop { op: FpOp::FCmps, rd: 0, rs1: 30, rs2: 31 },
+            Instr::Jmpl {
+                rd: 15,
+                rs1: 31,
+                src2: Src2::Imm(8),
+            },
+            Instr::Save {
+                rd: 14,
+                rs1: 14,
+                src2: Src2::Imm(-96),
+            },
+            Instr::Restore {
+                rd: 0,
+                rs1: 0,
+                src2: Src2::Reg(0),
+            },
+            Instr::Fpop {
+                op: FpOp::FAdds,
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+            },
+            Instr::Fpop {
+                op: FpOp::FCmps,
+                rd: 0,
+                rs1: 30,
+                rs2: 31,
+            },
             Instr::RdY { rd: 7 },
-            Instr::WrY { rs1: 9, src2: Src2::Imm(0) },
+            Instr::WrY {
+                rs1: 9,
+                src2: Src2::Imm(0),
+            },
             Instr::Trap { code: 0x42 },
         ];
         for instr in cases {
@@ -282,14 +381,23 @@ mod tests {
     #[test]
     fn simm13_bounds() {
         for imm in [-4096i32, -1, 0, 1, 4095] {
-            let i = Instr::Alu { op: AluOp::Or, cc: false, rd: 1, rs1: 0, src2: Src2::Imm(imm) };
+            let i = Instr::Alu {
+                op: AluOp::Or,
+                cc: false,
+                rd: 1,
+                rs1: 0,
+                src2: Src2::Imm(imm),
+            };
             assert_eq!(decode(encode(&i)), i);
         }
     }
 
     #[test]
     fn disp22_sign_extension() {
-        let i = Instr::Bicc { cond: Cond::Ne, disp22: -(1 << 21) };
+        let i = Instr::Bicc {
+            cond: Cond::Ne,
+            disp22: -(1 << 21),
+        };
         assert_eq!(decode(encode(&i)), i);
     }
 

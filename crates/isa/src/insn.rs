@@ -1,10 +1,9 @@
 //! The architectural instruction type.
 
 use crate::cond::{Cond, FCond};
-use serde::{Deserialize, Serialize};
 
 /// Second ALU/memory operand: a register or a 13-bit signed immediate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Src2 {
     /// Register operand `rs2`.
     Reg(u8),
@@ -23,7 +22,7 @@ impl Src2 {
 }
 
 /// Integer ALU operations (format-3 arithmetic).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AluOp {
     /// `add`
     Add,
@@ -59,7 +58,7 @@ impl AluOp {
 }
 
 /// Integer and floating-point memory operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemOp {
     /// `ld`: load word
     Ld,
@@ -105,7 +104,7 @@ impl MemOp {
 }
 
 /// Single-precision floating-point operate instructions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FpOp {
     /// `fadds`
     FAdds,
@@ -132,7 +131,10 @@ pub enum FpOp {
 impl FpOp {
     /// Unary operations read only `rs2`.
     pub fn is_unary(self) -> bool {
-        matches!(self, FpOp::FMovs | FpOp::FNegs | FpOp::FAbss | FpOp::FItos | FpOp::FStoi)
+        matches!(
+            self,
+            FpOp::FMovs | FpOp::FNegs | FpOp::FAbss | FpOp::FItos | FpOp::FStoi
+        )
     }
 }
 
@@ -141,15 +143,26 @@ impl FpOp {
 /// `Instr` is the *static* form: registers are visible numbers (0..32)
 /// and branch displacements are in instructions (words) relative to the
 /// branch's own address, exactly as encoded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instr {
     /// Integer ALU operation; `cc` selects the condition-code-setting form.
-    Alu { op: AluOp, cc: bool, rd: u8, rs1: u8, src2: Src2 },
+    Alu {
+        op: AluOp,
+        cc: bool,
+        rd: u8,
+        rs1: u8,
+        src2: Src2,
+    },
     /// `sethi imm22, rd` — set bits 31..10. `sethi 0, %g0` is the
     /// canonical `nop`.
     Sethi { rd: u8, imm22: u32 },
     /// Integer or FP load/store; for stores `rd` is the data source.
-    Mem { op: MemOp, rd: u8, rs1: u8, src2: Src2 },
+    Mem {
+        op: MemOp,
+        rd: u8,
+        rs1: u8,
+        src2: Src2,
+    },
     /// Conditional branch on integer condition codes (delayed).
     Bicc { cond: Cond, disp22: i32 },
     /// Conditional branch on the FP condition code (delayed).
@@ -183,7 +196,13 @@ impl Instr {
     pub fn is_nop(&self) -> bool {
         match *self {
             Instr::Sethi { rd: 0, .. } => true,
-            Instr::Alu { op: AluOp::Or | AluOp::Add, cc: false, rd: 0, rs1: 0, src2 } => {
+            Instr::Alu {
+                op: AluOp::Or | AluOp::Add,
+                cc: false,
+                rd: 0,
+                rs1: 0,
+                src2,
+            } => {
                 matches!(src2, Src2::Imm(0) | Src2::Reg(0))
             }
             _ => false,
@@ -194,10 +213,7 @@ impl Instr {
     pub fn is_cti(&self) -> bool {
         matches!(
             self,
-            Instr::Bicc { .. }
-                | Instr::FBfcc { .. }
-                | Instr::Call { .. }
-                | Instr::Jmpl { .. }
+            Instr::Bicc { .. } | Instr::FBfcc { .. } | Instr::Call { .. } | Instr::Jmpl { .. }
         )
     }
 
@@ -215,8 +231,19 @@ impl Instr {
 
     /// Unconditional direct branch (`ba`): ignored by the Scheduler Unit.
     pub fn is_unconditional_branch(&self) -> bool {
-        matches!(self, Instr::Bicc { cond: Cond::A | Cond::N, .. })
-            || matches!(self, Instr::FBfcc { cond: FCond::A | FCond::N, .. })
+        matches!(
+            self,
+            Instr::Bicc {
+                cond: Cond::A | Cond::N,
+                ..
+            }
+        ) || matches!(
+            self,
+            Instr::FBfcc {
+                cond: FCond::A | FCond::N,
+                ..
+            }
+        )
     }
 
     /// True for loads and stores (integer or FP).
@@ -257,7 +284,7 @@ impl Instr {
 /// Functional-unit classes for heterogeneous long-instruction slots
 /// (the paper's feasible machine has 4 integer, 2 load/store, 2 FP and
 /// 2 branch units).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FuClass {
     /// Integer ALU (also executes save/restore, rd/wr %y and COPYs).
     Integer,
@@ -309,10 +336,20 @@ mod tests {
 
     #[test]
     fn cti_classification() {
-        let ba = Instr::Bicc { cond: Cond::A, disp22: 4 };
-        let ble = Instr::Bicc { cond: Cond::Le, disp22: -2 };
+        let ba = Instr::Bicc {
+            cond: Cond::A,
+            disp22: 4,
+        };
+        let ble = Instr::Bicc {
+            cond: Cond::Le,
+            disp22: -2,
+        };
         let call = Instr::Call { disp30: 100 };
-        let jmpl = Instr::Jmpl { rd: 0, rs1: 31, src2: Src2::Imm(8) };
+        let jmpl = Instr::Jmpl {
+            rd: 0,
+            rs1: 31,
+            src2: Src2::Imm(8),
+        };
         assert!(ba.is_cti() && ble.is_cti() && call.is_cti() && jmpl.is_cti());
         assert!(!ba.is_conditional_or_indirect());
         assert!(ble.is_conditional_or_indirect());

@@ -106,9 +106,9 @@ pub fn restore_cwp(cwp: u8) -> u8 {
 /// Visible-register name, e.g. `"%o3"`.
 pub fn reg_name(reg: u8) -> &'static str {
     const NAMES: [&str; 32] = [
-        "%g0", "%g1", "%g2", "%g3", "%g4", "%g5", "%g6", "%g7", "%o0", "%o1", "%o2", "%o3",
-        "%o4", "%o5", "%sp", "%o7", "%l0", "%l1", "%l2", "%l3", "%l4", "%l5", "%l6", "%l7",
-        "%i0", "%i1", "%i2", "%i3", "%i4", "%i5", "%fp", "%i7",
+        "%g0", "%g1", "%g2", "%g3", "%g4", "%g5", "%g6", "%g7", "%o0", "%o1", "%o2", "%o3", "%o4",
+        "%o5", "%sp", "%o7", "%l0", "%l1", "%l2", "%l3", "%l4", "%l5", "%l6", "%l7", "%i0", "%i1",
+        "%i2", "%i3", "%i4", "%i5", "%fp", "%i7",
     ];
     NAMES[(reg & 31) as usize]
 }

@@ -11,10 +11,8 @@
 //! Renamed outputs (from instruction splitting) occupy the `*Ren`
 //! variants; their ids are allocated per scheduling block.
 
-use serde::{Deserialize, Serialize};
-
 /// One architectural or renamed storage location.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Resource {
     /// Physical integer register (1..NUM_PHYS_INT; `%g0` is never a
     /// resource).
@@ -94,7 +92,7 @@ impl Resource {
 /// Rename register pools; Table 3 of the paper reports per-pool
 /// high-water marks ("Integer / F.P. / Flag / Memory Renaming
 /// Registers").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RenameKind {
     /// Integer renaming registers.
     Int,
@@ -119,7 +117,10 @@ pub struct ResList {
 impl ResList {
     /// Empty list.
     pub const fn new() -> Self {
-        ResList { len: 0, items: [None; 4] }
+        ResList {
+            len: 0,
+            items: [None; 4],
+        }
     }
 
     /// Append a resource; panics beyond capacity 4 (an ISA invariant).
@@ -147,7 +148,9 @@ impl ResList {
 
     /// Iterate over the resources.
     pub fn iter(&self) -> impl Iterator<Item = &Resource> + '_ {
-        self.items[..self.len as usize].iter().map(|r| r.as_ref().unwrap())
+        self.items[..self.len as usize]
+            .iter()
+            .map(|r| r.as_ref().unwrap())
     }
 
     /// Does any resource here conflict with any in `other`?

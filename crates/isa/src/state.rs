@@ -8,10 +8,9 @@
 
 use crate::cond::{Fcc, Icc};
 use crate::regs::{phys_reg, NUM_PHYS_INT, NWINDOWS};
-use serde::{Deserialize, Serialize};
 
 /// The complete SPARC ISA state of the simulated machine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArchState {
     /// Physical integer register file (globals + windowed).
     pub int: Vec<u32>,

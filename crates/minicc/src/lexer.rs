@@ -20,7 +20,10 @@ impl fmt::Display for CompileError {
 impl std::error::Error for CompileError {}
 
 pub(crate) fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, CompileError> {
-    Err(CompileError { line, msg: msg.into() })
+    Err(CompileError {
+        line,
+        msg: msg.into(),
+    })
 }
 
 /// Token kinds.
@@ -117,18 +120,27 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
                         i += 1;
                     }
                     let s: String = bytes[start + 2..i].iter().collect();
-                    let v = i64::from_str_radix(&s, 16)
-                        .map_err(|_| CompileError { line, msg: format!("bad hex literal {s}") })?;
-                    out.push(Spanned { tok: Tok::Num(v), line });
+                    let v = i64::from_str_radix(&s, 16).map_err(|_| CompileError {
+                        line,
+                        msg: format!("bad hex literal {s}"),
+                    })?;
+                    out.push(Spanned {
+                        tok: Tok::Num(v),
+                        line,
+                    });
                 } else {
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
                         i += 1;
                     }
                     let s: String = bytes[start..i].iter().collect();
-                    let v = s
-                        .parse::<i64>()
-                        .map_err(|_| CompileError { line, msg: format!("bad literal {s}") })?;
-                    out.push(Spanned { tok: Tok::Num(v), line });
+                    let v = s.parse::<i64>().map_err(|_| CompileError {
+                        line,
+                        msg: format!("bad literal {s}"),
+                    })?;
+                    out.push(Spanned {
+                        tok: Tok::Num(v),
+                        line,
+                    });
                 }
             }
             '\'' => {
@@ -148,7 +160,10 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
                     (Some(ch), Some('\''), _) => (*ch as i64, 3),
                     _ => return err(line, "bad character literal"),
                 };
-                out.push(Spanned { tok: Tok::Num(v), line });
+                out.push(Spanned {
+                    tok: Tok::Num(v),
+                    line,
+                });
                 i += consumed;
             }
             _ => {
@@ -195,7 +210,10 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
             }
         }
     }
-    out.push(Spanned { tok: Tok::Eof, line });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 

@@ -36,7 +36,10 @@ impl Parser {
             self.next();
             Ok(())
         } else {
-            err(self.line(), format!("expected {t:?}, found {:?}", self.peek()))
+            err(
+                self.line(),
+                format!("expected {t:?}, found {:?}", self.peek()),
+            )
         }
     }
 
@@ -62,13 +65,21 @@ impl Parser {
             if self.is_kw("int") {
                 self.next();
                 let name = self.ident()?;
-                let mut g = Global { name, words: 1, init: 0, is_array: false };
+                let mut g = Global {
+                    name,
+                    words: 1,
+                    init: 0,
+                    is_array: false,
+                };
                 if *self.peek() == Tok::LBracket {
                     self.next();
                     match self.next() {
                         Tok::Num(n) if n > 0 => g.words = n as u32,
                         other => {
-                            return err(self.line(), format!("array size must be positive: {other:?}"))
+                            return err(
+                                self.line(),
+                                format!("array size must be positive: {other:?}"),
+                            )
                         }
                     }
                     g.is_array = true;
@@ -84,7 +95,10 @@ impl Parser {
                     match self.next() {
                         Tok::Num(n) => g.init = if neg { -n } else { n },
                         other => {
-                            return err(self.line(), format!("global init must be a literal: {other:?}"))
+                            return err(
+                                self.line(),
+                                format!("global init must be a literal: {other:?}"),
+                            )
                         }
                     }
                 }
@@ -111,9 +125,17 @@ impl Parser {
                     return err(line, "functions take at most 6 parameters");
                 }
                 let body = self.block()?;
-                prog.funcs.push(Func { name, params, body, line });
+                prog.funcs.push(Func {
+                    name,
+                    params,
+                    body,
+                    line,
+                });
             } else {
-                return err(self.line(), format!("expected `int` or `fn`, found {:?}", self.peek()));
+                return err(
+                    self.line(),
+                    format!("expected `int` or `fn`, found {:?}", self.peek()),
+                );
             }
         }
         Ok(prog)
@@ -142,7 +164,12 @@ impl Parser {
                 Expr::Num(0)
             };
             self.eat(Tok::Semi)?;
-            return Ok(Stmt::Decl { name, in_reg, init, line });
+            return Ok(Stmt::Decl {
+                name,
+                in_reg,
+                init,
+                line,
+            });
         }
         if self.is_kw("if") {
             self.next();
@@ -160,7 +187,12 @@ impl Parser {
             } else {
                 Vec::new()
             };
-            return Ok(Stmt::If { cond, then, els, line });
+            return Ok(Stmt::If {
+                cond,
+                then,
+                els,
+                line,
+            });
         }
         if self.is_kw("while") {
             self.next();
@@ -180,7 +212,12 @@ impl Parser {
                 let name = self.ident()?;
                 self.eat(Tok::Assign)?;
                 let init = self.expr()?;
-                Stmt::Decl { name, in_reg, init, line }
+                Stmt::Decl {
+                    name,
+                    in_reg,
+                    init,
+                    line,
+                }
             } else {
                 self.simple_stmt(line)?
             };
@@ -210,7 +247,11 @@ impl Parser {
         }
         if self.is_kw("return") {
             self.next();
-            let e = if *self.peek() != Tok::Semi { Some(self.expr()?) } else { None };
+            let e = if *self.peek() != Tok::Semi {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             self.eat(Tok::Semi)?;
             return Ok(Stmt::Return(e, line));
         }
@@ -231,7 +272,12 @@ impl Parser {
                 self.eat(Tok::Comma)?;
                 let value = self.expr()?;
                 self.eat(Tok::RParen)?;
-                return Ok(Stmt::Store { byte, addr, value, line });
+                return Ok(Stmt::Store {
+                    byte,
+                    addr,
+                    value,
+                    line,
+                });
             }
         }
         if self.is_kw("putc") || self.is_kw("putu") {
@@ -240,7 +286,11 @@ impl Parser {
             self.eat(Tok::LParen)?;
             let e = self.expr()?;
             self.eat(Tok::RParen)?;
-            return Ok(if is_c { Stmt::Putc(e, line) } else { Stmt::Putu(e, line) });
+            return Ok(if is_c {
+                Stmt::Putc(e, line)
+            } else {
+                Stmt::Putu(e, line)
+            });
         }
         if self.is_kw("assert") {
             self.next();
@@ -278,7 +328,12 @@ impl Parser {
                     if *self.peek() == Tok::Assign {
                         self.next();
                         let value = self.expr()?;
-                        return Ok(Stmt::AssignIndex { name, index, value, line });
+                        return Ok(Stmt::AssignIndex {
+                            name,
+                            index,
+                            value,
+                            line,
+                        });
                     }
                     self.pos = save;
                 }
@@ -286,7 +341,7 @@ impl Parser {
             }
         }
         let e = self.expr()?;
-        Ok(Stmt::ExprStmt(e, line))
+        Ok(Stmt::Expr(e, line))
     }
 
     // ---------------------------------------------------- expressions
@@ -470,7 +525,10 @@ impl Parser {
                             if args.len() != 1 {
                                 return err(line, format!("{name} takes one argument"));
                             }
-                            Ok(Expr::Load { byte: name == "lb", addr: Box::new(args.remove_first()) })
+                            Ok(Expr::Load {
+                                byte: name == "lb",
+                                addr: Box::new(args.remove_first()),
+                            })
                         }
                         "addr" => {
                             if args.len() != 1 {
@@ -535,8 +593,8 @@ mod tests {
 
     #[test]
     fn for_desugars() {
-        let p = parse("fn f() { for (reg i = 0; i < 4; i = i + 1) { putc(i); } return 0; }")
-            .unwrap();
+        let p =
+            parse("fn f() { for (reg i = 0; i < 4; i = i + 1) { putc(i); } return 0; }").unwrap();
         assert!(matches!(p.funcs[0].body[0], Stmt::If { .. }));
     }
 

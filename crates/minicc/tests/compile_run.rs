@@ -7,7 +7,10 @@ use dtsvliw_primary::{RefMachine, RunOutcome};
 fn run(src: &str) -> (u32, String) {
     let img = compile_to_image(src).unwrap_or_else(|e| panic!("compile error: {e}"));
     let mut m = RefMachine::new(&img);
-    match m.run(50_000_000).unwrap_or_else(|e| panic!("runtime error: {e}\n")) {
+    match m
+        .run(50_000_000)
+        .unwrap_or_else(|e| panic!("runtime error: {e}\n"))
+    {
         RunOutcome::Halted { code, .. } => (code, m.output_string()),
         RunOutcome::OutOfFuel => panic!("program did not halt"),
     }
@@ -24,10 +27,16 @@ fn arithmetic_and_precedence() {
     assert_eq!(result_of("fn main() { return 100 - 7 * 9; }"), 37);
     assert_eq!(result_of("fn main() { return 1 << 10; }"), 1024);
     assert_eq!(result_of("fn main() { return 0xff00 >> 8; }"), 0xff);
-    assert_eq!(result_of("fn main() { return (0xf0 | 0x0f) ^ 0x3c; }"), 0xc3);
+    assert_eq!(
+        result_of("fn main() { return (0xf0 | 0x0f) ^ 0x3c; }"),
+        0xc3
+    );
     assert_eq!(result_of("fn main() { return 255 & 0x18; }"), 0x18);
     assert_eq!(result_of("fn main() { return -(5 - 12); }"), 7);
-    assert_eq!(result_of("fn main() { return ~0 - 0xfffffff0; }") as i32, 15 - 16 + 16);
+    assert_eq!(
+        result_of("fn main() { return ~0 - 0xfffffff0; }") as i32,
+        15 - 16 + 16
+    );
 }
 
 #[test]
@@ -35,7 +44,11 @@ fn multiply_divide_remainder() {
     assert_eq!(result_of("fn main() { return 123 * 456; }"), 56088);
     assert_eq!(result_of("fn main() { return 56088 / 456; }"), 123);
     assert_eq!(result_of("fn main() { return 56089 % 456; }"), 1);
-    assert_eq!(result_of("fn main() { return 7 * 8; }"), 56, "power-of-two path");
+    assert_eq!(
+        result_of("fn main() { return 7 * 8; }"),
+        56,
+        "power-of-two path"
+    );
     assert_eq!(result_of("fn main() { return 12345678 / 1; }"), 12345678);
     // Signed semantics (C truncation).
     assert_eq!(result_of("fn main() { return -7 / 2; }") as i32, -3);
@@ -52,7 +65,11 @@ fn multiply_divide_remainder() {
 fn comparisons_and_logic() {
     assert_eq!(result_of("fn main() { return 3 < 5; }"), 1);
     assert_eq!(result_of("fn main() { return 5 <= 4; }"), 0);
-    assert_eq!(result_of("fn main() { return -1 < 1; }"), 1, "signed compare");
+    assert_eq!(
+        result_of("fn main() { return -1 < 1; }"),
+        1,
+        "signed compare"
+    );
     assert_eq!(result_of("fn main() { return (1 < 2) && (3 > 2); }"), 1);
     assert_eq!(result_of("fn main() { return 0 || (2 == 2); }"), 1);
     assert_eq!(result_of("fn main() { return !(1 == 1); }"), 0);
@@ -170,14 +187,12 @@ fn byte_and_word_intrinsics() {
 
 #[test]
 fn console_and_halt() {
-    let (code, out) = run(
-        "fn main() {
+    let (code, out) = run("fn main() {
             putc('h'); putc('i'); putc(' ');
             putu(2026);
             halt(7);
             return 0;
-        }",
-    );
+        }");
     assert_eq!(code, 7);
     assert_eq!(out, "hi 2026");
 }
@@ -210,7 +225,10 @@ fn compile_errors_are_reported() {
     let cases = [
         ("fn main() { return y; }", "undefined variable"),
         ("fn main() { return f(); }", "undefined function"),
-        ("fn f(a) { return a; } fn main() { return f(1, 2); }", "takes 1 arguments"),
+        (
+            "fn f(a) { return a; } fn main() { return f(1, 2); }",
+            "takes 1 arguments",
+        ),
         ("fn main() { break; }", "break outside"),
         ("int g; int g; fn main() { return 0; }", "duplicate global"),
         ("fn f() { return 0; }", "no `main`"),

@@ -1,6 +1,11 @@
 //! Differential fuzzing of the compiler: random expression trees are
 //! compiled and executed on the simulated machine, and the result is
 //! compared against a Rust-side evaluator with C semantics.
+//!
+//! Gated behind the off-by-default `proptest` feature: the external
+//! `proptest` crate is unavailable in the offline build environment
+//! (restore the dev-dependency to run these).
+#![cfg(feature = "proptest")]
 
 use dtsvliw_minicc::compile_to_image;
 use dtsvliw_primary::{RefMachine, RunOutcome};

@@ -97,7 +97,10 @@ fn spill_oldest(state: &mut ArchState, mem: &mut Memory) {
     let sp = state.get_w(w, r::SP);
     for k in 0..8u8 {
         mem.write_u32(sp.wrapping_add(4 * k as u32), state.get_w(w, r::L0 + k));
-        mem.write_u32(sp.wrapping_add(32 + 4 * k as u32), state.get_w(w, r::I0 + k));
+        mem.write_u32(
+            sp.wrapping_add(32 + 4 * k as u32),
+            state.get_w(w, r::I0 + k),
+        );
     }
     state.resident -= 1;
 }
@@ -109,7 +112,11 @@ fn fill_next(state: &mut ArchState, mem: &Memory) {
     let fp = state.get(r::FP);
     for k in 0..8u8 {
         state.set_w(w, r::L0 + k, mem.read_u32(fp.wrapping_add(4 * k as u32)));
-        state.set_w(w, r::I0 + k, mem.read_u32(fp.wrapping_add(32 + 4 * k as u32)));
+        state.set_w(
+            w,
+            r::I0 + k,
+            mem.read_u32(fp.wrapping_add(32 + 4 * k as u32)),
+        );
     }
     state.resident += 1;
 }
@@ -147,7 +154,13 @@ pub fn step(state: &mut ArchState, mem: &mut Memory, seq: u64) -> Result<Step, S
     let mut is_cti = false;
 
     match instr {
-        Instr::Alu { op, cc, rd, rs1, src2 } => {
+        Instr::Alu {
+            op,
+            cc,
+            rd,
+            rs1,
+            src2,
+        } => {
             let a = state.get(rs1);
             let b = src2_val(state, src2);
             let res = exec_alu(op, a, b, state.icc, state.y);
@@ -163,7 +176,7 @@ pub fn step(state: &mut ArchState, mem: &mut Memory, seq: u64) -> Result<Step, S
         Instr::Mem { op, rd, rs1, src2 } => {
             let addr = state.get(rs1).wrapping_add(src2_val(state, src2));
             let size = op.size();
-            if addr % size as u32 != 0 {
+            if !addr.is_multiple_of(size as u32) {
                 return Err(StepError::Misaligned { pc, addr, size });
             }
             d.eff_addr = Some(addr);
@@ -212,8 +225,12 @@ pub fn step(state: &mut ArchState, mem: &mut Memory, seq: u64) -> Result<Step, S
         Instr::Jmpl { rd, rs1, src2 } => {
             is_cti = true;
             let t = state.get(rs1).wrapping_add(src2_val(state, src2));
-            if t % 4 != 0 {
-                return Err(StepError::Misaligned { pc, addr: t, size: 4 });
+            if !t.is_multiple_of(4) {
+                return Err(StepError::Misaligned {
+                    pc,
+                    addr: t,
+                    size: 4,
+                });
             }
             state.set(rd, pc);
             d.target = Some(t);
@@ -245,7 +262,12 @@ pub fn step(state: &mut ArchState, mem: &mut Memory, seq: u64) -> Result<Step, S
             d.cwp_after = state.cwp;
         }
         Instr::Fpop { op, rd, rs1, rs2 } => {
-            let res = exec_fp(op, state.fp[rs1 as usize], state.fp[rs2 as usize], state.fcc);
+            let res = exec_fp(
+                op,
+                state.fp[rs1 as usize],
+                state.fp[rs2 as usize],
+                state.fcc,
+            );
             if op == FpOp::FCmps {
                 state.fcc = res.fcc;
             } else {
@@ -276,7 +298,12 @@ pub fn step(state: &mut ArchState, mem: &mut Memory, seq: u64) -> Result<Step, S
 
     state.pc = state.npc;
     state.npc = next_npc;
-    Ok(Step { dyn_instr: d, window_trap, output, halt })
+    Ok(Step {
+        dyn_instr: d,
+        window_trap,
+        output,
+        halt,
+    })
 }
 
 #[cfg(test)]
@@ -309,18 +336,16 @@ mod tests {
 
     #[test]
     fn not_taken_branch_falls_through() {
-        let (mut st, mut mem) = machine(
-            "_start: cmp %g0, 1\n be t\n nop\n mov 5, %o1\nt: mov 7, %o2\n",
-        );
+        let (mut st, mut mem) =
+            machine("_start: cmp %g0, 1\n be t\n nop\n mov 5, %o1\nt: mov 7, %o2\n");
         run_n(&mut st, &mut mem, 4);
         assert_eq!(st.get(r::O1), 5);
     }
 
     #[test]
     fn call_links_o7_and_ret_returns() {
-        let (mut st, mut mem) = machine(
-            "_start: call f\n nop\n mov 42, %o1\n ta 0\nf: retl\n nop\n",
-        );
+        let (mut st, mut mem) =
+            machine("_start: call f\n nop\n mov 42, %o1\n ta 0\nf: retl\n nop\n");
         // call, delay, retl, delay, mov
         run_n(&mut st, &mut mem, 5);
         assert_eq!(st.get(r::O1), 42);
@@ -379,7 +404,13 @@ mod tests {
         let (mut st, mut mem) = machine("_start: mov 77, %o0\n ta 1\n");
         step(&mut st, &mut mem, 0).unwrap();
         let e = step(&mut st, &mut mem, 1).unwrap_err();
-        assert_eq!(e, StepError::SelfCheckFailed { pc: 0x1004, site: 77 });
+        assert_eq!(
+            e,
+            StepError::SelfCheckFailed {
+                pc: 0x1004,
+                site: 77
+            }
+        );
     }
 
     #[test]
@@ -421,7 +452,10 @@ mod tests {
             if let Some(Halt::Exit(code)) = s.halt {
                 let expect: u32 = (1..=depth as u32).sum();
                 assert_eq!(code, expect);
-                assert!(traps > 0, "recursion of {depth} must overflow {NWINDOWS} windows");
+                assert!(
+                    traps > 0,
+                    "recursion of {depth} must overflow {NWINDOWS} windows"
+                );
                 return;
             }
         }

@@ -10,10 +10,9 @@
 //! non-schedulable events whose cost is configurable.
 
 use dtsvliw_isa::{DynInstr, Instr, ResList};
-use serde::{Deserialize, Serialize};
 
 /// Fixed timing parameters of the Primary Processor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrimaryTiming {
     /// Pipeline depth (4 in the paper; used for mode-swap costs).
     pub stages: u32,
@@ -51,7 +50,10 @@ pub struct PipelineModel {
 impl PipelineModel {
     /// Build with the given timing.
     pub fn new(timing: PrimaryTiming) -> Self {
-        PipelineModel { timing, last_load_writes: None }
+        PipelineModel {
+            timing,
+            last_load_writes: None,
+        }
     }
 
     /// The timing parameters in use.
@@ -113,8 +115,13 @@ mod tests {
     #[test]
     fn steady_state_is_one_cycle() {
         let mut p = PipelineModel::new(PrimaryTiming::default());
-        let add =
-            di(Instr::Alu { op: AluOp::Add, cc: false, rd: 9, rs1: 9, src2: Src2::Imm(1) });
+        let add = di(Instr::Alu {
+            op: AluOp::Add,
+            cc: false,
+            rd: 9,
+            rs1: 9,
+            src2: Src2::Imm(1),
+        });
         assert_eq!(p.cycles_for(&add, false), 1);
         assert_eq!(p.cycles_for(&add, false), 1);
     }
@@ -122,11 +129,26 @@ mod tests {
     #[test]
     fn load_use_bubble_only_when_dependent() {
         let mut p = PipelineModel::new(PrimaryTiming::default());
-        let ld = di(Instr::Mem { op: MemOp::Ld, rd: 9, rs1: 10, src2: Src2::Imm(0) });
-        let use_it =
-            di(Instr::Alu { op: AluOp::Add, cc: false, rd: 8, rs1: 9, src2: Src2::Imm(0) });
-        let independent =
-            di(Instr::Alu { op: AluOp::Add, cc: false, rd: 8, rs1: 10, src2: Src2::Imm(0) });
+        let ld = di(Instr::Mem {
+            op: MemOp::Ld,
+            rd: 9,
+            rs1: 10,
+            src2: Src2::Imm(0),
+        });
+        let use_it = di(Instr::Alu {
+            op: AluOp::Add,
+            cc: false,
+            rd: 8,
+            rs1: 9,
+            src2: Src2::Imm(0),
+        });
+        let independent = di(Instr::Alu {
+            op: AluOp::Add,
+            cc: false,
+            rd: 8,
+            rs1: 10,
+            src2: Src2::Imm(0),
+        });
         assert_eq!(p.cycles_for(&ld, false), 1);
         assert_eq!(p.cycles_for(&use_it, false), 2, "dependent consumer stalls");
         p.reset();
@@ -142,7 +164,10 @@ mod tests {
     #[test]
     fn not_taken_branch_bubbles() {
         let mut p = PipelineModel::new(PrimaryTiming::default());
-        let mut br = di(Instr::Bicc { cond: Cond::E, disp22: 4 });
+        let mut br = di(Instr::Bicc {
+            cond: Cond::E,
+            disp22: 4,
+        });
         br.taken = Some(false);
         assert_eq!(p.cycles_for(&br, false), 4, "1 + 3 bubble");
         br.taken = Some(true);
@@ -152,7 +177,11 @@ mod tests {
     #[test]
     fn window_trap_cost() {
         let mut p = PipelineModel::new(PrimaryTiming::default());
-        let save = di(Instr::Save { rd: 14, rs1: 14, src2: Src2::Imm(-96) });
+        let save = di(Instr::Save {
+            rd: 14,
+            rs1: 14,
+            src2: Src2::Imm(-96),
+        });
         assert_eq!(p.cycles_for(&save, true), 25);
     }
 }

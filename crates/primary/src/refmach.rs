@@ -43,7 +43,12 @@ impl RefMachine {
     pub fn new(image: &Image) -> Self {
         let mut mem = Memory::new();
         image.load_into(&mut mem);
-        RefMachine { state: ArchState::new(image.entry), mem, retired: 0, output: Vec::new() }
+        RefMachine {
+            state: ArchState::new(image.entry),
+            mem,
+            retired: 0,
+            output: Vec::new(),
+        }
     }
 
     /// Retire one instruction.
@@ -60,7 +65,10 @@ impl RefMachine {
     pub fn run(&mut self, fuel: u64) -> Result<RunOutcome, StepError> {
         for _ in 0..fuel {
             if let Some(Halt::Exit(code)) = self.step()?.halt {
-                return Ok(RunOutcome::Halted { code, retired: self.retired });
+                return Ok(RunOutcome::Halted {
+                    code,
+                    retired: self.retired,
+                });
             }
         }
         Ok(RunOutcome::OutOfFuel)
@@ -82,7 +90,13 @@ mod tests {
         let img = assemble("_start: mov 1, %o0\n add %o0, 1, %o0\n ta 0\n").unwrap();
         let mut m = RefMachine::new(&img);
         let out = m.run(100).unwrap();
-        assert_eq!(out, RunOutcome::Halted { code: 2, retired: 3 });
+        assert_eq!(
+            out,
+            RunOutcome::Halted {
+                code: 2,
+                retired: 3
+            }
+        );
     }
 
     #[test]

@@ -159,7 +159,12 @@ skip:
     };
     // `bne skip` is taken until the last iteration; `be skip` never is.
     let mut cfg = MachineConfig::ideal(1, 1);
-    cfg.vliw_cache = dtsvliw_vliw::VliwCacheConfig { size_bytes: 6, ways: 1, width: 1, height: 1 };
+    cfg.vliw_cache = dtsvliw_vliw::VliwCacheConfig {
+        size_bytes: 6,
+        ways: 1,
+        width: 1,
+        height: 1,
+    };
     let run_cycles = |src: &str| {
         let img = assemble(src).unwrap();
         let mut m = Machine::new(cfg.clone(), &img);

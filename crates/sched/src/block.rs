@@ -4,7 +4,7 @@
 use dtsvliw_isa::insn::FuClass;
 use dtsvliw_isa::resource::RenameKind;
 use dtsvliw_isa::{DynInstr, ResList, Resource};
-use serde::{Deserialize, Serialize};
+use dtsvliw_json::{Json, ToJson};
 
 /// A trace instruction placed in a long-instruction slot.
 ///
@@ -54,7 +54,9 @@ impl ScheduledInstr {
 
     /// Does this operation write memory (a real, un-renamed store)?
     pub fn writes_memory(&self) -> bool {
-        self.writes.iter().any(|w| matches!(w, Resource::Mem { .. }))
+        self.writes
+            .iter()
+            .any(|w| matches!(w, Resource::Mem { .. }))
     }
 }
 
@@ -89,7 +91,9 @@ impl CopyInstr {
 
     /// True when one of the pairs commits a renamed store to memory.
     pub fn writes_memory(&self) -> bool {
-        self.pairs.iter().any(|(_, to)| matches!(to, Resource::Mem { .. }))
+        self.pairs
+            .iter()
+            .any(|(_, to)| matches!(to, Resource::Mem { .. }))
     }
 
     /// Functional-unit class: memory COPYs need a load/store unit, FP
@@ -97,7 +101,10 @@ impl CopyInstr {
     pub fn fu_class(&self) -> FuClass {
         if self.writes_memory() {
             FuClass::LoadStore
-        } else if self.pairs.iter().any(|(_, to)| matches!(to, Resource::Fp(_) | Resource::FpRen(_)))
+        } else if self
+            .pairs
+            .iter()
+            .any(|(_, to)| matches!(to, Resource::Fp(_) | Resource::FpRen(_)))
         {
             FuClass::Float
         } else {
@@ -181,7 +188,9 @@ pub struct LongInstr {
 impl LongInstr {
     /// An empty long instruction of `width` slots.
     pub fn empty(width: usize) -> Self {
-        LongInstr { slots: vec![None; width] }
+        LongInstr {
+            slots: vec![None; width],
+        }
     }
 
     /// Occupied slots.
@@ -206,7 +215,7 @@ impl LongInstr {
 }
 
 /// Rename-register high-water marks for one block, by pool.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RenameCounts {
     /// Integer renaming registers used.
     pub int: u32,
@@ -216,6 +225,17 @@ pub struct RenameCounts {
     pub flag: u32,
     /// Memory renaming registers used.
     pub mem: u32,
+}
+
+impl ToJson for RenameCounts {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("int", Json::U64(self.int as u64)),
+            ("fp", Json::U64(self.fp as u64)),
+            ("flag", Json::U64(self.flag as u64)),
+            ("mem", Json::U64(self.mem as u64)),
+        ])
+    }
 }
 
 impl RenameCounts {

@@ -38,4 +38,4 @@ pub mod scheduler;
 pub mod signals;
 
 pub use block::{Block, CopyInstr, LongInstr, ScheduledInstr, SlotOp};
-pub use scheduler::{InsertOutcome, SchedConfig, SchedStats, Scheduler};
+pub use scheduler::{InsertOutcome, Resolution, ResolveEvent, SchedConfig, SchedStats, Scheduler};

@@ -4,7 +4,7 @@ use crate::block::{Block, CopyInstr, LongInstr, RenameCounts, ScheduledInstr, Sl
 use dtsvliw_isa::insn::FuClass;
 use dtsvliw_isa::resource::RenameKind;
 use dtsvliw_isa::{DynInstr, ResList, Resource};
-use serde::{Deserialize, Serialize};
+use dtsvliw_json::{Json, ToJson};
 
 /// Scheduler Unit configuration: the block geometry of the paper's
 /// Figure 5 ("instructions per long instruction (width) versus long
@@ -125,7 +125,11 @@ pub(crate) struct Element {
 
 impl Element {
     fn new(width: usize) -> Self {
-        Element { li: LongInstr::empty(width), cur_tag: 0, candidate: None }
+        Element {
+            li: LongInstr::empty(width),
+            cur_tag: 0,
+            candidate: None,
+        }
     }
 }
 
@@ -138,7 +142,7 @@ pub(crate) struct Candidate {
 }
 
 /// Aggregate Scheduler Unit statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SchedStats {
     /// Blocks sealed into the VLIW Cache.
     pub blocks: u64,
@@ -171,6 +175,24 @@ impl SchedStats {
         } else {
             self.slots_filled as f64 / self.slots_total as f64
         }
+    }
+}
+
+impl ToJson for SchedStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("blocks", Json::U64(self.blocks)),
+            ("lis", Json::U64(self.lis)),
+            ("slots_filled", Json::U64(self.slots_filled)),
+            ("slots_total", Json::U64(self.slots_total)),
+            ("slot_utilisation", Json::F64(self.slot_utilisation())),
+            ("instrs", Json::U64(self.instrs)),
+            ("ignored", Json::U64(self.ignored)),
+            ("installs", Json::U64(self.installs)),
+            ("moves", Json::U64(self.moves)),
+            ("splits", Json::U64(self.splits)),
+            ("rename_hw", self.rename_hw.to_json()),
+        ])
     }
 }
 
@@ -353,7 +375,10 @@ impl Scheduler {
     }
 
     fn resolve(&mut self, i: usize) {
-        let cand = self.elems[i].candidate.as_ref().expect("resolve without candidate");
+        let cand = self.elems[i]
+            .candidate
+            .as_ref()
+            .expect("resolve without candidate");
         let op = cand.op.clone();
         let slot_here = cand.slot;
         let seq = op.d.seq;
@@ -383,9 +408,12 @@ impl Scheduler {
         // Split triggers: output dependency on the element above, anti
         // dependency on this element, control dependency (a branch in
         // this element).
-        let control = self.elems[i].li.slots.iter().enumerate().any(|(s, o)| {
-            s != slot_here && o.as_ref().is_some_and(SlotOp::is_branch)
-        });
+        let control = self.elems[i]
+            .li
+            .slots
+            .iter()
+            .enumerate()
+            .any(|(s, o)| s != slot_here && o.as_ref().is_some_and(SlotOp::is_branch));
         let mut conflicting: Vec<Resource> = Vec::new();
         if control {
             conflicting.extend(op.writes.iter().copied());
@@ -408,7 +436,10 @@ impl Scheduler {
             self.elems[i].li.slots[slot_here] = None;
             self.elems[i].candidate = None;
             let placed = self.place(i - 1, dest_slot, op);
-            self.elems[i - 1].candidate = Some(Candidate { op: placed, slot: dest_slot });
+            self.elems[i - 1].candidate = Some(Candidate {
+                op: placed,
+                slot: dest_slot,
+            });
             self.stats.moves += 1;
             self.log_event(i, seq, Resolution::MoveUp);
             return;
@@ -444,7 +475,9 @@ impl Scheduler {
             op.writes.replace(w, ren);
             pairs.push((ren, *w));
         }
-        let mem_copy = pairs.iter().any(|(_, to)| matches!(to, Resource::Mem { .. }));
+        let mem_copy = pairs
+            .iter()
+            .any(|(_, to)| matches!(to, Resource::Mem { .. }));
         let copy = CopyInstr {
             pairs,
             tag: op.tag,
@@ -457,11 +490,9 @@ impl Scheduler {
             let mut c = copy;
             if c.ls_order.is_some() {
                 let li = &self.elems[i].li;
-                let has_memop = li
-                    .slots
-                    .iter()
-                    .enumerate()
-                    .any(|(s, o)| s != slot_here && o.as_ref().is_some_and(|o| o.ls_order().is_some()));
+                let has_memop = li.slots.iter().enumerate().any(|(s, o)| {
+                    s != slot_here && o.as_ref().is_some_and(|o| o.ls_order().is_some())
+                });
                 c.cross |= has_memop;
             }
             c
@@ -469,7 +500,10 @@ impl Scheduler {
         self.elems[i].li.slots[slot_here] = Some(SlotOp::Copy(copy.clone()));
         self.elems[i].candidate = None;
         let placed = self.place(i - 1, dest_slot, op);
-        self.elems[i - 1].candidate = Some(Candidate { op: placed, slot: dest_slot });
+        self.elems[i - 1].candidate = Some(Candidate {
+            op: placed,
+            slot: dest_slot,
+        });
         self.stats.splits += 1;
         self.log_event(i, seq, Resolution::Split);
 
@@ -524,7 +558,9 @@ impl Scheduler {
     fn latency_violation(&self, pos: usize, reads: &ResList) -> bool {
         let lmax = self.cfg.latencies.max();
         for dist in 1..lmax as usize {
-            let Some(j) = pos.checked_sub(dist) else { break };
+            let Some(j) = pos.checked_sub(dist) else {
+                break;
+            };
             let violated = self.elems[j].li.ops().any(|o| {
                 let lat = match o {
                     SlotOp::Instr(i) => self.cfg.latencies.of(&i.d.instr),
@@ -541,7 +577,11 @@ impl Scheduler {
 
     fn log_event(&mut self, elem: usize, seq: u64, resolution: Resolution) {
         if let Some(ev) = &mut self.trace_events {
-            ev.push(ResolveEvent { elem, seq, resolution });
+            ev.push(ResolveEvent {
+                elem,
+                seq,
+                resolution,
+            });
         }
     }
 
@@ -607,15 +647,21 @@ impl Scheduler {
             op.ls_order = Some(self.ls_counter);
             self.ls_counter += 1;
         }
-        if matches!(d.instr, dtsvliw_isa::Instr::Save { .. } | dtsvliw_isa::Instr::Restore { .. })
-        {
+        if matches!(
+            d.instr,
+            dtsvliw_isa::Instr::Save { .. } | dtsvliw_isa::Instr::Restore { .. }
+        ) {
             self.window_sensitive = true;
         }
 
         if !join_tail && !self.elems.is_empty() && self.elems.len() < self.cfg.height {
             // Need a fresh tail element unless the block just started
             // with an empty list.
-            if !self.elems.last().map_or(true, |t| t.li.is_empty() && t.candidate.is_none()) {
+            if !self
+                .elems
+                .last()
+                .is_none_or(|t| t.li.is_empty() && t.candidate.is_none())
+            {
                 self.elems.push(Element::new(self.cfg.width));
             }
             // Multicycle producers may require latency bubbles: empty

@@ -107,7 +107,11 @@ pub fn predict(s: &Scheduler) -> Vec<ResolveEvent> {
         } else {
             None
         };
-        out.push(ResolveEvent { elem: i, seq: op.d.seq, resolution });
+        out.push(ResolveEvent {
+            elem: i,
+            seq: op.d.seq,
+            resolution,
+        });
     }
     out
 }
@@ -155,8 +159,7 @@ fn signals_for(s: &Scheduler, i: usize, reads: &ResList) -> Signals {
             o.is_none() && Some(*slot) != skip && s.config().slot_classes[*slot].accepts(class)
         })
         .count();
-    let companion_accepting =
-        skip.is_some_and(|slot| s.config().slot_classes[slot].accepts(class));
+    let companion_accepting = skip.is_some_and(|slot| s.config().slot_classes[slot].accepts(class));
     if free == 0 {
         if companion_accepting {
             sig.crd = true;
@@ -180,13 +183,10 @@ fn signals_for(s: &Scheduler, i: usize, reads: &ResList) -> Signals {
     if (sig.od || sig.ad) && !sig.cd {
         for w in op.writes.iter() {
             let conflicts_out = above.li.slots.iter().enumerate().any(|(slot, o)| {
-                Some(slot) != skip
-                    && o.as_ref()
-                        .is_some_and(|o| o.writes().contains_conflict(w))
+                Some(slot) != skip && o.as_ref().is_some_and(|o| o.writes().contains_conflict(w))
             });
             let conflicts_anti = s.elems[i].li.slots.iter().enumerate().any(|(slot, o)| {
-                slot != my_slot
-                    && o.as_ref().is_some_and(|o| o.reads().contains_conflict(w))
+                slot != my_slot && o.as_ref().is_some_and(|o| o.reads().contains_conflict(w))
             });
             if (conflicts_out || conflicts_anti) && !w.renameable() {
                 sig.unsplittable = true;
@@ -209,4 +209,3 @@ fn signals_for(s: &Scheduler, i: usize, reads: &ResList) -> Signals {
 
     sig
 }
-

@@ -112,12 +112,18 @@ fn snapshot_after_9_cycles_instruction_7_splits() {
     assert_eq!(r.len(), 4);
     assert_eq!(r[1][0], "or %o0, 8, %o3");
     assert_eq!(r[1][1], "add %o2, 4, %o2", "renamed add climbs to row 2");
-    assert!(r[2].iter().any(|c| c.starts_with("COPY")), "COPY left beside the ld: {r:?}");
+    assert!(
+        r[2].iter().any(|c| c.starts_with("COPY")),
+        "COPY left beside the ld: {r:?}"
+    );
     assert!(
         r[2].iter().any(|c| c.starts_with("subcc")),
         "redirected subcc moved beside the ld: {r:?}"
     );
-    assert_eq!(r[3], vec!["add %o1, %o0, %o1".to_string(), "ble -16".into()]);
+    assert_eq!(
+        r[3],
+        vec!["add %o1, %o0, %o1".to_string(), "ble -16".into()]
+    );
 }
 
 #[test]
@@ -171,7 +177,10 @@ fn loop_eventually_seals_blocks_with_chaining_nba() {
             blocks.push(b);
         }
     }
-    assert!(blocks.len() >= 2, "100 instructions over 3x4 blocks must seal several");
+    assert!(
+        blocks.len() >= 2,
+        "100 instructions over 3x4 blocks must seal several"
+    );
     for w in blocks.windows(2) {
         assert_eq!(
             w[0].nba_addr, w[1].tag_addr,
@@ -186,7 +195,10 @@ fn loop_eventually_seals_blocks_with_chaining_nba() {
     // The whole-run utilisation statistic is well-formed.
     let st = s.stats();
     assert!(st.slot_utilisation() > 0.0 && st.slot_utilisation() <= 1.0);
-    assert_eq!(st.ignored as usize, trace(100).iter().filter(|d| d.instr.is_nop()).count());
+    assert_eq!(
+        st.ignored as usize,
+        trace(100).iter().filter(|d| d.instr.is_nop()).count()
+    );
 }
 
 #[test]
@@ -233,5 +245,8 @@ _start:
     assert_eq!(seen[0].1, 0);
     assert_eq!(seen[1].1, 1);
     assert_eq!(seen[2].1, 2);
-    assert!(seen[2].2, "the load shared a long instruction with a store: cross set");
+    assert!(
+        seen[2].2,
+        "the load shared a long instruction with a store: cross set"
+    );
 }

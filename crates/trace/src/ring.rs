@@ -1,0 +1,158 @@
+//! Bounded flight-recorder ring buffer.
+//!
+//! Holds the most recent `capacity` events; older events are silently
+//! overwritten but counted, so a postmortem can report both what it has
+//! and how much history it lost.
+
+use crate::event::Stamped;
+
+/// Fixed-capacity ring of [`Stamped`] events.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    buf: Vec<Stamped>,
+    cap: usize,
+    /// Index the next push writes to (== oldest element once full).
+    next: usize,
+    /// Total pushes over the recorder's lifetime.
+    recorded: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        FlightRecorder {
+            buf: Vec::with_capacity(cap.min(4096)),
+            cap,
+            next: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Append an event, overwriting the oldest once full.
+    pub fn push(&mut self, ev: Stamped) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+        }
+        self.next = (self.next + 1) % self.cap;
+        self.recorded += 1;
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of events held.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total events pushed over the recorder's lifetime.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.buf.len() as u64
+    }
+
+    /// Iterate over held events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Stamped> {
+        let (newer, older) = if self.buf.len() < self.cap {
+            (&self.buf[..], &[][..])
+        } else {
+            // Full: `next` points at the oldest element.
+            let (tail, head) = self.buf.split_at(self.next);
+            (head, tail)
+        };
+        newer.iter().chain(older.iter())
+    }
+
+    /// The last `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<Stamped> {
+        let len = self.buf.len();
+        self.iter().skip(len.saturating_sub(n)).copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn ev(cycle: u64) -> Stamped {
+        Stamped {
+            cycle,
+            event: TraceEvent::AliasException { tag: cycle as u32 },
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut r = FlightRecorder::new(4);
+        for c in 0..3 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![0, 1, 2]);
+
+        for c in 3..10 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.recorded(), 10);
+        assert_eq!(r.dropped(), 6);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn tail_clamps_to_available() {
+        let mut r = FlightRecorder::new(8);
+        for c in 0..5 {
+            r.push(ev(c));
+        }
+        assert_eq!(
+            r.tail(3).iter().map(|e| e.cycle).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(r.tail(100).len(), 5);
+        assert!(r.tail(0).is_empty());
+    }
+
+    #[test]
+    fn wraparound_exactly_at_boundary() {
+        let mut r = FlightRecorder::new(3);
+        for c in 0..3 {
+            r.push(ev(c));
+        }
+        // Exactly full, no drops yet.
+        assert_eq!(r.dropped(), 0);
+        r.push(ev(3));
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.iter().map(|e| e.cycle).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let mut r = FlightRecorder::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(
+            r.tail(5).iter().map(|e| e.cycle).collect::<Vec<_>>(),
+            vec![2]
+        );
+    }
+}

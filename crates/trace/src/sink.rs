@@ -1,0 +1,384 @@
+//! Pluggable trace sinks.
+//!
+//! A sink receives every [`Stamped`] event in emission order and owns
+//! its output writer. Three formats ship with the simulator:
+//!
+//! * [`TextSink`] — one human-readable line per event.
+//! * [`JsonlSink`] — one JSON object per line (`{"cycle":…, "kind":…, …}`).
+//! * [`PerfettoSink`] — Chrome trace-event JSON: engine-mode spans on
+//!   track 0 (their durations sum exactly to the run's total cycles)
+//!   and instant events on per-component tracks. Load the file at
+//!   <https://ui.perfetto.dev> or `chrome://tracing`.
+
+use crate::event::{Stamped, TraceEvent, TRACK_NAMES};
+use dtsvliw_json::{Json, ToJson};
+use std::io::{self, BufWriter, Write};
+use std::str::FromStr;
+
+/// Output format selector (`--trace-format`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// Human-readable text lines.
+    Text,
+    /// One JSON object per line.
+    #[default]
+    Jsonl,
+    /// Chrome trace-event JSON for Perfetto.
+    Perfetto,
+}
+
+impl TraceFormat {
+    /// The `--trace-format` spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceFormat::Text => "text",
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Perfetto => "perfetto",
+        }
+    }
+}
+
+impl FromStr for TraceFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "text" => Ok(TraceFormat::Text),
+            "jsonl" => Ok(TraceFormat::Jsonl),
+            "perfetto" => Ok(TraceFormat::Perfetto),
+            other => Err(format!(
+                "unknown trace format `{other}` (expected jsonl|perfetto|text)"
+            )),
+        }
+    }
+}
+
+/// A streaming consumer of trace events.
+pub trait EventSink: Send {
+    /// Consume one event. Events arrive in nondecreasing cycle order.
+    fn record(&mut self, ev: &Stamped) -> io::Result<()>;
+
+    /// Terminate the output document and flush. `final_cycle` is the
+    /// machine's total cycle count at shutdown.
+    fn finish(&mut self, final_cycle: u64) -> io::Result<()>;
+}
+
+/// Build the sink for `format` writing to `out`.
+pub fn sink_to_writer(
+    format: TraceFormat,
+    out: Box<dyn Write + Send>,
+) -> Box<dyn EventSink + Send> {
+    match format {
+        TraceFormat::Text => Box::new(TextSink::new(out)),
+        TraceFormat::Jsonl => Box::new(JsonlSink::new(out)),
+        TraceFormat::Perfetto => Box::new(PerfettoSink::new(out)),
+    }
+}
+
+/// One human-readable line per event.
+pub struct TextSink {
+    out: BufWriter<Box<dyn Write + Send>>,
+}
+
+impl TextSink {
+    /// Text sink writing to `out`.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        TextSink {
+            out: BufWriter::new(out),
+        }
+    }
+}
+
+impl EventSink for TextSink {
+    fn record(&mut self, ev: &Stamped) -> io::Result<()> {
+        writeln!(self.out, "{ev}")
+    }
+
+    fn finish(&mut self, final_cycle: u64) -> io::Result<()> {
+        writeln!(self.out, "[{final_cycle:>12}] end_of_trace")?;
+        self.out.flush()
+    }
+}
+
+/// One JSON object per line.
+pub struct JsonlSink {
+    out: BufWriter<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// JSONL sink writing to `out`.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            out: BufWriter::new(out),
+        }
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn record(&mut self, ev: &Stamped) -> io::Result<()> {
+        writeln!(self.out, "{}", ev.to_json())
+    }
+
+    fn finish(&mut self, _final_cycle: u64) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Chrome trace-event JSON (the array form) for Perfetto.
+///
+/// Layout: one process (`pid` 1, named after the simulator), five
+/// threads. Thread 0 carries `ph:"X"` *complete* spans, one per
+/// engine-mode interval, named `primary`/`vliw`; because each
+/// [`TraceEvent::ModeSwap`] closes the previous span and
+/// [`EventSink::finish`] closes the last one at the final cycle, span
+/// durations telescope to exactly the run's total cycles. The other
+/// threads carry `ph:"i"` instants. Timestamps are machine cycles
+/// (1 "µs" in the viewer == 1 cycle).
+pub struct PerfettoSink {
+    out: BufWriter<Box<dyn Write + Send>>,
+    /// Open engine-mode span: (name, start cycle).
+    open_span: Option<(&'static str, u64)>,
+    wrote_any: bool,
+    started: bool,
+}
+
+impl PerfettoSink {
+    /// Perfetto sink writing to `out`.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        PerfettoSink {
+            out: BufWriter::new(out),
+            open_span: None,
+            wrote_any: false,
+            started: false,
+        }
+    }
+
+    fn emit(&mut self, record: Json) -> io::Result<()> {
+        if !self.started {
+            self.start()?;
+        }
+        if self.wrote_any {
+            self.out.write_all(b",\n")?;
+        }
+        self.wrote_any = true;
+        write!(self.out, "{record}")
+    }
+
+    fn start(&mut self) -> io::Result<()> {
+        self.started = true;
+        self.out.write_all(b"[\n")?;
+        // Process + thread name metadata so Perfetto labels the tracks.
+        let mut meta = vec![Json::obj([
+            ("name", Json::Str("process_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::U64(1)),
+            ("args", Json::obj([("name", Json::Str("dtsvliw".into()))])),
+        ])];
+        for (tid, name) in TRACK_NAMES.iter().enumerate() {
+            meta.push(Json::obj([
+                ("name", Json::Str("thread_name".into())),
+                ("ph", Json::Str("M".into())),
+                ("pid", Json::U64(1)),
+                ("tid", Json::U64(tid as u64)),
+                ("args", Json::obj([("name", Json::Str((*name).into()))])),
+            ]));
+        }
+        for m in meta {
+            if self.wrote_any {
+                self.out.write_all(b",\n")?;
+            }
+            self.wrote_any = true;
+            write!(self.out, "{m}")?;
+        }
+        Ok(())
+    }
+
+    fn close_span(&mut self, end_cycle: u64) -> io::Result<()> {
+        if let Some((name, start)) = self.open_span.take() {
+            let dur = end_cycle.saturating_sub(start);
+            let span = Json::obj([
+                ("name", Json::Str(name.into())),
+                ("ph", Json::Str("X".into())),
+                ("ts", Json::U64(start)),
+                ("dur", Json::U64(dur)),
+                ("pid", Json::U64(1)),
+                ("tid", Json::U64(0)),
+            ]);
+            self.emit(span)?;
+        }
+        Ok(())
+    }
+}
+
+impl EventSink for PerfettoSink {
+    fn record(&mut self, ev: &Stamped) -> io::Result<()> {
+        match ev.event {
+            TraceEvent::ModeSwap { to, .. } => {
+                self.close_span(ev.cycle)?;
+                self.open_span = Some((to.label(), ev.cycle));
+                Ok(())
+            }
+            other => {
+                let inst = Json::obj([
+                    ("name", Json::Str(other.kind().into())),
+                    ("ph", Json::Str("i".into())),
+                    ("ts", Json::U64(ev.cycle)),
+                    ("pid", Json::U64(1)),
+                    ("tid", Json::U64(other.track() as u64)),
+                    ("s", Json::Str("t".into())),
+                    ("args", Json::Obj(other.args())),
+                ]);
+                self.emit(inst)
+            }
+        }
+    }
+
+    fn finish(&mut self, final_cycle: u64) -> io::Result<()> {
+        if !self.started {
+            self.start()?;
+        }
+        self.close_span(final_cycle)?;
+        self.out.write_all(b"\n]\n")?;
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CacheKind, EngineKind};
+    use std::sync::{Arc, Mutex};
+
+    /// Shared in-memory writer for capturing sink output in tests.
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn events() -> Vec<Stamped> {
+        vec![
+            Stamped {
+                cycle: 0,
+                event: TraceEvent::ModeSwap {
+                    to: EngineKind::Primary,
+                    pc: 0x2000,
+                },
+            },
+            Stamped {
+                cycle: 5,
+                event: TraceEvent::CacheMiss {
+                    cache: CacheKind::Instruction,
+                    addr: 0x2000,
+                    penalty: 8,
+                },
+            },
+            Stamped {
+                cycle: 40,
+                event: TraceEvent::ModeSwap {
+                    to: EngineKind::Vliw,
+                    pc: 0x2010,
+                },
+            },
+            Stamped {
+                cycle: 90,
+                event: TraceEvent::ModeSwap {
+                    to: EngineKind::Primary,
+                    pc: 0x2080,
+                },
+            },
+        ]
+    }
+
+    fn run_sink(format: TraceFormat, final_cycle: u64) -> String {
+        let buf = Shared::default();
+        let mut sink = sink_to_writer(format, Box::new(buf.clone()));
+        for ev in events() {
+            sink.record(&ev).unwrap();
+        }
+        sink.finish(final_cycle).unwrap();
+        let bytes = buf.0.lock().unwrap().clone();
+        String::from_utf8(bytes).unwrap()
+    }
+
+    #[test]
+    fn jsonl_one_object_per_line() {
+        let out = run_sink(TraceFormat::Jsonl, 100);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in lines {
+            let j = Json::parse(line).expect("each line parses");
+            assert!(j.get("cycle").is_some());
+            assert!(j.get("kind").is_some());
+        }
+    }
+
+    #[test]
+    fn text_lines_are_readable() {
+        let out = run_sink(TraceFormat::Text, 100);
+        assert!(out.contains("mode_swap"));
+        assert!(out.contains("cache_miss"));
+        assert!(out.contains("end_of_trace"));
+    }
+
+    #[test]
+    fn perfetto_spans_sum_to_final_cycle() {
+        let out = run_sink(TraceFormat::Perfetto, 100);
+        let j = Json::parse(&out).expect("valid JSON document");
+        let arr = j.as_arr().expect("trace-event array");
+        let spans: Vec<&Json> = arr
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        // primary [0,40), vliw [40,90), primary [90,100).
+        assert_eq!(spans.len(), 3);
+        let total: u64 = spans
+            .iter()
+            .map(|s| s.get("dur").and_then(Json::as_u64).unwrap())
+            .sum();
+        assert_eq!(total, 100);
+        assert_eq!(spans[0].get("name").and_then(Json::as_str), Some("primary"));
+        assert_eq!(spans[1].get("name").and_then(Json::as_str), Some("vliw"));
+        // Instants carry their component track and args.
+        let inst: Vec<&Json> = arr
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+            .collect();
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst[0].get("tid").and_then(Json::as_u64), Some(4));
+        assert_eq!(
+            inst[0]
+                .get("args")
+                .and_then(|a| a.get("cache"))
+                .and_then(Json::as_str),
+            Some("icache")
+        );
+    }
+
+    #[test]
+    fn perfetto_empty_trace_is_valid_json() {
+        let buf = Shared::default();
+        let mut sink = PerfettoSink::new(Box::new(buf.clone()));
+        sink.finish(0).unwrap();
+        let out = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(Json::parse(&out).is_ok());
+    }
+
+    #[test]
+    fn format_from_str() {
+        assert_eq!("jsonl".parse::<TraceFormat>().unwrap(), TraceFormat::Jsonl);
+        assert_eq!(
+            "perfetto".parse::<TraceFormat>().unwrap(),
+            TraceFormat::Perfetto
+        );
+        assert_eq!("text".parse::<TraceFormat>().unwrap(), TraceFormat::Text);
+        assert!("csv".parse::<TraceFormat>().is_err());
+    }
+}

@@ -1,13 +1,13 @@
 //! The VLIW Cache: one block of long instructions per line (paper §3.4).
 
+use dtsvliw_json::{Json, ToJson};
 use dtsvliw_sched::Block;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// VLIW Cache geometry. Sizing follows the paper: a line stores `width ×
 /// height` decoded slots of 6 bytes each (Table 1's decoded instruction
 /// size), so a 192-Kbyte cache for an 8×8 block has 512 lines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VliwCacheConfig {
     /// Total capacity in bytes; `u32::MAX` is the "unlimited" cache used
     /// by unit tests.
@@ -26,7 +26,12 @@ pub const DECODED_INSTR_BYTES: u32 = 6;
 impl VliwCacheConfig {
     /// A cache of `size_kb` Kbytes for `width`×`height` blocks.
     pub fn kb(size_kb: u32, ways: u32, width: u32, height: u32) -> Self {
-        VliwCacheConfig { size_bytes: size_kb * 1024, ways, width, height }
+        VliwCacheConfig {
+            size_bytes: size_kb * 1024,
+            ways,
+            width,
+            height,
+        }
     }
 
     /// Bytes one line occupies.
@@ -46,7 +51,7 @@ impl VliwCacheConfig {
 }
 
 /// Hit/miss/insert counters.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct VliwCacheStats {
     /// Probes that found a matching valid block.
     pub hits: u64,
@@ -61,10 +66,35 @@ pub struct VliwCacheStats {
     pub invalidations: u64,
 }
 
+impl ToJson for VliwCacheStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("hits", Json::U64(self.hits)),
+            ("misses", Json::U64(self.misses)),
+            ("inserts", Json::U64(self.inserts)),
+            ("evictions", Json::U64(self.evictions)),
+            ("invalidations", Json::U64(self.invalidations)),
+        ])
+    }
+}
+
+/// A valid block displaced from the cache — what the machine needs to
+/// report the eviction (trace event + residence-lifetime histogram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedBlock {
+    /// Tag address of the displaced block.
+    pub tag_addr: u32,
+    /// Machine cycle the block was installed on (as passed to
+    /// [`VliwCache::insert_at`]; 0 for blocks installed via the
+    /// cycle-oblivious [`VliwCache::insert`]).
+    pub installed_cycle: u64,
+}
+
 #[derive(Debug, Clone, Default)]
 struct Line {
     block: Option<Arc<Block>>,
     lru: u64,
+    installed_cycle: u64,
 }
 
 /// The VLIW Cache.
@@ -80,7 +110,12 @@ impl VliwCache {
     /// An empty cache.
     pub fn new(config: VliwCacheConfig) -> Self {
         let n = (config.sets() * config.ways) as usize;
-        VliwCache { config, lines: vec![Line::default(); n], tick: 0, stats: VliwCacheStats::default() }
+        VliwCache {
+            config,
+            lines: vec![Line::default(); n],
+            tick: 0,
+            stats: VliwCacheStats::default(),
+        }
     }
 
     /// The configuration.
@@ -149,6 +184,14 @@ impl VliwCache {
 
     /// Insert a block sealed by the Scheduler Unit, evicting LRU.
     pub fn insert(&mut self, block: Block) {
+        self.insert_at(block, 0);
+    }
+
+    /// Like [`VliwCache::insert`], recording the current machine cycle
+    /// as the block's install time. Returns the valid block replacement
+    /// displaced, if any (a same-tag reinstall supersedes in place and
+    /// reports nothing, matching the `evictions` counter).
+    pub fn insert_at(&mut self, block: Block, now: u64) -> Option<EvictedBlock> {
         self.tick += 1;
         let tick = self.tick;
         let addr = block.tag_addr;
@@ -157,38 +200,67 @@ impl VliwCache {
         // rescheduled trace supersedes the stale one.
         let range = self.set_range(addr);
         let lines = &mut self.lines[range];
-        let victim_idx = lines
-            .iter()
-            .position(|l| l.block.as_ref().is_some_and(|b| b.tag_addr == addr && b.entry_cwp == cwp));
-        let mut evicted = false;
+        let victim_idx = lines.iter().position(|l| {
+            l.block
+                .as_ref()
+                .is_some_and(|b| b.tag_addr == addr && b.entry_cwp == cwp)
+        });
+        let mut evicted = None;
         let victim = match victim_idx {
             Some(i) => &mut lines[i],
             None => {
                 let i = (0..lines.len())
-                    .min_by_key(|&i| if lines[i].block.is_some() { lines[i].lru } else { 0 })
+                    .min_by_key(|&i| {
+                        if lines[i].block.is_some() {
+                            lines[i].lru
+                        } else {
+                            0
+                        }
+                    })
                     .unwrap();
-                evicted = lines[i].block.is_some();
+                evicted = lines[i].block.as_ref().map(|b| EvictedBlock {
+                    tag_addr: b.tag_addr,
+                    installed_cycle: lines[i].installed_cycle,
+                });
                 &mut lines[i]
             }
         };
         victim.block = Some(Arc::new(block));
         victim.lru = tick;
-        self.stats.evictions += evicted as u64;
+        victim.installed_cycle = now;
+        self.stats.evictions += evicted.is_some() as u64;
         self.stats.inserts += 1;
+        evicted
     }
 
     /// Invalidate the block tagged `addr` at window `cwp` (aliasing
     /// exception recovery, §3.11).
     pub fn invalidate(&mut self, addr: u32, cwp: u8) {
+        self.invalidate_at(addr, cwp);
+    }
+
+    /// Like [`VliwCache::invalidate`], returning the displaced block
+    /// (tagged caches hold at most one block per tag/window pair).
+    pub fn invalidate_at(&mut self, addr: u32, cwp: u8) -> Option<EvictedBlock> {
         let range = self.set_range(addr);
+        let mut gone = None;
         let mut n = 0;
         for line in &mut self.lines[range] {
-            if line.block.as_ref().is_some_and(|b| b.tag_addr == addr && b.entry_cwp == cwp) {
+            if line
+                .block
+                .as_ref()
+                .is_some_and(|b| b.tag_addr == addr && b.entry_cwp == cwp)
+            {
+                gone.get_or_insert(EvictedBlock {
+                    tag_addr: addr,
+                    installed_cycle: line.installed_cycle,
+                });
                 line.block = None;
                 n += 1;
             }
         }
         self.stats.invalidations += n;
+        gone
     }
 
     /// Number of valid blocks resident.
@@ -266,7 +338,12 @@ mod tests {
     #[test]
     fn lru_eviction_in_set() {
         // Tiny direct-ish cache: force conflict evictions.
-        let mut c = VliwCache::new(VliwCacheConfig { size_bytes: 2 * 96, ways: 2, width: 4, height: 4 });
+        let mut c = VliwCache::new(VliwCacheConfig {
+            size_bytes: 2 * 96,
+            ways: 2,
+            width: 4,
+            height: 4,
+        });
         assert_eq!(c.config().sets(), 1);
         c.insert(block(0x1000, 0));
         c.insert(block(0x2000, 0));
@@ -284,6 +361,28 @@ mod tests {
         c.invalidate(0x1000, 0);
         assert!(c.lookup(0x1000, 0, 1).is_none());
         assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn insert_at_reports_evicted_lifetime() {
+        let mut c = VliwCache::new(VliwCacheConfig {
+            size_bytes: 2 * 96,
+            ways: 2,
+            width: 4,
+            height: 4,
+        });
+        assert!(c.insert_at(block(0x1000, 0), 10).is_none());
+        assert!(c.insert_at(block(0x2000, 0), 20).is_none());
+        c.lookup(0x1000, 0, 1).unwrap(); // touch 0x1000 so 0x2000 is LRU
+        let ev = c.insert_at(block(0x3000, 0), 50).unwrap();
+        assert_eq!(ev.tag_addr, 0x2000);
+        assert_eq!(ev.installed_cycle, 20);
+        // Same-tag reinstall supersedes in place: nothing reported.
+        assert!(c.insert_at(block(0x3000, 0), 60).is_none());
+        // Invalidation reports the displaced block too.
+        let gone = c.invalidate_at(0x1000, 0).unwrap();
+        assert_eq!(gone.installed_cycle, 10);
+        assert!(c.invalidate_at(0x1000, 0).is_none());
     }
 
     #[test]

@@ -19,12 +19,12 @@ use dtsvliw_isa::cond::{Fcc, Icc};
 use dtsvliw_isa::insn::{FpOp, Instr, MemOp, Src2};
 use dtsvliw_isa::regs::phys_reg;
 use dtsvliw_isa::{ArchState, Resource};
+use dtsvliw_json::{Json, ToJson};
 use dtsvliw_mem::Memory;
 use dtsvliw_sched::{Block, CopyInstr, ScheduledInstr, SlotOp};
-use serde::{Deserialize, Serialize};
 
 /// How VLIW-mode stores reach memory (§3.11 presents both schemes).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum StoreScheme {
     /// Stores write the Data Cache immediately; overwritten data is
     /// logged in the checkpoint-recovery store list and unwound on
@@ -83,7 +83,7 @@ pub struct LiOutcome {
 }
 
 /// Aggregate VLIW Engine statistics (Table 3 columns).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Long instructions executed.
     pub lis: u64,
@@ -105,6 +105,29 @@ pub struct EngineStats {
     pub max_recovery_list: u32,
     /// High-water mark of the data store list (StoreBuffer scheme).
     pub max_data_store_list: u32,
+}
+
+impl ToJson for EngineStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("lis", Json::U64(self.lis)),
+            ("committed", Json::U64(self.committed)),
+            ("annulled", Json::U64(self.annulled)),
+            ("mispredicts", Json::U64(self.mispredicts)),
+            ("alias_exceptions", Json::U64(self.alias_exceptions)),
+            ("other_exceptions", Json::U64(self.other_exceptions)),
+            ("max_load_list", Json::U64(self.max_load_list as u64)),
+            ("max_store_list", Json::U64(self.max_store_list as u64)),
+            (
+                "max_recovery_list",
+                Json::U64(self.max_recovery_list as u64),
+            ),
+            (
+                "max_data_store_list",
+                Json::U64(self.max_data_store_list as u64),
+            ),
+        ])
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -172,6 +195,9 @@ pub struct VliwEngine {
     load_list: Vec<LsEntry>,
     store_list: Vec<LsEntry>,
     stats: EngineStats,
+    /// Stores unwound by the most recent [`VliwEngine::rollback`]
+    /// (checkpoint-recovery trace reporting).
+    last_rollback_unwound: u32,
 }
 
 impl VliwEngine {
@@ -182,7 +208,10 @@ impl VliwEngine {
 
     /// A fresh engine with an explicit store scheme.
     pub fn with_scheme(scheme: StoreScheme) -> Self {
-        VliwEngine { scheme, ..VliwEngine::default() }
+        VliwEngine {
+            scheme,
+            ..VliwEngine::default()
+        }
     }
 
     /// Read `size` bytes at `addr`, merging any staged store bytes in
@@ -213,6 +242,11 @@ impl VliwEngine {
     /// Statistics so far.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Buffered stores unwound by the most recent rollback.
+    pub fn last_rollback_unwound(&self) -> u32 {
+        self.last_rollback_unwound
     }
 
     /// Is a checkpoint active (mid-block)?
@@ -273,6 +307,7 @@ impl VliwEngine {
             mem.write(addr, size, old);
         }
         *state = shadow;
+        self.last_rollback_unwound = self.recovery.len() as u32;
         self.recovery.clear();
         // StoreBuffer scheme: annulling a block is just dropping the
         // staged stores — nothing touched memory.
@@ -286,7 +321,10 @@ impl VliwEngine {
     // -------------------------------------------------------------
 
     fn redirected(&self, s: &ScheduledInstr, orig: Resource) -> Option<Resource> {
-        s.src_renames.iter().find(|(o, _)| *o == orig).map(|(_, r)| *r)
+        s.src_renames
+            .iter()
+            .find(|(o, _)| *o == orig)
+            .map(|(_, r)| *r)
     }
 
     fn read_int(&self, s: &ScheduledInstr, state: &ArchState, reg: u8) -> u32 {
@@ -333,9 +371,15 @@ impl VliwEngine {
     // -------------------------------------------------------------
 
     fn compute_instr(&self, s: &ScheduledInstr, state: &ArchState, mem: &Memory) -> Effect {
-        let mut e = Effect { tag: s.tag, writes: s.writes, ..Effect::default() };
+        let mut e = Effect {
+            tag: s.tag,
+            writes: s.writes,
+            ..Effect::default()
+        };
         match s.d.instr {
-            Instr::Alu { op, cc, rs1, src2, .. } => {
+            Instr::Alu {
+                op, cc, rs1, src2, ..
+            } => {
                 let a = self.read_int(s, state, rs1);
                 let b = self.read_src2(s, state, src2);
                 let r = exec_alu(op, a, b, self.read_icc(s, state), state.y);
@@ -349,10 +393,11 @@ impl VliwEngine {
             }
             Instr::Sethi { imm22, .. } => e.int_res = Some(imm22 << 10),
             Instr::Mem { op, rd, rs1, src2 } => {
-                let addr =
-                    self.read_int(s, state, rs1).wrapping_add(self.read_src2(s, state, src2));
+                let addr = self
+                    .read_int(s, state, rs1)
+                    .wrapping_add(self.read_src2(s, state, src2));
                 let size = op.size();
-                if addr % size as u32 != 0 {
+                if !addr.is_multiple_of(size as u32) {
                     e.fault = true;
                     return e;
                 }
@@ -373,7 +418,11 @@ impl VliwEngine {
                         e.dcache = Some(addr);
                         e.ls_check = Some((
                             true,
-                            LsEntry { addr, size, order: s.ls_order.unwrap() },
+                            LsEntry {
+                                addr,
+                                size,
+                                order: s.ls_order.unwrap(),
+                            },
                             s.cross,
                         ));
                     }
@@ -396,7 +445,11 @@ impl VliwEngine {
                     }
                     e.ls_check = Some((
                         false,
-                        LsEntry { addr, size, order: s.ls_order.unwrap() },
+                        LsEntry {
+                            addr,
+                            size,
+                            order: s.ls_order.unwrap(),
+                        },
                         s.cross,
                     ));
                 }
@@ -423,18 +476,23 @@ impl VliwEngine {
             }
             Instr::Call { .. } => e.int_res = Some(s.d.pc),
             Instr::Jmpl { rs1, src2, .. } => {
-                let target =
-                    self.read_int(s, state, rs1).wrapping_add(self.read_src2(s, state, src2));
+                let target = self
+                    .read_int(s, state, rs1)
+                    .wrapping_add(self.read_src2(s, state, src2));
                 e.int_res = Some(s.d.pc);
                 e.branch = Some((s.d.target == Some(target), target));
             }
             Instr::Save { rs1, src2, .. } => {
-                let v = self.read_int(s, state, rs1).wrapping_add(self.read_src2(s, state, src2));
+                let v = self
+                    .read_int(s, state, rs1)
+                    .wrapping_add(self.read_src2(s, state, src2));
                 e.int_res = Some(v);
                 e.cwp_res = Some((s.d.cwp_after, 1));
             }
             Instr::Restore { rs1, src2, .. } => {
-                let v = self.read_int(s, state, rs1).wrapping_add(self.read_src2(s, state, src2));
+                let v = self
+                    .read_int(s, state, rs1)
+                    .wrapping_add(self.read_src2(s, state, src2));
                 e.int_res = Some(v);
                 e.cwp_res = Some((s.d.cwp_after, -1));
             }
@@ -450,8 +508,7 @@ impl VliwEngine {
             }
             Instr::RdY { .. } => e.int_res = Some(state.y),
             Instr::WrY { rs1, src2 } => {
-                e.y_res =
-                    Some(self.read_int(s, state, rs1) ^ self.read_src2(s, state, src2));
+                e.y_res = Some(self.read_int(s, state, rs1) ^ self.read_src2(s, state, src2));
             }
             Instr::Trap { .. } | Instr::Illegal(_) => {
                 unreachable!("non-schedulable instructions never reach the VLIW Engine")
@@ -461,7 +518,10 @@ impl VliwEngine {
     }
 
     fn compute_copy(&self, c: &CopyInstr) -> Effect {
-        let mut e = Effect { tag: c.tag, ..Effect::default() };
+        let mut e = Effect {
+            tag: c.tag,
+            ..Effect::default()
+        };
         for (from, to) in &c.pairs {
             match from {
                 Resource::IntRen(k) => e.copy_regs.push((*to, self.ren_int[*k as usize])),
@@ -474,7 +534,11 @@ impl VliwEngine {
                     e.dcache = Some(b.addr);
                     e.ls_check = Some((
                         true,
-                        LsEntry { addr: b.addr, size: b.size, order: c.ls_order.unwrap() },
+                        LsEntry {
+                            addr: b.addr,
+                            size: b.size,
+                            order: c.ls_order.unwrap(),
+                        },
                         c.cross,
                     ));
                 }
@@ -526,8 +590,11 @@ impl VliwEngine {
             .filter_map(|e| e.branch.map(|(m, t)| (e.tag, m, t)))
             .collect();
         branches.sort_by_key(|b| b.0);
-        let cutoff = branches.iter().find(|(_, matched, _)| !matched).map(|&(t, _, tgt)| (t, tgt));
-        let valid = |e: &Effect| cutoff.map_or(true, |(t, _)| e.tag <= t);
+        let cutoff = branches
+            .iter()
+            .find(|(_, matched, _)| !matched)
+            .map(|&(t, _, tgt)| (t, tgt));
+        let valid = |e: &Effect| cutoff.is_none_or(|(t, _)| e.tag <= t);
 
         let mut dcache_accesses = Vec::new();
         let mut committed = 0u32;
@@ -557,14 +624,19 @@ impl VliwEngine {
 
         // Phase 2a: aliasing checks for the valid memory ops (§3.10),
         // before anything commits.
-        let live: Vec<(bool, LsEntry, bool)> =
-            effects.iter().filter(|e| valid(e)).filter_map(|e| e.ls_check).collect();
+        let live: Vec<(bool, LsEntry, bool)> = effects
+            .iter()
+            .filter(|e| valid(e))
+            .filter_map(|e| e.ls_check)
+            .collect();
         let mut alias = false;
         for &(is_writer, entry, _) in &live {
             if is_writer {
                 // vs the other memory ops of this long instruction
                 for &(w2, e2, _) in &live {
-                    if w2 && (e2.addr, e2.order) != (entry.addr, entry.order) && overlaps(&entry, &e2)
+                    if w2
+                        && (e2.addr, e2.order) != (entry.addr, entry.order)
+                        && overlaps(&entry, &e2)
                     {
                         alias = true; // two stores to one location in one LI
                     }
@@ -585,7 +657,10 @@ impl VliwEngine {
                     }
                 }
                 // load vs store list: a younger store already executed.
-                alias |= self.store_list.iter().any(|e2| overlaps(&entry, e2) && entry.order < e2.order);
+                alias |= self
+                    .store_list
+                    .iter()
+                    .any(|e2| overlaps(&entry, e2) && entry.order < e2.order);
             }
         }
         if alias {
@@ -675,7 +750,11 @@ impl VliwEngine {
             }
             if let Some((is_writer, entry, cross)) = e.ls_check {
                 if cross {
-                    let list = if is_writer { &mut self.store_list } else { &mut self.load_list };
+                    let list = if is_writer {
+                        &mut self.store_list
+                    } else {
+                        &mut self.load_list
+                    };
                     list.push(entry);
                     self.stats.max_load_list =
                         self.stats.max_load_list.max(self.load_list.len() as u32);
@@ -700,6 +779,11 @@ impl VliwEngine {
         } else {
             LiResult::Next
         };
-        LiOutcome { result, dcache_accesses, committed, annulled }
+        LiOutcome {
+            result,
+            dcache_accesses,
+            committed,
+            annulled,
+        }
     }
 }

@@ -14,5 +14,5 @@
 pub mod cache;
 pub mod engine;
 
-pub use cache::{VliwCache, VliwCacheConfig, VliwCacheStats};
+pub use cache::{EvictedBlock, VliwCache, VliwCacheConfig, VliwCacheStats};
 pub use engine::{EngineStats, LiOutcome, LiResult, VliwEngine};

@@ -112,7 +112,9 @@ loop:
     // The final bne is not taken; everything earlier was taken. The
     // recorded directions hold on replay so no redirect fires.
     assert!(
-        !results.iter().any(|r| matches!(r, LiResult::Redirect { .. })),
+        !results
+            .iter()
+            .any(|r| matches!(r, LiResult::Redirect { .. })),
         "{results:?}"
     );
     assert_eq!(engine.stats().mispredicts, 0);
@@ -143,7 +145,7 @@ skip:
     state.set(dtsvliw_isa::regs::r::O0, 1);
     let mut engine = VliwEngine::new();
     let b = &blocks[0];
-    engine.begin_block(b, &mut state);
+    engine.begin_block(b, &state);
     let mut redirect = None;
     for li in 0..b.lis.len() {
         let out = engine.exec_li(b, li, &mut state, &mut mem);
@@ -158,7 +160,11 @@ skip:
         }
     }
     let img = assemble(src).unwrap();
-    assert_eq!(redirect, Some(img.symbol("skip").unwrap()), "redirects to the actual target");
+    assert_eq!(
+        redirect,
+        Some(img.symbol("skip").unwrap()),
+        "redirects to the actual target"
+    );
     assert_eq!(engine.stats().mispredicts, 1);
     // The wrong-path moves (11/12/13) must not commit... unless they
     // were scheduled above the branch via splitting, in which case their
@@ -197,10 +203,14 @@ _start:
         .lis
         .iter()
         .position(|li| {
-            li.ops().any(|o| matches!(o, dtsvliw_sched::SlotOp::Instr(i) if i.d.instr.is_load()))
+            li.ops()
+                .any(|o| matches!(o, dtsvliw_sched::SlotOp::Instr(i) if i.d.instr.is_load()))
         })
         .expect("load placed");
-    assert!(ld_li <= st_li, "load must not stay below the store for this test");
+    assert!(
+        ld_li <= st_li,
+        "load must not stay below the store for this test"
+    );
 
     // Poison %o1 after the set executes... simpler: replay with memory
     // pre-seeded and %o1 redirected to alias %o0 by editing entry state
@@ -269,7 +279,11 @@ work:
             "rollback must restore registers: {:?}",
             state.diff_visible(&poisoned)
         );
-        assert_eq!(mem.read_u32(0x2000), entry_mem.read_u32(0x2000), "store unwound");
+        assert_eq!(
+            mem.read_u32(0x2000),
+            entry_mem.read_u32(0x2000),
+            "store unwound"
+        );
         assert_eq!(engine.stats().alias_exceptions, 1);
     } else {
         // If the load did not cross the store in this geometry the test
@@ -300,9 +314,15 @@ loop:
     .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10
 ";
     let (blocks, mut state, mut mem, reference) = schedule_program(src, 3, 4);
-    assert!(blocks.iter().any(|b| {
-        b.lis.iter().any(|li| li.ops().any(|o| matches!(o, dtsvliw_sched::SlotOp::Copy(_))))
-    }), "the loop must produce at least one COPY");
+    assert!(
+        blocks.iter().any(|b| {
+            b.lis.iter().any(|li| {
+                li.ops()
+                    .any(|o| matches!(o, dtsvliw_sched::SlotOp::Copy(_)))
+            })
+        }),
+        "the loop must produce at least one COPY"
+    );
     let (engine, _) = run_chain(&blocks, &mut state, &mut mem);
     assert_eq!(engine.stats().mispredicts, 0);
     assert!(

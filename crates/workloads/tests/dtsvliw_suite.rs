@@ -11,7 +11,9 @@ fn all_workloads_verify_on_the_dtsvliw_machine() {
     for w in all(Scale::Test) {
         let img = w.image();
         let mut m = Machine::new(MachineConfig::ideal(8, 8), &img);
-        let out = m.run(50_000_000).unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+        let out = m
+            .run(50_000_000)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
         assert_eq!(out.exit_code, w.expected_exit, "{} exit", w.name);
         let st = m.stats();
         assert!(

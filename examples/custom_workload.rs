@@ -78,8 +78,14 @@ fn main() {
     let s2 = dif.stats();
 
     println!("{:<22}{:>12}{:>12}", "", "DTSVLIW", "DIF");
-    println!("{:<22}{:>12?}{:>12?}", "exit code", r1.exit_code, r2.exit_code);
-    println!("{:<22}{:>12}{:>12}", "instructions", s1.instructions, s2.instructions);
+    println!(
+        "{:<22}{:>12?}{:>12?}",
+        "exit code", r1.exit_code, r2.exit_code
+    );
+    println!(
+        "{:<22}{:>12}{:>12}",
+        "instructions", s1.instructions, s2.instructions
+    );
     println!("{:<22}{:>12}{:>12}", "cycles", s1.cycles, s2.cycles);
     println!("{:<22}{:>12.2}{:>12.2}", "IPC", s1.ipc(), s2.ipc());
     println!(
@@ -88,5 +94,8 @@ fn main() {
         100.0 * s1.vliw_cycle_share(),
         100.0 * s2.vliw_cycle_share()
     );
-    assert_eq!(r1.exit_code, r2.exit_code, "both machines agree architecturally");
+    assert_eq!(
+        r1.exit_code, r2.exit_code,
+        "both machines agree architecturally"
+    );
 }

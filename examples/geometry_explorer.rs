@@ -27,9 +27,17 @@ fn main() {
         "geom", "IPC", "vliw%", "blocks", "splits", "util%"
     );
 
-    for (width, height) in
-        [(1, 4), (2, 4), (4, 4), (4, 8), (8, 4), (8, 8), (8, 16), (16, 8), (16, 16)]
-    {
+    for (width, height) in [
+        (1, 4),
+        (2, 4),
+        (4, 4),
+        (4, 8),
+        (8, 4),
+        (8, 8),
+        (8, 16),
+        (16, 8),
+        (16, 16),
+    ] {
         let mut m = Machine::new(MachineConfig::ideal(width, height), &img);
         m.run(budget).expect("verified run");
         let s = m.stats();

@@ -51,7 +51,9 @@ fn main() {
     // 2 load/store, 2 FP, 2 branch), 8 long instructions per block,
     // 192-Kbyte VLIW Cache, 32-Kbyte L1 caches.
     let mut machine = Machine::new(MachineConfig::feasible_paper(), &image);
-    let outcome = machine.run(10_000_000).expect("runs (verified against the test machine)");
+    let outcome = machine
+        .run(10_000_000)
+        .expect("runs (verified against the test machine)");
 
     let stats = machine.stats();
     println!("program output : {}", machine.output_string().trim_end());

@@ -43,10 +43,15 @@ fn main() {
         sched.tick();
         sched.insert(&step.dyn_instr, machine.state.resident);
 
-        println!("--- after cycle {cycle} (completed: {}) ---", step.dyn_instr.instr);
+        println!(
+            "--- after cycle {cycle} (completed: {}) ---",
+            step.dyn_instr.instr
+        );
         for (i, row) in sched.dump().iter().enumerate() {
-            let cells: Vec<&str> =
-                row.iter().map(|c| if c.is_empty() { "·" } else { c.as_str() }).collect();
+            let cells: Vec<&str> = row
+                .iter()
+                .map(|c| if c.is_empty() { "·" } else { c.as_str() })
+                .collect();
             println!("  LI{i}: {}", cells.join("  |  "));
         }
     }

@@ -47,12 +47,20 @@ fn dtsvliw_beats_the_sequential_primary_processor() {
     vliw.run(300_000).unwrap();
 
     let mut scalar_cfg = MachineConfig::ideal(1, 1);
-    scalar_cfg.vliw_cache = dtsvliw_vliw::VliwCacheConfig { size_bytes: 6, ways: 1, width: 1, height: 1 };
+    scalar_cfg.vliw_cache = dtsvliw_vliw::VliwCacheConfig {
+        size_bytes: 6,
+        ways: 1,
+        width: 1,
+        height: 1,
+    };
     let mut scalar = Machine::new(scalar_cfg, &img);
     scalar.run(300_000).unwrap();
 
     let speedup = scalar.stats().cycles as f64 / vliw.stats().cycles as f64;
-    assert!(speedup > 1.5, "DTSVLIW speedup over sequential: {speedup:.2}x");
+    assert!(
+        speedup > 1.5,
+        "DTSVLIW speedup over sequential: {speedup:.2}x"
+    );
 }
 
 #[test]
@@ -62,7 +70,8 @@ fn vliw_cycle_share_is_high_in_steady_state() {
     let mut shares = Vec::new();
     for w in all(Scale::Test) {
         let mut m = Machine::new(MachineConfig::ideal(8, 8), &w.image());
-        m.run(2_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        m.run(2_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         shares.push(m.stats().vliw_cycle_share());
     }
     let avg = shares.iter().sum::<f64>() / shares.len() as f64;
@@ -81,7 +90,10 @@ fn dif_comparison_is_within_band() {
     let mut b = DifMachine::new(&img);
     b.run(400_000).unwrap();
     let ratio = a.stats().ipc() / b.stats().ipc();
-    assert!((0.6..=1.8).contains(&ratio), "DTSVLIW/DIF IPC ratio {ratio:.2}");
+    assert!(
+        (0.6..=1.8).contains(&ratio),
+        "DTSVLIW/DIF IPC ratio {ratio:.2}"
+    );
 }
 
 #[test]
@@ -106,7 +118,9 @@ loop:
     )
     .unwrap();
     let mut m1 = RefMachine::new(&asm);
-    let RunOutcome::Halted { code: c1, .. } = m1.run(1000).unwrap() else { panic!() };
+    let RunOutcome::Halted { code: c1, .. } = m1.run(1000).unwrap() else {
+        panic!()
+    };
 
     let cc = compile_to_image(
         "
@@ -123,7 +137,9 @@ loop:
     )
     .unwrap();
     let mut m2 = RefMachine::new(&cc);
-    let RunOutcome::Halted { code: c2, .. } = m2.run(10_000).unwrap() else { panic!() };
+    let RunOutcome::Halted { code: c2, .. } = m2.run(10_000).unwrap() else {
+        panic!()
+    };
     assert_eq!(c1, c2, "fib(20) both ways");
     assert_eq!(c2, 6765);
 }
@@ -134,8 +150,14 @@ fn stats_are_internally_consistent() {
     let mut m = Machine::new(MachineConfig::feasible_paper(), &w.image());
     m.run(500_000).unwrap();
     let s = m.stats();
-    assert_eq!(s.cycles, s.vliw_cycles + s.primary_cycles + s.overhead_cycles);
+    assert_eq!(
+        s.cycles,
+        s.vliw_cycles + s.primary_cycles + s.overhead_cycles
+    );
     assert!(s.sched.slots_filled <= s.sched.slots_total);
     assert!(s.engine.committed + s.engine.annulled > 0);
-    assert!(s.vliw_cache.inserts >= s.sched.blocks, "every sealed block is inserted");
+    assert!(
+        s.vliw_cache.inserts >= s.sched.blocks,
+        "every sealed block is inserted"
+    );
 }
