@@ -1,0 +1,147 @@
+//! Fuzz-style robustness tests for the assembler front end: arbitrary
+//! input must produce `Ok` or a typed `Err` — never a panic. The parser
+//! sits on the fault-campaign input path (`dtsvliw_faultsim` assembles
+//! workload sources at startup), so a crash here takes the whole
+//! campaign down.
+//!
+//! The seeded-PRNG sweeps below always run; the proptest-based property
+//! at the bottom is gated behind the off-by-default `proptest` feature
+//! like the rest of the suite (the external `proptest` crate is
+//! unavailable in the offline build environment).
+
+use dtsvliw_asm::assemble;
+
+/// The xorshift* generator the fault injector uses; hand-rolled here so
+/// the sweep stays deterministic without a dev-dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// Bytes drawn from the characters the tokeniser actually dispatches
+/// on, so the sweep spends its budget past the first character.
+const ALPHABET: &[u8] = b"abcxyz%!,.+-_:[]()0189 \t\n\"\\#@gosl";
+
+fn assemble_must_not_panic(src: &str) {
+    // `assemble` returning Err is fine; unwinding is the bug.
+    let _ = assemble(src);
+}
+
+/// Raw byte soup (valid UTF-8 only, as `assemble` takes `&str`).
+#[test]
+fn random_ascii_never_panics() {
+    let mut rng = Rng(0x5eed_0001);
+    for _ in 0..2000 {
+        let len = (rng.next() % 80) as usize;
+        let src: String = (0..len)
+            .map(|_| ALPHABET[(rng.next() as usize) % ALPHABET.len()] as char)
+            .collect();
+        assemble_must_not_panic(&src);
+    }
+}
+
+/// Structured soup: well-formed lines with one field replaced by junk,
+/// which reaches much deeper into operand parsing than raw bytes do.
+#[test]
+fn mutated_instructions_never_panic() {
+    let templates = [
+        "_start: add %o0, {}, %o1\n",
+        "_start: ld [{}], %o2\n",
+        "_start: st %o1, [%o0 + {}]\n",
+        "_start: set {}, %g1\n",
+        "_start: ba {}\n nop\n",
+        "{}: nop\n",
+        ".org {}\n_start: nop\n",
+        ".space {}\n",
+        "_start: {} %o0, %o1, %o2\n",
+    ];
+    let junk = [
+        "",
+        "%",
+        "%o8",
+        "%o-1",
+        "0x",
+        "0x10000000000",
+        "-",
+        "+4096",
+        "-4097",
+        "%hi",
+        "%hi(",
+        "%hi(_start",
+        "lo(x)",
+        "[",
+        "]",
+        "[[%o0]]",
+        "1 2",
+        "_",
+        "9lbl",
+        "..",
+        "\u{7f}",
+        "ta",
+        "4294967296",
+        "-2147483649",
+    ];
+    for t in templates {
+        for j in junk {
+            assemble_must_not_panic(&t.replace("{}", j));
+        }
+    }
+}
+
+/// Line-splice soup: shuffle fragments of a valid program so labels
+/// dangle, delay slots vanish, and directives land mid-instruction.
+#[test]
+fn spliced_program_fragments_never_panic() {
+    let fragments = [
+        "_start:",
+        " set 0x8000, %o0",
+        " ld [%o0 + 64], %g2",
+        "loop:",
+        " cmp %o1, 4",
+        " bl loop",
+        " nop",
+        ".align 4",
+        ".org 0x1000",
+        " ta 0",
+        "! comment",
+    ];
+    let mut rng = Rng(0x5eed_0002);
+    for _ in 0..500 {
+        let n = 1 + (rng.next() % 12) as usize;
+        let src: String = (0..n)
+            .map(|_| fragments[(rng.next() as usize) % fragments.len()])
+            .collect::<Vec<_>>()
+            .join("\n");
+        assemble_must_not_panic(&src);
+    }
+}
+
+#[cfg(feature = "proptest")]
+mod properties {
+    use super::assemble_must_not_panic;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Fully arbitrary strings — the strongest form of the
+        /// never-panic claim.
+        #[test]
+        fn arbitrary_strings_never_panic(src in ".{0,200}") {
+            assemble_must_not_panic(&src);
+        }
+
+        /// Arbitrary printable-ish lines joined with newlines, biased
+        /// toward the assembler's own vocabulary.
+        #[test]
+        fn assembler_flavoured_soup_never_panics(
+            lines in prop::collection::vec("[ -~]{0,40}", 0..10)
+        ) {
+            assemble_must_not_panic(&lines.join("\n"));
+        }
+    }
+}

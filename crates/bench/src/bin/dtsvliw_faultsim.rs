@@ -1,0 +1,467 @@
+//! `dtsvliw_faultsim` — Monte Carlo fault-injection campaigns against
+//! the DTSVLIW machine's quarantine-and-replay recovery path.
+//!
+//! ```sh
+//! dtsvliw_faultsim --seed 1 --faults 100
+//! dtsvliw_faultsim --sites cache-bit-flip,stale-nba --probability 0.1
+//! dtsvliw_faultsim --seed 1 --faults 60 --assert-resilient --out report.json
+//! ```
+//!
+//! For every enabled fault site the campaign runs a batch of seeded
+//! simulations (cycling through the workload list), each with a
+//! [`FaultPlan`] arming only that site, and classifies the outcome
+//! against a fault-free sequential reference of the same workload:
+//!
+//! * `recovered` — faults were injected, the machine detected at least
+//!   one, and the final architectural state, memory, output and exit
+//!   code all match the reference;
+//! * `benign` — faults were injected but never became architecturally
+//!   visible (and the run still matches the reference);
+//! * `silent_corruption` — the run completed but does NOT match the
+//!   reference: the fault escaped both detectors;
+//! * `aborted` — the machine returned an error (recovery failed);
+//! * `no_fault` — the seeded plan never fired this run.
+//!
+//! The JSON report is bit-reproducible for a given seed: it contains no
+//! timestamps and every random decision derives from `--seed`.
+
+use dtsvliw_asm::Image;
+use dtsvliw_core::{Machine, MachineConfig};
+use dtsvliw_faults::{FaultPlan, FaultSite, Rng64};
+use dtsvliw_json::{Json, ToJson};
+use dtsvliw_primary::RefMachine;
+use dtsvliw_workloads::Scale;
+use std::collections::HashMap;
+
+/// A synthetic stress program aimed at the recovery paths the paper
+/// workloads exercise only rarely: two memory counters incremented
+/// through load-before-store read-modify-writes at different body
+/// positions (so a truncated recovery list leaves a mid-block value
+/// that the replay *reads* before rewriting, whatever the block tag
+/// position), plus a loop-invariant load the scheduler hoists above a
+/// walking store (so a suppressed aliasing check lets a stale value
+/// commit).
+const STRESS_SRC: &str = "
+_start:
+    set 0x8000, %o0      ! base
+    mov 0, %o5           ! sum
+    mov 0, %g4           ! rep
+    st %g0, [%o0 + 64]   ! counter = 0
+    st %g0, [%o0 + 68]   ! counter2 = 0
+rep_loop:
+    mov 0, %o1           ! i = 0
+loop:
+    ld [%o0 + 64], %g2
+    add %g2, 1, %g2
+    st %g2, [%o0 + 64]   ! counter++ (early read-modify-write)
+    sll %o1, 2, %o2
+    add %o0, %o2, %o3
+    add %o1, %g4, %g5
+    st %g5, [%o3]        ! a[i] = i + rep (walking store)
+    ld [%o0 + 8], %o4    ! x = a[2]  (hoistable; collides at i == 2)
+    add %o5, %o4, %o5    ! sum += x
+    ld [%o0 + 68], %g6
+    add %g6, 1, %g6
+    st %g6, [%o0 + 68]   ! counter2++ (late read-modify-write)
+    add %o1, 1, %o1
+    cmp %o1, 4
+    bl loop
+    nop
+    add %g4, 1, %g4
+    cmp %g4, 200
+    bl rep_loop
+    nop
+    ld [%o0 + 64], %g3
+    ld [%o0 + 68], %g1
+    add %o5, %g3, %o0
+    add %o0, %g1, %o0
+    ta 0
+";
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dtsvliw_faultsim [--seed N] [--faults N] [--sites a,b,...] \
+         [--workloads a,b,...]\n\
+         \u{20}       [--probability P] [--max-per-run N] [--max N] [--max-cycles N]\n\
+         \u{20}       [--integrity] [--out PATH] [--assert-resilient]\n\
+         sites: {}",
+        FaultSite::ALL
+            .iter()
+            .map(|s| s.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn die(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+/// Fault-free sequential reference of one workload.
+struct Reference {
+    image: Image,
+    exit_code: u32,
+    retired: u64,
+    output: Vec<u8>,
+    machine: RefMachine,
+}
+
+fn reference(name: &str, image: Image, fuel: u64) -> Reference {
+    let mut m = RefMachine::new(&image);
+    match m.run(fuel) {
+        Ok(dtsvliw_primary::RunOutcome::Halted { code, retired }) => Reference {
+            image,
+            exit_code: code,
+            retired,
+            output: std::mem::take(&mut m.output),
+            machine: m,
+        },
+        Ok(dtsvliw_primary::RunOutcome::OutOfFuel) => die(format!(
+            "reference for `{name}` did not halt within {fuel} instructions"
+        )),
+        Err(e) => die(format!("reference for `{name}` faulted: {e}")),
+    }
+}
+
+#[derive(Default, Clone, Copy)]
+struct SiteReport {
+    runs: u64,
+    no_fault: u64,
+    benign: u64,
+    recovered: u64,
+    silent_corruption: u64,
+    aborted: u64,
+    injected: u64,
+    detected: u64,
+    recoveries: u64,
+    replays: u64,
+    replayed_instrs: u64,
+    scrubs: u64,
+    quarantined: u64,
+    quarantine_rejects: u64,
+}
+
+impl ToJson for SiteReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("runs", Json::U64(self.runs)),
+            ("no_fault", Json::U64(self.no_fault)),
+            ("benign", Json::U64(self.benign)),
+            ("recovered", Json::U64(self.recovered)),
+            ("silent_corruption", Json::U64(self.silent_corruption)),
+            ("aborted", Json::U64(self.aborted)),
+            ("injected", Json::U64(self.injected)),
+            ("detected", Json::U64(self.detected)),
+            ("recoveries", Json::U64(self.recoveries)),
+            ("replays", Json::U64(self.replays)),
+            ("replayed_instrs", Json::U64(self.replayed_instrs)),
+            ("scrubs", Json::U64(self.scrubs)),
+            ("quarantined", Json::U64(self.quarantined)),
+            ("quarantine_rejects", Json::U64(self.quarantine_rejects)),
+        ])
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 1u64;
+    let mut faults = 100u64;
+    let mut sites: Vec<FaultSite> = FaultSite::ALL.to_vec();
+    let mut workloads: Option<Vec<String>> = None;
+    let mut probability = 0.05f64;
+    let mut max_per_run = 2u32;
+    let mut max_instructions = 5_000_000u64;
+    let mut max_cycles = 50_000_000u64;
+    let mut integrity = false;
+    let mut out: Option<String> = None;
+    let mut assert_resilient = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--faults" => {
+                i += 1;
+                faults = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--sites" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| usage());
+                sites = list
+                    .split(',')
+                    .map(|s| {
+                        FaultSite::parse(s.trim())
+                            .unwrap_or_else(|| die(format!("unknown fault site `{s}`")))
+                    })
+                    .collect();
+            }
+            "--workloads" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| usage());
+                workloads = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--probability" => {
+                i += 1;
+                probability = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--max-per-run" => {
+                i += 1;
+                max_per_run = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--max" => {
+                i += 1;
+                max_instructions = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--max-cycles" => {
+                i += 1;
+                max_cycles = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--integrity" => integrity = true,
+            "--out" => {
+                i += 1;
+                out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--assert-resilient" => assert_resilient = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if sites.is_empty() || faults == 0 {
+        usage();
+    }
+
+    // Per-site workload rotation. The stress program leads: it is the
+    // densest source of runtime aliasing and load-before-store
+    // patterns, which `alias-false-negative` and `recovery-truncate`
+    // need in order to become architecturally visible at all.
+    let default_names: Vec<String> = {
+        let mut v = vec!["stress".to_string()];
+        v.extend(
+            dtsvliw_workloads::all(Scale::Test)
+                .iter()
+                .map(|w| w.name.to_string()),
+        );
+        v
+    };
+    let names = workloads.as_ref().unwrap_or(&default_names);
+    let names_for = |site: FaultSite| -> Vec<String> {
+        if workloads.is_some() {
+            return names.clone();
+        }
+        match site {
+            // These two manifest only under runtime aliasing /
+            // re-read-after-store; direct them at the stress program.
+            FaultSite::AliasFalseNegative | FaultSite::RecoveryTruncate => {
+                vec!["stress".to_string()]
+            }
+            _ => names.clone(),
+        }
+    };
+
+    let image_of = |name: &str| -> Image {
+        if name == "stress" {
+            dtsvliw_asm::assemble(STRESS_SRC)
+                .unwrap_or_else(|e| die(format!("stress program: {e}")))
+        } else {
+            dtsvliw_workloads::by_name(name, Scale::Test)
+                .unwrap_or_else(|| die(format!("unknown workload `{name}`")))
+                .image()
+        }
+    };
+
+    // Fault-free references, one per workload (valid as comparison
+    // baseline because faults only ever touch the DTSVLIW side).
+    let mut refs: HashMap<String, Reference> = HashMap::new();
+    for site in &sites {
+        for n in names_for(*site) {
+            if !refs.contains_key(&n) {
+                let image = image_of(&n);
+                refs.insert(n.clone(), reference(&n, image, max_instructions));
+            }
+        }
+    }
+
+    let runs_per_site = (faults / sites.len() as u64).max(1);
+    let mut reports: Vec<(FaultSite, SiteReport)> = Vec::new();
+
+    // Arming rate per site. The alias/truncate knobs are armed at block
+    // entry but only land under rare in-block conditions (a suppressable
+    // alias collision, a deep recovery list), so their arming rate is
+    // boosted to yield landed-fault counts comparable to the sites that
+    // land on every arm.
+    let site_probability = |site: FaultSite| -> f64 {
+        match site {
+            FaultSite::AliasFalseNegative | FaultSite::RecoveryTruncate => {
+                (probability * 10.0).min(1.0)
+            }
+            _ => probability,
+        }
+    };
+
+    for &site in &sites {
+        let wl = names_for(site);
+        let mut rep = SiteReport::default();
+        for run in 0..runs_per_site {
+            let name = &wl[(run as usize) % wl.len()];
+            let r = &refs[name];
+            // Independent seed per (campaign seed, site, run), drawn
+            // through SplitMix so neighbouring runs decorrelate.
+            let run_seed = Rng64::new(
+                seed ^ ((site.index() as u64 + 1) << 32) ^ run.wrapping_mul(0x9e37_79b9),
+            )
+            .next_u64();
+            let plan = FaultPlan::single(site, site_probability(site), max_per_run, run_seed);
+            let mut cfg = MachineConfig::ideal(4, 8).with_faults(plan);
+            cfg.block_integrity_check = integrity;
+            cfg.max_cycles = Some(max_cycles);
+            let mut machine = Machine::new(cfg, &r.image);
+            let outcome = machine.run(max_instructions);
+            let stats = machine.stats();
+
+            rep.runs += 1;
+            rep.injected += stats.faults.total_injected();
+            rep.detected += stats.faults.detected;
+            rep.recoveries += stats.faults.recovered;
+            rep.replays += stats.faults.replays;
+            rep.replayed_instrs += stats.faults.replayed_instrs;
+            rep.scrubs += stats.faults.scrubs;
+            rep.quarantined += stats.faults.quarantined;
+            rep.quarantine_rejects += stats.faults.quarantine_rejects;
+
+            match outcome {
+                Err(_) => rep.aborted += 1,
+                Ok(o) => {
+                    if stats.faults.total_injected() == 0 {
+                        rep.no_fault += 1;
+                        continue;
+                    }
+                    let matches = o.exit_code == Some(r.exit_code)
+                        && o.instructions == r.retired
+                        && machine.output_string().as_bytes() == r.output.as_slice()
+                        && machine.state().diff_visible(&r.machine.state).is_none()
+                        && machine.memory().first_difference(&r.machine.mem).is_none();
+                    if !matches {
+                        rep.silent_corruption += 1;
+                    } else if stats.faults.detected > 0 {
+                        rep.recovered += 1;
+                    } else {
+                        rep.benign += 1;
+                    }
+                }
+            }
+        }
+        reports.push((site, rep));
+    }
+
+    let mut totals = SiteReport::default();
+    for (_, r) in &reports {
+        totals.runs += r.runs;
+        totals.no_fault += r.no_fault;
+        totals.benign += r.benign;
+        totals.recovered += r.recovered;
+        totals.silent_corruption += r.silent_corruption;
+        totals.aborted += r.aborted;
+        totals.injected += r.injected;
+        totals.detected += r.detected;
+        totals.recoveries += r.recoveries;
+        totals.replays += r.replays;
+        totals.replayed_instrs += r.replayed_instrs;
+        totals.scrubs += r.scrubs;
+        totals.quarantined += r.quarantined;
+        totals.quarantine_rejects += r.quarantine_rejects;
+    }
+
+    let doc = Json::obj([
+        ("seed", Json::U64(seed)),
+        ("faults", Json::U64(faults)),
+        ("runs_per_site", Json::U64(runs_per_site)),
+        ("probability", Json::F64(probability)),
+        ("max_per_run", Json::U64(max_per_run as u64)),
+        ("integrity", Json::Bool(integrity)),
+        (
+            "sites",
+            Json::obj(
+                reports
+                    .iter()
+                    .map(|(s, r)| (s.label(), r.to_json()))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        ("totals", totals.to_json()),
+    ]);
+    let rendered = doc.to_string_pretty();
+    match &out {
+        Some(path) => {
+            std::fs::write(path, format!("{rendered}\n"))
+                .unwrap_or_else(|e| die(format!("writing {path}: {e}")));
+            eprintln!("(report written to {path})");
+        }
+        None => println!("{rendered}"),
+    }
+
+    println!(
+        "campaign: {} runs, {} injected, {} detected, {} recovered runs, \
+         {} benign, {} silent, {} aborted",
+        totals.runs,
+        totals.injected,
+        totals.detected,
+        totals.recovered,
+        totals.benign,
+        totals.silent_corruption,
+        totals.aborted,
+    );
+    for (s, r) in &reports {
+        println!(
+            "  {:<22} runs {:>4}  injected {:>5}  recovered {:>4}  benign {:>4}  silent {:>2}  aborted {:>2}",
+            s.label(),
+            r.runs,
+            r.injected,
+            r.recovered,
+            r.benign,
+            r.silent_corruption,
+            r.aborted,
+        );
+    }
+
+    if assert_resilient {
+        let mut bad = Vec::new();
+        if totals.silent_corruption > 0 {
+            bad.push(format!("{} silent corruptions", totals.silent_corruption));
+        }
+        if totals.aborted > 0 {
+            bad.push(format!("{} aborted runs", totals.aborted));
+        }
+        for (s, r) in &reports {
+            if r.recovered == 0 {
+                bad.push(format!("site {} recovered 0 runs", s.label()));
+            }
+        }
+        if !bad.is_empty() {
+            die(format!("resilience assertion failed: {}", bad.join("; ")));
+        }
+        println!("resilience assertion passed");
+    }
+}

@@ -29,7 +29,7 @@ use std::path::Path;
 fn usage() -> ! {
     eprintln!(
         "usage: dtsvliw_run <file.mc|file.s> [--config feasible|ideal|dif] \
-         [--geometry WxH] [--max N] [--no-verify] [--store-buffer] [--predict]\n\
+         [--geometry WxH] [--max N] [--max-cycles N] [--no-verify] [--store-buffer] [--predict]\n\
          \u{20}      dtsvliw_run --workload <name> [same options]\n\
          \u{20}      tracing: [--trace] [--trace-out PATH] [--trace-format jsonl|perfetto|text]\n\
          \u{20}               [--trace-last N] [--metrics-json PATH] [--inject-divergence]"
@@ -71,6 +71,7 @@ fn main() {
     let mut config = "feasible".to_string();
     let mut geometry = (8usize, 8usize);
     let mut max = 50_000_000u64;
+    let mut max_cycles: Option<u64> = None;
     let mut verify = true;
     let mut store_buffer = false;
     let mut predict = false;
@@ -107,6 +108,14 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
+            }
+            "--max-cycles" => {
+                i += 1;
+                max_cycles = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
             }
             "--no-verify" => verify = false,
             "--store-buffer" => store_buffer = true,
@@ -163,6 +172,7 @@ fn main() {
         other => die(format!("unknown config `{other}`")),
     };
     cfg.verify = verify;
+    cfg.max_cycles = max_cycles;
     if store_buffer {
         cfg.store_scheme = dtsvliw_vliw::engine::StoreScheme::StoreBuffer;
     }

@@ -1,6 +1,7 @@
 //! Machine configuration, with constructors for every configuration the
 //! paper evaluates.
 
+use dtsvliw_faults::FaultPlan;
 use dtsvliw_mem::CacheConfig;
 use dtsvliw_primary::PrimaryTiming;
 use dtsvliw_sched::scheduler::SchedConfig;
@@ -60,6 +61,21 @@ pub struct MachineConfig {
     /// table of (block tag → last observed next tag); a correct
     /// prediction hides the next-long-instruction miss penalty.
     pub next_block_prediction: bool,
+    /// Seeded fault-injection plan (`None` = fault-free operation).
+    pub fault_plan: Option<FaultPlan>,
+    /// Recover from lockstep-oracle divergences instead of aborting:
+    /// roll back to the checkpoint, quarantine the VLIW Cache line,
+    /// replay on the Primary Processor and continue. Requires `verify`
+    /// (the oracle is the detector).
+    pub recover_divergence: bool,
+    /// Cycles a quarantined block tag is refused re-installation.
+    pub quarantine_cooldown: u64,
+    /// Checksum blocks at install and verify at entry, catching in-SRAM
+    /// rot before execution (detection without running the block).
+    pub block_integrity_check: bool,
+    /// Forward-progress watchdog: abort with `MachineError::Watchdog`
+    /// when a run exceeds this many cycles (`None` = unbounded).
+    pub max_cycles: Option<u64>,
 }
 
 impl MachineConfig {
@@ -82,6 +98,11 @@ impl MachineConfig {
             schedule: ScheduleMode::PipelinedFcfs,
             store_scheme: StoreScheme::Checkpoint,
             next_block_prediction: false,
+            fault_plan: None,
+            recover_divergence: false,
+            quarantine_cooldown: 10_000,
+            block_integrity_check: false,
+            max_cycles: None,
         }
     }
 
@@ -115,6 +136,11 @@ impl MachineConfig {
             schedule: ScheduleMode::PipelinedFcfs,
             store_scheme: StoreScheme::Checkpoint,
             next_block_prediction: false,
+            fault_plan: None,
+            recover_divergence: false,
+            quarantine_cooldown: 10_000,
+            block_integrity_check: false,
+            max_cycles: None,
         }
     }
 
@@ -145,6 +171,11 @@ impl MachineConfig {
             schedule: ScheduleMode::PipelinedFcfs,
             store_scheme: StoreScheme::Checkpoint,
             next_block_prediction: false,
+            fault_plan: None,
+            recover_divergence: false,
+            quarantine_cooldown: 10_000,
+            block_integrity_check: false,
+            max_cycles: None,
         }
     }
 
@@ -159,6 +190,15 @@ impl MachineConfig {
         c.schedule = ScheduleMode::GreedyDif;
         c.next_li_penalty = 2;
         c
+    }
+
+    /// Arm the fault layer: thread `plan` through and turn on divergence
+    /// recovery (plus `verify`, which recovery's detection rides on).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self.recover_divergence = true;
+        self.verify = true;
+        self
     }
 }
 

@@ -3,17 +3,21 @@
 use crate::config::{MachineConfig, ScheduleMode};
 use crate::stats::RunStats;
 use dtsvliw_asm::Image;
+use dtsvliw_faults::{corrupt, FaultInjector, FaultSite, FaultStats};
 use dtsvliw_isa::ArchState;
 use dtsvliw_mem::{Cache, Memory};
 use dtsvliw_primary::interp::{step as primary_step, Halt, StepError};
 use dtsvliw_primary::{PipelineModel, RefMachine};
 use dtsvliw_sched::{Block, InsertOutcome, Resolution, Scheduler};
 use dtsvliw_trace::{CacheKind, EngineKind, EvictReason, Metrics, TraceEvent, Tracer};
-use dtsvliw_vliw::{LiResult, VliwCache, VliwEngine};
+use dtsvliw_vliw::{EngineFaults, LiResult, VliwCache, VliwEngine};
 use std::sync::Arc;
 
 /// Simulation errors. All of them indicate a broken program or a
-/// simulator defect; they never occur in a correct run.
+/// simulator defect; they never occur in a correct fault-free run.
+/// With [`MachineConfig::recover_divergence`] on, `Divergence` and
+/// `TestSyncTimeout` are consumed internally by the quarantine-and-replay
+/// path and only surface when recovery itself is impossible.
 #[derive(Debug, Clone)]
 pub enum MachineError {
     /// The interpreter faulted (illegal instruction, misaligned access,
@@ -36,6 +40,14 @@ pub enum MachineError {
         /// The PC the test machine was chasing.
         pc: u32,
     },
+    /// The forward-progress watchdog fired: the run exceeded
+    /// [`MachineConfig::max_cycles`] without halting (livelock guard).
+    Watchdog {
+        /// Cycles executed when the watchdog fired.
+        cycles: u64,
+        /// The configured ceiling.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for MachineError {
@@ -50,6 +62,12 @@ impl std::fmt::Display for MachineError {
             }
             MachineError::TestSyncTimeout { pc } => {
                 write!(f, "test machine never reached pc {pc:#x}")
+            }
+            MachineError::Watchdog { cycles, limit } => {
+                write!(
+                    f,
+                    "watchdog: {cycles} cycles exceed the {limit}-cycle limit"
+                )
             }
         }
     }
@@ -125,6 +143,25 @@ pub struct Machine {
     /// Debug hook: force a test-mode divergence at the next
     /// verification point (exercises the postmortem dump).
     inject_divergence: bool,
+    /// Seeded fault injector (from [`MachineConfig::fault_plan`]).
+    injector: Option<FaultInjector>,
+    /// Fault detection / recovery accounting.
+    faults: FaultStats,
+    /// Quarantined block lines: `(tag, entry_cwp, refuse_until_cycle)`.
+    /// A quarantined line is refused re-installation until its cooldown
+    /// expires, so a corrupting source does not reinstall the same bad
+    /// block on the very next trace pass.
+    quarantine: Vec<(u32, u8, u64)>,
+    /// Exit code observed on the test machine (the oracle may halt while
+    /// chasing a sync target during recovery; the code must survive the
+    /// scrub that follows).
+    test_halt: Option<u32>,
+    /// Engine-side fault fires already folded into the injector's
+    /// `injected` counts. The alias/truncate knobs are armed per block
+    /// entry but only *land* when the engine actually exercises them, so
+    /// injection is counted at fire time from the engine's stat deltas.
+    seen_alias_fires: u64,
+    seen_truncate_fires: u64,
 }
 
 impl Machine {
@@ -133,11 +170,13 @@ impl Machine {
     pub fn new(cfg: MachineConfig, image: &Image) -> Self {
         let mut mem = Memory::new();
         image.load_into(&mut mem);
+        let mut vcache = VliwCache::new(cfg.vliw_cache);
+        vcache.set_integrity(cfg.block_integrity_check);
         Machine {
             state: ArchState::new(image.entry),
             mem,
             sched: Scheduler::new(cfg.sched.clone()),
-            vcache: VliwCache::new(cfg.vliw_cache),
+            vcache,
             engine: VliwEngine::with_scheme(cfg.store_scheme),
             icache: Cache::new(cfg.icache),
             dcache: Cache::new(cfg.dcache),
@@ -163,6 +202,12 @@ impl Machine {
             last_swap_cycle: 0,
             tracer: None,
             inject_divergence: false,
+            injector: cfg.fault_plan.as_ref().map(FaultInjector::new),
+            faults: FaultStats::default(),
+            quarantine: Vec::new(),
+            test_halt: None,
+            seen_alias_fires: 0,
+            seen_truncate_fires: 0,
             cfg,
         }
     }
@@ -171,6 +216,14 @@ impl Machine {
     /// instructions have retired.
     pub fn run(&mut self, max_instructions: u64) -> Result<RunOutcome, MachineError> {
         while self.halted.is_none() && self.test.retired < max_instructions {
+            if let Some(limit) = self.cfg.max_cycles {
+                if self.cycles > limit {
+                    return Err(MachineError::Watchdog {
+                        cycles: self.cycles,
+                        limit,
+                    });
+                }
+            }
             match &self.mode {
                 Mode::Primary => self.step_primary()?,
                 Mode::Vliw { .. } => self.step_vliw()?,
@@ -203,6 +256,13 @@ impl Machine {
             icache: self.icache.stats(),
             dcache: self.dcache.stats(),
             metrics,
+            faults: {
+                let mut f = self.faults;
+                if let Some(inj) = &self.injector {
+                    f.injected = inj.injected();
+                }
+                f
+            },
         }
     }
 
@@ -290,7 +350,34 @@ impl Machine {
 
     /// Install a sealed block: histogram its shape, trace the install,
     /// and report any resident block the replacement displaced.
-    fn install_block(&mut self, b: Block) {
+    ///
+    /// This is also where install-time faults strike (the block is owned
+    /// and mutable here, modelling corruption on the Scheduler-Unit →
+    /// VLIW-Cache path), and where quarantined tags are refused.
+    fn install_block(&mut self, mut b: Block) {
+        if self.quarantine_active(b.tag_addr, b.entry_cwp) {
+            self.faults.quarantine_rejects += 1;
+            return;
+        }
+        if let Some(mut inj) = self.injector.take() {
+            for (site, f) in [
+                (
+                    FaultSite::StaleNba,
+                    corrupt::corrupt_nba as fn(&mut Block, &mut dtsvliw_faults::Rng64) -> bool,
+                ),
+                (FaultSite::BranchTagInvert, corrupt::invert_branch_tag),
+                (FaultSite::SchedMisSplit, corrupt::drop_copy),
+            ] {
+                if inj.roll(site) && f(&mut b, inj.rng()) {
+                    inj.note_injected(site);
+                    self.emit(TraceEvent::FaultInjected {
+                        site: site.label(),
+                        tag: b.tag_addr,
+                    });
+                }
+            }
+            self.injector = Some(inj);
+        }
         let tag = b.tag_addr;
         let lis = b.lis.len() as u32;
         let filled = b.filled_slots() as u32;
@@ -346,7 +433,19 @@ impl Machine {
     fn step_primary(&mut self) -> Result<(), MachineError> {
         let pc = self.state.pc;
         let resident_before = self.state.resident;
-        let step = primary_step(&mut self.state, &mut self.mem, self.test.retired)?;
+        let step = match primary_step(&mut self.state, &mut self.mem, self.test.retired) {
+            Ok(s) => s,
+            Err(e) => {
+                // A Primary fault on state the oracle disagrees with is
+                // fallout of an earlier silent corruption: scrub and
+                // retry. A fault on agreeing state is the program's own.
+                if self.recovery_enabled() && !self.states_match() {
+                    self.recover_in_primary();
+                    return Ok(());
+                }
+                return Err(e.into());
+            }
+        };
         let d = step.dyn_instr;
 
         // Timing: pipeline bubbles plus cache misses.
@@ -412,16 +511,29 @@ impl Machine {
         // Test machine lockstep (§4).
         let tstep = self.test.step()?;
         debug_assert_eq!(tstep.dyn_instr.pc, d.pc);
-        self.verify_states()?;
+        let mut halt = step.halt;
+        if let Err(e) = self.verify_states() {
+            if !self.recovery_enabled() {
+                return Err(e);
+            }
+            self.recover_in_primary();
+            // Once scrubbed, the oracle's halt decision is authoritative
+            // (the corrupted execution may have missed or faked one).
+            halt = tstep.halt;
+        }
 
-        if let Some(Halt::Exit(code)) = step.halt {
+        if let Some(Halt::Exit(code)) = halt {
             self.halted = Some(code);
             // End-of-run deep check: the whole memory must agree with
             // the test machine's (register comparison alone could hide
             // a silently-diverged store that nothing reloaded).
             if self.cfg.verify {
                 if let Some(addr) = self.mem.first_difference(&self.test.mem) {
-                    return Err(self.divergence(format!("memory differs at {addr:#x} at halt")));
+                    if self.recovery_enabled() {
+                        self.recover_in_primary();
+                    } else {
+                        return Err(self.divergence(format!("memory differs at {addr:#x} at halt")));
+                    }
                 }
             }
             return Ok(());
@@ -434,13 +546,18 @@ impl Machine {
             && self
                 .vcache
                 .peek(self.state.pc, self.state.cwp, self.state.resident)
+            && self.prepare_block_entry(self.state.pc)
         {
             // Grab the hit block before flushing the one under
             // construction: the flush's insert may evict the hit line.
-            let block = self
-                .vcache
-                .lookup(self.state.pc, self.state.cwp, self.state.resident)
-                .expect("peek said hit");
+            let Some(block) =
+                self.vcache
+                    .lookup(self.state.pc, self.state.cwp, self.state.resident)
+            else {
+                // peek/lookup disagreement: treat as a miss and stay on
+                // the Primary Processor rather than crash the machine.
+                return Ok(());
+            };
             if let Some(b) = self.sched.seal(self.state.pc, self.test.retired) {
                 self.install_block(b);
             }
@@ -469,6 +586,7 @@ impl Machine {
         let out = self
             .engine
             .exec_li(&block, li, &mut self.state, &mut self.mem);
+        self.note_engine_fires(block.tag_addr);
 
         // One cycle per long instruction; a data-cache miss stalls the
         // whole engine for the worst port's penalty.
@@ -518,15 +636,19 @@ impl Machine {
                 };
             }
             LiResult::BlockEnd => {
-                self.engine.commit_block(&mut self.mem);
                 let next = block.nba_addr;
                 self.state.pc = next;
                 self.state.npc = next.wrapping_add(4);
-                self.sync_test(base + block.trace_len as u64)?;
+                // Verify at the boundary *before* committing the staged
+                // stores: a detected divergence can still roll back to
+                // the block-entry checkpoint.
+                if let Err(e) = self.sync_test(base + block.trace_len as u64) {
+                    return self.recover_in_vliw(e, &block, base);
+                }
+                self.engine.commit_block(&mut self.mem);
                 self.enter_block_or_primary(next, Some(block.tag_addr))?;
             }
             LiResult::Redirect { target, branch_seq } => {
-                self.engine.commit_block(&mut self.mem);
                 self.charge_overhead(self.cfg.mispredict_bubble);
                 self.emit(TraceEvent::Mispredict {
                     pc: self.state.pc,
@@ -538,7 +660,10 @@ impl Machine {
                 // and including the mispredicting branch plus its delay
                 // slot (our scheduled CTIs always carry a nop there).
                 let rel = branch_seq - block.first_seq;
-                self.sync_test(base + rel + 2)?;
+                if let Err(e) = self.sync_test(base + rel + 2) {
+                    return self.recover_in_vliw(e, &block, base);
+                }
+                self.engine.commit_block(&mut self.mem);
                 self.enter_block_or_primary(target, Some(block.tag_addr))?;
             }
             LiResult::Exception { aliasing } => {
@@ -568,7 +693,15 @@ impl Machine {
                 self.charge_overhead(self.cfg.swap_to_primary);
                 self.note_swap(EngineKind::Primary);
                 self.mode = Mode::Primary;
-                self.verify_states()?;
+                // A damaged rollback (e.g. a truncated recovery list)
+                // leaves block-entry state wrong; the oracle sits at the
+                // same trace position, so the compare catches it here.
+                if let Err(e) = self.verify_states() {
+                    if !self.recovery_enabled() {
+                        return Err(e);
+                    }
+                    self.recover_in_primary();
+                }
             }
         }
         Ok(())
@@ -583,11 +716,18 @@ impl Machine {
             self.swap_to_primary_mode();
             return Ok(());
         }
-        if self.vcache.peek(addr, self.state.cwp, self.state.resident) {
-            let block = self
+        if self.vcache.peek(addr, self.state.cwp, self.state.resident)
+            && self.prepare_block_entry(addr)
+        {
+            let Some(block) = self
                 .vcache
                 .lookup(addr, self.state.cwp, self.state.resident)
-                .expect("peek said hit");
+            else {
+                // peek/lookup disagreement: degrade to the Primary
+                // Processor instead of crashing.
+                self.swap_to_primary_mode();
+                return Ok(());
+            };
             // Next-block prediction (§5 future work): a correct
             // prediction overlaps the next block's cache access with the
             // tail of the current one, hiding the transition penalty.
@@ -627,6 +767,238 @@ impl Machine {
         self.overhead_cycles += c as u64;
     }
 
+    // -------------------------------------------------------------
+    // Fault injection, detection and recovery
+    // -------------------------------------------------------------
+
+    /// Is graceful degradation on? Recovery rides on the lockstep oracle
+    /// as its detector, so it requires `verify`.
+    fn recovery_enabled(&self) -> bool {
+        self.cfg.recover_divergence && self.cfg.verify
+    }
+
+    /// Does the DTSVLIW's architectural state (and memory) agree with
+    /// the oracle's right now?
+    fn states_match(&self) -> bool {
+        self.state.pc == self.test.state.pc
+            && self.state.npc == self.test.state.npc
+            && self.state.diff_visible(&self.test.state).is_none()
+            && self.mem.first_difference(&self.test.mem).is_none()
+    }
+
+    /// Is `(tag, cwp)` under an unexpired quarantine? Expired entries
+    /// are pruned as a side effect.
+    fn quarantine_active(&mut self, tag: u32, cwp: u8) -> bool {
+        let now = self.cycles;
+        self.quarantine.retain(|&(.., until)| until > now);
+        self.quarantine
+            .iter()
+            .any(|&(t, c, _)| t == tag && c == cwp)
+    }
+
+    /// Evict `(tag, cwp)` from the VLIW Cache and refuse its
+    /// re-installation for the configured cooldown.
+    fn quarantine_line(&mut self, tag: u32, cwp: u8) {
+        self.faults.quarantined += 1;
+        self.quarantine
+            .push((tag, cwp, self.cycles + self.cfg.quarantine_cooldown));
+        if let Some(gone) = self.vcache.invalidate_at(tag, cwp) {
+            let lifetime = self.cycles - gone.installed_cycle;
+            self.metrics.evicted_block_lifetime.record(lifetime);
+            self.emit(TraceEvent::BlockEvict {
+                tag: gone.tag_addr,
+                reason: EvictReason::Quarantined,
+                lifetime,
+            });
+        }
+    }
+
+    /// Fault and integrity hooks at a block-entry decision (the Fetch
+    /// Unit's probe said hit, the block has not been looked up yet):
+    /// strike the resident line with any armed cache-word fault, arm the
+    /// VLIW Engine's per-entry fault knobs, then integrity-check the
+    /// line. Returns `false` when the entry must be treated as a miss
+    /// (the line failed its checksum and was quarantined).
+    fn prepare_block_entry(&mut self, addr: u32) -> bool {
+        let cwp = self.state.cwp;
+        let mut knobs = EngineFaults::default();
+        let mut flipped = false;
+        if let Some(mut inj) = self.injector.take() {
+            if inj.roll(FaultSite::CacheBitFlip) {
+                // Strike the resident copy *before* the lookup clones it
+                // out: the flip models an SRAM upset of the stored word.
+                flipped = self
+                    .vcache
+                    .with_block_mut(addr, cwp, |b| corrupt::flip_operand_bit(b, inj.rng()))
+                    .unwrap_or(false);
+                if flipped {
+                    inj.note_injected(FaultSite::CacheBitFlip);
+                }
+            }
+            // The two engine knobs are armed here but counted as
+            // injected only when they actually fire (see
+            // `note_engine_fires`): an armed one-shot that the block
+            // never exercises is not a landed fault.
+            if inj.roll(FaultSite::AliasFalseNegative) {
+                knobs.suppress_alias = true;
+                knobs.alias_list_cap = Some(2);
+            }
+            if inj.roll(FaultSite::RecoveryTruncate) {
+                knobs.truncate_recovery = true;
+            }
+            self.injector = Some(inj);
+        }
+        if flipped {
+            self.emit(TraceEvent::FaultInjected {
+                site: FaultSite::CacheBitFlip.label(),
+                tag: addr,
+            });
+        }
+        // Always re-arm, clearing any stale knob left from a previous
+        // entry whose one-shot fault never fired.
+        self.engine.arm_faults(knobs);
+        if !self.vcache.verify_block(addr, cwp) {
+            // In-SRAM rot caught by the checksum before execution:
+            // detection without a divergence. Quarantine; miss.
+            self.faults.detected += 1;
+            self.faults.recovered += 1;
+            self.quarantine_line(addr, cwp);
+            return false;
+        }
+        true
+    }
+
+    /// Fold newly-fired engine knobs (alias suppression / list capping,
+    /// recovery-list truncation) into the injector's landed-fault
+    /// counts, so campaign budgets and reports track faults that
+    /// actually struck rather than arms that expired.
+    fn note_engine_fires(&mut self, tag: u32) {
+        let es = self.engine.stats();
+        let alias = es.alias_suppressed + es.ls_list_dropped;
+        let truncate = es.recovery_truncated;
+        if alias == self.seen_alias_fires && truncate == self.seen_truncate_fires {
+            return;
+        }
+        if let Some(inj) = &mut self.injector {
+            for _ in self.seen_alias_fires..alias {
+                inj.note_injected(FaultSite::AliasFalseNegative);
+            }
+            for _ in self.seen_truncate_fires..truncate {
+                inj.note_injected(FaultSite::RecoveryTruncate);
+            }
+        }
+        for site in [
+            (alias > self.seen_alias_fires).then_some(FaultSite::AliasFalseNegative),
+            (truncate > self.seen_truncate_fires).then_some(FaultSite::RecoveryTruncate),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            self.emit(TraceEvent::FaultInjected {
+                site: site.label(),
+                tag,
+            });
+        }
+        self.seen_alias_fires = alias;
+        self.seen_truncate_fires = truncate;
+    }
+
+    /// Graceful degradation at a block boundary: the lockstep compare
+    /// (or the oracle's halt) rejected the block's architectural
+    /// effects. Roll the VLIW Engine back to its block-entry checkpoint,
+    /// quarantine the offending line, replay the span the oracle already
+    /// executed on the Primary interpreter, and verify the result —
+    /// scrubbing wholesale from the oracle if the replay cannot
+    /// reproduce its state (e.g. the checkpoint itself was damaged).
+    fn recover_in_vliw(
+        &mut self,
+        err: MachineError,
+        block: &Block,
+        base: u64,
+    ) -> Result<(), MachineError> {
+        let recoverable = matches!(
+            err,
+            MachineError::Divergence { .. } | MachineError::TestSyncTimeout { .. }
+        );
+        if !self.recovery_enabled() || !recoverable {
+            return Err(err);
+        }
+        self.faults.detected += 1;
+        self.charge_overhead(self.cfg.exception_penalty);
+        self.engine.rollback(&mut self.state, &mut self.mem);
+        self.emit(TraceEvent::CheckpointRecovery {
+            tag: block.tag_addr,
+            unwound: self.engine.last_rollback_unwound(),
+        });
+        self.quarantine_line(block.tag_addr, block.entry_cwp);
+        // Replay the span the oracle has executed since block entry.
+        // Output is discarded: the oracle's copy is authoritative and
+        // was already appended during the sync.
+        let n = self.test.retired - base;
+        let mut clean = true;
+        for k in 0..n {
+            match primary_step(&mut self.state, &mut self.mem, base + k) {
+                Ok(s) => {
+                    if s.halt.is_some() {
+                        // A halt on the final replayed instruction
+                        // mirrors the oracle halting mid-sync; earlier
+                        // means the replay went off the rails.
+                        clean = clean && k + 1 == n;
+                        break;
+                    }
+                }
+                Err(_) => {
+                    clean = false;
+                    break;
+                }
+            }
+        }
+        self.faults.replays += 1;
+        self.faults.replayed_instrs += n;
+        self.faults.replay_cycles += n;
+        self.cycles += n;
+        self.overhead_cycles += n;
+        if !clean || !self.states_match() {
+            self.scrub_from_test();
+        }
+        if let Some(code) = self.test_halt {
+            self.halted = Some(code);
+        }
+        self.faults.recovered += 1;
+        self.emit(TraceEvent::Recovery {
+            tag: block.tag_addr,
+            replayed: n as u32,
+        });
+        self.swap_to_primary_mode();
+        Ok(())
+    }
+
+    /// Graceful degradation while the Primary Processor is executing:
+    /// the divergence is fallout of an earlier silent corruption (there
+    /// is no block checkpoint to roll back to), so scrub wholesale from
+    /// the oracle and flush the scheduling list, which may hold
+    /// observations from the corrupted path.
+    fn recover_in_primary(&mut self) {
+        self.faults.detected += 1;
+        self.charge_overhead(self.cfg.exception_penalty);
+        self.scrub_from_test();
+        let _ = self.sched.seal(self.state.pc, self.test.retired);
+        self.faults.recovered += 1;
+        self.emit(TraceEvent::Recovery {
+            tag: 0,
+            replayed: 0,
+        });
+    }
+
+    /// Last-resort recovery: copy the oracle's architectural state and
+    /// memory wholesale (models a microcoded restore from the
+    /// checkpointed sequential machine).
+    fn scrub_from_test(&mut self) {
+        self.faults.scrubs += 1;
+        self.state = self.test.state.clone();
+        self.mem = self.test.mem.clone();
+    }
+
     /// Advance the test machine to trace position `target_retired` (the
     /// paper phrases this as running "until its PC becomes equal to the
     /// DTSVLIW PC"; counting trace instructions is the loop-proof form
@@ -639,10 +1011,13 @@ impl Machine {
                 // output ordering.
                 self.output.extend_from_slice(o);
             }
-            if s.halt.is_some() && self.test.retired < target_retired {
-                // The DTSVLIW cannot commit past a halt: ta is
-                // non-schedulable and never enters a block.
-                return Err(MachineError::TestSyncTimeout { pc: self.state.pc });
+            if let Some(Halt::Exit(code)) = s.halt {
+                self.test_halt = Some(code);
+                if self.test.retired < target_retired {
+                    // The DTSVLIW cannot commit past a halt: ta is
+                    // non-schedulable and never enters a block.
+                    return Err(MachineError::TestSyncTimeout { pc: self.state.pc });
+                }
             }
         }
         self.verify_states()

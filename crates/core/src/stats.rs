@@ -1,6 +1,7 @@
 //! Aggregate run statistics: everything the paper's tables and figures
 //! report.
 
+use dtsvliw_faults::FaultStats;
 use dtsvliw_json::{Json, ToJson};
 use dtsvliw_mem::CacheStats;
 use dtsvliw_sched::SchedStats;
@@ -41,6 +42,9 @@ pub struct RunStats {
     /// Metrics registry: distribution histograms and trace counters
     /// (see `dtsvliw_trace::Metrics`).
     pub metrics: Metrics,
+    /// Fault-injection and recovery accounting (all-zero when no fault
+    /// plan is armed).
+    pub faults: FaultStats,
 }
 
 impl RunStats {
@@ -83,6 +87,7 @@ impl ToJson for RunStats {
             ("icache", self.icache.to_json()),
             ("dcache", self.dcache.to_json()),
             ("metrics", self.metrics.to_json()),
+            ("faults", self.faults.to_json()),
         ])
     }
 }

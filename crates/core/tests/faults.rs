@@ -1,0 +1,232 @@
+//! End-to-end fault-injection and recovery tests: seeded faults must be
+//! detected at a block boundary, recovered by quarantine-and-replay,
+//! and leave the final architectural state identical to a fault-free
+//! reference run.
+
+use dtsvliw_core::{Machine, MachineConfig, MachineError};
+use dtsvliw_faults::{FaultPlan, FaultSite};
+use dtsvliw_primary::RefMachine;
+
+/// The faultsim stress kernel: two memory counters bumped through
+/// load-before-store read-modify-writes, a walking store colliding with
+/// a hoistable loop-invariant load, and two nested loops.
+///
+/// Two counters at *different* body positions matter: a truncated
+/// checkpoint rollback leaves mid-block values in memory, and a
+/// deterministic replay from the block tag rewrites every such value —
+/// unless it *reads* a damaged location first. Whatever the tag
+/// position, at most one counter has its store replayed before its
+/// load, so the other counter's load observes the damage.
+const STRESS_SRC: &str = "
+_start:
+    set 0x8000, %o0      ! base
+    mov 0, %o5           ! sum
+    mov 0, %g4           ! rep
+    st %g0, [%o0 + 64]   ! counter = 0
+    st %g0, [%o0 + 68]   ! counter2 = 0
+rep_loop:
+    mov 0, %o1           ! i = 0
+loop:
+    ld [%o0 + 64], %g2
+    add %g2, 1, %g2
+    st %g2, [%o0 + 64]   ! counter++ (early read-modify-write)
+    sll %o1, 2, %o2
+    add %o0, %o2, %o3
+    add %o1, %g4, %g5
+    st %g5, [%o3]        ! a[i] = i + rep (walking store)
+    ld [%o0 + 8], %o4    ! x = a[2]  (hoistable; collides at i == 2)
+    add %o5, %o4, %o5    ! sum += x
+    ld [%o0 + 68], %g6
+    add %g6, 1, %g6
+    st %g6, [%o0 + 68]   ! counter2++ (late read-modify-write)
+    add %o1, 1, %o1
+    cmp %o1, 4
+    bl loop
+    nop
+    add %g4, 1, %g4
+    cmp %g4, 40
+    bl rep_loop
+    nop
+    ld [%o0 + 64], %g3
+    ld [%o0 + 68], %g1
+    add %o5, %g3, %o0
+    add %o0, %g1, %o0
+    ta 0
+";
+
+fn stress_image() -> dtsvliw_asm::Image {
+    dtsvliw_asm::assemble(STRESS_SRC).expect("stress program assembles")
+}
+
+fn reference() -> (u32, u64) {
+    let mut m = RefMachine::new(&stress_image());
+    match m.run(10_000_000).expect("reference runs") {
+        dtsvliw_primary::RunOutcome::Halted { code, retired } => (code, retired),
+        other => panic!("reference did not halt: {other:?}"),
+    }
+}
+
+/// Run the stress program under a single-site fault plan; the run must
+/// complete with the fault-free exit code and instruction count.
+fn run_with_faults(
+    site: FaultSite,
+    seed: u64,
+    probability: f64,
+    max: u32,
+) -> dtsvliw_core::RunStats {
+    let (ref_code, ref_retired) = reference();
+    let plan = FaultPlan::single(site, probability, max, seed);
+    let mut cfg = MachineConfig::ideal(4, 8).with_faults(plan);
+    cfg.max_cycles = Some(20_000_000);
+    let mut m = Machine::new(cfg, &stress_image());
+    let out = m.run(10_000_000).expect("faulted run must still complete");
+    assert_eq!(
+        out.exit_code,
+        Some(ref_code),
+        "exit code must survive faults"
+    );
+    assert_eq!(
+        out.instructions, ref_retired,
+        "trace length must survive faults"
+    );
+    let r = RefMachine::new(&stress_image());
+    let mut rm = r;
+    rm.run(10_000_000).unwrap();
+    assert!(
+        m.state().diff_visible(&rm.state).is_none(),
+        "final registers must match the fault-free reference"
+    );
+    assert!(
+        m.memory().first_difference(&rm.mem).is_none(),
+        "final memory must match the fault-free reference"
+    );
+    m.stats()
+}
+
+#[test]
+fn stress_program_aliases_when_fault_free() {
+    // The stress kernel only stresses the alias machinery if the
+    // scheduler actually hoists the loop-invariant load above the
+    // walking store; this is the precondition the fault campaigns rely
+    // on.
+    let mut cfg = MachineConfig::ideal(4, 8);
+    cfg.max_cycles = Some(20_000_000);
+    let mut m = Machine::new(cfg, &stress_image());
+    m.run(10_000_000).expect("fault-free run");
+    let st = m.stats();
+    assert!(
+        st.engine.alias_exceptions > 0,
+        "stress kernel must provoke aliasing: {:?}",
+        st.engine
+    );
+}
+
+#[test]
+fn cache_bit_flip_is_detected_and_recovered() {
+    let st = run_with_faults(FaultSite::CacheBitFlip, 7, 0.2, 4);
+    assert!(
+        st.faults.total_injected() > 0,
+        "flips must land: {:?}",
+        st.faults
+    );
+    assert!(
+        st.faults.detected > 0,
+        "flips must be detected: {:?}",
+        st.faults
+    );
+    assert!(st.faults.recovered > 0 && st.faults.quarantined > 0);
+}
+
+#[test]
+fn stale_nba_is_detected_and_recovered() {
+    let st = run_with_faults(FaultSite::StaleNba, 3, 0.9, 4);
+    assert!(st.faults.total_injected() > 0);
+    assert!(
+        st.faults.detected > 0,
+        "stale nba must diverge: {:?}",
+        st.faults
+    );
+}
+
+#[test]
+fn alias_false_negative_is_detected_and_recovered() {
+    let st = run_with_faults(FaultSite::AliasFalseNegative, 5, 0.5, 8);
+    assert!(st.faults.total_injected() > 0);
+    assert!(
+        st.engine.alias_suppressed > 0,
+        "suppression must fire: {:?} / {:?}",
+        st.faults,
+        st.engine
+    );
+    assert!(
+        st.faults.detected > 0,
+        "suppressed alias must diverge: {:?}",
+        st.faults
+    );
+}
+
+#[test]
+fn recovery_truncate_is_detected_and_recovered() {
+    let st = run_with_faults(FaultSite::RecoveryTruncate, 11, 0.5, 8);
+    assert!(st.faults.total_injected() > 0);
+    assert!(
+        st.engine.recovery_truncated > 0,
+        "forced truncation must fire: {:?} / {:?}",
+        st.faults,
+        st.engine
+    );
+    assert!(
+        st.faults.detected > 0,
+        "truncated rollback must diverge: {:?}",
+        st.faults
+    );
+}
+
+#[test]
+fn integrity_checksum_catches_flips_at_fetch() {
+    let (ref_code, _) = reference();
+    let plan = FaultPlan::single(FaultSite::CacheBitFlip, 0.2, 4, 13);
+    let mut cfg = MachineConfig::ideal(4, 8).with_faults(plan);
+    cfg.block_integrity_check = true;
+    cfg.max_cycles = Some(20_000_000);
+    let mut m = Machine::new(cfg, &stress_image());
+    let out = m.run(10_000_000).expect("run completes");
+    assert_eq!(out.exit_code, Some(ref_code));
+    let st = m.stats();
+    if st.faults.total_injected() > 0 {
+        // Every flip strikes just before the integrity verify, so the
+        // checksum path (not the divergence path) must detect them.
+        assert!(st.faults.detected > 0, "{:?}", st.faults);
+        assert!(st.faults.quarantined > 0, "{:?}", st.faults);
+    }
+}
+
+#[test]
+fn watchdog_aborts_livelock() {
+    let src = "
+_start:
+    ba _start
+    nop
+";
+    let image = dtsvliw_asm::assemble(src).expect("livelock assembles");
+    let mut cfg = MachineConfig::ideal(4, 8);
+    cfg.max_cycles = Some(10_000);
+    let mut m = Machine::new(cfg, &image);
+    match m.run(u64::MAX) {
+        Err(MachineError::Watchdog { cycles, limit }) => {
+            assert_eq!(limit, 10_000);
+            assert!(cycles > limit);
+        }
+        other => panic!("expected watchdog, got {other:?}"),
+    }
+}
+
+#[test]
+fn campaigns_are_seed_reproducible() {
+    let a = run_with_faults(FaultSite::CacheBitFlip, 42, 0.2, 4);
+    let b = run_with_faults(FaultSite::CacheBitFlip, 42, 0.2, 4);
+    assert_eq!(a.faults.injected, b.faults.injected);
+    assert_eq!(a.faults.detected, b.faults.detected);
+    assert_eq!(a.faults.recovered, b.faults.recovered);
+    assert_eq!(a.cycles, b.cycles);
+}

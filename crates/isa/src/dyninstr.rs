@@ -72,10 +72,12 @@ impl DynInstr {
     }
 
     /// The memory resource of a load/store, using the observed address.
+    /// `None` also for a malformed record (a load/store with no observed
+    /// address), so corrupted inputs degrade instead of panicking.
     pub fn mem_resource(&self) -> Option<Resource> {
         match self.instr {
-            Instr::Mem { op, .. } => Some(Resource::Mem {
-                addr: self.eff_addr.expect("mem op without address"),
+            Instr::Mem { op, .. } => self.eff_addr.map(|addr| Resource::Mem {
+                addr,
                 size: op.size(),
             }),
             _ => None,

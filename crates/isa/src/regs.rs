@@ -121,7 +121,8 @@ pub fn parse_reg(name: &str) -> Option<u8> {
         "fp" => return Some(r::FP),
         _ => {}
     }
-    let (class, num) = s.split_at(1);
+    // `split_at` would panic on `%` alone or a multi-byte first char.
+    let (class, num) = s.split_at_checked(1)?;
     let n: u8 = num.parse().ok()?;
     let base = match class {
         "g" => 0,
@@ -199,5 +200,7 @@ mod tests {
         assert_eq!(parse_reg("%r19"), Some(19));
         assert_eq!(parse_reg("%q1"), None);
         assert_eq!(parse_reg("%o9"), None);
+        assert_eq!(parse_reg("%"), None);
+        assert_eq!(parse_reg("%é0"), None);
     }
 }

@@ -148,9 +148,7 @@ impl ResList {
 
     /// Iterate over the resources.
     pub fn iter(&self) -> impl Iterator<Item = &Resource> + '_ {
-        self.items[..self.len as usize]
-            .iter()
-            .map(|r| r.as_ref().unwrap())
+        self.items[..self.len as usize].iter().flatten()
     }
 
     /// Does any resource here conflict with any in `other`?

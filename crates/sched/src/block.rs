@@ -299,7 +299,95 @@ pub struct Block {
     pub trace_len: u32,
 }
 
+/// FNV-1a, used for [`Block::content_hash`]. `DefaultHasher` makes no
+/// cross-build stability promise; fault-campaign reports must be
+/// bit-reproducible, so the hash function is pinned here.
+struct Fnv1a(u64);
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
 impl Block {
+    /// Content checksum over everything the VLIW Engine executes:
+    /// geometry, every slot operation (instruction encoding, tags,
+    /// order/cross fields, renames) and the nba store. The VLIW Cache
+    /// records it at install time so a later integrity sweep can tell a
+    /// rotted line from a clean one. Stable across runs and builds.
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
+        let feed_d = |h: &mut Fnv1a, d: &DynInstr| {
+            h.write_u64(d.seq);
+            h.write_u32(d.pc);
+            d.instr.hash(h);
+            h.write_u8(d.cwp_before);
+            h.write_u8(d.cwp_after);
+            d.eff_addr.hash(h);
+            d.taken.hash(h);
+            d.target.hash(h);
+            h.write_u8(d.delay_is_nop as u8);
+        };
+        let feed_list = |h: &mut Fnv1a, l: &ResList| {
+            h.write_u8(l.iter().count() as u8);
+            for r in l.iter() {
+                r.hash(h);
+            }
+        };
+        h.write_u32(self.tag_addr);
+        h.write_u8(self.entry_cwp);
+        h.write_u8(self.entry_resident);
+        h.write_u8(self.window_sensitive as u8);
+        h.write_u32(self.nba_addr);
+        h.write_u64(self.first_seq);
+        h.write_u32(self.trace_len);
+        h.write_usize(self.lis.len());
+        for li in &self.lis {
+            h.write_usize(li.slots.len());
+            for slot in &li.slots {
+                match slot {
+                    None => h.write_u8(0),
+                    Some(SlotOp::Instr(s)) => {
+                        h.write_u8(1);
+                        feed_d(&mut h, &s.d);
+                        feed_list(&mut h, &s.reads);
+                        feed_list(&mut h, &s.writes);
+                        h.write_u8(s.tag);
+                        s.ls_order.hash(&mut h);
+                        h.write_u8(s.cross as u8);
+                        h.write_usize(s.src_renames.len());
+                        for (from, to) in &s.src_renames {
+                            from.hash(&mut h);
+                            to.hash(&mut h);
+                        }
+                    }
+                    Some(SlotOp::Copy(c)) => {
+                        h.write_u8(2);
+                        h.write_usize(c.pairs.len());
+                        for (from, to) in &c.pairs {
+                            from.hash(&mut h);
+                            to.hash(&mut h);
+                        }
+                        h.write_u8(c.tag);
+                        c.ls_order.hash(&mut h);
+                        h.write_u8(c.cross as u8);
+                        h.write_u64(c.orig_seq);
+                    }
+                }
+            }
+        }
+        Hasher::finish(&h)
+    }
+
     /// nba line-index field: the position of the last long instruction
     /// (the VLIW Engine switches blocks when PC's line index equals it).
     pub fn nba_line(&self) -> u8 {
@@ -318,5 +406,62 @@ impl Block {
             .flat_map(LongInstr::ops)
             .filter(|o| matches!(o, SlotOp::Instr(_)))
             .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtsvliw_isa::{DynInstr, Instr};
+
+    fn tiny_block() -> Block {
+        let mut li = LongInstr::empty(2);
+        li.slots[0] = Some(SlotOp::Instr(ScheduledInstr {
+            d: DynInstr {
+                seq: 3,
+                pc: 0x1004,
+                instr: Instr::Sethi { rd: 1, imm22: 42 },
+                cwp_before: 0,
+                cwp_after: 0,
+                eff_addr: None,
+                taken: None,
+                target: None,
+                delay_is_nop: false,
+            },
+            reads: ResList::default(),
+            writes: [Resource::Int(1)].into_iter().collect(),
+            tag: 1,
+            ls_order: None,
+            cross: false,
+            src_renames: Vec::new(),
+        }));
+        Block {
+            tag_addr: 0x1000,
+            entry_cwp: 0,
+            entry_resident: 1,
+            window_sensitive: false,
+            lis: vec![li],
+            nba_addr: 0x2000,
+            renames: RenameCounts::default(),
+            first_seq: 3,
+            trace_len: 2,
+        }
+    }
+
+    #[test]
+    fn content_hash_tracks_content() {
+        let b = tiny_block();
+        assert_eq!(b.content_hash(), b.clone().content_hash());
+        let mut nba = b.clone();
+        nba.nba_addr ^= 4;
+        assert_ne!(b.content_hash(), nba.content_hash());
+        let mut tag = b.clone();
+        if let Some(SlotOp::Instr(s)) = &mut tag.lis[0].slots[0] {
+            s.tag = 0;
+        }
+        assert_ne!(b.content_hash(), tag.content_hash());
+        let mut dropped = b.clone();
+        dropped.lis[0].slots[0] = None;
+        assert_ne!(b.content_hash(), dropped.content_hash());
     }
 }

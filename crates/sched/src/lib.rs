@@ -37,5 +37,5 @@ pub mod block;
 pub mod scheduler;
 pub mod signals;
 
-pub use block::{Block, CopyInstr, LongInstr, ScheduledInstr, SlotOp};
+pub use block::{Block, CopyInstr, LongInstr, RenameCounts, ScheduledInstr, SlotOp};
 pub use scheduler::{InsertOutcome, Resolution, ResolveEvent, SchedConfig, SchedStats, Scheduler};

@@ -52,6 +52,9 @@ pub enum EvictReason {
     Replaced,
     /// Invalidated (e.g. self-modifying code or explicit flush).
     Invalidated,
+    /// Quarantined after a detected corruption: the line is invalidated
+    /// and its tag refused re-installation for a cooldown period.
+    Quarantined,
 }
 
 impl EvictReason {
@@ -60,6 +63,7 @@ impl EvictReason {
         match self {
             EvictReason::Replaced => "replaced",
             EvictReason::Invalidated => "invalidated",
+            EvictReason::Quarantined => "quarantined",
         }
     }
 }
@@ -105,6 +109,13 @@ pub enum TraceEvent {
     /// instruction with sequence number `seq` (no free slot / dependence
     /// limit reached).
     SchedulerSplit { seq: u64, elem: u32 },
+    /// The fault layer injected a fault of kind `site` into block `tag`
+    /// (or armed one in the VLIW Engine for that block's execution).
+    FaultInjected { site: &'static str, tag: u32 },
+    /// The machine detected a corruption, rolled back, quarantined the
+    /// line and replayed `replayed` sequential instructions on the
+    /// Primary Processor before continuing.
+    Recovery { tag: u32, replayed: u32 },
 }
 
 impl TraceEvent {
@@ -122,6 +133,8 @@ impl TraceEvent {
             TraceEvent::CheckpointRecovery { .. } => "checkpoint_recovery",
             TraceEvent::CacheMiss { .. } => "cache_miss",
             TraceEvent::SchedulerSplit { .. } => "scheduler_split",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::Recovery { .. } => "recovery",
         }
     }
 
@@ -186,6 +199,18 @@ impl TraceEvent {
                     ("elem".into(), Json::U64(elem as u64)),
                 ]
             }
+            TraceEvent::FaultInjected { site, tag } => {
+                vec![
+                    ("site".into(), Json::Str(site.into())),
+                    ("tag".into(), hex(tag)),
+                ]
+            }
+            TraceEvent::Recovery { tag, replayed } => {
+                vec![
+                    ("tag".into(), hex(tag)),
+                    ("replayed".into(), Json::U64(replayed as u64)),
+                ]
+            }
         }
     }
 
@@ -200,7 +225,9 @@ impl TraceEvent {
             | TraceEvent::LiAnnul { .. }
             | TraceEvent::Mispredict { .. }
             | TraceEvent::AliasException { .. }
-            | TraceEvent::CheckpointRecovery { .. } => 3,
+            | TraceEvent::CheckpointRecovery { .. }
+            | TraceEvent::FaultInjected { .. }
+            | TraceEvent::Recovery { .. } => 3,
             TraceEvent::CacheMiss { .. } => 4,
         }
     }
@@ -332,6 +359,14 @@ mod tests {
                 penalty: 0,
             },
             TraceEvent::SchedulerSplit { seq: 0, elem: 0 },
+            TraceEvent::FaultInjected {
+                site: "cache-bit-flip",
+                tag: 0,
+            },
+            TraceEvent::Recovery {
+                tag: 0,
+                replayed: 0,
+            },
         ];
         let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();

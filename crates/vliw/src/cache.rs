@@ -95,6 +95,11 @@ struct Line {
     block: Option<Arc<Block>>,
     lru: u64,
     installed_cycle: u64,
+    /// `Block::content_hash` recorded at install time when integrity
+    /// checking is on; 0 otherwise. Deliberately *not* refreshed by
+    /// [`VliwCache::with_block_mut`]: a checksum recorded at install
+    /// detects exactly the in-SRAM decay that helper models.
+    checksum: u64,
 }
 
 /// The VLIW Cache.
@@ -104,6 +109,7 @@ pub struct VliwCache {
     lines: Vec<Line>,
     tick: u64,
     stats: VliwCacheStats,
+    integrity: bool,
 }
 
 impl VliwCache {
@@ -115,7 +121,15 @@ impl VliwCache {
             lines: vec![Line::default(); n],
             tick: 0,
             stats: VliwCacheStats::default(),
+            integrity: false,
         }
+    }
+
+    /// Record content checksums at install time so [`VliwCache::verify_block`]
+    /// can detect lines that rotted in place. Off by default: hashing
+    /// every installed block is pure overhead for fault-free runs.
+    pub fn set_integrity(&mut self, on: bool) {
+        self.integrity = on;
     }
 
     /// The configuration.
@@ -225,6 +239,11 @@ impl VliwCache {
                 &mut lines[i]
             }
         };
+        victim.checksum = if self.integrity {
+            block.content_hash()
+        } else {
+            0
+        };
         victim.block = Some(Arc::new(block));
         victim.lru = tick;
         victim.installed_cycle = now;
@@ -261,6 +280,49 @@ impl VliwCache {
         }
         self.stats.invalidations += n;
         gone
+    }
+
+    /// Mutate the resident block tagged `addr`/`cwp` in place — the
+    /// fault layer's window into the cache SRAM. Copy-on-write via
+    /// [`Arc::make_mut`], so outstanding clones of the line (a block the
+    /// VLIW Engine is already executing) keep their original content,
+    /// exactly like a latched instruction surviving an upset in the
+    /// array behind it. The install-time checksum is *not* refreshed.
+    /// Returns the closure's result, or `None` on a miss.
+    pub fn with_block_mut<R>(
+        &mut self,
+        addr: u32,
+        cwp: u8,
+        f: impl FnOnce(&mut Block) -> R,
+    ) -> Option<R> {
+        let range = self.set_range(addr);
+        for line in &mut self.lines[range] {
+            if let Some(b) = &mut line.block {
+                if b.tag_addr == addr && b.entry_cwp == cwp {
+                    return Some(f(Arc::make_mut(b)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Does the resident block tagged `addr`/`cwp` still match its
+    /// install-time checksum? `true` on a miss or when integrity
+    /// recording is off (nothing to compare against).
+    pub fn verify_block(&self, addr: u32, cwp: u8) -> bool {
+        if !self.integrity {
+            return true;
+        }
+        let ways = self.config.ways as usize;
+        let set = self.set_of(addr);
+        for line in &self.lines[set * ways..(set + 1) * ways] {
+            if let Some(b) = &line.block {
+                if b.tag_addr == addr && b.entry_cwp == cwp {
+                    return b.content_hash() == line.checksum;
+                }
+            }
+        }
+        true
     }
 
     /// Number of valid blocks resident.
@@ -383,6 +445,34 @@ mod tests {
         let gone = c.invalidate_at(0x1000, 0).unwrap();
         assert_eq!(gone.installed_cycle, 10);
         assert!(c.invalidate_at(0x1000, 0).is_none());
+    }
+
+    #[test]
+    fn integrity_detects_in_place_mutation() {
+        let mut c = cache(3072, 4);
+        c.set_integrity(true);
+        c.insert(block(0x1000, 0));
+        assert!(c.verify_block(0x1000, 0), "clean line verifies");
+        // The executing engine's clone keeps the original content...
+        let held = c.lookup(0x1000, 0, 1).unwrap();
+        let touched = c.with_block_mut(0x1000, 0, |b| {
+            b.nba_addr ^= 4;
+            b.nba_addr
+        });
+        assert_eq!(touched, Some((0x1000 + 16) ^ 4));
+        assert_eq!(held.nba_addr, 0x1000 + 16, "outstanding clone untouched");
+        // ...while the resident line no longer matches its checksum.
+        assert!(!c.verify_block(0x1000, 0));
+        assert!(c.verify_block(0x5000, 0), "miss verifies vacuously");
+        // A fresh install re-records the checksum.
+        c.insert(block(0x1000, 0));
+        assert!(c.verify_block(0x1000, 0));
+        // With recording off, mutations go unnoticed (the fault-free
+        // fast path).
+        let mut off = cache(3072, 4);
+        off.insert(block(0x2000, 0));
+        off.with_block_mut(0x2000, 0, |b| b.nba_addr ^= 4);
+        assert!(off.verify_block(0x2000, 0));
     }
 
     #[test]

@@ -105,6 +105,13 @@ pub struct EngineStats {
     pub max_recovery_list: u32,
     /// High-water mark of the data store list (StoreBuffer scheme).
     pub max_data_store_list: u32,
+    /// Aliasing exceptions swallowed by an armed fault (§3.10 false
+    /// negatives under injection; always 0 in fault-free runs).
+    pub alias_suppressed: u64,
+    /// Checkpoint-recovery lists truncated by an armed fault.
+    pub recovery_truncated: u64,
+    /// Load/store-list entries dropped by an armed list cap.
+    pub ls_list_dropped: u64,
 }
 
 impl ToJson for EngineStats {
@@ -126,8 +133,36 @@ impl ToJson for EngineStats {
                 "max_data_store_list",
                 Json::U64(self.max_data_store_list as u64),
             ),
+            ("alias_suppressed", Json::U64(self.alias_suppressed)),
+            ("recovery_truncated", Json::U64(self.recovery_truncated)),
+            ("ls_list_dropped", Json::U64(self.ls_list_dropped)),
         ])
     }
+}
+
+/// Fault knobs the machine's fault layer arms for one block execution.
+/// The `dtsvliw-faults` crate decides *when* a fault fires; the engine
+/// implements *what* happens, because the structures being damaged — the
+/// aliasing detector and the checkpoint-recovery store list — are
+/// engine-internal. All-default means fault-free operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineFaults {
+    /// Swallow the next aliasing exception the detector raises (§3.10
+    /// false negative): the inverted memory ops commit as if no alias
+    /// existed. One-shot.
+    pub suppress_alias: bool,
+    /// Cap the associative load/store lists at this many entries;
+    /// overflowing entries drop silently, blinding the detector to the
+    /// accesses they would have recorded (an undersized list).
+    pub alias_list_cap: Option<u32>,
+    /// At the next long instruction where the checkpoint-recovery store
+    /// list holds at least three entries: drop the *oldest* half of the
+    /// list (rounding up) and force a rollback through the normal
+    /// exception path. The depth gate makes the damage real: with two
+    /// same-address stores in the list, dropping the older while the
+    /// newer survives makes the rollback restore a *mid-block* value
+    /// where pre-block data belonged (§3.11 losing entries). One-shot.
+    pub truncate_recovery: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -198,6 +233,7 @@ pub struct VliwEngine {
     /// Stores unwound by the most recent [`VliwEngine::rollback`]
     /// (checkpoint-recovery trace reporting).
     last_rollback_unwound: u32,
+    faults: EngineFaults,
 }
 
 impl VliwEngine {
@@ -242,6 +278,17 @@ impl VliwEngine {
     /// Statistics so far.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Arm fault knobs for the coming block execution (pass the default
+    /// value to clear leftovers from a previous arming).
+    pub fn arm_faults(&mut self, faults: EngineFaults) {
+        self.faults = faults;
+    }
+
+    /// The currently armed fault knobs.
+    pub fn faults(&self) -> EngineFaults {
+        self.faults
     }
 
     /// Buffered stores unwound by the most recent rollback.
@@ -511,7 +558,10 @@ impl VliwEngine {
                 e.y_res = Some(self.read_int(s, state, rs1) ^ self.read_src2(s, state, src2));
             }
             Instr::Trap { .. } | Instr::Illegal(_) => {
-                unreachable!("non-schedulable instructions never reach the VLIW Engine")
+                // Non-schedulable instructions never pass the Scheduler
+                // Unit, but a corrupted block could present one; treat
+                // it as a runtime fault (rollback) rather than a panic.
+                e.fault = true;
             }
         }
         e
@@ -622,6 +672,31 @@ impl VliwEngine {
             };
         }
 
+        // Armed §3.11 fault: the checkpoint-recovery store list loses
+        // its oldest entries, then the block aborts through the normal
+        // exception path — the rollback below restores mid-block values
+        // (or nothing) where pre-block data belonged. The fault strikes
+        // a deep list only: with a shallow one the survivors still hold
+        // block-entry values and the dropped entries' locations are
+        // rewritten identically by the replay, so nothing observable is
+        // lost. A list this deep has seen repeated stores to the same
+        // location, and dropping the older entry makes the survivor
+        // restore a mid-block value where pre-block data belonged.
+        if self.faults.truncate_recovery && self.recovery.len() >= 6 {
+            self.faults.truncate_recovery = false;
+            self.stats.recovery_truncated += 1;
+            let drop = self.recovery.len().div_ceil(2);
+            self.recovery.drain(..drop);
+            self.stats.other_exceptions += 1;
+            self.rollback(state, mem);
+            return LiOutcome {
+                result: LiResult::Exception { aliasing: true },
+                dcache_accesses,
+                committed: 0,
+                annulled: 0,
+            };
+        }
+
         // Phase 2a: aliasing checks for the valid memory ops (§3.10),
         // before anything commits.
         let live: Vec<(bool, LsEntry, bool)> = effects
@@ -662,6 +737,13 @@ impl VliwEngine {
                     .iter()
                     .any(|e2| overlaps(&entry, e2) && entry.order < e2.order);
             }
+        }
+        if alias && self.faults.suppress_alias {
+            // Armed §3.10 fault: the detector misses — the inverted
+            // memory ops commit below as if no alias existed.
+            self.faults.suppress_alias = false;
+            self.stats.alias_suppressed += 1;
+            alias = false;
         }
         if alias {
             self.stats.alias_exceptions += 1;
@@ -755,7 +837,18 @@ impl VliwEngine {
                     } else {
                         &mut self.load_list
                     };
-                    list.push(entry);
+                    if self
+                        .faults
+                        .alias_list_cap
+                        .is_some_and(|cap| list.len() as u32 >= cap)
+                    {
+                        // Armed §3.10 fault: the associative list is
+                        // full; the entry is lost and the detector goes
+                        // blind to this access.
+                        self.stats.ls_list_dropped += 1;
+                    } else {
+                        list.push(entry);
+                    }
                     self.stats.max_load_list =
                         self.stats.max_load_list.max(self.load_list.len() as u32);
                     self.stats.max_store_list =

@@ -332,3 +332,188 @@ loop:
     );
     assert_eq!(state.get(dtsvliw_isa::regs::r::O1), 55);
 }
+
+// -----------------------------------------------------------------
+// Checkpoint rollback details and the engine-side fault knobs
+// (DESIGN.md §9): reverse unwind order, recovery-list high-water
+// accounting, forced list truncation, and alias-check suppression.
+// -----------------------------------------------------------------
+
+/// Two stores to the same word inside one block: the recovery list must
+/// be unwound newest-first, or the mid-block value survives rollback.
+#[test]
+fn rollback_unwinds_overlapping_stores_newest_first() {
+    let src = "
+_start:
+    set 0x3000, %o0
+    mov 1, %o1
+    mov 2, %o2
+    st %o1, [%o0]       ! A = 1  (logs old A = 0)
+    st %o2, [%o0]       ! A = 2  (logs old A = 1)
+    st %o1, [%o0 + 4]   ! B = 1  (logs old B = 0)
+    ta 0
+";
+    let (blocks, entry_state, entry_mem, _) = schedule_program(src, 2, 16);
+    assert_eq!(blocks.len(), 1);
+    let b = &blocks[0];
+
+    let mut state = entry_state.clone();
+    let mut mem = entry_mem.clone();
+    let mut engine = VliwEngine::new();
+    engine.begin_block(b, &state);
+    for li in 0..b.lis.len() {
+        if let LiResult::BlockEnd | LiResult::Redirect { .. } =
+            engine.exec_li(b, li, &mut state, &mut mem).result
+        {
+            break;
+        }
+    }
+    assert_eq!(mem.read_u32(0x3000), 2, "both stores executed");
+    assert_eq!(
+        engine.stats().max_recovery_list,
+        3,
+        "three old values logged"
+    );
+
+    // Abandon the block instead of committing: every store must unwind.
+    engine.rollback(&mut state, &mut mem);
+    assert_eq!(engine.last_rollback_unwound(), 3);
+    assert_eq!(
+        mem.read_u32(0x3000),
+        entry_mem.read_u32(0x3000),
+        "reverse unwind must surface the oldest logged value"
+    );
+    assert_eq!(mem.read_u32(0x3004), entry_mem.read_u32(0x3004));
+    assert!(
+        state.diff_visible(&entry_state).is_none(),
+        "registers restored from the shadow checkpoint"
+    );
+}
+
+/// The armed §3.11 truncation fault must abort the block through the
+/// exception path and leave visibly corrupt memory behind (mid-block
+/// values where pre-block data belonged).
+#[test]
+fn truncate_recovery_fault_corrupts_rollback() {
+    let src = "
+_start:
+    set 0x3000, %o0
+    mov 1, %o1
+    st %o1, [%o0]
+    st %o1, [%o0 + 4]
+    st %o1, [%o0]
+    st %o1, [%o0 + 4]
+    st %o1, [%o0]
+    st %o1, [%o0 + 4]
+    st %o1, [%o0]
+    ta 0
+";
+    let (blocks, entry_state, entry_mem, _) = schedule_program(src, 2, 16);
+    assert_eq!(blocks.len(), 1);
+    let b = &blocks[0];
+
+    let mut state = entry_state.clone();
+    let mut mem = entry_mem.clone();
+    let mut engine = VliwEngine::new();
+    engine.arm_faults(dtsvliw_vliw::EngineFaults {
+        truncate_recovery: true,
+        ..Default::default()
+    });
+    engine.begin_block(b, &state);
+    let mut excepted = false;
+    for li in 0..b.lis.len() {
+        match engine.exec_li(b, li, &mut state, &mut mem).result {
+            LiResult::Exception { aliasing } => {
+                assert!(aliasing, "truncation aborts through the alias path");
+                excepted = true;
+                break;
+            }
+            LiResult::BlockEnd => break,
+            _ => {}
+        }
+    }
+    assert!(excepted, "a 7-store block must reach the >= 6 entry gate");
+    assert_eq!(engine.stats().recovery_truncated, 1);
+    assert!(!engine.faults().truncate_recovery, "knob is one-shot");
+    // The dropped oldest entries logged A = 0 / B = 0; the survivors
+    // all logged the mid-block value 1, so rollback restores 1 where 0
+    // belonged.
+    assert_eq!(mem.read_u32(0x3000), 1, "truncated rollback leaves damage");
+    assert!(
+        state.diff_visible(&entry_state).is_none(),
+        "registers still restore from the (undamaged) shadow checkpoint"
+    );
+}
+
+/// The armed alias false-negative knob must swallow exactly one aliasing
+/// exception: the block commits with the stale hoisted load.
+#[test]
+fn suppress_alias_swallows_one_aliasing_exception() {
+    let src = "
+_start:
+    set 0x2000, %o0
+    set 0x2100, %o1
+    call work
+    nop
+    ta 0
+work:
+    mov 42, %o2
+    st %o2, [%o0]
+    ld [%o1], %o3
+    add %o3, 1, %o4
+    retl
+    nop
+";
+    let img = assemble(src).unwrap();
+    let mut m = RefMachine::new(&img);
+    let work = img.symbol("work").unwrap();
+    while m.state.pc != work {
+        m.step().unwrap();
+    }
+    let entry_state = m.state.clone();
+    let entry_mem = m.mem.clone();
+    let mut s = Scheduler::new(SchedConfig::homogeneous(2, 8));
+    let mut blocks = Vec::new();
+    for _ in 0..4 {
+        let st = m.step().unwrap();
+        s.tick();
+        if let InsertOutcome::Inserted(Some(bk)) = s.insert(&st.dyn_instr, m.state.resident) {
+            blocks.push(bk);
+        }
+    }
+    blocks.extend(s.seal(0, u64::MAX / 2));
+    assert_eq!(blocks.len(), 1);
+    let b = &blocks[0];
+
+    // Replay with %o1 == %o0 so the hoisted load aliases the store.
+    let mut state = entry_state.clone();
+    let mut mem = entry_mem.clone();
+    state.set(dtsvliw_isa::regs::r::O1, 0x2000);
+    let stale = mem.read_u32(0x2000);
+    assert_ne!(stale, 42, "the stale value must differ from the stored one");
+
+    let mut engine = VliwEngine::new();
+    engine.arm_faults(dtsvliw_vliw::EngineFaults {
+        suppress_alias: true,
+        ..Default::default()
+    });
+    engine.begin_block(b, &state);
+    for li in 0..b.lis.len() {
+        match engine.exec_li(b, li, &mut state, &mut mem).result {
+            LiResult::Exception { .. } => panic!("the aliasing exception must be swallowed"),
+            LiResult::BlockEnd | LiResult::Redirect { .. } => {
+                engine.commit_block(&mut mem);
+                break;
+            }
+            LiResult::Next => {}
+        }
+    }
+    assert_eq!(engine.stats().alias_suppressed, 1);
+    assert!(!engine.faults().suppress_alias, "knob is one-shot");
+    assert_eq!(
+        state.get(dtsvliw_isa::regs::r::O3),
+        stale,
+        "the hoisted load must have committed its stale value"
+    );
+    assert_eq!(mem.read_u32(0x2000), 42, "the store still committed");
+}
