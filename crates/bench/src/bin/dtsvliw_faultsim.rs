@@ -26,7 +26,7 @@
 //! timestamps and every random decision derives from `--seed`.
 
 use dtsvliw_asm::Image;
-use dtsvliw_core::{Machine, MachineConfig};
+use dtsvliw_core::{Machine, MachineConfig, MachineError};
 use dtsvliw_faults::{FaultPlan, FaultSite, Rng64};
 use dtsvliw_json::{Json, ToJson};
 use dtsvliw_primary::RefMachine;
@@ -133,6 +133,12 @@ struct SiteReport {
     recovered: u64,
     silent_corruption: u64,
     aborted: u64,
+    /// Of the aborted runs, how many the forward-progress watchdog cut
+    /// short (livelock rather than a hard failure).
+    watchdog: u64,
+    /// Instructions those watchdog-cut runs had retired — the partial
+    /// progress the `MachineError::Watchdog` payload carries.
+    watchdog_instrs: u64,
     injected: u64,
     detected: u64,
     recoveries: u64,
@@ -152,6 +158,8 @@ impl ToJson for SiteReport {
             ("recovered", Json::U64(self.recovered)),
             ("silent_corruption", Json::U64(self.silent_corruption)),
             ("aborted", Json::U64(self.aborted)),
+            ("watchdog", Json::U64(self.watchdog)),
+            ("watchdog_instrs", Json::U64(self.watchdog_instrs)),
             ("injected", Json::U64(self.injected)),
             ("detected", Json::U64(self.detected)),
             ("recoveries", Json::U64(self.recoveries)),
@@ -352,6 +360,11 @@ fn main() {
             rep.quarantine_rejects += stats.faults.quarantine_rejects;
 
             match outcome {
+                Err(MachineError::Watchdog { instructions, .. }) => {
+                    rep.aborted += 1;
+                    rep.watchdog += 1;
+                    rep.watchdog_instrs += instructions;
+                }
                 Err(_) => rep.aborted += 1,
                 Ok(o) => {
                     if stats.faults.total_injected() == 0 {
@@ -384,6 +397,8 @@ fn main() {
         totals.recovered += r.recovered;
         totals.silent_corruption += r.silent_corruption;
         totals.aborted += r.aborted;
+        totals.watchdog += r.watchdog;
+        totals.watchdog_instrs += r.watchdog_instrs;
         totals.injected += r.injected;
         totals.detected += r.detected;
         totals.recoveries += r.recoveries;

@@ -19,8 +19,20 @@
 //! event to PATH as `--trace-format` (`jsonl` default, `perfetto` for
 //! <https://ui.perfetto.dev>, `text` for eyeballs); `--metrics-json
 //! PATH` dumps the full `RunStats` (counters + histograms) as JSON.
+//!
+//! Durability (DESIGN.md §10): `--snapshot-every N` writes an atomic
+//! snapshot of the complete machine state to `--snapshot-dir`
+//! (default `snapshots/`) every N cycles; `--resume FILE` restores one
+//! and continues — a resumed run retires the same instructions in the
+//! same cycles as an uninterrupted one. `--breaker T:W:C` arms the
+//! engine-level circuit breaker (T detections in a W-cycle window drop
+//! the machine to primary-only execution for C cycles).
+//!
+//! Exit codes: 0 success, 1 machine/usage error, 2 bad arguments,
+//! 3 watchdog (partial statistics are still printed), 4 snapshot
+//! corruption or mismatch.
 
-use dtsvliw_core::{Machine, MachineConfig, RunStats};
+use dtsvliw_core::{Machine, MachineConfig, MachineError, RunStats};
 use dtsvliw_json::ToJson;
 use dtsvliw_trace::{sink_to_writer, TraceFormat, Tracer};
 use dtsvliw_workloads::Scale;
@@ -30,12 +42,20 @@ fn usage() -> ! {
     eprintln!(
         "usage: dtsvliw_run <file.mc|file.s> [--config feasible|ideal|dif] \
          [--geometry WxH] [--max N] [--max-cycles N] [--no-verify] [--store-buffer] [--predict]\n\
-         \u{20}      dtsvliw_run --workload <name> [same options]\n\
+         \u{20}      dtsvliw_run --workload <name> [--scale test|small|large] [same options]\n\
          \u{20}      tracing: [--trace] [--trace-out PATH] [--trace-format jsonl|perfetto|text]\n\
-         \u{20}               [--trace-last N] [--metrics-json PATH] [--inject-divergence]"
+         \u{20}               [--trace-last N] [--metrics-json PATH] [--inject-divergence]\n\
+         \u{20}      durability: [--snapshot-every CYCLES] [--snapshot-dir DIR] [--resume FILE]\n\
+         \u{20}                  [--breaker THRESHOLD:WINDOW:COOLDOWN]"
     );
     std::process::exit(2);
 }
+
+/// Exit code for a fired forward-progress watchdog (partial statistics
+/// are printed first, so supervisors can prove forward motion).
+const EXIT_WATCHDOG: i32 = 3;
+/// Exit code for a corrupt, mismatched or unreadable snapshot.
+const EXIT_SNAPSHOT: i32 = 4;
 
 fn die(msg: String) -> ! {
     eprintln!("error: {msg}");
@@ -68,6 +88,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut file = None;
     let mut workload = None;
+    let mut scale = Scale::Small;
     let mut config = "feasible".to_string();
     let mut geometry = (8usize, 8usize);
     let mut max = 50_000_000u64;
@@ -81,6 +102,10 @@ fn main() {
     let mut trace_last = 256usize;
     let mut metrics_json: Option<String> = None;
     let mut inject_divergence = false;
+    let mut snapshot_every: Option<u64> = None;
+    let mut snapshot_dir = "snapshots".to_string();
+    let mut resume: Option<String> = None;
+    let mut breaker: Option<(u32, u64, u64)> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -88,6 +113,15 @@ fn main() {
             "--workload" => {
                 i += 1;
                 workload = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("small") => Scale::Small,
+                    Some("large") => Scale::Large,
+                    _ => usage(),
+                };
             }
             "--config" => {
                 i += 1;
@@ -142,26 +176,68 @@ fn main() {
                 metrics_json = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--inject-divergence" => inject_divergence = true,
+            "--snapshot-every" => {
+                i += 1;
+                snapshot_every = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--snapshot-dir" => {
+                i += 1;
+                snapshot_dir = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--resume" => {
+                i += 1;
+                resume = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--breaker" => {
+                i += 1;
+                let spec = args.get(i).unwrap_or_else(|| usage());
+                let mut parts = spec.split(':');
+                breaker = Some(
+                    (|| {
+                        Some((
+                            parts.next()?.parse().ok()?,
+                            parts.next()?.parse().ok()?,
+                            parts.next()?.parse().ok()?,
+                        ))
+                    })()
+                    .filter(|_| parts.next().is_none())
+                    .unwrap_or_else(|| usage()),
+                );
+            }
             a if !a.starts_with('-') && file.is_none() => file = Some(a.to_string()),
             _ => usage(),
         }
         i += 1;
     }
 
+    // A resumed run does not need the program: both memories travel
+    // inside the snapshot.
     let image = match (&file, &workload) {
         (Some(path), None) => {
             let src = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| die(format!("cannot read {path}: {e}")));
             if path.ends_with(".s") || path.ends_with(".asm") {
-                dtsvliw_asm::assemble(&src).unwrap_or_else(|e| die(format!("assembly error: {e}")))
+                Some(
+                    dtsvliw_asm::assemble(&src)
+                        .unwrap_or_else(|e| die(format!("assembly error: {e}"))),
+                )
             } else {
-                dtsvliw_minicc::compile_to_image(&src)
-                    .unwrap_or_else(|e| die(format!("compile error: {e}")))
+                Some(
+                    dtsvliw_minicc::compile_to_image(&src)
+                        .unwrap_or_else(|e| die(format!("compile error: {e}"))),
+                )
             }
         }
-        (None, Some(name)) => dtsvliw_workloads::by_name(name, Scale::Small)
-            .unwrap_or_else(|| die(format!("unknown workload `{name}`")))
-            .image(),
+        (None, Some(name)) => Some(
+            dtsvliw_workloads::by_name(name, scale)
+                .unwrap_or_else(|| die(format!("unknown workload `{name}`")))
+                .image(),
+        ),
+        (None, None) if resume.is_some() => None,
         _ => usage(),
     };
 
@@ -177,8 +253,17 @@ fn main() {
         cfg.store_scheme = dtsvliw_vliw::engine::StoreScheme::StoreBuffer;
     }
     cfg.next_block_prediction = predict;
+    if let Some((threshold, window, cooldown)) = breaker {
+        cfg = cfg.with_breaker(threshold, window, cooldown);
+    }
 
-    let mut machine = Machine::new(cfg, &image);
+    let mut machine = match &resume {
+        Some(path) => Machine::resume_from(cfg, Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("error: cannot resume from {path}: {e}");
+            std::process::exit(EXIT_SNAPSHOT);
+        }),
+        None => Machine::new(cfg, image.as_ref().unwrap_or_else(|| usage())),
+    };
     if trace || trace_out.is_some() {
         let tracer = match &trace_out {
             Some(path) => {
@@ -194,7 +279,10 @@ fn main() {
     }
 
     let started = std::time::Instant::now();
-    let result = machine.run(max);
+    let result = match snapshot_every {
+        Some(every) => machine.run_with_snapshots(max, every, Path::new(&snapshot_dir)),
+        None => machine.run(max),
+    };
     let wall = started.elapsed();
 
     let s = machine.stats();
@@ -218,6 +306,26 @@ fn main() {
 
     let out = match result {
         Ok(out) => out,
+        Err(e @ MachineError::Watchdog { .. }) => {
+            // The watchdog carries the progress made; print the partial
+            // statistics so a supervisor can prove forward motion
+            // between retries.
+            eprintln!("error: {e}");
+            println!("--- partial statistics at watchdog ---");
+            println!("instructions   : {}", s.instructions);
+            println!("cycles         : {}", s.cycles);
+            println!("IPC            : {:.3}", s.ipc());
+            println!("mode swaps     : {}", s.mode_swaps);
+            println!(
+                "degraded       : {} entries, {} cycles",
+                s.degraded_entries, s.degraded_cycles
+            );
+            std::process::exit(EXIT_WATCHDOG);
+        }
+        Err(e @ MachineError::Snapshot(_)) => {
+            eprintln!("error: {e}");
+            std::process::exit(EXIT_SNAPSHOT);
+        }
         // On divergence the machine already dumped the flight-recorder
         // tail to stderr.
         Err(e) => die(format!("machine error: {e}")),
@@ -241,6 +349,12 @@ fn main() {
         "mode swaps     : {} ({} next-block-prediction hits)",
         s.mode_swaps, s.nbp_hits
     );
+    if s.degraded_entries > 0 {
+        println!(
+            "degraded mode  : {} breaker trips, {} primary-only cycles",
+            s.degraded_entries, s.degraded_cycles
+        );
+    }
     println!(
         "scheduler      : {} blocks, {} splits, util {:.1}%, renames {:?}",
         s.sched.blocks,

@@ -1,0 +1,396 @@
+//! `dtsvliw_supervise` — a supervised campaign runner: executes
+//! simulator jobs (`dtsvliw_run`, `dtsvliw_faultsim`, anything with the
+//! same exit-code contract) as child processes under wall-clock
+//! timeouts, classifies every failure, retries with seeded exponential
+//! backoff, resumes each retry from the job's latest durable snapshot,
+//! and writes a bit-reproducible JSON campaign report.
+//!
+//! ```sh
+//! dtsvliw_supervise campaign.json --out report.json
+//! ```
+//!
+//! The campaign spec is JSON:
+//!
+//! ```json
+//! { "seed": 1,
+//!   "backoff_ms": 50,
+//!   "jobs": [
+//!     { "name": "qsort",
+//!       "argv": ["dtsvliw_run", "--workload", "qsort",
+//!                "--snapshot-every", "100000", "--snapshot-dir", "snaps/qsort"],
+//!       "timeout_ms": 60000,
+//!       "retries": 3,
+//!       "snapshot_dir": "snaps/qsort" } ] }
+//! ```
+//!
+//! A bare command name in `argv[0]` resolves to a sibling of this
+//! binary (the usual cargo target directory layout), so specs do not
+//! hard-code target paths.
+//!
+//! Failure classification, from the child's wait status:
+//!
+//! * `timeout` — the supervisor killed the job at its wall-clock limit;
+//! * `watchdog` — exit code 3: the simulator's own forward-progress
+//!   watchdog fired (partial statistics were printed);
+//! * `corrupt-snapshot` — exit code 4: the resume source was damaged;
+//!   the supervisor deletes it and retries from scratch;
+//! * `signal` — the job died on a signal it did not ask for (a real
+//!   SIGKILL, an OOM kill);
+//! * `error` — any other nonzero exit.
+//!
+//! On every retry the supervisor injects `--resume <dir>/latest.json`
+//! when the job declares a `snapshot_dir` and a snapshot exists, so
+//! work done before the kill is not lost. Retries back off
+//! exponentially with a jitter drawn from the seeded PRNG; the report
+//! records the schedule, contains no timestamps, and is therefore
+//! byte-identical across runs of the same spec and seed.
+
+use dtsvliw_faults::Rng64;
+use dtsvliw_json::Json;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitStatus};
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!("usage: dtsvliw_supervise <campaign.json> [--out report.json] [--quiet]");
+    std::process::exit(2);
+}
+
+fn die(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+/// One job from the campaign spec.
+struct JobSpec {
+    name: String,
+    argv: Vec<String>,
+    timeout_ms: u64,
+    retries: u32,
+    snapshot_dir: Option<PathBuf>,
+}
+
+struct Campaign {
+    seed: u64,
+    backoff_ms: u64,
+    jobs: Vec<JobSpec>,
+}
+
+fn parse_campaign(text: &str) -> Option<Campaign> {
+    let doc = Json::parse(text).ok()?;
+    let jobs = doc
+        .get("jobs")?
+        .as_arr()?
+        .iter()
+        .map(|j| {
+            Some(JobSpec {
+                name: j.get("name")?.as_str()?.to_string(),
+                argv: j
+                    .get("argv")?
+                    .as_arr()?
+                    .iter()
+                    .map(|a| Some(a.as_str()?.to_string()))
+                    .collect::<Option<Vec<_>>>()
+                    .filter(|v| !v.is_empty())?,
+                timeout_ms: j.get("timeout_ms").and_then(Json::as_u64).unwrap_or(60_000),
+                retries: j
+                    .get("retries")
+                    .and_then(Json::as_u64)
+                    .map(|r| r as u32)
+                    .unwrap_or(2),
+                snapshot_dir: match j.get("snapshot_dir") {
+                    Some(Json::Str(d)) => Some(PathBuf::from(d)),
+                    _ => None,
+                },
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(Campaign {
+        seed: doc.get("seed").and_then(Json::as_u64).unwrap_or(1),
+        backoff_ms: doc.get("backoff_ms").and_then(Json::as_u64).unwrap_or(100),
+        jobs,
+    })
+}
+
+/// How one attempt ended.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Success,
+    Timeout,
+    Watchdog,
+    CorruptSnapshot,
+    Signal(i32),
+    Error(i32),
+}
+
+impl Outcome {
+    fn label(&self) -> &'static str {
+        match self {
+            Outcome::Success => "success",
+            Outcome::Timeout => "timeout",
+            Outcome::Watchdog => "watchdog",
+            Outcome::CorruptSnapshot => "corrupt-snapshot",
+            Outcome::Signal(_) => "signal",
+            Outcome::Error(_) => "error",
+        }
+    }
+}
+
+/// Exit codes `dtsvliw_run` reserves (see its module docs).
+const EXIT_WATCHDOG: i32 = 3;
+const EXIT_SNAPSHOT: i32 = 4;
+
+#[cfg(unix)]
+fn signal_of(status: &ExitStatus) -> Option<i32> {
+    use std::os::unix::process::ExitStatusExt;
+    status.signal()
+}
+
+#[cfg(not(unix))]
+fn signal_of(_status: &ExitStatus) -> Option<i32> {
+    None
+}
+
+fn classify(status: &ExitStatus, killed_by_us: bool) -> Outcome {
+    if killed_by_us {
+        return Outcome::Timeout;
+    }
+    if let Some(sig) = signal_of(status) {
+        return Outcome::Signal(sig);
+    }
+    match status.code() {
+        Some(0) => Outcome::Success,
+        Some(EXIT_WATCHDOG) => Outcome::Watchdog,
+        Some(EXIT_SNAPSHOT) => Outcome::CorruptSnapshot,
+        Some(c) => Outcome::Error(c),
+        None => Outcome::Signal(0),
+    }
+}
+
+/// Resolve a bare command name to a sibling of this binary, so specs
+/// written for CI work from any working directory.
+fn resolve_program(name: &str) -> PathBuf {
+    let p = Path::new(name);
+    if p.components().count() > 1 || p.is_absolute() {
+        return p.to_path_buf();
+    }
+    if let Ok(me) = std::env::current_exe() {
+        if let Some(dir) = me.parent() {
+            let sibling = dir.join(name);
+            if sibling.exists() {
+                return sibling;
+            }
+        }
+    }
+    p.to_path_buf()
+}
+
+/// Run one attempt under a wall-clock timeout. Returns the
+/// classification; a child that cannot even spawn is an `Error`.
+fn run_attempt(argv: &[String], timeout: Duration, quiet: bool) -> Outcome {
+    let program = resolve_program(&argv[0]);
+    let mut cmd = Command::new(&program);
+    cmd.args(&argv[1..]);
+    if quiet {
+        cmd.stdout(std::process::Stdio::null());
+    }
+    let mut child: Child = match cmd.spawn() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("supervise: cannot spawn {}: {e}", program.display());
+            return Outcome::Error(127);
+        }
+    };
+    let started = Instant::now();
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => return classify(&status, false),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("supervise: wait failed: {e}");
+                let _ = child.kill();
+                let _ = child.wait();
+                return Outcome::Error(-1);
+            }
+        }
+        if started.elapsed() >= timeout {
+            let _ = child.kill();
+            let status = child.wait().ok();
+            let _ = status;
+            return Outcome::Timeout;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+struct AttemptRecord {
+    outcome: Outcome,
+    resumed: bool,
+    backoff_ms: Option<u64>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec_path = None;
+    let mut out: Option<String> = None;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--quiet" => quiet = true,
+            a if !a.starts_with('-') && spec_path.is_none() => spec_path = Some(a.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let spec_path = spec_path.unwrap_or_else(|| usage());
+    let text = std::fs::read_to_string(&spec_path)
+        .unwrap_or_else(|e| die(format!("cannot read {spec_path}: {e}")));
+    let campaign =
+        parse_campaign(&text).unwrap_or_else(|| die(format!("{spec_path}: not a campaign spec")));
+
+    let mut rng = Rng64::new(campaign.seed);
+    let mut job_reports = Vec::new();
+    let mut succeeded = 0u64;
+    let mut failed = 0u64;
+
+    for job in &campaign.jobs {
+        let latest = job.snapshot_dir.as_ref().map(|d| d.join("latest.json"));
+        let mut attempts: Vec<AttemptRecord> = Vec::new();
+        let mut success = false;
+
+        for attempt in 0..=job.retries {
+            // Resume from the latest snapshot when one exists and the
+            // job did not already ask for --resume itself.
+            let mut argv = job.argv.clone();
+            let resumed = match &latest {
+                Some(p) if attempt > 0 && p.exists() && !argv.iter().any(|a| a == "--resume") => {
+                    argv.push("--resume".to_string());
+                    argv.push(p.display().to_string());
+                    true
+                }
+                _ => false,
+            };
+            eprintln!(
+                "supervise: job `{}` attempt {}/{}{}",
+                job.name,
+                attempt + 1,
+                job.retries + 1,
+                if resumed {
+                    " (resuming from snapshot)"
+                } else {
+                    ""
+                }
+            );
+            let outcome = run_attempt(&argv, Duration::from_millis(job.timeout_ms), quiet);
+
+            // A corrupt snapshot must not poison every further retry:
+            // drop it and let the next attempt start fresh.
+            if outcome == Outcome::CorruptSnapshot {
+                if let Some(p) = &latest {
+                    let _ = std::fs::remove_file(p);
+                    eprintln!(
+                        "supervise: job `{}`: corrupt snapshot removed, retrying fresh",
+                        job.name
+                    );
+                }
+            }
+
+            let done = outcome == Outcome::Success || attempt == job.retries;
+            // The backoff schedule is part of the report (it is
+            // deterministic: seeded jitter, no clocks); the sleep
+            // itself only happens when another attempt follows.
+            let backoff_ms = if done {
+                None
+            } else {
+                let base = campaign.backoff_ms.saturating_mul(1u64 << attempt.min(10));
+                let jitter = if campaign.backoff_ms == 0 {
+                    0
+                } else {
+                    rng.next_u64() % campaign.backoff_ms
+                };
+                Some((base + jitter).min(30_000))
+            };
+            attempts.push(AttemptRecord {
+                outcome,
+                resumed,
+                backoff_ms,
+            });
+            if outcome == Outcome::Success {
+                success = true;
+                break;
+            }
+            if let Some(ms) = backoff_ms {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+        }
+
+        if success {
+            succeeded += 1;
+        } else {
+            failed += 1;
+        }
+        let attempts_json = attempts
+            .iter()
+            .enumerate()
+            .map(|(n, a)| {
+                Json::obj([
+                    ("attempt", Json::U64(n as u64)),
+                    ("outcome", Json::Str(a.outcome.label().to_string())),
+                    (
+                        "detail",
+                        match a.outcome {
+                            Outcome::Signal(sig) => Json::U64(sig as u64),
+                            Outcome::Error(code) => Json::I64(code as i64),
+                            _ => Json::Null,
+                        },
+                    ),
+                    ("resumed", Json::Bool(a.resumed)),
+                    (
+                        "backoff_ms",
+                        match a.backoff_ms {
+                            Some(ms) => Json::U64(ms),
+                            None => Json::Null,
+                        },
+                    ),
+                ])
+            })
+            .collect::<Vec<_>>();
+        job_reports.push(Json::obj([
+            ("name", Json::Str(job.name.clone())),
+            (
+                "status",
+                Json::Str(if success { "succeeded" } else { "failed" }.to_string()),
+            ),
+            ("attempts_used", Json::U64(attempts.len() as u64)),
+            ("attempts", Json::Arr(attempts_json)),
+        ]));
+    }
+
+    let report = Json::obj([
+        ("format", Json::Str("dtsvliw-supervise-report".to_string())),
+        ("seed", Json::U64(campaign.seed)),
+        ("backoff_ms", Json::U64(campaign.backoff_ms)),
+        ("jobs", Json::Arr(job_reports)),
+        ("succeeded", Json::U64(succeeded)),
+        ("failed", Json::U64(failed)),
+    ]);
+    let rendered = report.to_string_pretty();
+    match &out {
+        Some(path) => {
+            std::fs::write(path, format!("{rendered}\n"))
+                .unwrap_or_else(|e| die(format!("writing {path}: {e}")));
+            eprintln!("supervise: report written to {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    eprintln!(
+        "supervise: {} succeeded, {} failed, zero lost runs (every attempt is in the report)",
+        succeeded, failed
+    );
+    std::process::exit(if failed == 0 { 0 } else { 1 });
+}

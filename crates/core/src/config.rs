@@ -76,6 +76,17 @@ pub struct MachineConfig {
     /// Forward-progress watchdog: abort with `MachineError::Watchdog`
     /// when a run exceeds this many cycles (`None` = unbounded).
     pub max_cycles: Option<u64>,
+    /// Engine-level circuit breaker: number of detected
+    /// divergence/fault events within [`MachineConfig::breaker_window`]
+    /// cycles that drops the machine to primary-only (degraded)
+    /// execution. 0 disables the breaker.
+    pub breaker_threshold: u32,
+    /// Sliding cycle window the circuit breaker counts detected events
+    /// over.
+    pub breaker_window: u64,
+    /// Cycles the machine stays primary-only after the breaker trips
+    /// before the VLIW Engine is re-armed.
+    pub breaker_cooldown: u64,
 }
 
 impl MachineConfig {
@@ -103,6 +114,9 @@ impl MachineConfig {
             quarantine_cooldown: 10_000,
             block_integrity_check: false,
             max_cycles: None,
+            breaker_threshold: 0,
+            breaker_window: 50_000,
+            breaker_cooldown: 100_000,
         }
     }
 
@@ -141,6 +155,9 @@ impl MachineConfig {
             quarantine_cooldown: 10_000,
             block_integrity_check: false,
             max_cycles: None,
+            breaker_threshold: 0,
+            breaker_window: 50_000,
+            breaker_cooldown: 100_000,
         }
     }
 
@@ -176,6 +193,9 @@ impl MachineConfig {
             quarantine_cooldown: 10_000,
             block_integrity_check: false,
             max_cycles: None,
+            breaker_threshold: 0,
+            breaker_window: 50_000,
+            breaker_cooldown: 100_000,
         }
     }
 
@@ -198,6 +218,16 @@ impl MachineConfig {
         self.fault_plan = Some(plan);
         self.recover_divergence = true;
         self.verify = true;
+        self
+    }
+
+    /// Arm the engine-level circuit breaker: `threshold` detected events
+    /// within `window` cycles drop the machine to primary-only execution
+    /// for `cooldown` cycles.
+    pub fn with_breaker(mut self, threshold: u32, window: u64, cooldown: u64) -> Self {
+        self.breaker_threshold = threshold;
+        self.breaker_window = window;
+        self.breaker_cooldown = cooldown;
         self
     }
 }

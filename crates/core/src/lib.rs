@@ -49,8 +49,12 @@
 
 mod config;
 mod machine;
+mod snapshot;
 mod stats;
 
 pub use config::{MachineConfig, ScheduleMode};
 pub use machine::{Machine, MachineError, RunOutcome};
+pub use snapshot::{
+    config_digest, verify_document, SnapshotError, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
+};
 pub use stats::RunStats;

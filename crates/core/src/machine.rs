@@ -10,7 +10,7 @@ use dtsvliw_primary::interp::{step as primary_step, Halt, StepError};
 use dtsvliw_primary::{PipelineModel, RefMachine};
 use dtsvliw_sched::{Block, InsertOutcome, Resolution, Scheduler};
 use dtsvliw_trace::{CacheKind, EngineKind, EvictReason, Metrics, TraceEvent, Tracer};
-use dtsvliw_vliw::{EngineFaults, LiResult, VliwCache, VliwEngine};
+use dtsvliw_vliw::{EngineError, EngineFaults, LiResult, VliwCache, VliwEngine};
 use std::sync::Arc;
 
 /// Simulation errors. All of them indicate a broken program or a
@@ -42,12 +42,22 @@ pub enum MachineError {
     },
     /// The forward-progress watchdog fired: the run exceeded
     /// [`MachineConfig::max_cycles`] without halting (livelock guard).
+    /// Carries the progress made so the caller can report partial
+    /// statistics (supervised retries use this to prove forward motion).
     Watchdog {
         /// Cycles executed when the watchdog fired.
         cycles: u64,
         /// The configured ceiling.
         limit: u64,
+        /// Sequential instructions retired when the watchdog fired.
+        instructions: u64,
     },
+    /// The VLIW Engine hit a structurally corrupt block and recovery was
+    /// off (or itself impossible).
+    Engine(EngineError),
+    /// A durability operation failed: snapshot write, read, or restore
+    /// (I/O error, checksum/version mismatch, or corrupt content).
+    Snapshot(String),
 }
 
 impl std::fmt::Display for MachineError {
@@ -63,12 +73,19 @@ impl std::fmt::Display for MachineError {
             MachineError::TestSyncTimeout { pc } => {
                 write!(f, "test machine never reached pc {pc:#x}")
             }
-            MachineError::Watchdog { cycles, limit } => {
+            MachineError::Watchdog {
+                cycles,
+                limit,
+                instructions,
+            } => {
                 write!(
                     f,
-                    "watchdog: {cycles} cycles exceed the {limit}-cycle limit"
+                    "watchdog: {cycles} cycles exceed the {limit}-cycle limit \
+                     ({instructions} instructions retired)"
                 )
             }
+            MachineError::Engine(e) => write!(f, "corrupt block: {e}"),
+            MachineError::Snapshot(e) => write!(f, "snapshot: {e}"),
         }
     }
 }
@@ -81,6 +98,12 @@ impl From<StepError> for MachineError {
     }
 }
 
+impl From<EngineError> for MachineError {
+    fn from(e: EngineError) -> Self {
+        MachineError::Engine(e)
+    }
+}
+
 /// Why [`Machine::run`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOutcome {
@@ -90,7 +113,7 @@ pub struct RunOutcome {
     pub instructions: u64,
 }
 
-enum Mode {
+pub(crate) enum Mode {
     Primary,
     Vliw {
         block: Arc<Block>,
@@ -103,65 +126,77 @@ enum Mode {
 
 /// The DTSVLIW machine.
 pub struct Machine {
-    cfg: MachineConfig,
-    state: ArchState,
-    mem: Memory,
-    sched: Scheduler,
-    vcache: VliwCache,
-    engine: VliwEngine,
-    icache: Cache,
-    dcache: Cache,
-    pipeline: PipelineModel,
-    test: RefMachine,
-    mode: Mode,
-    cycles: u64,
-    vliw_cycles: u64,
-    primary_cycles: u64,
-    overhead_cycles: u64,
-    mode_swaps: u64,
-    output: Vec<u8>,
-    halted: Option<u32>,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) state: ArchState,
+    pub(crate) mem: Memory,
+    pub(crate) sched: Scheduler,
+    pub(crate) vcache: VliwCache,
+    pub(crate) engine: VliwEngine,
+    pub(crate) icache: Cache,
+    pub(crate) dcache: Cache,
+    pub(crate) pipeline: PipelineModel,
+    pub(crate) test: RefMachine,
+    pub(crate) mode: Mode,
+    pub(crate) cycles: u64,
+    pub(crate) vliw_cycles: u64,
+    pub(crate) primary_cycles: u64,
+    pub(crate) overhead_cycles: u64,
+    pub(crate) mode_swaps: u64,
+    pub(crate) output: Vec<u8>,
+    pub(crate) halted: Option<u32>,
     /// §3.11 exception mode: after a non-aliasing exception only the
     /// Primary Processor runs, until the exception repeats there.
-    exception_mode: bool,
+    pub(crate) exception_mode: bool,
     /// The previous instruction was a rejected control transfer: its
     /// delay-slot instruction must not start a block, because the block
     /// would span the (unguarded) control transfer.
-    reject_delay_slot: bool,
+    pub(crate) reject_delay_slot: bool,
     /// Next-block predictor (paper §5): direct-mapped (from-tag →
     /// predicted next tag). Entry 0 means empty.
-    nbp: Vec<(u32, u32)>,
+    pub(crate) nbp: Vec<(u32, u32)>,
     /// Correct next-block predictions (diagnostics).
-    nbp_hits: u64,
+    pub(crate) nbp_hits: u64,
     /// Always-on metric registry (histograms folded into `RunStats`).
-    metrics: Metrics,
+    pub(crate) metrics: Metrics,
     /// Cycle of the previous engine swap (swap-gap histogram).
-    last_swap_cycle: u64,
+    pub(crate) last_swap_cycle: u64,
     /// Optional flight recorder + sink. When `None`, every emission
     /// site costs a single branch.
-    tracer: Option<Box<Tracer>>,
+    pub(crate) tracer: Option<Box<Tracer>>,
     /// Debug hook: force a test-mode divergence at the next
     /// verification point (exercises the postmortem dump).
-    inject_divergence: bool,
+    pub(crate) inject_divergence: bool,
     /// Seeded fault injector (from [`MachineConfig::fault_plan`]).
-    injector: Option<FaultInjector>,
+    pub(crate) injector: Option<FaultInjector>,
     /// Fault detection / recovery accounting.
-    faults: FaultStats,
+    pub(crate) faults: FaultStats,
     /// Quarantined block lines: `(tag, entry_cwp, refuse_until_cycle)`.
     /// A quarantined line is refused re-installation until its cooldown
     /// expires, so a corrupting source does not reinstall the same bad
     /// block on the very next trace pass.
-    quarantine: Vec<(u32, u8, u64)>,
+    pub(crate) quarantine: Vec<(u32, u8, u64)>,
     /// Exit code observed on the test machine (the oracle may halt while
     /// chasing a sync target during recovery; the code must survive the
     /// scrub that follows).
-    test_halt: Option<u32>,
+    pub(crate) test_halt: Option<u32>,
     /// Engine-side fault fires already folded into the injector's
     /// `injected` counts. The alias/truncate knobs are armed per block
     /// entry but only *land* when the engine actually exercises them, so
     /// injection is counted at fire time from the engine's stat deltas.
-    seen_alias_fires: u64,
-    seen_truncate_fires: u64,
+    pub(crate) seen_alias_fires: u64,
+    pub(crate) seen_truncate_fires: u64,
+    /// Circuit breaker: cycle stamps of detected events still inside the
+    /// sliding window (see [`MachineConfig::breaker_window`]).
+    pub(crate) breaker_events: Vec<u64>,
+    /// Nonzero while the breaker is open: the cycle at which the VLIW
+    /// Engine re-arms.
+    pub(crate) degraded_until: u64,
+    /// Cycle the current degraded period began.
+    pub(crate) degraded_entered: u64,
+    /// Times the breaker tripped.
+    pub(crate) degraded_entries: u64,
+    /// Cycles executed while the breaker was open.
+    pub(crate) degraded_cycles: u64,
 }
 
 impl Machine {
@@ -208,6 +243,11 @@ impl Machine {
             test_halt: None,
             seen_alias_fires: 0,
             seen_truncate_fires: 0,
+            breaker_events: Vec::new(),
+            degraded_until: 0,
+            degraded_entered: 0,
+            degraded_entries: 0,
+            degraded_cycles: 0,
             cfg,
         }
     }
@@ -221,8 +261,50 @@ impl Machine {
                     return Err(MachineError::Watchdog {
                         cycles: self.cycles,
                         limit,
+                        instructions: self.test.retired,
                     });
                 }
+            }
+            match &self.mode {
+                Mode::Primary => self.step_primary()?,
+                Mode::Vliw { .. } => self.step_vliw()?,
+            }
+        }
+        Ok(RunOutcome {
+            exit_code: self.halted,
+            instructions: self.test.retired,
+        })
+    }
+
+    /// Like [`Machine::run`], additionally writing a durable snapshot of
+    /// the complete machine state to `dir/latest.json` roughly every
+    /// `every` cycles. The write is atomic (temp file + rename), so a
+    /// kill at any instant leaves either the previous or the new
+    /// snapshot intact, never a torn one. Snapshots never perturb the
+    /// simulation: a resumed run retires the same instructions in the
+    /// same cycles as an uninterrupted one.
+    pub fn run_with_snapshots(
+        &mut self,
+        max_instructions: u64,
+        every: u64,
+        dir: &std::path::Path,
+    ) -> Result<RunOutcome, MachineError> {
+        let every = every.max(1);
+        let mut next = self.cycles + every;
+        while self.halted.is_none() && self.test.retired < max_instructions {
+            if let Some(limit) = self.cfg.max_cycles {
+                if self.cycles > limit {
+                    return Err(MachineError::Watchdog {
+                        cycles: self.cycles,
+                        limit,
+                        instructions: self.test.retired,
+                    });
+                }
+            }
+            if self.cycles >= next {
+                self.write_snapshot(dir)
+                    .map_err(|e| MachineError::Snapshot(e.to_string()))?;
+                next = self.cycles + every;
             }
             match &self.mode {
                 Mode::Primary => self.step_primary()?,
@@ -263,6 +345,8 @@ impl Machine {
                 }
                 f
             },
+            degraded_entries: self.degraded_entries,
+            degraded_cycles: self.degraded_cycles,
         }
     }
 
@@ -354,10 +438,10 @@ impl Machine {
     /// This is also where install-time faults strike (the block is owned
     /// and mutable here, modelling corruption on the Scheduler-Unit →
     /// VLIW-Cache path), and where quarantined tags are refused.
-    fn install_block(&mut self, mut b: Block) {
+    fn install_block(&mut self, mut b: Block) -> Result<(), MachineError> {
         if self.quarantine_active(b.tag_addr, b.entry_cwp) {
             self.faults.quarantine_rejects += 1;
-            return;
+            return Ok(());
         }
         if let Some(mut inj) = self.injector.take() {
             for (site, f) in [
@@ -383,7 +467,7 @@ impl Machine {
         let filled = b.filled_slots() as u32;
         self.metrics.block_height.record(lis as u64);
         self.metrics.block_filled.record(filled as u64);
-        let evicted = self.vcache.insert_at(b, self.cycles);
+        let evicted = self.vcache.insert_at(b, self.cycles)?;
         self.emit(TraceEvent::BlockInstall { tag, lis, filled });
         if let Some(gone) = evicted {
             let lifetime = self.cycles - gone.installed_cycle;
@@ -394,6 +478,7 @@ impl Machine {
                 lifetime,
             });
         }
+        Ok(())
     }
 
     /// Report the Scheduler Unit's split decisions since the last
@@ -472,6 +557,9 @@ impl Machine {
         }
         self.cycles += c;
         self.primary_cycles += c;
+        if self.degraded_until != 0 {
+            self.degraded_cycles += c;
+        }
 
         // Scheduler Unit runs concurrently: one list cycle per machine
         // cycle, then the retired instruction is inserted.
@@ -487,14 +575,14 @@ impl Machine {
             // too: a block starting there would run straight into the
             // transfer's target with no recorded-direction guard.
             if let Some(b) = self.sched.seal(d.pc, d.seq) {
-                self.install_block(b);
+                self.install_block(b)?;
             }
         } else {
             for _ in 0..c {
                 self.sched.tick();
             }
             if let InsertOutcome::Inserted(Some(b)) = self.sched.insert(&d, resident_before) {
-                self.install_block(b);
+                self.install_block(b)?;
             }
             if self.cfg.schedule == ScheduleMode::GreedyDif {
                 self.sched.settle();
@@ -541,8 +629,11 @@ impl Machine {
 
         // Fetch Unit: probe the VLIW Cache with the next address; on a
         // hit the block under construction is flushed, made to point at
-        // the hit block, and the VLIW Engine takes over (§3.6).
+        // the hit block, and the VLIW Engine takes over (§3.6). A tripped
+        // circuit breaker pins the machine to the Primary Processor until
+        // its cooldown expires.
         if !self.exception_mode
+            && !self.breaker_open()
             && self
                 .vcache
                 .peek(self.state.pc, self.state.cwp, self.state.resident)
@@ -559,7 +650,7 @@ impl Machine {
                 return Ok(());
             };
             if let Some(b) = self.sched.seal(self.state.pc, self.test.retired) {
-                self.install_block(b);
+                self.install_block(b)?;
             }
             self.drain_sched_events();
             self.charge_overhead(self.cfg.swap_to_vliw);
@@ -583,9 +674,16 @@ impl Machine {
             Mode::Vliw { block, li, base } => (Arc::clone(block), *li, *base),
             Mode::Primary => unreachable!(),
         };
-        let out = self
+        let out = match self
             .engine
-            .exec_li(&block, li, &mut self.state, &mut self.mem);
+            .exec_li(&block, li, &mut self.state, &mut self.mem)
+        {
+            Ok(out) => out,
+            Err(e) => {
+                self.note_engine_fires(block.tag_addr);
+                return self.recover_from_engine_error(e, &block);
+            }
+        };
         self.note_engine_fires(block.tag_addr);
 
         // One cycle per long instruction; a data-cache miss stalls the
@@ -712,7 +810,7 @@ impl Machine {
     /// Processor takes over execution, fetching from the last PC value
     /// computed by the VLIW Engine", §3.6).
     fn enter_block_or_primary(&mut self, addr: u32, from: Option<u32>) -> Result<(), MachineError> {
-        if self.halted.is_some() || self.exception_mode {
+        if self.halted.is_some() || self.exception_mode || self.breaker_open() {
             self.swap_to_primary_mode();
             return Ok(());
         }
@@ -775,6 +873,83 @@ impl Machine {
     /// as its detector, so it requires `verify`.
     fn recovery_enabled(&self) -> bool {
         self.cfg.recover_divergence && self.cfg.verify
+    }
+
+    /// Record a detected divergence/fault event for the circuit breaker;
+    /// when the count within the sliding window crosses the threshold,
+    /// trip the breaker: the machine drops to primary-only (degraded)
+    /// execution until the cooldown expires.
+    fn breaker_note_event(&mut self) {
+        if self.cfg.breaker_threshold == 0 {
+            return;
+        }
+        let now = self.cycles;
+        let window = self.cfg.breaker_window;
+        self.breaker_events.retain(|&t| t + window > now);
+        self.breaker_events.push(now);
+        if self.degraded_until == 0
+            && self.breaker_events.len() >= self.cfg.breaker_threshold as usize
+        {
+            let events = self.breaker_events.len() as u32;
+            self.degraded_entries += 1;
+            self.degraded_until = now + self.cfg.breaker_cooldown;
+            self.degraded_entered = now;
+            self.breaker_events.clear();
+            let until = self.degraded_until;
+            self.emit(TraceEvent::DegradedEnter { events, until });
+        }
+    }
+
+    /// Is the breaker open right now (VLIW entry refused)? Re-arms — and
+    /// emits the exit event — once the cooldown has elapsed.
+    fn breaker_open(&mut self) -> bool {
+        if self.degraded_until == 0 {
+            return false;
+        }
+        if self.cycles >= self.degraded_until {
+            let cycles = self.cycles - self.degraded_entered;
+            self.degraded_until = 0;
+            self.degraded_entered = 0;
+            self.emit(TraceEvent::DegradedExit { cycles });
+            return false;
+        }
+        true
+    }
+
+    /// The VLIW Engine tripped over a structurally corrupt block
+    /// mid-execution (missing write-back resource, bad copy routing,
+    /// absent load/store order tag). With recovery on this is treated
+    /// like any other detected fault: roll back to the block-entry
+    /// checkpoint — the oracle still sits at the entry trace position,
+    /// so nothing needs replaying — quarantine the line and fall back to
+    /// the Primary Processor. With recovery off the typed error
+    /// surfaces to the caller.
+    fn recover_from_engine_error(
+        &mut self,
+        e: EngineError,
+        block: &Block,
+    ) -> Result<(), MachineError> {
+        if !self.recovery_enabled() || !self.engine.in_block() {
+            return Err(MachineError::Engine(e));
+        }
+        self.faults.detected += 1;
+        self.breaker_note_event();
+        self.charge_overhead(self.cfg.exception_penalty);
+        self.engine
+            .rollback(&mut self.state, &mut self.mem)
+            .map_err(MachineError::Engine)?;
+        self.emit(TraceEvent::CheckpointRecovery {
+            tag: block.tag_addr,
+            unwound: self.engine.last_rollback_unwound(),
+        });
+        self.quarantine_line(block.tag_addr, block.entry_cwp);
+        self.faults.recovered += 1;
+        self.emit(TraceEvent::Recovery {
+            tag: block.tag_addr,
+            replayed: 0,
+        });
+        self.swap_to_primary_mode();
+        Ok(())
     }
 
     /// Does the DTSVLIW's architectural state (and memory) agree with
@@ -861,6 +1036,7 @@ impl Machine {
             // In-SRAM rot caught by the checksum before execution:
             // detection without a divergence. Quarantine; miss.
             self.faults.detected += 1;
+            self.breaker_note_event();
             self.faults.recovered += 1;
             self.quarantine_line(addr, cwp);
             return false;
@@ -924,8 +1100,11 @@ impl Machine {
             return Err(err);
         }
         self.faults.detected += 1;
+        self.breaker_note_event();
         self.charge_overhead(self.cfg.exception_penalty);
-        self.engine.rollback(&mut self.state, &mut self.mem);
+        self.engine
+            .rollback(&mut self.state, &mut self.mem)
+            .map_err(MachineError::Engine)?;
         self.emit(TraceEvent::CheckpointRecovery {
             tag: block.tag_addr,
             unwound: self.engine.last_rollback_unwound(),
@@ -980,6 +1159,7 @@ impl Machine {
     /// observations from the corrupted path.
     fn recover_in_primary(&mut self) {
         self.faults.detected += 1;
+        self.breaker_note_event();
         self.charge_overhead(self.cfg.exception_penalty);
         self.scrub_from_test();
         let _ = self.sched.seal(self.state.pc, self.test.retired);

@@ -45,6 +45,11 @@ pub struct RunStats {
     /// Fault-injection and recovery accounting (all-zero when no fault
     /// plan is armed).
     pub faults: FaultStats,
+    /// Times the circuit breaker dropped the machine to primary-only
+    /// (degraded) execution.
+    pub degraded_entries: u64,
+    /// Cycles spent in degraded (primary-only) execution.
+    pub degraded_cycles: u64,
 }
 
 impl RunStats {
@@ -88,6 +93,8 @@ impl ToJson for RunStats {
             ("dcache", self.dcache.to_json()),
             ("metrics", self.metrics.to_json()),
             ("faults", self.faults.to_json()),
+            ("degraded_entries", Json::U64(self.degraded_entries)),
+            ("degraded_cycles", Json::U64(self.degraded_cycles)),
         ])
     }
 }

@@ -213,12 +213,57 @@ _start:
     cfg.max_cycles = Some(10_000);
     let mut m = Machine::new(cfg, &image);
     match m.run(u64::MAX) {
-        Err(MachineError::Watchdog { cycles, limit }) => {
+        Err(MachineError::Watchdog {
+            cycles,
+            limit,
+            instructions,
+        }) => {
             assert_eq!(limit, 10_000);
             assert!(cycles > limit);
+            assert!(instructions > 0, "partial progress must be reported");
         }
         other => panic!("expected watchdog, got {other:?}"),
     }
+}
+
+/// Under a fault storm the circuit breaker must trip, pin the machine
+/// to the Primary Processor for its cooldown, re-arm, and still deliver
+/// the fault-free architectural result.
+#[test]
+fn breaker_degrades_to_primary_under_fault_storm() {
+    let (ref_code, ref_retired) = reference();
+    let plan = FaultPlan::single(FaultSite::CacheBitFlip, 0.9, 0, 7);
+    let mut cfg = MachineConfig::ideal(4, 8)
+        .with_faults(plan)
+        .with_breaker(3, 100_000, 5_000);
+    cfg.max_cycles = Some(40_000_000);
+    let mut m = Machine::new(cfg, &stress_image());
+    let out = m.run(10_000_000).expect("degraded run still completes");
+    assert_eq!(out.exit_code, Some(ref_code));
+    assert_eq!(out.instructions, ref_retired);
+    let s = m.stats();
+    assert!(
+        s.degraded_entries > 0,
+        "breaker never tripped: {:?}",
+        s.faults
+    );
+    assert!(
+        s.degraded_cycles > 0,
+        "no cycles attributed to degraded mode"
+    );
+    assert!(
+        s.faults.detected >= 3,
+        "tripping requires at least threshold detections"
+    );
+}
+
+/// With the breaker disabled (threshold 0) the same storm runs without
+/// ever entering degraded mode — the knob defaults to off.
+#[test]
+fn breaker_disabled_by_default() {
+    let s = run_with_faults(FaultSite::CacheBitFlip, 7, 0.9, 0);
+    assert_eq!(s.degraded_entries, 0);
+    assert_eq!(s.degraded_cycles, 0);
 }
 
 #[test]

@@ -1,0 +1,222 @@
+//! Durability tests: a machine snapshotted mid-run and restored must be
+//! indistinguishable from one that never stopped — same instructions,
+//! same cycles, same statistics, byte for byte — and corrupt or
+//! mismatched snapshot files must be refused with a typed error.
+
+use dtsvliw_core::{config_digest, Machine, MachineConfig, SnapshotError};
+use dtsvliw_faults::{FaultPlan, FaultSite};
+use dtsvliw_json::{Json, ToJson};
+use std::path::PathBuf;
+
+/// The fault-campaign stress kernel (see `tests/faults.rs` for why the
+/// two read-modify-write counters matter). Long enough to swap engines
+/// many times and to cross snapshot points in both modes.
+const STRESS_SRC: &str = "
+_start:
+    set 0x8000, %o0      ! base
+    mov 0, %o5           ! sum
+    mov 0, %g4           ! rep
+    st %g0, [%o0 + 64]   ! counter = 0
+    st %g0, [%o0 + 68]   ! counter2 = 0
+rep_loop:
+    mov 0, %o1           ! i = 0
+loop:
+    ld [%o0 + 64], %g2
+    add %g2, 1, %g2
+    st %g2, [%o0 + 64]   ! counter++
+    sll %o1, 2, %o2
+    add %o0, %o2, %o3
+    add %o1, %g4, %g5
+    st %g5, [%o3]        ! a[i] = i + rep
+    ld [%o0 + 8], %o4    ! x = a[2]
+    add %o5, %o4, %o5    ! sum += x
+    ld [%o0 + 68], %g6
+    add %g6, 1, %g6
+    st %g6, [%o0 + 68]   ! counter2++
+    add %o1, 1, %o1
+    cmp %o1, 4
+    bl loop
+    nop
+    add %g4, 1, %g4
+    cmp %g4, 40
+    bl rep_loop
+    nop
+    ld [%o0 + 64], %g3
+    ld [%o0 + 68], %g1
+    add %o5, %g3, %o0
+    add %o0, %g1, %o0
+    ta 0
+";
+
+fn stress_image() -> dtsvliw_asm::Image {
+    dtsvliw_asm::assemble(STRESS_SRC).expect("stress program assembles")
+}
+
+/// A fresh scratch directory under the system temp dir (the workspace
+/// has no tempfile dependency).
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dtsvliw-snapshot-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("scratch dir");
+    d
+}
+
+fn stats_doc(m: &Machine) -> String {
+    m.stats().to_json().to_string()
+}
+
+/// Overwrite one member of a parsed JSON object (tamper helper).
+fn set_field(doc: &mut Json, key: &str, value: Json) {
+    let Json::Obj(pairs) = doc else {
+        panic!("not an object");
+    };
+    let slot = pairs
+        .iter_mut()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("missing field {key}"));
+    slot.1 = value;
+}
+
+/// Mutable access to one member of a parsed JSON object.
+fn field_mut<'a>(doc: &'a mut Json, key: &str) -> &'a mut Json {
+    let Json::Obj(pairs) = doc else {
+        panic!("not an object");
+    };
+    pairs
+        .iter_mut()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("missing field {key}"))
+}
+
+/// Snapshot at several interrupt points — early (Primary warming the
+/// cache), mid-run (likely inside a VLIW block), late — restore each
+/// from disk, and continue both machines to completion: statistics,
+/// output and exit must agree byte for byte.
+#[test]
+fn snapshot_restore_round_trip_is_exact() {
+    for (i, interrupt_at) in [120u64, 700, 2300].into_iter().enumerate() {
+        let dir = scratch(&format!("roundtrip-{i}"));
+        let cfg = MachineConfig::ideal(4, 8);
+        let mut original = Machine::new(cfg.clone(), &stress_image());
+        original
+            .run(interrupt_at)
+            .expect("prefix of the run succeeds");
+        let path = original.write_snapshot(&dir).expect("snapshot writes");
+
+        let mut restored = Machine::resume_from(cfg.clone(), &path).expect("snapshot restores");
+        assert_eq!(
+            stats_doc(&original),
+            stats_doc(&restored),
+            "restored statistics must match at the interrupt point"
+        );
+
+        let a = original.run(10_000_000).expect("original completes");
+        let b = restored.run(10_000_000).expect("restored completes");
+        assert_eq!(a, b, "outcome must match (interrupt at {interrupt_at})");
+        assert_eq!(
+            stats_doc(&original),
+            stats_doc(&restored),
+            "final statistics must be byte-identical (interrupt at {interrupt_at})"
+        );
+        assert_eq!(original.output_string(), restored.output_string());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The kill-safety property end to end, with the fault layer armed so
+/// the injector's PRNG position rides along: a run interrupted after
+/// its last periodic snapshot (losing the tail, as a real SIGKILL
+/// would) and resumed from `latest.json` must finish with statistics
+/// byte-identical to a run that was never interrupted.
+#[test]
+fn interrupted_and_resumed_run_matches_uninterrupted() {
+    let dir = scratch("kill-resume");
+    let plan = FaultPlan::single(FaultSite::CacheBitFlip, 0.05, 4, 1234);
+    let mut cfg = MachineConfig::ideal(4, 8).with_faults(plan);
+    cfg.max_cycles = Some(20_000_000);
+
+    let mut uninterrupted = Machine::new(cfg.clone(), &stress_image());
+    let want = uninterrupted.run(10_000_000).expect("reference completes");
+
+    // "Kill" a second machine mid-flight: run_with_snapshots stops at
+    // the instruction budget and the machine is dropped, abandoning all
+    // progress since the last snapshot — exactly what SIGKILL leaves.
+    let mut victim = Machine::new(cfg.clone(), &stress_image());
+    victim
+        .run_with_snapshots(2_500, 500, &dir)
+        .expect("prefix completes");
+    drop(victim);
+    let latest = dir.join("latest.json");
+    assert!(latest.exists(), "periodic snapshots must have been written");
+
+    let mut resumed = Machine::resume_from(cfg.clone(), &latest).expect("resume from latest");
+    let got = resumed
+        .run_with_snapshots(10_000_000, 500, &dir)
+        .expect("resumed run completes");
+
+    assert_eq!(want, got, "outcome must survive the kill");
+    assert_eq!(
+        stats_doc(&uninterrupted),
+        stats_doc(&resumed),
+        "statistics must be byte-identical to the uninterrupted run"
+    );
+    assert_eq!(uninterrupted.output_string(), resumed.output_string());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every tamper mode gets its own typed rejection: bad JSON, a foreign
+/// document, an unknown version, a payload that fails the checksum, and
+/// a snapshot taken under a different configuration.
+#[test]
+fn corrupt_and_mismatched_snapshots_are_refused() {
+    let dir = scratch("tamper");
+    let cfg = MachineConfig::ideal(4, 8);
+    let mut m = Machine::new(cfg.clone(), &stress_image());
+    m.run(500).expect("prefix runs");
+    let path = m.write_snapshot(&dir).expect("snapshot writes");
+    let good = std::fs::read_to_string(&path).expect("snapshot reads");
+
+    let resume = |text: &str| {
+        let p = dir.join("tampered.json");
+        std::fs::write(&p, text).unwrap();
+        Machine::resume_from(cfg.clone(), &p)
+    };
+
+    // Truncation (a torn write, were writes not atomic).
+    assert!(matches!(
+        resume(&good[..good.len() / 2]),
+        Err(SnapshotError::Parse(_))
+    ));
+    // A JSON document that is not a snapshot.
+    assert!(matches!(
+        resume("{\"cycles\": 7}"),
+        Err(SnapshotError::Format(_))
+    ));
+    // A future format version.
+    let mut doc = Json::parse(&good).expect("snapshot parses");
+    set_field(&mut doc, "version", Json::U64(999));
+    assert!(matches!(
+        resume(&doc.to_string()),
+        Err(SnapshotError::Version { found: 999 })
+    ));
+    // A changed payload value: the checksum catches it.
+    let mut doc = Json::parse(&good).expect("snapshot parses");
+    let payload = field_mut(&mut doc, "payload");
+    let cycles = field_mut(payload, "cycles").as_u64().unwrap();
+    set_field(payload, "cycles", Json::U64(cycles + 1));
+    assert!(matches!(
+        resume(&doc.to_string()),
+        Err(SnapshotError::Checksum { .. })
+    ));
+    // The right file under the wrong configuration.
+    let other = MachineConfig::ideal(8, 8);
+    assert_ne!(config_digest(&cfg), config_digest(&other));
+    assert!(matches!(
+        Machine::resume_from(other, &path),
+        Err(SnapshotError::ConfigMismatch { .. })
+    ));
+    // And the untouched file still restores.
+    assert!(Machine::resume_from(cfg, &path).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -62,6 +62,16 @@ impl Rng64 {
     pub fn unit(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
+
+    /// The raw generator state (machine snapshots).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// A generator resumed at a previously captured [`Rng64::state`].
+    pub fn from_state(state: u64) -> Self {
+        Rng64 { state }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -267,6 +277,37 @@ impl FaultInjector {
     pub fn rng(&mut self) -> &mut Rng64 {
         &mut self.rng
     }
+
+    /// Serialise the mutable state (PRNG position and per-site landed
+    /// counts). The plan itself is not included — restore rebuilds the
+    /// injector from the machine configuration's plan and then resumes
+    /// the stream, so a resumed run draws the exact same decisions an
+    /// uninterrupted one would.
+    pub fn snapshot_json(&self) -> Json {
+        Json::obj([
+            ("rng_state", Json::U64(self.rng.state())),
+            (
+                "injected",
+                Json::Arr(self.injected.iter().map(|&n| Json::U64(n)).collect()),
+            ),
+        ])
+    }
+
+    /// Resume the mutable state from [`FaultInjector::snapshot_json`]
+    /// output; `None` on structural mismatch.
+    pub fn restore_snapshot(&mut self, j: &Json) -> Option<()> {
+        let injected = j.get("injected")?.as_arr()?;
+        if injected.len() != NUM_SITES {
+            return None;
+        }
+        let mut counts = [0u64; NUM_SITES];
+        for (slot, v) in counts.iter_mut().zip(injected) {
+            *slot = v.as_u64()?;
+        }
+        self.rng = Rng64::from_state(j.get("rng_state")?.as_u64()?);
+        self.injected = counts;
+        Some(())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -307,6 +348,27 @@ impl FaultStats {
     /// Total landed injections across sites.
     pub fn total_injected(&self) -> u64 {
         self.injected.iter().sum()
+    }
+
+    /// Parse back from the [`ToJson`] form (the derived `injected_total`
+    /// member is ignored).
+    pub fn from_json(j: &Json) -> Option<Self> {
+        let per_site = j.get("injected")?;
+        let mut injected = [0u64; NUM_SITES];
+        for s in FaultSite::ALL {
+            injected[s.index()] = per_site.get(s.label())?.as_u64()?;
+        }
+        Some(FaultStats {
+            injected,
+            detected: j.get("detected")?.as_u64()?,
+            recovered: j.get("recovered")?.as_u64()?,
+            replays: j.get("replays")?.as_u64()?,
+            replayed_instrs: j.get("replayed_instrs")?.as_u64()?,
+            replay_cycles: j.get("replay_cycles")?.as_u64()?,
+            scrubs: j.get("scrubs")?.as_u64()?,
+            quarantined: j.get("quarantined")?.as_u64()?,
+            quarantine_rejects: j.get("quarantine_rejects")?.as_u64()?,
+        })
     }
 }
 
@@ -407,6 +469,44 @@ mod tests {
                 assert_eq!(a.roll(s), b.roll(s));
             }
         }
+    }
+
+    #[test]
+    fn injector_snapshot_resumes_the_stream() {
+        let plan = FaultPlan::all_sites(0.5, 0, 77);
+        let mut a = FaultInjector::new(&plan);
+        for _ in 0..33 {
+            if a.roll(FaultSite::CacheBitFlip) {
+                a.note_injected(FaultSite::CacheBitFlip);
+            }
+        }
+        let snap = a.snapshot_json();
+        let mut b = FaultInjector::new(&plan);
+        b.restore_snapshot(&Json::parse(&snap.to_string()).unwrap())
+            .expect("restore");
+        assert_eq!(a.injected(), b.injected());
+        for _ in 0..64 {
+            for s in FaultSite::ALL {
+                assert_eq!(a.roll(s), b.roll(s));
+            }
+        }
+        assert!(b.restore_snapshot(&Json::U64(1)).is_none());
+    }
+
+    #[test]
+    fn fault_stats_json_round_trip() {
+        let mut st = FaultStats::default();
+        st.injected[FaultSite::CacheBitFlip.index()] = 4;
+        st.detected = 3;
+        st.recovered = 3;
+        st.replays = 2;
+        st.replayed_instrs = 120;
+        st.replay_cycles = 260;
+        st.scrubs = 1;
+        st.quarantined = 2;
+        st.quarantine_rejects = 5;
+        let back = FaultStats::from_json(&Json::parse(&st.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(st, back);
     }
 
     #[test]

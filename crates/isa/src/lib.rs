@@ -30,7 +30,7 @@ pub mod regs;
 pub mod resource;
 pub mod state;
 
-pub use cond::{Cond, FCond, Icc};
+pub use cond::{Cond, FCond, Fcc, Icc};
 pub use dyninstr::DynInstr;
 pub use insn::{AluOp, FpOp, Instr, MemOp, Src2};
 pub use regs::{phys_reg, NGLOBALS, NUM_PHYS_INT, NWINDOWS};

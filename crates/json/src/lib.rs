@@ -71,6 +71,23 @@ impl Json {
         }
     }
 
+    /// The value as an i64 (integers only; floats are not coerced).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::U64(n) => i64::try_from(*n).ok(),
+            Json::I64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as an f64 (any numeric variant).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
@@ -575,6 +592,17 @@ mod tests {
         let n = (1u64 << 53) + 1; // not representable as f64
         let text = Json::U64(n).to_string();
         assert_eq!(Json::parse(&text).unwrap().as_u64(), Some(n));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert_eq!(Json::U64(1).as_bool(), None);
+        assert_eq!(Json::I64(-3).as_i64(), Some(-3));
+        assert_eq!(Json::U64(7).as_i64(), Some(7));
+        assert_eq!(Json::U64(u64::MAX).as_i64(), None, "out of i64 range");
+        assert_eq!(Json::F64(1.0).as_i64(), None, "floats are not coerced");
+        assert_eq!(Json::I64(-1).as_u64(), None);
     }
 
     #[test]

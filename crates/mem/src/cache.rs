@@ -103,6 +103,14 @@ impl ToJson for CacheStats {
 }
 
 impl CacheStats {
+    /// Parse back from the [`ToJson`] form.
+    pub fn from_json(j: &Json) -> Option<Self> {
+        Some(CacheStats {
+            hits: j.get("hits")?.as_u64()?,
+            misses: j.get("misses")?.as_u64()?,
+        })
+    }
+
     /// Total accesses.
     pub fn accesses(&self) -> u64 {
         self.hits + self.misses
@@ -216,6 +224,51 @@ impl Cache {
             l.valid = false;
         }
     }
+
+    /// Serialise the exact mutable state — every line's tag/valid/LRU
+    /// stamp, the LRU tick and the counters — so a restored run replays
+    /// the same hit/miss sequence cycle for cycle.
+    pub fn snapshot_json(&self) -> Json {
+        let lines = self
+            .lines
+            .iter()
+            .map(|l| {
+                Json::arr([
+                    Json::U64(l.tag as u64),
+                    Json::Bool(l.valid),
+                    Json::U64(l.lru),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("lines", Json::Arr(lines)),
+            ("tick", Json::U64(self.tick)),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+
+    /// Rebuild from [`Cache::snapshot_json`] output and the geometry the
+    /// cache ran with; `None` on structural mismatch (including a line
+    /// count that does not match the geometry).
+    pub fn from_snapshot_json(config: CacheConfig, j: &Json) -> Option<Cache> {
+        let mut c = Cache::new(config);
+        let lines = j.get("lines")?.as_arr()?;
+        if lines.len() != c.lines.len() {
+            return None;
+        }
+        for (slot, l) in c.lines.iter_mut().zip(lines) {
+            let l = l.as_arr()?;
+            if l.len() != 3 {
+                return None;
+            }
+            slot.tag = u32::try_from(l[0].as_u64()?).ok()?;
+            slot.valid = l[1].as_bool()?;
+            slot.lru = l[2].as_u64()?;
+        }
+        c.tick = j.get("tick")?.as_u64()?;
+        c.stats = CacheStats::from_json(j.get("stats")?)?;
+        Some(c)
+    }
 }
 
 #[cfg(test)]
@@ -282,6 +335,25 @@ mod tests {
         c.access(0x0);
         c.invalidate_all();
         assert!(!c.access(0x0));
+    }
+
+    #[test]
+    fn snapshot_round_trip_replays_identically() {
+        let mut a = tiny();
+        for addr in [0x000u32, 0x040, 0x000, 0x080, 0x100, 0x044] {
+            a.access(addr);
+        }
+        let j = a.snapshot_json();
+        let mut b =
+            Cache::from_snapshot_json(a.config(), &Json::parse(&j.to_string()).unwrap()).unwrap();
+        assert_eq!(a.stats(), b.stats());
+        // Same future behaviour, including LRU victim choice.
+        for addr in [0x000u32, 0x040, 0x080, 0x0c0, 0x000] {
+            assert_eq!(a.access(addr), b.access(addr), "addr {addr:#x}");
+        }
+        assert_eq!(a.stats(), b.stats());
+        // Wrong geometry is rejected.
+        assert!(Cache::from_snapshot_json(CacheConfig::paper_icache(), &j).is_none());
     }
 
     #[test]

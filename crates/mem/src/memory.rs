@@ -1,5 +1,6 @@
 //! Sparse paged big-endian memory.
 
+use dtsvliw_json::Json;
 use std::collections::HashMap;
 
 const PAGE_SHIFT: u32 = 12;
@@ -140,6 +141,57 @@ impl Memory {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Serialise the memory image for a machine snapshot: a sorted array
+    /// of `[page_number, hex_bytes]` pairs. All-zero pages are skipped —
+    /// they are semantically absent (see [`Memory::first_difference`]) —
+    /// so the encoding is canonical regardless of write history.
+    pub fn snapshot_json(&self) -> Json {
+        let mut nums: Vec<u32> = self.pages.keys().copied().collect();
+        nums.sort_unstable();
+        let pages = nums
+            .into_iter()
+            .filter_map(|n| {
+                let p = &self.pages[&n];
+                if p.iter().all(|&b| b == 0) {
+                    return None;
+                }
+                let mut hex = String::with_capacity(2 * PAGE_SIZE);
+                for &b in p.iter() {
+                    hex.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+                    hex.push(char::from_digit((b & 15) as u32, 16).unwrap());
+                }
+                Some(Json::arr([Json::U64(n as u64), Json::Str(hex)]))
+            })
+            .collect();
+        Json::Arr(pages)
+    }
+
+    /// Rebuild a memory from [`Memory::snapshot_json`] output; `None` on
+    /// any structural mismatch.
+    pub fn from_snapshot_json(j: &Json) -> Option<Memory> {
+        let mut m = Memory::new();
+        for entry in j.as_arr()? {
+            let pair = entry.as_arr()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            let n = u32::try_from(pair[0].as_u64()?).ok()?;
+            let hex = pair[1].as_str()?;
+            if hex.len() != 2 * PAGE_SIZE || !hex.is_ascii() {
+                return None;
+            }
+            let mut page = Box::new([0u8; PAGE_SIZE]);
+            let bytes = hex.as_bytes();
+            for (i, slot) in page.iter_mut().enumerate() {
+                let hi = (bytes[2 * i] as char).to_digit(16)?;
+                let lo = (bytes[2 * i + 1] as char).to_digit(16)?;
+                *slot = (hi << 4 | lo) as u8;
+            }
+            m.pages.insert(n, page);
+        }
+        Some(m)
+    }
 }
 
 #[cfg(test)]
@@ -191,5 +243,27 @@ mod tests {
         m.load(0x2000, &[1, 2, 3, 4, 5]);
         assert_eq!(m.read_u32(0x2000), 0x0102_0304);
         assert_eq!(m.read_u8(0x2004), 5);
+    }
+
+    #[test]
+    fn snapshot_round_trip_skips_zero_pages() {
+        let mut m = Memory::new();
+        m.write_u32(0x1000, 0xdead_beef);
+        m.write_u8(0xffff_fffe, 7);
+        m.write_u8(0x5000, 1);
+        m.write_u8(0x5000, 0); // page becomes all-zero again
+        let j = m.snapshot_json();
+        assert_eq!(j.as_arr().unwrap().len(), 2, "zero page dropped");
+        let back = Memory::from_snapshot_json(&Json::parse(&j.to_string()).unwrap()).unwrap();
+        assert_eq!(m.first_difference(&back), None);
+        assert_eq!(back.read_u32(0x1000), 0xdead_beef);
+        assert_eq!(back.read_u8(0xffff_fffe), 7);
+    }
+
+    #[test]
+    fn snapshot_rejects_malformed() {
+        assert!(Memory::from_snapshot_json(&Json::U64(3)).is_none());
+        let bad = Json::arr([Json::arr([Json::U64(1), Json::Str("zz".into())])]);
+        assert!(Memory::from_snapshot_json(&bad).is_none());
     }
 }

@@ -66,6 +66,18 @@ impl PipelineModel {
         self.last_load_writes = None;
     }
 
+    /// The previous load's destination list, if the next instruction
+    /// could stall on it (machine snapshots: the load-use bubble must
+    /// survive a restore for cycle-exact resume).
+    pub fn last_load_writes(&self) -> Option<ResList> {
+        self.last_load_writes
+    }
+
+    /// Restore the state captured by [`PipelineModel::last_load_writes`].
+    pub fn set_last_load_writes(&mut self, v: Option<ResList>) {
+        self.last_load_writes = v;
+    }
+
     /// Cycles the Primary Processor spends retiring `d`, excluding cache
     /// miss penalties (the machine charges those separately because the
     /// caches are shared with the VLIW Engine).

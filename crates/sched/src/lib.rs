@@ -36,6 +36,7 @@
 pub mod block;
 pub mod scheduler;
 pub mod signals;
+pub mod snapshot;
 
 pub use block::{Block, CopyInstr, LongInstr, RenameCounts, ScheduledInstr, SlotOp};
 pub use scheduler::{InsertOutcome, Resolution, ResolveEvent, SchedConfig, SchedStats, Scheduler};

@@ -238,14 +238,14 @@ pub struct ResolveEvent {
 pub struct Scheduler {
     cfg: SchedConfig,
     pub(crate) elems: Vec<Element>,
-    block_tag: u32,
-    entry_cwp: u8,
-    entry_resident: u8,
-    window_sensitive: bool,
-    ls_counter: u16,
-    renames: RenameCounts,
-    first_seq: u64,
-    stats: SchedStats,
+    pub(crate) block_tag: u32,
+    pub(crate) entry_cwp: u8,
+    pub(crate) entry_resident: u8,
+    pub(crate) window_sensitive: bool,
+    pub(crate) ls_counter: u16,
+    pub(crate) renames: RenameCounts,
+    pub(crate) first_seq: u64,
+    pub(crate) stats: SchedStats,
     /// When `Some`, every candidate resolution is recorded here (tests).
     pub trace_events: Option<Vec<ResolveEvent>>,
 }

@@ -116,6 +116,13 @@ pub enum TraceEvent {
     /// line and replayed `replayed` sequential instructions on the
     /// Primary Processor before continuing.
     Recovery { tag: u32, replayed: u32 },
+    /// The engine-level circuit breaker tripped: `events` detections
+    /// landed inside the sliding window and the machine dropped to
+    /// primary-only execution until cycle `until`.
+    DegradedEnter { events: u32, until: u64 },
+    /// The circuit-breaker cooldown elapsed after `cycles` degraded
+    /// cycles; the VLIW Engine is re-armed.
+    DegradedExit { cycles: u64 },
 }
 
 impl TraceEvent {
@@ -135,6 +142,8 @@ impl TraceEvent {
             TraceEvent::SchedulerSplit { .. } => "scheduler_split",
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::Recovery { .. } => "recovery",
+            TraceEvent::DegradedEnter { .. } => "degraded_enter",
+            TraceEvent::DegradedExit { .. } => "degraded_exit",
         }
     }
 
@@ -211,6 +220,15 @@ impl TraceEvent {
                     ("replayed".into(), Json::U64(replayed as u64)),
                 ]
             }
+            TraceEvent::DegradedEnter { events, until } => {
+                vec![
+                    ("events".into(), Json::U64(events as u64)),
+                    ("until".into(), Json::U64(until)),
+                ]
+            }
+            TraceEvent::DegradedExit { cycles } => {
+                vec![("cycles".into(), Json::U64(cycles))]
+            }
         }
     }
 
@@ -218,7 +236,9 @@ impl TraceEvent {
     /// reserved for engine-mode spans.
     pub fn track(&self) -> u32 {
         match self {
-            TraceEvent::ModeSwap { .. } => 0,
+            TraceEvent::ModeSwap { .. }
+            | TraceEvent::DegradedEnter { .. }
+            | TraceEvent::DegradedExit { .. } => 0,
             TraceEvent::BlockInstall { .. } | TraceEvent::SchedulerSplit { .. } => 1,
             TraceEvent::BlockEvict { .. } => 2,
             TraceEvent::LiCommit { .. }
@@ -367,6 +387,11 @@ mod tests {
                 tag: 0,
                 replayed: 0,
             },
+            TraceEvent::DegradedEnter {
+                events: 0,
+                until: 0,
+            },
+            TraceEvent::DegradedExit { cycles: 0 },
         ];
         let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();

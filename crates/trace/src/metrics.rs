@@ -231,6 +231,19 @@ impl Metrics {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Parse back from the [`ToJson`] form (machine snapshots).
+    pub fn from_json(j: &Json) -> Option<Self> {
+        Some(Metrics {
+            li_slot_occupancy: Histogram::from_json(j.get("li_slot_occupancy")?)?,
+            block_height: Histogram::from_json(j.get("block_height")?)?,
+            block_filled: Histogram::from_json(j.get("block_filled")?)?,
+            swap_gap_cycles: Histogram::from_json(j.get("swap_gap_cycles")?)?,
+            evicted_block_lifetime: Histogram::from_json(j.get("evicted_block_lifetime")?)?,
+            trace_events: j.get("trace_events")?.as_u64()?,
+            trace_dropped: j.get("trace_dropped")?.as_u64()?,
+        })
+    }
 }
 
 impl ToJson for Metrics {
@@ -335,6 +348,18 @@ mod tests {
         lin.record(13);
         let lin2 = Histogram::from_json(&Json::parse(&lin.to_json().to_string()).unwrap()).unwrap();
         assert_eq!(lin, lin2);
+    }
+
+    #[test]
+    fn metrics_round_trip() {
+        let mut m = Metrics::new();
+        m.block_height.record(6);
+        m.swap_gap_cycles.record(900);
+        m.trace_events = 4;
+        m.trace_dropped = 1;
+        let back = Metrics::from_json(&Json::parse(&m.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(m, back);
+        assert!(Metrics::from_json(&Json::Null).is_none());
     }
 
     #[test]

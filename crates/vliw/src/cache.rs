@@ -1,6 +1,8 @@
 //! The VLIW Cache: one block of long instructions per line (paper §3.4).
 
+use crate::engine::EngineError;
 use dtsvliw_json::{Json, ToJson};
+use dtsvliw_sched::snapshot::{block_from_json, block_to_json};
 use dtsvliw_sched::Block;
 use std::sync::Arc;
 
@@ -64,6 +66,19 @@ pub struct VliwCacheStats {
     pub evictions: u64,
     /// Blocks invalidated after aliasing exceptions.
     pub invalidations: u64,
+}
+
+impl VliwCacheStats {
+    /// Parse back from the [`ToJson`] form (machine snapshots).
+    pub fn from_json(j: &Json) -> Option<Self> {
+        Some(VliwCacheStats {
+            hits: j.get("hits")?.as_u64()?,
+            misses: j.get("misses")?.as_u64()?,
+            inserts: j.get("inserts")?.as_u64()?,
+            evictions: j.get("evictions")?.as_u64()?,
+            invalidations: j.get("invalidations")?.as_u64()?,
+        })
+    }
 }
 
 impl ToJson for VliwCacheStats {
@@ -197,15 +212,20 @@ impl VliwCache {
     }
 
     /// Insert a block sealed by the Scheduler Unit, evicting LRU.
-    pub fn insert(&mut self, block: Block) {
-        self.insert_at(block, 0);
+    pub fn insert(&mut self, block: Block) -> Result<(), EngineError> {
+        self.insert_at(block, 0).map(|_| ())
     }
 
     /// Like [`VliwCache::insert`], recording the current machine cycle
     /// as the block's install time. Returns the valid block replacement
     /// displaced, if any (a same-tag reinstall supersedes in place and
-    /// reports nothing, matching the `evictions` counter).
-    pub fn insert_at(&mut self, block: Block, now: u64) -> Option<EvictedBlock> {
+    /// reports nothing, matching the `evictions` counter). Fails only
+    /// when the cache was built with no lines.
+    pub fn insert_at(
+        &mut self,
+        block: Block,
+        now: u64,
+    ) -> Result<Option<EvictedBlock>, EngineError> {
         self.tick += 1;
         let tick = self.tick;
         let addr = block.tag_addr;
@@ -231,7 +251,7 @@ impl VliwCache {
                             0
                         }
                     })
-                    .unwrap();
+                    .ok_or(EngineError::NoCacheLines)?;
                 evicted = lines[i].block.as_ref().map(|b| EvictedBlock {
                     tag_addr: b.tag_addr,
                     installed_cycle: lines[i].installed_cycle,
@@ -249,7 +269,7 @@ impl VliwCache {
         victim.installed_cycle = now;
         self.stats.evictions += evicted.is_some() as u64;
         self.stats.inserts += 1;
-        evicted
+        Ok(evicted)
     }
 
     /// Invalidate the block tagged `addr` at window `cwp` (aliasing
@@ -329,6 +349,62 @@ impl VliwCache {
     pub fn resident_blocks(&self) -> usize {
         self.lines.iter().filter(|l| l.block.is_some()).count()
     }
+
+    /// Serialise the exact mutable state — every line's resident block
+    /// (content, nba, branch tags, order/cross bits and all), LRU stamp,
+    /// install cycle and integrity checksum, the LRU tick, the counters,
+    /// and the integrity flag — so a restored machine resumes with the
+    /// same resident blocks and the same future replacement decisions.
+    pub fn snapshot_json(&self) -> Json {
+        let lines = self
+            .lines
+            .iter()
+            .map(|l| {
+                Json::obj([
+                    (
+                        "block",
+                        match &l.block {
+                            Some(b) => block_to_json(b),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("lru", Json::U64(l.lru)),
+                    ("installed", Json::U64(l.installed_cycle)),
+                    ("checksum", Json::U64(l.checksum)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("lines", Json::Arr(lines)),
+            ("tick", Json::U64(self.tick)),
+            ("integrity", Json::Bool(self.integrity)),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+
+    /// Rebuild from [`VliwCache::snapshot_json`] output and the geometry
+    /// the cache ran with; `None` on structural mismatch (including a
+    /// line count that does not match the geometry).
+    pub fn from_snapshot_json(config: VliwCacheConfig, j: &Json) -> Option<VliwCache> {
+        let mut c = VliwCache::new(config);
+        let lines = j.get("lines")?.as_arr()?;
+        if lines.len() != c.lines.len() {
+            return None;
+        }
+        for (slot, lj) in c.lines.iter_mut().zip(lines) {
+            slot.block = match lj.get("block")? {
+                Json::Null => None,
+                bj => Some(Arc::new(block_from_json(bj)?)),
+            };
+            slot.lru = lj.get("lru")?.as_u64()?;
+            slot.installed_cycle = lj.get("installed")?.as_u64()?;
+            slot.checksum = lj.get("checksum")?.as_u64()?;
+        }
+        c.tick = j.get("tick")?.as_u64()?;
+        c.integrity = j.get("integrity")?.as_bool()?;
+        c.stats = VliwCacheStats::from_json(j.get("stats")?)?;
+        Some(c)
+    }
 }
 
 #[cfg(test)]
@@ -367,7 +443,7 @@ mod tests {
     #[test]
     fn hit_requires_tag_and_window() {
         let mut c = cache(3072, 4);
-        c.insert(block(0x1000, 2));
+        c.insert(block(0x1000, 2)).unwrap();
         assert!(c.lookup(0x1000, 2, 1).is_some());
         assert!(c.lookup(0x1000, 3, 1).is_none(), "wrong window");
         assert!(c.lookup(0x1004, 2, 1).is_none(), "wrong tag");
@@ -381,7 +457,7 @@ mod tests {
         let mut b = block(0x2000, 0);
         b.window_sensitive = true;
         b.entry_resident = 3;
-        c.insert(b);
+        c.insert(b).unwrap();
         assert!(c.lookup(0x2000, 0, 3).is_some());
         assert!(c.lookup(0x2000, 0, 4).is_none());
     }
@@ -389,10 +465,10 @@ mod tests {
     #[test]
     fn reinsert_replaces_same_tag() {
         let mut c = cache(3072, 4);
-        c.insert(block(0x1000, 0));
+        c.insert(block(0x1000, 0)).unwrap();
         let mut b2 = block(0x1000, 0);
         b2.nba_addr = 0x9999;
-        c.insert(b2);
+        c.insert(b2).unwrap();
         assert_eq!(c.resident_blocks(), 1, "same tag replaced, not duplicated");
         assert_eq!(c.lookup(0x1000, 0, 1).unwrap().nba_addr, 0x9999);
     }
@@ -407,10 +483,10 @@ mod tests {
             height: 4,
         });
         assert_eq!(c.config().sets(), 1);
-        c.insert(block(0x1000, 0));
-        c.insert(block(0x2000, 0));
+        c.insert(block(0x1000, 0)).unwrap();
+        c.insert(block(0x2000, 0)).unwrap();
         c.lookup(0x1000, 0, 1).unwrap(); // touch 0x1000
-        c.insert(block(0x3000, 0)); // evicts 0x2000
+        c.insert(block(0x3000, 0)).unwrap(); // evicts 0x2000
         assert!(c.lookup(0x2000, 0, 1).is_none());
         assert!(c.lookup(0x1000, 0, 1).is_some());
         assert_eq!(c.stats().evictions, 1);
@@ -419,7 +495,7 @@ mod tests {
     #[test]
     fn invalidate_removes_block() {
         let mut c = cache(3072, 4);
-        c.insert(block(0x1000, 0));
+        c.insert(block(0x1000, 0)).unwrap();
         c.invalidate(0x1000, 0);
         assert!(c.lookup(0x1000, 0, 1).is_none());
         assert_eq!(c.stats().invalidations, 1);
@@ -433,14 +509,14 @@ mod tests {
             width: 4,
             height: 4,
         });
-        assert!(c.insert_at(block(0x1000, 0), 10).is_none());
-        assert!(c.insert_at(block(0x2000, 0), 20).is_none());
+        assert!(c.insert_at(block(0x1000, 0), 10).unwrap().is_none());
+        assert!(c.insert_at(block(0x2000, 0), 20).unwrap().is_none());
         c.lookup(0x1000, 0, 1).unwrap(); // touch 0x1000 so 0x2000 is LRU
-        let ev = c.insert_at(block(0x3000, 0), 50).unwrap();
+        let ev = c.insert_at(block(0x3000, 0), 50).unwrap().unwrap();
         assert_eq!(ev.tag_addr, 0x2000);
         assert_eq!(ev.installed_cycle, 20);
         // Same-tag reinstall supersedes in place: nothing reported.
-        assert!(c.insert_at(block(0x3000, 0), 60).is_none());
+        assert!(c.insert_at(block(0x3000, 0), 60).unwrap().is_none());
         // Invalidation reports the displaced block too.
         let gone = c.invalidate_at(0x1000, 0).unwrap();
         assert_eq!(gone.installed_cycle, 10);
@@ -451,7 +527,7 @@ mod tests {
     fn integrity_detects_in_place_mutation() {
         let mut c = cache(3072, 4);
         c.set_integrity(true);
-        c.insert(block(0x1000, 0));
+        c.insert(block(0x1000, 0)).unwrap();
         assert!(c.verify_block(0x1000, 0), "clean line verifies");
         // The executing engine's clone keeps the original content...
         let held = c.lookup(0x1000, 0, 1).unwrap();
@@ -465,20 +541,54 @@ mod tests {
         assert!(!c.verify_block(0x1000, 0));
         assert!(c.verify_block(0x5000, 0), "miss verifies vacuously");
         // A fresh install re-records the checksum.
-        c.insert(block(0x1000, 0));
+        c.insert(block(0x1000, 0)).unwrap();
         assert!(c.verify_block(0x1000, 0));
         // With recording off, mutations go unnoticed (the fault-free
         // fast path).
         let mut off = cache(3072, 4);
-        off.insert(block(0x2000, 0));
+        off.insert(block(0x2000, 0)).unwrap();
         off.with_block_mut(0x2000, 0, |b| b.nba_addr ^= 4);
         assert!(off.verify_block(0x2000, 0));
     }
 
     #[test]
+    fn snapshot_round_trip_preserves_blocks_and_lru() {
+        let mut a = VliwCache::new(VliwCacheConfig {
+            size_bytes: 2 * 96,
+            ways: 2,
+            width: 4,
+            height: 4,
+        });
+        a.set_integrity(true);
+        a.insert_at(block(0x1000, 0), 10).unwrap();
+        a.insert_at(block(0x2000, 0), 20).unwrap();
+        a.lookup(0x1000, 0, 1).unwrap(); // make 0x2000 the LRU victim
+        let j = a.snapshot_json().to_string();
+        let mut b = VliwCache::from_snapshot_json(a.config(), &Json::parse(&j).unwrap()).unwrap();
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.resident_blocks(), b.resident_blocks());
+        assert_eq!(
+            a.lookup(0x2000, 0, 1).unwrap().content_hash(),
+            b.lookup(0x2000, 0, 1).unwrap().content_hash()
+        );
+        assert!(b.verify_block(0x1000, 0), "checksums survive the trip");
+        // Same future replacement decision.
+        let ea = a.insert_at(block(0x3000, 0), 50).unwrap().unwrap();
+        let eb = b.insert_at(block(0x3000, 0), 50).unwrap().unwrap();
+        assert_eq!(ea, eb);
+        // Wrong geometry is rejected, as is structural damage.
+        assert!(VliwCache::from_snapshot_json(
+            VliwCacheConfig::kb(3072, 4, 4, 4),
+            &Json::parse(&j).unwrap()
+        )
+        .is_none());
+        assert!(VliwCache::from_snapshot_json(a.config(), &Json::parse("{}").unwrap()).is_none());
+    }
+
+    #[test]
     fn peek_does_not_count() {
         let mut c = cache(3072, 4);
-        c.insert(block(0x1000, 0));
+        c.insert(block(0x1000, 0)).unwrap();
         assert!(c.peek(0x1000, 0, 1));
         assert!(!c.peek(0x1000, 1, 1));
         assert_eq!(c.stats().hits + c.stats().misses, 0);

@@ -82,6 +82,57 @@ pub struct LiOutcome {
     pub annulled: u32,
 }
 
+/// Structural failures the engine can hit while executing a block.
+///
+/// None of these arise from well-formed blocks — the Scheduler Unit
+/// never emits a memory op without an `ls_order`, a COPY whose source is
+/// an architectural register, or a write-back with no computed result.
+/// They *do* arise from corrupted blocks (the PR 3 fault campaigns flip
+/// bits in resident VLIW Cache lines), and a corrupted block must fail
+/// as a recoverable machine error, not a simulator panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// [`VliwEngine::rollback`] was called with no active checkpoint.
+    RollbackWithoutCheckpoint,
+    /// A memory operation reached execution without the `ls_order`
+    /// field the aliasing detector keys on (§3.10).
+    MissingLsOrder,
+    /// A committed operation's write-back destination had no computed
+    /// result of the matching class.
+    MissingWriteBack(Resource),
+    /// A COPY operation's source was not a renaming register.
+    BadCopySource(Resource),
+    /// A COPY operation's target was not an architectural or renaming
+    /// register of the source's class.
+    BadCopyTarget(Resource),
+    /// A mispredicting branch had no recorded dynamic sequence number.
+    MissingBranchSeq,
+    /// The VLIW Cache was built with no lines to install into.
+    NoCacheLines,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::RollbackWithoutCheckpoint => {
+                write!(f, "rollback without an active checkpoint")
+            }
+            EngineError::MissingLsOrder => write!(f, "memory operation without an ls_order field"),
+            EngineError::MissingWriteBack(r) => {
+                write!(f, "write-back to {r:?} with no computed result")
+            }
+            EngineError::BadCopySource(r) => {
+                write!(f, "copy source {r:?} is not a renaming register")
+            }
+            EngineError::BadCopyTarget(r) => write!(f, "copy target {r:?} has the wrong class"),
+            EngineError::MissingBranchSeq => write!(f, "mispredicting branch without a seq"),
+            EngineError::NoCacheLines => write!(f, "VLIW cache has no lines"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// Aggregate VLIW Engine statistics (Table 3 columns).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -112,6 +163,28 @@ pub struct EngineStats {
     pub recovery_truncated: u64,
     /// Load/store-list entries dropped by an armed list cap.
     pub ls_list_dropped: u64,
+}
+
+impl EngineStats {
+    /// Parse back from the [`ToJson`] form (machine snapshots).
+    pub fn from_json(j: &Json) -> Option<Self> {
+        let u32_of = |key: &str| u32::try_from(j.get(key)?.as_u64()?).ok();
+        Some(EngineStats {
+            lis: j.get("lis")?.as_u64()?,
+            committed: j.get("committed")?.as_u64()?,
+            annulled: j.get("annulled")?.as_u64()?,
+            mispredicts: j.get("mispredicts")?.as_u64()?,
+            alias_exceptions: j.get("alias_exceptions")?.as_u64()?,
+            other_exceptions: j.get("other_exceptions")?.as_u64()?,
+            max_load_list: u32_of("max_load_list")?,
+            max_store_list: u32_of("max_store_list")?,
+            max_recovery_list: u32_of("max_recovery_list")?,
+            max_data_store_list: u32_of("max_data_store_list")?,
+            alias_suppressed: j.get("alias_suppressed")?.as_u64()?,
+            recovery_truncated: j.get("recovery_truncated")?.as_u64()?,
+            ls_list_dropped: j.get("ls_list_dropped")?.as_u64()?,
+        })
+    }
 }
 
 impl ToJson for EngineStats {
@@ -348,8 +421,11 @@ impl VliwEngine {
 
     /// Restore the checkpoint: registers from the shadow copy, memory by
     /// unwinding the recovery store list in reverse (§3.11).
-    pub fn rollback(&mut self, state: &mut ArchState, mem: &mut Memory) {
-        let shadow = self.shadow.take().expect("rollback without checkpoint");
+    pub fn rollback(&mut self, state: &mut ArchState, mem: &mut Memory) -> Result<(), EngineError> {
+        let shadow = self
+            .shadow
+            .take()
+            .ok_or(EngineError::RollbackWithoutCheckpoint)?;
         for &(addr, size, old) in self.recovery.iter().rev() {
             mem.write(addr, size, old);
         }
@@ -361,6 +437,7 @@ impl VliwEngine {
         self.data_stores.clear();
         self.load_list.clear();
         self.store_list.clear();
+        Ok(())
     }
 
     // -------------------------------------------------------------
@@ -417,7 +494,12 @@ impl VliwEngine {
     // Compute phase
     // -------------------------------------------------------------
 
-    fn compute_instr(&self, s: &ScheduledInstr, state: &ArchState, mem: &Memory) -> Effect {
+    fn compute_instr(
+        &self,
+        s: &ScheduledInstr,
+        state: &ArchState,
+        mem: &Memory,
+    ) -> Result<Effect, EngineError> {
         let mut e = Effect {
             tag: s.tag,
             writes: s.writes,
@@ -446,7 +528,7 @@ impl VliwEngine {
                 let size = op.size();
                 if !addr.is_multiple_of(size as u32) {
                     e.fault = true;
-                    return e;
+                    return Ok(e);
                 }
                 if op.is_store() {
                     let data = if op.is_fp() {
@@ -463,15 +545,8 @@ impl VliwEngine {
                     } else {
                         e.mem_write = Some((addr, size, data));
                         e.dcache = Some(addr);
-                        e.ls_check = Some((
-                            true,
-                            LsEntry {
-                                addr,
-                                size,
-                                order: s.ls_order.unwrap(),
-                            },
-                            s.cross,
-                        ));
+                        let order = s.ls_order.ok_or(EngineError::MissingLsOrder)?;
+                        e.ls_check = Some((true, LsEntry { addr, size, order }, s.cross));
                     }
                 } else {
                     e.is_load = true;
@@ -490,15 +565,8 @@ impl VliwEngine {
                     } else {
                         e.int_res = Some(value);
                     }
-                    e.ls_check = Some((
-                        false,
-                        LsEntry {
-                            addr,
-                            size,
-                            order: s.ls_order.unwrap(),
-                        },
-                        s.cross,
-                    ));
+                    let order = s.ls_order.ok_or(EngineError::MissingLsOrder)?;
+                    e.ls_check = Some((false, LsEntry { addr, size, order }, s.cross));
                 }
             }
             Instr::Bicc { cond, .. } => {
@@ -564,10 +632,10 @@ impl VliwEngine {
                 e.fault = true;
             }
         }
-        e
+        Ok(e)
     }
 
-    fn compute_copy(&self, c: &CopyInstr) -> Effect {
+    fn compute_copy(&self, c: &CopyInstr) -> Result<Effect, EngineError> {
         let mut e = Effect {
             tag: c.tag,
             ..Effect::default()
@@ -582,20 +650,21 @@ impl VliwEngine {
                     let b = self.membuf[*k as usize];
                     e.mem_write = Some((b.addr, b.size, b.value));
                     e.dcache = Some(b.addr);
+                    let order = c.ls_order.ok_or(EngineError::MissingLsOrder)?;
                     e.ls_check = Some((
                         true,
                         LsEntry {
                             addr: b.addr,
                             size: b.size,
-                            order: c.ls_order.unwrap(),
+                            order,
                         },
                         c.cross,
                     ));
                 }
-                other => unreachable!("copy source is always a renaming register: {other:?}"),
+                other => return Err(EngineError::BadCopySource(*other)),
             }
         }
-        e
+        Ok(e)
     }
 
     // -------------------------------------------------------------
@@ -603,14 +672,16 @@ impl VliwEngine {
     // -------------------------------------------------------------
 
     /// Execute long instruction `li` of `block` against the shared
-    /// machine state.
+    /// machine state. `Err` means the block itself is structurally
+    /// corrupt (see [`EngineError`]); the machine state may have been
+    /// partially written and the caller must roll back and requarantine.
     pub fn exec_li(
         &mut self,
         block: &Block,
         li: usize,
         state: &mut ArchState,
         mem: &mut Memory,
-    ) -> LiOutcome {
+    ) -> Result<LiOutcome, EngineError> {
         debug_assert!(self.shadow.is_some(), "begin_block first");
         let row = &block.lis[li];
         self.stats.lis += 1;
@@ -622,7 +693,7 @@ impl VliwEngine {
                 SlotOp::Instr(s) => self.compute_instr(s, state, mem),
                 SlotOp::Copy(c) => self.compute_copy(c),
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let branch_seqs: Vec<(u8, u64)> = row
             .ops()
             .filter_map(|op| match op {
@@ -663,13 +734,13 @@ impl VliwEngine {
         // Runtime faults on valid ops roll the whole block back.
         if effects.iter().any(|e| e.fault && valid(e)) {
             self.stats.other_exceptions += 1;
-            self.rollback(state, mem);
-            return LiOutcome {
+            self.rollback(state, mem)?;
+            return Ok(LiOutcome {
                 result: LiResult::Exception { aliasing: false },
                 dcache_accesses,
                 committed: 0,
                 annulled: 0,
-            };
+            });
         }
 
         // Armed §3.11 fault: the checkpoint-recovery store list loses
@@ -688,13 +759,13 @@ impl VliwEngine {
             let drop = self.recovery.len().div_ceil(2);
             self.recovery.drain(..drop);
             self.stats.other_exceptions += 1;
-            self.rollback(state, mem);
-            return LiOutcome {
+            self.rollback(state, mem)?;
+            return Ok(LiOutcome {
                 result: LiResult::Exception { aliasing: true },
                 dcache_accesses,
                 committed: 0,
                 annulled: 0,
-            };
+            });
         }
 
         // Phase 2a: aliasing checks for the valid memory ops (§3.10),
@@ -747,13 +818,13 @@ impl VliwEngine {
         }
         if alias {
             self.stats.alias_exceptions += 1;
-            self.rollback(state, mem);
-            return LiOutcome {
+            self.rollback(state, mem)?;
+            return Ok(LiOutcome {
                 result: LiResult::Exception { aliasing: true },
                 dcache_accesses,
                 committed: 0,
                 annulled: 0,
-            };
+            });
         }
 
         // Phase 2b: commit.
@@ -763,17 +834,24 @@ impl VliwEngine {
                 continue;
             }
             committed += 1;
+            let missing = |w: &Resource| EngineError::MissingWriteBack(*w);
             for w in e.writes.iter() {
                 match w {
-                    Resource::Int(p) => state.int[*p as usize] = e.int_res.unwrap(),
-                    Resource::IntRen(k) => self.ren_int[*k as usize] = e.int_res.unwrap(),
-                    Resource::Fp(f) => state.fp[*f as usize] = e.fp_res.unwrap(),
-                    Resource::FpRen(k) => self.ren_fp[*k as usize] = e.fp_res.unwrap(),
-                    Resource::Icc => state.icc = e.icc_res.unwrap(),
-                    Resource::IccRen(k) => self.ren_icc[*k as usize] = e.icc_res.unwrap(),
-                    Resource::Fcc => state.fcc = e.fcc_res.unwrap(),
-                    Resource::FccRen(k) => self.ren_fcc[*k as usize] = e.fcc_res.unwrap(),
-                    Resource::Y => state.y = e.y_res.unwrap(),
+                    Resource::Int(p) => state.int[*p as usize] = e.int_res.ok_or(missing(w))?,
+                    Resource::IntRen(k) => {
+                        self.ren_int[*k as usize] = e.int_res.ok_or(missing(w))?
+                    }
+                    Resource::Fp(f) => state.fp[*f as usize] = e.fp_res.ok_or(missing(w))?,
+                    Resource::FpRen(k) => self.ren_fp[*k as usize] = e.fp_res.ok_or(missing(w))?,
+                    Resource::Icc => state.icc = e.icc_res.ok_or(missing(w))?,
+                    Resource::IccRen(k) => {
+                        self.ren_icc[*k as usize] = e.icc_res.ok_or(missing(w))?
+                    }
+                    Resource::Fcc => state.fcc = e.fcc_res.ok_or(missing(w))?,
+                    Resource::FccRen(k) => {
+                        self.ren_fcc[*k as usize] = e.fcc_res.ok_or(missing(w))?
+                    }
+                    Resource::Y => state.y = e.y_res.ok_or(missing(w))?,
                     Resource::Cwp | Resource::Mem { .. } | Resource::MemRen(_) => {}
                 }
             }
@@ -783,21 +861,21 @@ impl VliwEngine {
                     Resource::Fp(f) => state.fp[*f as usize] = *v,
                     Resource::IntRen(k) => self.ren_int[*k as usize] = *v,
                     Resource::FpRen(k) => self.ren_fp[*k as usize] = *v,
-                    other => unreachable!("copy target {other:?}"),
+                    other => return Err(EngineError::BadCopyTarget(*other)),
                 }
             }
             if let Some((to, v)) = e.copy_icc {
                 match to {
                     Resource::Icc => state.icc = v,
                     Resource::IccRen(k) => self.ren_icc[k as usize] = v,
-                    other => unreachable!("icc copy target {other:?}"),
+                    other => return Err(EngineError::BadCopyTarget(other)),
                 }
             }
             if let Some((to, v)) = e.copy_fcc {
                 match to {
                     Resource::Fcc => state.fcc = v,
                     Resource::FccRen(k) => self.ren_fcc[k as usize] = v,
-                    other => unreachable!("fcc copy target {other:?}"),
+                    other => return Err(EngineError::BadCopyTarget(other)),
                 }
             }
             if let Some((cwp, delta)) = e.cwp_res {
@@ -865,18 +943,335 @@ impl VliwEngine {
                 .iter()
                 .find(|(t, _)| *t == tag)
                 .map(|(_, s)| *s)
-                .expect("mismatching branch has a seq");
+                .ok_or(EngineError::MissingBranchSeq)?;
             LiResult::Redirect { target, branch_seq }
         } else if li as u8 >= block.nba_line() {
             LiResult::BlockEnd
         } else {
             LiResult::Next
         };
-        LiOutcome {
+        Ok(LiOutcome {
             result,
             dcache_accesses,
             committed,
             annulled,
+        })
+    }
+
+    // -------------------------------------------------------------
+    // Machine snapshots
+    // -------------------------------------------------------------
+
+    /// Serialise every piece of mutable engine state — the renaming
+    /// files, the memory renaming buffer, the active checkpoint (shadow
+    /// registers plus checkpoint-recovery store list), staged stores,
+    /// the aliasing detector's load/store lists, statistics, and armed
+    /// fault knobs. The store scheme is configuration, not state: the
+    /// restorer passes it to [`VliwEngine::from_snapshot_json`].
+    pub fn snapshot_json(&self) -> Json {
+        let ls = |l: &[LsEntry]| {
+            Json::Arr(
+                l.iter()
+                    .map(|e| {
+                        Json::arr([
+                            Json::U64(e.addr as u64),
+                            Json::U64(e.size as u64),
+                            Json::U64(e.order as u64),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        Json::obj([
+            (
+                "ren_int",
+                Json::Arr(self.ren_int.iter().map(|v| Json::U64(*v as u64)).collect()),
+            ),
+            (
+                "ren_fp",
+                Json::Arr(self.ren_fp.iter().map(|v| Json::U64(*v as u64)).collect()),
+            ),
+            (
+                "ren_icc",
+                Json::Arr(
+                    self.ren_icc
+                        .iter()
+                        .map(|c| Json::U64(c.to_bits() as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "ren_fcc",
+                Json::Arr(self.ren_fcc.iter().map(|c| Json::U64(*c as u64)).collect()),
+            ),
+            (
+                "membuf",
+                Json::Arr(
+                    self.membuf
+                        .iter()
+                        .map(|b| {
+                            Json::arr([
+                                Json::U64(b.addr as u64),
+                                Json::U64(b.size as u64),
+                                Json::U64(b.value as u64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "shadow",
+                match &self.shadow {
+                    Some(s) => dtsvliw_sched::snapshot::arch_state_to_json(s),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "recovery",
+                Json::Arr(
+                    self.recovery
+                        .iter()
+                        .map(|&(a, s, v)| {
+                            Json::arr([
+                                Json::U64(a as u64),
+                                Json::U64(s as u64),
+                                Json::U64(v as u64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "data_stores",
+                Json::Arr(
+                    self.data_stores
+                        .iter()
+                        .map(|&(o, a, s, v)| {
+                            Json::arr([
+                                Json::U64(o as u64),
+                                Json::U64(a as u64),
+                                Json::U64(s as u64),
+                                Json::U64(v as u64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("load_list", ls(&self.load_list)),
+            ("store_list", ls(&self.store_list)),
+            ("stats", self.stats.to_json()),
+            (
+                "last_rollback_unwound",
+                Json::U64(self.last_rollback_unwound as u64),
+            ),
+            (
+                "faults",
+                Json::obj([
+                    ("suppress_alias", Json::Bool(self.faults.suppress_alias)),
+                    (
+                        "alias_list_cap",
+                        match self.faults.alias_list_cap {
+                            Some(c) => Json::U64(c as u64),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "truncate_recovery",
+                        Json::Bool(self.faults.truncate_recovery),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Rebuild from [`VliwEngine::snapshot_json`] output and the store
+    /// scheme the engine ran with; `None` on any structural mismatch.
+    pub fn from_snapshot_json(scheme: StoreScheme, j: &Json) -> Option<VliwEngine> {
+        let vec_u32 =
+            |key: &str| -> Option<Vec<u32>> { j.get(key)?.as_arr()?.iter().map(j_u32).collect() };
+        let ls_list = |key: &str| -> Option<Vec<LsEntry>> {
+            j.get(key)?
+                .as_arr()?
+                .iter()
+                .map(|e| {
+                    let e = e.as_arr()?;
+                    if e.len() != 3 {
+                        return None;
+                    }
+                    Some(LsEntry {
+                        addr: j_u32(&e[0])?,
+                        size: j_u8(&e[1])?,
+                        order: j_u16(&e[2])?,
+                    })
+                })
+                .collect()
+        };
+        let fj = j.get("faults")?;
+        Some(VliwEngine {
+            scheme,
+            ren_int: vec_u32("ren_int")?,
+            ren_fp: vec_u32("ren_fp")?,
+            ren_icc: j
+                .get("ren_icc")?
+                .as_arr()?
+                .iter()
+                .map(|b| Some(Icc::from_bits(j_u8(b)?)))
+                .collect::<Option<_>>()?,
+            ren_fcc: j
+                .get("ren_fcc")?
+                .as_arr()?
+                .iter()
+                .map(|b| Some(Fcc::from_bits(j_u8(b)?)))
+                .collect::<Option<_>>()?,
+            membuf: j
+                .get("membuf")?
+                .as_arr()?
+                .iter()
+                .map(|e| {
+                    let e = e.as_arr()?;
+                    if e.len() != 3 {
+                        return None;
+                    }
+                    Some(MemBufEntry {
+                        addr: j_u32(&e[0])?,
+                        size: j_u8(&e[1])?,
+                        value: j_u32(&e[2])?,
+                    })
+                })
+                .collect::<Option<_>>()?,
+            shadow: match j.get("shadow")? {
+                Json::Null => None,
+                sj => Some(dtsvliw_sched::snapshot::arch_state_from_json(sj)?),
+            },
+            recovery: j
+                .get("recovery")?
+                .as_arr()?
+                .iter()
+                .map(|e| {
+                    let e = e.as_arr()?;
+                    if e.len() != 3 {
+                        return None;
+                    }
+                    Some((j_u32(&e[0])?, j_u8(&e[1])?, j_u32(&e[2])?))
+                })
+                .collect::<Option<_>>()?,
+            data_stores: j
+                .get("data_stores")?
+                .as_arr()?
+                .iter()
+                .map(|e| {
+                    let e = e.as_arr()?;
+                    if e.len() != 4 {
+                        return None;
+                    }
+                    Some((j_u16(&e[0])?, j_u32(&e[1])?, j_u8(&e[2])?, j_u32(&e[3])?))
+                })
+                .collect::<Option<_>>()?,
+            load_list: ls_list("load_list")?,
+            store_list: ls_list("store_list")?,
+            stats: EngineStats::from_json(j.get("stats")?)?,
+            last_rollback_unwound: j_u32(j.get("last_rollback_unwound")?)?,
+            faults: EngineFaults {
+                suppress_alias: fj.get("suppress_alias")?.as_bool()?,
+                alias_list_cap: match fj.get("alias_list_cap")? {
+                    Json::Null => None,
+                    c => Some(j_u32(c)?),
+                },
+                truncate_recovery: fj.get("truncate_recovery")?.as_bool()?,
+            },
+        })
+    }
+}
+
+fn j_u32(j: &Json) -> Option<u32> {
+    u32::try_from(j.as_u64()?).ok()
+}
+
+fn j_u16(j: &Json) -> Option<u16> {
+    u16::try_from(j.as_u64()?).ok()
+}
+
+fn j_u8(j: &Json) -> Option<u8> {
+    u8::try_from(j.as_u64()?).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trip_is_exact() {
+        let mut e = VliwEngine::with_scheme(StoreScheme::StoreBuffer);
+        e.ren_int = vec![1, 2, 3];
+        e.ren_fp = vec![7];
+        e.ren_icc = vec![Icc::from_bits(0b1010)];
+        e.ren_fcc = vec![Fcc::Lt, Fcc::Uo];
+        e.membuf = vec![MemBufEntry {
+            addr: 0x100,
+            size: 4,
+            value: 42,
+        }];
+        e.shadow = Some(ArchState::new(0x4000));
+        e.recovery = vec![(0x200, 4, 9), (0x204, 2, 8)];
+        e.data_stores = vec![(3, 0x300, 4, 77)];
+        e.load_list = vec![LsEntry {
+            addr: 0x400,
+            size: 4,
+            order: 5,
+        }];
+        e.store_list = vec![LsEntry {
+            addr: 0x404,
+            size: 1,
+            order: 6,
+        }];
+        e.stats.lis = 10;
+        e.stats.max_recovery_list = 2;
+        e.last_rollback_unwound = 4;
+        e.faults = EngineFaults {
+            suppress_alias: true,
+            alias_list_cap: Some(8),
+            truncate_recovery: false,
+        };
+        let j = e.snapshot_json().to_string();
+        let restored =
+            VliwEngine::from_snapshot_json(StoreScheme::StoreBuffer, &Json::parse(&j).unwrap())
+                .unwrap();
+        assert_eq!(format!("{e:?}"), format!("{restored:?}"));
+        // The fresh engine round-trips too (no checkpoint active).
+        let fresh = VliwEngine::new();
+        let j = fresh.snapshot_json().to_string();
+        let restored =
+            VliwEngine::from_snapshot_json(StoreScheme::Checkpoint, &Json::parse(&j).unwrap())
+                .unwrap();
+        assert_eq!(format!("{fresh:?}"), format!("{restored:?}"));
+    }
+
+    #[test]
+    fn malformed_engine_snapshots_are_rejected() {
+        let e = VliwEngine::new();
+        let good = e.snapshot_json().to_string();
+        assert!(VliwEngine::from_snapshot_json(
+            StoreScheme::Checkpoint,
+            &Json::parse(&good).unwrap()
+        )
+        .is_some());
+        for broken in [r#"{}"#, r#"{"ren_int":"nope"}"#] {
+            assert!(VliwEngine::from_snapshot_json(
+                StoreScheme::Checkpoint,
+                &Json::parse(broken).unwrap()
+            )
+            .is_none());
         }
+    }
+
+    #[test]
+    fn rollback_without_checkpoint_is_a_typed_error() {
+        let mut e = VliwEngine::new();
+        let mut st = ArchState::new(0);
+        let mut mem = Memory::new();
+        assert_eq!(
+            e.rollback(&mut st, &mut mem),
+            Err(EngineError::RollbackWithoutCheckpoint)
+        );
     }
 }

@@ -15,4 +15,4 @@ pub mod cache;
 pub mod engine;
 
 pub use cache::{EvictedBlock, VliwCache, VliwCacheConfig, VliwCacheStats};
-pub use engine::{EngineFaults, EngineStats, LiOutcome, LiResult, VliwEngine};
+pub use engine::{EngineError, EngineFaults, EngineStats, LiOutcome, LiResult, VliwEngine};

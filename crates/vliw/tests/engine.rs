@@ -50,7 +50,7 @@ fn run_chain(
     for b in blocks {
         engine.begin_block(b, state);
         'block: for li in 0..b.lis.len() {
-            let out = engine.exec_li(b, li, state, mem);
+            let out = engine.exec_li(b, li, state, mem).unwrap();
             results.push(out.result);
             match out.result {
                 LiResult::Next => {}
@@ -148,7 +148,7 @@ skip:
     engine.begin_block(b, &state);
     let mut redirect = None;
     for li in 0..b.lis.len() {
-        let out = engine.exec_li(b, li, &mut state, &mut mem);
+        let out = engine.exec_li(b, li, &mut state, &mut mem).unwrap();
         match out.result {
             LiResult::Redirect { target: t, .. } => {
                 redirect = Some(t);
@@ -263,7 +263,7 @@ work:
     engine.begin_block(b, &state);
     let mut excepted = false;
     for li in 0..b.lis.len() {
-        match engine.exec_li(b, li, &mut state, &mut mem).result {
+        match engine.exec_li(b, li, &mut state, &mut mem).unwrap().result {
             LiResult::Exception { aliasing } => {
                 assert!(aliasing, "must be an aliasing exception");
                 excepted = true;
@@ -363,7 +363,7 @@ _start:
     engine.begin_block(b, &state);
     for li in 0..b.lis.len() {
         if let LiResult::BlockEnd | LiResult::Redirect { .. } =
-            engine.exec_li(b, li, &mut state, &mut mem).result
+            engine.exec_li(b, li, &mut state, &mut mem).unwrap().result
         {
             break;
         }
@@ -376,7 +376,7 @@ _start:
     );
 
     // Abandon the block instead of committing: every store must unwind.
-    engine.rollback(&mut state, &mut mem);
+    engine.rollback(&mut state, &mut mem).unwrap();
     assert_eq!(engine.last_rollback_unwound(), 3);
     assert_eq!(
         mem.read_u32(0x3000),
@@ -422,7 +422,7 @@ _start:
     engine.begin_block(b, &state);
     let mut excepted = false;
     for li in 0..b.lis.len() {
-        match engine.exec_li(b, li, &mut state, &mut mem).result {
+        match engine.exec_li(b, li, &mut state, &mut mem).unwrap().result {
             LiResult::Exception { aliasing } => {
                 assert!(aliasing, "truncation aborts through the alias path");
                 excepted = true;
@@ -499,7 +499,7 @@ work:
     });
     engine.begin_block(b, &state);
     for li in 0..b.lis.len() {
-        match engine.exec_li(b, li, &mut state, &mut mem).result {
+        match engine.exec_li(b, li, &mut state, &mut mem).unwrap().result {
             LiResult::Exception { .. } => panic!("the aliasing exception must be swallowed"),
             LiResult::BlockEnd | LiResult::Redirect { .. } => {
                 engine.commit_block(&mut mem);

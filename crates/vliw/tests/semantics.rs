@@ -44,7 +44,7 @@ fn round_trip(src: &str, w: usize, h: usize) -> (ArchState, RefMachine, VliwEngi
     for b in &blocks {
         engine.begin_block(b, &state);
         for li in 0..b.lis.len() {
-            match engine.exec_li(b, li, &mut state, &mut mem).result {
+            match engine.exec_li(b, li, &mut state, &mut mem).unwrap().result {
                 LiResult::Next => {}
                 LiResult::BlockEnd | LiResult::Redirect { .. } => {
                     engine.commit_block(&mut mem);
