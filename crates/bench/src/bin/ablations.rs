@@ -46,6 +46,6 @@ fn main() {
         ("greedy".to_string(), greedy),
         ("ld=2".to_string(), ld2),
     ];
-    let results = run_matrix(&configs, opts);
-    report::finish("Ablations (feasible machine)", &results, opts);
+    let results = run_matrix(&configs, &opts);
+    report::finish("Ablations (feasible machine)", &results, &opts);
 }

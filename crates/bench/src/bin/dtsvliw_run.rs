@@ -32,9 +32,9 @@
 //! 3 watchdog (partial statistics are still printed), 4 snapshot
 //! corruption or mismatch.
 
-use dtsvliw_core::{Machine, MachineConfig, MachineError, RunStats};
-use dtsvliw_json::ToJson;
-use dtsvliw_trace::{sink_to_writer, TraceFormat, Tracer};
+use dtsvliw_core::{Machine, MachineConfig, MachineError};
+use dtsvliw_json::Json;
+use dtsvliw_trace::{sink_to_writer, BlockProfiler, TraceFormat, Tracer};
 use dtsvliw_workloads::Scale;
 use std::path::Path;
 
@@ -45,6 +45,7 @@ fn usage() -> ! {
          \u{20}      dtsvliw_run --workload <name> [--scale test|small|large] [same options]\n\
          \u{20}      tracing: [--trace] [--trace-out PATH] [--trace-format jsonl|perfetto|text]\n\
          \u{20}               [--trace-last N] [--metrics-json PATH] [--inject-divergence]\n\
+         \u{20}      profiling: [--profile] [--profile-top N]\n\
          \u{20}      durability: [--snapshot-every CYCLES] [--snapshot-dir DIR] [--resume FILE]\n\
          \u{20}                  [--breaker THRESHOLD:WINDOW:COOLDOWN]"
     );
@@ -74,10 +75,10 @@ fn create_file(path: &str) -> std::fs::File {
     std::fs::File::create(path).unwrap_or_else(|e| die(format!("creating {path}: {e}")))
 }
 
-fn write_metrics(path: &str, s: &RunStats) {
+fn write_metrics(path: &str, doc: &Json) {
     use std::io::Write;
     let mut f = create_file(path);
-    let doc = s.to_json().to_string_pretty();
+    let doc = doc.to_string_pretty();
     if let Err(e) = writeln!(f, "{doc}") {
         die(format!("writing {path}: {e}"));
     }
@@ -101,6 +102,8 @@ fn main() {
     let mut trace_format = TraceFormat::Jsonl;
     let mut trace_last = 256usize;
     let mut metrics_json: Option<String> = None;
+    let mut profile = false;
+    let mut profile_top = 10usize;
     let mut inject_divergence = false;
     let mut snapshot_every: Option<u64> = None;
     let mut snapshot_dir = "snapshots".to_string();
@@ -174,6 +177,15 @@ fn main() {
             "--metrics-json" => {
                 i += 1;
                 metrics_json = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--profile" => profile = true,
+            "--profile-top" => {
+                i += 1;
+                profile = true;
+                profile_top = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--inject-divergence" => inject_divergence = true,
             "--snapshot-every" => {
@@ -274,6 +286,9 @@ fn main() {
         };
         machine.attach_tracer(Box::new(tracer));
     }
+    if profile {
+        machine.attach_profiler(Box::new(BlockProfiler::new()));
+    }
     if inject_divergence {
         machine.inject_divergence();
     }
@@ -301,7 +316,7 @@ fn main() {
         }
     }
     if let Some(path) = &metrics_json {
-        write_metrics(path, &s);
+        write_metrics(path, &machine.stats_json(profile_top));
     }
 
     let out = match result {
@@ -340,10 +355,21 @@ fn main() {
     println!("cycles         : {}", s.cycles);
     println!("IPC            : {:.3}", s.ipc());
     println!(
-        "cycle mix      : {:.1}% vliw / {:.1}% primary / {:.1}% overhead",
+        "cycle mix      : {:.1}% vliw / {:.1}% primary / {:.1}% overhead / {:.1}% degraded",
         100.0 * s.vliw_cycles as f64 / s.cycles.max(1) as f64,
         100.0 * s.primary_cycles as f64 / s.cycles.max(1) as f64,
         100.0 * s.overhead_cycles as f64 / s.cycles.max(1) as f64,
+        100.0 * s.degraded_cycles as f64 / s.cycles.max(1) as f64,
+    );
+    println!(
+        "overhead       : {} swap / {} mispredict / {} next-li / {} recovery",
+        s.overhead_swap, s.overhead_mispredict, s.overhead_next_li, s.overhead_recovery
+    );
+    println!(
+        "swap gap       : p50 {} / p90 {} / p99 {} cycles",
+        s.metrics.swap_gap_cycles.percentile(0.50),
+        s.metrics.swap_gap_cycles.percentile(0.90),
+        s.metrics.swap_gap_cycles.percentile(0.99),
     );
     println!(
         "mode swaps     : {} ({} next-block-prediction hits)",
@@ -379,4 +405,7 @@ fn main() {
         s.instructions as f64 / 1e6 / wall.as_secs_f64(),
         wall
     );
+    if let Some(p) = machine.profiler() {
+        print!("{}", p.report_table(profile_top));
+    }
 }

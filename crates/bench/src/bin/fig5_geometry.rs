@@ -25,10 +25,10 @@ fn main() {
         .iter()
         .map(|&(w, h)| (format!("{w}x{h}"), MachineConfig::ideal(w, h)))
         .collect();
-    let results = run_matrix(&configs, opts);
+    let results = run_matrix(&configs, &opts);
     report::finish(
         "Figure 5: IPC vs block geometry (width x height), ideal machine",
         &results,
-        opts,
+        &opts,
     );
 }

@@ -18,10 +18,10 @@ fn main() {
             )
         })
         .collect();
-    let results = run_matrix(&configs, opts);
+    let results = run_matrix(&configs, &opts);
     report::finish(
         "Figure 6: IPC vs VLIW Cache size (8x8, 4-way)",
         &results,
-        opts,
+        &opts,
     );
 }

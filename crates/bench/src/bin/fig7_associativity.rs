@@ -17,10 +17,10 @@ fn main() {
             ));
         }
     }
-    let results = run_matrix(&configs, opts);
+    let results = run_matrix(&configs, &opts);
     report::finish(
         "Figure 7: IPC vs VLIW Cache associativity (8x8)",
         &results,
-        opts,
+        &opts,
     );
 }

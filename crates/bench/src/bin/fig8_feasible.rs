@@ -47,7 +47,7 @@ fn main() {
         ("D:+dcache".to_string(), d),
         ("E:feasible".to_string(), e),
     ];
-    let results = run_matrix(&configs, opts);
+    let results = run_matrix(&configs, &opts);
 
     println!("\n=== Figure 8: feasible machine IPC decomposition ===");
     println!(
@@ -87,7 +87,7 @@ fn main() {
         (avg("B") - avg("C")).max(0.0),
         (avg("A") - avg("B")).max(0.0),
     );
-    if let Some(path) = opts.json {
+    if let Some(path) = &opts.json {
         dtsvliw_bench::write_json_or_die(path, &results);
     }
 }

@@ -14,7 +14,7 @@ fn main() {
         ("DTSVLIW".to_string(), MachineConfig::dif_comparison()),
         ("DIF".to_string(), MachineConfig::dif_machine()),
     ];
-    let results = run_matrix(&configs, opts);
+    let results = run_matrix(&configs, &opts);
     report::print_ipc_table("Figure 9: DTSVLIW vs DIF", &results);
     let side = |c: &str| -> Vec<f64> {
         WORKLOADS
@@ -35,7 +35,7 @@ fn main() {
         100.0 * (am - bm).abs() / bm.min(am),
         if am >= bm { "DTSVLIW" } else { "DIF" }
     );
-    if let Some(path) = opts.json {
+    if let Some(path) = &opts.json {
         dtsvliw_bench::write_json_or_die(path, &results);
     }
 }

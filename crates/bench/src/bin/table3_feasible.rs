@@ -13,6 +13,7 @@ fn main() {
     std::thread::scope(|s| {
         for w in WORKLOADS {
             let results = &results;
+            let opts = &opts;
             s.spawn(move || {
                 let r = run_one("feasible", MachineConfig::feasible_paper(), w, opts);
                 results.lock().unwrap().push(r);
@@ -89,7 +90,7 @@ fn main() {
         sums[9] / n,
         sums[10] / n,
     );
-    if let Some(path) = opts.json {
+    if let Some(path) = &opts.json {
         dtsvliw_bench::write_json_or_die(path, &results);
     }
 }

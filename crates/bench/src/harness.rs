@@ -5,14 +5,14 @@ use dtsvliw_workloads::{by_name, Scale};
 use std::sync::Mutex;
 
 /// Harness options parsed from the command line.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Options {
     /// Sequential-instruction budget per run.
     pub instructions: u64,
     /// Workload input scale.
     pub scale: Scale,
     /// Where to write raw JSON results.
-    pub json: Option<&'static str>,
+    pub json: Option<String>,
 }
 
 impl Default for Options {
@@ -53,7 +53,7 @@ impl Options {
                 }
                 "--json" => {
                     i += 1;
-                    o.json = Some(Box::leak(args[i].clone().into_boxed_str()));
+                    o.json = Some(args[i].clone());
                 }
                 other => panic!("unknown argument `{other}`"),
             }
@@ -102,7 +102,12 @@ impl dtsvliw_json::ToJson for ExpResult {
 }
 
 /// Run one workload under one configuration.
-pub fn run_one(config_label: &str, cfg: MachineConfig, workload: &str, opts: Options) -> ExpResult {
+pub fn run_one(
+    config_label: &str,
+    cfg: MachineConfig,
+    workload: &str,
+    opts: &Options,
+) -> ExpResult {
     let w = by_name(workload, opts.scale).unwrap_or_else(|| panic!("no workload {workload}"));
     let img = w.image();
     let mut m = Machine::new(cfg, &img);
@@ -119,7 +124,7 @@ pub fn run_one(config_label: &str, cfg: MachineConfig, workload: &str, opts: Opt
 
 /// Run every `(config, workload)` pair of the matrix in parallel across
 /// the machine's cores (scoped threads over a shared queue).
-pub fn run_matrix(configs: &[(String, MachineConfig)], opts: Options) -> Vec<ExpResult> {
+pub fn run_matrix(configs: &[(String, MachineConfig)], opts: &Options) -> Vec<ExpResult> {
     let jobs: Vec<(usize, &(String, MachineConfig), &str)> = configs
         .iter()
         .flat_map(|c| crate::WORKLOADS.iter().map(move |w| (c, *w)))

@@ -80,9 +80,9 @@ pub fn write_json_or_die(path: &str, results: &[ExpResult]) {
 }
 
 /// Finish a binary: print the table and optionally dump JSON.
-pub fn finish(title: &str, results: &[ExpResult], opts: crate::Options) {
+pub fn finish(title: &str, results: &[ExpResult], opts: &crate::Options) {
     print_ipc_table(title, results);
-    if let Some(path) = opts.json {
+    if let Some(path) = &opts.json {
         write_json_or_die(path, results);
     }
 }

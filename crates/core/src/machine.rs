@@ -8,8 +8,10 @@ use dtsvliw_isa::ArchState;
 use dtsvliw_mem::{Cache, Memory};
 use dtsvliw_primary::interp::{step as primary_step, Halt, StepError};
 use dtsvliw_primary::{PipelineModel, RefMachine};
-use dtsvliw_sched::{Block, InsertOutcome, Resolution, Scheduler};
-use dtsvliw_trace::{CacheKind, EngineKind, EvictReason, Metrics, TraceEvent, Tracer};
+use dtsvliw_sched::{Block, InsertOutcome, Resolution, Scheduler, SlotOp};
+use dtsvliw_trace::{
+    BlockProfiler, CacheKind, EngineKind, EvictReason, ExitKind, Metrics, TraceEvent, Tracer,
+};
 use dtsvliw_vliw::{EngineError, EngineFaults, LiResult, VliwCache, VliwEngine};
 use std::sync::Arc;
 
@@ -113,6 +115,22 @@ pub struct RunOutcome {
     pub instructions: u64,
 }
 
+/// Which named sub-counter an overhead charge lands in (the
+/// `overhead_cycles` split of `RunStats`).
+#[derive(Clone, Copy)]
+enum Overhead {
+    /// Engine swaps, either direction (§3.6 pipeline drain + refill).
+    Swap,
+    /// Mispredict bubble: a VLIW branch left its recorded direction
+    /// (§3.5).
+    Mispredict,
+    /// Next-long-instruction miss penalty on block-to-block transitions.
+    NextLi,
+    /// Exception / fault recovery: checkpoint restores and Primary
+    /// replay of the rolled-back span.
+    Recovery,
+}
+
 pub(crate) enum Mode {
     Primary,
     Vliw {
@@ -141,6 +159,15 @@ pub struct Machine {
     pub(crate) vliw_cycles: u64,
     pub(crate) primary_cycles: u64,
     pub(crate) overhead_cycles: u64,
+    /// Named `overhead_cycles` sub-counters (engine-swap charges,
+    /// mispredict bubbles, next-long-instruction penalties, exception /
+    /// fault recovery including replay). They always sum to
+    /// `overhead_cycles`, so Table 3-style breakdowns come from
+    /// counters rather than subtraction.
+    pub(crate) overhead_swap: u64,
+    pub(crate) overhead_mispredict: u64,
+    pub(crate) overhead_next_li: u64,
+    pub(crate) overhead_recovery: u64,
     pub(crate) mode_swaps: u64,
     pub(crate) output: Vec<u8>,
     pub(crate) halted: Option<u32>,
@@ -163,6 +190,10 @@ pub struct Machine {
     /// Optional flight recorder + sink. When `None`, every emission
     /// site costs a single branch.
     pub(crate) tracer: Option<Box<Tracer>>,
+    /// Optional hot-trace profiler (per-block execution accounting).
+    /// Same one-branch `Option` pattern as the tracer; never serialised
+    /// into snapshots (reset-on-resume, see DESIGN.md §8).
+    pub(crate) profiler: Option<Box<BlockProfiler>>,
     /// Debug hook: force a test-mode divergence at the next
     /// verification point (exercises the postmortem dump).
     pub(crate) inject_divergence: bool,
@@ -222,6 +253,10 @@ impl Machine {
             vliw_cycles: 0,
             primary_cycles: 0,
             overhead_cycles: 0,
+            overhead_swap: 0,
+            overhead_mispredict: 0,
+            overhead_next_li: 0,
+            overhead_recovery: 0,
             mode_swaps: 0,
             output: Vec::new(),
             halted: None,
@@ -236,6 +271,7 @@ impl Machine {
             metrics: Metrics::new(),
             last_swap_cycle: 0,
             tracer: None,
+            profiler: None,
             inject_divergence: false,
             injector: cfg.fault_plan.as_ref().map(FaultInjector::new),
             faults: FaultStats::default(),
@@ -269,6 +305,7 @@ impl Machine {
                 Mode::Primary => self.step_primary()?,
                 Mode::Vliw { .. } => self.step_vliw()?,
             }
+            self.debug_check_cycle_attribution();
         }
         Ok(RunOutcome {
             exit_code: self.halted,
@@ -310,11 +347,36 @@ impl Machine {
                 Mode::Primary => self.step_primary()?,
                 Mode::Vliw { .. } => self.step_vliw()?,
             }
+            self.debug_check_cycle_attribution();
         }
         Ok(RunOutcome {
             exit_code: self.halted,
             instructions: self.test.retired,
         })
+    }
+
+    /// Exact cycle attribution is an invariant, not a convention: every
+    /// cycle the machine charges lands in exactly one of the four
+    /// attribution pools, and the overhead pool's named sub-counters
+    /// account for all of it. Enforced after every step in debug builds
+    /// (tests run unoptimised, so the whole suite exercises it).
+    #[inline]
+    fn debug_check_cycle_attribution(&self) {
+        debug_assert_eq!(
+            self.vliw_cycles + self.primary_cycles + self.overhead_cycles + self.degraded_cycles,
+            self.cycles,
+            "cycle attribution out of balance at cycle {}",
+            self.cycles
+        );
+        debug_assert_eq!(
+            self.overhead_swap
+                + self.overhead_mispredict
+                + self.overhead_next_li
+                + self.overhead_recovery,
+            self.overhead_cycles,
+            "overhead sub-counters out of balance at cycle {}",
+            self.cycles
+        );
     }
 
     /// Statistics so far.
@@ -329,6 +391,10 @@ impl Machine {
             vliw_cycles: self.vliw_cycles,
             primary_cycles: self.primary_cycles,
             overhead_cycles: self.overhead_cycles,
+            overhead_swap: self.overhead_swap,
+            overhead_mispredict: self.overhead_mispredict,
+            overhead_next_li: self.overhead_next_li,
+            overhead_recovery: self.overhead_recovery,
             instructions: self.test.retired,
             mode_swaps: self.mode_swaps,
             nbp_hits: self.nbp_hits,
@@ -403,6 +469,53 @@ impl Machine {
         self.tracer.as_deref()
     }
 
+    /// Attach a hot-trace profiler (per-block execution accounting).
+    /// Like the tracer, every hook site costs a single branch when no
+    /// profiler is attached. Profiler state never travels in snapshots:
+    /// a resumed machine starts with no profiler (reset-on-resume), so
+    /// block executions are never double-counted across a resume.
+    pub fn attach_profiler(&mut self, profiler: Box<BlockProfiler>) {
+        self.profiler = Some(profiler);
+    }
+
+    /// Detach and return the profiler.
+    pub fn take_profiler(&mut self) -> Option<Box<BlockProfiler>> {
+        self.profiler.take()
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&BlockProfiler> {
+        self.profiler.as_deref()
+    }
+
+    /// [`Machine::stats`] as JSON, with the hot-block report folded in
+    /// under `"profile"` (top `profile_top` blocks) when a profiler is
+    /// attached.
+    pub fn stats_json(&self, profile_top: usize) -> dtsvliw_json::Json {
+        let mut j = dtsvliw_json::ToJson::to_json(&self.stats());
+        if let Some(p) = &self.profiler {
+            if let dtsvliw_json::Json::Obj(pairs) = &mut j {
+                pairs.push(("profile".to_string(), p.report_json(profile_top)));
+            }
+        }
+        j
+    }
+
+    /// Disassembly of a block's head instruction: the first occupied
+    /// slot of its first long instruction (COPYs cannot lead a block,
+    /// but render defensively if one does).
+    fn head_disasm(block: &Block) -> String {
+        block
+            .lis
+            .first()
+            .and_then(|li| li.ops().next())
+            .map(|op| match op {
+                SlotOp::Instr(s) => s.d.instr.to_string(),
+                SlotOp::Copy(_) => "copy".to_string(),
+            })
+            .unwrap_or_default()
+    }
+
     /// Force a test-mode divergence at the next verification point — a
     /// debug hook for exercising the flight-recorder postmortem without
     /// breaking the simulator.
@@ -472,6 +585,9 @@ impl Machine {
         if let Some(gone) = evicted {
             let lifetime = self.cycles - gone.installed_cycle;
             self.metrics.evicted_block_lifetime.record(lifetime);
+            if let Some(p) = &mut self.profiler {
+                p.note_evict(gone.tag_addr, gone.entry_cwp, self.cycles);
+            }
             self.emit(TraceEvent::BlockEvict {
                 tag: gone.tag_addr,
                 reason: EvictReason::Replaced,
@@ -556,9 +672,14 @@ impl Machine {
             c += dc as u64;
         }
         self.cycles += c;
-        self.primary_cycles += c;
+        // Attribution is exclusive: while the circuit breaker pins the
+        // machine to the Primary Processor, cycles land in
+        // `degraded_cycles` *instead of* `primary_cycles`, so the four
+        // buckets partition `cycles` exactly.
         if self.degraded_until != 0 {
             self.degraded_cycles += c;
+        } else {
+            self.primary_cycles += c;
         }
 
         // Scheduler Unit runs concurrently: one list cycle per machine
@@ -653,8 +774,13 @@ impl Machine {
                 self.install_block(b)?;
             }
             self.drain_sched_events();
-            self.charge_overhead(self.cfg.swap_to_vliw);
+            self.charge_overhead(self.cfg.swap_to_vliw, Overhead::Swap);
             self.note_swap(EngineKind::Vliw);
+            if let Some(p) = &mut self.profiler {
+                p.note_entry(block.tag_addr, block.entry_cwp, false, self.cycles, || {
+                    Machine::head_disasm(&block)
+                });
+            }
             self.engine.begin_block(&block, &self.state);
             self.mode = Mode::Vliw {
                 block,
@@ -706,6 +832,15 @@ impl Machine {
         self.cycles += c;
         self.vliw_cycles += c;
 
+        if let Some(p) = &mut self.profiler {
+            p.note_li(
+                block.tag_addr,
+                block.entry_cwp,
+                block.lis[li].len() as u32,
+                block.lis[li].slots.len() as u32,
+                c,
+            );
+        }
         self.metrics
             .li_slot_occupancy
             .record(block.lis[li].len() as u64);
@@ -734,6 +869,9 @@ impl Machine {
                 };
             }
             LiResult::BlockEnd => {
+                if let Some(p) = &mut self.profiler {
+                    p.note_exit(block.tag_addr, block.entry_cwp, ExitKind::Nba);
+                }
                 let next = block.nba_addr;
                 self.state.pc = next;
                 self.state.npc = next.wrapping_add(4);
@@ -747,7 +885,10 @@ impl Machine {
                 self.enter_block_or_primary(next, Some(block.tag_addr))?;
             }
             LiResult::Redirect { target, branch_seq } => {
-                self.charge_overhead(self.cfg.mispredict_bubble);
+                if let Some(p) = &mut self.profiler {
+                    p.note_exit(block.tag_addr, block.entry_cwp, ExitKind::Redirect);
+                }
+                self.charge_overhead(self.cfg.mispredict_bubble, Overhead::Mispredict);
                 self.emit(TraceEvent::Mispredict {
                     pc: self.state.pc,
                     target,
@@ -767,7 +908,10 @@ impl Machine {
             LiResult::Exception { aliasing } => {
                 // The engine rolled registers and memory back to the
                 // block entry; the shadow PC points at the block tag.
-                self.charge_overhead(self.cfg.exception_penalty);
+                if let Some(p) = &mut self.profiler {
+                    p.note_exit(block.tag_addr, block.entry_cwp, ExitKind::Exception);
+                }
+                self.charge_overhead(self.cfg.exception_penalty, Overhead::Recovery);
                 self.emit(TraceEvent::CheckpointRecovery {
                     tag: block.tag_addr,
                     unwound: self.engine.last_rollback_unwound(),
@@ -779,6 +923,9 @@ impl Machine {
                     if let Some(gone) = self.vcache.invalidate_at(block.tag_addr, block.entry_cwp) {
                         let lifetime = self.cycles - gone.installed_cycle;
                         self.metrics.evicted_block_lifetime.record(lifetime);
+                        if let Some(p) = &mut self.profiler {
+                            p.note_evict(gone.tag_addr, gone.entry_cwp, self.cycles);
+                        }
                         self.emit(TraceEvent::BlockEvict {
                             tag: gone.tag_addr,
                             reason: EvictReason::Invalidated,
@@ -788,7 +935,7 @@ impl Machine {
                 } else {
                     self.exception_mode = true;
                 }
-                self.charge_overhead(self.cfg.swap_to_primary);
+                self.charge_overhead(self.cfg.swap_to_primary, Overhead::Swap);
                 self.note_swap(EngineKind::Primary);
                 self.mode = Mode::Primary;
                 // A damaged rollback (e.g. a truncated recovery list)
@@ -841,7 +988,16 @@ impl Machine {
                     }
                 }
             }
-            self.charge_overhead(penalty);
+            self.charge_overhead(penalty, Overhead::NextLi);
+            if let Some(p) = &mut self.profiler {
+                p.note_entry(
+                    block.tag_addr,
+                    block.entry_cwp,
+                    from.is_some(),
+                    self.cycles,
+                    || Machine::head_disasm(&block),
+                );
+            }
             self.engine.begin_block(&block, &self.state);
             self.mode = Mode::Vliw {
                 block,
@@ -855,14 +1011,20 @@ impl Machine {
     }
 
     fn swap_to_primary_mode(&mut self) {
-        self.charge_overhead(self.cfg.swap_to_primary);
+        self.charge_overhead(self.cfg.swap_to_primary, Overhead::Swap);
         self.note_swap(EngineKind::Primary);
         self.mode = Mode::Primary;
     }
 
-    fn charge_overhead(&mut self, c: u32) {
+    fn charge_overhead(&mut self, c: u32, kind: Overhead) {
         self.cycles += c as u64;
         self.overhead_cycles += c as u64;
+        *match kind {
+            Overhead::Swap => &mut self.overhead_swap,
+            Overhead::Mispredict => &mut self.overhead_mispredict,
+            Overhead::NextLi => &mut self.overhead_next_li,
+            Overhead::Recovery => &mut self.overhead_recovery,
+        } += c as u64;
     }
 
     // -------------------------------------------------------------
@@ -934,7 +1096,10 @@ impl Machine {
         }
         self.faults.detected += 1;
         self.breaker_note_event();
-        self.charge_overhead(self.cfg.exception_penalty);
+        if let Some(p) = &mut self.profiler {
+            p.note_exit(block.tag_addr, block.entry_cwp, ExitKind::Exception);
+        }
+        self.charge_overhead(self.cfg.exception_penalty, Overhead::Recovery);
         self.engine
             .rollback(&mut self.state, &mut self.mem)
             .map_err(MachineError::Engine)?;
@@ -980,6 +1145,9 @@ impl Machine {
         if let Some(gone) = self.vcache.invalidate_at(tag, cwp) {
             let lifetime = self.cycles - gone.installed_cycle;
             self.metrics.evicted_block_lifetime.record(lifetime);
+            if let Some(p) = &mut self.profiler {
+                p.note_evict(gone.tag_addr, gone.entry_cwp, self.cycles);
+            }
             self.emit(TraceEvent::BlockEvict {
                 tag: gone.tag_addr,
                 reason: EvictReason::Quarantined,
@@ -1101,7 +1269,7 @@ impl Machine {
         }
         self.faults.detected += 1;
         self.breaker_note_event();
-        self.charge_overhead(self.cfg.exception_penalty);
+        self.charge_overhead(self.cfg.exception_penalty, Overhead::Recovery);
         self.engine
             .rollback(&mut self.state, &mut self.mem)
             .map_err(MachineError::Engine)?;
@@ -1137,6 +1305,7 @@ impl Machine {
         self.faults.replay_cycles += n;
         self.cycles += n;
         self.overhead_cycles += n;
+        self.overhead_recovery += n;
         if !clean || !self.states_match() {
             self.scrub_from_test();
         }
@@ -1160,7 +1329,7 @@ impl Machine {
     fn recover_in_primary(&mut self) {
         self.faults.detected += 1;
         self.breaker_note_event();
-        self.charge_overhead(self.cfg.exception_penalty);
+        self.charge_overhead(self.cfg.exception_penalty, Overhead::Recovery);
         self.scrub_from_test();
         let _ = self.sched.seal(self.state.pc, self.test.retired);
         self.faults.recovered += 1;

@@ -10,7 +10,7 @@
 //! File format: a JSON object
 //!
 //! ```text
-//! { "format": "dtsvliw-snapshot", "version": 1,
+//! { "format": "dtsvliw-snapshot", "version": 2,
 //!   "config_digest": <fnv1a of the MachineConfig>,
 //!   "checksum": <fnv1a of the rendered payload>,
 //!   "payload": { ... } }
@@ -41,8 +41,9 @@ use std::sync::Arc;
 
 /// Snapshot file format marker.
 pub const SNAPSHOT_FORMAT: &str = "dtsvliw-snapshot";
-/// Snapshot format version this build writes and reads.
-pub const SNAPSHOT_VERSION: u64 = 1;
+/// Snapshot format version this build writes and reads. Version 2
+/// added the `overhead` sub-counter object to the payload.
+pub const SNAPSHOT_VERSION: u64 = 2;
 
 /// Why a snapshot could not be written, read or restored.
 #[derive(Debug)]
@@ -285,6 +286,15 @@ impl Machine {
             ("vliw_cycles", Json::U64(self.vliw_cycles)),
             ("primary_cycles", Json::U64(self.primary_cycles)),
             ("overhead_cycles", Json::U64(self.overhead_cycles)),
+            (
+                "overhead",
+                Json::obj([
+                    ("swap", Json::U64(self.overhead_swap)),
+                    ("mispredict", Json::U64(self.overhead_mispredict)),
+                    ("next_li", Json::U64(self.overhead_next_li)),
+                    ("recovery", Json::U64(self.overhead_recovery)),
+                ]),
+            ),
             ("mode_swaps", Json::U64(self.mode_swaps)),
             ("output", Json::Str(bytes_to_hex(&self.output))),
             ("halted", opt_u32_json(self.halted)),
@@ -505,6 +515,13 @@ impl Machine {
             .collect::<Option<Vec<_>>>()
             .ok_or_else(|| miss("quarantine"))?;
 
+        let oj = p.get("overhead").ok_or_else(|| miss("overhead"))?;
+        let o_u = |key: &str| {
+            oj.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| miss("overhead sub-counter"))
+        };
+
         let bj = p.get("breaker").ok_or_else(|| miss("breaker"))?;
         let breaker_events = bj
             .get("events")
@@ -531,6 +548,10 @@ impl Machine {
             vliw_cycles: u("vliw_cycles")?,
             primary_cycles: u("primary_cycles")?,
             overhead_cycles: u("overhead_cycles")?,
+            overhead_swap: o_u("swap")?,
+            overhead_mispredict: o_u("mispredict")?,
+            overhead_next_li: o_u("next_li")?,
+            overhead_recovery: o_u("recovery")?,
             mode_swaps: u("mode_swaps")?,
             output: p
                 .get("output")
@@ -545,6 +566,9 @@ impl Machine {
             metrics,
             last_swap_cycle: u("last_swap_cycle")?,
             tracer: None,
+            // Reset-on-resume: profiler state never rides in snapshots,
+            // so a resumed run can never double-count an execution.
+            profiler: None,
             inject_divergence: flag("inject_divergence")?,
             injector,
             faults,

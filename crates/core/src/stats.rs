@@ -21,6 +21,16 @@ pub struct RunStats {
     /// Cycles spent swapping engines, on mispredict bubbles, on
     /// next-long-instruction penalties and on exception recovery.
     pub overhead_cycles: u64,
+    /// `overhead_cycles` charged to engine swaps (either direction).
+    pub overhead_swap: u64,
+    /// `overhead_cycles` charged to mispredict bubbles.
+    pub overhead_mispredict: u64,
+    /// `overhead_cycles` charged to next-long-instruction penalties on
+    /// block-to-block transitions.
+    pub overhead_next_li: u64,
+    /// `overhead_cycles` charged to exception / fault recovery,
+    /// including Primary replay of rolled-back spans.
+    pub overhead_recovery: u64,
     /// Sequential instructions, as counted by the test machine — the
     /// IPC numerator (paper §4).
     pub instructions: u64,
@@ -72,6 +82,22 @@ impl RunStats {
             self.vliw_cycles as f64 / self.cycles as f64
         }
     }
+
+    /// Sum of the four exclusive attribution buckets. Equals `cycles`
+    /// for any run produced by the machine (debug builds assert this
+    /// every step).
+    pub fn attributed_cycles(&self) -> u64 {
+        self.vliw_cycles + self.primary_cycles + self.overhead_cycles + self.degraded_cycles
+    }
+
+    /// Sum of the named `overhead_cycles` sub-counters. Equals
+    /// `overhead_cycles` for any run produced by the machine.
+    pub fn overhead_breakdown_sum(&self) -> u64 {
+        self.overhead_swap
+            + self.overhead_mispredict
+            + self.overhead_next_li
+            + self.overhead_recovery
+    }
 }
 
 impl ToJson for RunStats {
@@ -81,6 +107,15 @@ impl ToJson for RunStats {
             ("vliw_cycles", Json::U64(self.vliw_cycles)),
             ("primary_cycles", Json::U64(self.primary_cycles)),
             ("overhead_cycles", Json::U64(self.overhead_cycles)),
+            (
+                "overhead",
+                Json::obj([
+                    ("swap", Json::U64(self.overhead_swap)),
+                    ("mispredict_bubble", Json::U64(self.overhead_mispredict)),
+                    ("next_li", Json::U64(self.overhead_next_li)),
+                    ("recovery", Json::U64(self.overhead_recovery)),
+                ]),
+            ),
             ("instructions", Json::U64(self.instructions)),
             ("ipc", Json::F64(self.ipc())),
             ("vliw_cycle_share", Json::F64(self.vliw_cycle_share())),
@@ -153,5 +188,29 @@ mod tests {
         }
         // The rendered document must parse back.
         assert!(Json::parse(&j.to_string_pretty()).is_ok());
+    }
+
+    #[test]
+    fn overhead_breakdown_rides_in_json() {
+        let s = RunStats {
+            cycles: 100,
+            vliw_cycles: 40,
+            primary_cycles: 30,
+            overhead_cycles: 20,
+            degraded_cycles: 10,
+            overhead_swap: 8,
+            overhead_mispredict: 5,
+            overhead_next_li: 4,
+            overhead_recovery: 3,
+            ..RunStats::default()
+        };
+        assert_eq!(s.attributed_cycles(), s.cycles);
+        assert_eq!(s.overhead_breakdown_sum(), s.overhead_cycles);
+        let j = s.to_json();
+        let o = j.get("overhead").expect("overhead obj");
+        assert_eq!(o.get("swap").and_then(Json::as_u64), Some(8));
+        assert_eq!(o.get("mispredict_bubble").and_then(Json::as_u64), Some(5));
+        assert_eq!(o.get("next_li").and_then(Json::as_u64), Some(4));
+        assert_eq!(o.get("recovery").and_then(Json::as_u64), Some(3));
     }
 }

@@ -165,6 +165,79 @@ fn interrupted_and_resumed_run_matches_uninterrupted() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Snapshot hygiene for the profiler: profiler state never rides in a
+/// snapshot (reset-on-resume), so resuming neither corrupts the exact
+/// round trip nor double-counts an execution. A profiled prefix plus a
+/// freshly-profiled resumed tail must sum to exactly the execution
+/// counts of an uninterrupted profiled run.
+#[test]
+fn resume_with_profiler_neither_corrupts_nor_double_counts() {
+    use dtsvliw_trace::BlockProfiler;
+
+    let dir = scratch("profiler-hygiene");
+    let cfg = MachineConfig::ideal(4, 8);
+
+    // Reference: one uninterrupted profiled run.
+    let mut whole = Machine::new(cfg.clone(), &stress_image());
+    whole.attach_profiler(Box::new(BlockProfiler::new()));
+    whole.run(10_000_000).expect("uninterrupted run completes");
+    let whole_execs: u64 = whole
+        .profiler()
+        .unwrap()
+        .profiles()
+        .iter()
+        .map(|b| b.executions)
+        .sum();
+    let whole_vliw = whole.stats().vliw_cycles;
+    assert!(whole_execs > 0, "the kernel must enter VLIW mode");
+
+    // Interrupt a profiled run mid-flight and snapshot it.
+    let mut original = Machine::new(cfg.clone(), &stress_image());
+    original.attach_profiler(Box::new(BlockProfiler::new()));
+    original.run(700).expect("prefix completes");
+    let path = original.write_snapshot(&dir).expect("snapshot writes");
+    let prefix_execs: u64 = original
+        .profiler()
+        .unwrap()
+        .profiles()
+        .iter()
+        .map(|b| b.executions)
+        .sum();
+
+    // The restored machine comes back with NO profiler (reset-on-resume)
+    // and its statistics still match byte for byte.
+    let mut restored = Machine::resume_from(cfg.clone(), &path).expect("snapshot restores");
+    assert!(
+        restored.profiler().is_none(),
+        "profiler state must not survive a snapshot round trip"
+    );
+    assert_eq!(
+        stats_doc(&original),
+        stats_doc(&restored),
+        "profiling must not perturb the snapshot round trip"
+    );
+
+    // Profile the resumed tail with a fresh profiler: prefix + tail
+    // must equal the uninterrupted run exactly — nothing lost, nothing
+    // counted twice.
+    restored.attach_profiler(Box::new(BlockProfiler::new()));
+    restored.run(10_000_000).expect("resumed run completes");
+    let tail_execs: u64 = restored
+        .profiler()
+        .unwrap()
+        .profiles()
+        .iter()
+        .map(|b| b.executions)
+        .sum();
+    assert_eq!(
+        prefix_execs + tail_execs,
+        whole_execs,
+        "prefix + resumed-tail executions must equal the uninterrupted count"
+    );
+    assert_eq!(restored.stats().vliw_cycles, whole_vliw);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Every tamper mode gets its own typed rejection: bad JSON, a foreign
 /// document, an unknown version, a payload that fails the checksum, and
 /// a snapshot taken under a different configuration.

@@ -22,11 +22,13 @@
 
 mod event;
 mod metrics;
+mod profile;
 mod ring;
 mod sink;
 
 pub use event::{CacheKind, EngineKind, EvictReason, Stamped, TraceEvent};
 pub use metrics::{BucketScale, Histogram, Metrics, HIST_BUCKETS};
+pub use profile::{BlockProfile, BlockProfiler, ExitKind, DEFAULT_HOT_WINDOW};
 pub use ring::FlightRecorder;
 pub use sink::{sink_to_writer, EventSink, JsonlSink, PerfettoSink, TextSink, TraceFormat};
 

@@ -148,6 +148,30 @@ impl Histogram {
         self.buckets[i]
     }
 
+    /// Approximate `q`-quantile (`0.0 < q <= 1.0`) by bucket upper
+    /// bound: the inclusive upper edge of the first bucket whose
+    /// cumulative count reaches `ceil(q × count)`, clamped to the
+    /// largest sample actually seen (so a lone sample in a wide bucket
+    /// does not overstate the tail). 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for i in 0..HIST_BUCKETS {
+            seen += self.buckets[i];
+            if seen >= rank {
+                let upper = match self.bucket_range(i) {
+                    (_, Some(hi)) => hi - 1,
+                    (_, None) => self.max,
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
     /// The bucketing scale.
     pub fn scale(&self) -> BucketScale {
         self.scale
@@ -183,6 +207,11 @@ impl ToJson for Histogram {
             ("sum", Json::U64(self.sum)),
             ("max", Json::U64(self.max)),
             ("mean", Json::F64(self.mean())),
+            // Derived from the buckets (bucket-upper-bound
+            // approximation); deliberately not read back by `from_json`.
+            ("p50", Json::U64(self.percentile(0.50))),
+            ("p90", Json::U64(self.percentile(0.90))),
+            ("p99", Json::U64(self.percentile(0.99))),
             (
                 "buckets",
                 Json::Arr(self.buckets.iter().map(|b| Json::U64(*b)).collect()),
@@ -331,6 +360,50 @@ mod tests {
         assert_eq!(h.bucket(0), 1); // 1
         assert_eq!(h.bucket(1), 2); // 2, 3
         assert_eq!(h.bucket(5), 1); // 10
+    }
+
+    #[test]
+    fn percentiles_by_bucket_upper_bound() {
+        let mut h = Histogram::linear(1);
+        assert_eq!(h.percentile(0.5), 0); // empty
+        for v in 1..=10 {
+            h.record(v);
+        }
+        // Step-1 buckets make the approximation exact here.
+        assert_eq!(h.percentile(0.50), 5);
+        assert_eq!(h.percentile(0.90), 9);
+        assert_eq!(h.percentile(0.99), 10);
+        assert_eq!(h.percentile(1.0), 10);
+
+        // Coarse buckets: the answer is the bucket's inclusive upper
+        // edge, clamped to the observed max.
+        let mut c = Histogram::linear(10);
+        c.record(3);
+        assert_eq!(c.percentile(0.5), 3); // upper edge 9, clamped to max
+        c.record(14);
+        assert_eq!(c.percentile(0.99), 14);
+
+        // Overflow bucket reports the observed max.
+        let mut o = Histogram::log2();
+        o.record(1 << 20);
+        assert_eq!(o.percentile(0.5), 1 << 20);
+    }
+
+    #[test]
+    fn percentiles_ride_in_json_without_breaking_round_trip() {
+        let mut h = Histogram::linear(2);
+        for v in [1, 2, 3, 10] {
+            h.record(v);
+        }
+        let j = h.to_json();
+        assert_eq!(j.get("p50").and_then(Json::as_u64), Some(h.percentile(0.5)));
+        assert_eq!(j.get("p90").and_then(Json::as_u64), Some(h.percentile(0.9)));
+        assert_eq!(
+            j.get("p99").and_then(Json::as_u64),
+            Some(h.percentile(0.99))
+        );
+        let back = Histogram::from_json(&Json::parse(&j.to_string()).unwrap()).unwrap();
+        assert_eq!(h, back);
     }
 
     #[test]

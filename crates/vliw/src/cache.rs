@@ -99,6 +99,9 @@ impl ToJson for VliwCacheStats {
 pub struct EvictedBlock {
     /// Tag address of the displaced block.
     pub tag_addr: u32,
+    /// Window pointer at the displaced block's entry (the other half of
+    /// the cache key; per-block profiling is keyed on it).
+    pub entry_cwp: u8,
     /// Machine cycle the block was installed on (as passed to
     /// [`VliwCache::insert_at`]; 0 for blocks installed via the
     /// cycle-oblivious [`VliwCache::insert`]).
@@ -254,6 +257,7 @@ impl VliwCache {
                     .ok_or(EngineError::NoCacheLines)?;
                 evicted = lines[i].block.as_ref().map(|b| EvictedBlock {
                     tag_addr: b.tag_addr,
+                    entry_cwp: b.entry_cwp,
                     installed_cycle: lines[i].installed_cycle,
                 });
                 &mut lines[i]
@@ -292,6 +296,7 @@ impl VliwCache {
             {
                 gone.get_or_insert(EvictedBlock {
                     tag_addr: addr,
+                    entry_cwp: cwp,
                     installed_cycle: line.installed_cycle,
                 });
                 line.block = None;
