@@ -20,6 +20,16 @@
 //! degrades the *measured* values by P percent before the comparison —
 //! the CI negative test proving the gate actually fails.
 //!
+//! After the (profiled, bit-reproducible) report pass, a second
+//! *timing pass* runs the suite hook-free — where the batched decoded
+//! fast path engages — and appends host-side
+//! simulated-instructions-per-wall-second to the `BENCH_wallclock.json`
+//! trend file. Wall-clock numbers live only there and on stdout, never
+//! in the report body. `--no-fast-path` disables the fast path for the
+//! timing pass (A/B trend lines); `--require-fast-path` exits non-zero
+//! if no workload ever took a burst (the CI liveness check for the fast
+//! path itself).
+//!
 //! Exit codes: 0 success, 1 regression or machine error, 2 bad
 //! arguments.
 
@@ -41,7 +51,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: dtsvliw_bench [--quick] [--scale test|small|large] [--instructions N]\n\
          \u{20}                    [--out PATH] [--compare BASELINE.json] [--tolerance PCT]\n\
-         \u{20}                    [--inject-regression PCT]"
+         \u{20}                    [--inject-regression PCT] [--wallclock PATH] [--no-wallclock]\n\
+         \u{20}                    [--no-fast-path] [--require-fast-path]"
     );
     std::process::exit(2);
 }
@@ -100,6 +111,9 @@ fn main() {
     let mut compare: Option<String> = None;
     let mut tolerance = 2.0f64;
     let mut inject = 0.0f64;
+    let mut wallclock: Option<String> = Some("BENCH_wallclock.json".to_string());
+    let mut fast_path = true;
+    let mut require_fast_path = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -146,6 +160,13 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--wallclock" => {
+                i += 1;
+                wallclock = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--no-wallclock" => wallclock = None,
+            "--no-fast-path" => fast_path = false,
+            "--require-fast-path" => require_fast_path = true,
             _ => usage(),
         }
         i += 1;
@@ -206,6 +227,90 @@ fn main() {
             r.hot_digest,
             r.hot_blocks
         );
+    }
+
+    // Timing pass: the same suite hook-free (no profiler), where the
+    // batched decoded fast path engages. This is the number the
+    // wall-clock trend tracks; the profiled pass above keeps the report
+    // bit-reproducible and pins the simulated results.
+    let t_started = std::time::Instant::now();
+    let timing = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for w in WORKLOADS {
+            let timing = &timing;
+            s.spawn(move || {
+                let workload = by_name(w, scale).unwrap_or_else(|| die(format!("no workload {w}")));
+                let mut m = Machine::new(MachineConfig::feasible_paper(), &workload.image());
+                m.set_fast_path(fast_path);
+                let outcome = m
+                    .run(instructions)
+                    .unwrap_or_else(|e| die(format!("{w} (timing): {e}")));
+                let (bursts, chained) = m.fast_path_stats();
+                timing
+                    .lock()
+                    .unwrap()
+                    .push((w, outcome.instructions, bursts, chained));
+            });
+        }
+    });
+    let t_wall = t_started.elapsed();
+    let trows = timing.into_inner().unwrap();
+    let t_instr: u64 = trows.iter().map(|r| r.1).sum();
+    let bursts: u64 = trows.iter().map(|r| r.2).sum();
+    let chained: u64 = trows.iter().map(|r| r.3).sum();
+    let rate = t_instr as f64 / t_wall.as_secs_f64();
+    println!(
+        "timing pass (fast path {}): {} instructions in {:.2?} \
+         ({:.1}M instructions/s hook-free; {} bursts, {} chained blocks)",
+        if fast_path { "on" } else { "off" },
+        t_instr,
+        t_wall,
+        rate / 1e6,
+        bursts,
+        chained,
+    );
+    if require_fast_path && bursts == 0 {
+        die("--require-fast-path: the fast path was never taken".to_string());
+    }
+
+    // Append to the wall-clock trend file. Timestamps and wall time are
+    // welcome here — this file is the designated home for everything
+    // nondeterministic, which is exactly why it is not the report.
+    if let Some(path) = &wallclock {
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let entry = Json::obj([
+            ("unix_time", Json::U64(ts)),
+            ("scale", Json::Str(scale_label(scale).to_string())),
+            ("instruction_budget", Json::U64(instructions)),
+            ("fast_path", Json::Bool(fast_path)),
+            ("instructions", Json::U64(t_instr)),
+            ("wall_seconds", Json::F64(t_wall.as_secs_f64())),
+            ("instructions_per_second", Json::F64(rate)),
+            ("fast_path_bursts", Json::U64(bursts)),
+            ("fast_path_chained", Json::U64(chained)),
+        ]);
+        let mut entries: Vec<Json> = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|s| Json::parse(&s).ok())
+            .and_then(|d| {
+                d.get("entries")
+                    .and_then(Json::as_arr)
+                    .map(<[Json]>::to_vec)
+            })
+            .unwrap_or_default();
+        entries.push(entry);
+        let doc = Json::obj([
+            ("format", Json::Str("dtsvliw-wallclock".to_string())),
+            ("version", Json::U64(1)),
+            ("entries", Json::Arr(entries)),
+        ]);
+        let mut s = doc.to_string_pretty();
+        s.push('\n');
+        std::fs::write(path, &s).unwrap_or_else(|e| die(format!("writing {path}: {e}")));
+        println!("(wall-clock trend appended to {path})");
     }
 
     if let Some(path) = &out {

@@ -12,7 +12,7 @@ use dtsvliw_sched::{Block, InsertOutcome, Resolution, Scheduler, SlotOp};
 use dtsvliw_trace::{
     BlockProfiler, CacheKind, EngineKind, EvictReason, ExitKind, Metrics, TraceEvent, Tracer,
 };
-use dtsvliw_vliw::{EngineError, EngineFaults, LiResult, VliwCache, VliwEngine};
+use dtsvliw_vliw::{DecodedLine, EngineError, EngineFaults, LiResult, VliwCache, VliwEngine};
 use std::sync::Arc;
 
 /// Simulation errors. All of them indicate a broken program or a
@@ -135,6 +135,10 @@ pub(crate) enum Mode {
     Primary,
     Vliw {
         block: Arc<Block>,
+        /// The block's pre-decoded execution form, shared with the VLIW
+        /// Cache line it came from. The engine's hot loop dispatches
+        /// over this; `block` stays for metadata (tag, seqs, nba).
+        decoded: Arc<DecodedLine>,
         li: usize,
         /// Test-machine trace position at block entry: the block's
         /// commit advances the sequential machine from here.
@@ -228,6 +232,18 @@ pub struct Machine {
     pub(crate) degraded_entries: u64,
     /// Cycles executed while the breaker was open.
     pub(crate) degraded_cycles: u64,
+    /// Host-side batched fast path over decoded lines (on by default).
+    /// Purely an execution strategy: simulated results are bit-identical
+    /// with it on or off, so it lives outside `MachineConfig` (whose
+    /// digest seals snapshot compatibility) and outside `RunStats`.
+    pub(crate) fast_path: bool,
+    /// Bursts entered / block-chain transitions taken inside a burst
+    /// (host diagnostics only, never serialised).
+    pub(crate) fp_bursts: u64,
+    pub(crate) fp_chained: u64,
+    /// Reused per-cycle scratch: data-cache addresses touched by the
+    /// long instruction just executed.
+    pub(crate) dcache_scratch: Vec<u32>,
 }
 
 impl Machine {
@@ -284,8 +300,39 @@ impl Machine {
             degraded_entered: 0,
             degraded_entries: 0,
             degraded_cycles: 0,
+            fast_path: true,
+            fp_bursts: 0,
+            fp_chained: 0,
+            dcache_scratch: Vec::new(),
             cfg,
         }
+    }
+
+    /// Enable or disable the batched decoded fast path (on by default).
+    /// A host-side switch only: cycles, statistics and digests are
+    /// bit-identical either way (proven by the differential test).
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
+    }
+
+    /// `(bursts entered, chained block transitions)` taken by the fast
+    /// path — host diagnostics, never part of `RunStats` or snapshots.
+    pub fn fast_path_stats(&self) -> (u64, u64) {
+        (self.fp_bursts, self.fp_chained)
+    }
+
+    /// May the batched fast path run right now? Any armed observation or
+    /// fault hook forces the stepped path, which evaluates every hook at
+    /// the exact cycle it would fire.
+    #[inline]
+    fn fast_path_armed(&self) -> bool {
+        self.fast_path
+            && self.tracer.is_none()
+            && self.profiler.is_none()
+            && self.injector.is_none()
+            && self.cfg.breaker_threshold == 0
+            && !self.inject_divergence
+            && !self.exception_mode
     }
 
     /// Run until the program exits or `max_instructions` sequential
@@ -303,6 +350,9 @@ impl Machine {
             }
             match &self.mode {
                 Mode::Primary => self.step_primary()?,
+                Mode::Vliw { .. } if self.fast_path_armed() => {
+                    self.run_vliw_burst(max_instructions)?
+                }
                 Mode::Vliw { .. } => self.step_vliw()?,
             }
             self.debug_check_cycle_attribution();
@@ -762,9 +812,9 @@ impl Machine {
         {
             // Grab the hit block before flushing the one under
             // construction: the flush's insert may evict the hit line.
-            let Some(block) =
+            let Some((block, decoded)) =
                 self.vcache
-                    .lookup(self.state.pc, self.state.cwp, self.state.resident)
+                    .lookup_decoded(self.state.pc, self.state.cwp, self.state.resident)
             else {
                 // peek/lookup disagreement: treat as a miss and stay on
                 // the Primary Processor rather than crash the machine.
@@ -784,6 +834,7 @@ impl Machine {
             self.engine.begin_block(&block, &self.state);
             self.mode = Mode::Vliw {
                 block,
+                decoded,
                 li: 0,
                 base: self.test.retired,
             };
@@ -796,14 +847,24 @@ impl Machine {
     // -------------------------------------------------------------
 
     fn step_vliw(&mut self) -> Result<(), MachineError> {
-        let (block, li, base) = match &self.mode {
-            Mode::Vliw { block, li, base } => (Arc::clone(block), *li, *base),
+        let (block, decoded, li, base) = match &self.mode {
+            Mode::Vliw {
+                block,
+                decoded,
+                li,
+                base,
+            } => (Arc::clone(block), Arc::clone(decoded), *li, *base),
             Mode::Primary => unreachable!(),
         };
-        let out = match self
-            .engine
-            .exec_li(&block, li, &mut self.state, &mut self.mem)
-        {
+        // `engine`, `state`, `mem` and `dcache_scratch` are disjoint
+        // fields, so the scratch buffer needs no take/put dance.
+        let out = match self.engine.exec_li_decoded(
+            &decoded,
+            li,
+            &mut self.state,
+            &mut self.mem,
+            &mut self.dcache_scratch,
+        ) {
             Ok(out) => out,
             Err(e) => {
                 self.note_engine_fires(block.tag_addr);
@@ -816,8 +877,8 @@ impl Machine {
         // whole engine for the worst port's penalty.
         let mut c = 1u64;
         let mut stall = 0u32;
-        for i in 0..out.dcache_accesses.len() {
-            let addr = out.dcache_accesses[i];
+        for i in 0..self.dcache_scratch.len() {
+            let addr = self.dcache_scratch[i];
             let cost = self.dcache.access_cost(addr);
             if cost > 0 {
                 self.emit(TraceEvent::CacheMiss {
@@ -832,18 +893,17 @@ impl Machine {
         self.cycles += c;
         self.vliw_cycles += c;
 
+        let row = decoded.rows[li];
         if let Some(p) = &mut self.profiler {
             p.note_li(
                 block.tag_addr,
                 block.entry_cwp,
-                block.lis[li].len() as u32,
-                block.lis[li].slots.len() as u32,
+                row.occupancy as u32,
+                row.width as u32,
                 c,
             );
         }
-        self.metrics
-            .li_slot_occupancy
-            .record(block.lis[li].len() as u64);
+        self.metrics.li_slot_occupancy.record(row.occupancy as u64);
         if self.tracer.is_some() {
             let (tag, li) = (block.tag_addr, li as u32);
             self.emit(TraceEvent::LiCommit {
@@ -864,10 +924,28 @@ impl Machine {
             LiResult::Next => {
                 self.mode = Mode::Vliw {
                     block,
+                    decoded,
                     li: li + 1,
                     base,
                 };
+                Ok(())
             }
+            exit => self.finish_block_exit(exit, block, base),
+        }
+    }
+
+    /// Everything that happens after a long instruction whose result was
+    /// not [`LiResult::Next`]: block-boundary sync, commit, transition
+    /// (or exception unwind). Shared verbatim between the stepped path
+    /// and the batched fast path, so the two cannot drift.
+    fn finish_block_exit(
+        &mut self,
+        result: LiResult,
+        block: Arc<Block>,
+        base: u64,
+    ) -> Result<(), MachineError> {
+        match result {
+            LiResult::Next => unreachable!("Next is handled by the callers"),
             LiResult::BlockEnd => {
                 if let Some(p) = &mut self.profiler {
                     p.note_exit(block.tag_addr, block.entry_cwp, ExitKind::Nba);
@@ -952,6 +1030,122 @@ impl Machine {
         Ok(())
     }
 
+    /// The batched fast path: execute a whole chain of decoded blocks —
+    /// long instruction after long instruction, block after block along
+    /// the nba/redirect chain — in one dispatch, without rebuilding
+    /// `Mode::Vliw` or re-cloning `Arc`s per cycle.
+    ///
+    /// Only entered when [`Machine::fast_path_armed`] holds (no tracer,
+    /// profiler, injector or breaker armed), in which case every skipped
+    /// hook is a proven no-op: `emit` does nothing without a tracer,
+    /// `note_engine_fires` cannot observe a delta without armed fault
+    /// knobs, and the breaker never opens at threshold 0. Cycle
+    /// accounting, cache stats, metrics histograms and the lockstep
+    /// oracle all run exactly as on the stepped path, so simulated
+    /// results are bit-identical.
+    fn run_vliw_burst(&mut self, max_instructions: u64) -> Result<(), MachineError> {
+        let (mut block, mut decoded, mut li, mut base) = match &self.mode {
+            Mode::Vliw {
+                block,
+                decoded,
+                li,
+                base,
+            } => (Arc::clone(block), Arc::clone(decoded), *li, *base),
+            Mode::Primary => unreachable!(),
+        };
+        self.fp_bursts += 1;
+        loop {
+            // Replicate the run() loop's guards at the same points they
+            // would fire on the stepped path.
+            if self.halted.is_some() || self.test.retired >= max_instructions {
+                self.mode = Mode::Vliw {
+                    block,
+                    decoded,
+                    li,
+                    base,
+                };
+                return Ok(());
+            }
+            if let Some(limit) = self.cfg.max_cycles {
+                if self.cycles > limit {
+                    self.mode = Mode::Vliw {
+                        block,
+                        decoded,
+                        li,
+                        base,
+                    };
+                    return Err(MachineError::Watchdog {
+                        cycles: self.cycles,
+                        limit,
+                        instructions: self.test.retired,
+                    });
+                }
+            }
+            let out = match self.engine.exec_li_decoded(
+                &decoded,
+                li,
+                &mut self.state,
+                &mut self.mem,
+                &mut self.dcache_scratch,
+            ) {
+                Ok(out) => out,
+                Err(e) => {
+                    self.mode = Mode::Vliw {
+                        block: Arc::clone(&block),
+                        decoded,
+                        li,
+                        base,
+                    };
+                    self.note_engine_fires(block.tag_addr);
+                    return self.recover_from_engine_error(e, &block);
+                }
+            };
+            let mut c = 1u64;
+            let mut stall = 0u32;
+            for i in 0..self.dcache_scratch.len() {
+                stall = stall.max(self.dcache.access_cost(self.dcache_scratch[i]));
+            }
+            c += stall as u64;
+            self.cycles += c;
+            self.vliw_cycles += c;
+            self.metrics
+                .li_slot_occupancy
+                .record(decoded.rows[li].occupancy as u64);
+
+            match out.result {
+                LiResult::Next => li += 1,
+                exit => {
+                    // Park a coherent mode before the shared exit code
+                    // (it may propagate an error to the caller).
+                    self.mode = Mode::Vliw {
+                        block: Arc::clone(&block),
+                        decoded,
+                        li,
+                        base,
+                    };
+                    self.finish_block_exit(exit, block, base)?;
+                    match &self.mode {
+                        // The chain continues: stay in the burst.
+                        Mode::Vliw {
+                            block: b,
+                            decoded: d,
+                            li: l,
+                            base: bs,
+                        } => {
+                            self.fp_chained += 1;
+                            block = Arc::clone(b);
+                            decoded = Arc::clone(d);
+                            li = *l;
+                            base = *bs;
+                        }
+                        Mode::Primary => return Ok(()),
+                    }
+                }
+            }
+            self.debug_check_cycle_attribution();
+        }
+    }
+
     /// Follow the trace to `addr`: enter the cached block there or fall
     /// back to the Primary Processor ("On a VLIW Cache miss, the Primary
     /// Processor takes over execution, fetching from the last PC value
@@ -964,9 +1158,9 @@ impl Machine {
         if self.vcache.peek(addr, self.state.cwp, self.state.resident)
             && self.prepare_block_entry(addr)
         {
-            let Some(block) = self
-                .vcache
-                .lookup(addr, self.state.cwp, self.state.resident)
+            let Some((block, decoded)) =
+                self.vcache
+                    .lookup_decoded(addr, self.state.cwp, self.state.resident)
             else {
                 // peek/lookup disagreement: degrade to the Primary
                 // Processor instead of crashing.
@@ -1001,6 +1195,7 @@ impl Machine {
             self.engine.begin_block(&block, &self.state);
             self.mode = Mode::Vliw {
                 block,
+                decoded,
                 li: 0,
                 base: self.test.retired,
             };

@@ -250,7 +250,12 @@ impl Machine {
     fn payload_json(&self) -> Json {
         let mode = match &self.mode {
             Mode::Primary => Json::obj([("engine", Json::Str("primary".into()))]),
-            Mode::Vliw { block, li, base } => Json::obj([
+            // The decoded form is derived state: never serialised, and
+            // rebuilt from the block on restore (so a resumed run is
+            // byte-identical to a cold one by construction).
+            Mode::Vliw {
+                block, li, base, ..
+            } => Json::obj([
                 ("engine", Json::Str("vliw".into())),
                 ("block", block_to_json(block)),
                 ("li", Json::U64(*li as u64)),
@@ -437,21 +442,28 @@ impl Machine {
         let mj = p.get("mode").ok_or_else(|| miss("mode"))?;
         let mode = match mj.get("engine").and_then(Json::as_str) {
             Some("primary") => Mode::Primary,
-            Some("vliw") => Mode::Vliw {
-                block: Arc::new(
+            Some("vliw") => {
+                let block = Arc::new(
                     mj.get("block")
                         .and_then(block_from_json)
                         .ok_or_else(|| miss("mode block"))?,
-                ),
-                li: mj
-                    .get("li")
-                    .and_then(Json::as_u64)
-                    .ok_or_else(|| miss("mode li"))? as usize,
-                base: mj
-                    .get("base")
-                    .and_then(Json::as_u64)
-                    .ok_or_else(|| miss("mode base"))?,
-            },
+                );
+                // Re-lower the in-flight block: decoded state never
+                // rides in snapshots.
+                let decoded = Arc::new(dtsvliw_vliw::decode_block(&block));
+                Mode::Vliw {
+                    block,
+                    decoded,
+                    li: mj
+                        .get("li")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| miss("mode li"))? as usize,
+                    base: mj
+                        .get("base")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| miss("mode base"))?,
+                }
+            }
             _ => return Err(miss("mode engine")),
         };
 
@@ -581,6 +593,10 @@ impl Machine {
             degraded_entered: b_u("degraded_entered")?,
             degraded_entries: b_u("entries")?,
             degraded_cycles: b_u("cycles")?,
+            fast_path: true,
+            fp_bursts: 0,
+            fp_chained: 0,
+            dcache_scratch: Vec::new(),
             cfg,
         })
     }

@@ -1,0 +1,128 @@
+//! Differential tests for the batched decoded fast path: with no hooks
+//! armed the machine may execute whole chains of decoded blocks in one
+//! dispatch, and the results — outcome, statistics, output, every
+//! histogram — must be bit-identical to the stepped path. Any armed
+//! hook (fault injector, circuit breaker, tracer, profiler) must route
+//! execution back to the stepped path so hooks fire at exact cycles.
+
+use dtsvliw_core::{Machine, MachineConfig, RunOutcome};
+use dtsvliw_faults::FaultPlan;
+use dtsvliw_json::ToJson;
+use dtsvliw_trace::BlockProfiler;
+use dtsvliw_workloads::{by_name, Scale};
+
+/// The eight workload names in the paper's Table 2 order.
+const WORKLOADS: [&str; 8] = [
+    "compress", "gcc", "go", "ijpeg", "m88ksim", "perl", "vortex", "xlisp",
+];
+
+/// Instruction budget per workload: enough for every workload to warm
+/// the VLIW Cache and spend most of its time chaining blocks, small
+/// enough that 8 workloads x several configurations stay fast in a
+/// debug build.
+const BUDGET: u64 = 40_000;
+
+/// Run `name` at `Scale::Test` under `cfg` with the fast path forced
+/// on or off; return everything observable plus the burst counters.
+fn run_one(cfg: MachineConfig, name: &str, fast: bool) -> (RunOutcome, String, String, (u64, u64)) {
+    let w = by_name(name, Scale::Test).expect("known workload");
+    let mut m = Machine::new(cfg, &w.image());
+    m.set_fast_path(fast);
+    let out = m.run(BUDGET).expect("workload runs");
+    (
+        out,
+        m.stats().to_json().to_string(),
+        m.output_string(),
+        m.fast_path_stats(),
+    )
+}
+
+/// All 8 paper workloads, fast path off vs on: `RunStats` (serialised,
+/// so every counter and histogram participates), console output and
+/// the run outcome must be byte-identical — and the fast path must
+/// actually have been exercised, or the test proves nothing.
+#[test]
+fn fast_path_is_bit_identical_on_all_workloads() {
+    for name in WORKLOADS {
+        let cfg = MachineConfig::feasible_paper();
+        let (slow_out, slow_stats, slow_text, (slow_bursts, _)) = run_one(cfg.clone(), name, false);
+        let (fast_out, fast_stats, fast_text, (fast_bursts, fast_chained)) =
+            run_one(cfg, name, true);
+        assert_eq!(slow_bursts, 0, "{name}: disabled fast path must not burst");
+        assert!(fast_bursts > 0, "{name}: fast path never taken");
+        assert!(
+            fast_chained > 0,
+            "{name}: no block chain crossed inside a burst"
+        );
+        assert_eq!(slow_out, fast_out, "{name}: outcome differs");
+        assert_eq!(slow_stats, fast_stats, "{name}: statistics differ");
+        assert_eq!(slow_text, fast_text, "{name}: output differs");
+    }
+}
+
+/// A fault-storm configuration arms the injector, which must pin the
+/// machine to the stepped path (fault rolls happen per block entry at
+/// exact cycles); results still agree with an explicit fast-off run.
+#[test]
+fn fault_storm_routes_to_the_stepped_path() {
+    let plan = FaultPlan::all_sites(0.02, 8, 0xDEC0DE);
+    for name in ["compress", "xlisp"] {
+        let cfg = MachineConfig::feasible_paper().with_faults(plan.clone());
+        let (slow_out, slow_stats, slow_text, _) = run_one(cfg.clone(), name, false);
+        let (fast_out, fast_stats, fast_text, (bursts, chained)) = run_one(cfg, name, true);
+        assert_eq!(
+            (bursts, chained),
+            (0, 0),
+            "{name}: armed injector must disarm the fast path"
+        );
+        assert_eq!(slow_out, fast_out, "{name}: outcome differs under faults");
+        assert_eq!(
+            slow_stats, fast_stats,
+            "{name}: statistics differ under faults"
+        );
+        assert_eq!(slow_text, fast_text, "{name}: output differs under faults");
+    }
+}
+
+/// Same for the circuit breaker: a nonzero threshold means degraded
+/// entry/exit decisions are evaluated every cycle, so the fast path
+/// must stand down even when no fault ever fires.
+#[test]
+fn breaker_config_routes_to_the_stepped_path() {
+    let plan = FaultPlan::all_sites(0.05, 16, 77);
+    let cfg = MachineConfig::feasible_paper()
+        .with_faults(plan)
+        .with_breaker(2, 20_000, 50_000);
+    let (slow_out, slow_stats, _, _) = run_one(cfg.clone(), "go", false);
+    let (fast_out, fast_stats, _, (bursts, _)) = run_one(cfg, "go", true);
+    assert_eq!(bursts, 0, "armed breaker must disarm the fast path");
+    assert_eq!(slow_out, fast_out);
+    assert_eq!(slow_stats, fast_stats);
+}
+
+/// An attached profiler must force the stepped path (per-LI accounting
+/// hooks), and the simulated results must still match a hook-free fast
+/// run — observation never perturbs the simulation.
+#[test]
+fn profiler_routes_to_the_stepped_path_with_identical_results() {
+    let w = by_name("ijpeg", Scale::Test).expect("known workload");
+    let cfg = MachineConfig::feasible_paper();
+
+    let mut observed = Machine::new(cfg.clone(), &w.image());
+    observed.attach_profiler(Box::new(BlockProfiler::new()));
+    let a = observed.run(BUDGET).expect("observed run");
+    assert_eq!(
+        observed.fast_path_stats().0,
+        0,
+        "attached profiler must disarm the fast path"
+    );
+
+    let mut free = Machine::new(cfg, &w.image());
+    let b = free.run(BUDGET).expect("hook-free run");
+    assert!(free.fast_path_stats().0 > 0, "hook-free run must burst");
+    assert_eq!(a, b);
+    assert_eq!(
+        observed.stats().to_json().to_string(),
+        free.stats().to_json().to_string()
+    );
+}

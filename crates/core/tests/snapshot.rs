@@ -293,3 +293,48 @@ fn corrupt_and_mismatched_snapshots_are_refused() {
     assert!(Machine::resume_from(cfg, &path).is_ok());
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Decoded-line hygiene: the pre-decoded execution form is derived
+/// state that never rides in snapshots. A machine interrupted after the
+/// decode caches are fully warm (and likely mid-block, where
+/// `Mode::Vliw` carries a decoded `Arc`) must (a) restore and
+/// immediately re-serialise to the *identical bytes* — proving no
+/// decoded state leaked into the document — and (b) finish with
+/// statistics and output byte-identical to a cold run that was never
+/// interrupted, even though the restored machine re-lowers every block
+/// lazily on first lookup.
+#[test]
+fn resume_after_decode_warmup_is_byte_identical_to_a_cold_run() {
+    let dir = scratch("decode-warmup");
+    let cfg = MachineConfig::ideal(4, 8);
+
+    let mut cold = Machine::new(cfg.clone(), &stress_image());
+    let want = cold.run(10_000_000).expect("cold run completes");
+
+    let mut warm = Machine::new(cfg.clone(), &stress_image());
+    warm.run(2_300).expect("warmup prefix");
+    assert!(
+        warm.stats().vliw_cycles > 0,
+        "warmup must have executed decoded blocks"
+    );
+    let path = warm.write_snapshot(&dir).expect("snapshot writes");
+    let original_bytes = std::fs::read(&path).expect("snapshot readable");
+
+    let mut restored = Machine::resume_from(cfg, &path).expect("snapshot restores");
+    let repath = restored.write_snapshot(&dir).expect("re-snapshot writes");
+    assert_eq!(
+        original_bytes,
+        std::fs::read(&repath).expect("re-snapshot readable"),
+        "restore + re-serialise must be byte-identical (decoded state leaked?)"
+    );
+
+    let got = restored.run(10_000_000).expect("resumed run completes");
+    assert_eq!(want, got, "outcome must match the cold run");
+    assert_eq!(
+        stats_doc(&cold),
+        stats_doc(&restored),
+        "final statistics must be byte-identical to the cold run"
+    );
+    assert_eq!(cold.output_string(), restored.output_string());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,5 +1,6 @@
 //! The VLIW Cache: one block of long instructions per line (paper §3.4).
 
+use crate::decoded::{decode_block_into, DecodeArena, DecodedLine};
 use crate::engine::EngineError;
 use dtsvliw_json::{Json, ToJson};
 use dtsvliw_sched::snapshot::{block_from_json, block_to_json};
@@ -111,6 +112,12 @@ pub struct EvictedBlock {
 #[derive(Debug, Clone, Default)]
 struct Line {
     block: Option<Arc<Block>>,
+    /// The block lowered to its flat execution form — produced at
+    /// install time, dropped (and its buffers recycled) whenever the
+    /// stored block changes, and absent after a snapshot restore until
+    /// the first [`VliwCache::lookup_decoded`] re-lowers it. Never
+    /// serialised: it is derived state.
+    decoded: Option<Arc<DecodedLine>>,
     lru: u64,
     installed_cycle: u64,
     /// `Block::content_hash` recorded at install time when integrity
@@ -128,6 +135,8 @@ pub struct VliwCache {
     tick: u64,
     stats: VliwCacheStats,
     integrity: bool,
+    /// Shell pool for [`Line::decoded`] slot arrays.
+    arena: DecodeArena,
 }
 
 impl VliwCache {
@@ -140,6 +149,7 @@ impl VliwCache {
             tick: 0,
             stats: VliwCacheStats::default(),
             integrity: false,
+            arena: DecodeArena::default(),
         }
     }
 
@@ -190,6 +200,46 @@ impl VliwCache {
                     break;
                 }
             }
+        }
+        if found.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        found
+    }
+
+    /// Like [`VliwCache::lookup`], additionally returning the line's
+    /// pre-decoded execution form. The decoded form is produced at
+    /// install time; a line that lost it (snapshot restore) is lowered
+    /// again here, so restored machines converge on the same fast state.
+    pub fn lookup_decoded(
+        &mut self,
+        addr: u32,
+        cwp: u8,
+        resident: u8,
+    ) -> Option<(Arc<Block>, Arc<DecodedLine>)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let mut found = None;
+        for i in self.set_range(addr) {
+            let hit = self.lines[i].block.as_ref().is_some_and(|b| {
+                b.tag_addr == addr
+                    && b.entry_cwp == cwp
+                    && (!b.window_sensitive || b.entry_resident == resident)
+            });
+            if !hit {
+                continue;
+            }
+            self.lines[i].lru = tick;
+            let block = Arc::clone(self.lines[i].block.as_ref().expect("hit checked above"));
+            if self.lines[i].decoded.is_none() {
+                let shell = self.arena.take_shell();
+                self.lines[i].decoded = Some(Arc::new(decode_block_into(&block, shell)));
+            }
+            let decoded = Arc::clone(self.lines[i].decoded.as_ref().expect("just ensured"));
+            found = Some((block, decoded));
+            break;
         }
         if found.is_some() {
             self.stats.hits += 1;
@@ -268,6 +318,12 @@ impl VliwCache {
         } else {
             0
         };
+        // Lower the block to its execution form once, here at install,
+        // reusing the slot arrays of whatever line this displaces.
+        if let Some(d) = victim.decoded.take() {
+            self.arena.recycle(d);
+        }
+        victim.decoded = Some(Arc::new(decode_block_into(&block, self.arena.take_shell())));
         victim.block = Some(Arc::new(block));
         victim.lru = tick;
         victim.installed_cycle = now;
@@ -300,6 +356,9 @@ impl VliwCache {
                     installed_cycle: line.installed_cycle,
                 });
                 line.block = None;
+                if let Some(d) = line.decoded.take() {
+                    self.arena.recycle(d);
+                }
                 n += 1;
             }
         }
@@ -324,6 +383,14 @@ impl VliwCache {
         for line in &mut self.lines[range] {
             if let Some(b) = &mut line.block {
                 if b.tag_addr == addr && b.entry_cwp == cwp {
+                    // The stored block is about to change: the decoded
+                    // form no longer describes it, so drop it here and
+                    // re-lower on the next decoded lookup. An engine
+                    // mid-block keeps its own clone of the old pair, so
+                    // its view stays self-consistent.
+                    if let Some(d) = line.decoded.take() {
+                        self.arena.recycle(d);
+                    }
                     return Some(f(Arc::make_mut(b)));
                 }
             }
@@ -588,6 +655,32 @@ mod tests {
         )
         .is_none());
         assert!(VliwCache::from_snapshot_json(a.config(), &Json::parse("{}").unwrap()).is_none());
+    }
+
+    #[test]
+    fn decoded_lookup_tracks_the_stored_block() {
+        use crate::decoded::decode_block;
+        let mut c = cache(3072, 4);
+        c.insert(block(0x1000, 0)).unwrap();
+        // Install produced the decoded form; the probe returns it and
+        // counts exactly like a plain lookup.
+        let (b, d) = c.lookup_decoded(0x1000, 0, 1).unwrap();
+        assert_eq!(*d, decode_block(&b));
+        assert!(c.lookup_decoded(0x1000, 3, 1).is_none(), "wrong window");
+        assert_eq!((c.stats().hits, c.stats().misses), (1, 1));
+        // In-place mutation drops the stale decoded form; the next probe
+        // re-lowers the mutated block.
+        c.with_block_mut(0x1000, 0, |b| b.nba_addr = 0x4444);
+        let (b2, d2) = c.lookup_decoded(0x1000, 0, 1).unwrap();
+        assert_eq!(b2.nba_addr, 0x4444);
+        assert_eq!(*d2, decode_block(&b2));
+        // A snapshot round trip never carries decoded state; the
+        // restored cache lowers the line again on first decoded probe.
+        let j = c.snapshot_json().to_string();
+        let mut r = VliwCache::from_snapshot_json(c.config(), &Json::parse(&j).unwrap()).unwrap();
+        let (b3, d3) = r.lookup_decoded(0x1000, 0, 1).unwrap();
+        assert_eq!(b3.content_hash(), b2.content_hash());
+        assert_eq!(*d3, *d2);
     }
 
     #[test]

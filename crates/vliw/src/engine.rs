@@ -14,14 +14,16 @@
 //! taken at block entry plus a checkpoint-recovery store list of
 //! overwritten data.
 
+use crate::decoded::{
+    decode_block, CcSrc, DecodedKind, DecodedLine, DecodedOp, FpSrc, IntSrc, Src2D, StoreData,
+};
 use dtsvliw_isa::alu::{exec_alu, exec_fp};
 use dtsvliw_isa::cond::{Fcc, Icc};
-use dtsvliw_isa::insn::{FpOp, Instr, MemOp, Src2};
-use dtsvliw_isa::regs::phys_reg;
+use dtsvliw_isa::insn::{AluOp, FpOp, MemOp};
 use dtsvliw_isa::{ArchState, Resource};
 use dtsvliw_json::{Json, ToJson};
 use dtsvliw_mem::Memory;
-use dtsvliw_sched::{Block, CopyInstr, ScheduledInstr, SlotOp};
+use dtsvliw_sched::Block;
 
 /// How VLIW-mode stores reach memory (§3.11 presents both schemes).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -76,6 +78,18 @@ pub struct LiOutcome {
     pub result: LiResult,
     /// Data-memory addresses touched this cycle (data-cache timing).
     pub dcache_accesses: Vec<u32>,
+    /// Operations that committed.
+    pub committed: u32,
+    /// Operations annulled by branch tags.
+    pub annulled: u32,
+}
+
+/// The allocation-free form of [`LiOutcome`]: the data-cache addresses
+/// land in the caller-provided buffer instead of a fresh `Vec`.
+#[derive(Debug, Clone, Copy)]
+pub struct LiExec {
+    /// Control outcome.
+    pub result: LiResult,
     /// Operations that committed.
     pub committed: u32,
     /// Operations annulled by branch tags.
@@ -287,6 +301,35 @@ struct Effect {
     writes: dtsvliw_isa::ResList,
 }
 
+impl Effect {
+    /// Clear for reuse, keeping the `copy_regs` allocation.
+    fn reset(&mut self) {
+        let copy_regs = std::mem::take(&mut self.copy_regs);
+        *self = Effect {
+            copy_regs,
+            ..Effect::default()
+        };
+        self.copy_regs.clear();
+    }
+}
+
+/// Per-cycle working buffers, held on the engine so the hot loop never
+/// allocates. Contents are meaningless between cycles: the `Debug` form
+/// is constant and snapshots ignore it, so a restored engine (with empty
+/// buffers) is indistinguishable from the original.
+#[derive(Clone, Default)]
+struct ExecScratch {
+    effects: Vec<Effect>,
+    branches: Vec<(u8, bool, u32)>,
+    live: Vec<(bool, LsEntry, bool)>,
+}
+
+impl std::fmt::Debug for ExecScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ExecScratch")
+    }
+}
+
 /// The VLIW Engine.
 #[derive(Debug, Clone, Default)]
 pub struct VliwEngine {
@@ -307,6 +350,7 @@ pub struct VliwEngine {
     /// (checkpoint-recovery trace reporting).
     last_rollback_unwound: u32,
     faults: EngineFaults,
+    scratch: ExecScratch,
 }
 
 impl VliwEngine {
@@ -441,52 +485,47 @@ impl VliwEngine {
     }
 
     // -------------------------------------------------------------
-    // Operand access with source redirection
+    // Operand access (sources pre-resolved at decode time)
     // -------------------------------------------------------------
 
-    fn redirected(&self, s: &ScheduledInstr, orig: Resource) -> Option<Resource> {
-        s.src_renames
-            .iter()
-            .find(|(o, _)| *o == orig)
-            .map(|(_, r)| *r)
-    }
-
-    fn read_int(&self, s: &ScheduledInstr, state: &ArchState, reg: u8) -> u32 {
-        if reg == 0 {
-            return 0;
-        }
-        let p = phys_reg(s.d.cwp_before, reg);
-        match self.redirected(s, Resource::Int(p)) {
-            Some(Resource::IntRen(k)) => self.ren_int[k as usize],
-            _ => state.int[p as usize],
+    #[inline]
+    fn int_of(&self, state: &ArchState, s: IntSrc) -> u32 {
+        match s {
+            IntSrc::Zero => 0,
+            IntSrc::Phys(p) => state.int[p as usize],
+            IntSrc::Ren(k) => self.ren_int[k as usize],
         }
     }
 
-    fn read_src2(&self, s: &ScheduledInstr, state: &ArchState, src2: Src2) -> u32 {
-        match src2 {
-            Src2::Reg(r) => self.read_int(s, state, r),
-            Src2::Imm(i) => i as u32,
+    #[inline]
+    fn src2_of(&self, state: &ArchState, b: Src2D) -> u32 {
+        match b {
+            Src2D::Reg(r) => self.int_of(state, r),
+            Src2D::Imm(v) => v,
         }
     }
 
-    fn read_icc(&self, s: &ScheduledInstr, state: &ArchState) -> Icc {
-        match self.redirected(s, Resource::Icc) {
-            Some(Resource::IccRen(k)) => self.ren_icc[k as usize],
-            _ => state.icc,
+    #[inline]
+    fn icc_of(&self, state: &ArchState, s: CcSrc) -> Icc {
+        match s {
+            CcSrc::Arch => state.icc,
+            CcSrc::Ren(k) => self.ren_icc[k as usize],
         }
     }
 
-    fn read_fcc(&self, s: &ScheduledInstr, state: &ArchState) -> Fcc {
-        match self.redirected(s, Resource::Fcc) {
-            Some(Resource::FccRen(k)) => self.ren_fcc[k as usize],
-            _ => state.fcc,
+    #[inline]
+    fn fcc_of(&self, state: &ArchState, s: CcSrc) -> Fcc {
+        match s {
+            CcSrc::Arch => state.fcc,
+            CcSrc::Ren(k) => self.ren_fcc[k as usize],
         }
     }
 
-    fn read_fp(&self, s: &ScheduledInstr, state: &ArchState, f: u8) -> u32 {
-        match self.redirected(s, Resource::Fp(f)) {
-            Some(Resource::FpRen(k)) => self.ren_fp[k as usize],
-            _ => state.fp[f as usize],
+    #[inline]
+    fn fp_of(&self, state: &ArchState, s: FpSrc) -> u32 {
+        match s {
+            FpSrc::Arch(f) => state.fp[f as usize],
+            FpSrc::Ren(k) => self.ren_fp[k as usize],
         }
     }
 
@@ -494,177 +533,194 @@ impl VliwEngine {
     // Compute phase
     // -------------------------------------------------------------
 
-    fn compute_instr(
+    fn compute_decoded(
         &self,
-        s: &ScheduledInstr,
+        op: &DecodedOp,
+        e: &mut Effect,
         state: &ArchState,
         mem: &Memory,
-    ) -> Result<Effect, EngineError> {
-        let mut e = Effect {
-            tag: s.tag,
-            writes: s.writes,
-            ..Effect::default()
-        };
-        match s.d.instr {
-            Instr::Alu {
-                op, cc, rs1, src2, ..
+    ) -> Result<(), EngineError> {
+        e.tag = op.tag;
+        e.writes = op.writes;
+        match &op.kind {
+            DecodedKind::Alu {
+                op: aop,
+                cc,
+                a,
+                b,
+                icc,
             } => {
-                let a = self.read_int(s, state, rs1);
-                let b = self.read_src2(s, state, src2);
-                let r = exec_alu(op, a, b, self.read_icc(s, state), state.y);
+                let r = exec_alu(
+                    *aop,
+                    self.int_of(state, *a),
+                    self.src2_of(state, *b),
+                    self.icc_of(state, *icc),
+                    state.y,
+                );
                 e.int_res = Some(r.value);
-                if cc {
+                if *cc {
                     e.icc_res = Some(r.icc);
                 }
-                if op == dtsvliw_isa::insn::AluOp::MulScc {
+                if *aop == AluOp::MulScc {
                     e.y_res = Some(r.y);
                 }
             }
-            Instr::Sethi { imm22, .. } => e.int_res = Some(imm22 << 10),
-            Instr::Mem { op, rd, rs1, src2 } => {
-                let addr = self
-                    .read_int(s, state, rs1)
-                    .wrapping_add(self.read_src2(s, state, src2));
-                let size = op.size();
+            DecodedKind::SetInt { value } => e.int_res = Some(*value),
+            DecodedKind::Load { op: mop, a, b } => {
+                let addr = self.int_of(state, *a).wrapping_add(self.src2_of(state, *b));
+                let size = mop.size();
                 if !addr.is_multiple_of(size as u32) {
                     e.fault = true;
-                    return Ok(e);
+                    return Ok(());
                 }
-                if op.is_store() {
-                    let data = if op.is_fp() {
-                        self.read_fp(s, state, rd)
-                    } else {
-                        self.read_int(s, state, rd)
-                    };
-                    if let Some(Resource::MemRen(k)) =
-                        s.writes.iter().find(|w| matches!(w, Resource::MemRen(_)))
-                    {
-                        // Split store: stage in the memory renaming
-                        // buffer; the COPY commits it (§3.9).
-                        e.membuf_write = Some((*k, addr, size, data));
-                    } else {
-                        e.mem_write = Some((addr, size, data));
-                        e.dcache = Some(addr);
-                        let order = s.ls_order.ok_or(EngineError::MissingLsOrder)?;
-                        e.ls_check = Some((true, LsEntry { addr, size, order }, s.cross));
-                    }
+                e.is_load = true;
+                e.dcache = Some(addr);
+                let raw = match self.scheme {
+                    StoreScheme::Checkpoint => mem.read(addr, size),
+                    StoreScheme::StoreBuffer => self.load_merged(mem, addr, size),
+                };
+                let value = match mop {
+                    MemOp::Ldsb => raw as u8 as i8 as i32 as u32,
+                    MemOp::Ldsh => raw as u16 as i16 as i32 as u32,
+                    _ => raw,
+                };
+                if mop.is_fp() {
+                    e.fp_res = Some(value);
                 } else {
-                    e.is_load = true;
+                    e.int_res = Some(value);
+                }
+                let order = op.ls_order.ok_or(EngineError::MissingLsOrder)?;
+                e.ls_check = Some((false, LsEntry { addr, size, order }, op.cross));
+            }
+            DecodedKind::Store {
+                a,
+                b,
+                data,
+                size,
+                membuf,
+            } => {
+                let addr = self.int_of(state, *a).wrapping_add(self.src2_of(state, *b));
+                let size = *size;
+                if !addr.is_multiple_of(size as u32) {
+                    e.fault = true;
+                    return Ok(());
+                }
+                let data = match data {
+                    StoreData::Int(s) => self.int_of(state, *s),
+                    StoreData::Fp(s) => self.fp_of(state, *s),
+                };
+                if let Some(k) = membuf {
+                    // Split store: stage in the memory renaming buffer;
+                    // the COPY commits it (§3.9).
+                    e.membuf_write = Some((*k, addr, size, data));
+                } else {
+                    e.mem_write = Some((addr, size, data));
                     e.dcache = Some(addr);
-                    let raw = match self.scheme {
-                        StoreScheme::Checkpoint => mem.read(addr, size),
-                        StoreScheme::StoreBuffer => self.load_merged(mem, addr, size),
-                    };
-                    let value = match op {
-                        MemOp::Ldsb => raw as u8 as i8 as i32 as u32,
-                        MemOp::Ldsh => raw as u16 as i16 as i32 as u32,
-                        _ => raw,
-                    };
-                    if op.is_fp() {
-                        e.fp_res = Some(value);
-                    } else {
-                        e.int_res = Some(value);
-                    }
-                    let order = s.ls_order.ok_or(EngineError::MissingLsOrder)?;
-                    e.ls_check = Some((false, LsEntry { addr, size, order }, s.cross));
+                    let order = op.ls_order.ok_or(EngineError::MissingLsOrder)?;
+                    e.ls_check = Some((true, LsEntry { addr, size, order }, op.cross));
                 }
             }
-            Instr::Bicc { cond, .. } => {
-                let taken = cond.eval(self.read_icc(s, state));
-                let matched = Some(taken) == s.d.taken;
+            DecodedKind::Bicc {
+                cond,
+                cc,
+                recorded,
+                target,
+                fall,
+            } => {
+                let taken = cond.eval(self.icc_of(state, *cc));
+                let matched = Some(taken) == *recorded;
                 let actual = if taken {
-                    s.d.static_target().expect("bicc has a static target")
+                    target.expect("bicc has a static target")
                 } else {
-                    s.d.fall_through()
+                    *fall
                 };
                 e.branch = Some((matched, actual));
             }
-            Instr::FBfcc { cond, .. } => {
-                let taken = cond.eval(self.read_fcc(s, state));
-                let matched = Some(taken) == s.d.taken;
+            DecodedKind::FBfcc {
+                cond,
+                cc,
+                recorded,
+                target,
+                fall,
+            } => {
+                let taken = cond.eval(self.fcc_of(state, *cc));
+                let matched = Some(taken) == *recorded;
                 let actual = if taken {
-                    s.d.static_target().expect("fbfcc has a static target")
+                    target.expect("fbfcc has a static target")
                 } else {
-                    s.d.fall_through()
+                    *fall
                 };
                 e.branch = Some((matched, actual));
             }
-            Instr::Call { .. } => e.int_res = Some(s.d.pc),
-            Instr::Jmpl { rs1, src2, .. } => {
-                let target = self
-                    .read_int(s, state, rs1)
-                    .wrapping_add(self.read_src2(s, state, src2));
-                e.int_res = Some(s.d.pc);
-                e.branch = Some((s.d.target == Some(target), target));
+            DecodedKind::Jmpl {
+                a,
+                b,
+                link,
+                recorded,
+            } => {
+                let target = self.int_of(state, *a).wrapping_add(self.src2_of(state, *b));
+                e.int_res = Some(*link);
+                e.branch = Some((*recorded == Some(target), target));
             }
-            Instr::Save { rs1, src2, .. } => {
-                let v = self
-                    .read_int(s, state, rs1)
-                    .wrapping_add(self.read_src2(s, state, src2));
+            DecodedKind::SaveRestore {
+                a,
+                b,
+                cwp_after,
+                delta,
+            } => {
+                let v = self.int_of(state, *a).wrapping_add(self.src2_of(state, *b));
                 e.int_res = Some(v);
-                e.cwp_res = Some((s.d.cwp_after, 1));
+                e.cwp_res = Some((*cwp_after, *delta));
             }
-            Instr::Restore { rs1, src2, .. } => {
-                let v = self
-                    .read_int(s, state, rs1)
-                    .wrapping_add(self.read_src2(s, state, src2));
-                e.int_res = Some(v);
-                e.cwp_res = Some((s.d.cwp_after, -1));
-            }
-            Instr::Fpop { op, rs1, rs2, .. } => {
-                let a = self.read_fp(s, state, rs1);
-                let b = self.read_fp(s, state, rs2);
-                let r = exec_fp(op, a, b, self.read_fcc(s, state));
-                if op == FpOp::FCmps {
+            DecodedKind::Fpop { op: fop, a, b, cc } => {
+                let r = exec_fp(
+                    *fop,
+                    self.fp_of(state, *a),
+                    self.fp_of(state, *b),
+                    self.fcc_of(state, *cc),
+                );
+                if *fop == FpOp::FCmps {
                     e.fcc_res = Some(r.fcc);
                 } else {
                     e.fp_res = Some(r.value);
                 }
             }
-            Instr::RdY { .. } => e.int_res = Some(state.y),
-            Instr::WrY { rs1, src2 } => {
-                e.y_res = Some(self.read_int(s, state, rs1) ^ self.read_src2(s, state, src2));
+            DecodedKind::RdY => e.int_res = Some(state.y),
+            DecodedKind::WrY { a, b } => {
+                e.y_res = Some(self.int_of(state, *a) ^ self.src2_of(state, *b));
             }
-            Instr::Trap { .. } | Instr::Illegal(_) => {
-                // Non-schedulable instructions never pass the Scheduler
-                // Unit, but a corrupted block could present one; treat
-                // it as a runtime fault (rollback) rather than a panic.
-                e.fault = true;
-            }
-        }
-        Ok(e)
-    }
-
-    fn compute_copy(&self, c: &CopyInstr) -> Result<Effect, EngineError> {
-        let mut e = Effect {
-            tag: c.tag,
-            ..Effect::default()
-        };
-        for (from, to) in &c.pairs {
-            match from {
-                Resource::IntRen(k) => e.copy_regs.push((*to, self.ren_int[*k as usize])),
-                Resource::FpRen(k) => e.copy_regs.push((*to, self.ren_fp[*k as usize])),
-                Resource::IccRen(k) => e.copy_icc = Some((*to, self.ren_icc[*k as usize])),
-                Resource::FccRen(k) => e.copy_fcc = Some((*to, self.ren_fcc[*k as usize])),
-                Resource::MemRen(k) => {
-                    let b = self.membuf[*k as usize];
-                    e.mem_write = Some((b.addr, b.size, b.value));
-                    e.dcache = Some(b.addr);
-                    let order = c.ls_order.ok_or(EngineError::MissingLsOrder)?;
-                    e.ls_check = Some((
-                        true,
-                        LsEntry {
-                            addr: b.addr,
-                            size: b.size,
-                            order,
-                        },
-                        c.cross,
-                    ));
+            // Non-schedulable instructions never pass the Scheduler
+            // Unit, but a corrupted block could present one; treat it
+            // as a runtime fault (rollback) rather than a panic.
+            DecodedKind::Fault => e.fault = true,
+            DecodedKind::Copy { pairs } => {
+                for (from, to) in pairs {
+                    match from {
+                        Resource::IntRen(k) => e.copy_regs.push((*to, self.ren_int[*k as usize])),
+                        Resource::FpRen(k) => e.copy_regs.push((*to, self.ren_fp[*k as usize])),
+                        Resource::IccRen(k) => e.copy_icc = Some((*to, self.ren_icc[*k as usize])),
+                        Resource::FccRen(k) => e.copy_fcc = Some((*to, self.ren_fcc[*k as usize])),
+                        Resource::MemRen(k) => {
+                            let b = self.membuf[*k as usize];
+                            e.mem_write = Some((b.addr, b.size, b.value));
+                            e.dcache = Some(b.addr);
+                            let order = op.ls_order.ok_or(EngineError::MissingLsOrder)?;
+                            e.ls_check = Some((
+                                true,
+                                LsEntry {
+                                    addr: b.addr,
+                                    size: b.size,
+                                    order,
+                                },
+                                op.cross,
+                            ));
+                        }
+                        other => return Err(EngineError::BadCopySource(*other)),
+                    }
                 }
-                other => return Err(EngineError::BadCopySource(*other)),
             }
         }
-        Ok(e)
+        Ok(())
     }
 
     // -------------------------------------------------------------
@@ -672,9 +728,12 @@ impl VliwEngine {
     // -------------------------------------------------------------
 
     /// Execute long instruction `li` of `block` against the shared
-    /// machine state. `Err` means the block itself is structurally
-    /// corrupt (see [`EngineError`]); the machine state may have been
-    /// partially written and the caller must roll back and requarantine.
+    /// machine state, lowering the block on the fly.
+    ///
+    /// This is the storage-form convenience entry (component tests, the
+    /// ablation bench): the machine's hot loop decodes once per install
+    /// and calls [`VliwEngine::exec_li_decoded`] instead. Both paths run
+    /// the same execution core, so semantics cannot diverge.
     pub fn exec_li(
         &mut self,
         block: &Block,
@@ -682,48 +741,87 @@ impl VliwEngine {
         state: &mut ArchState,
         mem: &mut Memory,
     ) -> Result<LiOutcome, EngineError> {
+        let dec = decode_block(block);
+        let mut dcache_accesses = Vec::new();
+        let out = self.exec_li_decoded(&dec, li, state, mem, &mut dcache_accesses)?;
+        Ok(LiOutcome {
+            result: out.result,
+            dcache_accesses,
+            committed: out.committed,
+            annulled: out.annulled,
+        })
+    }
+
+    /// Execute long instruction `li` of the pre-decoded line `dec`
+    /// against the shared machine state. Data-cache access addresses are
+    /// appended (in issue order) to the caller's reusable `dcache`
+    /// buffer, which is cleared first — the hot loop allocates nothing.
+    /// `Err` means the block itself is structurally corrupt (see
+    /// [`EngineError`]); the machine state may have been partially
+    /// written and the caller must roll back and requarantine.
+    pub fn exec_li_decoded(
+        &mut self,
+        dec: &DecodedLine,
+        li: usize,
+        state: &mut ArchState,
+        mem: &mut Memory,
+        dcache: &mut Vec<u32>,
+    ) -> Result<LiExec, EngineError> {
+        // The scratch buffers live on the engine but borrow nothing from
+        // it, so take them out for the duration of the cycle.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let r = self.exec_li_scratch(dec, li, state, mem, dcache, &mut scratch);
+        self.scratch = scratch;
+        r
+    }
+
+    fn exec_li_scratch(
+        &mut self,
+        dec: &DecodedLine,
+        li: usize,
+        state: &mut ArchState,
+        mem: &mut Memory,
+        dcache_accesses: &mut Vec<u32>,
+        scratch: &mut ExecScratch,
+    ) -> Result<LiExec, EngineError> {
         debug_assert!(self.shadow.is_some(), "begin_block first");
-        let row = &block.lis[li];
+        let ops = dec.row_ops(li);
         self.stats.lis += 1;
+        dcache_accesses.clear();
 
         // Phase 1: compute every op against start-of-cycle state.
-        let effects: Vec<Effect> = row
-            .ops()
-            .map(|op| match op {
-                SlotOp::Instr(s) => self.compute_instr(s, state, mem),
-                SlotOp::Copy(c) => self.compute_copy(c),
-            })
-            .collect::<Result<_, _>>()?;
-        let branch_seqs: Vec<(u8, u64)> = row
-            .ops()
-            .filter_map(|op| match op {
-                SlotOp::Instr(s) if s.d.instr.is_conditional_or_indirect() => {
-                    Some((s.tag, s.d.seq))
-                }
-                _ => None,
-            })
-            .collect();
+        let n = ops.len();
+        if scratch.effects.len() < n {
+            scratch.effects.resize_with(n, Effect::default);
+        }
+        for (op, e) in ops.iter().zip(scratch.effects.iter_mut()) {
+            e.reset();
+            self.compute_decoded(op, e, state, mem)?;
+        }
+        let effects = &scratch.effects[..n];
 
         // Resolve branch tags: the first branch (in tag order) that left
         // the recorded direction annuls every op with a greater tag.
-        let mut branches: Vec<(u8, bool, u32)> = effects
-            .iter()
-            .filter_map(|e| e.branch.map(|(m, t)| (e.tag, m, t)))
-            .collect();
-        branches.sort_by_key(|b| b.0);
-        let cutoff = branches
+        scratch.branches.clear();
+        scratch.branches.extend(
+            effects
+                .iter()
+                .filter_map(|e| e.branch.map(|(m, t)| (e.tag, m, t))),
+        );
+        scratch.branches.sort_by_key(|b| b.0);
+        let cutoff = scratch
+            .branches
             .iter()
             .find(|(_, matched, _)| !matched)
             .map(|&(t, _, tgt)| (t, tgt));
         let valid = |e: &Effect| cutoff.is_none_or(|(t, _)| e.tag <= t);
 
-        let mut dcache_accesses = Vec::new();
         let mut committed = 0u32;
         let mut annulled = 0u32;
 
         // Loads access the data cache whether or not they commit (the
         // hardware issues them before tags resolve).
-        for e in &effects {
+        for e in effects {
             if e.is_load {
                 if let Some(a) = e.dcache {
                     dcache_accesses.push(a);
@@ -735,9 +833,8 @@ impl VliwEngine {
         if effects.iter().any(|e| e.fault && valid(e)) {
             self.stats.other_exceptions += 1;
             self.rollback(state, mem)?;
-            return Ok(LiOutcome {
+            return Ok(LiExec {
                 result: LiResult::Exception { aliasing: false },
-                dcache_accesses,
                 committed: 0,
                 annulled: 0,
             });
@@ -760,9 +857,8 @@ impl VliwEngine {
             self.recovery.drain(..drop);
             self.stats.other_exceptions += 1;
             self.rollback(state, mem)?;
-            return Ok(LiOutcome {
+            return Ok(LiExec {
                 result: LiResult::Exception { aliasing: true },
-                dcache_accesses,
                 committed: 0,
                 annulled: 0,
             });
@@ -770,16 +866,19 @@ impl VliwEngine {
 
         // Phase 2a: aliasing checks for the valid memory ops (§3.10),
         // before anything commits.
-        let live: Vec<(bool, LsEntry, bool)> = effects
-            .iter()
-            .filter(|e| valid(e))
-            .filter_map(|e| e.ls_check)
-            .collect();
+        scratch.live.clear();
+        scratch.live.extend(
+            effects
+                .iter()
+                .filter(|e| valid(e))
+                .filter_map(|e| e.ls_check),
+        );
+        let live = &scratch.live;
         let mut alias = false;
-        for &(is_writer, entry, _) in &live {
+        for &(is_writer, entry, _) in live {
             if is_writer {
                 // vs the other memory ops of this long instruction
-                for &(w2, e2, _) in &live {
+                for &(w2, e2, _) in live {
                     if w2
                         && (e2.addr, e2.order) != (entry.addr, entry.order)
                         && overlaps(&entry, &e2)
@@ -797,7 +896,7 @@ impl VliwEngine {
             } else {
                 // load vs same-LI stores: an older store in the same
                 // long instruction means the load missed its value.
-                for &(w2, e2, _) in &live {
+                for &(w2, e2, _) in live {
                     if w2 && overlaps(&entry, &e2) && entry.order > e2.order {
                         alias = true;
                     }
@@ -819,16 +918,15 @@ impl VliwEngine {
         if alias {
             self.stats.alias_exceptions += 1;
             self.rollback(state, mem)?;
-            return Ok(LiOutcome {
+            return Ok(LiExec {
                 result: LiResult::Exception { aliasing: true },
-                dcache_accesses,
                 committed: 0,
                 annulled: 0,
             });
         }
 
         // Phase 2b: commit.
-        for e in &effects {
+        for e in effects {
             if !valid(e) {
                 annulled += 1;
                 continue;
@@ -939,20 +1037,18 @@ impl VliwEngine {
 
         let result = if let Some((tag, target)) = cutoff {
             self.stats.mispredicts += 1;
-            let branch_seq = branch_seqs
+            let branch_seq = ops
                 .iter()
-                .find(|(t, _)| *t == tag)
-                .map(|(_, s)| *s)
+                .find_map(|o| o.branch_seq.filter(|_| o.tag == tag))
                 .ok_or(EngineError::MissingBranchSeq)?;
             LiResult::Redirect { target, branch_seq }
-        } else if li as u8 >= block.nba_line() {
+        } else if li as u8 >= dec.nba_line {
             LiResult::BlockEnd
         } else {
             LiResult::Next
         };
-        Ok(LiOutcome {
+        Ok(LiExec {
             result,
-            dcache_accesses,
             committed,
             annulled,
         })
@@ -1179,6 +1275,7 @@ impl VliwEngine {
                 },
                 truncate_recovery: fj.get("truncate_recovery")?.as_bool()?,
             },
+            scratch: ExecScratch::default(),
         })
     }
 }
