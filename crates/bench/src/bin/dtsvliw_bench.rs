@@ -30,15 +30,24 @@
 //! if no workload ever took a burst (the CI liveness check for the fast
 //! path itself).
 //!
+//! Telemetry (DESIGN.md §12) arms on the timing pass only, so the
+//! report stays byte-identical with or without it: `--heartbeat[=K]`
+//! streams per-workload JSONL progress files into `--heartbeat-out`
+//! (default `heartbeats/`), and `--profile-sampled[=N]` runs the
+//! burst-compatible sampling profiler alongside the fast path.
+//!
 //! Exit codes: 0 success, 1 regression or machine error, 2 bad
 //! arguments.
 
 use dtsvliw_bench::{geom_mean, WORKLOADS};
 use dtsvliw_core::{Machine, MachineConfig};
 use dtsvliw_json::Json;
-use dtsvliw_trace::BlockProfiler;
+use dtsvliw_trace::{BlockProfiler, Heartbeat, SamplingProfiler, DEFAULT_SAMPLE_PERIOD};
 use dtsvliw_workloads::{by_name, Scale};
 use std::sync::Mutex;
+
+/// Heartbeat cadence when `--heartbeat` is given without a value.
+const DEFAULT_HEARTBEAT_EVERY: u64 = 100_000;
 
 /// Report file format marker.
 const BENCH_FORMAT: &str = "dtsvliw-bench";
@@ -52,7 +61,8 @@ fn usage() -> ! {
         "usage: dtsvliw_bench [--quick] [--scale test|small|large] [--instructions N]\n\
          \u{20}                    [--out PATH] [--compare BASELINE.json] [--tolerance PCT]\n\
          \u{20}                    [--inject-regression PCT] [--wallclock PATH] [--no-wallclock]\n\
-         \u{20}                    [--no-fast-path] [--require-fast-path]"
+         \u{20}                    [--no-fast-path] [--require-fast-path]\n\
+         \u{20}                    [--heartbeat[=CYCLES]] [--heartbeat-out DIR] [--profile-sampled[=N]]"
     );
     std::process::exit(2);
 }
@@ -114,6 +124,21 @@ fn main() {
     let mut wallclock: Option<String> = Some("BENCH_wallclock.json".to_string());
     let mut fast_path = true;
     let mut require_fast_path = false;
+    let mut heartbeat: Option<u64> = None;
+    let mut heartbeat_out = "heartbeats".to_string();
+    let mut profile_sampled: Option<u64> = None;
+
+    // Strictly positive cadences only: zero would mean "every cycle"
+    // at best and a divide-by-zero at worst.
+    let positive = |flag: &str, v: &str| -> u64 {
+        match v.parse::<u64>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("error: {flag} must be a positive integer, got {v}");
+                usage();
+            }
+        }
+    };
 
     let mut i = 0;
     while i < args.len() {
@@ -167,6 +192,21 @@ fn main() {
             "--no-wallclock" => wallclock = None,
             "--no-fast-path" => fast_path = false,
             "--require-fast-path" => require_fast_path = true,
+            "--heartbeat" => heartbeat = Some(DEFAULT_HEARTBEAT_EVERY),
+            "--heartbeat-out" => {
+                i += 1;
+                heartbeat_out = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--profile-sampled" => profile_sampled = Some(DEFAULT_SAMPLE_PERIOD),
+            a if a.starts_with("--heartbeat=") => {
+                heartbeat = Some(positive("--heartbeat", &a["--heartbeat=".len()..]));
+            }
+            a if a.starts_with("--profile-sampled=") => {
+                profile_sampled = Some(positive(
+                    "--profile-sampled",
+                    &a["--profile-sampled=".len()..],
+                ));
+            }
             _ => usage(),
         }
         i += 1;
@@ -229,27 +269,57 @@ fn main() {
         );
     }
 
-    // Timing pass: the same suite hook-free (no profiler), where the
-    // batched decoded fast path engages. This is the number the
+    // Timing pass: the same suite hook-free (no exact profiler), where
+    // the batched decoded fast path engages. This is the number the
     // wall-clock trend tracks; the profiled pass above keeps the report
-    // bit-reproducible and pins the simulated results.
+    // bit-reproducible and pins the simulated results. Telemetry
+    // (heartbeat, sampling profiler) arms here and only here — both are
+    // burst-compatible, so `--require-fast-path` still holds with them.
+    if heartbeat.is_some() {
+        std::fs::create_dir_all(&heartbeat_out)
+            .unwrap_or_else(|e| die(format!("creating {heartbeat_out}: {e}")));
+    }
     let t_started = std::time::Instant::now();
     let timing = Mutex::new(Vec::new());
     std::thread::scope(|s| {
         for w in WORKLOADS {
             let timing = &timing;
+            let heartbeat_out = &heartbeat_out;
             s.spawn(move || {
                 let workload = by_name(w, scale).unwrap_or_else(|| die(format!("no workload {w}")));
                 let mut m = Machine::new(MachineConfig::feasible_paper(), &workload.image());
                 m.set_fast_path(fast_path);
+                if let Some(every) = heartbeat {
+                    let path = format!("{heartbeat_out}/{w}.jsonl");
+                    let f = std::fs::File::create(&path)
+                        .unwrap_or_else(|e| die(format!("creating {path}: {e}")));
+                    m.attach_heartbeat(Box::new(Heartbeat::new(every, Some(Box::new(f)))));
+                }
+                if let Some(every) = profile_sampled {
+                    m.attach_sampler(Box::new(SamplingProfiler::new(every)));
+                }
                 let outcome = m
                     .run(instructions)
                     .unwrap_or_else(|e| die(format!("{w} (timing): {e}")));
+                let heartbeats = match m.take_heartbeat() {
+                    Some(mut hb) => {
+                        if let Err(e) = hb.finish() {
+                            eprintln!("warning: {w}: heartbeat sink error: {e}");
+                        }
+                        hb.emitted()
+                    }
+                    None => 0,
+                };
+                let sampled = m.take_sampler().map_or(0, |sp| sp.sampled());
                 let (bursts, chained) = m.fast_path_stats();
-                timing
-                    .lock()
-                    .unwrap()
-                    .push((w, outcome.instructions, bursts, chained));
+                timing.lock().unwrap().push((
+                    w,
+                    outcome.instructions,
+                    bursts,
+                    chained,
+                    heartbeats,
+                    sampled,
+                ));
             });
         }
     });
@@ -269,6 +339,14 @@ fn main() {
         bursts,
         chained,
     );
+    if heartbeat.is_some() {
+        let beats: u64 = trows.iter().map(|r| r.4).sum();
+        println!("  telemetry: {beats} heartbeat records -> {heartbeat_out}/<workload>.jsonl");
+    }
+    if profile_sampled.is_some() {
+        let sampled: u64 = trows.iter().map(|r| r.5).sum();
+        println!("  telemetry: {sampled} block entries sampled across the suite");
+    }
     if require_fast_path && bursts == 0 {
         die("--require-fast-path: the fast path was never taken".to_string());
     }

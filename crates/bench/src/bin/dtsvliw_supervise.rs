@@ -17,15 +17,29 @@
 //!   "jobs": [
 //!     { "name": "qsort",
 //!       "argv": ["dtsvliw_run", "--workload", "qsort",
-//!                "--snapshot-every", "100000", "--snapshot-dir", "snaps/qsort"],
+//!                "--snapshot-every", "100000", "--snapshot-dir", "snaps/qsort",
+//!                "--heartbeat=100000", "--heartbeat-out", "hb/qsort.jsonl"],
 //!       "timeout_ms": 60000,
 //!       "retries": 3,
-//!       "snapshot_dir": "snaps/qsort" } ] }
+//!       "snapshot_dir": "snaps/qsort",
+//!       "heartbeat": "hb/qsort.jsonl" } ] }
 //! ```
 //!
 //! A bare command name in `argv[0]` resolves to a sibling of this
 //! binary (the usual cargo target directory layout), so specs do not
 //! hard-code target paths.
+//!
+//! Live status (DESIGN.md §12): when a job declares a `heartbeat` file
+//! (the path its own `--heartbeat-out` writes to), the supervisor tails
+//! it while the child runs and refreshes a one-line status on stderr —
+//! jobs done/failed/active, the running job's simulated cycle and
+//! instruction count, aggregate simulated instructions per wall second,
+//! and an ETA extrapolated from completed jobs. `--timeline PATH`
+//! additionally merges every job's heartbeat stream into one JSONL
+//! timeline after the campaign (jobs in spec order, records in file
+//! order, each line augmented with its job name) — heartbeat streams
+//! are deterministic, so the merged timeline is too. Neither feature
+//! touches the campaign report, which stays byte-reproducible.
 //!
 //! Failure classification, from the child's wait status:
 //!
@@ -47,12 +61,15 @@
 
 use dtsvliw_faults::Rng64;
 use dtsvliw_json::Json;
+use std::io::IsTerminal;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, ExitStatus};
 use std::time::{Duration, Instant};
 
 fn usage() -> ! {
-    eprintln!("usage: dtsvliw_supervise <campaign.json> [--out report.json] [--quiet]");
+    eprintln!(
+        "usage: dtsvliw_supervise <campaign.json> [--out report.json] [--timeline PATH] [--quiet]"
+    );
     std::process::exit(2);
 }
 
@@ -68,6 +85,9 @@ struct JobSpec {
     timeout_ms: u64,
     retries: u32,
     snapshot_dir: Option<PathBuf>,
+    /// The heartbeat file the job's own `--heartbeat-out` writes; the
+    /// supervisor tails it for live status and the merged timeline.
+    heartbeat: Option<PathBuf>,
 }
 
 struct Campaign {
@@ -99,6 +119,10 @@ fn parse_campaign(text: &str) -> Option<Campaign> {
                     .map(|r| r as u32)
                     .unwrap_or(2),
                 snapshot_dir: match j.get("snapshot_dir") {
+                    Some(Json::Str(d)) => Some(PathBuf::from(d)),
+                    _ => None,
+                },
+                heartbeat: match j.get("heartbeat") {
                     Some(Json::Str(d)) => Some(PathBuf::from(d)),
                     _ => None,
                 },
@@ -185,9 +209,147 @@ fn resolve_program(name: &str) -> PathBuf {
     p.to_path_buf()
 }
 
-/// Run one attempt under a wall-clock timeout. Returns the
-/// classification; a child that cannot even spawn is an `Error`.
-fn run_attempt(argv: &[String], timeout: Duration, quiet: bool) -> Outcome {
+/// Incremental reader over a child's heartbeat JSONL file. Tracks a
+/// byte offset so each poll only parses new complete lines; a file that
+/// shrank (a retry recreated it) resets the tail to the start.
+struct HeartbeatTail {
+    path: PathBuf,
+    offset: u64,
+    /// Latest (cycle, instructions) seen.
+    last: Option<(u64, u64)>,
+}
+
+impl HeartbeatTail {
+    fn new(path: PathBuf) -> Self {
+        HeartbeatTail {
+            path,
+            offset: 0,
+            last: None,
+        }
+    }
+
+    /// Consume any new complete lines and return the freshest
+    /// (cycle, instructions) pair seen so far.
+    fn poll(&mut self) -> Option<(u64, u64)> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = std::fs::File::open(&self.path).ok()?;
+        let len = f.metadata().ok()?.len();
+        if len < self.offset {
+            self.offset = 0;
+            self.last = None;
+        }
+        if len > self.offset {
+            f.seek(SeekFrom::Start(self.offset)).ok()?;
+            let mut buf = String::new();
+            f.take(len - self.offset).read_to_string(&mut buf).ok()?;
+            // Only complete lines: a record mid-write waits for the
+            // next poll.
+            let complete = buf.rfind('\n').map_or(0, |p| p + 1);
+            for line in buf[..complete].lines() {
+                if let Ok(j) = Json::parse(line) {
+                    if let (Some(cycle), Some(instr)) = (
+                        j.get("cycle").and_then(Json::as_u64),
+                        j.get("instructions").and_then(Json::as_u64),
+                    ) {
+                        self.last = Some((cycle, instr));
+                    }
+                }
+            }
+            self.offset += complete as u64;
+        }
+        self.last
+    }
+}
+
+/// The refreshing one-line campaign status on stderr. On a terminal it
+/// redraws in place; on a pipe (CI logs) it prints a throttled line
+/// every couple of seconds instead.
+struct StatusLine {
+    total: usize,
+    done: usize,
+    failed: usize,
+    /// Instructions credited from finished jobs' final heartbeats.
+    finished_instructions: u64,
+    started: Instant,
+    tty: bool,
+    last_print: Option<Instant>,
+    visible: bool,
+}
+
+impl StatusLine {
+    fn new(total: usize) -> Self {
+        StatusLine {
+            total,
+            done: 0,
+            failed: 0,
+            finished_instructions: 0,
+            started: Instant::now(),
+            tty: std::io::stderr().is_terminal(),
+            last_print: None,
+            visible: false,
+        }
+    }
+
+    /// Throttle: redraw at 5 Hz on a terminal, every 2 s on a pipe.
+    fn due(&self) -> bool {
+        let gap = if self.tty {
+            Duration::from_millis(200)
+        } else {
+            Duration::from_secs(2)
+        };
+        self.last_print.is_none_or(|t| t.elapsed() >= gap)
+    }
+
+    fn refresh(&mut self, job: &str, progress: Option<(u64, u64)>) {
+        self.last_print = Some(Instant::now());
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let instr = self.finished_instructions + progress.map_or(0, |(_, i)| i);
+        let at = match progress {
+            Some((cycle, i)) => format!("cycle {cycle}, {i} instrs"),
+            None => "no heartbeat yet".to_string(),
+        };
+        // Extrapolate from completed jobs: elapsed * remaining / done.
+        let eta = if self.done > 0 {
+            let remaining = (self.total - self.done) as f64;
+            format!("~{:.0}s", elapsed / self.done as f64 * remaining)
+        } else {
+            "--".to_string()
+        };
+        let line = format!(
+            "supervise: [{}/{} done, {} failed] {job} ({at}) | {:.1}M instr/s | eta {eta}",
+            self.done,
+            self.total,
+            self.failed,
+            instr as f64 / 1e6 / elapsed,
+        );
+        if self.tty {
+            eprint!("\r\x1b[2K{line}");
+            self.visible = true;
+        } else {
+            eprintln!("{line}");
+        }
+    }
+
+    /// Clear the in-place line so regular log output starts clean.
+    fn clear(&mut self) {
+        if self.tty && self.visible {
+            eprint!("\r\x1b[2K");
+            self.visible = false;
+        }
+    }
+}
+
+/// Run one attempt under a wall-clock timeout, tailing the job's
+/// heartbeat file (when it has one) into the live status line. Returns
+/// the classification; a child that cannot even spawn is an `Error`.
+fn run_attempt(
+    argv: &[String],
+    timeout: Duration,
+    quiet: bool,
+    job_name: &str,
+    tail: Option<&mut HeartbeatTail>,
+    status: &mut StatusLine,
+) -> Outcome {
     let program = resolve_program(&argv[0]);
     let mut cmd = Command::new(&program);
     cmd.args(&argv[1..]);
@@ -201,26 +363,33 @@ fn run_attempt(argv: &[String], timeout: Duration, quiet: bool) -> Outcome {
             return Outcome::Error(127);
         }
     };
+    let mut tail = tail;
     let started = Instant::now();
-    loop {
+    let outcome = loop {
         match child.try_wait() {
-            Ok(Some(status)) => return classify(&status, false),
+            Ok(Some(status)) => break classify(&status, false),
             Ok(None) => {}
             Err(e) => {
+                status.clear();
                 eprintln!("supervise: wait failed: {e}");
                 let _ = child.kill();
                 let _ = child.wait();
-                return Outcome::Error(-1);
+                break Outcome::Error(-1);
             }
         }
         if started.elapsed() >= timeout {
             let _ = child.kill();
-            let status = child.wait().ok();
-            let _ = status;
-            return Outcome::Timeout;
+            let _ = child.wait();
+            break Outcome::Timeout;
+        }
+        if status.due() {
+            let progress = tail.as_deref_mut().and_then(HeartbeatTail::poll);
+            status.refresh(job_name, progress);
         }
         std::thread::sleep(Duration::from_millis(5));
-    }
+    };
+    status.clear();
+    outcome
 }
 
 struct AttemptRecord {
@@ -233,6 +402,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut spec_path = None;
     let mut out: Option<String> = None;
+    let mut timeline: Option<String> = None;
     let mut quiet = false;
     let mut i = 0;
     while i < args.len() {
@@ -240,6 +410,10 @@ fn main() {
             "--out" => {
                 i += 1;
                 out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--timeline" => {
+                i += 1;
+                timeline = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--quiet" => quiet = true,
             a if !a.starts_with('-') && spec_path.is_none() => spec_path = Some(a.to_string()),
@@ -257,9 +431,11 @@ fn main() {
     let mut job_reports = Vec::new();
     let mut succeeded = 0u64;
     let mut failed = 0u64;
+    let mut status = StatusLine::new(campaign.jobs.len());
 
     for job in &campaign.jobs {
         let latest = job.snapshot_dir.as_ref().map(|d| d.join("latest.json"));
+        let mut tail = job.heartbeat.clone().map(HeartbeatTail::new);
         let mut attempts: Vec<AttemptRecord> = Vec::new();
         let mut success = false;
 
@@ -286,7 +462,14 @@ fn main() {
                     ""
                 }
             );
-            let outcome = run_attempt(&argv, Duration::from_millis(job.timeout_ms), quiet);
+            let outcome = run_attempt(
+                &argv,
+                Duration::from_millis(job.timeout_ms),
+                quiet,
+                &job.name,
+                tail.as_mut(),
+                &mut status,
+            );
 
             // A corrupt snapshot must not poison every further retry:
             // drop it and let the next attempt start fresh.
@@ -333,6 +516,15 @@ fn main() {
             succeeded += 1;
         } else {
             failed += 1;
+            status.failed += 1;
+        }
+        status.done += 1;
+        // Credit the job's final heartbeat to the aggregate throughput
+        // shown while later jobs run.
+        if let Some(t) = tail.as_mut() {
+            if let Some((_, instr)) = t.poll() {
+                status.finished_instructions += instr;
+            }
         }
         let attempts_json = attempts
             .iter()
@@ -369,6 +561,38 @@ fn main() {
             ("attempts_used", Json::U64(attempts.len() as u64)),
             ("attempts", Json::Arr(attempts_json)),
         ]));
+    }
+
+    // Merge every job's heartbeat stream into one deterministic JSONL
+    // timeline: jobs in spec order, records in file order, each line
+    // augmented with its job name. Heartbeat streams are themselves
+    // deterministic, so two runs of the same campaign produce
+    // byte-identical timelines.
+    if let Some(path) = &timeline {
+        let mut merged = String::new();
+        let mut records = 0u64;
+        for job in &campaign.jobs {
+            let Some(hb) = &job.heartbeat else { continue };
+            let Ok(text) = std::fs::read_to_string(hb) else {
+                eprintln!(
+                    "supervise: job `{}`: no heartbeat file at {} (skipped in timeline)",
+                    job.name,
+                    hb.display()
+                );
+                continue;
+            };
+            for line in text.lines() {
+                let Ok(Json::Obj(mut pairs)) = Json::parse(line) else {
+                    continue;
+                };
+                pairs.insert(0, ("job".to_string(), Json::Str(job.name.clone())));
+                merged.push_str(&Json::Obj(pairs).to_string());
+                merged.push('\n');
+                records += 1;
+            }
+        }
+        std::fs::write(path, &merged).unwrap_or_else(|e| die(format!("writing {path}: {e}")));
+        eprintln!("supervise: merged {records} heartbeat records into {path}");
     }
 
     let report = Json::obj([

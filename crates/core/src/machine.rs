@@ -10,7 +10,8 @@ use dtsvliw_primary::interp::{step as primary_step, Halt, StepError};
 use dtsvliw_primary::{PipelineModel, RefMachine};
 use dtsvliw_sched::{Block, InsertOutcome, Resolution, Scheduler, SlotOp};
 use dtsvliw_trace::{
-    BlockProfiler, CacheKind, EngineKind, EvictReason, ExitKind, Metrics, TraceEvent, Tracer,
+    BlockProfiler, BurstDelta, CacheKind, EngineKind, EvictReason, ExitKind, Heartbeat,
+    HeartbeatRecord, Metrics, SamplingProfiler, Telemetry, TraceEvent, Tracer,
 };
 use dtsvliw_vliw::{DecodedLine, EngineError, EngineFaults, LiResult, VliwCache, VliwEngine};
 use std::sync::Arc;
@@ -237,10 +238,26 @@ pub struct Machine {
     /// with it on or off, so it lives outside `MachineConfig` (whose
     /// digest seals snapshot compatibility) and outside `RunStats`.
     pub(crate) fast_path: bool,
-    /// Bursts entered / block-chain transitions taken inside a burst
-    /// (host diagnostics only, never serialised).
-    pub(crate) fp_bursts: u64,
-    pub(crate) fp_chained: u64,
+    /// Host-side telemetry registry (DESIGN.md §12): burst counters and
+    /// heartbeat accounting. Owned unconditionally — the fast path
+    /// folds per-burst deltas in at burst exit, so there is no hot-loop
+    /// branch — but never serialised into snapshots (reset-on-resume)
+    /// and never part of `RunStats`.
+    pub(crate) telemetry: Telemetry,
+    /// Optional sampling profiler (every-Nth-block-entry thinning of
+    /// the exact [`BlockProfiler`]). Unlike the exact profiler it does
+    /// NOT disarm the fast path: the armed/idle decision per execution
+    /// is cached in `sampling_now`, one predictable branch per LI.
+    pub(crate) sampler: Option<Box<SamplingProfiler>>,
+    /// Is the current block execution being recorded by the sampler?
+    pub(crate) sampling_now: bool,
+    /// Optional heartbeat progress stream (cycle-budgeted JSONL).
+    pub(crate) heartbeat: Option<Box<Heartbeat>>,
+    /// Next cycle at which a heartbeat is due (`u64::MAX` when off):
+    /// the stepped loop and the burst loop compare one `u64` per long
+    /// instruction, so arming the heartbeat never disarms the fast
+    /// path and emission stamps are identical on both paths.
+    pub(crate) hb_next: u64,
     /// Reused per-cycle scratch: data-cache addresses touched by the
     /// long instruction just executed.
     pub(crate) dcache_scratch: Vec<u32>,
@@ -301,8 +318,11 @@ impl Machine {
             degraded_entries: 0,
             degraded_cycles: 0,
             fast_path: true,
-            fp_bursts: 0,
-            fp_chained: 0,
+            telemetry: Telemetry::new(),
+            sampler: None,
+            sampling_now: false,
+            heartbeat: None,
+            hb_next: u64::MAX,
             dcache_scratch: Vec::new(),
             cfg,
         }
@@ -318,7 +338,15 @@ impl Machine {
     /// `(bursts entered, chained block transitions)` taken by the fast
     /// path — host diagnostics, never part of `RunStats` or snapshots.
     pub fn fast_path_stats(&self) -> (u64, u64) {
-        (self.fp_bursts, self.fp_chained)
+        (self.telemetry.bursts, self.telemetry.burst_chained)
+    }
+
+    /// The host-side telemetry registry: burst counters and heartbeat
+    /// accounting. Never part of `RunStats` or snapshots; two runs of
+    /// the same program may legitimately disagree here (e.g. stepped
+    /// vs batched execution, or a resumed vs uninterrupted run).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// May the batched fast path run right now? Any armed observation or
@@ -354,6 +382,9 @@ impl Machine {
                     self.run_vliw_burst(max_instructions)?
                 }
                 Mode::Vliw { .. } => self.step_vliw()?,
+            }
+            if self.cycles >= self.hb_next {
+                self.heartbeat_tick();
             }
             self.debug_check_cycle_attribution();
         }
@@ -396,6 +427,9 @@ impl Machine {
             match &self.mode {
                 Mode::Primary => self.step_primary()?,
                 Mode::Vliw { .. } => self.step_vliw()?,
+            }
+            if self.cycles >= self.hb_next {
+                self.heartbeat_tick();
             }
             self.debug_check_cycle_attribution();
         }
@@ -538,6 +572,93 @@ impl Machine {
         self.profiler.as_deref()
     }
 
+    /// Attach a sampling profiler. Unlike [`Machine::attach_profiler`]
+    /// this does NOT disarm the batched fast path: the sampler decides
+    /// armed/idle once per block entry (a cold-path site) and the hot
+    /// loop consults a plain `bool`. Never serialised into snapshots
+    /// (reset-on-resume, like the exact profiler).
+    pub fn attach_sampler(&mut self, sampler: Box<SamplingProfiler>) {
+        self.sampler = Some(sampler);
+        self.sampling_now = false;
+    }
+
+    /// Detach and return the sampling profiler.
+    pub fn take_sampler(&mut self) -> Option<Box<SamplingProfiler>> {
+        self.sampling_now = false;
+        self.sampler.take()
+    }
+
+    /// The attached sampling profiler, if any.
+    pub fn sampler(&self) -> Option<&SamplingProfiler> {
+        self.sampler.as_deref()
+    }
+
+    /// Attach a heartbeat emitter: one JSONL progress record roughly
+    /// every [`Heartbeat::every`] cycles. Burst-compatible (the hot
+    /// loops compare one `u64` per long instruction) and invisible to
+    /// the simulation: `RunStats`, snapshots and digests are
+    /// byte-identical with or without it. Records carry only simulated
+    /// state (no wall time), so a run's stream is deterministic.
+    pub fn attach_heartbeat(&mut self, hb: Box<Heartbeat>) {
+        self.hb_next = self.cycles + hb.every();
+        self.heartbeat = Some(hb);
+    }
+
+    /// Detach and return the heartbeat emitter. Call
+    /// [`Heartbeat::finish`] to flush it.
+    pub fn take_heartbeat(&mut self) -> Option<Box<Heartbeat>> {
+        self.hb_next = u64::MAX;
+        self.heartbeat.take()
+    }
+
+    /// Emit one heartbeat record and schedule the next one. Cold: the
+    /// hot loops only reach this when `cycles >= hb_next`.
+    #[cold]
+    fn heartbeat_tick(&mut self) {
+        let vstats = self.vcache.stats();
+        let rec = HeartbeatRecord {
+            seq: 0, // stamped by the emitter
+            cycle: self.cycles,
+            instructions: self.test.retired,
+            vliw_cycles: self.vliw_cycles,
+            primary_cycles: self.primary_cycles,
+            overhead_cycles: self.overhead_cycles,
+            degraded_cycles: self.degraded_cycles,
+            mode_swaps: self.mode_swaps,
+            bursts: self.telemetry.bursts,
+            chained: self.telemetry.burst_chained,
+            breaker_open: self.degraded_until != 0,
+            vcache_hits: vstats.hits,
+            vcache_evictions: vstats.evictions,
+        };
+        if let Some(hb) = &mut self.heartbeat {
+            hb.emit(rec);
+            self.telemetry.heartbeats += 1;
+            self.hb_next = self.cycles + hb.every();
+        } else {
+            self.hb_next = u64::MAX;
+        }
+        // With a tracer attached, mirror the progress counters into the
+        // trace stream as Perfetto counter-track samples, so heartbeat
+        // data and full traces line up on one cycle timeline.
+        if self.tracer.is_some() {
+            let ipc_milli = self
+                .test
+                .retired
+                .saturating_mul(1000)
+                .checked_div(self.cycles)
+                .unwrap_or(0);
+            self.emit(TraceEvent::Counters {
+                instructions: self.test.retired,
+                ipc_milli,
+                vliw_cycles: self.vliw_cycles,
+                primary_cycles: self.primary_cycles,
+                overhead_cycles: self.overhead_cycles,
+                degraded_cycles: self.degraded_cycles,
+            });
+        }
+    }
+
     /// [`Machine::stats`] as JSON, with the hot-block report folded in
     /// under `"profile"` (top `profile_top` blocks) when a profiler is
     /// attached.
@@ -546,6 +667,11 @@ impl Machine {
         if let Some(p) = &self.profiler {
             if let dtsvliw_json::Json::Obj(pairs) = &mut j {
                 pairs.push(("profile".to_string(), p.report_json(profile_top)));
+            }
+        }
+        if let Some(s) = &self.sampler {
+            if let dtsvliw_json::Json::Obj(pairs) = &mut j {
+                pairs.push(("profile_sampled".to_string(), s.report_json(profile_top)));
             }
         }
         j
@@ -577,6 +703,17 @@ impl Machine {
     fn emit(&mut self, ev: TraceEvent) {
         if let Some(t) = &mut self.tracer {
             t.emit(self.cycles, ev);
+        }
+    }
+
+    /// Close the sampler's window at a block exit (no-op when the
+    /// current execution was not sampled). Mirrors every profiler
+    /// `note_exit` site.
+    #[inline]
+    fn sampler_exit(&mut self, kind: ExitKind) {
+        if let Some(s) = &mut self.sampler {
+            s.note_exit(kind);
+            self.sampling_now = false;
         }
     }
 
@@ -831,6 +968,12 @@ impl Machine {
                     Machine::head_disasm(&block)
                 });
             }
+            if let Some(s) = &mut self.sampler {
+                self.sampling_now =
+                    s.note_entry(block.tag_addr, block.entry_cwp, false, self.cycles, || {
+                        Machine::head_disasm(&block)
+                    });
+            }
             self.engine.begin_block(&block, &self.state);
             self.mode = Mode::Vliw {
                 block,
@@ -903,6 +1046,11 @@ impl Machine {
                 c,
             );
         }
+        if self.sampling_now {
+            if let Some(s) = &mut self.sampler {
+                s.note_li(row.occupancy as u32, row.width as u32, c);
+            }
+        }
         self.metrics.li_slot_occupancy.record(row.occupancy as u64);
         if self.tracer.is_some() {
             let (tag, li) = (block.tag_addr, li as u32);
@@ -950,6 +1098,7 @@ impl Machine {
                 if let Some(p) = &mut self.profiler {
                     p.note_exit(block.tag_addr, block.entry_cwp, ExitKind::Nba);
                 }
+                self.sampler_exit(ExitKind::Nba);
                 let next = block.nba_addr;
                 self.state.pc = next;
                 self.state.npc = next.wrapping_add(4);
@@ -966,6 +1115,7 @@ impl Machine {
                 if let Some(p) = &mut self.profiler {
                     p.note_exit(block.tag_addr, block.entry_cwp, ExitKind::Redirect);
                 }
+                self.sampler_exit(ExitKind::Redirect);
                 self.charge_overhead(self.cfg.mispredict_bubble, Overhead::Mispredict);
                 self.emit(TraceEvent::Mispredict {
                     pc: self.state.pc,
@@ -989,6 +1139,7 @@ impl Machine {
                 if let Some(p) = &mut self.profiler {
                     p.note_exit(block.tag_addr, block.entry_cwp, ExitKind::Exception);
                 }
+                self.sampler_exit(ExitKind::Exception);
                 self.charge_overhead(self.cfg.exception_penalty, Overhead::Recovery);
                 self.emit(TraceEvent::CheckpointRecovery {
                     tag: block.tag_addr,
@@ -1044,6 +1195,32 @@ impl Machine {
     /// oracle all run exactly as on the stepped path, so simulated
     /// results are bit-identical.
     fn run_vliw_burst(&mut self, max_instructions: u64) -> Result<(), MachineError> {
+        // Per-burst delta accounting (DESIGN.md §12): snapshot the
+        // running counters, let the inner loop accumulate its own work
+        // in plain `u64`s, and fold everything into the telemetry
+        // registry exactly once at burst exit — whichever exit it is
+        // (mode swap, halt, budget, watchdog, engine error).
+        let cycles0 = self.cycles;
+        let instr0 = self.test.retired;
+        let vliw0 = self.vliw_cycles;
+        let vstats0 = self.vcache.stats();
+        let mut delta = BurstDelta::default();
+        let result = self.run_vliw_burst_inner(max_instructions, &mut delta);
+        delta.cycles = self.cycles - cycles0;
+        delta.instructions = self.test.retired - instr0;
+        delta.vliw_cycles = self.vliw_cycles - vliw0;
+        let vstats = self.vcache.stats();
+        delta.vcache_hits = vstats.hits - vstats0.hits;
+        delta.vcache_evictions = vstats.evictions - vstats0.evictions;
+        self.telemetry.fold_burst(delta);
+        result
+    }
+
+    fn run_vliw_burst_inner(
+        &mut self,
+        max_instructions: u64,
+        delta: &mut BurstDelta,
+    ) -> Result<(), MachineError> {
         let (mut block, mut decoded, mut li, mut base) = match &self.mode {
             Mode::Vliw {
                 block,
@@ -1053,7 +1230,6 @@ impl Machine {
             } => (Arc::clone(block), Arc::clone(decoded), *li, *base),
             Mode::Primary => unreachable!(),
         };
-        self.fp_bursts += 1;
         loop {
             // Replicate the run() loop's guards at the same points they
             // would fire on the stepped path.
@@ -1108,9 +1284,16 @@ impl Machine {
             c += stall as u64;
             self.cycles += c;
             self.vliw_cycles += c;
-            self.metrics
-                .li_slot_occupancy
-                .record(decoded.rows[li].occupancy as u64);
+            let row = decoded.rows[li];
+            self.metrics.li_slot_occupancy.record(row.occupancy as u64);
+            delta.lis += 1;
+            delta.ops += row.occupancy as u64;
+            delta.slots += row.width as u64;
+            if self.sampling_now {
+                if let Some(s) = &mut self.sampler {
+                    s.note_li(row.occupancy as u32, row.width as u32, c);
+                }
+            }
 
             match out.result {
                 LiResult::Next => li += 1,
@@ -1132,7 +1315,7 @@ impl Machine {
                             li: l,
                             base: bs,
                         } => {
-                            self.fp_chained += 1;
+                            delta.chained += 1;
                             block = Arc::clone(b);
                             decoded = Arc::clone(d);
                             li = *l;
@@ -1141,6 +1324,12 @@ impl Machine {
                         Mode::Primary => return Ok(()),
                     }
                 }
+            }
+            // Heartbeat check at the same point the stepped path checks
+            // (after each full step), so emission stamps are identical
+            // fast-path-on vs off.
+            if self.cycles >= self.hb_next {
+                self.heartbeat_tick();
             }
             self.debug_check_cycle_attribution();
         }
@@ -1185,6 +1374,15 @@ impl Machine {
             self.charge_overhead(penalty, Overhead::NextLi);
             if let Some(p) = &mut self.profiler {
                 p.note_entry(
+                    block.tag_addr,
+                    block.entry_cwp,
+                    from.is_some(),
+                    self.cycles,
+                    || Machine::head_disasm(&block),
+                );
+            }
+            if let Some(s) = &mut self.sampler {
+                self.sampling_now = s.note_entry(
                     block.tag_addr,
                     block.entry_cwp,
                     from.is_some(),
@@ -1294,6 +1492,7 @@ impl Machine {
         if let Some(p) = &mut self.profiler {
             p.note_exit(block.tag_addr, block.entry_cwp, ExitKind::Exception);
         }
+        self.sampler_exit(ExitKind::Exception);
         self.charge_overhead(self.cfg.exception_penalty, Overhead::Recovery);
         self.engine
             .rollback(&mut self.state, &mut self.mem)

@@ -34,7 +34,7 @@ use dtsvliw_sched::snapshot::{
     reslist_to_json,
 };
 use dtsvliw_sched::Scheduler;
-use dtsvliw_trace::Metrics;
+use dtsvliw_trace::{Metrics, Telemetry};
 use dtsvliw_vliw::{VliwCache, VliwEngine};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -594,8 +594,14 @@ impl Machine {
             degraded_entries: b_u("entries")?,
             degraded_cycles: b_u("cycles")?,
             fast_path: true,
-            fp_bursts: 0,
-            fp_chained: 0,
+            // Host-side telemetry is reset-on-resume, like the
+            // profiler: burst counts depend on execution strategy and
+            // must never be double-counted across a resume boundary.
+            telemetry: Telemetry::new(),
+            sampler: None,
+            sampling_now: false,
+            heartbeat: None,
+            hb_next: u64::MAX,
             dcache_scratch: Vec::new(),
             cfg,
         })

@@ -123,6 +123,19 @@ pub enum TraceEvent {
     /// The circuit-breaker cooldown elapsed after `cycles` degraded
     /// cycles; the VLIW Engine is re-armed.
     DegradedExit { cycles: u64 },
+    /// Periodic progress counters, emitted at the heartbeat cadence
+    /// while a tracer is attached so heartbeat data and full traces
+    /// line up on one timeline. The Perfetto sink renders each field as
+    /// a counter-track sample (`ph:"C"`); `ipc_milli` is IPC × 1000
+    /// (kept integral so the event stays `Copy`-friendly and exact).
+    Counters {
+        instructions: u64,
+        ipc_milli: u64,
+        vliw_cycles: u64,
+        primary_cycles: u64,
+        overhead_cycles: u64,
+        degraded_cycles: u64,
+    },
 }
 
 impl TraceEvent {
@@ -144,6 +157,7 @@ impl TraceEvent {
             TraceEvent::Recovery { .. } => "recovery",
             TraceEvent::DegradedEnter { .. } => "degraded_enter",
             TraceEvent::DegradedExit { .. } => "degraded_exit",
+            TraceEvent::Counters { .. } => "counters",
         }
     }
 
@@ -229,6 +243,21 @@ impl TraceEvent {
             TraceEvent::DegradedExit { cycles } => {
                 vec![("cycles".into(), Json::U64(cycles))]
             }
+            TraceEvent::Counters {
+                instructions,
+                ipc_milli,
+                vliw_cycles,
+                primary_cycles,
+                overhead_cycles,
+                degraded_cycles,
+            } => vec![
+                ("instructions".into(), Json::U64(instructions)),
+                ("ipc_milli".into(), Json::U64(ipc_milli)),
+                ("vliw_cycles".into(), Json::U64(vliw_cycles)),
+                ("primary_cycles".into(), Json::U64(primary_cycles)),
+                ("overhead_cycles".into(), Json::U64(overhead_cycles)),
+                ("degraded_cycles".into(), Json::U64(degraded_cycles)),
+            ],
         }
     }
 
@@ -249,17 +278,19 @@ impl TraceEvent {
             | TraceEvent::FaultInjected { .. }
             | TraceEvent::Recovery { .. } => 3,
             TraceEvent::CacheMiss { .. } => 4,
+            TraceEvent::Counters { .. } => 5,
         }
     }
 }
 
 /// Perfetto track names, indexed by [`TraceEvent::track`].
-pub(crate) const TRACK_NAMES: [&str; 5] = [
+pub(crate) const TRACK_NAMES: [&str; 6] = [
     "engine mode",
     "scheduler",
     "vliw-cache",
     "vliw-engine",
     "memory",
+    "telemetry",
 ];
 
 impl fmt::Display for TraceEvent {
@@ -392,6 +423,14 @@ mod tests {
                 until: 0,
             },
             TraceEvent::DegradedExit { cycles: 0 },
+            TraceEvent::Counters {
+                instructions: 0,
+                ipc_milli: 0,
+                vliw_cycles: 0,
+                primary_cycles: 0,
+                overhead_cycles: 0,
+                degraded_cycles: 0,
+            },
         ];
         let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();

@@ -24,13 +24,17 @@ mod event;
 mod metrics;
 mod profile;
 mod ring;
+mod sample;
 mod sink;
+mod telemetry;
 
 pub use event::{CacheKind, EngineKind, EvictReason, Stamped, TraceEvent};
 pub use metrics::{BucketScale, Histogram, Metrics, HIST_BUCKETS};
 pub use profile::{BlockProfile, BlockProfiler, ExitKind, DEFAULT_HOT_WINDOW};
 pub use ring::FlightRecorder;
+pub use sample::{SamplingProfiler, DEFAULT_SAMPLE_PERIOD};
 pub use sink::{sink_to_writer, EventSink, JsonlSink, PerfettoSink, TextSink, TraceFormat};
+pub use telemetry::{BurstDelta, Heartbeat, HeartbeatRecord, Telemetry};
 
 use std::io;
 

@@ -218,6 +218,46 @@ impl EventSink for PerfettoSink {
                 self.open_span = Some((to.label(), ev.cycle));
                 Ok(())
             }
+            // Progress counters become `ph:"C"` counter-track samples:
+            // one track per quantity, plus a stacked cycles-by-pool
+            // track, so heartbeat-cadence telemetry lines up with the
+            // spans and instants on the same cycle timeline.
+            TraceEvent::Counters {
+                instructions,
+                ipc_milli,
+                vliw_cycles,
+                primary_cycles,
+                overhead_cycles,
+                degraded_cycles,
+            } => {
+                for (name, args) in [
+                    (
+                        "instructions",
+                        Json::obj([("value", Json::U64(instructions))]),
+                    ),
+                    ("ipc (milli)", Json::obj([("value", Json::U64(ipc_milli))])),
+                    (
+                        "cycles by pool",
+                        Json::obj([
+                            ("vliw", Json::U64(vliw_cycles)),
+                            ("primary", Json::U64(primary_cycles)),
+                            ("overhead", Json::U64(overhead_cycles)),
+                            ("degraded", Json::U64(degraded_cycles)),
+                        ]),
+                    ),
+                ] {
+                    let counter = Json::obj([
+                        ("name", Json::Str(name.into())),
+                        ("ph", Json::Str("C".into())),
+                        ("ts", Json::U64(ev.cycle)),
+                        ("pid", Json::U64(1)),
+                        ("tid", Json::U64(ev.event.track() as u64)),
+                        ("args", args),
+                    ]);
+                    self.emit(counter)?;
+                }
+                Ok(())
+            }
             other => {
                 let inst = Json::obj([
                     ("name", Json::Str(other.kind().into())),
@@ -360,6 +400,47 @@ mod tests {
                 .and_then(Json::as_str),
             Some("icache")
         );
+    }
+
+    #[test]
+    fn perfetto_counters_render_as_counter_tracks() {
+        let buf = Shared::default();
+        let mut sink = PerfettoSink::new(Box::new(buf.clone()));
+        sink.record(&Stamped {
+            cycle: 500,
+            event: TraceEvent::Counters {
+                instructions: 900,
+                ipc_milli: 1800,
+                vliw_cycles: 400,
+                primary_cycles: 60,
+                overhead_cycles: 30,
+                degraded_cycles: 10,
+            },
+        })
+        .unwrap();
+        sink.finish(600).unwrap();
+        let out = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let j = Json::parse(&out).expect("valid JSON document");
+        let counters: Vec<&Json> = j
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 3);
+        for c in &counters {
+            assert_eq!(c.get("ts").and_then(Json::as_u64), Some(500));
+        }
+        assert_eq!(
+            counters[0]
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_u64),
+            Some(900)
+        );
+        let pools = counters[2].get("args").unwrap();
+        assert_eq!(pools.get("vliw").and_then(Json::as_u64), Some(400));
+        assert_eq!(pools.get("degraded").and_then(Json::as_u64), Some(10));
     }
 
     #[test]
