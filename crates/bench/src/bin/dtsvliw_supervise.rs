@@ -1,19 +1,18 @@
-//! `dtsvliw_supervise` — a supervised campaign runner: executes
-//! simulator jobs (`dtsvliw_run`, `dtsvliw_faultsim`, anything with the
-//! same exit-code contract) as child processes under wall-clock
-//! timeouts, classifies every failure, retries with seeded exponential
-//! backoff, resumes each retry from the job's latest durable snapshot,
-//! and writes a bit-reproducible JSON campaign report.
+//! Campaign supervisor: fan a spec's jobs across worker slots with
+//! work-stealing, per-tenant quotas, stall detection,
+//! checkpoint-and-requeue rebalancing, seeded backoff, and (optionally)
+//! a chaos harness that attacks the campaign while it runs.
 //!
 //! ```sh
-//! dtsvliw_supervise campaign.json --out report.json
+//! dtsvliw_supervise campaign.json --jobs 8 --out report.json
 //! ```
 //!
-//! The campaign spec is JSON:
+//! The campaign spec is JSON (see DESIGN.md §13 for the full schema):
 //!
 //! ```json
 //! { "seed": 1,
 //!   "backoff_ms": 50,
+//!   "quotas": { "alice": 2 },
 //!   "jobs": [
 //!     { "name": "qsort",
 //!       "argv": ["dtsvliw_run", "--workload", "qsort",
@@ -21,6 +20,7 @@
 //!                "--heartbeat=100000", "--heartbeat-out", "hb/qsort.jsonl"],
 //!       "timeout_ms": 60000,
 //!       "retries": 3,
+//!       "tenant": "alice",
 //!       "snapshot_dir": "snaps/qsort",
 //!       "heartbeat": "hb/qsort.jsonl" } ] }
 //! ```
@@ -29,592 +29,191 @@
 //! binary (the usual cargo target directory layout), so specs do not
 //! hard-code target paths.
 //!
-//! Live status (DESIGN.md §12): when a job declares a `heartbeat` file
-//! (the path its own `--heartbeat-out` writes to), the supervisor tails
-//! it while the child runs and refreshes a one-line status on stderr —
-//! jobs done/failed/active, the running job's simulated cycle and
-//! instruction count, aggregate simulated instructions per wall second,
-//! and an ETA extrapolated from completed jobs. `--timeline PATH`
-//! additionally merges every job's heartbeat stream into one JSONL
-//! timeline after the campaign (jobs in spec order, records in file
-//! order, each line augmented with its job name) — heartbeat streams
-//! are deterministic, so the merged timeline is too. Neither feature
-//! touches the campaign report, which stays byte-reproducible.
+//! This binary is a thin shell: every policy lives in the unit-testable
+//! `dtsvliw_bench::supervise` module tree. Outputs:
 //!
-//! Failure classification, from the child's wait status:
+//! * `--out` — the deterministic report (byte-identical across worker
+//!   counts, completion orders, and chaos storms);
+//! * `--attempts-out` — the attempt history (outcomes, resume flags,
+//!   the seeded backoff schedule);
+//! * `--wallclock-out` — durations, requeues, the chaos ledger
+//!   (nondeterministic by design);
+//! * `--timeline` — the merged heartbeat timeline, torn lines skipped.
 //!
-//! * `timeout` — the supervisor killed the job at its wall-clock limit;
-//! * `watchdog` — exit code 3: the simulator's own forward-progress
-//!   watchdog fired (partial statistics were printed);
-//! * `corrupt-snapshot` — exit code 4: the resume source was damaged;
-//!   the supervisor deletes it and retries from scratch;
-//! * `signal` — the job died on a signal it did not ask for (a real
-//!   SIGKILL, an OOM kill);
-//! * `error` — any other nonzero exit.
-//!
-//! On every retry the supervisor injects `--resume <dir>/latest.json`
-//! when the job declares a `snapshot_dir` and a snapshot exists, so
-//! work done before the kill is not lost. Retries back off
-//! exponentially with a jitter drawn from the seeded PRNG; the report
-//! records the schedule, contains no timestamps, and is therefore
-//! byte-identical across runs of the same spec and seed.
+//! Exit codes: 0 all jobs succeeded, 1 some failed, 2 bad usage/spec.
 
-use dtsvliw_faults::Rng64;
-use dtsvliw_json::Json;
-use std::io::IsTerminal;
-use std::path::{Path, PathBuf};
-use std::process::{Child, Command, ExitStatus};
-use std::time::{Duration, Instant};
+use dtsvliw_bench::supervise::engine::{
+    attempts_json, merge_timeline, report_json, run_campaign, wallclock_json, EngineOptions,
+};
+use dtsvliw_bench::supervise::spec::{parse_campaign, CampaignSpec};
+use std::path::PathBuf;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: dtsvliw_supervise <campaign.json> [--out report.json] [--timeline PATH] [--quiet]"
-    );
+const USAGE: &str = "usage: dtsvliw_supervise <spec.json> [options]
+  --jobs N             worker slots (default: available cores)
+  --spawn-window N     max children in flight (default: --jobs value)
+  --chaos SEED         arm the chaos harness (seeded kills, freezes,
+                       snapshot corruption, heartbeat tears)
+  --out PATH           write the deterministic campaign report
+  --attempts-out PATH  write the attempt-history log
+  --wallclock-out PATH write the wall-clock side-channel
+  --timeline PATH      write the merged heartbeat timeline (JSONL)
+  --quiet              silence child stdout and per-attempt log lines";
+
+struct Args {
+    spec_path: PathBuf,
+    jobs: usize,
+    spawn_window: Option<usize>,
+    chaos_seed: Option<u64>,
+    out: Option<PathBuf>,
+    attempts_out: Option<PathBuf>,
+    wallclock_out: Option<PathBuf>,
+    timeline: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("dtsvliw_supervise: {msg}");
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
-fn die(msg: String) -> ! {
-    eprintln!("error: {msg}");
-    std::process::exit(1);
+fn parse_u64(flag: &str, v: Option<String>) -> u64 {
+    let Some(v) = v else {
+        die(&format!("{flag} needs a value"));
+    };
+    v.parse()
+        .unwrap_or_else(|_| die(&format!("{flag} needs an unsigned integer, got `{v}`")))
 }
 
-/// One job from the campaign spec.
-struct JobSpec {
-    name: String,
-    argv: Vec<String>,
-    timeout_ms: u64,
-    retries: u32,
-    snapshot_dir: Option<PathBuf>,
-    /// The heartbeat file the job's own `--heartbeat-out` writes; the
-    /// supervisor tails it for live status and the merged timeline.
-    heartbeat: Option<PathBuf>,
+fn positive(flag: &str, v: Option<String>) -> usize {
+    let n = parse_u64(flag, v);
+    if n == 0 {
+        die(&format!("{flag} must be positive"));
+    }
+    n as usize
 }
 
-struct Campaign {
-    seed: u64,
-    backoff_ms: u64,
-    jobs: Vec<JobSpec>,
-}
-
-fn parse_campaign(text: &str) -> Option<Campaign> {
-    let doc = Json::parse(text).ok()?;
-    let jobs = doc
-        .get("jobs")?
-        .as_arr()?
-        .iter()
-        .map(|j| {
-            Some(JobSpec {
-                name: j.get("name")?.as_str()?.to_string(),
-                argv: j
-                    .get("argv")?
-                    .as_arr()?
-                    .iter()
-                    .map(|a| Some(a.as_str()?.to_string()))
-                    .collect::<Option<Vec<_>>>()
-                    .filter(|v| !v.is_empty())?,
-                timeout_ms: j.get("timeout_ms").and_then(Json::as_u64).unwrap_or(60_000),
-                retries: j
-                    .get("retries")
-                    .and_then(Json::as_u64)
-                    .map(|r| r as u32)
-                    .unwrap_or(2),
-                snapshot_dir: match j.get("snapshot_dir") {
-                    Some(Json::Str(d)) => Some(PathBuf::from(d)),
-                    _ => None,
-                },
-                heartbeat: match j.get("heartbeat") {
-                    Some(Json::Str(d)) => Some(PathBuf::from(d)),
-                    _ => None,
-                },
-            })
-        })
-        .collect::<Option<Vec<_>>>()?;
-    Some(Campaign {
-        seed: doc.get("seed").and_then(Json::as_u64).unwrap_or(1),
-        backoff_ms: doc.get("backoff_ms").and_then(Json::as_u64).unwrap_or(100),
-        jobs,
-    })
-}
-
-/// How one attempt ended.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Outcome {
-    Success,
-    Timeout,
-    Watchdog,
-    CorruptSnapshot,
-    Signal(i32),
-    Error(i32),
-}
-
-impl Outcome {
-    fn label(&self) -> &'static str {
-        match self {
-            Outcome::Success => "success",
-            Outcome::Timeout => "timeout",
-            Outcome::Watchdog => "watchdog",
-            Outcome::CorruptSnapshot => "corrupt-snapshot",
-            Outcome::Signal(_) => "signal",
-            Outcome::Error(_) => "error",
-        }
+fn path(flag: &str, v: Option<String>) -> PathBuf {
+    match v {
+        Some(v) => PathBuf::from(v),
+        None => die(&format!("{flag} needs a path")),
     }
 }
 
-/// Exit codes `dtsvliw_run` reserves (see its module docs).
-const EXIT_WATCHDOG: i32 = 3;
-const EXIT_SNAPSHOT: i32 = 4;
-
-#[cfg(unix)]
-fn signal_of(status: &ExitStatus) -> Option<i32> {
-    use std::os::unix::process::ExitStatusExt;
-    status.signal()
-}
-
-#[cfg(not(unix))]
-fn signal_of(_status: &ExitStatus) -> Option<i32> {
-    None
-}
-
-fn classify(status: &ExitStatus, killed_by_us: bool) -> Outcome {
-    if killed_by_us {
-        return Outcome::Timeout;
-    }
-    if let Some(sig) = signal_of(status) {
-        return Outcome::Signal(sig);
-    }
-    match status.code() {
-        Some(0) => Outcome::Success,
-        Some(EXIT_WATCHDOG) => Outcome::Watchdog,
-        Some(EXIT_SNAPSHOT) => Outcome::CorruptSnapshot,
-        Some(c) => Outcome::Error(c),
-        None => Outcome::Signal(0),
-    }
-}
-
-/// Resolve a bare command name to a sibling of this binary, so specs
-/// written for CI work from any working directory.
-fn resolve_program(name: &str) -> PathBuf {
-    let p = Path::new(name);
-    if p.components().count() > 1 || p.is_absolute() {
-        return p.to_path_buf();
-    }
-    if let Ok(me) = std::env::current_exe() {
-        if let Some(dir) = me.parent() {
-            let sibling = dir.join(name);
-            if sibling.exists() {
-                return sibling;
+fn parse_args() -> Args {
+    let mut args = Args {
+        spec_path: PathBuf::new(),
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        spawn_window: None,
+        chaos_seed: None,
+        out: None,
+        attempts_out: None,
+        wallclock_out: None,
+        timeline: None,
+        quiet: false,
+    };
+    let mut spec_seen = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => args.jobs = positive("--jobs", it.next()),
+            "--spawn-window" => {
+                args.spawn_window = Some(positive("--spawn-window", it.next()));
             }
-        }
-    }
-    p.to_path_buf()
-}
-
-/// Incremental reader over a child's heartbeat JSONL file. Tracks a
-/// byte offset so each poll only parses new complete lines; a file that
-/// shrank (a retry recreated it) resets the tail to the start.
-struct HeartbeatTail {
-    path: PathBuf,
-    offset: u64,
-    /// Latest (cycle, instructions) seen.
-    last: Option<(u64, u64)>,
-}
-
-impl HeartbeatTail {
-    fn new(path: PathBuf) -> Self {
-        HeartbeatTail {
-            path,
-            offset: 0,
-            last: None,
-        }
-    }
-
-    /// Consume any new complete lines and return the freshest
-    /// (cycle, instructions) pair seen so far.
-    fn poll(&mut self) -> Option<(u64, u64)> {
-        use std::io::{Read, Seek, SeekFrom};
-        let mut f = std::fs::File::open(&self.path).ok()?;
-        let len = f.metadata().ok()?.len();
-        if len < self.offset {
-            self.offset = 0;
-            self.last = None;
-        }
-        if len > self.offset {
-            f.seek(SeekFrom::Start(self.offset)).ok()?;
-            let mut buf = String::new();
-            f.take(len - self.offset).read_to_string(&mut buf).ok()?;
-            // Only complete lines: a record mid-write waits for the
-            // next poll.
-            let complete = buf.rfind('\n').map_or(0, |p| p + 1);
-            for line in buf[..complete].lines() {
-                if let Ok(j) = Json::parse(line) {
-                    if let (Some(cycle), Some(instr)) = (
-                        j.get("cycle").and_then(Json::as_u64),
-                        j.get("instructions").and_then(Json::as_u64),
-                    ) {
-                        self.last = Some((cycle, instr));
-                    }
+            "--chaos" => args.chaos_seed = Some(parse_u64("--chaos", it.next())),
+            "--out" => args.out = Some(path("--out", it.next())),
+            "--attempts-out" => args.attempts_out = Some(path("--attempts-out", it.next())),
+            "--wallclock-out" => args.wallclock_out = Some(path("--wallclock-out", it.next())),
+            "--timeline" => args.timeline = Some(path("--timeline", it.next())),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            _ if a.starts_with('-') => die(&format!("unknown flag `{a}`")),
+            _ => {
+                if spec_seen {
+                    die("exactly one spec file expected");
                 }
-            }
-            self.offset += complete as u64;
-        }
-        self.last
-    }
-}
-
-/// The refreshing one-line campaign status on stderr. On a terminal it
-/// redraws in place; on a pipe (CI logs) it prints a throttled line
-/// every couple of seconds instead.
-struct StatusLine {
-    total: usize,
-    done: usize,
-    failed: usize,
-    /// Instructions credited from finished jobs' final heartbeats.
-    finished_instructions: u64,
-    started: Instant,
-    tty: bool,
-    last_print: Option<Instant>,
-    visible: bool,
-}
-
-impl StatusLine {
-    fn new(total: usize) -> Self {
-        StatusLine {
-            total,
-            done: 0,
-            failed: 0,
-            finished_instructions: 0,
-            started: Instant::now(),
-            tty: std::io::stderr().is_terminal(),
-            last_print: None,
-            visible: false,
-        }
-    }
-
-    /// Throttle: redraw at 5 Hz on a terminal, every 2 s on a pipe.
-    fn due(&self) -> bool {
-        let gap = if self.tty {
-            Duration::from_millis(200)
-        } else {
-            Duration::from_secs(2)
-        };
-        self.last_print.is_none_or(|t| t.elapsed() >= gap)
-    }
-
-    fn refresh(&mut self, job: &str, progress: Option<(u64, u64)>) {
-        self.last_print = Some(Instant::now());
-        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
-        let instr = self.finished_instructions + progress.map_or(0, |(_, i)| i);
-        let at = match progress {
-            Some((cycle, i)) => format!("cycle {cycle}, {i} instrs"),
-            None => "no heartbeat yet".to_string(),
-        };
-        // Extrapolate from completed jobs: elapsed * remaining / done.
-        let eta = if self.done > 0 {
-            let remaining = (self.total - self.done) as f64;
-            format!("~{:.0}s", elapsed / self.done as f64 * remaining)
-        } else {
-            "--".to_string()
-        };
-        let line = format!(
-            "supervise: [{}/{} done, {} failed] {job} ({at}) | {:.1}M instr/s | eta {eta}",
-            self.done,
-            self.total,
-            self.failed,
-            instr as f64 / 1e6 / elapsed,
-        );
-        if self.tty {
-            eprint!("\r\x1b[2K{line}");
-            self.visible = true;
-        } else {
-            eprintln!("{line}");
-        }
-    }
-
-    /// Clear the in-place line so regular log output starts clean.
-    fn clear(&mut self) {
-        if self.tty && self.visible {
-            eprint!("\r\x1b[2K");
-            self.visible = false;
-        }
-    }
-}
-
-/// Run one attempt under a wall-clock timeout, tailing the job's
-/// heartbeat file (when it has one) into the live status line. Returns
-/// the classification; a child that cannot even spawn is an `Error`.
-fn run_attempt(
-    argv: &[String],
-    timeout: Duration,
-    quiet: bool,
-    job_name: &str,
-    tail: Option<&mut HeartbeatTail>,
-    status: &mut StatusLine,
-) -> Outcome {
-    let program = resolve_program(&argv[0]);
-    let mut cmd = Command::new(&program);
-    cmd.args(&argv[1..]);
-    if quiet {
-        cmd.stdout(std::process::Stdio::null());
-    }
-    let mut child: Child = match cmd.spawn() {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("supervise: cannot spawn {}: {e}", program.display());
-            return Outcome::Error(127);
-        }
-    };
-    let mut tail = tail;
-    let started = Instant::now();
-    let outcome = loop {
-        match child.try_wait() {
-            Ok(Some(status)) => break classify(&status, false),
-            Ok(None) => {}
-            Err(e) => {
-                status.clear();
-                eprintln!("supervise: wait failed: {e}");
-                let _ = child.kill();
-                let _ = child.wait();
-                break Outcome::Error(-1);
+                args.spec_path = PathBuf::from(a);
+                spec_seen = true;
             }
         }
-        if started.elapsed() >= timeout {
-            let _ = child.kill();
-            let _ = child.wait();
-            break Outcome::Timeout;
-        }
-        if status.due() {
-            let progress = tail.as_deref_mut().and_then(HeartbeatTail::poll);
-            status.refresh(job_name, progress);
-        }
-        std::thread::sleep(Duration::from_millis(5));
-    };
-    status.clear();
-    outcome
+    }
+    if !spec_seen {
+        die("a campaign spec file is required");
+    }
+    args
 }
 
-struct AttemptRecord {
-    outcome: Outcome,
-    resumed: bool,
-    backoff_ms: Option<u64>,
+fn load_spec(path: &PathBuf) -> CampaignSpec {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+    match parse_campaign(&text) {
+        Ok(spec) => spec,
+        Err(e) => die(&format!("invalid spec {}: {e}", path.display())),
+    }
+}
+
+fn write_doc(path: &PathBuf, text: &str) {
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("dtsvliw_supervise: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut spec_path = None;
-    let mut out: Option<String> = None;
-    let mut timeline: Option<String> = None;
-    let mut quiet = false;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--out" => {
-                i += 1;
-                out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
-            "--timeline" => {
-                i += 1;
-                timeline = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
-            "--quiet" => quiet = true,
-            a if !a.starts_with('-') && spec_path.is_none() => spec_path = Some(a.to_string()),
-            _ => usage(),
-        }
-        i += 1;
+    let args = parse_args();
+    let spec = load_spec(&args.spec_path);
+    let opts = EngineOptions {
+        workers: args.jobs,
+        spawn_window: args.spawn_window,
+        chaos_seed: args.chaos_seed,
+        quiet: args.quiet,
+    };
+    let result = run_campaign(&spec, &opts);
+
+    let report = report_json(&spec, &result).to_string_pretty() + "\n";
+    match &args.out {
+        Some(p) => write_doc(p, &report),
+        None => print!("{report}"),
     }
-    let spec_path = spec_path.unwrap_or_else(|| usage());
-    let text = std::fs::read_to_string(&spec_path)
-        .unwrap_or_else(|e| die(format!("cannot read {spec_path}: {e}")));
-    let campaign =
-        parse_campaign(&text).unwrap_or_else(|| die(format!("{spec_path}: not a campaign spec")));
-
-    let mut rng = Rng64::new(campaign.seed);
-    let mut job_reports = Vec::new();
-    let mut succeeded = 0u64;
-    let mut failed = 0u64;
-    let mut status = StatusLine::new(campaign.jobs.len());
-
-    for job in &campaign.jobs {
-        let latest = job.snapshot_dir.as_ref().map(|d| d.join("latest.json"));
-        let mut tail = job.heartbeat.clone().map(HeartbeatTail::new);
-        let mut attempts: Vec<AttemptRecord> = Vec::new();
-        let mut success = false;
-
-        for attempt in 0..=job.retries {
-            // Resume from the latest snapshot when one exists and the
-            // job did not already ask for --resume itself.
-            let mut argv = job.argv.clone();
-            let resumed = match &latest {
-                Some(p) if attempt > 0 && p.exists() && !argv.iter().any(|a| a == "--resume") => {
-                    argv.push("--resume".to_string());
-                    argv.push(p.display().to_string());
-                    true
-                }
-                _ => false,
-            };
+    if let Some(p) = &args.attempts_out {
+        write_doc(
+            p,
+            &(attempts_json(&spec, &result).to_string_pretty() + "\n"),
+        );
+    }
+    if let Some(p) = &args.wallclock_out {
+        write_doc(p, &(wallclock_json(&result).to_string_pretty() + "\n"));
+    }
+    if let Some(p) = &args.timeline {
+        let (text, records) = merge_timeline(&spec);
+        write_doc(p, &text);
+        if !args.quiet {
             eprintln!(
-                "supervise: job `{}` attempt {}/{}{}",
-                job.name,
-                attempt + 1,
-                job.retries + 1,
-                if resumed {
-                    " (resuming from snapshot)"
-                } else {
-                    ""
-                }
+                "supervise: merged {records} heartbeat records into {}",
+                p.display()
             );
-            let outcome = run_attempt(
-                &argv,
-                Duration::from_millis(job.timeout_ms),
-                quiet,
-                &job.name,
-                tail.as_mut(),
-                &mut status,
-            );
-
-            // A corrupt snapshot must not poison every further retry:
-            // drop it and let the next attempt start fresh.
-            if outcome == Outcome::CorruptSnapshot {
-                if let Some(p) = &latest {
-                    let _ = std::fs::remove_file(p);
-                    eprintln!(
-                        "supervise: job `{}`: corrupt snapshot removed, retrying fresh",
-                        job.name
-                    );
-                }
-            }
-
-            let done = outcome == Outcome::Success || attempt == job.retries;
-            // The backoff schedule is part of the report (it is
-            // deterministic: seeded jitter, no clocks); the sleep
-            // itself only happens when another attempt follows.
-            let backoff_ms = if done {
-                None
-            } else {
-                let base = campaign.backoff_ms.saturating_mul(1u64 << attempt.min(10));
-                let jitter = if campaign.backoff_ms == 0 {
-                    0
-                } else {
-                    rng.next_u64() % campaign.backoff_ms
-                };
-                Some((base + jitter).min(30_000))
-            };
-            attempts.push(AttemptRecord {
-                outcome,
-                resumed,
-                backoff_ms,
-            });
-            if outcome == Outcome::Success {
-                success = true;
-                break;
-            }
-            if let Some(ms) = backoff_ms {
-                std::thread::sleep(Duration::from_millis(ms));
-            }
         }
-
-        if success {
-            succeeded += 1;
-        } else {
-            failed += 1;
-            status.failed += 1;
-        }
-        status.done += 1;
-        // Credit the job's final heartbeat to the aggregate throughput
-        // shown while later jobs run.
-        if let Some(t) = tail.as_mut() {
-            if let Some((_, instr)) = t.poll() {
-                status.finished_instructions += instr;
-            }
-        }
-        let attempts_json = attempts
-            .iter()
-            .enumerate()
-            .map(|(n, a)| {
-                Json::obj([
-                    ("attempt", Json::U64(n as u64)),
-                    ("outcome", Json::Str(a.outcome.label().to_string())),
-                    (
-                        "detail",
-                        match a.outcome {
-                            Outcome::Signal(sig) => Json::U64(sig as u64),
-                            Outcome::Error(code) => Json::I64(code as i64),
-                            _ => Json::Null,
-                        },
-                    ),
-                    ("resumed", Json::Bool(a.resumed)),
-                    (
-                        "backoff_ms",
-                        match a.backoff_ms {
-                            Some(ms) => Json::U64(ms),
-                            None => Json::Null,
-                        },
-                    ),
-                ])
-            })
-            .collect::<Vec<_>>();
-        job_reports.push(Json::obj([
-            ("name", Json::Str(job.name.clone())),
-            (
-                "status",
-                Json::Str(if success { "succeeded" } else { "failed" }.to_string()),
-            ),
-            ("attempts_used", Json::U64(attempts.len() as u64)),
-            ("attempts", Json::Arr(attempts_json)),
-        ]));
     }
 
-    // Merge every job's heartbeat stream into one deterministic JSONL
-    // timeline: jobs in spec order, records in file order, each line
-    // augmented with its job name. Heartbeat streams are themselves
-    // deterministic, so two runs of the same campaign produce
-    // byte-identical timelines.
-    if let Some(path) = &timeline {
-        let mut merged = String::new();
-        let mut records = 0u64;
-        for job in &campaign.jobs {
-            let Some(hb) = &job.heartbeat else { continue };
-            let Ok(text) = std::fs::read_to_string(hb) else {
-                eprintln!(
-                    "supervise: job `{}`: no heartbeat file at {} (skipped in timeline)",
-                    job.name,
-                    hb.display()
-                );
-                continue;
-            };
-            for line in text.lines() {
-                let Ok(Json::Obj(mut pairs)) = Json::parse(line) else {
-                    continue;
-                };
-                pairs.insert(0, ("job".to_string(), Json::Str(job.name.clone())));
-                merged.push_str(&Json::Obj(pairs).to_string());
-                merged.push('\n');
-                records += 1;
+    if !args.quiet {
+        eprintln!(
+            "supervise: {} succeeded, {} failed ({} jobs, {} workers, {:.1}s{})",
+            result.succeeded,
+            result.failed,
+            result.jobs.len(),
+            result.workers,
+            result.wall_ms as f64 / 1000.0,
+            match &result.chaos {
+                Some(c) => format!(
+                    ", chaos actions: {}",
+                    c.get("actions").and_then(|j| j.as_u64()).unwrap_or(0)
+                ),
+                None => String::new(),
             }
-        }
-        std::fs::write(path, &merged).unwrap_or_else(|e| die(format!("writing {path}: {e}")));
-        eprintln!("supervise: merged {records} heartbeat records into {path}");
+        );
     }
-
-    let report = Json::obj([
-        ("format", Json::Str("dtsvliw-supervise-report".to_string())),
-        ("seed", Json::U64(campaign.seed)),
-        ("backoff_ms", Json::U64(campaign.backoff_ms)),
-        ("jobs", Json::Arr(job_reports)),
-        ("succeeded", Json::U64(succeeded)),
-        ("failed", Json::U64(failed)),
-    ]);
-    let rendered = report.to_string_pretty();
-    match &out {
-        Some(path) => {
-            std::fs::write(path, format!("{rendered}\n"))
-                .unwrap_or_else(|e| die(format!("writing {path}: {e}")));
-            eprintln!("supervise: report written to {path}");
-        }
-        None => println!("{rendered}"),
-    }
-    eprintln!(
-        "supervise: {} succeeded, {} failed, zero lost runs (every attempt is in the report)",
-        succeeded, failed
-    );
-    std::process::exit(if failed == 0 { 0 } else { 1 });
+    std::process::exit(if result.failed == 0 { 0 } else { 1 });
 }

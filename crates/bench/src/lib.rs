@@ -13,6 +13,7 @@
 
 pub mod harness;
 pub mod report;
+pub mod supervise;
 
 pub use harness::{run_matrix, run_one, ExpResult, Options};
 pub use report::{geom_mean, print_ipc_table, write_json, write_json_or_die};

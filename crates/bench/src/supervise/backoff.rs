@@ -1,0 +1,95 @@
+//! Interleaving-independent retry backoff.
+//!
+//! The original supervisor drew retry jitter from one shared RNG, so
+//! the schedule depended on the order jobs happened to fail in — fine
+//! sequentially, nondeterministic the moment attempts run on eight
+//! workers. Here every (campaign seed, job id, attempt) triple maps
+//! through SplitMix64 to its own jitter, so the schedule is a pure
+//! function of the spec: two `--jobs 8` runs, or a `--jobs 1` and a
+//! `--jobs 64` run, draw byte-identical backoff schedules no matter how
+//! the workers interleave.
+
+use dtsvliw_faults::Rng64;
+
+/// Hard ceiling on any single backoff sleep.
+pub const BACKOFF_CAP_MS: u64 = 30_000;
+
+/// Attempts past this stop doubling (2^10 × base already saturates the
+/// cap for any realistic base).
+const MAX_SHIFT: u32 = 10;
+
+fn scramble(x: u64) -> u64 {
+    Rng64::new(x).next_u64()
+}
+
+/// Jitter in `[0, base_ms)` for this exact (seed, job, attempt) —
+/// independent of every other draw in the campaign.
+pub fn jitter_ms(campaign_seed: u64, job_id: u64, attempt: u32, base_ms: u64) -> u64 {
+    if base_ms == 0 {
+        return 0;
+    }
+    scramble(scramble(scramble(campaign_seed) ^ job_id) ^ attempt as u64) % base_ms
+}
+
+/// The full delay before retry `attempt` (1-based: the delay drawn
+/// after the `attempt`-th failure): exponential in the attempt number,
+/// jittered, capped.
+pub fn delay_ms(campaign_seed: u64, job_id: u64, attempt: u32, base_ms: u64) -> u64 {
+    let exp = base_ms.saturating_mul(1u64 << attempt.min(MAX_SHIFT));
+    exp.saturating_add(jitter_ms(campaign_seed, job_id, attempt, base_ms))
+        .min(BACKOFF_CAP_MS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_function_of_its_inputs() {
+        // Calling in any order, any number of times, yields the same
+        // schedule — the property the shared-RNG design lacked.
+        let forward: Vec<u64> = (0..8).map(|a| delay_ms(42, 3, a, 50)).collect();
+        let backward: Vec<u64> = (0..8).rev().map(|a| delay_ms(42, 3, a, 50)).collect();
+        assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_decorrelate() {
+        // Two jobs under the same seed must not share a jitter stream.
+        let a: Vec<u64> = (0..16).map(|n| jitter_ms(1, 0, n, 1_000_000)).collect();
+        let b: Vec<u64> = (0..16).map(|n| jitter_ms(1, 1, n, 1_000_000)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let a: Vec<u64> = (0..16).map(|n| jitter_ms(7, 5, n, 1_000_000)).collect();
+        let b: Vec<u64> = (0..16).map(|n| jitter_ms(8, 5, n, 1_000_000)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn exponential_base_with_cap() {
+        assert!(delay_ms(1, 1, 0, 100) >= 100);
+        assert!(delay_ms(1, 1, 0, 100) < 300);
+        assert!(delay_ms(1, 1, 3, 100) >= 800);
+        for attempt in 0..64 {
+            assert!(delay_ms(1, 1, attempt, 10_000) <= BACKOFF_CAP_MS);
+        }
+        // Huge attempt numbers must not shift out of range.
+        assert_eq!(delay_ms(1, 1, u32::MAX, 10_000), BACKOFF_CAP_MS);
+    }
+
+    #[test]
+    fn zero_base_means_zero_delay() {
+        assert_eq!(jitter_ms(1, 1, 1, 0), 0);
+        assert_eq!(delay_ms(1, 1, 1, 0), 0);
+    }
+
+    #[test]
+    fn jitter_stays_below_base() {
+        for n in 0..64 {
+            assert!(jitter_ms(3, 9, n, 17) < 17);
+        }
+    }
+}

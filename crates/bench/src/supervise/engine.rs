@@ -1,0 +1,881 @@
+//! Worker threads, the attempt loop, and the deterministic merge.
+//!
+//! `run_campaign` fans the spec's jobs across worker threads through
+//! the [`queue`](super::queue) scheduler. Each worker babysits one
+//! child at a time: it injects `--resume` whenever a durable snapshot
+//! exists, enforces the hard timeout, kills stalled children
+//! (heartbeat staleness), checkpoint-and-requeues past the soft
+//! deadline, and classifies every ending. Failures the supervisor's
+//! own chaos harness caused — and corrupt snapshots, which are
+//! quarantined and retried fresh — are *forgiven*: they consume no
+//! retry budget (up to [`FORGIVENESS_CAP`]), which is what keeps the
+//! final report of a chaos-stormed campaign byte-identical to an
+//! undisturbed run.
+//!
+//! Determinism contract of the three output documents:
+//!
+//! * **report** ([`report_json`]) — pure function of the spec and each
+//!   job's final status + result digest; invariant under worker count,
+//!   completion order, retries, and chaos.
+//! * **attempts log** ([`attempts_json`]) — the full attempt history
+//!   with outcomes and the seeded backoff schedule; deterministic
+//!   whenever the attempts themselves are (no chaos, no wall-clock-
+//!   bound outcomes). Soft-deadline requeues are *not* recorded here —
+//!   they are wall-clock shaped by nature and live in the side-channel.
+//! * **wall-clock side-channel** ([`wallclock_json`]) — durations,
+//!   requeue counts, the chaos ledger; never expected to reproduce.
+
+use super::backoff;
+use super::chaos::{send_signal, ChaosAction, ChaosEngine, FORGIVENESS_CAP};
+use super::heartbeat::{complete_records, HeartbeatTail};
+use super::outcome::{classify, KillReason, Outcome};
+use super::queue::{Claim, Scheduler};
+use super::spec::CampaignSpec;
+use super::status::{BoardSnapshot, StatusSink, WorkerView};
+use super::{canonical_result_digest, resolve_program};
+use dtsvliw_json::Json;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How the engine is driven (the bin's command line, in parsed form).
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Worker slots (`--jobs`).
+    pub workers: usize,
+    /// In-flight spawn window (back-pressure); defaults to `workers`.
+    pub spawn_window: Option<usize>,
+    /// Arm the chaos harness with this seed.
+    pub chaos_seed: Option<u64>,
+    /// Silence child stdout and per-attempt log lines.
+    pub quiet: bool,
+}
+
+/// One recorded (budget-relevant) attempt.
+#[derive(Debug, Clone)]
+pub struct AttemptRecord {
+    pub outcome: Outcome,
+    pub resumed: bool,
+    /// The failure was chaos-caused or a quarantined corrupt snapshot:
+    /// it consumed no retry budget.
+    pub forgiven: bool,
+    /// Backoff scheduled after this attempt (`None` when terminal).
+    pub backoff_ms: Option<u64>,
+}
+
+/// A job's final, merged state.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    pub id: u64,
+    pub name: String,
+    pub succeeded: bool,
+    /// Canonical digest of the declared result file (succeeded jobs
+    /// only; `"missing"` when declared but absent).
+    pub result_digest: Option<String>,
+    pub attempts: Vec<AttemptRecord>,
+    /// Retries consumed (forgiven attempts excluded).
+    pub consumed_retries: u32,
+    pub forgiven: u64,
+    pub requeues: u64,
+    pub wall_ms: u64,
+}
+
+/// Everything `run_campaign` produced.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Sorted by job id — the merge key.
+    pub jobs: Vec<JobResult>,
+    pub succeeded: u64,
+    pub failed: u64,
+    pub workers: usize,
+    pub wall_ms: u64,
+    /// The chaos action ledger, when `--chaos` was armed.
+    pub chaos: Option<Json>,
+}
+
+// ---------------------------------------------------------------------
+// Shared engine state
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct JobRun {
+    consumed: u32,
+    forgiven: u64,
+    requeues: u64,
+    wall_ms: u64,
+    records: Vec<AttemptRecord>,
+    done: Option<bool>,
+    /// Chaos marks against the in-flight attempt, cleared when it ends.
+    chaos_killed: bool,
+    chaos_frozen: bool,
+}
+
+struct RunningChild {
+    pid: u32,
+    job: usize,
+}
+
+struct EngineState {
+    sched: Scheduler,
+    runs: Vec<JobRun>,
+    running: Vec<RunningChild>,
+    workers: Vec<WorkerView>,
+    done: usize,
+    failed: usize,
+    finished_instructions: u64,
+}
+
+struct Shared<'a> {
+    spec: &'a CampaignSpec,
+    opts: &'a EngineOptions,
+    state: Mutex<EngineState>,
+    cv: Condvar,
+    sink: Mutex<StatusSink>,
+    over: AtomicBool,
+    started: Instant,
+}
+
+impl Shared<'_> {
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Clear the status line and log one line, keeping redraws clean.
+    fn log(&self, line: &str) {
+        if self.opts.quiet {
+            return;
+        }
+        let mut sink = self.sink.lock().unwrap();
+        sink.clear();
+        eprintln!("{line}");
+    }
+
+    fn board(&self, st: &EngineState) -> BoardSnapshot {
+        BoardSnapshot {
+            total: self.spec.jobs.len(),
+            done: st.done,
+            failed: st.failed,
+            finished_instructions: st.finished_instructions,
+            workers: st.workers.clone(),
+            shard_depths: st.sched.shard_depths(),
+        }
+    }
+}
+
+/// True when the attempt's failure is attributable to the chaos
+/// harness: a strike mark is pending and the outcome is one a strike
+/// produces (a kill lands as a signal; a freeze lands as a stall or a
+/// timeout, depending on which detector fires first).
+fn chaos_caused(outcome: Outcome, killed_mark: bool, frozen_mark: bool) -> bool {
+    match outcome {
+        Outcome::Signal(_) => killed_mark,
+        Outcome::Timeout | Outcome::Stalled => killed_mark || frozen_mark,
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// The worker loop
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared<'_>, w: usize) {
+    loop {
+        let job_idx = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                match st
+                    .sched
+                    .claim(w, shared.started.elapsed().as_millis() as u64)
+                {
+                    Claim::Done => return,
+                    Claim::Run(j) => break j,
+                    Claim::Wait => {
+                        st = shared
+                            .cv
+                            .wait_timeout(st, Duration::from_millis(10))
+                            .unwrap()
+                            .0;
+                    }
+                }
+            }
+        };
+        run_one_attempt(shared, w, job_idx);
+        shared.cv.notify_all();
+    }
+}
+
+fn run_one_attempt(shared: &Shared<'_>, w: usize, job_idx: usize) {
+    let job = &shared.spec.jobs[job_idx];
+    let latest = job.snapshot_dir.as_deref().map(dtsvliw_core::latest_path);
+
+    // Resume from the latest durable snapshot whenever one exists and
+    // the job did not ask for --resume itself — including on the first
+    // attempt, so a campaign re-run after a supervisor crash picks up
+    // where the dead one left off.
+    let mut argv = job.argv.clone();
+    let resumed = match &latest {
+        Some(p) if p.exists() && !argv.iter().any(|a| a == "--resume") => {
+            argv.push("--resume".to_string());
+            argv.push(p.display().to_string());
+            true
+        }
+        _ => false,
+    };
+
+    let (seq, requeues_so_far) = {
+        let st = shared.state.lock().unwrap();
+        (st.runs[job_idx].records.len(), st.runs[job_idx].requeues)
+    };
+    shared.log(&format!(
+        "supervise: w{w} job `{}` attempt {}/{}{}",
+        job.name,
+        seq + 1,
+        job.retries + 1,
+        if resumed {
+            " (resuming from snapshot)"
+        } else {
+            ""
+        }
+    ));
+
+    let program = resolve_program(&argv[0]);
+    let mut cmd = Command::new(&program);
+    cmd.args(&argv[1..]);
+    if shared.opts.quiet || shared.opts.workers > 1 {
+        cmd.stdout(Stdio::null());
+    }
+    let spawn_time = Instant::now();
+    let mut child = match cmd.spawn() {
+        Ok(c) => c,
+        Err(e) => {
+            shared.log(&format!(
+                "supervise: cannot spawn {}: {e}",
+                program.display()
+            ));
+            finish_attempt(shared, w, job_idx, Outcome::Error(127), resumed, spawn_time);
+            return;
+        }
+    };
+
+    {
+        let mut st = shared.state.lock().unwrap();
+        st.running.push(RunningChild {
+            pid: child.id(),
+            job: job_idx,
+        });
+        st.workers[w] = WorkerView {
+            job: Some(job.name.clone()),
+            progress: None,
+        };
+    }
+
+    let mut tail = job.heartbeat.clone().map(HeartbeatTail::new);
+    let stall = job
+        .effective_stall_ms(shared.spec.stall_ms)
+        .map(Duration::from_millis);
+    let timeout = Duration::from_millis(job.timeout_ms);
+    let soft = job.soft_deadline_ms.map(Duration::from_millis);
+    let mut last_change = Instant::now();
+    let mut last_progress = None;
+    let mut killed: Option<KillReason> = None;
+
+    let outcome = loop {
+        match child.try_wait() {
+            Ok(Some(status)) => break classify(&status, killed),
+            Ok(None) => {}
+            Err(e) => {
+                shared.log(&format!("supervise: wait failed: {e}"));
+                let _ = child.kill();
+                let _ = child.wait();
+                break Outcome::Error(-1);
+            }
+        }
+        let elapsed = spawn_time.elapsed();
+        if killed.is_none() {
+            if elapsed >= timeout {
+                killed = Some(KillReason::Timeout);
+            } else if stall.is_some_and(|s| last_change.elapsed() >= s) {
+                killed = Some(KillReason::Stalled);
+            } else if soft.is_some_and(|s| elapsed >= s)
+                && requeues_so_far < shared.spec.max_requeues
+                && latest.as_ref().is_some_and(|p| p.exists())
+            {
+                // Checkpoint-and-requeue: the periodic snapshot IS the
+                // checkpoint, so rebalancing the remainder is a kill +
+                // requeue against latest.json.
+                killed = Some(KillReason::Requeue);
+            }
+            if killed.is_some() {
+                let _ = child.kill();
+            }
+        }
+        if let Some(t) = tail.as_mut() {
+            let p = t.poll();
+            if p != last_progress {
+                last_progress = p;
+                last_change = Instant::now();
+            }
+            let mut st = shared.state.lock().unwrap();
+            st.workers[w].progress = p;
+        }
+        std::thread::sleep(Duration::from_millis(4));
+    };
+
+    // Credit the attempt's final heartbeat before deregistering, so the
+    // aggregate throughput survives job completion.
+    let final_progress = tail.as_mut().and_then(HeartbeatTail::poll);
+    if outcome == Outcome::Success {
+        if let Some(p) = final_progress {
+            let mut st = shared.state.lock().unwrap();
+            st.finished_instructions += p.instructions;
+        }
+    }
+    finish_attempt(shared, w, job_idx, outcome, resumed, spawn_time);
+}
+
+/// Classify-and-schedule: everything that happens under the state lock
+/// once an attempt has ended.
+fn finish_attempt(
+    shared: &Shared<'_>,
+    w: usize,
+    job_idx: usize,
+    outcome: Outcome,
+    resumed: bool,
+    spawn_time: Instant,
+) {
+    let job = &shared.spec.jobs[job_idx];
+    let now_ms = shared.now_ms();
+    let mut st = shared.state.lock().unwrap();
+    let st = &mut *st;
+
+    st.running.retain(|r| r.job != job_idx);
+    st.workers[w] = WorkerView::default();
+    let run = &mut st.runs[job_idx];
+    let (chaos_killed, chaos_frozen) = (run.chaos_killed, run.chaos_frozen);
+    run.chaos_killed = false;
+    run.chaos_frozen = false;
+    run.wall_ms += spawn_time.elapsed().as_millis() as u64;
+
+    if outcome.is_requeue() {
+        // Not a failure, not recorded in the attempts log (requeues are
+        // wall-clock shaped); immediately claimable by any worker.
+        run.requeues += 1;
+        st.sched.requeue(job_idx, w, now_ms);
+        shared.log(&format!(
+            "supervise: w{w} job `{}` past soft deadline: checkpointed and requeued",
+            job.name
+        ));
+        return;
+    }
+
+    if outcome == Outcome::Success {
+        run.records.push(AttemptRecord {
+            outcome,
+            resumed,
+            forgiven: false,
+            backoff_ms: None,
+        });
+        run.done = Some(true);
+        st.done += 1;
+        st.sched.finish(job_idx);
+        return;
+    }
+
+    // A corrupt snapshot must not poison every further retry — and must
+    // not poison *sibling* jobs either, so it is quarantined (renamed,
+    // never deleted) inside this job's own snapshot directory.
+    if outcome == Outcome::CorruptSnapshot {
+        if let Some(dir) = &job.snapshot_dir {
+            let tag = job.id * 1000 + run.records.len() as u64;
+            match dtsvliw_core::quarantine_latest(dir, tag) {
+                Ok(Some(dest)) => shared.log(&format!(
+                    "supervise: w{w} job `{}`: corrupt snapshot quarantined to {}, retrying fresh",
+                    job.name,
+                    dest.display()
+                )),
+                Ok(None) => {}
+                Err(e) => shared.log(&format!(
+                    "supervise: w{w} job `{}`: quarantine failed: {e}",
+                    job.name
+                )),
+            }
+        }
+    }
+
+    let forgivable =
+        outcome == Outcome::CorruptSnapshot || chaos_caused(outcome, chaos_killed, chaos_frozen);
+    let forgiven = forgivable && run.forgiven < FORGIVENESS_CAP;
+    // The backoff schedule is keyed by *consumed* retries, not raw
+    // attempt count: forgiveness means the failure did not happen, so
+    // a chaos storm must not escalate a job toward the backoff cap
+    // (and in undisturbed runs the two counts coincide anyway).
+    let attempt_key = run.consumed;
+    if forgiven {
+        run.forgiven += 1;
+    } else {
+        run.consumed += 1;
+    }
+    let terminal = !forgiven && run.consumed > job.retries;
+    let backoff_ms = if terminal {
+        None
+    } else {
+        Some(backoff::delay_ms(
+            shared.spec.seed,
+            job.id,
+            attempt_key,
+            shared.spec.backoff_ms,
+        ))
+    };
+    run.records.push(AttemptRecord {
+        outcome,
+        resumed,
+        forgiven,
+        backoff_ms,
+    });
+    if terminal {
+        run.done = Some(false);
+        st.done += 1;
+        st.failed += 1;
+        st.sched.finish(job_idx);
+        shared.log(&format!(
+            "supervise: w{w} job `{}` failed ({})",
+            job.name,
+            outcome.label()
+        ));
+    } else {
+        let delay = backoff_ms.unwrap_or(0);
+        st.sched.requeue(job_idx, w, now_ms + delay);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chaos and status threads
+// ---------------------------------------------------------------------
+
+fn chaos_loop(shared: &Shared<'_>, seed: u64) -> ChaosEngine {
+    let mut engine = ChaosEngine::new(seed);
+    let mut frozen: Vec<(u32, Instant)> = Vec::new();
+    while !shared.over.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(50));
+        let now = Instant::now();
+        frozen.retain(|(pid, until)| {
+            if now >= *until {
+                send_signal(*pid, "CONT");
+                false
+            } else {
+                true
+            }
+        });
+        let Some(action) = engine.draw(6) else {
+            continue;
+        };
+        let mut st = shared.state.lock().unwrap();
+        match action {
+            ChaosAction::Kill => {
+                if !st.running.is_empty() {
+                    let victim = engine.pick(st.running.len());
+                    let (pid, job) = (st.running[victim].pid, st.running[victim].job);
+                    send_signal(pid, "KILL");
+                    st.runs[job].chaos_killed = true;
+                    engine.kills += 1;
+                }
+            }
+            ChaosAction::Freeze(ms) => {
+                let candidates: Vec<usize> = (0..st.running.len())
+                    .filter(|&i| !frozen.iter().any(|(p, _)| *p == st.running[i].pid))
+                    .collect();
+                if !candidates.is_empty() {
+                    let i = candidates[engine.pick(candidates.len())];
+                    let (pid, job) = (st.running[i].pid, st.running[i].job);
+                    if send_signal(pid, "STOP") {
+                        frozen.push((pid, now + Duration::from_millis(ms)));
+                        st.runs[job].chaos_frozen = true;
+                        engine.freezes += 1;
+                    }
+                }
+            }
+            ChaosAction::CorruptSnapshot => {
+                let candidates: Vec<usize> = (0..shared.spec.jobs.len())
+                    .filter(|&j| st.runs[j].done.is_none())
+                    .filter(|&j| shared.spec.jobs[j].snapshot_dir.is_some())
+                    .collect();
+                if !candidates.is_empty() {
+                    let j = candidates[engine.pick(candidates.len())];
+                    let dir = shared.spec.jobs[j].snapshot_dir.as_deref().unwrap();
+                    engine.corrupt_file(&dtsvliw_core::latest_path(dir));
+                }
+            }
+            ChaosAction::TearHeartbeat => {
+                let candidates: Vec<usize> = st
+                    .running
+                    .iter()
+                    .map(|r| r.job)
+                    .filter(|&j| shared.spec.jobs[j].heartbeat.is_some())
+                    .collect();
+                if !candidates.is_empty() {
+                    let j = candidates[engine.pick(candidates.len())];
+                    engine.tear_heartbeat(shared.spec.jobs[j].heartbeat.as_deref().unwrap());
+                }
+            }
+        }
+    }
+    for (pid, _) in frozen {
+        send_signal(pid, "CONT");
+    }
+    engine
+}
+
+fn status_loop(shared: &Shared<'_>) {
+    while !shared.over.load(Ordering::Relaxed) {
+        // Never hold the sink lock while taking the state lock: workers
+        // log (state -> sink), so nesting sink -> state would invert the
+        // order and risk deadlock.
+        if shared.sink.lock().unwrap().due() {
+            let snapshot = {
+                let st = shared.state.lock().unwrap();
+                shared.board(&st)
+            };
+            shared.sink.lock().unwrap().refresh(&snapshot);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    shared.sink.lock().unwrap().clear();
+}
+
+// ---------------------------------------------------------------------
+// Entry point and the deterministic merge
+// ---------------------------------------------------------------------
+
+/// Run the whole campaign: fan the jobs across `opts.workers` slots,
+/// optionally under chaos, and merge the results deterministically.
+pub fn run_campaign(spec: &CampaignSpec, opts: &EngineOptions) -> CampaignResult {
+    let workers = opts.workers.max(1);
+    let spawn_window = opts.spawn_window.unwrap_or(workers).max(1);
+    let tenants: Vec<Option<&str>> = spec.jobs.iter().map(|j| j.tenant.as_deref()).collect();
+    let shared = Shared {
+        spec,
+        opts,
+        state: Mutex::new(EngineState {
+            sched: Scheduler::new(&tenants, &spec.quotas, workers, spawn_window),
+            runs: spec.jobs.iter().map(|_| JobRun::default()).collect(),
+            running: Vec::new(),
+            workers: vec![WorkerView::default(); workers],
+            done: 0,
+            failed: 0,
+            finished_instructions: 0,
+        }),
+        cv: Condvar::new(),
+        sink: Mutex::new(StatusSink::new(!opts.quiet)),
+        over: AtomicBool::new(false),
+        started: Instant::now(),
+    };
+
+    let shared_ref = &shared;
+    let chaos = std::thread::scope(|scope| {
+        let chaos_handle = opts
+            .chaos_seed
+            .map(|seed| scope.spawn(move || chaos_loop(shared_ref, seed)));
+        let status_handle = scope.spawn(move || status_loop(shared_ref));
+        let worker_handles: Vec<_> = (0..workers)
+            .map(|w| scope.spawn(move || worker_loop(shared_ref, w)))
+            .collect();
+        for h in worker_handles {
+            h.join().expect("worker thread panicked");
+        }
+        shared_ref.over.store(true, Ordering::Relaxed);
+        status_handle.join().expect("status thread panicked");
+        chaos_handle.map(|h| h.join().expect("chaos thread panicked"))
+    });
+
+    let st = shared.state.into_inner().unwrap();
+    let mut jobs: Vec<JobResult> = spec
+        .jobs
+        .iter()
+        .zip(st.runs)
+        .map(|(job, run)| {
+            let succeeded = run.done == Some(true);
+            let result_digest = match (&job.result, succeeded) {
+                (Some(path), true) => Some(
+                    std::fs::read_to_string(path)
+                        .ok()
+                        .as_deref()
+                        .and_then(canonical_result_digest)
+                        .unwrap_or_else(|| "missing".to_string()),
+                ),
+                _ => None,
+            };
+            JobResult {
+                id: job.id,
+                name: job.name.clone(),
+                succeeded,
+                result_digest,
+                attempts: run.records,
+                consumed_retries: run.consumed,
+                forgiven: run.forgiven,
+                requeues: run.requeues,
+                wall_ms: run.wall_ms,
+            }
+        })
+        .collect();
+    // The merge key: completion order, worker count and chaos must not
+    // show through.
+    jobs.sort_by_key(|j| j.id);
+    let succeeded = jobs.iter().filter(|j| j.succeeded).count() as u64;
+    let failed = jobs.len() as u64 - succeeded;
+    CampaignResult {
+        jobs,
+        succeeded,
+        failed,
+        workers,
+        wall_ms: shared.started.elapsed().as_millis() as u64,
+        chaos: chaos.map(|e| e.summary_json()),
+    }
+}
+
+/// The byte-reproducible campaign report: job identity, final status,
+/// and the canonical result digest — nothing wall-clock shaped, nothing
+/// order-dependent, nothing chaos can reach.
+pub fn report_json(spec: &CampaignSpec, result: &CampaignResult) -> Json {
+    let jobs = result
+        .jobs
+        .iter()
+        .map(|j| {
+            Json::obj([
+                ("id", Json::U64(j.id)),
+                ("name", Json::Str(j.name.clone())),
+                (
+                    "status",
+                    Json::Str(if j.succeeded { "succeeded" } else { "failed" }.to_string()),
+                ),
+                (
+                    "result",
+                    match &j.result_digest {
+                        Some(d) => Json::Str(d.clone()),
+                        None => Json::Null,
+                    },
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("format", Json::Str("dtsvliw-campaign-report".to_string())),
+        ("schema", Json::U64(2)),
+        ("seed", Json::U64(spec.seed)),
+        ("backoff_ms", Json::U64(spec.backoff_ms)),
+        ("jobs", Json::Arr(jobs)),
+        ("succeeded", Json::U64(result.succeeded)),
+        ("failed", Json::U64(result.failed)),
+    ])
+}
+
+/// The attempt-history side-channel: outcomes, resume flags, the seeded
+/// backoff schedule, forgiveness accounting.
+pub fn attempts_json(spec: &CampaignSpec, result: &CampaignResult) -> Json {
+    let jobs = result
+        .jobs
+        .iter()
+        .map(|j| {
+            let attempts = j
+                .attempts
+                .iter()
+                .enumerate()
+                .map(|(n, a)| {
+                    Json::obj([
+                        ("attempt", Json::U64(n as u64)),
+                        ("outcome", Json::Str(a.outcome.label().to_string())),
+                        (
+                            "detail",
+                            match a.outcome {
+                                Outcome::Signal(sig) => Json::U64(sig as u64),
+                                Outcome::Error(code) => Json::I64(code as i64),
+                                _ => Json::Null,
+                            },
+                        ),
+                        ("resumed", Json::Bool(a.resumed)),
+                        ("forgiven", Json::Bool(a.forgiven)),
+                        (
+                            "backoff_ms",
+                            match a.backoff_ms {
+                                Some(ms) => Json::U64(ms),
+                                None => Json::Null,
+                            },
+                        ),
+                    ])
+                })
+                .collect();
+            Json::obj([
+                ("id", Json::U64(j.id)),
+                ("name", Json::Str(j.name.clone())),
+                (
+                    "status",
+                    Json::Str(if j.succeeded { "succeeded" } else { "failed" }.to_string()),
+                ),
+                ("attempts_used", Json::U64(j.attempts.len() as u64)),
+                ("consumed_retries", Json::U64(j.consumed_retries as u64)),
+                ("forgiven", Json::U64(j.forgiven)),
+                ("attempts", Json::Arr(attempts)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("format", Json::Str("dtsvliw-campaign-attempts".to_string())),
+        ("seed", Json::U64(spec.seed)),
+        ("jobs", Json::Arr(jobs)),
+    ])
+}
+
+/// The wall-clock side-channel: durations, requeues, worker count, the
+/// chaos ledger. Nondeterministic by design, like `BENCH_wallclock`.
+pub fn wallclock_json(result: &CampaignResult) -> Json {
+    let jobs = result
+        .jobs
+        .iter()
+        .map(|j| {
+            Json::obj([
+                ("id", Json::U64(j.id)),
+                ("name", Json::Str(j.name.clone())),
+                ("wall_ms", Json::U64(j.wall_ms)),
+                ("requeues", Json::U64(j.requeues)),
+                ("forgiven", Json::U64(j.forgiven)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        (
+            "format",
+            Json::Str("dtsvliw-campaign-wallclock".to_string()),
+        ),
+        ("workers", Json::U64(result.workers as u64)),
+        ("wall_ms", Json::U64(result.wall_ms)),
+        ("chaos", result.chaos.clone().unwrap_or(Json::Null)),
+        ("jobs", Json::Arr(jobs)),
+    ])
+}
+
+/// Merge every job's heartbeat stream into one deterministic JSONL
+/// timeline: jobs in id order, records in file order, each line
+/// augmented with its job name. Torn trailing records are skipped
+/// (heartbeat.rs). Returns the rendered text and the record count.
+pub fn merge_timeline(spec: &CampaignSpec) -> (String, u64) {
+    let mut by_id: Vec<&super::spec::JobSpec> = spec.jobs.iter().collect();
+    by_id.sort_by_key(|j| j.id);
+    let mut merged = String::new();
+    let mut records = 0u64;
+    for job in by_id {
+        let Some(hb) = &job.heartbeat else { continue };
+        let Ok(text) = std::fs::read_to_string(hb) else {
+            continue;
+        };
+        for rec in complete_records(&text) {
+            let Json::Obj(mut pairs) = rec else { continue };
+            pairs.insert(0, ("job".to_string(), Json::Str(job.name.clone())));
+            merged.push_str(&Json::Obj(pairs).to_string());
+            merged.push('\n');
+            records += 1;
+        }
+    }
+    (merged, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervise::spec::parse_campaign;
+
+    fn fake_result(order: &[u64]) -> CampaignResult {
+        let jobs = order
+            .iter()
+            .map(|&id| JobResult {
+                id,
+                name: format!("job{id}"),
+                succeeded: true,
+                result_digest: Some(format!("fnv64:{id:016x}")),
+                attempts: vec![AttemptRecord {
+                    outcome: Outcome::Success,
+                    resumed: false,
+                    forgiven: false,
+                    backoff_ms: None,
+                }],
+                consumed_retries: 0,
+                forgiven: 0,
+                requeues: id, // wall-clock shaped: must not reach the report
+                wall_ms: 1000 + id,
+            })
+            .collect();
+        CampaignResult {
+            jobs,
+            succeeded: order.len() as u64,
+            failed: 0,
+            workers: 8,
+            wall_ms: 12345,
+            chaos: None,
+        }
+    }
+
+    #[test]
+    fn report_is_free_of_wall_clock_and_order_effects() {
+        let spec = parse_campaign(
+            r#"{ "seed": 3, "jobs": [
+                 { "name": "job0", "argv": ["x"], "id": 0 },
+                 { "name": "job1", "argv": ["x"], "id": 1 } ] }"#,
+        )
+        .unwrap();
+        let mut a = fake_result(&[0, 1]);
+        let mut b = fake_result(&[0, 1]);
+        // Different wall clocks, worker counts and requeue histories...
+        a.wall_ms = 1;
+        b.wall_ms = 999_999;
+        a.workers = 1;
+        b.workers = 64;
+        a.jobs[0].wall_ms = 5;
+        b.jobs[0].wall_ms = 50_000;
+        a.jobs[1].requeues = 0;
+        b.jobs[1].requeues = 7;
+        // ...must render byte-identically.
+        assert_eq!(
+            report_json(&spec, &a).to_string_pretty(),
+            report_json(&spec, &b).to_string_pretty()
+        );
+        let text = report_json(&spec, &a).to_string_pretty();
+        assert!(text.contains("\"succeeded\": 2"), "{text}");
+        assert!(!text.contains("wall"), "report must carry no wall data");
+    }
+
+    #[test]
+    fn chaos_caused_matrix() {
+        assert!(chaos_caused(Outcome::Signal(9), true, false));
+        assert!(!chaos_caused(Outcome::Signal(9), false, true));
+        assert!(chaos_caused(Outcome::Stalled, false, true));
+        assert!(chaos_caused(Outcome::Timeout, false, true));
+        assert!(chaos_caused(Outcome::Timeout, true, false));
+        assert!(!chaos_caused(Outcome::Error(1), true, true));
+        assert!(!chaos_caused(Outcome::Watchdog, true, true));
+        // Corrupt snapshots are forgiven unconditionally, not via marks.
+        assert!(!chaos_caused(Outcome::CorruptSnapshot, false, false));
+    }
+
+    #[test]
+    fn attempts_log_carries_the_schedule_but_the_report_does_not() {
+        let spec = parse_campaign(
+            r#"{ "seed": 3, "jobs": [ { "name": "job0", "argv": ["x"], "id": 0 } ] }"#,
+        )
+        .unwrap();
+        let mut r = fake_result(&[0]);
+        r.jobs[0].attempts.insert(
+            0,
+            AttemptRecord {
+                outcome: Outcome::Timeout,
+                resumed: false,
+                forgiven: false,
+                backoff_ms: Some(150),
+            },
+        );
+        let attempts = attempts_json(&spec, &r).to_string_pretty();
+        assert!(attempts.contains("\"outcome\": \"timeout\""), "{attempts}");
+        assert!(attempts.contains("\"backoff_ms\": 150"), "{attempts}");
+        let report = report_json(&spec, &r).to_string_pretty();
+        assert!(!report.contains("timeout"), "{report}");
+        assert!(!report.contains("backoff_ms\": 150"), "{report}");
+    }
+}

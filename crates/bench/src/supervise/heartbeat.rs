@@ -1,0 +1,185 @@
+//! Torn-line-safe heartbeat tailing.
+//!
+//! A child killed mid-write (SIGKILL at a timeout, a chaos strike)
+//! leaves its heartbeat JSONL file ending in a partial record, and a
+//! chaos tear can splice garbage into the middle of the stream. Both
+//! the incremental tailer and the whole-file reader therefore treat the
+//! stream defensively: a trailing line without its newline is *waited
+//! on*, never parsed; a complete line that fails to parse (or lacks the
+//! progress fields) is *skipped*, never an error.
+
+use dtsvliw_json::Json;
+use std::path::PathBuf;
+
+/// The progress a heartbeat record carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    pub cycle: u64,
+    pub instructions: u64,
+}
+
+fn progress_of(j: &Json) -> Option<Progress> {
+    Some(Progress {
+        cycle: j.get("cycle").and_then(Json::as_u64)?,
+        instructions: j.get("instructions").and_then(Json::as_u64)?,
+    })
+}
+
+/// Incremental reader over a child's heartbeat JSONL file. Tracks a
+/// byte offset so each poll only parses new complete lines; a file that
+/// shrank (a retry recreated it) resets the tail to the start.
+pub struct HeartbeatTail {
+    path: PathBuf,
+    offset: u64,
+    last: Option<Progress>,
+}
+
+impl HeartbeatTail {
+    pub fn new(path: PathBuf) -> Self {
+        HeartbeatTail {
+            path,
+            offset: 0,
+            last: None,
+        }
+    }
+
+    /// Consume any new complete lines and return the freshest progress
+    /// seen so far.
+    pub fn poll(&mut self) -> Option<Progress> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = std::fs::File::open(&self.path).ok()?;
+        let len = f.metadata().ok()?.len();
+        if len < self.offset {
+            self.offset = 0;
+            self.last = None;
+        }
+        if len > self.offset {
+            f.seek(SeekFrom::Start(self.offset)).ok()?;
+            let mut buf = String::new();
+            f.take(len - self.offset).read_to_string(&mut buf).ok()?;
+            // Only complete lines: a record mid-write waits for the
+            // next poll rather than being parsed half-torn.
+            let complete = buf.rfind('\n').map_or(0, |p| p + 1);
+            for line in buf[..complete].lines() {
+                if let Some(p) = Json::parse(line).ok().as_ref().and_then(progress_of) {
+                    self.last = Some(p);
+                }
+            }
+            self.offset += complete as u64;
+        }
+        self.last
+    }
+}
+
+/// Every complete, well-formed record in a heartbeat stream's text, in
+/// file order. A trailing record torn by a mid-write kill (no final
+/// newline) is skipped, as is any line that does not parse — the merge
+/// stage must survive whatever a SIGKILL left behind.
+pub fn complete_records(text: &str) -> Vec<Json> {
+    let complete = text.rfind('\n').map_or(0, |p| p + 1);
+    text[..complete]
+        .lines()
+        .filter_map(|line| Json::parse(line).ok())
+        .filter(|j| matches!(j, Json::Obj(_)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn record(seq: u64, cycle: u64) -> String {
+        format!(
+            "{{\"seq\": {seq}, \"cycle\": {cycle}, \"instructions\": {}}}\n",
+            cycle * 2
+        )
+    }
+
+    #[test]
+    fn torn_final_record_is_skipped_not_an_error() {
+        let text = format!("{}{}{{\"seq\": 2, \"cyc", record(0, 100), record(1, 200));
+        let records = complete_records(&text);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].get("cycle").unwrap().as_u64(), Some(200));
+    }
+
+    #[test]
+    fn garbage_middle_lines_are_skipped() {
+        let text = format!("{}###not json###\n{}", record(0, 100), record(1, 200));
+        assert_eq!(complete_records(&text).len(), 2);
+        // Non-object lines are not records either.
+        assert_eq!(complete_records("42\n[1,2]\n").len(), 0);
+    }
+
+    #[test]
+    fn tail_waits_on_partial_writes_then_consumes_them() {
+        let dir = std::env::temp_dir().join(format!("dtsvliw-hbtail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hb.jsonl");
+        let mut f = std::fs::File::create(&path).unwrap();
+        let mut tail = HeartbeatTail::new(path.clone());
+
+        write!(f, "{}", record(0, 100)).unwrap();
+        // A torn half-record at the end: the complete record before it
+        // must land, the torn one must wait.
+        write!(f, "{{\"seq\": 1, \"cycle\": 2").unwrap();
+        f.flush().unwrap();
+        assert_eq!(tail.poll().map(|p| p.cycle), Some(100));
+
+        // The write completes; the next poll must pick it up whole.
+        writeln!(f, "00, \"instructions\": 400}}").unwrap();
+        f.flush().unwrap();
+        assert_eq!(
+            tail.poll(),
+            Some(Progress {
+                cycle: 200,
+                instructions: 400
+            })
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_stream_killed_mid_record_keeps_last_complete_progress() {
+        let dir = std::env::temp_dir().join(format!("dtsvliw-hbkill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hb.jsonl");
+        // Simulate what a SIGKILL leaves: complete records then a torn
+        // tail, never finished.
+        std::fs::write(
+            &path,
+            format!(
+                "{}{}{{\"seq\": 2, \"cycle\": 3",
+                record(0, 100),
+                record(1, 200)
+            ),
+        )
+        .unwrap();
+        let mut tail = HeartbeatTail::new(path);
+        assert_eq!(tail.poll().map(|p| p.cycle), Some(200));
+        // Polling again must be stable, not error or re-read.
+        assert_eq!(tail.poll().map(|p| p.cycle), Some(200));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shrunk_file_resets_the_tail() {
+        let dir = std::env::temp_dir().join(format!("dtsvliw-hbshrink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hb.jsonl");
+        std::fs::write(&path, format!("{}{}", record(0, 100), record(1, 900))).unwrap();
+        let mut tail = HeartbeatTail::new(path.clone());
+        assert_eq!(tail.poll().map(|p| p.cycle), Some(900));
+        // A retry recreates the file from scratch: smaller, earlier.
+        std::fs::write(&path, record(0, 50)).unwrap();
+        assert_eq!(tail.poll().map(|p| p.cycle), Some(50));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_no_progress() {
+        let mut tail = HeartbeatTail::new(PathBuf::from("/nonexistent/hb.jsonl"));
+        assert_eq!(tail.poll(), None);
+    }
+}

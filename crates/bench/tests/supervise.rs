@@ -1,0 +1,287 @@
+//! End-to-end tests for the sharded campaign supervisor: determinism
+//! across worker counts, stall classification, corrupt-snapshot
+//! quarantine under parallel retries, chaos-proofed recovery, and
+//! spec rejection with the offending field named.
+//!
+//! Each test runs the real `dtsvliw_supervise` binary in its own fresh
+//! scratch directory (relative paths in a spec resolve against the
+//! supervisor's working directory, and leftover snapshots would be
+//! auto-resumed).
+
+use dtsvliw_json::Json;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const SUPERVISE: &str = env!("CARGO_BIN_EXE_dtsvliw_supervise");
+// Referencing the simulator binary forces cargo to build it, so the
+// supervisor's sibling-of-current-exe resolution finds it.
+const RUN: &str = env!("CARGO_BIN_EXE_dtsvliw_run");
+
+/// A fresh scratch directory under the system temp dir (the workspace
+/// has no tempfile dependency).
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dtsvliw-supervise-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("scratch dir");
+    d
+}
+
+struct Run {
+    code: i32,
+    stderr: String,
+}
+
+fn supervise(dir: &Path, spec: &str, extra: &[&str]) -> Run {
+    std::fs::write(dir.join("spec.json"), spec).expect("write spec");
+    let out = Command::new(SUPERVISE)
+        .current_dir(dir)
+        .arg("spec.json")
+        .args(extra)
+        .output()
+        .expect("run dtsvliw_supervise");
+    Run {
+        code: out.status.code().unwrap_or(-1),
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+    }
+}
+
+fn read(dir: &Path, name: &str) -> String {
+    std::fs::read_to_string(dir.join(name))
+        .unwrap_or_else(|e| panic!("read {name} in {}: {e}", dir.display()))
+}
+
+/// Three shell jobs — two clean, one failing deterministically — so the
+/// determinism check covers success paths, the retry loop, and the
+/// seeded backoff schedule.
+const MIXED_SPEC: &str = r#"{ "seed": 17, "backoff_ms": 2,
+  "quotas": { "alice": 1 },
+  "jobs": [
+    { "name": "ok-a", "tenant": "alice", "timeout_ms": 30000, "retries": 1,
+      "argv": ["sh", "-c", "echo '{\"v\": 1}' > a.json"], "result": "a.json" },
+    { "name": "ok-b", "tenant": "alice", "timeout_ms": 30000, "retries": 1,
+      "argv": ["sh", "-c", "exit 0"] },
+    { "name": "always-fails", "timeout_ms": 30000, "retries": 2,
+      "argv": ["sh", "-c", "exit 7"] } ] }"#;
+
+#[test]
+fn report_and_attempts_are_byte_identical_across_worker_counts() {
+    let serial = scratch("det-serial");
+    let wide = scratch("det-wide");
+    let outs = ["--out", "r.json", "--attempts-out", "at.json", "--quiet"];
+    let a = supervise(&serial, MIXED_SPEC, &[&["--jobs", "1"], &outs[..]].concat());
+    let b = supervise(&wide, MIXED_SPEC, &[&["--jobs", "8"], &outs[..]].concat());
+    // One job fails by design, so both runs exit 1.
+    assert_eq!((a.code, b.code), (1, 1), "{}\n{}", a.stderr, b.stderr);
+    assert_eq!(
+        read(&serial, "r.json"),
+        read(&wide, "r.json"),
+        "report must not depend on worker count"
+    );
+    assert_eq!(
+        read(&serial, "at.json"),
+        read(&wide, "at.json"),
+        "attempt history (incl. backoff schedule) must not depend on worker count"
+    );
+    let report = read(&serial, "r.json");
+    assert!(report.contains("\"succeeded\": 2"), "{report}");
+    assert!(report.contains("\"failed\": 1"), "{report}");
+    let attempts = read(&serial, "at.json");
+    assert!(attempts.contains("\"outcome\": \"error\""), "{attempts}");
+    assert!(attempts.contains("\"detail\": 7"), "{attempts}");
+}
+
+#[test]
+fn stalled_job_is_killed_and_classified_distinctly() {
+    let dir = scratch("stall");
+    // One heartbeat, then silence: progress goes stale while the child
+    // stays alive, which must be classified `stalled`, not `timeout`.
+    let spec = r#"{ "seed": 5, "backoff_ms": 1,
+      "jobs": [
+        { "name": "wedged", "timeout_ms": 30000, "retries": 0,
+          "stall_ms": 400, "heartbeat": "hb.jsonl",
+          "argv": ["sh", "-c",
+                   "echo '{\"cycle\": 1, \"instructions\": 1}' >> hb.jsonl; sleep 30"] } ] }"#;
+    let r = supervise(
+        &dir,
+        spec,
+        &["--out", "r.json", "--attempts-out", "at.json", "--quiet"],
+    );
+    assert_eq!(r.code, 1, "{}", r.stderr);
+    let attempts = read(&dir, "at.json");
+    assert!(
+        attempts.contains("\"outcome\": \"stalled\""),
+        "stale heartbeat must classify as stalled:\n{attempts}"
+    );
+    assert!(!attempts.contains("\"outcome\": \"timeout\""), "{attempts}");
+}
+
+#[test]
+fn corrupt_snapshot_is_quarantined_and_does_not_poison_siblings() {
+    let dir = scratch("quarantine");
+    // Two simulator jobs with sibling snapshot directories under one
+    // shared parent. Job a's latest.json is pre-corrupted, so its very
+    // first attempt auto-resumes into exit 4 (corrupt snapshot). With
+    // retries 0, the campaign only converges if that corruption is
+    // forgiven, quarantined, and retried fresh — and if job b, retrying
+    // in parallel against the shared parent directory, never sees it.
+    assert!(Path::new(RUN).exists(), "simulator binary must be built");
+    std::fs::create_dir_all(dir.join("snaps/a")).unwrap();
+    std::fs::write(
+        dir.join("snaps/a/latest.json"),
+        "#### not a snapshot, but long enough to look like one ####",
+    )
+    .unwrap();
+    let spec = r#"{ "seed": 9, "backoff_ms": 1,
+      "jobs": [
+        { "name": "victim", "timeout_ms": 120000, "retries": 0,
+          "snapshot_dir": "snaps/a",
+          "argv": ["dtsvliw_run", "--workload", "compress", "--scale", "test",
+                   "--config", "ideal", "--geometry", "4x8",
+                   "--snapshot-every", "100000", "--snapshot-dir", "snaps/a",
+                   "--metrics-json", "a.json"],
+          "result": "a.json" },
+        { "name": "sibling", "timeout_ms": 120000, "retries": 0,
+          "snapshot_dir": "snaps/b",
+          "argv": ["dtsvliw_run", "--workload", "xlisp", "--scale", "test",
+                   "--config", "ideal", "--geometry", "4x8",
+                   "--snapshot-every", "100000", "--snapshot-dir", "snaps/b",
+                   "--metrics-json", "b.json"],
+          "result": "b.json" } ] }"#;
+    let r = supervise(
+        &dir,
+        spec,
+        &[
+            "--jobs",
+            "2",
+            "--out",
+            "r.json",
+            "--attempts-out",
+            "at.json",
+            "--quiet",
+        ],
+    );
+    assert_eq!(r.code, 0, "campaign must converge:\n{}", r.stderr);
+    let report = read(&dir, "r.json");
+    assert!(report.contains("\"failed\": 0"), "{report}");
+    let attempts = read(&dir, "at.json");
+    assert!(
+        attempts.contains("\"outcome\": \"corrupt-snapshot\""),
+        "{attempts}"
+    );
+    assert!(attempts.contains("\"forgiven\": true"), "{attempts}");
+    // Quarantined, never deleted: the damaged file survives for
+    // forensics under a new name.
+    let quarantined: Vec<_> = std::fs::read_dir(dir.join("snaps/a"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            e.file_name()
+                .to_string_lossy()
+                .starts_with("latest.json.quarantined-")
+        })
+        .collect();
+    assert_eq!(quarantined.len(), 1, "exactly one quarantined snapshot");
+    let kept = std::fs::read_to_string(quarantined[0].path()).unwrap();
+    assert!(kept.starts_with("#### not a snapshot"), "bytes preserved");
+}
+
+#[test]
+fn malformed_specs_are_rejected_naming_the_field() {
+    let dir = scratch("badspec");
+    let cases = [
+        (
+            r#"{ "jobs": [ { "name": "x", "argv": ["sh"], "timeout_ms": 0 } ] }"#,
+            "timeout_ms",
+        ),
+        (
+            r#"{ "jobs": [ { "name": "x", "argv": ["sh"], "retries": -1 } ] }"#,
+            "retries",
+        ),
+        (
+            r#"{ "jobs": [ { "name": "x", "argv": ["sh"], "id": 3 },
+                           { "name": "y", "argv": ["sh"], "id": 3 } ] }"#,
+            "id",
+        ),
+        (
+            r#"{ "jobs": [ { "name": "x", "argv": ["sh"], "tenant": "ghost" } ] }"#,
+            "tenant",
+        ),
+    ];
+    for (spec, field) in cases {
+        let r = supervise(&dir, spec, &["--quiet"]);
+        assert_eq!(r.code, 2, "bad spec must exit 2: {spec}");
+        assert!(
+            r.stderr.contains(field),
+            "rejection must name `{field}`:\n{}",
+            r.stderr
+        );
+    }
+}
+
+/// The tentpole acceptance test: the same campaign run undisturbed and
+/// under a chaos storm (seeded kills, freezes, snapshot corruption,
+/// heartbeat tears) must produce byte-identical reports — recovery
+/// proven by `cmp`, not claimed. Small-scale simulator jobs so chaos
+/// has real processes to attack.
+#[test]
+fn chaos_storm_report_matches_undisturbed_run() {
+    let calm_dir = scratch("chaos-calm");
+    let storm_dir = scratch("chaos-storm");
+    let job = |name: &str, workload: &str, config: &str, tag: &str| {
+        format!(
+            r#"{{ "name": "{name}", "timeout_ms": 120000, "retries": 8,
+              "argv": ["dtsvliw_run", "--workload", "{workload}", "--scale", "small",
+                       "--max", "20000000", "--config", "{config}", "--geometry", "4x8",
+                       "--snapshot-every", "200000", "--snapshot-dir", "snaps/{tag}",
+                       "--heartbeat=100000", "--heartbeat-out", "hb/{tag}.jsonl",
+                       "--metrics-json", "out/{tag}.json"],
+              "snapshot_dir": "snaps/{tag}", "heartbeat": "hb/{tag}.jsonl",
+              "result": "out/{tag}.json" }}"#
+        )
+    };
+    let spec = format!(
+        r#"{{ "seed": 42, "backoff_ms": 5, "stall_ms": 2500, "jobs": [ {}, {}, {} ] }}"#,
+        job("compress-ideal", "compress", "ideal", "a"),
+        job("compress-feasible", "compress", "feasible", "b"),
+        job("xlisp-ideal", "xlisp", "ideal", "c"),
+    );
+    let calm = supervise(
+        &calm_dir,
+        &spec,
+        &["--jobs", "1", "--out", "r.json", "--quiet"],
+    );
+    assert_eq!(calm.code, 0, "undisturbed run:\n{}", calm.stderr);
+    let storm = supervise(
+        &storm_dir,
+        &spec,
+        &[
+            "--jobs",
+            "2",
+            "--chaos",
+            "1337",
+            "--out",
+            "r.json",
+            "--wallclock-out",
+            "wall.json",
+            "--quiet",
+        ],
+    );
+    assert_eq!(
+        storm.code, 0,
+        "chaos run must still converge:\n{}",
+        storm.stderr
+    );
+    assert_eq!(
+        read(&calm_dir, "r.json"),
+        read(&storm_dir, "r.json"),
+        "chaos-stormed report must be byte-identical to the undisturbed one"
+    );
+    // The ledger proves the storm actually attacked something.
+    let wall = Json::parse(&read(&storm_dir, "wall.json")).expect("wallclock parses");
+    let actions = wall
+        .get("chaos")
+        .and_then(|c| c.get("actions"))
+        .and_then(Json::as_u64)
+        .expect("chaos ledger present");
+    assert!(actions > 0, "chaos must have acted: {actions}");
+}

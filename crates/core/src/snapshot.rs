@@ -138,6 +138,33 @@ pub fn config_digest(cfg: &MachineConfig) -> u64 {
     fnv1a(format!("{cfg:?}").as_bytes())
 }
 
+/// The canonical durable-snapshot path inside a snapshot directory:
+/// `dir/latest.json`, the file [`Machine::write_snapshot`] maintains
+/// and `--resume` reads. Campaign supervisors treat this file as the
+/// checkpoint-and-requeue entry point: because the periodic snapshot
+/// *is* the checkpoint, rebalancing a long shard is just "kill the
+/// child, requeue the remainder against this path".
+pub fn latest_path(dir: &Path) -> PathBuf {
+    dir.join("latest.json")
+}
+
+/// Quarantine a damaged `latest.json` instead of deleting it: the file
+/// is renamed to `latest.json.quarantined-<tag>` so the evidence
+/// survives for post-mortems while the next resume attempt starts
+/// fresh. The rename is confined to `dir`, so sibling jobs keeping
+/// their snapshots under neighbouring directories are untouched.
+/// Returns the quarantine path when a file was actually moved,
+/// `Ok(None)` when there was nothing to quarantine.
+pub fn quarantine_latest(dir: &Path, tag: u64) -> std::io::Result<Option<PathBuf>> {
+    let src = latest_path(dir);
+    if !src.exists() {
+        return Ok(None);
+    }
+    let dest = dir.join(format!("latest.json.quarantined-{tag}"));
+    std::fs::rename(&src, &dest)?;
+    Ok(Some(dest))
+}
+
 fn bytes_to_hex(bytes: &[u8]) -> String {
     use std::fmt::Write as _;
     let mut s = String::with_capacity(bytes.len() * 2);
