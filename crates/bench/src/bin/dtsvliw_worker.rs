@@ -1,0 +1,77 @@
+//! Remote campaign worker: serve job leases to a `dtsvliw_supervise`
+//! coordinator over the length-prefixed TCP/JSONL protocol
+//! (DESIGN.md §14).
+//!
+//! ```sh
+//! dtsvliw_worker --listen 0.0.0.0:7801 --slots 8 --workdir /tmp/w1
+//! ```
+//!
+//! The coordinator connects once per slot it wants, handshakes
+//! (versioned hello), and drives one lease at a time per connection.
+//! Every lease runs in a private scratch directory keyed by
+//! `(job, epoch)`; heartbeats are relayed home as they appear,
+//! snapshots are shipped checksummed whenever they change, and a
+//! revoked or disconnected lease kills its child immediately — an
+//! orphan's late result would be fenced by the coordinator's lease
+//! epochs anyway.
+//!
+//! This binary is a thin shell around
+//! `dtsvliw_bench::supervise::dist::worker`. Exit codes: 0 never
+//! (serves forever until signalled), 2 bad usage.
+
+use dtsvliw_bench::supervise::dist::{serve, WorkerOptions};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: dtsvliw_worker [options]
+  --listen HOST:PORT   address to serve on (default 127.0.0.1:0)
+  --slots N            slot count advertised to coordinators
+                       (default: available cores)
+  --workdir DIR        root for per-lease scratch directories
+                       (default: a fresh directory under the temp dir)
+  --port-file PATH     write the bound address here once listening
+  --quiet              silence per-lease log lines";
+
+fn die(msg: &str) -> ! {
+    eprintln!("dtsvliw_worker: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn value(flag: &str, v: Option<String>) -> String {
+    v.unwrap_or_else(|| die(&format!("{flag} needs a value")))
+}
+
+fn main() {
+    let mut opts = WorkerOptions {
+        listen: "127.0.0.1:0".to_string(),
+        slots: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        workdir: std::env::temp_dir().join(format!("dtsvliw-worker-{}", std::process::id())),
+        port_file: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => opts.listen = value("--listen", it.next()),
+            "--slots" => {
+                let v = value("--slots", it.next());
+                opts.slots = match v.parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => die(&format!("--slots needs a positive integer, got `{v}`")),
+                };
+            }
+            "--workdir" => opts.workdir = PathBuf::from(value("--workdir", it.next())),
+            "--port-file" => opts.port_file = Some(PathBuf::from(value("--port-file", it.next()))),
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    if let Err(e) = serve(&opts) {
+        eprintln!("dtsvliw_worker: cannot serve on {}: {e}", opts.listen);
+        std::process::exit(2);
+    }
+}

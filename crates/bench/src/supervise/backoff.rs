@@ -35,8 +35,14 @@ pub fn jitter_ms(campaign_seed: u64, job_id: u64, attempt: u32, base_ms: u64) ->
 /// after the `attempt`-th failure): exponential in the attempt number,
 /// jittered, capped.
 pub fn delay_ms(campaign_seed: u64, job_id: u64, attempt: u32, base_ms: u64) -> u64 {
-    let exp = base_ms.saturating_mul(1u64 << attempt.min(MAX_SHIFT));
-    exp.saturating_add(jitter_ms(campaign_seed, job_id, attempt, base_ms))
+    // Saturate, never wrap: `1 << attempt` is UB-adjacent garbage for
+    // attempt >= 64, and even a clamped shift times a huge base can
+    // exceed u64. Every step saturates, and the cap clamps the sum, so
+    // no (attempt, base) pair can wrap around into a tiny delay.
+    let factor = 1u64.checked_shl(attempt.min(MAX_SHIFT)).unwrap_or(u64::MAX);
+    base_ms
+        .saturating_mul(factor)
+        .saturating_add(jitter_ms(campaign_seed, job_id, attempt, base_ms))
         .min(BACKOFF_CAP_MS)
 }
 
@@ -78,6 +84,19 @@ mod tests {
         }
         // Huge attempt numbers must not shift out of range.
         assert_eq!(delay_ms(1, 1, u32::MAX, 10_000), BACKOFF_CAP_MS);
+    }
+
+    #[test]
+    fn saturates_at_the_cap_instead_of_overflowing() {
+        // attempt 63 is one shy of shifting a u64 out of existence, and
+        // u32::MAX is what a corrupted retry counter looks like; paired
+        // with a huge base, every intermediate term would overflow.
+        // The delay must pin to the cap, never wrap to a tiny value.
+        assert_eq!(delay_ms(1, 1, 63, 10_000), BACKOFF_CAP_MS);
+        assert_eq!(delay_ms(1, 1, 63, u64::MAX / 2), BACKOFF_CAP_MS);
+        assert_eq!(delay_ms(1, 1, u32::MAX, 10_000), BACKOFF_CAP_MS);
+        assert_eq!(delay_ms(1, 1, u32::MAX, u64::MAX), BACKOFF_CAP_MS);
+        assert_eq!(delay_ms(7, 3, 63, u64::MAX), BACKOFF_CAP_MS);
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! Deadlined frame connections over TCP.
+//!
+//! Every read and write carries a deadline: a peer that stops making
+//! byte progress inside one is declared dead, never waited on forever.
+//! The connection wraps a [`FrameReader`](super::frame::FrameReader),
+//! so torn frames are waited on *within* a deadline and protocol
+//! garbage kills the connection immediately — the two failure shapes
+//! stay distinguishable in logs but both end the same way: the caller
+//! reconnects (coordinator) or drops the session (worker).
+
+use super::frame::{encode, FrameError, FrameReader};
+use dtsvliw_json::Json;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Why `recv` gave up on the connection.
+#[derive(Debug)]
+pub enum ConnError {
+    /// The peer closed (EOF) or the socket errored.
+    Io(std::io::Error),
+    /// The byte stream stopped being a frame stream.
+    Protocol(FrameError),
+}
+
+impl std::fmt::Display for ConnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnError::Io(e) => write!(f, "connection: {e}"),
+            ConnError::Protocol(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+/// A frame connection: one TCP stream plus decode state.
+pub struct Connection {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Frames decoded but not yet handed out (one read can yield many).
+    pending: VecDeque<Json>,
+}
+
+impl Connection {
+    /// Connect with a hard deadline on the TCP handshake itself.
+    pub fn connect(addr: &str, deadline: Duration) -> std::io::Result<Connection> {
+        let mut last = std::io::Error::new(std::io::ErrorKind::NotFound, "no address resolved");
+        for sock in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sock, deadline) {
+                Ok(stream) => return Connection::from_stream(stream),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// Wrap an accepted stream (worker side).
+    pub fn from_stream(stream: TcpStream) -> std::io::Result<Connection> {
+        stream.set_nodelay(true)?;
+        Ok(Connection {
+            stream,
+            reader: FrameReader::new(),
+            pending: VecDeque::new(),
+        })
+    }
+
+    /// Write one frame completely within `deadline`.
+    pub fn send(&mut self, frame: &Json, deadline: Duration) -> std::io::Result<()> {
+        self.stream.set_write_timeout(Some(deadline))?;
+        self.stream.write_all(&encode(frame))
+    }
+
+    /// Chaos: write only the first half of the frame's bytes, then
+    /// shut the stream down — the peer sees a torn frame followed by
+    /// EOF and must treat the session as dead, not resynchronise.
+    pub fn send_truncated(&mut self, frame: &Json) -> std::io::Result<()> {
+        let bytes = encode(frame);
+        self.stream
+            .set_write_timeout(Some(Duration::from_secs(5)))?;
+        self.stream.write_all(&bytes[..bytes.len() / 2])?;
+        self.stream.shutdown(std::net::Shutdown::Both)
+    }
+
+    /// Receive the next frame, waiting at most `wait`. `Ok(None)` means
+    /// the wait elapsed with the stream healthy but no complete frame
+    /// (possibly with a torn frame still buffering).
+    pub fn recv(&mut self, wait: Duration) -> Result<Option<Json>, ConnError> {
+        if let Some(f) = self.pop()? {
+            return Ok(Some(f));
+        }
+        let start = Instant::now();
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            let left = wait.saturating_sub(start.elapsed());
+            if left.is_zero() {
+                return Ok(None);
+            }
+            // A zero read timeout means "block forever" to the OS, so
+            // clamp the remaining wait to at least one millisecond.
+            self.stream
+                .set_read_timeout(Some(left.max(Duration::from_millis(1))))
+                .map_err(ConnError::Io)?;
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(ConnError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "peer closed",
+                    )))
+                }
+                Ok(n) => {
+                    self.reader.feed(&buf[..n]);
+                    if let Some(f) = self.pop()? {
+                        return Ok(Some(f));
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ConnError::Io(e)),
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Result<Option<Json>, ConnError> {
+        if let Some(f) = self.pending.pop_front() {
+            return Ok(Some(f));
+        }
+        while let Some(f) = self.reader.next_frame().map_err(ConnError::Protocol)? {
+            self.pending.push_back(f);
+        }
+        Ok(self.pending.pop_front())
+    }
+
+    /// Drop the connection hard (chaos reset, shutdown paths).
+    pub fn shutdown(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    pub fn peer(&self) -> String {
+        self.stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "?".to_string())
+    }
+}
+
+/// Coordinator-side connect + versioned handshake. Returns the
+/// connection and the worker's advertised slot count.
+pub fn coordinator_connect(
+    addr: &str,
+    campaign_seed: u64,
+    deadline: Duration,
+) -> Result<(Connection, u64), String> {
+    let mut conn =
+        Connection::connect(addr, deadline).map_err(|e| format!("connect {addr}: {e}"))?;
+    conn.send(&super::proto::hello(campaign_seed), deadline)
+        .map_err(|e| format!("hello to {addr}: {e}"))?;
+    let ack = conn
+        .recv(deadline)
+        .map_err(|e| format!("hello-ack from {addr}: {e}"))?
+        .ok_or_else(|| format!("hello-ack from {addr}: deadline elapsed"))?;
+    if super::proto::kind(&ack) != Some("hello-ack") {
+        return Err(format!(
+            "{addr} answered {:?}, not hello-ack",
+            super::proto::kind(&ack)
+        ));
+    }
+    match ack.get("proto").and_then(Json::as_u64) {
+        Some(super::proto::PROTO_VERSION) => {}
+        v => return Err(format!("{addr} speaks protocol {v:?}, not ours")),
+    }
+    let slots = ack.get("slots").and_then(Json::as_u64).unwrap_or(1).max(1);
+    Ok((conn, slots))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (Connection, Connection) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || TcpStream::connect(addr).unwrap());
+        let (server, _) = listener.accept().unwrap();
+        (
+            Connection::from_stream(server).unwrap(),
+            Connection::from_stream(client.join().unwrap()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn frames_cross_the_socket_in_order() {
+        let (mut a, mut b) = pair();
+        for n in 0..5u64 {
+            a.send(&Json::obj([("n", Json::U64(n))]), Duration::from_secs(5))
+                .unwrap();
+        }
+        for n in 0..5u64 {
+            let f = b.recv(Duration::from_secs(5)).unwrap().unwrap();
+            assert_eq!(f.get("n").and_then(Json::as_u64), Some(n));
+        }
+    }
+
+    #[test]
+    fn recv_deadline_elapses_quietly_on_a_healthy_idle_stream() {
+        let (_a, mut b) = pair();
+        let t = Instant::now();
+        assert!(b.recv(Duration::from_millis(60)).unwrap().is_none());
+        assert!(t.elapsed() >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn peer_close_is_an_error_not_a_timeout() {
+        let (a, mut b) = pair();
+        a.shutdown();
+        drop(a);
+        match b.recv(Duration::from_secs(2)) {
+            Err(ConnError::Io(_)) => {}
+            other => panic!("expected EOF error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_send_reads_as_torn_frame_then_eof() {
+        let (mut a, mut b) = pair();
+        let big = Json::obj([("pad", Json::Str("x".repeat(4096)))]);
+        a.send_truncated(&big).unwrap();
+        // The torn half buffers (no frame), then the close surfaces.
+        let mut saw_error = false;
+        for _ in 0..50 {
+            match b.recv(Duration::from_millis(100)) {
+                Ok(Some(f)) => panic!("torn frame must not decode: {f:?}"),
+                Ok(None) => continue,
+                Err(_) => {
+                    saw_error = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_error, "truncation must end in a dead connection");
+    }
+
+    #[test]
+    fn handshake_against_a_refusing_port_fails_fast() {
+        // Port 1 on localhost: connection refused (or at worst the
+        // deadline); either way an Err, quickly.
+        let t = Instant::now();
+        assert!(coordinator_connect("127.0.0.1:1", 7, Duration::from_millis(500)).is_err());
+        assert!(t.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn unparsable_address_is_an_error() {
+        assert!(Connection::connect("not an address", Duration::from_millis(200)).is_err());
+    }
+}

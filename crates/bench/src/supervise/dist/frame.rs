@@ -1,0 +1,293 @@
+//! The length-prefixed JSONL frame codec.
+//!
+//! Every message on a coordinator/worker connection is one frame:
+//!
+//! ```text
+//! #<decimal-byte-length>\n
+//! <exactly that many bytes of JSON>\n
+//! ```
+//!
+//! The prefix makes torn reads detectable instead of ambiguous: a
+//! partial frame is *waited on* (the reader buffers until the declared
+//! length plus its terminator arrives), while a malformed prefix, an
+//! over-long declaration, a missing terminator, or a body that is not
+//! JSON is a protocol error — the connection is dead, never
+//! resynchronised, because a peer that framed one message wrong cannot
+//! be trusted to frame the next one right. This mirrors the
+//! heartbeat-tailer contract (torn lines wait, garbage lines are
+//! handled), but over a byte stream where "skip the line" is not an
+//! option.
+
+use dtsvliw_json::Json;
+
+/// Hard ceiling on a single frame's declared body length. Snapshot
+/// shipments dominate frame sizes; the simulator's snapshots are a few
+/// MB at most, so 64 MB is generous while still refusing a garbage
+/// prefix that decodes to terabytes.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Why a byte stream stopped being a frame stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The prefix is not `#<digits>\n`, the terminator byte after the
+    /// body is missing, or the body is not JSON.
+    Garbage(String),
+    /// The prefix declared a body longer than [`MAX_FRAME`].
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Garbage(why) => write!(f, "garbage on frame stream: {why}"),
+            FrameError::TooLarge(n) => write!(f, "frame declares {n} bytes (max {MAX_FRAME})"),
+        }
+    }
+}
+
+/// Encode one frame, ready to write to the socket.
+pub fn encode(frame: &Json) -> Vec<u8> {
+    let body = frame.to_string();
+    let mut out = Vec::with_capacity(body.len() + 16);
+    out.extend_from_slice(format!("#{}\n", body.len()).as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    out.push(b'\n');
+    out
+}
+
+/// Incremental frame decoder: feed it whatever the socket produced —
+/// half a prefix, three frames and a torn fourth — and drain complete
+/// frames as they become available.
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Buffer more bytes from the stream.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded (a torn frame in flight).
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decode the next complete frame. `Ok(None)` means the buffer ends
+    /// mid-frame: wait for more bytes. An `Err` is terminal for the
+    /// connection.
+    pub fn next_frame(&mut self) -> Result<Option<Json>, FrameError> {
+        // The prefix line: `#<digits>\n`.
+        let Some(nl) = self.buf.iter().position(|&b| b == b'\n') else {
+            // No newline yet — but an over-long or malformed prefix
+            // must not buffer unboundedly waiting for one.
+            if self.buf.len() > 32 || !prefix_plausible(&self.buf) {
+                return Err(FrameError::Garbage(preview(&self.buf)));
+            }
+            return Ok(None);
+        };
+        let prefix = &self.buf[..nl];
+        let len = parse_prefix(prefix).ok_or_else(|| FrameError::Garbage(preview(prefix)))?;
+        if len > MAX_FRAME {
+            return Err(FrameError::TooLarge(len));
+        }
+        // Body plus its terminating newline.
+        let need = nl + 1 + len + 1;
+        if self.buf.len() < need {
+            return Ok(None);
+        }
+        if self.buf[need - 1] != b'\n' {
+            return Err(FrameError::Garbage(format!(
+                "body not newline-terminated after {len} bytes"
+            )));
+        }
+        let body = std::str::from_utf8(&self.buf[nl + 1..need - 1])
+            .map_err(|_| FrameError::Garbage("body is not UTF-8".to_string()))?;
+        let frame =
+            Json::parse(body).map_err(|e| FrameError::Garbage(format!("body is not JSON: {e}")))?;
+        self.buf.drain(..need);
+        Ok(Some(frame))
+    }
+}
+
+/// Could these bytes still grow into a valid `#<digits>` prefix?
+fn prefix_plausible(bytes: &[u8]) -> bool {
+    match bytes {
+        [] => true,
+        [b'#', digits @ ..] => digits.iter().all(u8::is_ascii_digit),
+        _ => false,
+    }
+}
+
+fn parse_prefix(prefix: &[u8]) -> Option<usize> {
+    let digits = prefix.strip_prefix(b"#")?;
+    if digits.is_empty() || digits.len() > 16 || !digits.iter().all(u8::is_ascii_digit) {
+        return None;
+    }
+    std::str::from_utf8(digits).ok()?.parse().ok()
+}
+
+fn preview(bytes: &[u8]) -> String {
+    let head: String = bytes
+        .iter()
+        .take(24)
+        .map(|&b| {
+            if b.is_ascii_graphic() || b == b' ' {
+                b as char
+            } else {
+                '.'
+            }
+        })
+        .collect();
+    format!("`{head}`")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtsvliw_faults::Rng64;
+
+    fn frame(n: u64) -> Json {
+        Json::obj([
+            ("t", Json::Str("hb".to_string())),
+            ("job", Json::U64(n)),
+            ("note", Json::Str(format!("record {n} with \"quotes\""))),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_one_frame() {
+        let mut r = FrameReader::new();
+        r.feed(&encode(&frame(7)));
+        assert_eq!(r.next_frame().unwrap(), Some(frame(7)));
+        assert_eq!(r.next_frame().unwrap(), None);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn split_reads_reassemble_at_every_boundary() {
+        // The torn-frame property proven exhaustively: feeding the wire
+        // bytes split at every possible position must decode the same
+        // two frames, with the partial tail always waited on.
+        let mut wire = encode(&frame(1));
+        wire.extend_from_slice(&encode(&frame(2)));
+        for split in 0..=wire.len() {
+            let mut r = FrameReader::new();
+            let mut got = Vec::new();
+            r.feed(&wire[..split]);
+            while let Some(f) = r.next_frame().unwrap() {
+                got.push(f);
+            }
+            r.feed(&wire[split..]);
+            while let Some(f) = r.next_frame().unwrap() {
+                got.push(f);
+            }
+            assert_eq!(got, vec![frame(1), frame(2)], "split at {split}");
+        }
+    }
+
+    #[test]
+    fn fuzz_random_fragmentation_never_corrupts() {
+        // Seeded fuzz: many frames, random fragment sizes (including
+        // empty feeds). Every fragmentation must yield the exact frame
+        // sequence — the property a real socket exercises constantly.
+        let mut rng = Rng64::new(0xd157_f8a3);
+        for round in 0..64 {
+            let count = 1 + rng.below(8);
+            let mut wire = Vec::new();
+            let expect: Vec<Json> = (0..count).map(frame).collect();
+            for f in &expect {
+                wire.extend_from_slice(&encode(f));
+            }
+            let mut r = FrameReader::new();
+            let mut got = Vec::new();
+            let mut off = 0;
+            while off < wire.len() {
+                let chunk = (rng.below(23)) as usize;
+                let end = (off + chunk).min(wire.len());
+                r.feed(&wire[off..end]);
+                off = end;
+                while let Some(f) = r.next_frame().unwrap() {
+                    got.push(f);
+                }
+            }
+            assert_eq!(got, expect, "round {round}");
+            assert_eq!(r.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn truncated_length_prefix_waits_then_completes() {
+        let wire = encode(&frame(3));
+        let mut r = FrameReader::new();
+        // Just `#1` of a `#1xx` prefix: must wait, not error.
+        r.feed(&wire[..2]);
+        assert_eq!(r.next_frame().unwrap(), None);
+        r.feed(&wire[2..]);
+        assert_eq!(r.next_frame().unwrap(), Some(frame(3)));
+    }
+
+    #[test]
+    fn fuzz_truncation_at_every_point_is_wait_never_garbage() {
+        // A frame cut anywhere is a *torn* frame: the reader waits.
+        let wire = encode(&frame(9));
+        for cut in 0..wire.len() {
+            let mut r = FrameReader::new();
+            r.feed(&wire[..cut]);
+            assert_eq!(r.next_frame().unwrap(), None, "cut at {cut} must wait");
+        }
+    }
+
+    #[test]
+    fn garbage_after_a_valid_frame_kills_the_stream() {
+        let mut r = FrameReader::new();
+        let mut wire = encode(&frame(1));
+        wire.extend_from_slice(b"GET / HTTP/1.1\n");
+        r.feed(&wire);
+        assert_eq!(r.next_frame().unwrap(), Some(frame(1)));
+        assert!(matches!(r.next_frame(), Err(FrameError::Garbage(_))));
+    }
+
+    #[test]
+    fn fuzz_garbage_prefixes_error_before_buffering_unboundedly() {
+        let mut rng = Rng64::new(0xbad_f00d);
+        for _ in 0..256 {
+            let mut junk = vec![0u8; 8 + rng.below(48) as usize];
+            for b in &mut junk {
+                *b = rng.below(256) as u8;
+            }
+            // Force it to actually be junk, not an accidental frame.
+            junk[0] = b'G';
+            let mut r = FrameReader::new();
+            r.feed(&junk);
+            assert!(matches!(r.next_frame(), Err(FrameError::Garbage(_))));
+        }
+    }
+
+    #[test]
+    fn oversize_declaration_is_rejected_without_allocation() {
+        let mut r = FrameReader::new();
+        r.feed(b"#99999999999\n");
+        assert!(matches!(r.next_frame(), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn body_without_terminator_is_garbage() {
+        // Declared 2 bytes, body "{}", but the terminator is 'X'.
+        let mut r = FrameReader::new();
+        r.feed(b"#2\n{}X");
+        assert!(matches!(r.next_frame(), Err(FrameError::Garbage(_))));
+    }
+
+    #[test]
+    fn non_json_body_is_garbage() {
+        let mut r = FrameReader::new();
+        r.feed(b"#5\nhello\n");
+        assert!(matches!(r.next_frame(), Err(FrameError::Garbage(_))));
+    }
+}

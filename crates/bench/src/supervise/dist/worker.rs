@@ -1,0 +1,436 @@
+//! The worker side of the wire: serve leases, babysit children, stream
+//! heartbeats and snapshots home.
+//!
+//! `dtsvliw_worker` binds a listener and serves each coordinator
+//! connection on its own thread, one lease at a time per connection
+//! (the coordinator opens one connection per slot it wants). A lease
+//! runs in a private scratch directory keyed by `(job, epoch)`, so a
+//! re-leased job never collides with the ghost of its fenced
+//! predecessor. While the child runs, the worker:
+//!
+//! * tails the child's heartbeat file and relays complete records as
+//!   `hb` frames (an empty `hb` every [`KEEPALIVE_MS`] is the liveness
+//!   signal that defeats half-open connections);
+//! * ships the child's `latest.json` as checksummed `snap` frames
+//!   whenever it changes, so an evicted shard resumes mid-flight on
+//!   whatever host gets the next lease;
+//! * obeys `revoke` frames (kill, acknowledge, no result) and treats
+//!   connection loss the same way — an orphaned child must not outlive
+//!   its lease, because its late result would be fenced anyway.
+
+use super::client::Connection;
+use super::proto;
+use crate::supervise::outcome::{classify, KillReason, Outcome};
+use crate::supervise::resolve_program;
+use dtsvliw_json::Json;
+use std::io::Read;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Cadence of empty `hb` keepalive frames while the child is quiet.
+pub const KEEPALIVE_MS: u64 = 500;
+/// Per-frame write deadline.
+const WRITE_DEADLINE: Duration = Duration::from_secs(5);
+/// Minimum gap between snapshot shipments for one lease.
+const SHIP_GAP_MS: u64 = 200;
+
+/// How the worker binary was invoked.
+pub struct WorkerOptions {
+    /// Listen address (`host:port`; port 0 binds ephemerally).
+    pub listen: String,
+    /// Slot count advertised in the hello-ack.
+    pub slots: usize,
+    /// Root for per-lease scratch directories.
+    pub workdir: PathBuf,
+    /// Write the bound address here once listening (tests and scripts
+    /// bind port 0 and discover the port from this file).
+    pub port_file: Option<PathBuf>,
+    pub quiet: bool,
+}
+
+fn log(opts: &WorkerOptions, line: &str) {
+    if !opts.quiet {
+        eprintln!("dtsvliw_worker: {line}");
+    }
+}
+
+/// Bind, announce, and serve coordinator connections forever.
+pub fn serve(opts: &WorkerOptions) -> std::io::Result<()> {
+    let listener = TcpListener::bind(&opts.listen)?;
+    let addr = listener.local_addr()?;
+    std::fs::create_dir_all(&opts.workdir)?;
+    if let Some(pf) = &opts.port_file {
+        // Temp-then-rename so a polling reader never sees half a line.
+        let tmp = pf.with_extension("tmp");
+        std::fs::write(&tmp, format!("{addr}\n"))?;
+        std::fs::rename(&tmp, pf)?;
+    }
+    eprintln!("dtsvliw_worker: listening on {addr} ({} slots)", opts.slots);
+    let opts = WorkerOptions {
+        listen: addr.to_string(),
+        slots: opts.slots,
+        workdir: opts.workdir.clone(),
+        port_file: opts.port_file.clone(),
+        quiet: opts.quiet,
+    };
+    let opts = std::sync::Arc::new(opts);
+    loop {
+        let (stream, peer) = listener.accept()?;
+        let opts = opts.clone();
+        std::thread::spawn(move || {
+            log(&opts, &format!("session from {peer}"));
+            match Connection::from_stream(stream) {
+                Ok(conn) => session(&opts, conn),
+                Err(e) => log(&opts, &format!("session setup failed: {e}")),
+            }
+            log(&opts, &format!("session from {peer} over"));
+        });
+    }
+}
+
+/// One coordinator connection: handshake, then serve leases until the
+/// peer says bye or the wire dies.
+fn session(opts: &WorkerOptions, mut conn: Connection) {
+    let hello = match conn.recv(Duration::from_secs(10)) {
+        Ok(Some(f)) => f,
+        Ok(None) => return log(opts, "peer never said hello"),
+        Err(e) => return log(opts, &format!("handshake: {e}")),
+    };
+    if let Err(why) = proto::check_hello(&hello) {
+        log(opts, &format!("refusing session: {why}"));
+        let _ = conn.send(&proto::bye(), WRITE_DEADLINE);
+        return;
+    }
+    let me = format!("pid-{}", std::process::id());
+    if conn
+        .send(&proto::hello_ack(opts.slots as u64, &me), WRITE_DEADLINE)
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        let frame = match conn.recv(Duration::from_millis(200)) {
+            Ok(Some(f)) => f,
+            Ok(None) => continue,
+            Err(e) => return log(opts, &format!("session: {e}")),
+        };
+        match proto::kind(&frame) {
+            Some("lease") => {
+                if !run_lease(opts, &mut conn, &frame) {
+                    return;
+                }
+            }
+            Some("bye") | None => return,
+            Some(other) => log(opts, &format!("ignoring stray `{other}` frame")),
+        }
+    }
+}
+
+/// Incremental raw-line tailer over the child's heartbeat file: relays
+/// every *complete* well-formed record (torn tails wait, garbage lines
+/// are dropped), tracking a byte offset like the coordinator-side
+/// [`HeartbeatTail`](crate::supervise::heartbeat::HeartbeatTail).
+struct RelayTail {
+    path: PathBuf,
+    offset: u64,
+}
+
+impl RelayTail {
+    fn poll(&mut self) -> Vec<Json> {
+        use std::io::{Seek, SeekFrom};
+        let Ok(mut f) = std::fs::File::open(&self.path) else {
+            return Vec::new();
+        };
+        let Ok(len) = f.metadata().map(|m| m.len()) else {
+            return Vec::new();
+        };
+        if len < self.offset {
+            self.offset = 0;
+        }
+        if len == self.offset {
+            return Vec::new();
+        }
+        if f.seek(SeekFrom::Start(self.offset)).is_err() {
+            return Vec::new();
+        }
+        let mut buf = String::new();
+        if f.take(len - self.offset).read_to_string(&mut buf).is_err() {
+            return Vec::new();
+        }
+        let complete = buf.rfind('\n').map_or(0, |p| p + 1);
+        self.offset += complete as u64;
+        buf[..complete]
+            .lines()
+            .filter_map(|line| Json::parse(line).ok())
+            .filter(|j| matches!(j, Json::Obj(_)))
+            .collect()
+    }
+}
+
+/// Content fingerprint used to ship `latest.json` only when it changed.
+fn snap_stamp(path: &Path) -> Option<(u64, std::time::SystemTime)> {
+    let m = std::fs::metadata(path).ok()?;
+    Some((m.len(), m.modified().ok()?))
+}
+
+/// Serve one lease to completion. Returns `false` when the connection
+/// died and the session must end.
+fn run_lease(opts: &WorkerOptions, conn: &mut Connection, lease: &Json) -> bool {
+    let Some((job, epoch)) = proto::job_epoch(lease) else {
+        log(opts, "lease without job/epoch");
+        return false;
+    };
+    let name = lease.get("name").and_then(Json::as_str).unwrap_or("?");
+    let argv: Vec<String> = lease
+        .get("argv")
+        .and_then(Json::as_arr)
+        .map(|a| {
+            a.iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    let timeout_ms = lease
+        .get("timeout_ms")
+        .and_then(Json::as_u64)
+        .unwrap_or(60_000);
+    let rel = |key: &str| lease.get(key).and_then(Json::as_str).map(|s| s.to_string());
+    let heartbeat = rel("heartbeat");
+    let snapshot_dir = rel("snapshot_dir");
+    let result_path = rel("result");
+
+    // Private scratch per (job, epoch): a fenced predecessor's ghost
+    // writes into *its* directory, never this one's.
+    let scratch = opts.workdir.join(format!("job-{job}-e{epoch}"));
+    let _ = std::fs::remove_dir_all(&scratch);
+    if std::fs::create_dir_all(&scratch).is_err() {
+        let _ = conn.send(
+            &proto::result(job, epoch, "error", Some(125), false, None, false),
+            WRITE_DEADLINE,
+        );
+        return true;
+    }
+
+    // Materialise the shipped snapshot (checksum-verified) so the
+    // attempt resumes exactly where the evicted host stopped.
+    let mut resumed = false;
+    let snap_path = snapshot_dir
+        .as_deref()
+        .map(|d| dtsvliw_core::latest_path(&scratch.join(d)));
+    if let (Some(shipment), Some(path)) = (lease.get("snapshot"), &snap_path) {
+        if !matches!(shipment, Json::Null) {
+            match proto::verified_data(shipment) {
+                Some(text) => {
+                    if let Some(parent) = path.parent() {
+                        let _ = std::fs::create_dir_all(parent);
+                    }
+                    resumed = std::fs::write(path, text).is_ok();
+                }
+                None => log(
+                    opts,
+                    &format!(
+                        "lease {job}e{epoch}: shipped snapshot failed checksum, starting fresh"
+                    ),
+                ),
+            }
+        }
+    }
+    let mut argv = argv;
+    if argv.is_empty() {
+        let _ = conn.send(
+            &proto::result(job, epoch, "error", Some(125), false, None, false),
+            WRITE_DEADLINE,
+        );
+        return true;
+    }
+    if resumed && !argv.iter().any(|a| a == "--resume") {
+        argv.push("--resume".to_string());
+        if let Some(d) = &snapshot_dir {
+            argv.push(format!("{d}/latest.json"));
+        }
+    }
+
+    log(
+        opts,
+        &format!("lease {job}e{epoch} `{name}`: {}", argv.join(" ")),
+    );
+    let program = resolve_program(&argv[0]);
+    let mut child = match Command::new(&program)
+        .args(&argv[1..])
+        .current_dir(&scratch)
+        .stdout(Stdio::null())
+        .spawn()
+    {
+        Ok(c) => c,
+        Err(e) => {
+            log(opts, &format!("cannot spawn {}: {e}", program.display()));
+            return conn
+                .send(
+                    &proto::result(job, epoch, "error", Some(127), resumed, None, false),
+                    WRITE_DEADLINE,
+                )
+                .is_ok();
+        }
+    };
+
+    let spawn_time = Instant::now();
+    let mut tail = heartbeat.as_deref().map(|h| RelayTail {
+        path: scratch.join(h),
+        offset: 0,
+    });
+    let mut last_sent = Instant::now();
+    let mut last_ship: Option<Instant> = None;
+    let mut shipped_stamp = None;
+    let mut killed: Option<KillReason> = None;
+
+    let status = loop {
+        match child.try_wait() {
+            Ok(Some(status)) => break Some(status),
+            Ok(None) => {}
+            Err(_) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                break None;
+            }
+        }
+        // Backstop timeout: the coordinator revokes at its own
+        // deadline, but a partitioned worker must not nurse an orphan
+        // forever.
+        if killed.is_none() && spawn_time.elapsed() >= Duration::from_millis(timeout_ms) {
+            killed = Some(KillReason::Timeout);
+            let _ = child.kill();
+        }
+        // Relay heartbeat progress; keepalive when quiet.
+        if let Some(records) = poll_relay(&mut tail) {
+            if conn
+                .send(&proto::hb(job, epoch, records), WRITE_DEADLINE)
+                .is_err()
+            {
+                return abandon(opts, &mut child, job, epoch, "hb send failed");
+            }
+            last_sent = Instant::now();
+        } else if last_sent.elapsed() >= Duration::from_millis(KEEPALIVE_MS) {
+            if conn
+                .send(&proto::hb(job, epoch, Vec::new()), WRITE_DEADLINE)
+                .is_err()
+            {
+                return abandon(opts, &mut child, job, epoch, "keepalive failed");
+            }
+            last_sent = Instant::now();
+        }
+        // Ship the snapshot when it changed (rate-limited).
+        if let Some(path) = &snap_path {
+            if last_ship.is_none_or(|t| t.elapsed() >= Duration::from_millis(SHIP_GAP_MS)) {
+                let stamp = snap_stamp(path);
+                if stamp.is_some() && stamp != shipped_stamp {
+                    if let Ok(text) = std::fs::read_to_string(path) {
+                        if conn
+                            .send(&proto::snap(job, epoch, &text), WRITE_DEADLINE)
+                            .is_err()
+                        {
+                            return abandon(opts, &mut child, job, epoch, "snap ship failed");
+                        }
+                        shipped_stamp = stamp;
+                        last_ship = Some(Instant::now());
+                        last_sent = Instant::now();
+                    }
+                }
+            }
+        }
+        // Obey the coordinator.
+        match conn.recv(Duration::from_millis(10)) {
+            Ok(Some(frame)) => match proto::kind(&frame) {
+                Some("revoke") if proto::job_epoch(&frame) == Some((job, epoch)) => {
+                    log(opts, &format!("lease {job}e{epoch} revoked"));
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    let _ = std::fs::remove_dir_all(&scratch);
+                    return conn
+                        .send(&proto::revoked(job, epoch), WRITE_DEADLINE)
+                        .is_ok();
+                }
+                Some("bye") => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    let _ = std::fs::remove_dir_all(&scratch);
+                    return false;
+                }
+                _ => {}
+            },
+            Ok(None) => {}
+            Err(e) => return abandon(opts, &mut child, job, epoch, &format!("{e}")),
+        }
+    };
+
+    // Final relay passes: whatever the child wrote in its last breath.
+    if let Some(records) = poll_relay(&mut tail) {
+        let _ = conn.send(&proto::hb(job, epoch, records), WRITE_DEADLINE);
+    }
+    if let Some(path) = &snap_path {
+        if snap_stamp(path).is_some() && snap_stamp(path) != shipped_stamp {
+            if let Ok(text) = std::fs::read_to_string(path) {
+                let _ = conn.send(&proto::snap(job, epoch, &text), WRITE_DEADLINE);
+            }
+        }
+    }
+
+    let outcome = match &status {
+        Some(s) => classify(s, killed),
+        None => Outcome::Error(-1),
+    };
+    let (result_text, missing) = match (&result_path, outcome) {
+        (Some(p), Outcome::Success) => match std::fs::read_to_string(scratch.join(p)) {
+            Ok(text) => (Some(text), false),
+            Err(_) => (None, true),
+        },
+        _ => (None, false),
+    };
+    let detail = match outcome {
+        Outcome::Signal(sig) => Some(sig as i64),
+        Outcome::Error(code) => Some(code as i64),
+        _ => None,
+    };
+    log(
+        opts,
+        &format!("lease {job}e{epoch} `{name}`: {}", outcome.label()),
+    );
+    let ok = conn
+        .send(
+            &proto::result(
+                job,
+                epoch,
+                outcome.label(),
+                detail,
+                resumed,
+                result_text.as_deref(),
+                missing,
+            ),
+            WRITE_DEADLINE,
+        )
+        .is_ok();
+    let _ = std::fs::remove_dir_all(&scratch);
+    ok
+}
+
+/// New complete heartbeat records, or `None` when there were none (so
+/// the caller can distinguish "nothing new" from "relay a batch").
+fn poll_relay(tail: &mut Option<RelayTail>) -> Option<Vec<Json>> {
+    let records = tail.as_mut()?.poll();
+    if records.is_empty() {
+        None
+    } else {
+        Some(records)
+    }
+}
+
+/// The connection died mid-lease: the child must die with it (its
+/// result could never settle — the coordinator fences the epoch the
+/// moment it declares the connection lost).
+fn abandon(opts: &WorkerOptions, child: &mut Child, job: u64, epoch: u64, why: &str) -> bool {
+    log(opts, &format!("lease {job}e{epoch} abandoned: {why}"));
+    let _ = child.kill();
+    let _ = child.wait();
+    false
+}

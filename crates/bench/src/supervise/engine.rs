@@ -27,29 +27,54 @@
 
 use super::backoff;
 use super::chaos::{send_signal, ChaosAction, ChaosEngine, FORGIVENESS_CAP};
-use super::heartbeat::{complete_records, HeartbeatTail};
+use super::dist::{
+    coordinator_connect, proto, Connection, LeaseTable, NetChaos, NetLedger, NetStrike, Settle,
+};
+use super::heartbeat::{complete_records, progress_of, HeartbeatTail};
 use super::outcome::{classify, KillReason, Outcome};
 use super::queue::{Claim, Scheduler};
 use super::spec::CampaignSpec;
 use super::status::{BoardSnapshot, StatusSink, WorkerView};
-use super::{canonical_result_digest, resolve_program};
+use super::{canonical_result_digest, fnv1a, resolve_program};
 use dtsvliw_json::Json;
 use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+/// Quarantined snapshots kept per job; older ones are evicted and the
+/// evictions counted in the wall-clock ledger.
+pub const QUARANTINE_KEEP: usize = 8;
+
+/// Slot ceiling honoured per remote endpoint, whatever it advertises.
+const MAX_SLOTS_PER_ENDPOINT: usize = 16;
+/// Per-frame write deadline on coordinator connections.
+const WRITE_DEADLINE: Duration = Duration::from_secs(5);
+/// Handshake deadline (probe and slot connects).
+const CONNECT_DEADLINE: Duration = Duration::from_secs(3);
+/// A remote lease whose connection produced no frame at all for this
+/// long is declared lost (worker keepalives come every 500 ms, so this
+/// is ~6 missed keepalives — or a half-open socket).
+const REMOTE_SILENCE_MS: u64 = 3_000;
+/// After a revoke is sent, how long to wait for the ack or result
+/// before writing the connection off.
+const REVOKE_GRACE_MS: u64 = 5_000;
+
 /// How the engine is driven (the bin's command line, in parsed form).
 #[derive(Debug, Clone)]
 pub struct EngineOptions {
     /// Worker slots (`--jobs`).
     pub workers: usize,
-    /// In-flight spawn window (back-pressure); defaults to `workers`.
+    /// In-flight spawn window (back-pressure); defaults to every slot,
+    /// local and remote.
     pub spawn_window: Option<usize>,
     /// Arm the chaos harness with this seed.
     pub chaos_seed: Option<u64>,
     /// Silence child stdout and per-attempt log lines.
     pub quiet: bool,
+    /// Remote worker endpoints (`--workers host:port,…`), validated by
+    /// [`super::dist::parse_worker_list`].
+    pub remotes: Vec<String>,
 }
 
 /// One recorded (budget-relevant) attempt.
@@ -79,6 +104,9 @@ pub struct JobResult {
     pub forgiven: u64,
     pub requeues: u64,
     pub wall_ms: u64,
+    /// Late or duplicated remote results rejected by lease-epoch
+    /// fencing (at-most-once accounting). Always 0 for local attempts.
+    pub fenced_results: u64,
 }
 
 /// Everything `run_campaign` produced.
@@ -92,6 +120,12 @@ pub struct CampaignResult {
     pub wall_ms: u64,
     /// The chaos action ledger, when `--chaos` was armed.
     pub chaos: Option<Json>,
+    /// The distributed-tier ledger (`--workers`): endpoints, slots,
+    /// fencing counts, the degradation flag, network strikes. `None`
+    /// for local-only campaigns.
+    pub dist: Option<Json>,
+    /// Quarantined snapshots evicted by the retention cap.
+    pub quarantine_evictions: u64,
 }
 
 // ---------------------------------------------------------------------
@@ -109,6 +143,8 @@ struct JobRun {
     /// Chaos marks against the in-flight attempt, cleared when it ends.
     chaos_killed: bool,
     chaos_frozen: bool,
+    /// A network strike hit the attempt's connection.
+    chaos_net: bool,
 }
 
 struct RunningChild {
@@ -124,6 +160,15 @@ struct EngineState {
     done: usize,
     failed: usize,
     finished_instructions: u64,
+    /// Lease epochs for remote attempts (fencing, at-most-once).
+    leases: LeaseTable,
+    /// Reachability per remote endpoint (index into `opts.remotes`).
+    endpoint_up: Vec<bool>,
+    /// Sticky: every endpoint was down while jobs were outstanding —
+    /// the campaign drained (at least partly) on local slots alone.
+    degraded: bool,
+    /// Quarantined snapshots evicted by the retention cap.
+    quarantine_evictions: u64,
 }
 
 struct Shared<'a> {
@@ -166,11 +211,12 @@ impl Shared<'_> {
 /// True when the attempt's failure is attributable to the chaos
 /// harness: a strike mark is pending and the outcome is one a strike
 /// produces (a kill lands as a signal; a freeze lands as a stall or a
-/// timeout, depending on which detector fires first).
-fn chaos_caused(outcome: Outcome, killed_mark: bool, frozen_mark: bool) -> bool {
+/// timeout, depending on which detector fires first; a network strike
+/// lands as a stall or timeout when it starved the heartbeat relay).
+fn chaos_caused(outcome: Outcome, killed_mark: bool, frozen_mark: bool, net_mark: bool) -> bool {
     match outcome {
         Outcome::Signal(_) => killed_mark,
-        Outcome::Timeout | Outcome::Stalled => killed_mark || frozen_mark,
+        Outcome::Timeout | Outcome::Stalled => killed_mark || frozen_mark || net_mark,
         _ => false,
     }
 }
@@ -179,27 +225,30 @@ fn chaos_caused(outcome: Outcome, killed_mark: bool, frozen_mark: bool) -> bool 
 // The worker loop
 // ---------------------------------------------------------------------
 
-fn worker_loop(shared: &Shared<'_>, w: usize) {
+/// Park on the scheduler until a job is claimable for slot `w`, or the
+/// campaign is over (`None`).
+fn claim_job(shared: &Shared<'_>, w: usize) -> Option<usize> {
+    let mut st = shared.state.lock().unwrap();
     loop {
-        let job_idx = {
-            let mut st = shared.state.lock().unwrap();
-            loop {
-                match st
-                    .sched
-                    .claim(w, shared.started.elapsed().as_millis() as u64)
-                {
-                    Claim::Done => return,
-                    Claim::Run(j) => break j,
-                    Claim::Wait => {
-                        st = shared
-                            .cv
-                            .wait_timeout(st, Duration::from_millis(10))
-                            .unwrap()
-                            .0;
-                    }
-                }
+        match st
+            .sched
+            .claim(w, shared.started.elapsed().as_millis() as u64)
+        {
+            Claim::Done => return None,
+            Claim::Run(j) => return Some(j),
+            Claim::Wait => {
+                st = shared
+                    .cv
+                    .wait_timeout(st, Duration::from_millis(10))
+                    .unwrap()
+                    .0;
             }
-        };
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared<'_>, w: usize) {
+    while let Some(job_idx) = claim_job(shared, w) {
         run_one_attempt(shared, w, job_idx);
         shared.cv.notify_all();
     }
@@ -267,6 +316,7 @@ fn run_one_attempt(shared: &Shared<'_>, w: usize, job_idx: usize) {
         st.workers[w] = WorkerView {
             job: Some(job.name.clone()),
             progress: None,
+            remote: false,
         };
     }
 
@@ -352,9 +402,11 @@ fn finish_attempt(
     st.running.retain(|r| r.job != job_idx);
     st.workers[w] = WorkerView::default();
     let run = &mut st.runs[job_idx];
-    let (chaos_killed, chaos_frozen) = (run.chaos_killed, run.chaos_frozen);
+    let (chaos_killed, chaos_frozen, chaos_net) =
+        (run.chaos_killed, run.chaos_frozen, run.chaos_net);
     run.chaos_killed = false;
     run.chaos_frozen = false;
+    run.chaos_net = false;
     run.wall_ms += spawn_time.elapsed().as_millis() as u64;
 
     if outcome.is_requeue() {
@@ -389,11 +441,22 @@ fn finish_attempt(
         if let Some(dir) = &job.snapshot_dir {
             let tag = job.id * 1000 + run.records.len() as u64;
             match dtsvliw_core::quarantine_latest(dir, tag) {
-                Ok(Some(dest)) => shared.log(&format!(
-                    "supervise: w{w} job `{}`: corrupt snapshot quarantined to {}, retrying fresh",
-                    job.name,
-                    dest.display()
-                )),
+                Ok(Some(dest)) => {
+                    shared.log(&format!(
+                        "supervise: w{w} job `{}`: corrupt snapshot quarantined to {}, retrying fresh",
+                        job.name,
+                        dest.display()
+                    ));
+                    // A long storm must not let forensic copies pile up
+                    // without bound: keep the newest few, ledger the rest.
+                    match dtsvliw_core::prune_quarantine(dir, QUARANTINE_KEEP) {
+                        Ok(evicted) => st.quarantine_evictions += evicted,
+                        Err(e) => shared.log(&format!(
+                            "supervise: w{w} job `{}`: quarantine prune failed: {e}",
+                            job.name
+                        )),
+                    }
+                }
                 Ok(None) => {}
                 Err(e) => shared.log(&format!(
                     "supervise: w{w} job `{}`: quarantine failed: {e}",
@@ -403,8 +466,12 @@ fn finish_attempt(
         }
     }
 
-    let forgivable =
-        outcome == Outcome::CorruptSnapshot || chaos_caused(outcome, chaos_killed, chaos_frozen);
+    // A lost connection is never the job's fault, chaos or not — a real
+    // worker crash must degrade into a clean local retry, exactly like
+    // a corrupt snapshot degrades into a fresh start.
+    let forgivable = outcome == Outcome::CorruptSnapshot
+        || outcome == Outcome::Lost
+        || chaos_caused(outcome, chaos_killed, chaos_frozen, chaos_net);
     let forgiven = forgivable && run.forgiven < FORGIVENESS_CAP;
     // The backoff schedule is keyed by *consumed* retries, not raw
     // attempt count: forgiveness means the failure did not happen, so
@@ -447,6 +514,471 @@ fn finish_attempt(
         let delay = backoff_ms.unwrap_or(0);
         st.sched.requeue(job_idx, w, now_ms + delay);
     }
+}
+
+// ---------------------------------------------------------------------
+// Remote slots (the distributed tier, DESIGN.md §14)
+// ---------------------------------------------------------------------
+
+/// Record an endpoint's reachability; when the last one goes dark with
+/// jobs still outstanding, latch the degradation flag — the campaign is
+/// draining on local slots alone and the wall-clock ledger must say so.
+fn mark_endpoint(shared: &Shared<'_>, ep_idx: usize, up: bool) {
+    let mut st = shared.state.lock().unwrap();
+    st.endpoint_up[ep_idx] = up;
+    if !up && st.sched.outstanding() > 0 && st.endpoint_up.iter().all(|&u| !u) && !st.degraded {
+        st.degraded = true;
+        drop(st);
+        shared.log("supervise: every remote endpoint unreachable — degrading to local slots");
+    }
+}
+
+/// One remote slot: connect (with seeded backoff on failure), then
+/// claim-and-lease until the campaign drains or the wire dies.
+fn remote_slot_loop(
+    shared: &Shared<'_>,
+    w: usize,
+    ep_idx: usize,
+    endpoint: &str,
+    sub: usize,
+) -> NetLedger {
+    let mut net = shared
+        .opts
+        .chaos_seed
+        .map(|seed| NetChaos::new(seed, endpoint, sub));
+    let mut failures: u32 = 0;
+    'outer: loop {
+        if shared.state.lock().unwrap().sched.outstanding() == 0 {
+            break;
+        }
+        let mut conn = match coordinator_connect(endpoint, shared.spec.seed, CONNECT_DEADLINE) {
+            Ok((conn, _slots)) => {
+                mark_endpoint(shared, ep_idx, true);
+                failures = 0;
+                conn
+            }
+            Err(why) => {
+                if failures == 0 {
+                    shared.log(&format!("supervise: r{w} {why}"));
+                }
+                failures = failures.saturating_add(1);
+                mark_endpoint(shared, ep_idx, false);
+                // Reconnect backoff: the same pure seeded-jitter shape
+                // retries use, keyed by the endpoint and slot so slots
+                // do not thundering-herd one recovering worker.
+                let key = fnv1a(endpoint.as_bytes()) ^ (sub as u64).wrapping_mul(0x9e37);
+                let delay = backoff::delay_ms(shared.spec.seed, key, failures.min(10), 100);
+                let t = Instant::now();
+                while (t.elapsed().as_millis() as u64) < delay {
+                    if shared.state.lock().unwrap().sched.outstanding() == 0 {
+                        break 'outer;
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                continue;
+            }
+        };
+        loop {
+            let Some(job_idx) = claim_job(shared, w) else {
+                let _ = conn.send(&proto::bye(), WRITE_DEADLINE);
+                conn.shutdown();
+                break 'outer;
+            };
+            let alive = run_remote_attempt(shared, w, job_idx, &mut conn, net.as_mut());
+            shared.cv.notify_all();
+            if !alive {
+                conn.shutdown();
+                break;
+            }
+        }
+    }
+    net.map(|n| n.ledger()).unwrap_or_default()
+}
+
+/// Lease `job_idx` to the connected worker and pump frames until the
+/// attempt settles. Returns whether the connection is still usable.
+fn run_remote_attempt(
+    shared: &Shared<'_>,
+    w: usize,
+    job_idx: usize,
+    conn: &mut Connection,
+    mut net: Option<&mut NetChaos>,
+) -> bool {
+    let job = &shared.spec.jobs[job_idx];
+    let wire_job = job_idx as u64;
+    let latest = job.snapshot_dir.as_deref().map(dtsvliw_core::latest_path);
+    let snap_text = latest
+        .as_ref()
+        .filter(|p| p.exists())
+        .and_then(|p| std::fs::read_to_string(p).ok());
+    let mut resumed = snap_text.is_some() && !job.argv.iter().any(|a| a == "--resume");
+    let path_str = |p: &Option<std::path::PathBuf>| p.as_ref().map(|p| p.display().to_string());
+    let (hb_str, snap_str, result_str) = (
+        path_str(&job.heartbeat),
+        path_str(&job.snapshot_dir),
+        path_str(&job.result),
+    );
+
+    let (seq, requeues_so_far, epoch) = {
+        let mut st = shared.state.lock().unwrap();
+        let epoch = st.leases.issue(job_idx);
+        (
+            st.runs[job_idx].records.len(),
+            st.runs[job_idx].requeues,
+            epoch,
+        )
+    };
+    shared.log(&format!(
+        "supervise: r{w} job `{}` attempt {}/{} leased to {} (epoch {epoch}{})",
+        job.name,
+        seq + 1,
+        job.retries + 1,
+        conn.peer(),
+        if resumed { ", shipping snapshot" } else { "" }
+    ));
+
+    let lease = proto::lease(
+        wire_job,
+        epoch,
+        &job.name,
+        &job.argv,
+        job.timeout_ms,
+        hb_str.as_deref(),
+        snap_str.as_deref(),
+        result_str.as_deref(),
+        snap_text.as_deref(),
+    );
+    let spawn_time = Instant::now();
+    if conn.send(&lease, WRITE_DEADLINE).is_err() {
+        settle_lost(shared, w, job_idx, resumed, spawn_time);
+        return false;
+    }
+    {
+        let mut st = shared.state.lock().unwrap();
+        st.workers[w] = WorkerView {
+            job: Some(job.name.clone()),
+            progress: None,
+            remote: true,
+        };
+    }
+
+    let timeout = Duration::from_millis(job.timeout_ms);
+    let stall = job
+        .effective_stall_ms(shared.spec.stall_ms)
+        .map(Duration::from_millis);
+    let soft = job.soft_deadline_ms.map(Duration::from_millis);
+    let mut last_frame = Instant::now();
+    let mut last_change = Instant::now();
+    let mut last_progress = None;
+    let mut last_draw = Instant::now();
+    let mut killed: Option<KillReason> = None;
+    let mut revoke_deadline: Option<Instant> = None;
+    let mut half_open_until: Option<Instant> = None;
+    let mut dup_next_result = false;
+    let mut hb_reset = false;
+
+    loop {
+        // Network strikes against this very connection (seeded per
+        // slot, so the storm is reproducible).
+        if let Some(nc) = net.as_deref_mut() {
+            if last_draw.elapsed() >= Duration::from_millis(50) {
+                last_draw = Instant::now();
+                if let Some(strike) = nc.draw(6) {
+                    nc.record(strike);
+                    shared.state.lock().unwrap().runs[job_idx].chaos_net = true;
+                    match strike {
+                        NetStrike::Reset => conn.shutdown(),
+                        NetStrike::HalfOpen(ms) => {
+                            half_open_until = Some(Instant::now() + Duration::from_millis(ms));
+                        }
+                        NetStrike::Truncate => {
+                            let _ = conn.send_truncated(&proto::bye());
+                        }
+                        NetStrike::DupResult => dup_next_result = true,
+                    }
+                }
+            }
+        }
+
+        match conn.recv(Duration::from_millis(10)) {
+            Err(_) => {
+                // The wire died mid-lease. If a revoke was already
+                // decided, the attempt settles as that kill; otherwise
+                // it is lost. Either way the connection is gone.
+                match killed {
+                    Some(reason) => {
+                        finish_attempt(
+                            shared,
+                            w,
+                            job_idx,
+                            kill_outcome(reason),
+                            resumed,
+                            spawn_time,
+                        );
+                    }
+                    None => settle_lost(shared, w, job_idx, resumed, spawn_time),
+                }
+                return false;
+            }
+            Ok(None) => {}
+            Ok(Some(frame)) => {
+                if half_open_until.is_some_and(|t| Instant::now() < t) {
+                    // Half-open: bytes arrive but nothing is processed
+                    // — and nothing refreshes the liveness clock, so a
+                    // long enough episode trips the silence detector.
+                } else {
+                    last_frame = Instant::now();
+                    match proto::kind(&frame) {
+                        Some("hb") if proto::job_epoch(&frame) == Some((wire_job, epoch)) => {
+                            if let Some(p) = relay_heartbeat(shared, w, job, &frame, &mut hb_reset)
+                            {
+                                if Some(p) != last_progress {
+                                    last_progress = Some(p);
+                                    last_change = Instant::now();
+                                }
+                            }
+                        }
+                        Some("snap") if proto::job_epoch(&frame) == Some((wire_job, epoch)) => {
+                            accept_snapshot(shared, job, &frame);
+                        }
+                        Some("revoked") if proto::job_epoch(&frame) == Some((wire_job, epoch)) => {
+                            if let Some(reason) = killed {
+                                finish_attempt(
+                                    shared,
+                                    w,
+                                    job_idx,
+                                    kill_outcome(reason),
+                                    resumed,
+                                    spawn_time,
+                                );
+                                return true;
+                            }
+                        }
+                        Some("result")
+                            if frame.get("job").and_then(Json::as_u64) == Some(wire_job) =>
+                        {
+                            let result_epoch = frame
+                                .get("epoch")
+                                .and_then(Json::as_u64)
+                                .unwrap_or(u64::MAX);
+                            let settles = if dup_next_result { 2 } else { 1 };
+                            let mut accepted = false;
+                            for _ in 0..settles {
+                                let verdict = {
+                                    let mut st = shared.state.lock().unwrap();
+                                    st.leases.settle(job_idx, result_epoch)
+                                };
+                                match verdict {
+                                    Settle::Ok => accepted = true,
+                                    Settle::Fenced => shared.log(&format!(
+                                        "supervise: r{w} job `{}`: fenced a late result from epoch {result_epoch} (current {epoch})",
+                                        job.name
+                                    )),
+                                    Settle::Duplicate => shared.log(&format!(
+                                        "supervise: r{w} job `{}`: rejected a duplicate result for epoch {result_epoch}",
+                                        job.name
+                                    )),
+                                }
+                            }
+                            if accepted {
+                                if let Some(r) = frame.get("resumed").and_then(Json::as_bool) {
+                                    resumed = r;
+                                }
+                                let outcome = accept_result(shared, job, &frame);
+                                finish_attempt(shared, w, job_idx, outcome, resumed, spawn_time);
+                                return true;
+                            }
+                            // A fenced/duplicate result belongs to no
+                            // live attempt: keep pumping this one.
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        if last_frame.elapsed() >= Duration::from_millis(REMOTE_SILENCE_MS) {
+            match killed {
+                Some(reason) => {
+                    finish_attempt(
+                        shared,
+                        w,
+                        job_idx,
+                        kill_outcome(reason),
+                        resumed,
+                        spawn_time,
+                    );
+                }
+                None => settle_lost(shared, w, job_idx, resumed, spawn_time),
+            }
+            return false;
+        }
+
+        // The same kill policy the local babysit loop applies, driven
+        // from relayed heartbeats instead of a local tail.
+        if killed.is_none() {
+            let elapsed = spawn_time.elapsed();
+            if elapsed >= timeout {
+                killed = Some(KillReason::Timeout);
+            } else if stall.is_some_and(|s| last_change.elapsed() >= s) {
+                killed = Some(KillReason::Stalled);
+            } else if soft.is_some_and(|s| elapsed >= s)
+                && requeues_so_far < shared.spec.max_requeues
+                && latest.as_ref().is_some_and(|p| p.exists())
+            {
+                killed = Some(KillReason::Requeue);
+            }
+            if let Some(reason) = killed {
+                // Fence first, then tell the worker: a result racing
+                // the revoke frame loses either way.
+                shared.state.lock().unwrap().leases.revoke(job_idx);
+                revoke_deadline = Some(Instant::now() + Duration::from_millis(REVOKE_GRACE_MS));
+                if conn
+                    .send(&proto::revoke(wire_job, epoch), WRITE_DEADLINE)
+                    .is_err()
+                {
+                    finish_attempt(
+                        shared,
+                        w,
+                        job_idx,
+                        kill_outcome(reason),
+                        resumed,
+                        spawn_time,
+                    );
+                    return false;
+                }
+            }
+        }
+        if let (Some(reason), Some(deadline)) = (killed, revoke_deadline) {
+            if Instant::now() >= deadline {
+                // The worker never acknowledged: write the connection
+                // off, the epoch is fenced regardless.
+                finish_attempt(
+                    shared,
+                    w,
+                    job_idx,
+                    kill_outcome(reason),
+                    resumed,
+                    spawn_time,
+                );
+                return false;
+            }
+        }
+    }
+}
+
+fn kill_outcome(reason: KillReason) -> Outcome {
+    match reason {
+        KillReason::Timeout => Outcome::Timeout,
+        KillReason::Stalled => Outcome::Stalled,
+        KillReason::Requeue => Outcome::Requeued,
+    }
+}
+
+/// The attempt's connection died before a result settled: fence the
+/// epoch and record a forgivable loss.
+fn settle_lost(shared: &Shared<'_>, w: usize, job_idx: usize, resumed: bool, spawn_time: Instant) {
+    shared.state.lock().unwrap().leases.revoke(job_idx);
+    shared.log(&format!(
+        "supervise: r{w} job `{}`: connection lost, retrying elsewhere",
+        shared.spec.jobs[job_idx].name
+    ));
+    finish_attempt(shared, w, job_idx, Outcome::Lost, resumed, spawn_time);
+}
+
+/// Append a relayed `hb` frame's records to the job's local heartbeat
+/// file (recreated on the attempt's first batch, so the tail-reset
+/// semantics match a local retry) and return the freshest progress.
+fn relay_heartbeat(
+    shared: &Shared<'_>,
+    w: usize,
+    job: &super::spec::JobSpec,
+    frame: &Json,
+    hb_reset: &mut bool,
+) -> Option<super::heartbeat::Progress> {
+    let records = frame.get("records").and_then(Json::as_arr)?;
+    if records.is_empty() {
+        return None; // keepalive
+    }
+    if let Some(path) = &job.heartbeat {
+        use std::io::Write;
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let file = if *hb_reset {
+            std::fs::OpenOptions::new().append(true).open(path).ok()
+        } else {
+            *hb_reset = true;
+            std::fs::File::create(path).ok()
+        };
+        if let Some(mut f) = file {
+            for rec in records {
+                let _ = writeln!(f, "{rec}");
+            }
+        }
+    }
+    let progress = records.iter().rev().find_map(progress_of);
+    if let Some(p) = progress {
+        let mut st = shared.state.lock().unwrap();
+        st.workers[w].progress = Some(p);
+    }
+    progress
+}
+
+/// Verify and land a shipped snapshot as the job's local `latest.json`
+/// (temp-then-rename, like the snapshot layer's own writes), so the
+/// next lease — on any host — resumes from it.
+fn accept_snapshot(shared: &Shared<'_>, job: &super::spec::JobSpec, frame: &Json) {
+    let Some(dir) = &job.snapshot_dir else { return };
+    let Some(text) = proto::verified_data(frame) else {
+        shared.log(&format!(
+            "supervise: job `{}`: shipped snapshot failed its checksum, dropped",
+            job.name
+        ));
+        return;
+    };
+    let path = dtsvliw_core::latest_path(dir);
+    let _ = std::fs::create_dir_all(dir);
+    let tmp = path.with_extension("ship-tmp");
+    if std::fs::write(&tmp, text).is_ok() {
+        let _ = std::fs::rename(&tmp, &path);
+    }
+}
+
+/// Land an accepted result frame: materialise the declared result file
+/// locally (the merge stage digests local files only) and map the wire
+/// outcome back into the local vocabulary.
+fn accept_result(shared: &Shared<'_>, job: &super::spec::JobSpec, frame: &Json) -> Outcome {
+    let label = frame.get("outcome").and_then(Json::as_str).unwrap_or("");
+    let detail = frame.get("detail").and_then(Json::as_i64);
+    let outcome = match Outcome::from_label(label, detail) {
+        Some(o) => o,
+        None => {
+            shared.log(&format!(
+                "supervise: job `{}`: unknown remote outcome `{label}`, treating as lost",
+                job.name
+            ));
+            Outcome::Lost
+        }
+    };
+    if let Some(path) = &job.result {
+        if outcome == Outcome::Success {
+            match frame.get("result").and_then(Json::as_str) {
+                Some(text) => {
+                    if let Some(parent) = path.parent() {
+                        let _ = std::fs::create_dir_all(parent);
+                    }
+                    let _ = std::fs::write(path, text);
+                }
+                // The remote declared the file missing: a stale local
+                // copy from an earlier attempt must not mask that.
+                None => {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+        }
+    }
+    outcome
 }
 
 // ---------------------------------------------------------------------
@@ -547,23 +1079,66 @@ fn status_loop(shared: &Shared<'_>) {
 // Entry point and the deterministic merge
 // ---------------------------------------------------------------------
 
-/// Run the whole campaign: fan the jobs across `opts.workers` slots,
-/// optionally under chaos, and merge the results deterministically.
+/// Probe every `--workers` endpoint once for its advertised slot count
+/// (capped at [`MAX_SLOTS_PER_ENDPOINT`]). An unreachable endpoint
+/// still contributes one retrying slot — it may come back mid-campaign
+/// — so the slot plan is stable whatever the network does. Returns
+/// `(ep_idx, endpoint, sub)` per remote slot.
+fn plan_remote_slots(
+    remotes: &[String],
+    campaign_seed: u64,
+    quiet: bool,
+) -> Vec<(usize, String, usize)> {
+    let mut plan = Vec::new();
+    for (ep_idx, endpoint) in remotes.iter().enumerate() {
+        let slots = match coordinator_connect(endpoint, campaign_seed, CONNECT_DEADLINE) {
+            Ok((mut conn, slots)) => {
+                let _ = conn.send(&proto::bye(), WRITE_DEADLINE);
+                conn.shutdown();
+                let capped = (slots as usize).min(MAX_SLOTS_PER_ENDPOINT);
+                if !quiet {
+                    eprintln!("supervise: worker {endpoint}: {capped} slot(s)");
+                }
+                capped
+            }
+            Err(why) => {
+                if !quiet {
+                    eprintln!("supervise: {why} — keeping 1 retrying slot");
+                }
+                1
+            }
+        };
+        for sub in 0..slots.max(1) {
+            plan.push((ep_idx, endpoint.clone(), sub));
+        }
+    }
+    plan
+}
+
+/// Run the whole campaign: fan the jobs across `opts.workers` local
+/// slots plus any `--workers` remote slots, optionally under chaos, and
+/// merge the results deterministically.
 pub fn run_campaign(spec: &CampaignSpec, opts: &EngineOptions) -> CampaignResult {
     let workers = opts.workers.max(1);
-    let spawn_window = opts.spawn_window.unwrap_or(workers).max(1);
+    let remote_plan = plan_remote_slots(&opts.remotes, spec.seed, opts.quiet);
+    let total_slots = workers + remote_plan.len();
+    let spawn_window = opts.spawn_window.unwrap_or(total_slots).max(1);
     let tenants: Vec<Option<&str>> = spec.jobs.iter().map(|j| j.tenant.as_deref()).collect();
     let shared = Shared {
         spec,
         opts,
         state: Mutex::new(EngineState {
-            sched: Scheduler::new(&tenants, &spec.quotas, workers, spawn_window),
+            sched: Scheduler::new(&tenants, &spec.quotas, total_slots, spawn_window),
             runs: spec.jobs.iter().map(|_| JobRun::default()).collect(),
             running: Vec::new(),
-            workers: vec![WorkerView::default(); workers],
+            workers: vec![WorkerView::default(); total_slots],
             done: 0,
             failed: 0,
             finished_instructions: 0,
+            leases: LeaseTable::new(spec.jobs.len()),
+            endpoint_up: vec![true; opts.remotes.len()],
+            degraded: false,
+            quarantine_evictions: 0,
         }),
         cv: Condvar::new(),
         sink: Mutex::new(StatusSink::new(!opts.quiet)),
@@ -572,7 +1147,8 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &EngineOptions) -> CampaignResult
     };
 
     let shared_ref = &shared;
-    let chaos = std::thread::scope(|scope| {
+    let remote_plan_ref = &remote_plan;
+    let (chaos, net) = std::thread::scope(|scope| {
         let chaos_handle = opts
             .chaos_seed
             .map(|seed| scope.spawn(move || chaos_loop(shared_ref, seed)));
@@ -580,20 +1156,60 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &EngineOptions) -> CampaignResult
         let worker_handles: Vec<_> = (0..workers)
             .map(|w| scope.spawn(move || worker_loop(shared_ref, w)))
             .collect();
+        let remote_handles: Vec<_> = remote_plan_ref
+            .iter()
+            .enumerate()
+            .map(|(i, (ep_idx, endpoint, sub))| {
+                let w = workers + i;
+                let (ep_idx, sub) = (*ep_idx, *sub);
+                scope.spawn(move || remote_slot_loop(shared_ref, w, ep_idx, endpoint, sub))
+            })
+            .collect();
         for h in worker_handles {
             h.join().expect("worker thread panicked");
         }
+        let mut net = NetLedger::default();
+        for h in remote_handles {
+            net.absorb(h.join().expect("remote slot thread panicked"));
+        }
         shared_ref.over.store(true, Ordering::Relaxed);
         status_handle.join().expect("status thread panicked");
-        chaos_handle.map(|h| h.join().expect("chaos thread panicked"))
+        (
+            chaos_handle.map(|h| h.join().expect("chaos thread panicked")),
+            net,
+        )
     });
 
     let st = shared.state.into_inner().unwrap();
+    let dist = (!opts.remotes.is_empty()).then(|| {
+        Json::obj([
+            (
+                "endpoints",
+                Json::Arr(opts.remotes.iter().map(|e| Json::Str(e.clone())).collect()),
+            ),
+            ("remote_slots", Json::U64(remote_plan.len() as u64)),
+            ("degraded", Json::Bool(st.degraded)),
+            ("fenced_results", Json::U64(st.leases.total_fenced())),
+            ("duplicate_results", Json::U64(st.leases.total_duplicates())),
+            (
+                "net_chaos",
+                if opts.chaos_seed.is_some() {
+                    net.summary_json()
+                } else {
+                    Json::Null
+                },
+            ),
+        ])
+    });
+    let fenced_by_job: Vec<u64> = (0..spec.jobs.len())
+        .map(|idx| st.leases.rejected(idx))
+        .collect();
     let mut jobs: Vec<JobResult> = spec
         .jobs
         .iter()
         .zip(st.runs)
-        .map(|(job, run)| {
+        .zip(fenced_by_job)
+        .map(|((job, run), fenced_results)| {
             let succeeded = run.done == Some(true);
             let result_digest = match (&job.result, succeeded) {
                 (Some(path), true) => Some(
@@ -615,6 +1231,7 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &EngineOptions) -> CampaignResult
                 forgiven: run.forgiven,
                 requeues: run.requeues,
                 wall_ms: run.wall_ms,
+                fenced_results,
             }
         })
         .collect();
@@ -627,9 +1244,11 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &EngineOptions) -> CampaignResult
         jobs,
         succeeded,
         failed,
-        workers,
+        workers: total_slots,
         wall_ms: shared.started.elapsed().as_millis() as u64,
         chaos: chaos.map(|e| e.summary_json()),
+        dist,
+        quarantine_evictions: st.quarantine_evictions,
     }
 }
 
@@ -714,6 +1333,7 @@ pub fn attempts_json(spec: &CampaignSpec, result: &CampaignResult) -> Json {
                 ("attempts_used", Json::U64(j.attempts.len() as u64)),
                 ("consumed_retries", Json::U64(j.consumed_retries as u64)),
                 ("forgiven", Json::U64(j.forgiven)),
+                ("fenced_results", Json::U64(j.fenced_results)),
                 ("attempts", Json::Arr(attempts)),
             ])
         })
@@ -749,6 +1369,11 @@ pub fn wallclock_json(result: &CampaignResult) -> Json {
         ("workers", Json::U64(result.workers as u64)),
         ("wall_ms", Json::U64(result.wall_ms)),
         ("chaos", result.chaos.clone().unwrap_or(Json::Null)),
+        ("dist", result.dist.clone().unwrap_or(Json::Null)),
+        (
+            "quarantine_evictions",
+            Json::U64(result.quarantine_evictions),
+        ),
         ("jobs", Json::Arr(jobs)),
     ])
 }
@@ -801,6 +1426,7 @@ mod tests {
                 forgiven: 0,
                 requeues: id, // wall-clock shaped: must not reach the report
                 wall_ms: 1000 + id,
+                fenced_results: 0,
             })
             .collect();
         CampaignResult {
@@ -810,6 +1436,8 @@ mod tests {
             workers: 8,
             wall_ms: 12345,
             chaos: None,
+            dist: None,
+            quarantine_evictions: 0,
         }
     }
 
@@ -844,15 +1472,22 @@ mod tests {
 
     #[test]
     fn chaos_caused_matrix() {
-        assert!(chaos_caused(Outcome::Signal(9), true, false));
-        assert!(!chaos_caused(Outcome::Signal(9), false, true));
-        assert!(chaos_caused(Outcome::Stalled, false, true));
-        assert!(chaos_caused(Outcome::Timeout, false, true));
-        assert!(chaos_caused(Outcome::Timeout, true, false));
-        assert!(!chaos_caused(Outcome::Error(1), true, true));
-        assert!(!chaos_caused(Outcome::Watchdog, true, true));
+        assert!(chaos_caused(Outcome::Signal(9), true, false, false));
+        assert!(!chaos_caused(Outcome::Signal(9), false, true, true));
+        assert!(chaos_caused(Outcome::Stalled, false, true, false));
+        assert!(chaos_caused(Outcome::Timeout, false, true, false));
+        assert!(chaos_caused(Outcome::Timeout, true, false, false));
+        // A network strike starves the relay: stalls and timeouts it
+        // caused are chaos's fault, a clean error never is.
+        assert!(chaos_caused(Outcome::Stalled, false, false, true));
+        assert!(chaos_caused(Outcome::Timeout, false, false, true));
+        assert!(!chaos_caused(Outcome::Error(1), true, true, true));
+        assert!(!chaos_caused(Outcome::Watchdog, true, true, true));
         // Corrupt snapshots are forgiven unconditionally, not via marks.
-        assert!(!chaos_caused(Outcome::CorruptSnapshot, false, false));
+        assert!(!chaos_caused(Outcome::CorruptSnapshot, false, false, false));
+        // Lost is forgiven unconditionally too (worker crash or
+        // partition is never the job's fault), not via marks.
+        assert!(!chaos_caused(Outcome::Lost, false, false, false));
     }
 
     #[test]

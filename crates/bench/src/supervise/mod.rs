@@ -26,10 +26,14 @@
 //! * [`status`] — the multi-worker live status line;
 //! * [`engine`] — worker threads, the attempt loop, and the
 //!   deterministic merge into report / attempts-log / wall-clock
-//!   side-channel documents.
+//!   side-channel documents;
+//! * [`dist`] — the distributed tier (DESIGN.md §14): the TCP/JSONL
+//!   lease protocol behind `--workers` and the `dtsvliw_worker`
+//!   binary, with lease-epoch fencing and network chaos strikes.
 
 pub mod backoff;
 pub mod chaos;
+pub mod dist;
 pub mod engine;
 pub mod heartbeat;
 pub mod outcome;

@@ -47,6 +47,10 @@ pub enum Outcome {
     Signal(i32),
     /// Any other nonzero exit.
     Error(i32),
+    /// A remote attempt whose connection died (worker crash, network
+    /// partition, chaos reset) before a result could settle. Never the
+    /// job's fault: always forgivable, like a corrupt snapshot.
+    Lost,
 }
 
 impl Outcome {
@@ -60,7 +64,27 @@ impl Outcome {
             Outcome::CorruptSnapshot => "corrupt-snapshot",
             Outcome::Signal(_) => "signal",
             Outcome::Error(_) => "error",
+            Outcome::Lost => "lost",
         }
+    }
+
+    /// Parse a wire label back into an outcome (`detail` carries the
+    /// signal or exit code when the label needs one). `None` for labels
+    /// this build does not know — the peer speaks a newer protocol than
+    /// its hello admitted, and the caller treats the result as lost.
+    pub fn from_label(label: &str, detail: Option<i64>) -> Option<Outcome> {
+        Some(match label {
+            "success" => Outcome::Success,
+            "timeout" => Outcome::Timeout,
+            "stalled" => Outcome::Stalled,
+            "requeued" => Outcome::Requeued,
+            "watchdog" => Outcome::Watchdog,
+            "corrupt-snapshot" => Outcome::CorruptSnapshot,
+            "signal" => Outcome::Signal(detail.unwrap_or(0) as i32),
+            "error" => Outcome::Error(detail.unwrap_or(-1) as i32),
+            "lost" => Outcome::Lost,
+            _ => return None,
+        })
     }
 
     /// Outcomes that terminate the attempt without counting as either
@@ -154,11 +178,36 @@ mod tests {
             Outcome::CorruptSnapshot,
             Outcome::Signal(9),
             Outcome::Error(1),
+            Outcome::Lost,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {
                 assert_ne!(a.label(), b.label());
             }
         }
+    }
+
+    #[test]
+    fn labels_roundtrip_through_the_wire() {
+        let all = [
+            Outcome::Success,
+            Outcome::Timeout,
+            Outcome::Stalled,
+            Outcome::Requeued,
+            Outcome::Watchdog,
+            Outcome::CorruptSnapshot,
+            Outcome::Signal(9),
+            Outcome::Error(7),
+            Outcome::Lost,
+        ];
+        for o in all {
+            let detail = match o {
+                Outcome::Signal(s) => Some(s as i64),
+                Outcome::Error(c) => Some(c as i64),
+                _ => None,
+            };
+            assert_eq!(Outcome::from_label(o.label(), detail), Some(o));
+        }
+        assert_eq!(Outcome::from_label("quantum-decohered", None), None);
     }
 }

@@ -1,0 +1,361 @@
+//! End-to-end tests for the distributed campaign tier: a real
+//! `dtsvliw_worker` serving leases over TCP to a real
+//! `dtsvliw_supervise` coordinator.
+//!
+//! The tentpole property mirrors the local chaos guarantee: a
+//! distributed campaign under a full network-chaos storm — with one
+//! worker SIGKILLed mid-flight — must produce a deterministic report
+//! byte-identical to an undisturbed `--jobs 1` local run. Failover is
+//! proven by `cmp`, not claimed.
+
+use dtsvliw_bench::supervise::dist::{coordinator_connect, proto, LeaseTable, Settle};
+use dtsvliw_json::Json;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SUPERVISE: &str = env!("CARGO_BIN_EXE_dtsvliw_supervise");
+const WORKER: &str = env!("CARGO_BIN_EXE_dtsvliw_worker");
+// Referencing the simulator binary forces cargo to build it, so both
+// the supervisor's and the worker's sibling resolution find it.
+const RUN: &str = env!("CARGO_BIN_EXE_dtsvliw_run");
+
+/// A fresh scratch directory under the system temp dir (the workspace
+/// has no tempfile dependency).
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dtsvliw-dist-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("scratch dir");
+    d
+}
+
+/// Reaps the worker process on drop so a failing assert cannot leak it.
+struct WorkerProc {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for WorkerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Start a worker on an ephemeral port and wait for its port file.
+fn start_worker(dir: &Path, tag: &str, slots: usize) -> WorkerProc {
+    let port_file = dir.join(format!("port-{tag}"));
+    let child = Command::new(WORKER)
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--slots",
+            &slots.to_string(),
+            "--quiet",
+        ])
+        .arg("--workdir")
+        .arg(dir.join(format!("wd-{tag}")))
+        .arg("--port-file")
+        .arg(&port_file)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn dtsvliw_worker");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            let text = text.trim().to_string();
+            if !text.is_empty() {
+                break text;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "worker `{tag}` never announced its address"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    WorkerProc { child, addr }
+}
+
+struct Run {
+    code: i32,
+    stderr: String,
+}
+
+fn supervise(dir: &Path, spec: &str, extra: &[&str]) -> Run {
+    std::fs::write(dir.join("spec.json"), spec).expect("write spec");
+    let out = Command::new(SUPERVISE)
+        .current_dir(dir)
+        .arg("spec.json")
+        .args(extra)
+        .output()
+        .expect("run dtsvliw_supervise");
+    Run {
+        code: out.status.code().unwrap_or(-1),
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+    }
+}
+
+fn read(dir: &Path, name: &str) -> String {
+    std::fs::read_to_string(dir.join(name))
+        .unwrap_or_else(|e| panic!("read {name} in {}: {e}", dir.display()))
+}
+
+/// Quick smoke: jobs leased to a remote worker come back with the same
+/// deterministic report a purely local run produces — including result
+/// digests, which travel over the wire as shipped result files.
+#[test]
+fn remote_leases_reproduce_the_local_report() {
+    let local_dir = scratch("smoke-local");
+    let remote_dir = scratch("smoke-remote");
+    let spec = r#"{ "seed": 9, "backoff_ms": 2, "jobs": [
+        { "name": "ok-a", "timeout_ms": 30000, "retries": 1,
+          "argv": ["sh", "-c", "echo '{\"v\": 1}' > a.json"], "result": "a.json" },
+        { "name": "ok-b", "timeout_ms": 30000, "retries": 1,
+          "argv": ["sh", "-c", "echo '{\"v\": 2}' > b.json"], "result": "b.json" } ] }"#;
+    let local = supervise(
+        &local_dir,
+        spec,
+        &["--jobs", "1", "--out", "r.json", "--quiet"],
+    );
+    assert_eq!(local.code, 0, "{}", local.stderr);
+
+    let worker = start_worker(&remote_dir, "w0", 2);
+    let remote = supervise(
+        &remote_dir,
+        spec,
+        &[
+            "--jobs",
+            "1",
+            "--workers",
+            &worker.addr,
+            "--out",
+            "r.json",
+            "--quiet",
+        ],
+    );
+    assert_eq!(remote.code, 0, "{}", remote.stderr);
+    assert_eq!(
+        read(&local_dir, "r.json"),
+        read(&remote_dir, "r.json"),
+        "remote leases must not change the deterministic report"
+    );
+}
+
+/// The tentpole acceptance test: two remote workers, the chaos harness
+/// armed (process strikes *and* network strikes), and one worker
+/// SIGKILLed mid-campaign. The stormed distributed report must be
+/// byte-identical to an undisturbed `--jobs 1` local run, the attempts
+/// doc must surface per-job fencing counts, and the wall-clock ledger
+/// must show the distributed tier actually took strikes.
+#[test]
+fn distributed_chaos_storm_with_a_killed_worker_matches_calm_local_run() {
+    let calm_dir = scratch("storm-calm");
+    let storm_dir = scratch("storm-dist");
+    let job = |name: &str, workload: &str, config: &str, tag: &str| {
+        format!(
+            r#"{{ "name": "{name}", "timeout_ms": 120000, "retries": 8,
+              "argv": ["dtsvliw_run", "--workload", "{workload}", "--scale", "small",
+                       "--max", "20000000", "--config", "{config}", "--geometry", "4x8",
+                       "--snapshot-every", "200000", "--snapshot-dir", "snaps/{tag}",
+                       "--heartbeat=100000", "--heartbeat-out", "hb/{tag}.jsonl",
+                       "--metrics-json", "out/{tag}.json"],
+              "snapshot_dir": "snaps/{tag}", "heartbeat": "hb/{tag}.jsonl",
+              "result": "out/{tag}.json" }}"#
+        )
+    };
+    let spec = format!(
+        r#"{{ "seed": 42, "backoff_ms": 5, "stall_ms": 2500, "jobs": [ {}, {}, {} ] }}"#,
+        job("compress-ideal", "compress", "ideal", "a"),
+        job("compress-feasible", "compress", "feasible", "b"),
+        job("xlisp-ideal", "xlisp", "ideal", "c"),
+    );
+
+    let calm = supervise(
+        &calm_dir,
+        &spec,
+        &["--jobs", "1", "--out", "r.json", "--quiet"],
+    );
+    assert_eq!(calm.code, 0, "undisturbed local run:\n{}", calm.stderr);
+
+    let w0 = start_worker(&storm_dir, "w0", 2);
+    let w1 = start_worker(&storm_dir, "w1", 2);
+    let workers = format!("{},{}", w0.addr, w1.addr);
+    // SIGKILL one worker a few seconds in: a real mid-campaign crash,
+    // on top of the seeded network strikes.
+    let victim_pid = w1.child.id();
+    let assassin = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(4));
+        let _ = Command::new("kill")
+            .args(["-9", &victim_pid.to_string()])
+            .status();
+    });
+    let storm = supervise(
+        &storm_dir,
+        &spec,
+        &[
+            "--jobs",
+            "1",
+            "--workers",
+            &workers,
+            "--chaos",
+            "1337",
+            "--out",
+            "r.json",
+            "--attempts-out",
+            "at.json",
+            "--wallclock-out",
+            "wall.json",
+            "--quiet",
+        ],
+    );
+    assassin.join().unwrap();
+    assert_eq!(
+        storm.code, 0,
+        "stormed distributed run must still converge:\n{}",
+        storm.stderr
+    );
+    assert_eq!(
+        read(&calm_dir, "r.json"),
+        read(&storm_dir, "r.json"),
+        "stormed distributed report must be byte-identical to the calm local one"
+    );
+
+    // The attempts doc surfaces at-most-once accounting per job.
+    let attempts = read(&storm_dir, "at.json");
+    assert!(
+        attempts.contains("\"fenced_results\""),
+        "attempts doc must surface fencing counts:\n{attempts}"
+    );
+
+    // The wall-clock ledger carries the distributed tier's story.
+    let wall = Json::parse(&read(&storm_dir, "wall.json")).expect("wallclock parses");
+    let dist = wall.get("dist").expect("dist ledger present");
+    assert_eq!(
+        dist.get("endpoints")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(2),
+        "{dist:?}"
+    );
+    let strikes = dist
+        .get("net_chaos")
+        .and_then(|n| n.get("strikes"))
+        .and_then(Json::as_u64)
+        .expect("net chaos ledger present");
+    assert!(strikes > 0, "the storm must have attacked the wire");
+}
+
+/// At-most-once, proven against a real worker: a lease the coordinator
+/// fences (a revoke the worker never heard — a partition) produces a
+/// late result that the lease table rejects, while the reassigned
+/// epoch's result settles exactly once.
+#[test]
+fn late_result_after_reassignment_is_fenced() {
+    let dir = scratch("fencing");
+    let worker = start_worker(&dir, "w0", 1);
+    let (mut conn, slots) =
+        coordinator_connect(&worker.addr, 7, Duration::from_secs(5)).expect("handshake");
+    assert_eq!(slots, 1);
+
+    let mut table = LeaseTable::new(1);
+    let epoch0 = table.issue(0);
+    let argv: Vec<String> = ["sh", "-c", "sleep 1; echo '{\"v\": 42}' > out.json"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    conn.send(
+        &proto::lease(
+            0,
+            epoch0,
+            "slowpoke",
+            &argv,
+            30_000,
+            None,
+            None,
+            Some("out.json"),
+            None,
+        ),
+        Duration::from_secs(5),
+    )
+    .expect("lease sends");
+
+    // The coordinator decides the lease is dead (say, its revoke frame
+    // was lost in a partition): the epoch is fenced at decision time,
+    // and the job is reassigned under a fresh epoch that settles first.
+    table.revoke(0);
+    let epoch1 = table.issue(0);
+    assert_eq!(table.settle(0, epoch1), Settle::Ok);
+
+    // The partitioned worker eventually finishes and delivers its late
+    // result for the fenced epoch. It must be rejected.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let verdict = loop {
+        assert!(Instant::now() < deadline, "late result never arrived");
+        match conn.recv(Duration::from_millis(200)) {
+            Ok(Some(frame)) if proto::kind(&frame) == Some("result") => {
+                let epoch = frame.get("epoch").and_then(Json::as_u64).expect("epoch");
+                assert_eq!(epoch, epoch0, "the only in-flight lease was epoch 0");
+                break table.settle(0, epoch);
+            }
+            Ok(_) => {} // keepalives
+            Err(e) => panic!("connection died before the late result: {e}"),
+        }
+    };
+    assert_eq!(verdict, Settle::Fenced, "late result must be fenced");
+    assert_eq!(table.rejected(0), 1);
+    assert_eq!(table.total_fenced(), 1);
+    let _ = conn.send(&proto::bye(), Duration::from_secs(5));
+}
+
+/// Graceful degradation: every configured worker unreachable, yet the
+/// campaign completes on local slots alone — exit 0 — and the
+/// wall-clock ledger records the downgrade.
+#[test]
+fn unreachable_workers_degrade_to_a_local_campaign() {
+    let dir = scratch("degraded");
+    // Port 1: connection refused. Jobs sleep long enough for the remote
+    // slot to observe the dead endpoint while they are outstanding.
+    let spec = r#"{ "seed": 3, "backoff_ms": 2, "jobs": [
+        { "name": "steady-a", "timeout_ms": 30000, "retries": 1,
+          "argv": ["sh", "-c", "sleep 1; echo '{\"v\": 1}' > a.json"], "result": "a.json" },
+        { "name": "steady-b", "timeout_ms": 30000, "retries": 1,
+          "argv": ["sh", "-c", "sleep 1"] } ] }"#;
+    let r = supervise(
+        &dir,
+        spec,
+        &[
+            "--jobs",
+            "2",
+            "--workers",
+            "127.0.0.1:1",
+            "--out",
+            "r.json",
+            "--wallclock-out",
+            "wall.json",
+            "--quiet",
+        ],
+    );
+    assert_eq!(
+        r.code, 0,
+        "zero reachable workers must still complete locally:\n{}",
+        r.stderr
+    );
+    let report = read(&dir, "r.json");
+    assert!(report.contains("\"succeeded\": 2"), "{report}");
+    let wall = Json::parse(&read(&dir, "wall.json")).expect("wallclock parses");
+    let dist = wall.get("dist").expect("dist ledger present");
+    assert_eq!(
+        dist.get("degraded").and_then(Json::as_bool),
+        Some(true),
+        "the downgrade must be recorded: {dist:?}"
+    );
+}
+
+/// The simulator binary referenced above must exist (and this keeps the
+/// `RUN` constant used).
+#[test]
+fn simulator_binary_is_built() {
+    assert!(Path::new(RUN).exists());
+}

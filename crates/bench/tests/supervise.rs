@@ -285,3 +285,35 @@ fn chaos_storm_report_matches_undisturbed_run() {
         .expect("chaos ledger present");
     assert!(actions > 0, "chaos must have acted: {actions}");
 }
+
+#[test]
+fn malformed_worker_lists_are_rejected_naming_the_entry() {
+    let dir = scratch("badworkers");
+    let spec = r#"{ "jobs": [ { "name": "x", "argv": ["sh", "-c", "exit 0"] } ] }"#;
+    std::fs::write(dir.join("spec.json"), spec).expect("write spec");
+    let cases = [
+        ("nocolon", "`nocolon`"),
+        (":7801", "`:7801`"),
+        ("host:port", "`host:port`"),
+        ("host:0", "`host:0`"),
+        ("host:99999", "`host:99999`"),
+        ("a:1,b:2,a:1", "`a:1`"),
+    ];
+    for (list, offender) in cases {
+        let out = Command::new(SUPERVISE)
+            .current_dir(&dir)
+            .args(["spec.json", "--workers", list, "--quiet"])
+            .output()
+            .expect("run dtsvliw_supervise");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--workers {list} must exit 2:\n{stderr}"
+        );
+        assert!(
+            stderr.contains(offender),
+            "--workers {list} rejection must name {offender}:\n{stderr}"
+        );
+    }
+}

@@ -55,7 +55,7 @@ mod stats;
 pub use config::{MachineConfig, ScheduleMode};
 pub use machine::{Machine, MachineError, RunOutcome};
 pub use snapshot::{
-    config_digest, latest_path, quarantine_latest, verify_document, SnapshotError, SNAPSHOT_FORMAT,
-    SNAPSHOT_VERSION,
+    config_digest, latest_path, prune_quarantine, quarantine_latest, verify_document,
+    SnapshotError, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
 };
 pub use stats::RunStats;

@@ -165,6 +165,39 @@ pub fn quarantine_latest(dir: &Path, tag: u64) -> std::io::Result<Option<PathBuf
     Ok(Some(dest))
 }
 
+/// Cap the quarantine: keep the `keep` newest
+/// `latest.json.quarantined-<tag>` files in `dir` (newest by numeric
+/// tag, which [`quarantine_latest`] callers make monotonic; ties and
+/// non-numeric tags fall back to name order) and delete the rest. The
+/// forensic value of a corrupt snapshot decays fast, and a long chaos
+/// storm must not fill the disk with them. Returns how many files were
+/// evicted.
+pub fn prune_quarantine(dir: &Path, keep: usize) -> std::io::Result<u64> {
+    let mut entries: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(tag) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("latest.json.quarantined-"))
+        else {
+            continue;
+        };
+        entries.push((tag.parse().unwrap_or(0), entry.path()));
+    }
+    if entries.len() <= keep {
+        return Ok(0);
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    let evict = entries.len() - keep;
+    let mut evicted = 0u64;
+    for (_, path) in entries.into_iter().take(evict) {
+        std::fs::remove_file(&path)?;
+        evicted += 1;
+    }
+    Ok(evicted)
+}
+
 fn bytes_to_hex(bytes: &[u8]) -> String {
     use std::fmt::Write as _;
     let mut s = String::with_capacity(bytes.len() * 2);

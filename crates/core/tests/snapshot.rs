@@ -338,3 +338,45 @@ fn resume_after_decode_warmup_is_byte_identical_to_a_cold_run() {
     assert_eq!(cold.output_string(), restored.output_string());
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The quarantine retention cap: `prune_quarantine` keeps the newest
+/// `keep` quarantined snapshots (newest by numeric tag) and deletes the
+/// rest, reporting how many it evicted — and leaves `latest.json` and
+/// unrelated files alone.
+#[test]
+fn quarantine_is_capped_to_the_newest_files() {
+    use dtsvliw_core::{latest_path, prune_quarantine, quarantine_latest};
+    let dir = scratch("quarantine-cap");
+
+    // Nothing to prune in an empty or under-cap directory.
+    assert_eq!(prune_quarantine(&dir, 3).expect("prune empty"), 0);
+
+    // Quarantine twelve corrupt "snapshots" with monotonic tags, the
+    // way the supervisor tags them.
+    for tag in 0..12u64 {
+        std::fs::write(latest_path(&dir), format!("corrupt {tag}")).unwrap();
+        quarantine_latest(&dir, tag).expect("quarantine").unwrap();
+    }
+    std::fs::write(latest_path(&dir), "the good one").unwrap();
+    std::fs::write(dir.join("unrelated.txt"), "keep me").unwrap();
+
+    assert_eq!(prune_quarantine(&dir, 3).expect("prune"), 9);
+
+    // The three newest tags survive, the rest are gone.
+    for tag in 9..12u64 {
+        assert!(dir.join(format!("latest.json.quarantined-{tag}")).exists());
+    }
+    for tag in 0..9u64 {
+        assert!(!dir.join(format!("latest.json.quarantined-{tag}")).exists());
+    }
+    assert_eq!(
+        std::fs::read_to_string(latest_path(&dir)).unwrap(),
+        "the good one",
+        "the live snapshot must never be pruned"
+    );
+    assert!(dir.join("unrelated.txt").exists());
+
+    // Idempotent once under the cap.
+    assert_eq!(prune_quarantine(&dir, 3).expect("re-prune"), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
