@@ -1,0 +1,112 @@
+//! Post-mortem campaign explainer: turn a merged Perfetto campaign
+//! trace (from `dtsvliw_supervise --spans-out`) back into a causal
+//! narrative — per-job attempt chains, chaos strikes, forgiveness —
+//! plus a summary table, optionally joined with the attempts and
+//! wall-clock side-channel documents (DESIGN.md §15).
+//!
+//! ```sh
+//! dtsvliw_supervise --spec jobs.json --spans-out trace.json \
+//!     --attempts-out attempts.json --wallclock-out wall.json
+//! dtsvliw_explain --spans trace.json --attempts attempts.json \
+//!     --wallclock wall.json
+//! ```
+//!
+//! `--canon` prints the canonical timestamp-stripped span set instead
+//! (same text `--spans-canon` emits from the raw log), so CI can `cmp`
+//! a chaos storm against a calm run from the trace artifact alone.
+//!
+//! Exit codes: 0 ok, 1 when `--attempts` is given and the trace
+//! disagrees with the attempts log, 2 bad usage or unreadable input.
+
+use dtsvliw_bench::explain::{
+    canonical_from_trace, crosscheck_attempts, narrate, parse_trace, summary_table,
+};
+use dtsvliw_json::Json;
+
+const USAGE: &str = "usage: dtsvliw_explain --spans PATH [options]
+  --spans PATH      merged Perfetto campaign trace (required)
+  --attempts PATH   attempts doc: cross-check the trace against the log
+  --wallclock PATH  wall-clock doc: join per-job wall time into the story
+  --job ID          narrate only this job
+  --canon           print the canonical span set and exit (cmp-gated)";
+
+fn die(msg: &str) -> ! {
+    eprintln!("dtsvliw_explain: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn value(flag: &str, v: Option<String>) -> String {
+    v.unwrap_or_else(|| die(&format!("{flag} needs a value")))
+}
+
+fn load_json(path: &str) -> Json {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    Json::parse(&text).unwrap_or_else(|e| die(&format!("{path}: not valid JSON: {e}")))
+}
+
+fn main() {
+    let mut spans_path: Option<String> = None;
+    let mut attempts_path: Option<String> = None;
+    let mut wallclock_path: Option<String> = None;
+    let mut only_job: Option<u64> = None;
+    let mut canon = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--spans" => spans_path = Some(value("--spans", it.next())),
+            "--attempts" => attempts_path = Some(value("--attempts", it.next())),
+            "--wallclock" => wallclock_path = Some(value("--wallclock", it.next())),
+            "--job" => {
+                let v = value("--job", it.next());
+                only_job = match v.parse() {
+                    Ok(n) => Some(n),
+                    Err(_) => die(&format!("--job needs an integer, got `{v}`")),
+                };
+            }
+            "--canon" => canon = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    let spans_path = spans_path.unwrap_or_else(|| die("--spans is required"));
+    let doc = load_json(&spans_path);
+
+    if canon {
+        match canonical_from_trace(&doc) {
+            Ok(text) => print!("{text}"),
+            Err(e) => die(&format!("{spans_path}: {e}")),
+        }
+        return;
+    }
+
+    let view = match parse_trace(&doc) {
+        Ok(v) => v,
+        Err(e) => die(&format!("{spans_path}: {e}")),
+    };
+    let wallclock = wallclock_path.map(|p| load_json(&p));
+
+    if only_job.is_none() {
+        print!("{}", summary_table(&view));
+        println!();
+    }
+    print!("{}", narrate(&view, wallclock.as_ref(), only_job));
+
+    if let Some(p) = attempts_path {
+        let attempts_doc = load_json(&p);
+        let problems = crosscheck_attempts(&view, &attempts_doc);
+        if problems.is_empty() {
+            println!("cross-check: trace agrees with the attempts log");
+        } else {
+            eprintln!("dtsvliw_explain: trace disagrees with the attempts log:");
+            for p in &problems {
+                eprintln!("  {p}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

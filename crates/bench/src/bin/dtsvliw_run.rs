@@ -481,10 +481,11 @@ fn main() {
         s.overhead_swap, s.overhead_mispredict, s.overhead_next_li, s.overhead_recovery
     );
     println!(
-        "swap gap       : p50 {} / p90 {} / p99 {} cycles",
+        "swap gap       : p50 {} / p90 {} / p99 {} / p99.9 {} cycles",
         s.metrics.swap_gap_cycles.percentile(0.50),
         s.metrics.swap_gap_cycles.percentile(0.90),
         s.metrics.swap_gap_cycles.percentile(0.99),
+        s.metrics.swap_gap_cycles.percentile(0.999),
     );
     println!(
         "mode swaps     : {} ({} next-block-prediction hits)",

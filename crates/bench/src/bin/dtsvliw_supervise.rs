@@ -67,6 +67,12 @@ const USAGE: &str = "usage: dtsvliw_supervise <spec.json> [options]
   --attempts-out PATH  write the attempt-history log
   --wallclock-out PATH write the wall-clock side-channel
   --timeline PATH      write the merged heartbeat timeline (JSONL)
+  --spans-out PATH     write the merged campaign trace (Perfetto JSON,
+                       every slot and worker on one normalised clock)
+  --metrics-addr ADDR  serve Prometheus text /metrics on host:port for
+                       the duration of the campaign
+  --status-width N     clamp the live status line to N columns
+                       (default: COLUMNS, then 120)
   --quiet              silence child stdout and per-attempt log lines";
 
 struct Args {
@@ -79,6 +85,9 @@ struct Args {
     attempts_out: Option<PathBuf>,
     wallclock_out: Option<PathBuf>,
     timeline: Option<PathBuf>,
+    spans_out: Option<PathBuf>,
+    metrics_addr: Option<String>,
+    status_width: Option<usize>,
     quiet: bool,
 }
 
@@ -122,6 +131,9 @@ fn parse_args() -> Args {
         attempts_out: None,
         wallclock_out: None,
         timeline: None,
+        spans_out: None,
+        metrics_addr: None,
+        status_width: None,
         quiet: false,
     };
     let mut spec_seen = false;
@@ -146,6 +158,14 @@ fn parse_args() -> Args {
             "--attempts-out" => args.attempts_out = Some(path("--attempts-out", it.next())),
             "--wallclock-out" => args.wallclock_out = Some(path("--wallclock-out", it.next())),
             "--timeline" => args.timeline = Some(path("--timeline", it.next())),
+            "--spans-out" => args.spans_out = Some(path("--spans-out", it.next())),
+            "--metrics-addr" => match it.next() {
+                Some(v) => args.metrics_addr = Some(v),
+                None => die("--metrics-addr needs a host:port"),
+            },
+            "--status-width" => {
+                args.status_width = Some(positive("--status-width", it.next()));
+            }
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -192,6 +212,8 @@ fn main() {
         chaos_seed: args.chaos_seed,
         quiet: args.quiet,
         remotes: args.remotes,
+        metrics_addr: args.metrics_addr.clone(),
+        status_width: args.status_width,
     };
     let result = run_campaign(&spec, &opts);
 
@@ -215,6 +237,17 @@ fn main() {
         if !args.quiet {
             eprintln!(
                 "supervise: merged {records} heartbeat records into {}",
+                p.display()
+            );
+        }
+    }
+    if let Some(p) = &args.spans_out {
+        let doc = dtsvliw_trace::merge_perfetto(&result.spans);
+        write_doc(p, &(doc.to_string_pretty() + "\n"));
+        if !args.quiet {
+            eprintln!(
+                "supervise: merged {} span events into {}",
+                result.spans.len(),
                 p.display()
             );
         }

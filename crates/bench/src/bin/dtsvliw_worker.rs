@@ -29,6 +29,7 @@ const USAGE: &str = "usage: dtsvliw_worker [options]
   --workdir DIR        root for per-lease scratch directories
                        (default: a fresh directory under the temp dir)
   --port-file PATH     write the bound address here once listening
+  --metrics-addr ADDR  serve Prometheus text /metrics on host:port
   --quiet              silence per-lease log lines";
 
 fn die(msg: &str) -> ! {
@@ -47,6 +48,7 @@ fn main() {
         slots: std::thread::available_parallelism().map_or(1, |n| n.get()),
         workdir: std::env::temp_dir().join(format!("dtsvliw-worker-{}", std::process::id())),
         port_file: None,
+        metrics_addr: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -62,6 +64,7 @@ fn main() {
             }
             "--workdir" => opts.workdir = PathBuf::from(value("--workdir", it.next())),
             "--port-file" => opts.port_file = Some(PathBuf::from(value("--port-file", it.next()))),
+            "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr", it.next())),
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");

@@ -1,0 +1,628 @@
+//! Post-mortem campaign explainer (DESIGN.md §15).
+//!
+//! `dtsvliw_supervise --spans-out` merges every scheduling decision —
+//! on both sides of the wire — into one Perfetto trace. This module
+//! reads that document *back* and reconstructs the campaign's causal
+//! story: per-job attempt chains (what ran where, what killed it, what
+//! was forgiven and why), the chaos strikes and steals that shaped the
+//! schedule, and a summary table. It also re-derives the canonical
+//! timestamp-stripped span set from the trace, so CI can `cmp` a chaos
+//! storm against a calm run without keeping the raw span log around.
+//!
+//! Everything here is pure text-in/text-out and unit-testable; the
+//! `dtsvliw_explain` binary is a thin shell over it.
+
+use dtsvliw_json::Json;
+
+/// One attempt (or soft-deadline requeue) reconstructed from the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptView {
+    pub job: u64,
+    pub name: String,
+    /// Consumed-retry index; `None` for soft-deadline requeues (they
+    /// consume nothing) and unclosed attempts.
+    pub n: Option<u64>,
+    pub outcome: String,
+    pub forgiven: bool,
+    pub resumed: bool,
+    /// Campaign-clock start and duration, milliseconds.
+    pub t_ms: u64,
+    pub dur_ms: u64,
+    /// Slot track the attempt ran on (`w0`, `r2:host:port#0`, ...).
+    pub track: String,
+}
+
+/// The whole campaign as reconstructed from a merged Perfetto trace.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignView {
+    pub jobs: u64,
+    pub workers: u64,
+    pub succeeded: Option<u64>,
+    pub failed: Option<u64>,
+    /// Attempts in document order (nondecreasing start time).
+    pub attempts: Vec<AttemptView>,
+    /// `(t_ms, action, track)` per executed chaos strike.
+    pub strikes: Vec<(u64, String, String)>,
+    /// `(t_ms, job, track)` per work-stealing claim.
+    pub steals: Vec<(u64, u64, String)>,
+    pub reconnects: u64,
+    pub snapshot_ships: u64,
+    /// Lease intervals: `(t_ms, dur_ms, job, track)`.
+    pub leases: Vec<(u64, u64, Option<u64>, String)>,
+}
+
+fn astr(args: &Json, key: &str) -> Option<String> {
+    args.get(key).and_then(Json::as_str).map(str::to_string)
+}
+
+fn au64(args: &Json, key: &str) -> Option<u64> {
+    args.get(key).and_then(Json::as_u64)
+}
+
+fn abool(args: &Json, key: &str) -> bool {
+    args.get(key).and_then(Json::as_bool).unwrap_or(false)
+}
+
+/// Reconstruct the campaign from a merged Perfetto document (the array
+/// form `merge_perfetto` emits). Unknown records are skipped — the
+/// explainer must keep working as the span taxonomy grows.
+pub fn parse_trace(doc: &Json) -> Result<CampaignView, String> {
+    let arr = doc
+        .as_arr()
+        .ok_or_else(|| "not a trace-event array".to_string())?;
+    // Resolve tid -> track name from the thread_name metadata.
+    let mut tracks: Vec<(u64, String)> = Vec::new();
+    for rec in arr {
+        if rec.get("ph").and_then(Json::as_str) == Some("M")
+            && rec.get("name").and_then(Json::as_str) == Some("thread_name")
+        {
+            if let (Some(tid), Some(name)) = (
+                rec.get("tid").and_then(Json::as_u64),
+                rec.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str),
+            ) {
+                tracks.push((tid, name.to_string()));
+            }
+        }
+    }
+    let track_of = |rec: &Json| -> String {
+        let tid = rec.get("tid").and_then(Json::as_u64).unwrap_or(0);
+        tracks
+            .iter()
+            .find(|(t, _)| *t == tid)
+            .map(|(_, n)| n.clone())
+            .unwrap_or_else(|| format!("tid{tid}"))
+    };
+
+    let mut view = CampaignView::default();
+    for rec in arr {
+        let ph = rec.get("ph").and_then(Json::as_str).unwrap_or("");
+        if ph != "X" && ph != "i" {
+            continue;
+        }
+        let Some(args) = rec.get("args") else {
+            continue;
+        };
+        let t_ms = rec.get("ts").and_then(Json::as_u64).unwrap_or(0) / 1000;
+        let dur_ms = rec.get("dur").and_then(Json::as_u64).unwrap_or(0) / 1000;
+        match astr(args, "kind").as_deref() {
+            Some("campaign") => {
+                view.jobs = au64(args, "jobs").unwrap_or(0);
+                view.workers = au64(args, "workers").unwrap_or(0);
+                view.succeeded = au64(args, "succeeded");
+                view.failed = au64(args, "failed");
+            }
+            Some("job_attempt") => {
+                let Some(job) = au64(args, "job") else {
+                    continue;
+                };
+                view.attempts.push(AttemptView {
+                    job,
+                    name: astr(args, "name").unwrap_or_default(),
+                    n: au64(args, "n"),
+                    outcome: astr(args, "outcome").unwrap_or_else(|| {
+                        if abool(args, "unclosed") {
+                            "unclosed".to_string()
+                        } else {
+                            "?".to_string()
+                        }
+                    }),
+                    forgiven: abool(args, "forgiven"),
+                    resumed: abool(args, "resumed"),
+                    t_ms,
+                    dur_ms,
+                    track: track_of(rec),
+                });
+            }
+            Some("chaos_strike") => {
+                view.strikes.push((
+                    t_ms,
+                    astr(args, "action").unwrap_or_else(|| "?".to_string()),
+                    track_of(rec),
+                ));
+            }
+            Some("steal") => {
+                view.steals
+                    .push((t_ms, au64(args, "job").unwrap_or(0), track_of(rec)));
+            }
+            Some("reconnect") => view.reconnects += 1,
+            Some("snapshot_ship") => view.snapshot_ships += 1,
+            // Worker-side lease mirrors ride their own track; count
+            // only coordinator-side intervals to avoid doubling.
+            Some("lease") if astr(args, "side").as_deref() != Some("worker") => {
+                view.leases
+                    .push((t_ms, dur_ms, au64(args, "job"), track_of(rec)));
+            }
+            _ => {}
+        }
+    }
+    Ok(view)
+}
+
+/// Re-derive the canonical timestamp-stripped span set from a merged
+/// Perfetto document — the same text `dtsvliw_trace::canonical_spans`
+/// renders from the raw span log, so either side of a `cmp` gate can be
+/// produced from the trace artifact alone.
+pub fn canonical_from_trace(doc: &Json) -> Result<String, String> {
+    let view = parse_trace(doc)?;
+    let mut lines: Vec<(u64, u64, String)> = Vec::new();
+    for a in &view.attempts {
+        let Some(n) = a.n else { continue };
+        if a.forgiven || a.outcome == "unclosed" {
+            continue;
+        }
+        lines.push((
+            a.job,
+            n,
+            format!(
+                "{{\"kind\":\"job_attempt\",\"job\":{},\"n\":{n},\"outcome\":\"{}\"}}",
+                a.job, a.outcome
+            ),
+        ));
+    }
+    lines.sort();
+    lines.dedup();
+    let mut out = format!("{{\"kind\":\"campaign\",\"jobs\":{}}}\n", view.jobs);
+    for (_, _, line) in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Per-job attempt chains in execution order: `(job, attempts)` sorted
+/// by job id, each job's attempts by start time. Soft-deadline requeues
+/// (no consumed index) ride along in their time-order position — they
+/// are part of the causal story even though the attempts log omits
+/// them.
+pub fn attempt_chains(view: &CampaignView) -> Vec<(u64, Vec<&AttemptView>)> {
+    let mut ids: Vec<u64> = view.attempts.iter().map(|a| a.job).collect();
+    ids.sort();
+    ids.dedup();
+    ids.into_iter()
+        .map(|job| {
+            let mut chain: Vec<&AttemptView> =
+                view.attempts.iter().filter(|a| a.job == job).collect();
+            chain.sort_by_key(|a| (a.t_ms, a.n));
+            (job, chain)
+        })
+        .collect()
+}
+
+/// Cross-check the trace-derived attempt chains against the attempts
+/// side-channel document: for every job, the ordered sequence of
+/// `(outcome, forgiven, resumed)` of real attempts (requeues excluded)
+/// must match the log exactly. Returns the list of mismatch
+/// descriptions (empty means the two documents tell one story).
+pub fn crosscheck_attempts(view: &CampaignView, attempts_doc: &Json) -> Vec<String> {
+    let mut problems = Vec::new();
+    let Some(jobs) = attempts_doc.get("jobs").and_then(Json::as_arr) else {
+        return vec!["attempts doc has no jobs array".to_string()];
+    };
+    for jdoc in jobs {
+        let Some(id) = jdoc.get("id").and_then(Json::as_u64) else {
+            continue;
+        };
+        let logged: Vec<(String, bool, bool)> = jdoc
+            .get("attempts")
+            .and_then(Json::as_arr)
+            .map(|a| {
+                a.iter()
+                    .map(|r| {
+                        (
+                            r.get("outcome")
+                                .and_then(Json::as_str)
+                                .unwrap_or("?")
+                                .to_string(),
+                            r.get("forgiven").and_then(Json::as_bool).unwrap_or(false),
+                            r.get("resumed").and_then(Json::as_bool).unwrap_or(false),
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut traced: Vec<&AttemptView> = view
+            .attempts
+            .iter()
+            .filter(|a| a.job == id && a.n.is_some() && a.outcome != "unclosed")
+            .collect();
+        traced.sort_by_key(|a| (a.t_ms, a.n));
+        if traced.len() != logged.len() {
+            problems.push(format!(
+                "job {id}: trace has {} attempts, log has {}",
+                traced.len(),
+                logged.len()
+            ));
+            continue;
+        }
+        for (i, (t, l)) in traced.iter().zip(&logged).enumerate() {
+            if t.outcome != l.0 || t.forgiven != l.1 || t.resumed != l.2 {
+                problems.push(format!(
+                    "job {id} attempt {i}: trace says {}/forgiven={}/resumed={}, \
+                     log says {}/forgiven={}/resumed={}",
+                    t.outcome, t.forgiven, t.resumed, l.0, l.1, l.2
+                ));
+            }
+        }
+    }
+    problems
+}
+
+fn fmt_ms(ms: u64) -> String {
+    if ms >= 10_000 {
+        format!("{:.1}s", ms as f64 / 1000.0)
+    } else {
+        format!("{ms}ms")
+    }
+}
+
+/// The campaign summary table: identity, outcomes, and the disturbance
+/// ledger, rendered as aligned text.
+pub fn summary_table(view: &CampaignView) -> String {
+    let mut outcome_counts: Vec<(String, u64)> = Vec::new();
+    for a in &view.attempts {
+        match outcome_counts.iter_mut().find(|(o, _)| *o == a.outcome) {
+            Some((_, c)) => *c += 1,
+            None => outcome_counts.push((a.outcome.clone(), 1)),
+        }
+    }
+    outcome_counts.sort();
+    let outcomes = outcome_counts
+        .iter()
+        .map(|(o, c)| format!("{o} x{c}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut s = String::new();
+    s.push_str("campaign summary\n");
+    s.push_str(&format!(
+        "  jobs            : {} ({} succeeded, {} failed)\n",
+        view.jobs,
+        view.succeeded.map_or("?".to_string(), |v| v.to_string()),
+        view.failed.map_or("?".to_string(), |v| v.to_string()),
+    ));
+    s.push_str(&format!("  worker slots    : {}\n", view.workers));
+    s.push_str(&format!(
+        "  attempts        : {} ({outcomes})\n",
+        view.attempts.len()
+    ));
+    s.push_str(&format!("  leases          : {}\n", view.leases.len()));
+    s.push_str(&format!("  steals          : {}\n", view.steals.len()));
+    s.push_str(&format!("  reconnects      : {}\n", view.reconnects));
+    s.push_str(&format!("  snapshot ships  : {}\n", view.snapshot_ships));
+    s.push_str(&format!("  chaos strikes   : {}\n", view.strikes.len()));
+    s
+}
+
+/// The per-job causal narrative: every attempt in time order with where
+/// it ran, how long, how it ended, and why that was (or was not) held
+/// against the job — joined with the wall-clock doc's per-job ledger
+/// when provided.
+pub fn narrate(view: &CampaignView, wallclock_doc: Option<&Json>, only_job: Option<u64>) -> String {
+    let wall_of = |id: u64| -> Option<(u64, u64)> {
+        let jobs = wallclock_doc?.get("jobs")?.as_arr()?;
+        let j = jobs
+            .iter()
+            .find(|j| j.get("id").and_then(Json::as_u64) == Some(id))?;
+        Some((
+            j.get("wall_ms").and_then(Json::as_u64).unwrap_or(0),
+            j.get("tail_truncated").and_then(Json::as_u64).unwrap_or(0),
+        ))
+    };
+    let mut s = String::new();
+    for (job, chain) in attempt_chains(view) {
+        if only_job.is_some_and(|j| j != job) {
+            continue;
+        }
+        let name = chain
+            .iter()
+            .map(|a| a.name.as_str())
+            .find(|n| !n.is_empty())
+            .unwrap_or("?");
+        let last = chain.last();
+        let fate = match last.map(|a| a.outcome.as_str()) {
+            Some("success") => "succeeded",
+            Some("unclosed") => "never settled",
+            Some(_) => "failed",
+            None => "never ran",
+        };
+        let consumed = chain.iter().filter_map(|a| a.n).max().map_or(0, |n| n + 1);
+        let forgiven = chain.iter().filter(|a| a.forgiven).count();
+        let requeues = chain
+            .iter()
+            .filter(|a| a.n.is_none() && a.outcome == "requeued")
+            .count();
+        s.push_str(&format!(
+            "job {job} `{name}` — {fate} ({} attempt(s) consumed, {forgiven} forgiven, \
+             {requeues} requeue(s))",
+            consumed
+        ));
+        if let Some((wall, torn)) = wall_of(job) {
+            s.push_str(&format!(", {} wall", fmt_ms(wall)));
+            if torn > 0 {
+                s.push_str(&format!(", {torn} torn heartbeat tail(s)"));
+            }
+        }
+        s.push('\n');
+        for a in chain {
+            let what = match (a.n, a.outcome.as_str()) {
+                (None, "requeued") => {
+                    "hit its soft deadline: checkpointed and requeued (no retry consumed)"
+                        .to_string()
+                }
+                (_, "success") if a.resumed => "succeeded, resumed from a snapshot".to_string(),
+                (_, "success") => "succeeded".to_string(),
+                (_, out) if a.forgiven => format!(
+                    "ended `{out}` but was forgiven (chaos or a lost worker, not the job's fault)"
+                ),
+                (_, out) => format!("ended `{out}` (retry consumed)"),
+            };
+            let idx =
+                a.n.map(|n| format!("n={n}"))
+                    .unwrap_or_else(|| "requeue".to_string());
+            s.push_str(&format!(
+                "  [{:>8} +{:<8}] {:<12} {idx}: {what}\n",
+                fmt_ms(a.t_ms),
+                fmt_ms(a.dur_ms),
+                a.track,
+            ));
+        }
+        // Strikes that landed during this job's attempts are part of
+        // its story even though they live on the chaos track.
+        for (t, action, _) in &view.strikes {
+            let during = view
+                .attempts
+                .iter()
+                .filter(|a| a.job == job)
+                .any(|a| *t >= a.t_ms && *t <= a.t_ms + a.dur_ms);
+            if during {
+                s.push_str(&format!(
+                    "  [{:>8}          ] chaos        strike: {action}\n",
+                    fmt_ms(*t)
+                ));
+            }
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtsvliw_trace::{canonical_spans, merge_perfetto, SpanEvent, SpanKind, SpanPhase};
+
+    fn sev(
+        t: u64,
+        kind: SpanKind,
+        phase: SpanPhase,
+        id: u64,
+        track: &str,
+        args: Vec<(String, Json)>,
+    ) -> SpanEvent {
+        SpanEvent {
+            t_ms: t,
+            kind,
+            phase,
+            id,
+            track: track.to_string(),
+            args,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_pair(
+        t0: u64,
+        t1: u64,
+        id: u64,
+        job: u64,
+        n: Option<u64>,
+        outcome: &str,
+        forgiven: bool,
+        track: &str,
+    ) -> Vec<SpanEvent> {
+        let mut bargs = vec![
+            ("job".to_string(), Json::U64(job)),
+            ("name".to_string(), Json::Str(format!("job{job}"))),
+        ];
+        let mut eargs = vec![
+            ("job".to_string(), Json::U64(job)),
+            ("outcome".to_string(), Json::Str(outcome.to_string())),
+            ("forgiven".to_string(), Json::Bool(forgiven)),
+            ("resumed".to_string(), Json::Bool(false)),
+        ];
+        if let Some(n) = n {
+            bargs.push(("n".to_string(), Json::U64(n)));
+            eargs.push(("n".to_string(), Json::U64(n)));
+        }
+        vec![
+            sev(t0, SpanKind::JobAttempt, SpanPhase::Begin, id, track, bargs),
+            sev(t1, SpanKind::JobAttempt, SpanPhase::End, id, track, eargs),
+        ]
+    }
+
+    fn fixture_events() -> Vec<SpanEvent> {
+        let mut events = vec![sev(
+            0,
+            SpanKind::Campaign,
+            SpanPhase::Begin,
+            1,
+            "campaign",
+            vec![
+                ("jobs".to_string(), Json::U64(2)),
+                ("workers".to_string(), Json::U64(2)),
+            ],
+        )];
+        events.extend(attempt_pair(5, 20, 2, 0, Some(0), "success", false, "w0"));
+        // Job 1: a forgiven chaos kill, then a consumed timeout, then
+        // success.
+        events.extend(attempt_pair(5, 12, 3, 1, Some(0), "signal", true, "w1"));
+        events.push(sev(
+            8,
+            SpanKind::ChaosStrike,
+            SpanPhase::Instant,
+            0,
+            "chaos",
+            vec![("action".to_string(), Json::Str("kill".to_string()))],
+        ));
+        events.extend(attempt_pair(13, 30, 4, 1, Some(0), "timeout", false, "w1"));
+        events.extend(attempt_pair(31, 44, 5, 1, Some(1), "success", false, "w0"));
+        events.push(sev(
+            31,
+            SpanKind::Steal,
+            SpanPhase::Instant,
+            0,
+            "w0",
+            vec![("job".to_string(), Json::U64(1))],
+        ));
+        events.push(sev(
+            44,
+            SpanKind::Campaign,
+            SpanPhase::End,
+            1,
+            "campaign",
+            vec![
+                ("succeeded".to_string(), Json::U64(2)),
+                ("failed".to_string(), Json::U64(0)),
+            ],
+        ));
+        events
+    }
+
+    #[test]
+    fn trace_round_trips_into_a_campaign_view() {
+        let doc = merge_perfetto(&fixture_events());
+        let view = parse_trace(&doc).unwrap();
+        assert_eq!(view.jobs, 2);
+        assert_eq!(view.succeeded, Some(2));
+        assert_eq!(view.attempts.len(), 4);
+        assert_eq!(view.strikes.len(), 1);
+        assert_eq!(view.steals.len(), 1);
+        let chains = attempt_chains(&view);
+        assert_eq!(chains.len(), 2);
+        let (job1, chain1) = &chains[1];
+        assert_eq!(*job1, 1);
+        let outcomes: Vec<&str> = chain1.iter().map(|a| a.outcome.as_str()).collect();
+        assert_eq!(outcomes, vec!["signal", "timeout", "success"]);
+        assert!(chain1[0].forgiven && !chain1[1].forgiven);
+    }
+
+    #[test]
+    fn canonical_from_trace_matches_the_span_log_projection() {
+        let events = fixture_events();
+        let doc = merge_perfetto(&events);
+        assert_eq!(
+            canonical_from_trace(&doc).unwrap(),
+            canonical_spans(&events),
+            "the trace artifact and the raw log must canonicalise identically"
+        );
+    }
+
+    #[test]
+    fn crosscheck_agrees_with_a_faithful_attempts_doc() {
+        let doc = merge_perfetto(&fixture_events());
+        let view = parse_trace(&doc).unwrap();
+        let rec = |outcome: &str, forgiven: bool| {
+            Json::obj([
+                ("outcome", Json::Str(outcome.to_string())),
+                ("forgiven", Json::Bool(forgiven)),
+                ("resumed", Json::Bool(false)),
+            ])
+        };
+        let attempts_doc = Json::obj([(
+            "jobs",
+            Json::Arr(vec![
+                Json::obj([
+                    ("id", Json::U64(0)),
+                    ("attempts", Json::Arr(vec![rec("success", false)])),
+                ]),
+                Json::obj([
+                    ("id", Json::U64(1)),
+                    (
+                        "attempts",
+                        Json::Arr(vec![
+                            rec("signal", true),
+                            rec("timeout", false),
+                            rec("success", false),
+                        ]),
+                    ),
+                ]),
+            ]),
+        )]);
+        assert_eq!(
+            crosscheck_attempts(&view, &attempts_doc),
+            Vec::<String>::new()
+        );
+        // A doc that disagrees must be called out, not glossed over.
+        let wrong = Json::obj([(
+            "jobs",
+            Json::Arr(vec![Json::obj([
+                ("id", Json::U64(0)),
+                ("attempts", Json::Arr(vec![rec("timeout", false)])),
+            ])]),
+        )]);
+        let problems = crosscheck_attempts(&view, &wrong);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("job 0"), "{problems:?}");
+    }
+
+    #[test]
+    fn narrative_tells_the_forgiveness_story() {
+        let doc = merge_perfetto(&fixture_events());
+        let view = parse_trace(&doc).unwrap();
+        let text = narrate(&view, None, None);
+        assert!(text.contains("job 1 `job1` — succeeded"), "{text}");
+        assert!(text.contains("forgiven"), "{text}");
+        assert!(text.contains("retry consumed"), "{text}");
+        assert!(text.contains("strike: kill"), "{text}");
+        let table = summary_table(&view);
+        assert!(
+            table.contains("jobs            : 2 (2 succeeded, 0 failed)"),
+            "{table}"
+        );
+        assert!(table.contains("chaos strikes   : 1"), "{table}");
+        // Single-job narration filters.
+        let only0 = narrate(&view, None, Some(0));
+        assert!(
+            only0.contains("job 0") && !only0.contains("job 1 "),
+            "{only0}"
+        );
+    }
+
+    #[test]
+    fn wallclock_join_enriches_the_header() {
+        let doc = merge_perfetto(&fixture_events());
+        let view = parse_trace(&doc).unwrap();
+        let wallclock = Json::obj([(
+            "jobs",
+            Json::Arr(vec![Json::obj([
+                ("id", Json::U64(0)),
+                ("wall_ms", Json::U64(15_000)),
+                ("tail_truncated", Json::U64(1)),
+            ])]),
+        )]);
+        let text = narrate(&view, Some(&wallclock), Some(0));
+        assert!(text.contains("15.0s wall"), "{text}");
+        assert!(text.contains("1 torn heartbeat tail(s)"), "{text}");
+    }
+}

@@ -11,6 +11,7 @@
 //! * `--quick` — test scale with a 200k budget (CI smoke runs);
 //! * `--json PATH` — dump raw results as JSON.
 
+pub mod explain;
 pub mod harness;
 pub mod report;
 pub mod supervise;

@@ -41,16 +41,27 @@ pub fn hello(campaign_seed: u64) -> Json {
         ("proto", Json::U64(PROTO_VERSION)),
         ("role", Json::Str("coordinator".to_string())),
         ("seed", Json::U64(campaign_seed)),
+        // Capability, not a version bump: a worker that predates spans
+        // ignores the key, and `wants_spans` reads absent as false.
+        ("spans", Json::Bool(true)),
     ])
 }
 
-pub fn hello_ack(slots: u64, worker: &str) -> Json {
+pub fn hello_ack(slots: u64, worker: &str, spans: bool) -> Json {
     Json::obj([
         ("t", Json::Str("hello-ack".to_string())),
         ("proto", Json::U64(PROTO_VERSION)),
         ("slots", Json::U64(slots)),
         ("worker", Json::Str(worker.to_string())),
+        ("spans", Json::Bool(spans)),
     ])
+}
+
+/// Whether the peer negotiated span relay in its hello/hello-ack. Absent
+/// means no — the key arrived with the observability tier and older
+/// builds never send it.
+pub fn wants_spans(frame: &Json) -> bool {
+    frame.get("spans").and_then(Json::as_bool).unwrap_or(false)
 }
 
 /// Validate an incoming hello; `Err` carries the refusal reason.
@@ -199,6 +210,30 @@ pub fn result(
     ])
 }
 
+/// Attach a batch of worker-local span records to an outgoing `hb` or
+/// `result` frame. Only called when the handshake negotiated spans; an
+/// old coordinator simply never sees the key.
+pub fn attach_spans(frame: &mut Json, spans: Vec<Json>) {
+    if spans.is_empty() {
+        return;
+    }
+    if let Json::Obj(pairs) = frame {
+        pairs.push(("spans".to_string(), Json::Arr(spans)));
+    }
+}
+
+/// Attach the worker-side torn-heartbeat-tail count to a `result` frame
+/// (omitted when zero — the common case stays byte-identical to the
+/// pre-observability wire shape).
+pub fn attach_tail_truncated(frame: &mut Json, truncated: u64) {
+    if truncated == 0 {
+        return;
+    }
+    if let Json::Obj(pairs) = frame {
+        pairs.push(("tail_truncated".to_string(), Json::U64(truncated)));
+    }
+}
+
 /// Revocation acknowledged: the child is dead, no result will follow
 /// for this epoch.
 pub fn revoked(job: u64, epoch: u64) -> Json {
@@ -292,5 +327,30 @@ mod tests {
         assert_eq!(r.get("outcome").and_then(Json::as_str), Some("error"));
         assert_eq!(r.get("detail").and_then(Json::as_i64), Some(7));
         assert_eq!(r.get("resumed").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn spans_are_negotiated_not_assumed() {
+        assert!(wants_spans(&hello(1)));
+        assert!(wants_spans(&hello_ack(2, "w", true)));
+        assert!(!wants_spans(&hello_ack(2, "w", false)));
+        // A frame from a build that predates the key reads as false.
+        assert!(!wants_spans(&bye()));
+    }
+
+    #[test]
+    fn optional_fields_attach_only_when_nonempty() {
+        let mut r = result(2, 5, "success", None, false, Some("{}"), false);
+        let bare = r.to_string();
+        attach_spans(&mut r, vec![]);
+        attach_tail_truncated(&mut r, 0);
+        assert_eq!(r.to_string(), bare, "empty attachments must be no-ops");
+        attach_spans(
+            &mut r,
+            vec![Json::obj([("kind", Json::Str("lease".into()))])],
+        );
+        attach_tail_truncated(&mut r, 3);
+        assert_eq!(r.get("spans").and_then(Json::as_arr).unwrap().len(), 1);
+        assert_eq!(r.get("tail_truncated").and_then(Json::as_u64), Some(3));
     }
 }

@@ -20,13 +20,17 @@
 
 use super::client::Connection;
 use super::proto;
+use crate::supervise::metrics::{spawn_metrics_server, WorkerCounters};
 use crate::supervise::outcome::{classify, KillReason, Outcome};
 use crate::supervise::resolve_program;
 use dtsvliw_json::Json;
+use dtsvliw_trace::{SpanEvent, SpanKind, SpanPhase};
 use std::io::Read;
 use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Cadence of empty `hb` keepalive frames while the child is quiet.
@@ -47,6 +51,8 @@ pub struct WorkerOptions {
     /// Write the bound address here once listening (tests and scripts
     /// bind port 0 and discover the port from this file).
     pub port_file: Option<PathBuf>,
+    /// Serve the worker-side `/metrics` page here when set.
+    pub metrics_addr: Option<String>,
     pub quiet: bool,
 }
 
@@ -68,21 +74,36 @@ pub fn serve(opts: &WorkerOptions) -> std::io::Result<()> {
         std::fs::rename(&tmp, pf)?;
     }
     eprintln!("dtsvliw_worker: listening on {addr} ({} slots)", opts.slots);
+    let counters = Arc::new(WorkerCounters::new());
+    if let Some(maddr) = &opts.metrics_addr {
+        // The daemon serves until killed, so the stop flag never flips
+        // and the server thread simply dies with the process.
+        let registry = Arc::clone(&counters);
+        let page: Arc<dyn Fn() -> String + Send + Sync> = Arc::new(move || registry.render());
+        match spawn_metrics_server(maddr, page, Arc::new(AtomicBool::new(false))) {
+            Ok((bound, _handle)) => {
+                eprintln!("dtsvliw_worker: metrics on http://{bound}/metrics");
+            }
+            Err(e) => eprintln!("dtsvliw_worker: cannot bind metrics endpoint {maddr}: {e}"),
+        }
+    }
     let opts = WorkerOptions {
         listen: addr.to_string(),
         slots: opts.slots,
         workdir: opts.workdir.clone(),
         port_file: opts.port_file.clone(),
+        metrics_addr: opts.metrics_addr.clone(),
         quiet: opts.quiet,
     };
     let opts = std::sync::Arc::new(opts);
     loop {
         let (stream, peer) = listener.accept()?;
         let opts = opts.clone();
+        let counters = Arc::clone(&counters);
         std::thread::spawn(move || {
             log(&opts, &format!("session from {peer}"));
             match Connection::from_stream(stream) {
-                Ok(conn) => session(&opts, conn),
+                Ok(conn) => session(&opts, conn, &counters),
                 Err(e) => log(&opts, &format!("session setup failed: {e}")),
             }
             log(&opts, &format!("session from {peer} over"));
@@ -92,7 +113,7 @@ pub fn serve(opts: &WorkerOptions) -> std::io::Result<()> {
 
 /// One coordinator connection: handshake, then serve leases until the
 /// peer says bye or the wire dies.
-fn session(opts: &WorkerOptions, mut conn: Connection) {
+fn session(opts: &WorkerOptions, mut conn: Connection, counters: &WorkerCounters) {
     let hello = match conn.recv(Duration::from_secs(10)) {
         Ok(Some(f)) => f,
         Ok(None) => return log(opts, "peer never said hello"),
@@ -103,9 +124,15 @@ fn session(opts: &WorkerOptions, mut conn: Connection) {
         let _ = conn.send(&proto::bye(), WRITE_DEADLINE);
         return;
     }
+    // Span relay is a negotiated capability: only a coordinator that
+    // asked for spans in its hello gets them attached to frames.
+    let spans_on = proto::wants_spans(&hello);
     let me = format!("pid-{}", std::process::id());
     if conn
-        .send(&proto::hello_ack(opts.slots as u64, &me), WRITE_DEADLINE)
+        .send(
+            &proto::hello_ack(opts.slots as u64, &me, spans_on),
+            WRITE_DEADLINE,
+        )
         .is_err()
     {
         return;
@@ -118,7 +145,7 @@ fn session(opts: &WorkerOptions, mut conn: Connection) {
         };
         match proto::kind(&frame) {
             Some("lease") => {
-                if !run_lease(opts, &mut conn, &frame) {
+                if !run_lease(opts, &mut conn, &frame, spans_on, counters) {
                     return;
                 }
             }
@@ -167,6 +194,33 @@ impl RelayTail {
             .filter(|j| matches!(j, Json::Obj(_)))
             .collect()
     }
+
+    /// Final pass once the child is dead: complete lines first, then
+    /// one last parse of the un-newlined tail. A tail that parses whole
+    /// is a real record the child simply never terminated; one that
+    /// does not is counted as torn (second return), never an error.
+    fn finish(&mut self) -> (Vec<Json>, u64) {
+        use std::io::{Seek, SeekFrom};
+        let mut records = self.poll();
+        let Ok(mut f) = std::fs::File::open(&self.path) else {
+            return (records, 0);
+        };
+        if f.seek(SeekFrom::Start(self.offset)).is_err() {
+            return (records, 0);
+        }
+        let mut rest = String::new();
+        if f.read_to_string(&mut rest).is_err() || rest.trim().is_empty() {
+            return (records, 0);
+        }
+        self.offset += rest.len() as u64;
+        match Json::parse(rest.trim()) {
+            Ok(rec) if matches!(rec, Json::Obj(_)) => {
+                records.push(rec);
+                (records, 0)
+            }
+            _ => (records, 1),
+        }
+    }
 }
 
 /// Content fingerprint used to ship `latest.json` only when it changed.
@@ -175,13 +229,74 @@ fn snap_stamp(path: &Path) -> Option<(u64, std::time::SystemTime)> {
     Some((m.len(), m.modified().ok()?))
 }
 
+/// Build an `hb` frame, draining any pending worker-local spans onto it
+/// when the handshake negotiated span relay.
+fn hb_frame(
+    job: u64,
+    epoch: u64,
+    records: Vec<Json>,
+    spans_on: bool,
+    pending: &mut Vec<Json>,
+    counters: &WorkerCounters,
+) -> Json {
+    let mut f = proto::hb(job, epoch, records);
+    if spans_on && !pending.is_empty() {
+        counters
+            .spans_relayed
+            .fetch_add(pending.len() as u64, Ordering::Relaxed);
+        proto::attach_spans(&mut f, std::mem::take(pending));
+    }
+    counters.hb_frames.fetch_add(1, Ordering::Relaxed);
+    f
+}
+
 /// Serve one lease to completion. Returns `false` when the connection
 /// died and the session must end.
-fn run_lease(opts: &WorkerOptions, conn: &mut Connection, lease: &Json) -> bool {
+fn run_lease(
+    opts: &WorkerOptions,
+    conn: &mut Connection,
+    lease: &Json,
+    spans_on: bool,
+    counters: &WorkerCounters,
+) -> bool {
+    // The worker has no clock shared with the coordinator: every span
+    // it emits is stamped in milliseconds since *this* lease arrived,
+    // and the coordinator rebases them onto its lease-grant anchor.
+    let lease_received = Instant::now();
+    let mut pending_spans: Vec<Json> = Vec::new();
+    // Worker-local span ids: the lease pair is 1, instants are 0; the
+    // coordinator remaps nonzero ids into its own space on absorption.
+    const LEASE_SPAN_ID: u64 = 1;
+    let wspan =
+        |t0: Instant, kind: SpanKind, phase: SpanPhase, id: u64, args: Vec<(String, Json)>| {
+            SpanEvent {
+                t_ms: t0.elapsed().as_millis() as u64,
+                kind,
+                phase,
+                id,
+                track: "worker".to_string(),
+                args,
+            }
+            .to_json()
+        };
     let Some((job, epoch)) = proto::job_epoch(lease) else {
         log(opts, "lease without job/epoch");
         return false;
     };
+    counters.leases_accepted.fetch_add(1, Ordering::Relaxed);
+    if spans_on {
+        pending_spans.push(wspan(
+            lease_received,
+            SpanKind::Lease,
+            SpanPhase::Begin,
+            LEASE_SPAN_ID,
+            vec![
+                ("side".to_string(), Json::Str("worker".to_string())),
+                ("job".to_string(), Json::U64(job)),
+                ("epoch".to_string(), Json::U64(epoch)),
+            ],
+        ));
+    }
     let name = lease.get("name").and_then(Json::as_str).unwrap_or("?");
     let argv: Vec<String> = lease
         .get("argv")
@@ -302,20 +417,24 @@ fn run_lease(opts: &WorkerOptions, conn: &mut Connection, lease: &Json) -> bool 
             killed = Some(KillReason::Timeout);
             let _ = child.kill();
         }
-        // Relay heartbeat progress; keepalive when quiet.
+        // Relay heartbeat progress; keepalive when quiet. Pending spans
+        // ride whichever hb frame goes out next.
         if let Some(records) = poll_relay(&mut tail) {
-            if conn
-                .send(&proto::hb(job, epoch, records), WRITE_DEADLINE)
-                .is_err()
-            {
+            let f = hb_frame(job, epoch, records, spans_on, &mut pending_spans, counters);
+            if conn.send(&f, WRITE_DEADLINE).is_err() {
                 return abandon(opts, &mut child, job, epoch, "hb send failed");
             }
             last_sent = Instant::now();
         } else if last_sent.elapsed() >= Duration::from_millis(KEEPALIVE_MS) {
-            if conn
-                .send(&proto::hb(job, epoch, Vec::new()), WRITE_DEADLINE)
-                .is_err()
-            {
+            let f = hb_frame(
+                job,
+                epoch,
+                Vec::new(),
+                spans_on,
+                &mut pending_spans,
+                counters,
+            );
+            if conn.send(&f, WRITE_DEADLINE).is_err() {
                 return abandon(opts, &mut child, job, epoch, "keepalive failed");
             }
             last_sent = Instant::now();
@@ -332,6 +451,21 @@ fn run_lease(opts: &WorkerOptions, conn: &mut Connection, lease: &Json) -> bool 
                         {
                             return abandon(opts, &mut child, job, epoch, "snap ship failed");
                         }
+                        counters.snapshots_shipped.fetch_add(1, Ordering::Relaxed);
+                        if spans_on {
+                            pending_spans.push(wspan(
+                                lease_received,
+                                SpanKind::SnapshotShip,
+                                SpanPhase::Instant,
+                                0,
+                                vec![
+                                    ("side".to_string(), Json::Str("worker".to_string())),
+                                    ("job".to_string(), Json::U64(job)),
+                                    ("epoch".to_string(), Json::U64(epoch)),
+                                    ("bytes".to_string(), Json::U64(text.len() as u64)),
+                                ],
+                            ));
+                        }
                         shipped_stamp = stamp;
                         last_ship = Some(Instant::now());
                         last_sent = Instant::now();
@@ -344,6 +478,7 @@ fn run_lease(opts: &WorkerOptions, conn: &mut Connection, lease: &Json) -> bool 
             Ok(Some(frame)) => match proto::kind(&frame) {
                 Some("revoke") if proto::job_epoch(&frame) == Some((job, epoch)) => {
                     log(opts, &format!("lease {job}e{epoch} revoked"));
+                    counters.revoked.fetch_add(1, Ordering::Relaxed);
                     let _ = child.kill();
                     let _ = child.wait();
                     let _ = std::fs::remove_dir_all(&scratch);
@@ -365,13 +500,27 @@ fn run_lease(opts: &WorkerOptions, conn: &mut Connection, lease: &Json) -> bool 
     };
 
     // Final relay passes: whatever the child wrote in its last breath.
-    if let Some(records) = poll_relay(&mut tail) {
-        let _ = conn.send(&proto::hb(job, epoch, records), WRITE_DEADLINE);
-    }
+    // The tail flush gives the torn last record one whole-parse chance
+    // and ledgers genuinely torn ones for the result frame.
+    let tail_truncated = match tail.as_mut() {
+        Some(t) => {
+            let (records, truncated) = t.finish();
+            if !records.is_empty() {
+                let f = hb_frame(job, epoch, records, spans_on, &mut pending_spans, counters);
+                let _ = conn.send(&f, WRITE_DEADLINE);
+            }
+            truncated
+        }
+        None => 0,
+    };
+    counters
+        .tail_truncated
+        .fetch_add(tail_truncated, Ordering::Relaxed);
     if let Some(path) = &snap_path {
         if snap_stamp(path).is_some() && snap_stamp(path) != shipped_stamp {
             if let Ok(text) = std::fs::read_to_string(path) {
                 let _ = conn.send(&proto::snap(job, epoch, &text), WRITE_DEADLINE);
+                counters.snapshots_shipped.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -380,6 +529,23 @@ fn run_lease(opts: &WorkerOptions, conn: &mut Connection, lease: &Json) -> bool 
         Some(s) => classify(s, killed),
         None => Outcome::Error(-1),
     };
+    if spans_on {
+        pending_spans.push(wspan(
+            lease_received,
+            SpanKind::Lease,
+            SpanPhase::End,
+            LEASE_SPAN_ID,
+            vec![
+                ("side".to_string(), Json::Str("worker".to_string())),
+                ("job".to_string(), Json::U64(job)),
+                ("epoch".to_string(), Json::U64(epoch)),
+                (
+                    "outcome".to_string(),
+                    Json::Str(outcome.label().to_string()),
+                ),
+            ],
+        ));
+    }
     let (result_text, missing) = match (&result_path, outcome) {
         (Some(p), Outcome::Success) => match std::fs::read_to_string(scratch.join(p)) {
             Ok(text) => (Some(text), false),
@@ -396,20 +562,26 @@ fn run_lease(opts: &WorkerOptions, conn: &mut Connection, lease: &Json) -> bool 
         opts,
         &format!("lease {job}e{epoch} `{name}`: {}", outcome.label()),
     );
-    let ok = conn
-        .send(
-            &proto::result(
-                job,
-                epoch,
-                outcome.label(),
-                detail,
-                resumed,
-                result_text.as_deref(),
-                missing,
-            ),
-            WRITE_DEADLINE,
-        )
-        .is_ok();
+    let mut result_frame = proto::result(
+        job,
+        epoch,
+        outcome.label(),
+        detail,
+        resumed,
+        result_text.as_deref(),
+        missing,
+    );
+    proto::attach_tail_truncated(&mut result_frame, tail_truncated);
+    if spans_on && !pending_spans.is_empty() {
+        counters
+            .spans_relayed
+            .fetch_add(pending_spans.len() as u64, Ordering::Relaxed);
+        proto::attach_spans(&mut result_frame, std::mem::take(&mut pending_spans));
+    }
+    let ok = conn.send(&result_frame, WRITE_DEADLINE).is_ok();
+    if ok {
+        counters.results_sent.fetch_add(1, Ordering::Relaxed);
+    }
     let _ = std::fs::remove_dir_all(&scratch);
     ok
 }

@@ -31,15 +31,18 @@ use super::dist::{
     coordinator_connect, proto, Connection, LeaseTable, NetChaos, NetLedger, NetStrike, Settle,
 };
 use super::heartbeat::{complete_records, progress_of, HeartbeatTail};
+use super::metrics::{spawn_metrics_server, CampaignCounters};
 use super::outcome::{classify, KillReason, Outcome};
 use super::queue::{Claim, Scheduler};
 use super::spec::CampaignSpec;
 use super::status::{BoardSnapshot, StatusSink, WorkerView};
 use super::{canonical_result_digest, fnv1a, resolve_program};
 use dtsvliw_json::Json;
+use dtsvliw_trace::{SpanEvent, SpanKind, SpanLog, SpanPhase};
+use std::collections::HashMap;
 use std::process::{Command, Stdio};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Quarantined snapshots kept per job; older ones are evicted and the
@@ -75,6 +78,12 @@ pub struct EngineOptions {
     /// Remote worker endpoints (`--workers host:port,…`), validated by
     /// [`super::dist::parse_worker_list`].
     pub remotes: Vec<String>,
+    /// Serve `/metrics` (Prometheus text exposition) on this address
+    /// for the campaign's duration.
+    pub metrics_addr: Option<String>,
+    /// Clamp the status line to this many columns (`--status-width`)
+    /// instead of the detected terminal width.
+    pub status_width: Option<usize>,
 }
 
 /// One recorded (budget-relevant) attempt.
@@ -107,6 +116,9 @@ pub struct JobResult {
     /// Late or duplicated remote results rejected by lease-epoch
     /// fencing (at-most-once accounting). Always 0 for local attempts.
     pub fenced_results: u64,
+    /// Attempts whose heartbeat stream ended in a genuinely torn
+    /// (unparseable) final record.
+    pub tail_truncated: u64,
 }
 
 /// Everything `run_campaign` produced.
@@ -126,6 +138,13 @@ pub struct CampaignResult {
     pub dist: Option<Json>,
     /// Quarantined snapshots evicted by the retention cap.
     pub quarantine_evictions: u64,
+    /// Every campaign span recorded on either side of the wire, with
+    /// worker-local clocks already normalised against lease-grant
+    /// anchors. Feed to [`dtsvliw_trace::merge_perfetto`].
+    pub spans: Vec<SpanEvent>,
+    /// Heartbeat tails whose final record was torn mid-write
+    /// (campaign-wide; per-job counts are on [`JobResult`]).
+    pub tail_truncated: u64,
 }
 
 // ---------------------------------------------------------------------
@@ -145,6 +164,8 @@ struct JobRun {
     chaos_frozen: bool,
     /// A network strike hit the attempt's connection.
     chaos_net: bool,
+    /// Heartbeat tails of this job's attempts that ended torn.
+    tail_truncated: u64,
 }
 
 struct RunningChild {
@@ -179,11 +200,56 @@ struct Shared<'a> {
     sink: Mutex<StatusSink>,
     over: AtomicBool,
     started: Instant,
+    /// Campaign span log (tentpole). Lock order: state -> spans; no
+    /// code path takes state while holding spans.
+    spans: Mutex<SpanLog>,
+    /// `/metrics` counter registry, `Arc` so the exposition thread can
+    /// outlive the borrow-scoped worker threads.
+    counters: Arc<CampaignCounters>,
+    /// Stable-id allocator for begin/end span pairing.
+    span_seq: AtomicU64,
+    /// Track name per slot: `w<i>` local, `r<i>:<endpoint>` remote.
+    slot_names: Vec<String>,
 }
 
 impl Shared<'_> {
     fn now_ms(&self) -> u64 {
         self.started.elapsed().as_millis() as u64
+    }
+
+    fn next_span_id(&self) -> u64 {
+        self.span_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Record one span event stamped `now`.
+    fn span(
+        &self,
+        kind: SpanKind,
+        phase: SpanPhase,
+        id: u64,
+        track: &str,
+        args: Vec<(String, Json)>,
+    ) {
+        self.span_at(self.now_ms(), kind, phase, id, track, args);
+    }
+
+    /// Record one span event at an explicit campaign timestamp (used
+    /// for begin marks anchored at spawn time, and for normalised
+    /// worker-relayed spans).
+    fn span_at(
+        &self,
+        t_ms: u64,
+        kind: SpanKind,
+        phase: SpanPhase,
+        id: u64,
+        track: &str,
+        args: Vec<(String, Json)>,
+    ) {
+        self.counters.add(&self.counters.spans, 1);
+        self.spans
+            .lock()
+            .unwrap()
+            .record(t_ms, kind, phase, id, track, args);
     }
 
     /// Clear the status line and log one line, keeping redraws clean.
@@ -225,6 +291,22 @@ fn chaos_caused(outcome: Outcome, killed_mark: bool, frozen_mark: bool, net_mark
 // The worker loop
 // ---------------------------------------------------------------------
 
+/// Emit a quota-headroom counter sample per tenant (only when the spec
+/// declares quotas, so unconstrained campaigns carry no counter track).
+fn quota_headroom_sample(shared: &Shared<'_>, st: &EngineState) {
+    if shared.spec.quotas.is_empty() {
+        return;
+    }
+    let mut args = vec![("name".to_string(), Json::Str("quota headroom".to_string()))];
+    for ((tenant, _), (running, quota)) in shared.spec.quotas.iter().zip(st.sched.tenant_loads()) {
+        args.push((
+            tenant.clone(),
+            Json::U64(quota.saturating_sub(running) as u64),
+        ));
+    }
+    shared.span(SpanKind::Campaign, SpanPhase::Counter, 0, "campaign", args);
+}
+
 /// Park on the scheduler until a job is claimable for slot `w`, or the
 /// campaign is over (`None`).
 fn claim_job(shared: &Shared<'_>, w: usize) -> Option<usize> {
@@ -235,7 +317,26 @@ fn claim_job(shared: &Shared<'_>, w: usize) -> Option<usize> {
             .claim(w, shared.started.elapsed().as_millis() as u64)
         {
             Claim::Done => return None,
-            Claim::Run(j) => return Some(j),
+            Claim::Run(j) => {
+                if st.sched.last_claim_was_steal() {
+                    shared.counters.add(&shared.counters.steals, 1);
+                    shared.span(
+                        SpanKind::Steal,
+                        SpanPhase::Instant,
+                        0,
+                        &shared.slot_names[w],
+                        vec![
+                            ("job".to_string(), Json::U64(shared.spec.jobs[j].id)),
+                            (
+                                "name".to_string(),
+                                Json::Str(shared.spec.jobs[j].name.clone()),
+                            ),
+                        ],
+                    );
+                }
+                quota_headroom_sample(shared, &st);
+                return Some(j);
+            }
             Claim::Wait => {
                 st = shared
                     .cv
@@ -373,10 +474,22 @@ fn run_one_attempt(shared: &Shared<'_>, w: usize, job_idx: usize) {
     };
 
     // Credit the attempt's final heartbeat before deregistering, so the
-    // aggregate throughput survives job completion.
-    let final_progress = tail.as_mut().and_then(HeartbeatTail::poll);
+    // aggregate throughput survives job completion. The flush gives the
+    // torn tail a record the child never newline-terminated one last
+    // parse, and ledgers genuinely torn ones.
+    let (final_progress, truncated) = match tail.as_mut() {
+        Some(t) => t.finish(),
+        None => (None, 0),
+    };
+    if truncated > 0 {
+        shared
+            .counters
+            .add(&shared.counters.tail_truncated, truncated);
+        shared.state.lock().unwrap().runs[job_idx].tail_truncated += truncated;
+    }
     if outcome == Outcome::Success {
         if let Some(p) = final_progress {
+            shared.counters.add(&shared.counters.bursts, p.bursts);
             let mut st = shared.state.lock().unwrap();
             st.finished_instructions += p.instructions;
         }
@@ -396,6 +509,54 @@ fn finish_attempt(
 ) {
     let job = &shared.spec.jobs[job_idx];
     let now_ms = shared.now_ms();
+    let t_spawn = spawn_time.duration_since(shared.started).as_millis() as u64;
+    let span_id = shared.next_span_id();
+    let track = shared.slot_names[w].clone();
+    // Begin/end pair for this attempt, emitted together once its fate
+    // is known (the merge pairs by id, not by emission order). `n` is
+    // the consumed-retry index — byte-stable across chaos because
+    // forgiveness keeps it so — and is what the canonical projection
+    // and `dtsvliw_explain` key attempt chains on.
+    let attempt_span = |shared: &Shared<'_>, n: Option<u32>, outcome: Outcome, forgiven: bool| {
+        let mut args = vec![
+            ("job".to_string(), Json::U64(job.id)),
+            ("name".to_string(), Json::Str(job.name.clone())),
+        ];
+        if let Some(n) = n {
+            args.push(("n".to_string(), Json::U64(n as u64)));
+        }
+        shared.span_at(
+            t_spawn,
+            SpanKind::JobAttempt,
+            SpanPhase::Begin,
+            span_id,
+            &track,
+            args,
+        );
+        // The canonical projection reads `n` off the End event (it is
+        // the settled record), so it rides on both phases.
+        let mut end_args = vec![
+            ("job".to_string(), Json::U64(job.id)),
+            (
+                "outcome".to_string(),
+                Json::Str(outcome.label().to_string()),
+            ),
+            ("forgiven".to_string(), Json::Bool(forgiven)),
+            ("resumed".to_string(), Json::Bool(resumed)),
+        ];
+        if let Some(n) = n {
+            end_args.push(("n".to_string(), Json::U64(n as u64)));
+        }
+        shared.span_at(
+            now_ms.max(t_spawn),
+            SpanKind::JobAttempt,
+            SpanPhase::End,
+            span_id,
+            &track,
+            end_args,
+        );
+    };
+    shared.counters.count_attempt(outcome.label());
     let mut st = shared.state.lock().unwrap();
     let st = &mut *st;
 
@@ -411,9 +572,13 @@ fn finish_attempt(
 
     if outcome.is_requeue() {
         // Not a failure, not recorded in the attempts log (requeues are
-        // wall-clock shaped); immediately claimable by any worker.
+        // wall-clock shaped); immediately claimable by any worker. The
+        // attempt span likewise carries no consumed-retry index.
         run.requeues += 1;
+        shared.counters.add(&shared.counters.requeues, 1);
+        attempt_span(shared, None, outcome, false);
         st.sched.requeue(job_idx, w, now_ms);
+        quota_headroom_sample(shared, st);
         shared.log(&format!(
             "supervise: w{w} job `{}` past soft deadline: checkpointed and requeued",
             job.name
@@ -422,6 +587,7 @@ fn finish_attempt(
     }
 
     if outcome == Outcome::Success {
+        let n = run.consumed;
         run.records.push(AttemptRecord {
             outcome,
             resumed,
@@ -431,6 +597,9 @@ fn finish_attempt(
         run.done = Some(true);
         st.done += 1;
         st.sched.finish(job_idx);
+        shared.counters.add(&shared.counters.jobs_done, 1);
+        attempt_span(shared, Some(n), outcome, false);
+        quota_headroom_sample(shared, st);
         return;
     }
 
@@ -500,11 +669,17 @@ fn finish_attempt(
         forgiven,
         backoff_ms,
     });
+    attempt_span(shared, Some(attempt_key), outcome, forgiven);
+    if let Some(ms) = backoff_ms {
+        shared.counters.add(&shared.counters.backoffs_scheduled, 1);
+        shared.counters.add(&shared.counters.backoff_ms, ms);
+    }
     if terminal {
         run.done = Some(false);
         st.done += 1;
         st.failed += 1;
         st.sched.finish(job_idx);
+        shared.counters.add(&shared.counters.jobs_failed, 1);
         shared.log(&format!(
             "supervise: w{w} job `{}` failed ({})",
             job.name,
@@ -514,6 +689,7 @@ fn finish_attempt(
         let delay = backoff_ms.unwrap_or(0);
         st.sched.requeue(job_idx, w, now_ms + delay);
     }
+    quota_headroom_sample(shared, st);
 }
 
 // ---------------------------------------------------------------------
@@ -562,6 +738,17 @@ fn remote_slot_loop(
                     shared.log(&format!("supervise: r{w} {why}"));
                 }
                 failures = failures.saturating_add(1);
+                shared.counters.add(&shared.counters.reconnects, 1);
+                shared.span(
+                    SpanKind::Reconnect,
+                    SpanPhase::Instant,
+                    0,
+                    &shared.slot_names[w],
+                    vec![
+                        ("endpoint".to_string(), Json::Str(endpoint.to_string())),
+                        ("failures".to_string(), Json::U64(failures as u64)),
+                    ],
+                );
                 mark_endpoint(shared, ep_idx, false);
                 // Reconnect backoff: the same pure seeded-jitter shape
                 // retries use, keyed by the endpoint and slot so slots
@@ -595,6 +782,35 @@ fn remote_slot_loop(
     net.map(|n| n.ledger()).unwrap_or_default()
 }
 
+/// Normalise and absorb a batch of worker-relayed span records from an
+/// `hb` or `result` frame: worker-local times (milliseconds since the
+/// worker received the lease) are rebased onto the lease-grant anchor
+/// `t_grant`, worker-local span ids are remapped through `id_map` into
+/// the coordinator's id space, and the track is rewritten to this
+/// slot's worker-side track.
+fn absorb_worker_spans(
+    shared: &Shared<'_>,
+    w: usize,
+    frame: &Json,
+    t_grant: u64,
+    id_map: &mut HashMap<u64, u64>,
+) {
+    let Some(spans) = frame.get("spans").and_then(Json::as_arr) else {
+        return;
+    };
+    let track = format!("{}/worker", shared.slot_names[w]);
+    for rec in spans {
+        let Some(mut ev) = SpanEvent::from_json(rec) else {
+            continue;
+        };
+        ev.t_ms = t_grant.saturating_add(ev.t_ms);
+        if ev.id != 0 {
+            ev.id = *id_map.entry(ev.id).or_insert_with(|| shared.next_span_id());
+        }
+        shared.span_at(ev.t_ms, ev.kind, ev.phase, ev.id, &track, ev.args);
+    }
+}
+
 /// Lease `job_idx` to the connected worker and pump frames until the
 /// attempt settles. Returns whether the connection is still usable.
 fn run_remote_attempt(
@@ -602,7 +818,27 @@ fn run_remote_attempt(
     w: usize,
     job_idx: usize,
     conn: &mut Connection,
+    net: Option<&mut NetChaos>,
+) -> bool {
+    let lease_span = shared.next_span_id();
+    let alive = run_remote_attempt_inner(shared, w, job_idx, conn, net, lease_span);
+    shared.span(
+        SpanKind::Lease,
+        SpanPhase::End,
+        lease_span,
+        &shared.slot_names[w],
+        vec![("conn_alive".to_string(), Json::Bool(alive))],
+    );
+    alive
+}
+
+fn run_remote_attempt_inner(
+    shared: &Shared<'_>,
+    w: usize,
+    job_idx: usize,
+    conn: &mut Connection,
     mut net: Option<&mut NetChaos>,
+    lease_span: u64,
 ) -> bool {
     let job = &shared.spec.jobs[job_idx];
     let wire_job = job_idx as u64;
@@ -636,6 +872,19 @@ fn run_remote_attempt(
         conn.peer(),
         if resumed { ", shipping snapshot" } else { "" }
     ));
+    shared.counters.add(&shared.counters.leases_issued, 1);
+    shared.span(
+        SpanKind::Lease,
+        SpanPhase::Begin,
+        lease_span,
+        &shared.slot_names[w],
+        vec![
+            ("job".to_string(), Json::U64(job.id)),
+            ("name".to_string(), Json::Str(job.name.clone())),
+            ("epoch".to_string(), Json::U64(epoch)),
+            ("endpoint".to_string(), Json::Str(conn.peer())),
+        ],
+    );
 
     let lease = proto::lease(
         wire_job,
@@ -649,9 +898,28 @@ fn run_remote_attempt(
         snap_text.as_deref(),
     );
     let spawn_time = Instant::now();
+    // Clock-normalisation anchor: the worker stamps its spans in
+    // milliseconds since it received this lease, and the merge rebases
+    // them as `t_grant + t_worker` (DESIGN.md §15).
+    let t_grant = shared.now_ms();
+    let mut span_id_map: HashMap<u64, u64> = HashMap::new();
     if conn.send(&lease, WRITE_DEADLINE).is_err() {
         settle_lost(shared, w, job_idx, resumed, spawn_time);
         return false;
+    }
+    if let Some(text) = &snap_text {
+        shared.span(
+            SpanKind::SnapshotShip,
+            SpanPhase::Instant,
+            0,
+            &shared.slot_names[w],
+            vec![
+                ("job".to_string(), Json::U64(job.id)),
+                ("epoch".to_string(), Json::U64(epoch)),
+                ("direction".to_string(), Json::Str("outbound".to_string())),
+                ("bytes".to_string(), Json::U64(text.len() as u64)),
+            ],
+        );
     }
     {
         let mut st = shared.state.lock().unwrap();
@@ -686,6 +954,23 @@ fn run_remote_attempt(
                 if let Some(strike) = nc.draw(6) {
                     nc.record(strike);
                     shared.state.lock().unwrap().runs[job_idx].chaos_net = true;
+                    shared.counters.add(&shared.counters.net_strikes, 1);
+                    let strike_label = match strike {
+                        NetStrike::Reset => "net-reset",
+                        NetStrike::HalfOpen(_) => "net-half-open",
+                        NetStrike::Truncate => "net-truncate",
+                        NetStrike::DupResult => "net-dup-result",
+                    };
+                    shared.span(
+                        SpanKind::ChaosStrike,
+                        SpanPhase::Instant,
+                        0,
+                        &shared.slot_names[w],
+                        vec![
+                            ("action".to_string(), Json::Str(strike_label.to_string())),
+                            ("job".to_string(), Json::U64(job.id)),
+                        ],
+                    );
                     match strike {
                         NetStrike::Reset => conn.shutdown(),
                         NetStrike::HalfOpen(ms) => {
@@ -730,6 +1015,7 @@ fn run_remote_attempt(
                     last_frame = Instant::now();
                     match proto::kind(&frame) {
                         Some("hb") if proto::job_epoch(&frame) == Some((wire_job, epoch)) => {
+                            absorb_worker_spans(shared, w, &frame, t_grant, &mut span_id_map);
                             if let Some(p) = relay_heartbeat(shared, w, job, &frame, &mut hb_reset)
                             {
                                 if Some(p) != last_progress {
@@ -739,7 +1025,7 @@ fn run_remote_attempt(
                             }
                         }
                         Some("snap") if proto::job_epoch(&frame) == Some((wire_job, epoch)) => {
-                            accept_snapshot(shared, job, &frame);
+                            accept_snapshot(shared, w, job, &frame);
                         }
                         Some("revoked") if proto::job_epoch(&frame) == Some((wire_job, epoch)) => {
                             if let Some(reason) = killed {
@@ -757,6 +1043,7 @@ fn run_remote_attempt(
                         Some("result")
                             if frame.get("job").and_then(Json::as_u64) == Some(wire_job) =>
                         {
+                            absorb_worker_spans(shared, w, &frame, t_grant, &mut span_id_map);
                             let result_epoch = frame
                                 .get("epoch")
                                 .and_then(Json::as_u64)
@@ -770,21 +1057,45 @@ fn run_remote_attempt(
                                 };
                                 match verdict {
                                     Settle::Ok => accepted = true,
-                                    Settle::Fenced => shared.log(&format!(
+                                    Settle::Fenced => {
+                                        shared.counters.add(&shared.counters.fenced_results, 1);
+                                        shared.log(&format!(
                                         "supervise: r{w} job `{}`: fenced a late result from epoch {result_epoch} (current {epoch})",
                                         job.name
-                                    )),
-                                    Settle::Duplicate => shared.log(&format!(
+                                    ))
+                                    }
+                                    Settle::Duplicate => {
+                                        shared.counters.add(&shared.counters.duplicate_results, 1);
+                                        shared.log(&format!(
                                         "supervise: r{w} job `{}`: rejected a duplicate result for epoch {result_epoch}",
                                         job.name
-                                    )),
+                                    ))
+                                    }
                                 }
                             }
                             if accepted {
                                 if let Some(r) = frame.get("resumed").and_then(Json::as_bool) {
                                     resumed = r;
                                 }
+                                let truncated = frame
+                                    .get("tail_truncated")
+                                    .and_then(Json::as_u64)
+                                    .unwrap_or(0);
+                                if truncated > 0 {
+                                    shared
+                                        .counters
+                                        .add(&shared.counters.tail_truncated, truncated);
+                                    shared.state.lock().unwrap().runs[job_idx].tail_truncated +=
+                                        truncated;
+                                }
                                 let outcome = accept_result(shared, job, &frame);
+                                if outcome == Outcome::Success {
+                                    if let Some(p) = last_progress {
+                                        shared.counters.add(&shared.counters.bursts, p.bursts);
+                                        shared.state.lock().unwrap().finished_instructions +=
+                                            p.instructions;
+                                    }
+                                }
                                 finish_attempt(shared, w, job_idx, outcome, resumed, spawn_time);
                                 return true;
                             }
@@ -928,7 +1239,7 @@ fn relay_heartbeat(
 /// Verify and land a shipped snapshot as the job's local `latest.json`
 /// (temp-then-rename, like the snapshot layer's own writes), so the
 /// next lease — on any host — resumes from it.
-fn accept_snapshot(shared: &Shared<'_>, job: &super::spec::JobSpec, frame: &Json) {
+fn accept_snapshot(shared: &Shared<'_>, w: usize, job: &super::spec::JobSpec, frame: &Json) {
     let Some(dir) = &job.snapshot_dir else { return };
     let Some(text) = proto::verified_data(frame) else {
         shared.log(&format!(
@@ -937,6 +1248,17 @@ fn accept_snapshot(shared: &Shared<'_>, job: &super::spec::JobSpec, frame: &Json
         ));
         return;
     };
+    shared.span(
+        SpanKind::SnapshotShip,
+        SpanPhase::Instant,
+        0,
+        &shared.slot_names[w],
+        vec![
+            ("job".to_string(), Json::U64(job.id)),
+            ("direction".to_string(), Json::Str("inbound".to_string())),
+            ("bytes".to_string(), Json::U64(text.len() as u64)),
+        ],
+    );
     let path = dtsvliw_core::latest_path(dir);
     let _ = std::fs::create_dir_all(dir);
     let tmp = path.with_extension("ship-tmp");
@@ -1002,6 +1324,9 @@ fn chaos_loop(shared: &Shared<'_>, seed: u64) -> ChaosEngine {
         let Some(action) = engine.draw(6) else {
             continue;
         };
+        // A strike that finds no eligible victim is not a strike: only
+        // executed actions land on the chaos track or in the counters.
+        let mut struck: Option<(&'static str, u64)> = None;
         let mut st = shared.state.lock().unwrap();
         match action {
             ChaosAction::Kill => {
@@ -1011,6 +1336,7 @@ fn chaos_loop(shared: &Shared<'_>, seed: u64) -> ChaosEngine {
                     send_signal(pid, "KILL");
                     st.runs[job].chaos_killed = true;
                     engine.kills += 1;
+                    struck = Some(("kill", shared.spec.jobs[job].id));
                 }
             }
             ChaosAction::Freeze(ms) => {
@@ -1024,6 +1350,7 @@ fn chaos_loop(shared: &Shared<'_>, seed: u64) -> ChaosEngine {
                         frozen.push((pid, now + Duration::from_millis(ms)));
                         st.runs[job].chaos_frozen = true;
                         engine.freezes += 1;
+                        struck = Some(("freeze", shared.spec.jobs[job].id));
                     }
                 }
             }
@@ -1036,6 +1363,7 @@ fn chaos_loop(shared: &Shared<'_>, seed: u64) -> ChaosEngine {
                     let j = candidates[engine.pick(candidates.len())];
                     let dir = shared.spec.jobs[j].snapshot_dir.as_deref().unwrap();
                     engine.corrupt_file(&dtsvliw_core::latest_path(dir));
+                    struck = Some(("corrupt-snapshot", shared.spec.jobs[j].id));
                 }
             }
             ChaosAction::TearHeartbeat => {
@@ -1048,8 +1376,23 @@ fn chaos_loop(shared: &Shared<'_>, seed: u64) -> ChaosEngine {
                 if !candidates.is_empty() {
                     let j = candidates[engine.pick(candidates.len())];
                     engine.tear_heartbeat(shared.spec.jobs[j].heartbeat.as_deref().unwrap());
+                    struck = Some(("tear-heartbeat", shared.spec.jobs[j].id));
                 }
             }
+        }
+        drop(st);
+        if let Some((action, job_id)) = struck {
+            shared.counters.add(&shared.counters.chaos_strikes, 1);
+            shared.span(
+                SpanKind::ChaosStrike,
+                SpanPhase::Instant,
+                0,
+                "chaos",
+                vec![
+                    ("action".to_string(), Json::Str(action.to_string())),
+                    ("job".to_string(), Json::U64(job_id)),
+                ],
+            );
         }
     }
     for (pid, _) in frozen {
@@ -1124,6 +1467,17 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &EngineOptions) -> CampaignResult
     let total_slots = workers + remote_plan.len();
     let spawn_window = opts.spawn_window.unwrap_or(total_slots).max(1);
     let tenants: Vec<Option<&str>> = spec.jobs.iter().map(|j| j.tenant.as_deref()).collect();
+    // One span track per slot: local slots are `w<i>`, remote slots name
+    // their endpoint so a merged trace reads across hosts.
+    let slot_names: Vec<String> = (0..workers)
+        .map(|w| format!("w{w}"))
+        .chain(
+            remote_plan
+                .iter()
+                .enumerate()
+                .map(|(i, (_, endpoint, sub))| format!("r{}:{endpoint}#{sub}", workers + i)),
+        )
+        .collect();
     let shared = Shared {
         spec,
         opts,
@@ -1141,10 +1495,47 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &EngineOptions) -> CampaignResult
             quarantine_evictions: 0,
         }),
         cv: Condvar::new(),
-        sink: Mutex::new(StatusSink::new(!opts.quiet)),
+        sink: Mutex::new(StatusSink::new(!opts.quiet, opts.status_width)),
         over: AtomicBool::new(false),
         started: Instant::now(),
+        spans: Mutex::new(SpanLog::new()),
+        counters: Arc::new(CampaignCounters::default()),
+        span_seq: AtomicU64::new(0),
+        slot_names,
     };
+    let campaign_span = shared.next_span_id();
+    shared.span(
+        SpanKind::Campaign,
+        SpanPhase::Begin,
+        campaign_span,
+        "campaign",
+        vec![
+            ("jobs".to_string(), Json::U64(spec.jobs.len() as u64)),
+            ("workers".to_string(), Json::U64(total_slots as u64)),
+            ("seed".to_string(), Json::U64(spec.seed)),
+        ],
+    );
+
+    // The /metrics endpoint outlives the scoped worker threads (its
+    // thread is 'static), so it scrapes the counter registry through
+    // its own Arc and is stopped and joined before the result merge.
+    let metrics_stop = Arc::new(AtomicBool::new(false));
+    let metrics_server = opts.metrics_addr.as_deref().and_then(|addr| {
+        let counters = Arc::clone(&shared.counters);
+        let page: Arc<dyn Fn() -> String + Send + Sync> = Arc::new(move || counters.render());
+        match spawn_metrics_server(addr, page, Arc::clone(&metrics_stop)) {
+            Ok((bound, handle)) => {
+                if !opts.quiet {
+                    eprintln!("supervise: metrics on http://{bound}/metrics");
+                }
+                Some(handle)
+            }
+            Err(e) => {
+                eprintln!("supervise: cannot bind metrics endpoint {addr}: {e}");
+                None
+            }
+        }
+    });
 
     let shared_ref = &shared;
     let remote_plan_ref = &remote_plan;
@@ -1179,6 +1570,27 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &EngineOptions) -> CampaignResult
             net,
         )
     });
+
+    {
+        let st = shared.state.lock().unwrap();
+        shared.span(
+            SpanKind::Campaign,
+            SpanPhase::End,
+            campaign_span,
+            "campaign",
+            vec![
+                (
+                    "succeeded".to_string(),
+                    Json::U64(st.done as u64 - st.failed as u64),
+                ),
+                ("failed".to_string(), Json::U64(st.failed as u64)),
+            ],
+        );
+    }
+    metrics_stop.store(true, Ordering::Relaxed);
+    if let Some(handle) = metrics_server {
+        let _ = handle.join();
+    }
 
     let st = shared.state.into_inner().unwrap();
     let dist = (!opts.remotes.is_empty()).then(|| {
@@ -1232,6 +1644,7 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &EngineOptions) -> CampaignResult
                 requeues: run.requeues,
                 wall_ms: run.wall_ms,
                 fenced_results,
+                tail_truncated: run.tail_truncated,
             }
         })
         .collect();
@@ -1240,6 +1653,7 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &EngineOptions) -> CampaignResult
     jobs.sort_by_key(|j| j.id);
     let succeeded = jobs.iter().filter(|j| j.succeeded).count() as u64;
     let failed = jobs.len() as u64 - succeeded;
+    let tail_truncated = jobs.iter().map(|j| j.tail_truncated).sum();
     CampaignResult {
         jobs,
         succeeded,
@@ -1249,6 +1663,8 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &EngineOptions) -> CampaignResult
         chaos: chaos.map(|e| e.summary_json()),
         dist,
         quarantine_evictions: st.quarantine_evictions,
+        spans: shared.spans.into_inner().unwrap().into_events(),
+        tail_truncated,
     }
 }
 
@@ -1358,6 +1774,7 @@ pub fn wallclock_json(result: &CampaignResult) -> Json {
                 ("wall_ms", Json::U64(j.wall_ms)),
                 ("requeues", Json::U64(j.requeues)),
                 ("forgiven", Json::U64(j.forgiven)),
+                ("tail_truncated", Json::U64(j.tail_truncated)),
             ])
         })
         .collect();
@@ -1374,6 +1791,7 @@ pub fn wallclock_json(result: &CampaignResult) -> Json {
             "quarantine_evictions",
             Json::U64(result.quarantine_evictions),
         ),
+        ("tail_truncated", Json::U64(result.tail_truncated)),
         ("jobs", Json::Arr(jobs)),
     ])
 }
@@ -1427,6 +1845,7 @@ mod tests {
                 requeues: id, // wall-clock shaped: must not reach the report
                 wall_ms: 1000 + id,
                 fenced_results: 0,
+                tail_truncated: 0,
             })
             .collect();
         CampaignResult {
@@ -1438,6 +1857,8 @@ mod tests {
             chaos: None,
             dist: None,
             quarantine_evictions: 0,
+            spans: Vec::new(),
+            tail_truncated: 0,
         }
     }
 

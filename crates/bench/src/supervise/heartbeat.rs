@@ -16,6 +16,9 @@ use std::path::PathBuf;
 pub struct Progress {
     pub cycle: u64,
     pub instructions: u64,
+    /// Cumulative burst count from the telemetry heartbeat (0 when the
+    /// record predates burst counters).
+    pub bursts: u64,
 }
 
 /// Extract the progress fields from one heartbeat record. Public so
@@ -25,6 +28,7 @@ pub fn progress_of(j: &Json) -> Option<Progress> {
     Some(Progress {
         cycle: j.get("cycle").and_then(Json::as_u64)?,
         instructions: j.get("instructions").and_then(Json::as_u64)?,
+        bursts: j.get("bursts").and_then(Json::as_u64).unwrap_or(0),
     })
 }
 
@@ -71,6 +75,34 @@ impl HeartbeatTail {
             self.offset += complete as u64;
         }
         self.last
+    }
+
+    /// Final flush at attempt completion: consume any remaining
+    /// complete lines, then give the torn tail — a record the dead
+    /// child never newline-terminated — one last parse. A tail that
+    /// parses whole is real progress and is credited; one that does not
+    /// is counted as truncated (second return), never an error.
+    pub fn finish(&mut self) -> (Option<Progress>, u64) {
+        use std::io::{Read, Seek, SeekFrom};
+        let last = self.poll();
+        let Ok(mut f) = std::fs::File::open(&self.path) else {
+            return (last, 0);
+        };
+        if f.seek(SeekFrom::Start(self.offset)).is_err() {
+            return (last, 0);
+        }
+        let mut rest = String::new();
+        if f.read_to_string(&mut rest).is_err() || rest.trim().is_empty() {
+            return (last, 0);
+        }
+        self.offset += rest.len() as u64;
+        match Json::parse(rest.trim()).ok().as_ref().and_then(progress_of) {
+            Some(p) => {
+                self.last = Some(p);
+                (self.last, 0)
+            }
+            None => (last, 1),
+        }
     }
 }
 
@@ -137,7 +169,8 @@ mod tests {
             tail.poll(),
             Some(Progress {
                 cycle: 200,
-                instructions: 400
+                instructions: 400,
+                bursts: 0
             })
         );
         std::fs::remove_dir_all(&dir).ok();
@@ -184,5 +217,51 @@ mod tests {
     fn missing_file_is_no_progress() {
         let mut tail = HeartbeatTail::new(PathBuf::from("/nonexistent/hb.jsonl"));
         assert_eq!(tail.poll(), None);
+        assert_eq!(tail.finish(), (None, 0));
+    }
+
+    #[test]
+    fn bursts_ride_along_when_present() {
+        let j = Json::parse("{\"cycle\": 5, \"instructions\": 10, \"bursts\": 3}").unwrap();
+        assert_eq!(progress_of(&j).map(|p| p.bursts), Some(3));
+        let old = Json::parse("{\"cycle\": 5, \"instructions\": 10}").unwrap();
+        assert_eq!(progress_of(&old).map(|p| p.bursts), Some(0));
+    }
+
+    #[test]
+    fn finish_credits_a_whole_record_missing_only_its_newline() {
+        let dir = std::env::temp_dir().join(format!("dtsvliw-hbfin-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hb.jsonl");
+        // The child wrote its last record but died before the newline.
+        std::fs::write(
+            &path,
+            format!(
+                "{}{{\"seq\": 1, \"cycle\": 300, \"instructions\": 600}}",
+                record(0, 100)
+            ),
+        )
+        .unwrap();
+        let mut tail = HeartbeatTail::new(path);
+        // A mid-flight poll must still wait on it…
+        assert_eq!(tail.poll().map(|p| p.cycle), Some(100));
+        // …but the completion flush parses it whole: no truncation.
+        let (last, truncated) = tail.finish();
+        assert_eq!(last.map(|p| p.cycle), Some(300));
+        assert_eq!(truncated, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn finish_counts_a_genuinely_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("dtsvliw-hbtorn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hb.jsonl");
+        std::fs::write(&path, format!("{}{{\"seq\": 1, \"cyc", record(0, 100))).unwrap();
+        let mut tail = HeartbeatTail::new(path);
+        let (last, truncated) = tail.finish();
+        assert_eq!(last.map(|p| p.cycle), Some(100), "complete records kept");
+        assert_eq!(truncated, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,339 @@
+//! Pull-based `/metrics` text exposition for campaigns.
+//!
+//! Both the coordinator (`dtsvliw_supervise --metrics-addr`) and the
+//! worker daemon (`dtsvliw_worker --metrics-addr`) expose a counter
+//! registry in the Prometheus text format over a deliberately tiny
+//! hand-rolled HTTP/1.1 responder — one nonblocking accept loop, no
+//! routing beyond "any GET gets the whole page", no dependencies. The
+//! counters are plain atomics so every hot path pays one relaxed
+//! increment; the page is rendered on demand by the scrape.
+//!
+//! Name conventions (DESIGN.md §15): everything is prefixed
+//! `dtsvliw_`, counters end `_total`, the one label in use is
+//! `outcome` on attempt counts.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Attempt outcome classes, index-aligned with
+/// [`CampaignCounters::attempts`].
+pub const OUTCOME_CLASSES: [&str; 9] = [
+    "success",
+    "error",
+    "signal",
+    "timeout",
+    "stalled",
+    "requeued",
+    "watchdog",
+    "lost",
+    "corrupt-snapshot",
+];
+
+/// The coordinator's campaign-wide counter registry. Shared across the
+/// engine's worker threads and the metrics server via `Arc`, so every
+/// field is an atomic; all increments are `Relaxed` (scrapes tolerate
+/// being a beat behind).
+#[derive(Debug, Default)]
+pub struct CampaignCounters {
+    /// Finished attempts by outcome class (see [`OUTCOME_CLASSES`]).
+    pub attempts: [AtomicU64; 9],
+    /// Claims that raided a sibling shard.
+    pub steals: AtomicU64,
+    /// Remote leases issued.
+    pub leases_issued: AtomicU64,
+    /// Results rejected by lease fencing.
+    pub fenced_results: AtomicU64,
+    /// Duplicate settlements for an already-settled epoch.
+    pub duplicate_results: AtomicU64,
+    /// Retry backoffs scheduled.
+    pub backoffs_scheduled: AtomicU64,
+    /// Total backoff delay scheduled, in milliseconds (with
+    /// `backoffs_scheduled`, gives mean depth).
+    pub backoff_ms: AtomicU64,
+    /// Burst count from the freshest heartbeat of each completed
+    /// attempt (PR 7 telemetry riding the heartbeat stream).
+    pub bursts: AtomicU64,
+    /// Remote reconnect attempts after a connection failure.
+    pub reconnects: AtomicU64,
+    /// Process-level chaos strikes (kill/freeze/corrupt/tear).
+    pub chaos_strikes: AtomicU64,
+    /// Network-level chaos strikes from the net ledger.
+    pub net_strikes: AtomicU64,
+    /// Soft-deadline requeues.
+    pub requeues: AtomicU64,
+    /// Heartbeat tails whose final record was torn mid-write.
+    pub tail_truncated: AtomicU64,
+    /// Jobs finished successfully / exhausted their retries.
+    pub jobs_done: AtomicU64,
+    pub jobs_failed: AtomicU64,
+    /// Campaign span events recorded so far.
+    pub spans: AtomicU64,
+}
+
+fn bump(c: &AtomicU64, by: u64) {
+    c.fetch_add(by, Ordering::Relaxed);
+}
+
+impl CampaignCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one finished attempt under its outcome class. Unknown
+    /// labels are dropped rather than panicking — the registry must
+    /// never take down a campaign.
+    pub fn count_attempt(&self, outcome_label: &str) {
+        if let Some(i) = OUTCOME_CLASSES.iter().position(|c| *c == outcome_label) {
+            bump(&self.attempts[i], 1);
+        }
+    }
+
+    pub fn add(&self, which: &AtomicU64, by: u64) {
+        bump(which, by);
+    }
+
+    /// The whole registry in Prometheus text-exposition format.
+    pub fn render(&self) -> String {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut s = String::with_capacity(2048);
+        s.push_str("# TYPE dtsvliw_attempts_total counter\n");
+        for (i, class) in OUTCOME_CLASSES.iter().enumerate() {
+            s.push_str(&format!(
+                "dtsvliw_attempts_total{{outcome=\"{class}\"}} {}\n",
+                g(&self.attempts[i])
+            ));
+        }
+        let plain: [(&str, &AtomicU64); 15] = [
+            ("dtsvliw_steals_total", &self.steals),
+            ("dtsvliw_leases_issued_total", &self.leases_issued),
+            ("dtsvliw_fenced_results_total", &self.fenced_results),
+            ("dtsvliw_duplicate_results_total", &self.duplicate_results),
+            ("dtsvliw_backoffs_scheduled_total", &self.backoffs_scheduled),
+            ("dtsvliw_backoff_ms_total", &self.backoff_ms),
+            ("dtsvliw_bursts_total", &self.bursts),
+            ("dtsvliw_reconnects_total", &self.reconnects),
+            ("dtsvliw_chaos_strikes_total", &self.chaos_strikes),
+            ("dtsvliw_net_strikes_total", &self.net_strikes),
+            ("dtsvliw_requeues_total", &self.requeues),
+            ("dtsvliw_tail_truncated_total", &self.tail_truncated),
+            ("dtsvliw_jobs_done_total", &self.jobs_done),
+            ("dtsvliw_jobs_failed_total", &self.jobs_failed),
+            ("dtsvliw_spans_total", &self.spans),
+        ];
+        for (name, c) in plain {
+            s.push_str(&format!("# TYPE {name} counter\n{name} {}\n", g(c)));
+        }
+        s
+    }
+}
+
+/// The worker daemon's counter registry — the worker-side view of the
+/// same campaign (leases it executed, what it relayed back).
+#[derive(Debug, Default)]
+pub struct WorkerCounters {
+    /// Leases accepted from coordinators.
+    pub leases_accepted: AtomicU64,
+    /// Result frames sent back.
+    pub results_sent: AtomicU64,
+    /// Revocations obeyed (child killed on coordinator request).
+    pub revoked: AtomicU64,
+    /// Heartbeat relay frames sent (keepalives included).
+    pub hb_frames: AtomicU64,
+    /// Snapshot shipments sent.
+    pub snapshots_shipped: AtomicU64,
+    /// Relay tails whose final line was torn mid-write.
+    pub tail_truncated: AtomicU64,
+    /// Span events relayed to coordinators.
+    pub spans_relayed: AtomicU64,
+}
+
+impl WorkerCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prometheus text exposition, worker flavour (`dtsvliw_worker_`
+    /// prefix so one Prometheus can scrape both sides unambiguously).
+    pub fn render(&self) -> String {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let plain: [(&str, &AtomicU64); 7] = [
+            (
+                "dtsvliw_worker_leases_accepted_total",
+                &self.leases_accepted,
+            ),
+            ("dtsvliw_worker_results_sent_total", &self.results_sent),
+            ("dtsvliw_worker_revoked_total", &self.revoked),
+            ("dtsvliw_worker_hb_frames_total", &self.hb_frames),
+            (
+                "dtsvliw_worker_snapshots_shipped_total",
+                &self.snapshots_shipped,
+            ),
+            ("dtsvliw_worker_tail_truncated_total", &self.tail_truncated),
+            ("dtsvliw_worker_spans_relayed_total", &self.spans_relayed),
+        ];
+        let mut s = String::with_capacity(1024);
+        for (name, c) in plain {
+            s.push_str(&format!("# TYPE {name} counter\n{name} {}\n", g(c)));
+        }
+        s
+    }
+}
+
+/// Serve `body()` as `text/plain` to every HTTP GET on `addr` until
+/// `stop` flips. Returns the bound address (so `:0` works) and the
+/// server thread's handle. The listener is nonblocking and polled at
+/// ~20 ms so shutdown is prompt; each connection gets one response and
+/// `Connection: close` — exactly enough HTTP for `curl` and a
+/// Prometheus scrape, by design.
+pub fn spawn_metrics_server(
+    addr: &str,
+    body: Arc<dyn Fn() -> String + Send + Sync>,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let handle = std::thread::spawn(move || {
+        while !stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((mut sock, _)) => {
+                    let _ = sock.set_read_timeout(Some(Duration::from_millis(500)));
+                    let _ = sock.set_nonblocking(false);
+                    // Drain the request head; we answer any request the
+                    // same way, so parsing stops at the blank line.
+                    let mut buf = [0u8; 1024];
+                    let mut head = Vec::new();
+                    loop {
+                        match sock.read(&mut buf) {
+                            Ok(0) => break,
+                            Ok(n) => {
+                                head.extend_from_slice(&buf[..n]);
+                                if head.windows(4).any(|w| w == b"\r\n\r\n")
+                                    || head.len() > 16 * 1024
+                                {
+                                    break;
+                                }
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    let page = body();
+                    let response = format!(
+                        "HTTP/1.1 200 OK\r\ncontent-type: text/plain; version=0.0.4\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{page}",
+                        page.len()
+                    );
+                    let _ = sock.write_all(response.as_bytes());
+                    let _ = sock.shutdown(std::net::Shutdown::Both);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    });
+    Ok((local, handle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpStream;
+
+    #[test]
+    fn campaign_registry_renders_every_name() {
+        let c = CampaignCounters::new();
+        c.count_attempt("success");
+        c.count_attempt("success");
+        c.count_attempt("timeout");
+        c.count_attempt("not-a-class"); // dropped, not a panic
+        c.add(&c.steals, 3);
+        c.add(&c.backoff_ms, 250);
+        let page = c.render();
+        assert!(
+            page.contains("dtsvliw_attempts_total{outcome=\"success\"} 2"),
+            "{page}"
+        );
+        assert!(
+            page.contains("dtsvliw_attempts_total{outcome=\"timeout\"} 1"),
+            "{page}"
+        );
+        assert!(page.contains("dtsvliw_steals_total 3"), "{page}");
+        assert!(page.contains("dtsvliw_backoff_ms_total 250"), "{page}");
+        assert!(page.contains("dtsvliw_tail_truncated_total 0"), "{page}");
+        // Every line is either a TYPE comment or `name[{labels}] value`.
+        for line in page.lines() {
+            assert!(
+                line.starts_with("# TYPE dtsvliw_") || line.starts_with("dtsvliw_"),
+                "malformed exposition line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn outcome_classes_cover_every_outcome_label() {
+        use crate::supervise::Outcome;
+        let all = [
+            Outcome::Success,
+            Outcome::Timeout,
+            Outcome::Stalled,
+            Outcome::Requeued,
+            Outcome::Watchdog,
+            Outcome::CorruptSnapshot,
+            Outcome::Signal(9),
+            Outcome::Error(1),
+            Outcome::Lost,
+        ];
+        for o in all {
+            assert!(OUTCOME_CLASSES.contains(&o.label()), "{}", o.label());
+        }
+    }
+
+    #[test]
+    fn worker_registry_renders() {
+        let w = WorkerCounters::new();
+        w.leases_accepted.fetch_add(4, Ordering::Relaxed);
+        let page = w.render();
+        assert!(
+            page.contains("dtsvliw_worker_leases_accepted_total 4"),
+            "{page}"
+        );
+        assert!(
+            page.contains("dtsvliw_worker_spans_relayed_total 0"),
+            "{page}"
+        );
+    }
+
+    #[test]
+    fn http_server_answers_a_get_and_stops() {
+        let counters = Arc::new(CampaignCounters::new());
+        counters.add(&counters.leases_issued, 7);
+        let stop = Arc::new(AtomicBool::new(false));
+        let body_src = Arc::clone(&counters);
+        let (addr, handle) = spawn_metrics_server(
+            "127.0.0.1:0",
+            Arc::new(move || body_src.render()),
+            Arc::clone(&stop),
+        )
+        .expect("bind");
+
+        let mut sock = TcpStream::connect(addr).expect("connect");
+        sock.write_all(b"GET /metrics HTTP/1.1\r\nhost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        sock.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("text/plain"), "{response}");
+        assert!(
+            response.contains("dtsvliw_leases_issued_total 7"),
+            "{response}"
+        );
+
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+}

@@ -27,6 +27,8 @@
 //! * [`engine`] — worker threads, the attempt loop, and the
 //!   deterministic merge into report / attempts-log / wall-clock
 //!   side-channel documents;
+//! * [`metrics`] — campaign counter registries and the hand-rolled
+//!   `/metrics` Prometheus text-exposition endpoint (DESIGN.md §15);
 //! * [`dist`] — the distributed tier (DESIGN.md §14): the TCP/JSONL
 //!   lease protocol behind `--workers` and the `dtsvliw_worker`
 //!   binary, with lease-epoch fencing and network chaos strikes.
@@ -36,12 +38,14 @@ pub mod chaos;
 pub mod dist;
 pub mod engine;
 pub mod heartbeat;
+pub mod metrics;
 pub mod outcome;
 pub mod queue;
 pub mod spec;
 pub mod status;
 
 pub use engine::{run_campaign, CampaignResult, EngineOptions, JobResult};
+pub use metrics::{spawn_metrics_server, CampaignCounters, WorkerCounters, OUTCOME_CLASSES};
 pub use outcome::Outcome;
 pub use spec::{parse_campaign, CampaignSpec, JobSpec, SpecError};
 

@@ -46,6 +46,9 @@ pub struct Scheduler {
     spawn_window: usize,
     /// Jobs queued or running — not yet terminal.
     outstanding: usize,
+    /// Whether the most recent successful [`Scheduler::claim`] raided a
+    /// sibling shard rather than popping the caller's own front.
+    last_claim_stolen: bool,
 }
 
 const NO_TENANT: usize = usize::MAX;
@@ -84,6 +87,7 @@ impl Scheduler {
             running: 0,
             spawn_window: spawn_window.max(1),
             outstanding: tenants.len(),
+            last_claim_stolen: false,
         }
     }
 
@@ -118,6 +122,7 @@ impl Scheduler {
             (0..self.shards[worker].len()).find(|&i| self.eligible(self.shards[worker][i], now_ms))
         {
             let job = self.shards[worker].remove(pos).unwrap();
+            self.last_claim_stolen = false;
             return self.admit(job);
         }
         // Steal: deepest sibling first, from the tail inward.
@@ -129,10 +134,29 @@ impl Scheduler {
                 .find(|&i| self.eligible(self.shards[v][i], now_ms))
             {
                 let job = self.shards[v].remove(pos).unwrap();
+                self.last_claim_stolen = true;
                 return self.admit(job);
             }
         }
         Claim::Wait
+    }
+
+    /// Whether the most recent `Claim::Run` this scheduler handed out
+    /// was stolen from a sibling shard. Callers read this under the
+    /// same lock that covered the claim, so there is no race window.
+    pub fn last_claim_was_steal(&self) -> bool {
+        self.last_claim_stolen
+    }
+
+    /// `(running, quota)` per tenant, index-aligned with the quota
+    /// table the scheduler was built from (for quota-headroom counter
+    /// tracks).
+    pub fn tenant_loads(&self) -> Vec<(usize, usize)> {
+        self.tenant_running
+            .iter()
+            .zip(&self.quotas)
+            .map(|(&r, &q)| (r, q))
+            .collect()
     }
 
     /// The job reached a terminal state (success or retries exhausted).
@@ -197,6 +221,31 @@ mod tests {
         assert_eq!(s.claim(2, 0), Claim::Run(2));
         assert_eq!(s.claim(2, 0), Claim::Run(5));
         assert_eq!(s.claim(2, 0), Claim::Run(6));
+    }
+
+    #[test]
+    fn steal_flag_tracks_where_the_claim_came_from() {
+        let mut s = Scheduler::new(&free(7), &[], 3, 16);
+        assert_eq!(s.claim(2, 0), Claim::Run(2));
+        assert!(!s.last_claim_was_steal(), "own-shard front pop");
+        assert_eq!(s.claim(2, 0), Claim::Run(5));
+        assert!(!s.last_claim_was_steal());
+        assert_eq!(s.claim(2, 0), Claim::Run(6));
+        assert!(s.last_claim_was_steal(), "raided shard 0's tail");
+        assert_eq!(s.claim(0, 0), Claim::Run(0));
+        assert!(!s.last_claim_was_steal(), "flag resets on own-shard claim");
+    }
+
+    #[test]
+    fn tenant_loads_mirror_running_vs_quota() {
+        let quotas = vec![("alice".to_string(), 2)];
+        let tenants = vec![Some("alice"), Some("alice")];
+        let mut s = Scheduler::new(&tenants, &quotas, 1, 16);
+        assert_eq!(s.tenant_loads(), vec![(0, 2)]);
+        assert_eq!(s.claim(0, 0), Claim::Run(0));
+        assert_eq!(s.tenant_loads(), vec![(1, 2)]);
+        s.finish(0);
+        assert_eq!(s.tenant_loads(), vec![(0, 2)]);
     }
 
     #[test]

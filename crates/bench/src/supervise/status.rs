@@ -99,10 +99,35 @@ pub fn render(s: &BoardSnapshot, elapsed_s: f64) -> String {
     line
 }
 
+/// Clamp a status line to `width` columns (counted in chars — the line
+/// is plain ASCII plus the ellipsis), replacing the overflow with `…`.
+/// A line that wraps would break the redraw-in-place protocol: the
+/// `\r\x1b[2K` erase only clears the last physical row, so every
+/// refresh of a wrapped line leaves its first row behind as garbage.
+pub fn clamp_line(line: &str, width: usize) -> String {
+    if width == 0 || line.chars().count() <= width {
+        return line.to_string();
+    }
+    let keep = width.saturating_sub(1);
+    let mut out: String = line.chars().take(keep).collect();
+    out.push('…');
+    out
+}
+
+/// Terminal width for status rendering: an explicit `--status-width`
+/// wins, then the `COLUMNS` environment variable, then 120.
+pub fn detect_width(override_width: Option<usize>) -> usize {
+    override_width
+        .or_else(|| std::env::var("COLUMNS").ok()?.trim().parse().ok())
+        .unwrap_or(120)
+}
+
 /// Throttled stderr presenter: redraws in place at 5 Hz on a terminal,
-/// prints a line every 2 s on a pipe (CI logs).
+/// prints a line every 2 s on a pipe (CI logs). Terminal redraws are
+/// clamped to the detected (or overridden) width so they never wrap.
 pub struct StatusSink {
     tty: bool,
+    width: usize,
     started: Instant,
     last_print: Option<Instant>,
     visible: bool,
@@ -110,9 +135,10 @@ pub struct StatusSink {
 }
 
 impl StatusSink {
-    pub fn new(enabled: bool) -> Self {
+    pub fn new(enabled: bool, width_override: Option<usize>) -> Self {
         StatusSink {
             tty: std::io::stderr().is_terminal(),
+            width: detect_width(width_override),
             started: Instant::now(),
             last_print: None,
             visible: false,
@@ -139,7 +165,7 @@ impl StatusSink {
         self.last_print = Some(Instant::now());
         let line = render(snapshot, self.started.elapsed().as_secs_f64());
         if self.tty {
-            eprint!("\r\x1b[2K{line}");
+            eprint!("\r\x1b[2K{}", clamp_line(&line, self.width));
             self.visible = true;
         } else {
             eprintln!("{line}");
@@ -171,6 +197,7 @@ mod tests {
                     progress: Some(Progress {
                         cycle: 12_345_678,
                         instructions: 20_000_000,
+                        bursts: 0,
                     }),
                     remote: false,
                 },
@@ -222,6 +249,42 @@ mod tests {
         assert!(line.contains("w0 gcc"), "{line}");
         assert!(line.contains("r1 go"), "{line}");
         assert!(line.contains("w2 idle"), "{line}");
+    }
+
+    #[test]
+    fn clamp_leaves_short_lines_alone() {
+        assert_eq!(clamp_line("abc", 10), "abc");
+        assert_eq!(clamp_line("abc", 3), "abc");
+        // Width 0 means "don't clamp" (unknown terminal).
+        assert_eq!(clamp_line("abcdef", 0), "abcdef");
+    }
+
+    #[test]
+    fn clamp_replaces_overflow_with_ellipsis() {
+        assert_eq!(clamp_line("abcdef", 4), "abc…");
+        assert_eq!(clamp_line("abcdef", 5), "abcd…");
+        assert_eq!(clamp_line("ab", 1), "…");
+        // Counted in chars, not bytes: a prior ellipsis is one column.
+        assert_eq!(clamp_line("a…cdef", 4), "a…c…");
+    }
+
+    #[test]
+    fn clamped_render_fits_narrow_terminals() {
+        let line = render(&snapshot(), 10.0);
+        assert!(line.chars().count() > 40, "fixture line is long: {line}");
+        let clamped = clamp_line(&line, 40);
+        assert_eq!(clamped.chars().count(), 40);
+        assert!(clamped.ends_with('…'), "{clamped}");
+        assert!(clamped.starts_with("supervise: [3/9 done"), "{clamped}");
+    }
+
+    #[test]
+    fn width_detection_prefers_explicit_override() {
+        assert_eq!(detect_width(Some(57)), 57);
+        // No override: COLUMNS or the 120 fallback — both acceptable
+        // here since the test env may or may not export COLUMNS.
+        let w = detect_width(None);
+        assert!(w > 0);
     }
 
     #[test]

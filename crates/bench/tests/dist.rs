@@ -10,12 +10,15 @@
 
 use dtsvliw_bench::supervise::dist::{coordinator_connect, proto, LeaseTable, Settle};
 use dtsvliw_json::Json;
+use dtsvliw_trace::validate_perfetto;
+use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 const SUPERVISE: &str = env!("CARGO_BIN_EXE_dtsvliw_supervise");
 const WORKER: &str = env!("CARGO_BIN_EXE_dtsvliw_worker");
+const EXPLAIN: &str = env!("CARGO_BIN_EXE_dtsvliw_explain");
 // Referencing the simulator binary forces cargo to build it, so both
 // the supervisor's and the worker's sibling resolution find it.
 const RUN: &str = env!("CARGO_BIN_EXE_dtsvliw_run");
@@ -44,6 +47,10 @@ impl Drop for WorkerProc {
 
 /// Start a worker on an ephemeral port and wait for its port file.
 fn start_worker(dir: &Path, tag: &str, slots: usize) -> WorkerProc {
+    start_worker_with(dir, tag, slots, &[])
+}
+
+fn start_worker_with(dir: &Path, tag: &str, slots: usize, extra: &[&str]) -> WorkerProc {
     let port_file = dir.join(format!("port-{tag}"));
     let child = Command::new(WORKER)
         .args([
@@ -53,6 +60,7 @@ fn start_worker(dir: &Path, tag: &str, slots: usize) -> WorkerProc {
             &slots.to_string(),
             "--quiet",
         ])
+        .args(extra)
         .arg("--workdir")
         .arg(dir.join(format!("wd-{tag}")))
         .arg("--port-file")
@@ -117,7 +125,15 @@ fn remote_leases_reproduce_the_local_report() {
     let local = supervise(
         &local_dir,
         spec,
-        &["--jobs", "1", "--out", "r.json", "--quiet"],
+        &[
+            "--jobs",
+            "1",
+            "--out",
+            "r.json",
+            "--spans-out",
+            "spans.json",
+            "--quiet",
+        ],
     );
     assert_eq!(local.code, 0, "{}", local.stderr);
 
@@ -132,6 +148,8 @@ fn remote_leases_reproduce_the_local_report() {
             &worker.addr,
             "--out",
             "r.json",
+            "--spans-out",
+            "spans.json",
             "--quiet",
         ],
     );
@@ -141,6 +159,100 @@ fn remote_leases_reproduce_the_local_report() {
         read(&remote_dir, "r.json"),
         "remote leases must not change the deterministic report"
     );
+
+    // The merged cross-host trace is a well-formed Perfetto document
+    // carrying worker-relayed spans (rebased onto the coordinator
+    // clock, on per-endpoint `/worker` tracks), and its canonical
+    // projection is byte-identical to the purely local run's.
+    let trace = read(&remote_dir, "spans.json");
+    let doc = Json::parse(&trace).expect("trace parses");
+    let events = validate_perfetto(&doc).expect("well-formed cross-host trace");
+    assert!(events > 0, "trace must carry events");
+    assert!(
+        trace.contains("/worker"),
+        "worker-relayed spans must land on a /worker track:\n{trace}"
+    );
+    let canon = |dir: &Path| {
+        let out = Command::new(EXPLAIN)
+            .current_dir(dir)
+            .args(["--spans", "spans.json", "--canon"])
+            .output()
+            .expect("run dtsvliw_explain");
+        assert_eq!(out.status.code(), Some(0));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    assert_eq!(
+        canon(&local_dir),
+        canon(&remote_dir),
+        "canonical span set must not depend on where jobs ran"
+    );
+}
+
+/// The worker daemon's own `/metrics` endpoint answers mid-campaign in
+/// Prometheus text format, with the lease counters moving.
+#[test]
+fn worker_metrics_endpoint_answers_mid_campaign() {
+    let dir = scratch("worker-metrics");
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+    let metrics_addr = probe.local_addr().expect("probe addr").to_string();
+    drop(probe);
+    let worker = start_worker_with(&dir, "w0", 2, &["--metrics-addr", &metrics_addr]);
+
+    let spec = r#"{ "seed": 13, "backoff_ms": 2, "jobs": [
+        { "name": "slow-a", "timeout_ms": 30000, "retries": 0,
+          "argv": ["sh", "-c", "sleep 2"] },
+        { "name": "slow-b", "timeout_ms": 30000, "retries": 0,
+          "argv": ["sh", "-c", "sleep 2"] } ] }"#;
+    std::fs::write(dir.join("spec.json"), spec).expect("write spec");
+    let mut campaign = Command::new(SUPERVISE)
+        .current_dir(&dir)
+        .args([
+            "spec.json",
+            "--jobs",
+            "1",
+            "--workers",
+            &worker.addr,
+            "--quiet",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn dtsvliw_supervise");
+
+    // Poll the worker's endpoint while the campaign runs until a lease
+    // has landed there (sleeps keep the jobs in flight for seconds).
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let body = loop {
+        let mut text = String::new();
+        if let Ok(mut s) = std::net::TcpStream::connect(&metrics_addr) {
+            let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+            if s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").is_ok() {
+                let _ = s.read_to_string(&mut text);
+            }
+        }
+        let leased = text
+            .lines()
+            .any(|l| l.starts_with("dtsvliw_worker_leases_accepted_total") && !l.ends_with(" 0"));
+        if leased {
+            break text;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "worker metrics never showed an accepted lease:\n{text}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let status = campaign.wait().expect("campaign exits");
+    assert_eq!(status.code(), Some(0), "campaign must succeed");
+
+    assert!(body.starts_with("HTTP/1.1 200 OK"), "{body}");
+    for family in [
+        "dtsvliw_worker_results_sent_total",
+        "dtsvliw_worker_hb_frames_total",
+        "dtsvliw_worker_spans_relayed_total",
+    ] {
+        assert!(body.contains(family), "missing {family}:\n{body}");
+    }
 }
 
 /// The tentpole acceptance test: two remote workers, the chaos harness
@@ -175,7 +287,15 @@ fn distributed_chaos_storm_with_a_killed_worker_matches_calm_local_run() {
     let calm = supervise(
         &calm_dir,
         &spec,
-        &["--jobs", "1", "--out", "r.json", "--quiet"],
+        &[
+            "--jobs",
+            "1",
+            "--out",
+            "r.json",
+            "--spans-out",
+            "spans.json",
+            "--quiet",
+        ],
     );
     assert_eq!(calm.code, 0, "undisturbed local run:\n{}", calm.stderr);
 
@@ -205,6 +325,8 @@ fn distributed_chaos_storm_with_a_killed_worker_matches_calm_local_run() {
             "r.json",
             "--attempts-out",
             "at.json",
+            "--spans-out",
+            "spans.json",
             "--wallclock-out",
             "wall.json",
             "--quiet",
@@ -245,6 +367,43 @@ fn distributed_chaos_storm_with_a_killed_worker_matches_calm_local_run() {
         .and_then(Json::as_u64)
         .expect("net chaos ledger present");
     assert!(strikes > 0, "the storm must have attacked the wire");
+
+    // The merged cross-host trace stays well-formed through a worker
+    // assassination, its canonical projection matches the calm local
+    // run's, and the explainer's trace-derived attempt chains agree
+    // with the attempts log despite fencing and forgiveness.
+    let doc = Json::parse(&read(&storm_dir, "spans.json")).expect("trace parses");
+    validate_perfetto(&doc).expect("well-formed cross-host trace");
+    let canon = |dir: &Path| {
+        let out = Command::new(EXPLAIN)
+            .current_dir(dir)
+            .args(["--spans", "spans.json", "--canon"])
+            .output()
+            .expect("run dtsvliw_explain");
+        assert_eq!(out.status.code(), Some(0));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    assert_eq!(
+        canon(&calm_dir),
+        canon(&storm_dir),
+        "canonical span set must survive the distributed storm"
+    );
+    let crosscheck = Command::new(EXPLAIN)
+        .current_dir(&storm_dir)
+        .args(["--spans", "spans.json", "--attempts", "at.json"])
+        .output()
+        .expect("run dtsvliw_explain");
+    let story = String::from_utf8_lossy(&crosscheck.stdout);
+    assert_eq!(
+        crosscheck.status.code(),
+        Some(0),
+        "trace must agree with the attempts log:\n{story}\n{}",
+        String::from_utf8_lossy(&crosscheck.stderr)
+    );
+    assert!(
+        story.contains("cross-check: trace agrees with the attempts log"),
+        "{story}"
+    );
 }
 
 /// At-most-once, proven against a real worker: a lease the coordinator

@@ -9,10 +9,14 @@
 //! auto-resumed).
 
 use dtsvliw_json::Json;
+use dtsvliw_trace::validate_perfetto;
+use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
 use std::process::Command;
+use std::time::{Duration, Instant};
 
 const SUPERVISE: &str = env!("CARGO_BIN_EXE_dtsvliw_supervise");
+const EXPLAIN: &str = env!("CARGO_BIN_EXE_dtsvliw_explain");
 // Referencing the simulator binary forces cargo to build it, so the
 // supervisor's sibling-of-current-exe resolution finds it.
 const RUN: &str = env!("CARGO_BIN_EXE_dtsvliw_run");
@@ -50,6 +54,50 @@ fn read(dir: &Path, name: &str) -> String {
         .unwrap_or_else(|e| panic!("read {name} in {}: {e}", dir.display()))
 }
 
+/// Run the post-mortem explainer; returns `(exit code, stdout)`.
+fn explain(dir: &Path, args: &[&str]) -> (i32, String) {
+    let out = Command::new(EXPLAIN)
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("run dtsvliw_explain");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// Fetch `/metrics` from a plain-text HTTP endpoint, retrying until the
+/// server comes up (the campaign is racing us to bind it).
+fn fetch_metrics(addr: &str, deadline: Instant) -> String {
+    loop {
+        if let Ok(mut s) = std::net::TcpStream::connect(addr) {
+            let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+            if s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").is_ok() {
+                let mut body = String::new();
+                if s.read_to_string(&mut body).is_ok() && !body.is_empty() {
+                    return body;
+                }
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "metrics endpoint {addr} never answered"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Pick a port the OS considers free right now. A bind races with the
+/// server reusing it, but the window is tiny and tests retry on fetch.
+fn free_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .expect("probe bind")
+        .local_addr()
+        .expect("probe addr")
+        .port()
+}
+
 /// Three shell jobs — two clean, one failing deterministically — so the
 /// determinism check covers success paths, the retry loop, and the
 /// seeded backoff schedule.
@@ -67,7 +115,15 @@ const MIXED_SPEC: &str = r#"{ "seed": 17, "backoff_ms": 2,
 fn report_and_attempts_are_byte_identical_across_worker_counts() {
     let serial = scratch("det-serial");
     let wide = scratch("det-wide");
-    let outs = ["--out", "r.json", "--attempts-out", "at.json", "--quiet"];
+    let outs = [
+        "--out",
+        "r.json",
+        "--attempts-out",
+        "at.json",
+        "--spans-out",
+        "spans.json",
+        "--quiet",
+    ];
     let a = supervise(&serial, MIXED_SPEC, &[&["--jobs", "1"], &outs[..]].concat());
     let b = supervise(&wide, MIXED_SPEC, &[&["--jobs", "8"], &outs[..]].concat());
     // One job fails by design, so both runs exit 1.
@@ -88,6 +144,46 @@ fn report_and_attempts_are_byte_identical_across_worker_counts() {
     let attempts = read(&serial, "at.json");
     assert!(attempts.contains("\"outcome\": \"error\""), "{attempts}");
     assert!(attempts.contains("\"detail\": 7"), "{attempts}");
+
+    // The merged campaign traces are well-formed Perfetto documents,
+    // and their canonical timestamp-stripped span sets do not depend on
+    // worker count either.
+    for dir in [&serial, &wide] {
+        let doc = Json::parse(&read(dir, "spans.json")).expect("trace parses");
+        let events = validate_perfetto(&doc).expect("well-formed perfetto trace");
+        assert!(events > 0, "trace must carry events");
+    }
+    let canon_args = ["--spans", "spans.json", "--canon"];
+    let (ca, canon_serial) = explain(&serial, &canon_args);
+    let (cb, canon_wide) = explain(&wide, &canon_args);
+    assert_eq!((ca, cb), (0, 0));
+    assert_eq!(
+        canon_serial, canon_wide,
+        "canonical span set must not depend on worker count"
+    );
+    assert!(
+        canon_serial.contains("\"kind\":\"campaign\",\"jobs\":3"),
+        "{canon_serial}"
+    );
+
+    // The explainer reconstructs the retried job's attempt chain from
+    // the trace alone, and the chain survives a cross-check against the
+    // attempts log (exit 1 on any disagreement).
+    let (code, story) = explain(&serial, &["--spans", "spans.json", "--attempts", "at.json"]);
+    assert_eq!(code, 0, "trace must agree with the attempts log:\n{story}");
+    assert!(
+        story.contains("cross-check: trace agrees with the attempts log"),
+        "{story}"
+    );
+    assert!(
+        story.contains("job 2 `always-fails` — failed (3 attempt(s) consumed"),
+        "retried job's chain must be reconstructed:\n{story}"
+    );
+    assert_eq!(
+        story.matches("n=").count(),
+        5,
+        "five consumed attempts across the campaign:\n{story}"
+    );
 }
 
 #[test]
@@ -248,7 +344,15 @@ fn chaos_storm_report_matches_undisturbed_run() {
     let calm = supervise(
         &calm_dir,
         &spec,
-        &["--jobs", "1", "--out", "r.json", "--quiet"],
+        &[
+            "--jobs",
+            "1",
+            "--out",
+            "r.json",
+            "--spans-out",
+            "spans.json",
+            "--quiet",
+        ],
     );
     assert_eq!(calm.code, 0, "undisturbed run:\n{}", calm.stderr);
     let storm = supervise(
@@ -261,6 +365,10 @@ fn chaos_storm_report_matches_undisturbed_run() {
             "1337",
             "--out",
             "r.json",
+            "--attempts-out",
+            "at.json",
+            "--spans-out",
+            "spans.json",
             "--wallclock-out",
             "wall.json",
             "--quiet",
@@ -284,6 +392,127 @@ fn chaos_storm_report_matches_undisturbed_run() {
         .and_then(Json::as_u64)
         .expect("chaos ledger present");
     assert!(actions > 0, "chaos must have acted: {actions}");
+
+    // Both merged traces are well-formed Perfetto documents, and the
+    // storm's timestamp-stripped canonical span set is byte-identical
+    // to the calm run's — the distributed-tracing recovery gate.
+    for dir in [&calm_dir, &storm_dir] {
+        let doc = Json::parse(&read(dir, "spans.json")).expect("trace parses");
+        let events = validate_perfetto(&doc).expect("well-formed perfetto trace");
+        assert!(events > 0, "trace must carry events");
+    }
+    let (ca, canon_calm) = explain(&calm_dir, &["--spans", "spans.json", "--canon"]);
+    let (cb, canon_storm) = explain(&storm_dir, &["--spans", "spans.json", "--canon"]);
+    assert_eq!((ca, cb), (0, 0));
+    assert_eq!(
+        canon_calm, canon_storm,
+        "canonical span set must be byte-identical under the chaos storm"
+    );
+    // The storm trace additionally records the strikes, and the
+    // explainer's trace-derived attempt chains agree with the attempts
+    // log even with forgiveness in play.
+    let storm_trace = read(&storm_dir, "spans.json");
+    assert!(
+        storm_trace.contains("chaos strikes"),
+        "storm trace must carry the chaos-strike counter track"
+    );
+    let (code, story) = explain(
+        &storm_dir,
+        &["--spans", "spans.json", "--attempts", "at.json"],
+    );
+    assert_eq!(code, 0, "trace must agree with the attempts log:\n{story}");
+    assert!(
+        story.contains("cross-check: trace agrees with the attempts log"),
+        "{story}"
+    );
+}
+
+/// The supervisor's pull-based `/metrics` endpoint answers while the
+/// campaign is still running, in Prometheus text exposition format,
+/// with the span/outcome counter families present.
+#[test]
+fn metrics_endpoint_answers_mid_campaign() {
+    let dir = scratch("metrics");
+    let spec = r#"{ "seed": 11, "backoff_ms": 2, "jobs": [
+        { "name": "slow-a", "timeout_ms": 30000, "retries": 0,
+          "argv": ["sh", "-c", "sleep 2"] },
+        { "name": "slow-b", "timeout_ms": 30000, "retries": 0,
+          "argv": ["sh", "-c", "sleep 2"] } ] }"#;
+    std::fs::write(dir.join("spec.json"), spec).expect("write spec");
+    let addr = format!("127.0.0.1:{}", free_port());
+    let mut child = Command::new(SUPERVISE)
+        .current_dir(&dir)
+        .args([
+            "spec.json",
+            "--jobs",
+            "2",
+            "--metrics-addr",
+            &addr,
+            "--quiet",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn dtsvliw_supervise");
+
+    let body = fetch_metrics(&addr, Instant::now() + Duration::from_secs(10));
+    let status = child.wait().expect("supervisor exits");
+    assert_eq!(status.code(), Some(0), "campaign must succeed");
+
+    assert!(body.starts_with("HTTP/1.1 200 OK"), "{body}");
+    assert!(
+        body.contains("text/plain; version=0.0.4"),
+        "exposition content type:\n{body}"
+    );
+    for family in [
+        "dtsvliw_attempts_total",
+        "dtsvliw_steals_total",
+        "dtsvliw_leases_issued_total",
+        "dtsvliw_spans_total",
+        "dtsvliw_chaos_strikes_total",
+    ] {
+        assert!(body.contains(family), "missing {family}:\n{body}");
+    }
+    assert!(
+        body.contains("outcome=\"success\""),
+        "attempt family must be labelled by outcome:\n{body}"
+    );
+}
+
+/// Satellite: a real simulator capture under `--trace-format perfetto`
+/// passes the same structural validation the campaign traces do —
+/// well-formed traceEvents, monotonic per-track timestamps, balanced
+/// begin/end pairs.
+#[test]
+fn simulator_perfetto_capture_validates() {
+    let dir = scratch("perfetto");
+    let out = Command::new(RUN)
+        .current_dir(&dir)
+        .args([
+            "--workload",
+            "compress",
+            "--scale",
+            "test",
+            "--config",
+            "ideal",
+            "--geometry",
+            "4x8",
+            "--trace-out",
+            "t.json",
+            "--trace-format",
+            "perfetto",
+        ])
+        .output()
+        .expect("run dtsvliw_run");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Json::parse(&read(&dir, "t.json")).expect("capture parses");
+    let events = validate_perfetto(&doc).expect("well-formed perfetto capture");
+    assert!(events > 0, "capture must carry events");
 }
 
 #[test]

@@ -26,6 +26,7 @@ mod profile;
 mod ring;
 mod sample;
 mod sink;
+mod span;
 mod telemetry;
 
 pub use event::{CacheKind, EngineKind, EvictReason, Stamped, TraceEvent};
@@ -34,6 +35,10 @@ pub use profile::{BlockProfile, BlockProfiler, ExitKind, DEFAULT_HOT_WINDOW};
 pub use ring::FlightRecorder;
 pub use sample::{SamplingProfiler, DEFAULT_SAMPLE_PERIOD};
 pub use sink::{sink_to_writer, EventSink, JsonlSink, PerfettoSink, TextSink, TraceFormat};
+pub use span::{
+    canonical_spans, merge_perfetto, parse_jsonl as parse_span_jsonl, validate_perfetto, SpanEvent,
+    SpanKind, SpanLog, SpanPhase, SPAN_KINDS,
+};
 pub use telemetry::{BurstDelta, Heartbeat, HeartbeatRecord, Telemetry};
 
 use std::io;

@@ -212,6 +212,7 @@ impl ToJson for Histogram {
             ("p50", Json::U64(self.percentile(0.50))),
             ("p90", Json::U64(self.percentile(0.90))),
             ("p99", Json::U64(self.percentile(0.99))),
+            ("p999", Json::U64(self.percentile(0.999))),
             (
                 "buckets",
                 Json::Arr(self.buckets.iter().map(|b| Json::U64(*b)).collect()),
@@ -373,6 +374,7 @@ mod tests {
         assert_eq!(h.percentile(0.50), 5);
         assert_eq!(h.percentile(0.90), 9);
         assert_eq!(h.percentile(0.99), 10);
+        assert_eq!(h.percentile(0.999), 10);
         assert_eq!(h.percentile(1.0), 10);
 
         // Coarse buckets: the answer is the bucket's inclusive upper
@@ -387,6 +389,22 @@ mod tests {
         let mut o = Histogram::log2();
         o.record(1 << 20);
         assert_eq!(o.percentile(0.5), 1 << 20);
+
+        // p99.9 only leaves the p99 bucket once the tail has weight:
+        // 1000 small samples put rank 1000 in the last occupied bucket.
+        let mut t = Histogram::linear(1);
+        for _ in 0..999 {
+            t.record(1);
+        }
+        t.record(12);
+        assert_eq!(t.percentile(0.99), 1);
+        assert_eq!(t.percentile(0.999), 1);
+        t.record(12); // 1001 samples: rank ceil(0.999*1001)=1000 still 1…
+        for _ in 0..8 {
+            t.record(12);
+        }
+        // 999 ones + 10 twelves = 1009 samples; rank ceil(.999*1009)=1008 → bucket 12.
+        assert_eq!(t.percentile(0.999), 12);
     }
 
     #[test]
@@ -401,6 +419,10 @@ mod tests {
         assert_eq!(
             j.get("p99").and_then(Json::as_u64),
             Some(h.percentile(0.99))
+        );
+        assert_eq!(
+            j.get("p999").and_then(Json::as_u64),
+            Some(h.percentile(0.999))
         );
         let back = Histogram::from_json(&Json::parse(&j.to_string()).unwrap()).unwrap();
         assert_eq!(h, back);
